@@ -1,0 +1,37 @@
+"""Benchmark configuration.
+
+Environment knobs:
+
+* ``REPRO_BENCH_PRESET`` — ``paper`` (default, 723 targets / ~10K VPs) or
+  ``small`` for a quick smoke run;
+* ``REPRO_STREET_TARGETS`` — street level target cap (default 120; set to
+  ``0`` to run all 723 targets, which takes several minutes);
+* ``REPRO_TRIALS`` — random-subset trials for the Figure 2 benches
+  (default 10; the paper uses 100).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+import pytest
+
+from repro.experiments.scenario import Scenario, get_scenario
+
+PRESET = os.environ.get("REPRO_BENCH_PRESET", "paper")
+_street_env = int(os.environ.get("REPRO_STREET_TARGETS", "120"))
+STREET_TARGETS: Optional[int] = None if _street_env <= 0 else _street_env
+TRIALS = int(os.environ.get("REPRO_TRIALS", "10"))
+
+
+@pytest.fixture(scope="session")
+def scenario() -> Scenario:
+    """The shared benchmark scenario (built once per session)."""
+    return get_scenario(PRESET)
+
+
+def report(output) -> None:
+    """Print an experiment's report below the benchmark timings."""
+    print()
+    print(output.render())

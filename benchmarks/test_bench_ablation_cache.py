@@ -1,0 +1,71 @@
+"""Ablation bench: the §5.2.5 cross-target landmark cache.
+
+Runs the street level pipeline twice over the same handful of targets —
+cold, then against a pre-warmed shared cache — and compares the simulated
+per-target time. The paper's point: caching helps, but the first pass
+still pays the full mapping/testing bill.
+"""
+
+import numpy as np
+from conftest import report
+
+from repro.analysis import format_table
+from repro.core.street_level import StreetLevelPipeline
+from repro.experiments.base import ExperimentOutput
+from repro.landmarks.cache import LandmarkCache
+
+
+def _tier1(mesh, row_by_id, target_id):
+    column = row_by_id[target_id]
+    return {
+        anchor_id: (None if np.isnan(mesh[row, column]) else float(mesh[row, column]))
+        for anchor_id, row in row_by_id.items()
+    }
+
+
+def _run(scenario, target_count=8):
+    anchors = scenario.anchor_vp_infos()
+    mesh_ids, mesh = scenario.mesh()
+    row_by_id = {anchor_id: row for row, anchor_id in enumerate(mesh_ids)}
+    targets = scenario.targets[:target_count]
+
+    cache = LandmarkCache()
+    cold_pipeline = StreetLevelPipeline(scenario.client, scenario.world, cache=cache)
+    cold_times = [
+        cold_pipeline.geolocate(
+            t.ip, anchors, _tier1(mesh, row_by_id, t.host_id)
+        ).elapsed_s
+        for t in targets
+    ]
+    warm_pipeline = StreetLevelPipeline(scenario.client, scenario.world, cache=cache)
+    warm_times = [
+        warm_pipeline.geolocate(
+            t.ip, anchors, _tier1(mesh, row_by_id, t.host_id)
+        ).elapsed_s
+        for t in targets
+    ]
+    rows = [
+        ["cold (empty cache)", f"{np.median(cold_times):.0f}s"],
+        ["warm (pre-populated)", f"{np.median(warm_times):.0f}s"],
+        ["geocode hit rate", f"{cache.stats.geocode_hit_rate:.0%}"],
+        ["validation hit rate", f"{cache.stats.validation_hit_rate:.0%}"],
+    ]
+    return ExperimentOutput(
+        "ablation-cache",
+        "Street level with/without the shared landmark cache (§5.2.5)",
+        format_table(["run", "value"], rows),
+        measured={
+            "cold_median_s": float(np.median(cold_times)),
+            "warm_median_s": float(np.median(warm_times)),
+            "validation_hit_rate": cache.stats.validation_hit_rate,
+        },
+        expected={},
+    )
+
+
+def test_bench_ablation_cache(benchmark, scenario):
+    output = benchmark.pedantic(lambda: _run(scenario), rounds=1, iterations=1)
+    report(output)
+    # A warmed cache can only make targets faster (or equal).
+    assert output.measured["warm_median_s"] <= output.measured["cold_median_s"] + 1.0
+    assert output.measured["validation_hit_rate"] > 0.3

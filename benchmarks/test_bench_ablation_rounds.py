@@ -1,0 +1,66 @@
+"""Ablation bench: multi-round VP selection (paper §7.2.3).
+
+Sweeps the number of selection rounds and prints the overhead/latency
+trade-off the paper predicts: more rounds cost less probing but more
+wall-clock time (one API round trip each).
+"""
+
+import numpy as np
+from conftest import report
+
+from repro.analysis import format_table
+from repro.core.coverage import greedy_coverage_indices
+from repro.core.multi_round import multi_round_select
+from repro.experiments.base import ExperimentOutput
+from repro.geo.coords import haversine_km
+
+
+def _run(scenario, rounds_list=(1, 2, 3, 4)):
+    _min_m, rep_median, _reps = scenario.representative_matrices()
+    step1 = greedy_coverage_indices(scenario.vp_lats, scenario.vp_lons, 100)
+    rows = []
+    measured = {}
+    for rounds in rounds_list:
+        errors = []
+        measurements = 0
+        elapsed = []
+        for column, target in enumerate(scenario.targets):
+            outcome = multi_round_select(
+                target.ip, scenario.vps, step1, rep_median[:, column], rounds=rounds
+            )
+            measurements += outcome.ping_measurements
+            elapsed.append(outcome.elapsed_s)
+            if outcome.estimate is not None:
+                errors.append(
+                    haversine_km(
+                        outcome.estimate.lat,
+                        outcome.estimate.lon,
+                        target.true_location.lat,
+                        target.true_location.lon,
+                    )
+                )
+        rows.append(
+            [
+                rounds,
+                f"{np.median(errors):.1f}",
+                f"{measurements / 1e6:.2f}M",
+                f"{np.median(elapsed):.0f}s",
+            ]
+        )
+        measured[f"median_km_rounds_{rounds}"] = float(np.median(errors))
+        measured[f"measurements_rounds_{rounds}"] = float(measurements)
+    table = format_table(["rounds", "median km", "pings", "median latency"], rows)
+    return ExperimentOutput(
+        "ablation-rounds",
+        "Multi-round VP selection: overhead vs latency (paper §7.2.3)",
+        table,
+        measured=measured,
+        expected={},
+    )
+
+
+def test_bench_ablation_rounds(benchmark, scenario):
+    output = benchmark.pedantic(lambda: _run(scenario), rounds=1, iterations=1)
+    report(output)
+    # Accuracy must not collapse as rounds are added.
+    assert output.measured["median_km_rounds_3"] < output.measured["median_km_rounds_1"] * 5

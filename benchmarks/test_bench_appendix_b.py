@@ -1,0 +1,15 @@
+"""Bench: appendix B — D1+D2 estimates vs the computable ground truth."""
+
+from conftest import report
+
+from repro.experiments.appendix_b import run_appendix_b
+
+
+def test_bench_appendix_b(benchmark, scenario):
+    output = benchmark.pedantic(
+        lambda: run_appendix_b(scenario), rounds=1, iterations=1
+    )
+    report(output)
+    # The estimator is noisy but not broken: some negatives, wide scatter.
+    assert 0.0 <= output.measured["negative_fraction_below"] <= 0.9
+    assert output.measured["median_abs_log_ratio_above"] > 0.02

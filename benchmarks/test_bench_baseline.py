@@ -1,0 +1,19 @@
+"""Bench: the §7.1 new-baseline summary (city/street fractions, dataset)."""
+
+from conftest import STREET_TARGETS, report
+
+from repro.experiments.baseline import run_baseline
+
+
+def test_bench_baseline(benchmark, scenario):
+    output = benchmark.pedantic(
+        lambda: run_baseline(scenario, max_targets=STREET_TARGETS),
+        rounds=1,
+        iterations=1,
+    )
+    report(output)
+    # The paper's headline: a solid majority at city level, only a sliver
+    # at street level, and no million-scale coverage on this platform.
+    assert output.measured["city_level_fraction"] > 0.4
+    assert output.measured["street_level_fraction"] < output.measured["city_level_fraction"]
+    assert output.measured["millions_coverage_feasible"] == 0.0

@@ -1,0 +1,53 @@
+"""Micro-benchmarks of the simulation engine itself.
+
+Unlike the per-figure benches (one timed pass each), these exercise the
+hot paths repeatedly so regressions in the vectorised engine show up as
+timing changes: the bulk ping column, the fast CBG centroid, and the
+traceroute generator.
+"""
+
+import numpy as np
+
+from repro.core.cbg import cbg_centroid_fast
+
+
+def test_bench_bulk_ping_column(benchmark, scenario):
+    """One full-platform ping column (all VPs -> one target)."""
+    model = scenario.platform.latency
+    vp_ids = scenario.vp_ids
+    target = scenario.targets[0]
+
+    result = benchmark(lambda: model.bulk_min_rtt(vp_ids, target, seq=77))
+    assert result.shape == (len(scenario.vps),)
+    assert np.isfinite(result).sum() > len(scenario.vps) * 0.9
+
+
+def test_bench_fast_cbg_centroid(benchmark, scenario):
+    """One fast CBG solve over the full platform's constraints."""
+    matrix = scenario.rtt_matrix()
+    rtts = matrix[:, 0]
+
+    result = benchmark(
+        lambda: cbg_centroid_fast(scenario.vp_lats, scenario.vp_lons, rtts)
+    )
+    assert result is not None
+
+
+def test_bench_traceroute(benchmark, scenario):
+    """One simulated traceroute (the street level hot loop)."""
+    model = scenario.platform.latency
+    src = scenario.world.probes[0]
+    dst = scenario.world.anchors[0]
+
+    result = benchmark(lambda: model.traceroute(src, dst, seq=5))
+    assert result.reached
+
+
+def test_bench_world_build_small(benchmark):
+    """Full small-world construction (generator hot path)."""
+    from repro.world import WorldConfig, build_world
+
+    world = benchmark.pedantic(
+        lambda: build_world(WorldConfig.small(seed=11)), rounds=1, iterations=1
+    )
+    assert len(world.anchors) > 0

@@ -1,0 +1,16 @@
+"""Bench: Figure 2a — CBG accuracy vs number of vantage points."""
+
+from conftest import TRIALS, report
+
+from repro.experiments.fig2 import run_fig2a
+
+
+def test_bench_fig2a_subset_sizes(benchmark, scenario):
+    output = benchmark.pedantic(
+        lambda: run_fig2a(scenario, trials=TRIALS), rounds=1, iterations=1
+    )
+    report(output)
+    # Error must keep shrinking as vantage points are added (§5.1.1).
+    assert output.measured["errors_shrink_with_more_vps"] == 1.0
+    # With the full platform the median of medians reaches ~10 km.
+    assert output.measured["median_of_medians_at_max_km"] < 50.0

@@ -1,0 +1,15 @@
+"""Bench: Figure 2b — spread of median error across random VP subsets."""
+
+from conftest import TRIALS, report
+
+from repro.experiments.fig2 import run_fig2b
+
+
+def test_bench_fig2b_subset_cdfs(benchmark, scenario):
+    output = benchmark.pedantic(
+        lambda: run_fig2b(scenario, trials=TRIALS), rounds=1, iterations=1
+    )
+    report(output)
+    # The replication's key contrast with the original paper: subsets of a
+    # given size perform similarly (small spread), unlike in 2012.
+    assert output.measured["spread_factor_100vps"] < 5.0

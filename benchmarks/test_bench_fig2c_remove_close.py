@@ -1,0 +1,19 @@
+"""Bench: Figure 2c — error when close vantage points are removed."""
+
+from conftest import report
+
+from repro.experiments.fig2 import run_fig2c
+
+
+def test_bench_fig2c_remove_close(benchmark, scenario):
+    output = benchmark.pedantic(lambda: run_fig2c(scenario), rounds=1, iterations=1)
+    report(output)
+    # The third hypothesis holds: losing the same-city VPs is devastating.
+    assert (
+        output.measured["median_beyond_40km_km"]
+        > 3 * output.measured["median_all_vps_km"]
+    )
+    assert (
+        output.measured["city_fraction_beyond_40km"]
+        < output.measured["city_fraction_all_vps"]
+    )

@@ -1,0 +1,16 @@
+"""Bench: Figure 3a — the original million scale VP selection."""
+
+from conftest import report
+
+from repro.experiments.fig3 import run_fig3a
+
+
+def test_bench_fig3a_vp_selection(benchmark, scenario):
+    output = benchmark.pedantic(lambda: run_fig3a(scenario), rounds=1, iterations=1)
+    report(output)
+    # §5.1.2: a single well-chosen VP rivals (and at small errors beats)
+    # the full platform.
+    assert (
+        output.measured["within_10km_single_vp"]
+        >= output.measured["within_10km_all_vps"] - 0.05
+    )

@@ -1,0 +1,15 @@
+"""Bench: Figure 3b — accuracy of the two-step VP selection."""
+
+import numpy as np
+from conftest import report
+
+from repro.experiments.fig3 import run_fig3bc
+
+
+def test_bench_fig3b_two_step(benchmark, scenario):
+    output = benchmark.pedantic(lambda: run_fig3bc(scenario), rounds=1, iterations=1)
+    report(output)
+    # The two-step selection must not degrade accuracy vs full CBG.
+    assert output.measured["median_two_step_500_km"] < (
+        output.measured["median_all_vps_km"] * 3.0
+    )

@@ -1,0 +1,23 @@
+"""Bench: Figure 3c — measurement overhead of the two-step VP selection.
+
+Shares the computation with Figure 3b (one run produces both artefacts);
+this bench asserts the overhead half.
+"""
+
+from conftest import report
+
+from repro.experiments.fig3 import run_fig3bc
+
+
+def test_bench_fig3c_overhead(benchmark, scenario):
+    output = benchmark.pedantic(
+        lambda: run_fig3bc(scenario, first_step_sizes=(500,)), rounds=1, iterations=1
+    )
+    report(output)
+    # §5.1.4: the two-step algorithm needs a small fraction of the original
+    # algorithm's pings (13.2% in the paper at a 500-VP first step). The
+    # strong bound only makes sense when the platform dwarfs the first step
+    # (on the small smoke preset 500 VPs IS most of the platform).
+    assert output.measured["overhead_fraction_500"] < 1.0
+    if len(scenario.vps) >= 5 * 500:
+        assert output.measured["overhead_fraction_500"] < 0.35

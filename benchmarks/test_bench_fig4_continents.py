@@ -1,0 +1,12 @@
+"""Bench: Figure 4 — CBG error per continent."""
+
+from conftest import report
+
+from repro.experiments.fig4 import run_fig4
+
+
+def test_bench_fig4_continents(benchmark, scenario):
+    output = benchmark.pedantic(lambda: run_fig4(scenario), rounds=1, iterations=1)
+    report(output)
+    # Europe has near-total close-VP coverage, as in the paper.
+    assert output.measured["eu_close_vp_fraction"] > 0.9

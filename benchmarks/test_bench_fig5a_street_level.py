@@ -1,0 +1,18 @@
+"""Bench: Figure 5a — street level vs CBG vs the closest-landmark oracle."""
+
+from conftest import STREET_TARGETS, report
+
+from repro.experiments.fig5 import run_fig5a
+
+
+def test_bench_fig5a_street_level(benchmark, scenario):
+    output = benchmark.pedantic(
+        lambda: run_fig5a(scenario, max_targets=STREET_TARGETS), rounds=1, iterations=1
+    )
+    report(output)
+    street = output.measured["street_median_km"]
+    cbg = output.measured["cbg_median_km"]
+    # The replication's headline: street level only matches CBG (within the
+    # same order of magnitude), nowhere near the original 690 m.
+    assert street > 1.0
+    assert street < cbg * 4.0 and cbg < street * 4.0

@@ -1,0 +1,21 @@
+"""Bench: Figure 5b — targets with a close validated landmark."""
+
+from conftest import STREET_TARGETS, report
+
+from repro.experiments.fig5 import run_fig5b
+
+
+def test_bench_fig5b_landmarks(benchmark, scenario):
+    output = benchmark.pedantic(
+        lambda: run_fig5b(scenario, max_targets=STREET_TARGETS), rounds=1, iterations=1
+    )
+    report(output)
+    # Most targets lack a street level landmark, but a majority has a
+    # city-level one (§5.2.2).
+    assert output.measured["within_1km_fraction"] < 0.5
+    assert output.measured["within_40km_fraction"] > output.measured["within_1km_fraction"]
+    # Latency checks only ever shrink the counts.
+    assert (
+        output.measured["checked_within_1km_fraction"]
+        <= output.measured["within_1km_fraction"]
+    )

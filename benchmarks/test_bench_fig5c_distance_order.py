@@ -1,0 +1,15 @@
+"""Bench: Figure 5c — measured vs geographic landmark distance order."""
+
+from conftest import STREET_TARGETS, report
+
+from repro.experiments.fig5 import run_fig5c
+
+
+def test_bench_fig5c_distance_order(benchmark, scenario):
+    output = benchmark.pedantic(
+        lambda: run_fig5c(scenario, max_targets=STREET_TARGETS), rounds=1, iterations=1
+    )
+    report(output)
+    # §5.2.3: essentially no correlation between measured and geographic
+    # distances (the street level paper's second insight does not hold).
+    assert abs(output.measured["median_pearson"]) < 0.4

@@ -1,0 +1,14 @@
+"""Bench: Figure 6a — fraction of landmarks with unusable D1+D2 delays."""
+
+from conftest import STREET_TARGETS, report
+
+from repro.experiments.fig6 import run_fig6a
+
+
+def test_bench_fig6a_negative_delays(benchmark, scenario):
+    output = benchmark.pedantic(
+        lambda: run_fig6a(scenario, max_targets=STREET_TARGETS), rounds=1, iterations=1
+    )
+    report(output)
+    # A substantial share of landmark delays is negative/unusable (§5.2.3).
+    assert 0.02 <= output.measured["median_unusable_fraction"] <= 0.9

@@ -1,0 +1,15 @@
+"""Bench: Figure 6b — error distance vs population density."""
+
+from conftest import STREET_TARGETS, report
+
+from repro.experiments.fig6 import run_fig6b
+
+
+def test_bench_fig6b_population(benchmark, scenario):
+    output = benchmark.pedantic(
+        lambda: run_fig6b(scenario, max_targets=STREET_TARGETS), rounds=1, iterations=1
+    )
+    report(output)
+    # §5.2.4: accuracy does not depend on population density — the log-log
+    # fit must be nearly flat.
+    assert output.measured["log_log_slope_abs_below"] < 0.6

@@ -1,0 +1,14 @@
+"""Bench: Figure 6c — time to geolocate a target with street level."""
+
+from conftest import STREET_TARGETS, report
+
+from repro.experiments.fig6 import run_fig6c
+
+
+def test_bench_fig6c_time(benchmark, scenario):
+    output = benchmark.pedantic(
+        lambda: run_fig6c(scenario, max_targets=STREET_TARGETS), rounds=1, iterations=1
+    )
+    report(output)
+    # §5.2.5: minutes per target, not the original paper's 1-2 seconds.
+    assert output.measured["median_time_s"] > 120.0

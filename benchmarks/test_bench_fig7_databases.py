@@ -1,0 +1,16 @@
+"""Bench: Figure 7 — geolocation databases vs CBG with all VPs."""
+
+from conftest import report
+
+from repro.experiments.fig7 import run_fig7
+
+
+def test_bench_fig7_databases(benchmark, scenario):
+    output = benchmark.pedantic(lambda: run_fig7(scenario), rounds=1, iterations=1)
+    report(output)
+    # The paper's §6 ordering: IPinfo > CBG (all VPs) > MaxMind free.
+    assert (
+        output.measured["ipinfo_city_fraction"]
+        > output.measured["cbg_city_fraction"]
+        > output.measured["maxmind_city_fraction"]
+    )

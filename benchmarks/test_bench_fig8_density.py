@@ -1,0 +1,12 @@
+"""Bench: Figure 8 (appendix C) — population density of the target set."""
+
+from conftest import report
+
+from repro.experiments.fig8 import run_fig8
+
+
+def test_bench_fig8_density(benchmark, scenario):
+    output = benchmark.pedantic(lambda: run_fig8(scenario), rounds=1, iterations=1)
+    report(output)
+    # The dataset must span rural to dense-urban targets.
+    assert output.measured["density_orders_of_magnitude"] > 1.0

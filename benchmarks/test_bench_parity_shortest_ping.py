@@ -1,0 +1,13 @@
+"""Bench: Shortest Ping vs CBG parity (the paper's §5.1 aside)."""
+
+from conftest import report
+
+from repro.experiments.parity import run_parity
+
+
+def test_bench_parity_shortest_ping(benchmark, scenario):
+    output = benchmark.pedantic(lambda: run_parity(scenario), rounds=1, iterations=1)
+    report(output)
+    # "Results with shortest ping are similar": CDFs close, medians within 2x.
+    assert output.measured["all_vps_ks"] < 0.3
+    assert 0.5 < output.measured["all_vps_median_ratio"] < 2.0

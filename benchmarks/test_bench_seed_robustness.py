@@ -1,0 +1,39 @@
+"""Bench: seed robustness — the headline conclusions across three worlds.
+
+Rebuilds three *small* worlds from different seeds and checks that the
+paper's qualitative conclusions (database ordering, VP-selection parity)
+hold in every one: the reproduction is not an artefact of one lucky seed.
+"""
+
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.parity import run_parity
+from repro.experiments.sweep import seed_sweep
+
+
+def test_bench_seed_robustness_databases(benchmark):
+    summary = benchmark.pedantic(
+        lambda: seed_sweep(run_fig7, preset="small", seeds=(7, 8, 9)),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(summary.render())
+    ipinfo = summary.stats["ipinfo_city_fraction"]
+    maxmind = summary.stats["maxmind_city_fraction"]
+    # The ordering must hold in EVERY world, not just on average.
+    for seed_index in range(3):
+        assert ipinfo.values[seed_index] > maxmind.values[seed_index]
+    assert summary.robust("ipinfo_city_fraction", max_relative_spread=0.3)
+
+
+def test_bench_seed_robustness_parity(benchmark):
+    summary = benchmark.pedantic(
+        lambda: seed_sweep(run_parity, preset="small", seeds=(7, 8, 9)),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(summary.render())
+    # Shortest ping tracks CBG in every world.
+    for value in summary.stats["all_vps_ks"].values:
+        assert value < 0.35

@@ -1,0 +1,13 @@
+"""Bench: Table 1 — dataset recap (targets, vantage points, services)."""
+
+from conftest import report
+
+from repro.experiments.tables import run_table1
+
+
+def test_bench_table1_datasets(benchmark, scenario):
+    output = benchmark.pedantic(
+        lambda: run_table1(scenario), rounds=1, iterations=1
+    )
+    report(output)
+    assert output.measured["targets"] > 0

@@ -1,0 +1,14 @@
+"""Bench: Table 2 — CAIDA AS types of the platform's anchors and probes."""
+
+from conftest import report
+
+from repro.experiments.tables import run_table2
+
+
+def test_bench_table2_as_types(benchmark, scenario):
+    output = benchmark.pedantic(
+        lambda: run_table2(scenario), rounds=1, iterations=1
+    )
+    report(output)
+    # The platform must be access-dominated overall, like RIPE Atlas.
+    assert output.measured["combined_access_share"] > 0.5

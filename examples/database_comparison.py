@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Geolocation databases vs CBG (paper §6 / Figure 7).
+
+Builds the simulated MaxMind-free and IPinfo databases, queries them for
+every target, and prints the error CDF at the paper's thresholds next to
+CBG with the full platform.
+
+Run: ``python examples/database_comparison.py``
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core.cbg import cbg_errors_for_subsets
+from repro.experiments.scenario import get_scenario
+from repro.geodb import build_ipinfo, build_maxmind_free
+
+
+def main() -> None:
+    scenario = get_scenario("small")
+    matrix = scenario.rtt_matrix()
+    cbg_errors = cbg_errors_for_subsets(
+        scenario.vp_lats,
+        scenario.vp_lons,
+        matrix,
+        scenario.target_true_lats,
+        scenario.target_true_lons,
+        np.arange(len(scenario.vps)),
+    )
+
+    sources = {"CBG (all VPs)": cbg_errors}
+    for database in (build_maxmind_free(scenario.world), build_ipinfo(scenario.world)):
+        errors = np.full(len(scenario.targets), np.nan)
+        for column, target in enumerate(scenario.targets):
+            location = database.lookup(target.ip)
+            if location is not None:
+                errors[column] = location.distance_km(target.true_location)
+        sources[database.name] = errors
+
+    rows = []
+    for name, errors in sources.items():
+        defined = errors[~np.isnan(errors)]
+        rows.append(
+            [
+                name,
+                f"{np.median(defined):.1f}",
+                f"{(defined <= 1).mean():.0%}",
+                f"{(defined <= 40).mean():.0%}",
+                f"{(defined <= 137).mean():.0%}",
+                f"{defined.size}/{errors.size}",
+            ]
+        )
+    print(
+        format_table(
+            ["source", "median km", "<=1km", "<=40km", "<=137km", "coverage"], rows
+        )
+    )
+    print()
+    print("The paper's §6 ordering should hold: ipinfo > CBG > maxmind-free "
+          "at the 40 km city-level threshold.")
+
+
+if __name__ == "__main__":
+    main()

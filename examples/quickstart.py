@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Quickstart: build a world, run measurements, geolocate one target.
+
+This walks the core public API end to end in under a minute:
+
+1. build a small simulated world (cities, ASes, RIPE-Atlas-like platform);
+2. open a measurement client (credits + simulated clock included);
+3. ping one anchor from every vantage point;
+4. geolocate it with Shortest Ping and CBG, and compare with the truth.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro import (
+    AtlasClient,
+    AtlasPlatform,
+    WorldConfig,
+    build_world,
+    cbg_estimate,
+    shortest_ping,
+)
+
+
+def main() -> None:
+    world = build_world(WorldConfig.small())
+    print(world.describe())
+    print()
+
+    platform = AtlasPlatform(world)
+    client = AtlasClient(platform)
+    vantage_points = client.list_probes()
+    print(f"platform offers {len(vantage_points)} vantage points")
+
+    # Pick a target: the first anchor that is not deliberately mislocated.
+    target = next(anchor for anchor in world.anchors if not anchor.mislocated)
+    print(f"target: {target.ip} (truth: {target.true_location})")
+
+    # One ping measurement from every vantage point (the target itself is a
+    # vantage point too - exclude it, it cannot ping itself).
+    vps = [vp for vp in vantage_points if vp.address != target.ip]
+    rtts = client.ping_from([vp.probe_id for vp in vps], target.ip)
+    answered = sum(1 for rtt in rtts.values() if rtt is not None)
+    print(f"{answered}/{len(vps)} vantage points got an answer")
+    print(f"credits spent: {client.credits_spent}")
+
+    sp = shortest_ping(target.ip, vps, rtts)
+    print(
+        f"shortest ping : estimate {sp.estimate}, "
+        f"error {sp.error_km(target.true_location):.1f} km "
+        f"(vp {sp.details['vp_id']}, rtt {sp.details['min_rtt_ms']:.2f} ms)"
+    )
+
+    # CBG can fail on the raw platform: some probes advertise wrong
+    # locations, producing physically impossible constraint sets. That is
+    # exactly why the paper sanitizes the platform first (§4.3). A cheap
+    # stand-in here: drop the constraints that do not overlap the
+    # lowest-RTT vantage point's circle.
+    from repro.core.cbg import constraints_from_rtts
+    from repro.errors import EmptyRegionError
+    from repro.geo.regions import cbg_region
+
+    try:
+        cbg, region = cbg_estimate(target.ip, vps, rtts)
+    except EmptyRegionError:
+        print(
+            "CBG found no feasible region - the raw platform contains "
+            "mis-geolocated vantage points (the paper's §4.3 sanitization "
+            "exists for this). Dropping inconsistent constraints..."
+        )
+        circles = constraints_from_rtts(vps, rtts)
+        tightest = min(circles, key=lambda c: c.radius_km)
+        consistent = [
+            circle
+            for circle in circles
+            if circle.center.distance_km(tightest.center)
+            <= circle.radius_km + tightest.radius_km
+        ]
+        region = cbg_region(consistent)
+        from repro.core.results import GeolocationResult
+
+        cbg = GeolocationResult(
+            target.ip,
+            region.centroid,
+            "cbg",
+            {"constraints": len(consistent), "tightest_radius_km": tightest.radius_km},
+        )
+    print(
+        f"CBG           : estimate {cbg.estimate}, "
+        f"error {cbg.error_km(target.true_location):.1f} km "
+        f"({cbg.details['constraints']} constraints, "
+        f"tightest radius {cbg.details['tightest_radius_km']:.0f} km)"
+    )
+    print(f"CBG region extent: {region.extent_km():.0f} km")
+    print()
+    print("For properly sanitized datasets, use repro.experiments.Scenario -")
+    print("it runs the paper's full §4.3 pipeline (anchors first, then probes).")
+
+
+if __name__ == "__main__":
+    main()

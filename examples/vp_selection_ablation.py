@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Ablation: what makes vantage-point selection work?
+
+Dissects the design choices behind the two-step selection (§5.1.4):
+
+* how many low-RTT vantage points to keep (k = 1 / 3 / 10 / 50);
+* greedy earth-coverage first step vs a random first step;
+* minimum vs median aggregation over the /24 representatives.
+
+Run: ``python examples/vp_selection_ablation.py``
+"""
+
+import numpy as np
+
+from repro import rand
+from repro.analysis import format_table
+from repro.core.cbg import cbg_errors_for_subsets
+from repro.core.coverage import greedy_coverage_indices
+from repro.core.million_scale import select_closest_vps
+from repro.core.two_step import two_step_select
+from repro.experiments.scenario import get_scenario
+from repro.geo.coords import haversine_km
+
+
+def _selection_errors(scenario, rep_matrix, k):
+    """CBG error per target using the k lowest-representative-RTT VPs."""
+    target_matrix = scenario.rtt_matrix()
+    errors = np.full(len(scenario.targets), np.nan)
+    for column in range(len(scenario.targets)):
+        chosen = select_closest_vps(rep_matrix[:, column], k)
+        if chosen.size == 0:
+            continue
+        errors[column] = cbg_errors_for_subsets(
+            scenario.vp_lats,
+            scenario.vp_lons,
+            target_matrix[:, [column]],
+            scenario.target_true_lats[[column]],
+            scenario.target_true_lons[[column]],
+            chosen,
+        )[0]
+    return errors
+
+
+def main() -> None:
+    scenario = get_scenario("small")
+    rep_min, rep_median, _reps = scenario.representative_matrices()
+
+    # Ablation 1: how many selected VPs, and min vs median aggregation.
+    rows = []
+    for label, matrix in (("min over reps", rep_min), ("median over reps", rep_median)):
+        for k in (1, 3, 10, 50):
+            errors = _selection_errors(scenario, matrix, k)
+            defined = errors[~np.isnan(errors)]
+            rows.append(
+                [label, k, f"{np.median(defined):.1f}", f"{(defined <= 40).mean():.0%}"]
+            )
+    print("selection-size and aggregation ablation:")
+    print(format_table(["aggregation", "k", "median km", "<=40km"], rows))
+
+    # Ablation 2: greedy coverage vs random first step for the two-step
+    # algorithm (same size, same budget accounting).
+    size = 50
+    greedy = greedy_coverage_indices(scenario.vp_lats, scenario.vp_lons, size)
+    rng = rand.generator(("ablation-random-step1", scenario.world.config.seed))
+    random_step1 = sorted(rng.choice(len(scenario.vps), size=size, replace=False))
+
+    rows = []
+    for label, step1 in (("greedy coverage", greedy), ("random subset", random_step1)):
+        errors = []
+        measurements = 0
+        for column, target in enumerate(scenario.targets):
+            outcome = two_step_select(
+                target.ip, scenario.vps, step1, rep_median[:, column]
+            )
+            measurements += outcome.ping_measurements
+            if outcome.estimate is not None:
+                errors.append(
+                    haversine_km(
+                        outcome.estimate.lat,
+                        outcome.estimate.lon,
+                        target.true_location.lat,
+                        target.true_location.lon,
+                    )
+                )
+        rows.append(
+            [
+                label,
+                f"{np.median(errors):.1f}",
+                f"{np.mean(np.array(errors) <= 40):.0%}",
+                f"{measurements:,}",
+            ]
+        )
+    print("\nfirst-step construction ablation (two-step selection):")
+    print(format_table(["first step", "median km", "<=40km", "pings"], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Produce every experiment's report at paper scale (for EXPERIMENTS.md)."""
+import json, time, sys
+from repro.experiments import get_scenario
+from repro.experiments import fig2, fig3, fig4, fig5, fig6, fig7, fig8, tables
+
+t0 = time.time()
+s = get_scenario('paper')
+print(f'scenario ready {time.time()-t0:.0f}s', flush=True)
+
+runs = [
+    ('table1', lambda: tables.run_table1(s)),
+    ('table2', lambda: tables.run_table2(s)),
+    ('fig2a', lambda: fig2.run_fig2a(s, trials=25)),
+    ('fig2b', lambda: fig2.run_fig2b(s, trials=25)),
+    ('fig2c', lambda: fig2.run_fig2c(s)),
+    ('fig3a', lambda: fig3.run_fig3a(s)),
+    ('fig3bc', lambda: fig3.run_fig3bc(s)),
+    ('fig4', lambda: fig4.run_fig4(s)),
+    ('fig5a', lambda: fig5.run_fig5a(s, None)),
+    ('fig5b', lambda: fig5.run_fig5b(s, None)),
+    ('fig5c', lambda: fig5.run_fig5c(s, None)),
+    ('fig6a', lambda: fig6.run_fig6a(s, None)),
+    ('fig6b', lambda: fig6.run_fig6b(s, None)),
+    ('fig6c', lambda: fig6.run_fig6c(s, None)),
+    ('fig7', lambda: fig7.run_fig7(s)),
+    ('fig8', lambda: fig8.run_fig8(s)),
+]
+summary = {}
+with open('results/paper_scale_report.txt', 'w') as f:
+    for name, fn in runs:
+        t = time.time()
+        out = fn()
+        elapsed = time.time() - t
+        print(f'{name} done in {elapsed:.0f}s', flush=True)
+        f.write(out.render() + f'\n[{elapsed:.0f}s]\n\n')
+        f.flush()
+        summary[name] = {'measured': out.measured, 'expected': out.expected, 'seconds': elapsed}
+json.dump(summary, open('results/paper_scale_summary.json', 'w'), indent=2, default=float)
+print('ALL DONE', time.time()-t0, flush=True)

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works on environments whose setuptools lacks PEP 660
+editable-wheel support (no ``wheel`` package installed).
+"""
+
+from setuptools import setup
+
+setup()

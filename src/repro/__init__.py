@@ -1,0 +1,58 @@
+"""repro: a full replication of "Towards a Publicly Available Internet
+Scale IP Geolocation Dataset" (Darwich et al., IMC 2023).
+
+The package layers as follows (bottom-up):
+
+* :mod:`repro.geo`, :mod:`repro.net` — geodesy and network primitives;
+* :mod:`repro.world`, :mod:`repro.topology`, :mod:`repro.latency` — the
+  simulated Internet (the offline substitute for the real one);
+* :mod:`repro.atlas` — the simulated RIPE Atlas platform and client;
+* :mod:`repro.landmarks`, :mod:`repro.geodb` — mapping services and
+  geolocation databases;
+* :mod:`repro.core` — the replicated geolocation techniques;
+* :mod:`repro.analysis`, :mod:`repro.experiments` — evaluation and the
+  per-figure/table experiment harness.
+
+Quickstart::
+
+    from repro import WorldConfig, build_world, AtlasPlatform, AtlasClient
+
+    world = build_world(WorldConfig.small())
+    client = AtlasClient(AtlasPlatform(world))
+    probes = client.list_probes()
+"""
+
+from repro.atlas import AtlasClient, AtlasPlatform, ProbeInfo
+from repro.constants import (
+    CITY_LEVEL_KM,
+    SOI_FRACTION_CBG,
+    SOI_FRACTION_STREET_LEVEL,
+    STREET_LEVEL_KM,
+    rtt_to_distance_km,
+)
+from repro.core import cbg_estimate, shortest_ping
+from repro.core.street_level import StreetLevelConfig, StreetLevelPipeline
+from repro.geo import GeoPoint
+from repro.world import WorldConfig, World, build_world
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AtlasClient",
+    "AtlasPlatform",
+    "ProbeInfo",
+    "CITY_LEVEL_KM",
+    "SOI_FRACTION_CBG",
+    "SOI_FRACTION_STREET_LEVEL",
+    "STREET_LEVEL_KM",
+    "rtt_to_distance_km",
+    "cbg_estimate",
+    "shortest_ping",
+    "StreetLevelConfig",
+    "StreetLevelPipeline",
+    "GeoPoint",
+    "WorldConfig",
+    "World",
+    "build_world",
+    "__version__",
+]

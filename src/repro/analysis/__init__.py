@@ -1,0 +1,21 @@
+"""Evaluation helpers: error metrics, CDFs, correlations, table formatting."""
+
+from repro.analysis.metrics import (
+    cdf_points,
+    fraction_within,
+    median,
+    percentile,
+    summarize_errors,
+)
+from repro.analysis.correlation import pearson
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "cdf_points",
+    "fraction_within",
+    "median",
+    "percentile",
+    "summarize_errors",
+    "pearson",
+    "format_table",
+]

@@ -1,0 +1,148 @@
+"""Terminal plots: CDF curves and scatter clouds rendered as text.
+
+The paper's figures are CDFs and scatter plots; offline benchmarks cannot
+pop up matplotlib windows, so experiments render their series as compact
+ASCII panels. These are deliberately simple — enough to eyeball a curve's
+shape (where it rises, where series cross) straight from the benchmark log.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+_SERIES_MARKS = "*o+x#@%&"
+
+
+def _log_positions(low: float, high: float, width: int) -> List[float]:
+    """Log-spaced x positions from low to high inclusive."""
+    if low <= 0:
+        low = min(0.1, high / 1000.0 if high > 0 else 0.1)
+    if high <= low:
+        high = low * 10.0
+    step = (math.log10(high) - math.log10(low)) / max(width - 1, 1)
+    return [10 ** (math.log10(low) + i * step) for i in range(width)]
+
+
+def ascii_cdf(
+    series: Dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "km",
+    log_x: bool = True,
+) -> str:
+    """Render one or more CDFs on a shared (optionally log) x axis.
+
+    Args:
+        series: label -> sample values (None/NaN entries are skipped).
+        width: plot width in characters.
+        height: plot height in rows.
+        x_label: x-axis unit label.
+        log_x: log-scale the x axis (the paper's figures all do).
+
+    Returns:
+        The rendered panel (no trailing newline); empty series produce a
+        placeholder message.
+    """
+    cleaned: Dict[str, List[float]] = {}
+    for label, values in series.items():
+        kept = sorted(
+            v for v in values if v is not None and not (isinstance(v, float) and math.isnan(v))
+        )
+        if kept:
+            cleaned[label] = kept
+    if not cleaned:
+        return "(no data to plot)"
+
+    low = min(values[0] for values in cleaned.values())
+    high = max(values[-1] for values in cleaned.values())
+    if log_x:
+        xs = _log_positions(max(low, 1e-3), high, width)
+    else:
+        span = (high - low) or 1.0
+        xs = [low + span * i / (width - 1) for i in range(width)]
+
+    grid = [[" "] * width for _ in range(height)]
+    for series_index, (label, values) in enumerate(sorted(cleaned.items())):
+        mark = _SERIES_MARKS[series_index % len(_SERIES_MARKS)]
+        count = len(values)
+        position = 0
+        for column, x in enumerate(xs):
+            while position < count and values[position] <= x:
+                position += 1
+            fraction = position / count
+            row = height - 1 - int(round(fraction * (height - 1)))
+            grid[row][column] = mark
+
+    lines = []
+    for row_index, row in enumerate(grid):
+        fraction = 1.0 - row_index / (height - 1)
+        prefix = f"{fraction:4.2f} |"
+        lines.append(prefix + "".join(row))
+    axis = "     +" + "-" * width
+    lines.append(axis)
+    left = f"{xs[0]:.3g}"
+    right = f"{xs[-1]:.3g} {x_label}" + (" (log)" if log_x else "")
+    padding = " " * max(1, width - len(left) - len(right))
+    lines.append("      " + left + padding + right)
+    legend = "      " + "  ".join(
+        f"{_SERIES_MARKS[i % len(_SERIES_MARKS)]}={label}"
+        for i, label in enumerate(sorted(cleaned))
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def ascii_scatter(
+    points: Iterable[Tuple[float, float]],
+    width: int = 56,
+    height: int = 18,
+    x_label: str = "x",
+    y_label: str = "y",
+    log: bool = True,
+) -> str:
+    """Render a scatter cloud (optionally log-log).
+
+    Args:
+        points: (x, y) pairs; non-finite pairs are skipped.
+        width: plot width in characters.
+        height: plot height in rows.
+        x_label: x-axis label.
+        y_label: y-axis label.
+        log: log-scale both axes.
+    """
+    kept = [
+        (x, y)
+        for x, y in points
+        if all(map(math.isfinite, (x, y))) and (not log or (x > 0 and y > 0))
+    ]
+    if not kept:
+        return "(no data to plot)"
+
+    def fwd(value: float) -> float:
+        return math.log10(value) if log else value
+
+    xs = [fwd(x) for x, _y in kept]
+    ys = [fwd(y) for _x, y in kept]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        column = int((x - x_low) / x_span * (width - 1))
+        row = height - 1 - int((y - y_low) / y_span * (height - 1))
+        current = grid[row][column]
+        if current == " ":
+            grid[row][column] = "."
+        elif current == ".":
+            grid[row][column] = "o"
+        else:
+            grid[row][column] = "#"
+
+    lines = [f"{y_label}" + (" (log)" if log else "")]
+    lines.extend("  |" + "".join(row) for row in grid)
+    lines.append("  +" + "-" * width)
+    lines.append(f"   {x_label}" + (" (log)" if log else "") + f"  [{len(kept)} points]")
+    return "\n".join(lines)

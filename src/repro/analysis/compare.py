@@ -1,0 +1,55 @@
+"""Distribution comparison utilities (CDF similarity)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+
+def ks_distance(
+    sample_a: Iterable[Optional[float]], sample_b: Iterable[Optional[float]]
+) -> float:
+    """Two-sample Kolmogorov-Smirnov distance: sup |CDF_a - CDF_b|.
+
+    None/NaN entries are dropped. Used to quantify "the curves are
+    similar" claims (e.g. the paper's statement that shortest ping tracks
+    CBG).
+
+    Raises:
+        ValueError: when either sample has no defined values.
+    """
+    a = np.sort(_clean(sample_a))
+    b = np.sort(_clean(sample_b))
+    if a.size == 0 or b.size == 0:
+        raise ValueError("KS distance needs non-empty samples")
+    # Evaluate both empirical CDFs on the union of sample points.
+    grid = np.concatenate([a, b])
+    grid.sort(kind="mergesort")
+    cdf_a = np.searchsorted(a, grid, side="right") / a.size
+    cdf_b = np.searchsorted(b, grid, side="right") / b.size
+    return float(np.abs(cdf_a - cdf_b).max())
+
+
+def median_ratio(
+    sample_a: Iterable[Optional[float]], sample_b: Iterable[Optional[float]]
+) -> float:
+    """Ratio of medians (a over b), on the defined values.
+
+    Raises:
+        ValueError: on empty samples or a zero denominator median.
+    """
+    a = _clean(sample_a)
+    b = _clean(sample_b)
+    if a.size == 0 or b.size == 0:
+        raise ValueError("median ratio needs non-empty samples")
+    denominator = float(np.median(b))
+    if denominator == 0.0:
+        raise ValueError("median of the second sample is zero")
+    return float(np.median(a)) / denominator
+
+
+def _clean(values: Iterable[Optional[float]]) -> np.ndarray:
+    kept = [v for v in values if v is not None]
+    array = np.asarray(kept, dtype=np.float64)
+    return array[~np.isnan(array)]

@@ -1,0 +1,38 @@
+"""Correlation analysis for the street level insight re-evaluation (§5.2.3).
+
+The street level technique assumes the *order* of landmark-target measured
+distances matches the order of geographic distances. The replication tests
+this with the Pearson correlation coefficient between measured and
+geographic distances per target, finding a median of 0.08 — essentially no
+correlation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+
+def pearson(xs: Sequence[float], ys: Sequence[float]) -> Optional[float]:
+    """Pearson correlation coefficient of two aligned samples.
+
+    Returns:
+        The coefficient in ``[-1, 1]``, or ``None`` when fewer than two
+        points exist or either sample has zero variance.
+
+    Raises:
+        ValueError: if the samples have different lengths.
+    """
+    if len(xs) != len(ys):
+        raise ValueError(f"length mismatch: {len(xs)} vs {len(ys)}")
+    n = len(xs)
+    if n < 2:
+        return None
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x <= 0.0 or var_y <= 0.0:
+        return None
+    return cov / math.sqrt(var_x * var_y)

@@ -1,0 +1,174 @@
+"""GeoJSON export: put worlds, estimates, and CBG regions on a map.
+
+Everything this library manipulates is geographic, and the fastest way to
+debug a geolocation technique is to *look* at it. These helpers emit
+RFC 7946 GeoJSON FeatureCollections that drop straight into any GIS tool
+(QGIS, geojson.io, kepler.gl):
+
+* :func:`world_features` — hosts of a world, colour-coded by kind, with
+  true-vs-recorded displacement lines for mislocated hosts;
+* :func:`dataset_features` — a :class:`repro.dataset.GeolocationDataset`'s
+  estimates;
+* :func:`region_feature` — a CBG :class:`IntersectionRegion`'s constraint
+  circles and centroid;
+* :func:`dump` — serialise any feature list to a file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.geo.coords import GeoPoint, destination
+from repro.geo.regions import IntersectionRegion
+from repro.world.hosts import HostKind
+from repro.world.world import World
+
+#: Marker colours per host kind (GeoJSON simplestyle convention).
+_KIND_COLOURS = {
+    HostKind.ANCHOR: "#d62728",
+    HostKind.PROBE: "#1f77b4",
+    HostKind.REPRESENTATIVE: "#9467bd",
+    HostKind.WEBSERVER: "#2ca02c",
+}
+
+
+def _point(location: GeoPoint) -> Dict[str, object]:
+    return {"type": "Point", "coordinates": [location.lon, location.lat]}
+
+
+def _feature(geometry: Dict[str, object], properties: Dict[str, object]) -> Dict[str, object]:
+    return {"type": "Feature", "geometry": geometry, "properties": properties}
+
+
+def world_features(
+    world: World,
+    kinds: Sequence[HostKind] = (HostKind.ANCHOR, HostKind.PROBE),
+    max_hosts: Optional[int] = None,
+    displacement_lines: bool = True,
+) -> List[Dict[str, object]]:
+    """Features for a world's hosts.
+
+    Args:
+        world: the world to export.
+        kinds: which host kinds to include.
+        max_hosts: optional cap (hosts are taken in id order).
+        displacement_lines: also emit a LineString from recorded to true
+            position for every host whose metadata is wrong — the §4.3
+            sanitization targets, made visible.
+    """
+    features: List[Dict[str, object]] = []
+    count = 0
+    wanted = set(kinds)
+    for host in world.hosts:
+        if host.kind not in wanted:
+            continue
+        if max_hosts is not None and count >= max_hosts:
+            break
+        count += 1
+        features.append(
+            _feature(
+                _point(host.recorded_location),
+                {
+                    "ip": host.ip,
+                    "kind": host.kind.value,
+                    "asn": host.asn,
+                    "mislocated": host.mislocated,
+                    "marker-color": _KIND_COLOURS.get(host.kind, "#7f7f7f"),
+                },
+            )
+        )
+        if displacement_lines and host.geolocation_error_km > 0.5:
+            features.append(
+                _feature(
+                    {
+                        "type": "LineString",
+                        "coordinates": [
+                            [host.recorded_location.lon, host.recorded_location.lat],
+                            [host.true_location.lon, host.true_location.lat],
+                        ],
+                    },
+                    {
+                        "ip": host.ip,
+                        "displacement_km": round(host.geolocation_error_km, 1),
+                        "stroke": "#ff7f0e",
+                    },
+                )
+            )
+    return features
+
+
+def dataset_features(dataset) -> List[Dict[str, object]]:
+    """Features for a :class:`repro.dataset.GeolocationDataset`.
+
+    One point per (record, technique) estimate; the preferred estimate is
+    flagged so styling can emphasise it.
+    """
+    features: List[Dict[str, object]] = []
+    for record in dataset:
+        for technique, pair in sorted(record.estimates.items()):
+            if pair is None:
+                continue
+            features.append(
+                _feature(
+                    {"type": "Point", "coordinates": [pair[1], pair[0]]},
+                    {
+                        "ip": record.ip,
+                        "technique": technique,
+                        "quality": record.quality,
+                        "preferred": technique == record.preferred_technique,
+                    },
+                )
+            )
+    return features
+
+
+def _circle_polygon(center: GeoPoint, radius_km: float, points: int = 48) -> Dict[str, object]:
+    """A polygon approximating a spherical cap's boundary."""
+    ring = []
+    for index in range(points):
+        vertex = destination(center, 360.0 * index / points, radius_km)
+        ring.append([vertex.lon, vertex.lat])
+    ring.append(ring[0])
+    return {"type": "Polygon", "coordinates": [ring]}
+
+
+def region_feature(
+    region: IntersectionRegion, max_circles: int = 12
+) -> List[Dict[str, object]]:
+    """Features for a CBG region: constraint circles plus the centroid.
+
+    Only the ``max_circles`` tightest circles are drawn — the huge ones
+    would cover the map without adding information.
+    """
+    features: List[Dict[str, object]] = []
+    circles = sorted(region.circles, key=lambda c: c.radius_km)[:max_circles]
+    for circle in circles:
+        features.append(
+            _feature(
+                _circle_polygon(circle.center, circle.radius_km),
+                {
+                    "radius_km": round(circle.radius_km, 1),
+                    "fill-opacity": 0.05,
+                    "stroke": "#1f77b4",
+                },
+            )
+        )
+    features.append(
+        _feature(
+            _point(region.centroid),
+            {"role": "cbg-centroid", "marker-color": "#d62728"},
+        )
+    )
+    return features
+
+
+def collection(features: Iterable[Dict[str, object]]) -> Dict[str, object]:
+    """Wrap features into a FeatureCollection."""
+    return {"type": "FeatureCollection", "features": list(features)}
+
+
+def dump(features: Iterable[Dict[str, object]], path: Union[str, Path]) -> None:
+    """Write a FeatureCollection to a ``.geojson`` file."""
+    Path(path).write_text(json.dumps(collection(features)))

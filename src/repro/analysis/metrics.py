@@ -1,0 +1,81 @@
+"""Error-distance statistics used throughout the evaluation."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.constants import CITY_LEVEL_KM, STREET_LEVEL_KM
+
+
+def _clean(values: Iterable[Optional[float]]) -> np.ndarray:
+    """Drop None/NaN entries and return a float array."""
+    kept = [v for v in values if v is not None]
+    array = np.asarray(kept, dtype=np.float64)
+    return array[~np.isnan(array)]
+
+
+def median(values: Iterable[Optional[float]]) -> float:
+    """Median of the defined values.
+
+    Raises:
+        ValueError: when no defined values exist.
+    """
+    array = _clean(values)
+    if array.size == 0:
+        raise ValueError("median of no values")
+    return float(np.median(array))
+
+
+def percentile(values: Iterable[Optional[float]], q: float) -> float:
+    """q-th percentile (0-100) of the defined values."""
+    array = _clean(values)
+    if array.size == 0:
+        raise ValueError("percentile of no values")
+    return float(np.percentile(array, q))
+
+
+def fraction_within(values: Iterable[Optional[float]], threshold: float) -> float:
+    """Fraction of defined values at or below a threshold.
+
+    Undefined entries (no estimate) count in the denominator — a technique
+    that produces no answer is not rewarded for it.
+    """
+    values = list(values)
+    if not values:
+        return 0.0
+    array = np.asarray(
+        [v if v is not None else np.inf for v in values], dtype=np.float64
+    )
+    array = np.where(np.isnan(array), np.inf, array)
+    return float((array <= threshold).mean())
+
+
+def cdf_points(values: Iterable[Optional[float]]) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF of the defined values: ``(sorted x, P(X <= x))``."""
+    array = np.sort(_clean(values))
+    if array.size == 0:
+        return np.array([]), np.array([])
+    y = np.arange(1, array.size + 1) / array.size
+    return array, y
+
+
+def cdf_at(values: Iterable[Optional[float]], xs: Sequence[float]) -> List[float]:
+    """The empirical CDF evaluated at the given thresholds."""
+    return [fraction_within(values, x) for x in xs]
+
+
+def summarize_errors(errors: Iterable[Optional[float]]) -> Dict[str, float]:
+    """The paper's headline statistics for a list of error distances.
+
+    Returns a dict with the median error, the city-level fraction
+    (<= 40 km), and the street-level fraction (<= 1 km).
+    """
+    errors = list(errors)
+    return {
+        "median_km": median(errors),
+        "city_level_fraction": fraction_within(errors, CITY_LEVEL_KM),
+        "street_level_fraction": fraction_within(errors, STREET_LEVEL_KM),
+        "count": float(len(errors)),
+    }

@@ -1,0 +1,33 @@
+"""Plain-text table rendering for experiment and benchmark output."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned ASCII table.
+
+    Args:
+        headers: column titles.
+        rows: row cells; everything is str()-ed.
+
+    Returns:
+        The table as a single string (no trailing newline).
+    """
+    text_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row!r}"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+
+    lines = [fmt(list(headers)), fmt(["-" * width for width in widths])]
+    lines.extend(fmt(row) for row in text_rows)
+    return "\n".join(lines)

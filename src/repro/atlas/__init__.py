@@ -1,0 +1,25 @@
+"""A simulated RIPE Atlas: probes, anchors, credits, rate limits, and the
+measurement API through which every geolocation algorithm observes the world.
+
+The platform mirrors the operational properties the paper's scalability
+findings hinge on (§5.1.3, §5.2.5): measurements cost credits, probes have
+small probing-rate budgets, and the API takes minutes — not milliseconds —
+to return results.
+"""
+
+from repro.atlas.clock import SimClock
+from repro.atlas.credits import CreditLedger, CREDIT_COST_PER_PING_PACKET, CREDIT_COST_PER_TRACEROUTE
+from repro.atlas.ratelimit import SlidingWindowRateLimiter
+from repro.atlas.platform import AtlasPlatform, ProbeInfo
+from repro.atlas.client import AtlasClient
+
+__all__ = [
+    "SimClock",
+    "CreditLedger",
+    "CREDIT_COST_PER_PING_PACKET",
+    "CREDIT_COST_PER_TRACEROUTE",
+    "SlidingWindowRateLimiter",
+    "AtlasPlatform",
+    "ProbeInfo",
+    "AtlasClient",
+]

@@ -1,0 +1,174 @@
+"""A REST-like asynchronous measurement interface.
+
+The real RIPE Atlas API is asynchronous: you POST a measurement
+specification, receive a measurement id, and poll for results, which
+arrive minutes later. The replication's §5.2.5 timing complaints are about
+exactly this loop. :class:`MeasurementApi` reproduces that surface over
+the synchronous platform:
+
+* :meth:`create_ping` / :meth:`create_traceroute` return a measurement id
+  immediately (charging only API overhead);
+* :meth:`fetch_results` returns ``None`` until the simulated clock passes
+  the measurement's completion time, then the results.
+
+The higher-level :class:`~repro.atlas.client.AtlasClient` hides this loop;
+use the API layer when modelling schedulers or reproducing the paper's
+polling behaviour explicitly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro import rand
+from repro.atlas.clock import SimClock
+from repro.atlas.credits import (
+    CREDIT_COST_PER_PING_PACKET,
+    CREDIT_COST_PER_TRACEROUTE,
+    CreditLedger,
+)
+from repro.atlas.platform import API_OVERHEAD_S, RESULT_LATENCY_RANGE_S, AtlasPlatform
+from repro.errors import MeasurementError
+from repro.latency.model import TraceObservation
+
+
+class MeasurementStatus(enum.Enum):
+    """Lifecycle of an asynchronous measurement."""
+
+    SCHEDULED = "scheduled"
+    DONE = "done"
+
+
+@dataclass
+class _PendingMeasurement:
+    measurement_id: int
+    kind: str
+    probe_ids: List[int]
+    target_ip: str
+    packets: int
+    seq: int
+    ready_at_s: float
+    results: Optional[object] = None
+
+
+class MeasurementApi:
+    """Asynchronous facade over the platform, driven by a simulated clock."""
+
+    def __init__(
+        self,
+        platform: AtlasPlatform,
+        clock: SimClock,
+        ledger: Optional[CreditLedger] = None,
+    ) -> None:
+        self.platform = platform
+        self.clock = clock
+        self.ledger = ledger if ledger is not None else CreditLedger()
+        self._pending: Dict[int, _PendingMeasurement] = {}
+        self._next_id = 1000000
+
+    # --- creation ---------------------------------------------------------------
+
+    def _schedule(
+        self, kind: str, probe_ids: Sequence[int], target_ip: str, packets: int, seq: int
+    ) -> int:
+        for probe_id in probe_ids:
+            self.platform.probe_info(probe_id)  # validate early, like the API
+        measurement_id = self._next_id
+        self._next_id += 1
+        if kind == "ping":
+            credits = CREDIT_COST_PER_PING_PACKET * packets * len(probe_ids)
+        else:
+            credits = CREDIT_COST_PER_TRACEROUTE * len(probe_ids)
+        self.ledger.charge(credits, kind, len(probe_ids))
+        self.clock.advance(API_OVERHEAD_S, "atlas-api")
+        low, high = RESULT_LATENCY_RANGE_S
+        latency = rand.uniform(("api-latency", measurement_id, target_ip), low, high)
+        self._pending[measurement_id] = _PendingMeasurement(
+            measurement_id=measurement_id,
+            kind=kind,
+            probe_ids=list(probe_ids),
+            target_ip=target_ip,
+            packets=packets,
+            seq=seq,
+            ready_at_s=self.clock.now_s + latency,
+        )
+        return measurement_id
+
+    def create_ping(
+        self, probe_ids: Sequence[int], target_ip: str, packets: int = 3, seq: int = 0
+    ) -> int:
+        """Schedule a ping measurement; returns its measurement id."""
+        return self._schedule("ping", probe_ids, target_ip, packets, seq)
+
+    def create_traceroute(
+        self, probe_ids: Sequence[int], target_ip: str, seq: int = 0
+    ) -> int:
+        """Schedule a traceroute measurement; returns its measurement id."""
+        return self._schedule("traceroute", probe_ids, target_ip, 1, seq)
+
+    # --- polling -----------------------------------------------------------------
+
+    def status(self, measurement_id: int) -> MeasurementStatus:
+        """Whether a measurement's results are available yet.
+
+        Raises:
+            MeasurementError: for unknown measurement ids.
+        """
+        pending = self._pending.get(measurement_id)
+        if pending is None:
+            raise MeasurementError(f"unknown measurement id {measurement_id}")
+        if self.clock.now_s >= pending.ready_at_s:
+            return MeasurementStatus.DONE
+        return MeasurementStatus.SCHEDULED
+
+    def fetch_results(
+        self, measurement_id: int
+    ) -> Optional[Union[Dict[int, Optional[float]], Dict[int, Optional[TraceObservation]]]]:
+        """Results of a measurement, or ``None`` while still running.
+
+        Ping measurements yield ``{probe_id: min_rtt_or_None}``; traceroute
+        measurements yield ``{probe_id: observation_or_None}``.
+        """
+        pending = self._pending.get(measurement_id)
+        if pending is None:
+            raise MeasurementError(f"unknown measurement id {measurement_id}")
+        if self.clock.now_s < pending.ready_at_s:
+            return None
+        if pending.results is None:
+            if pending.kind == "ping":
+                pending.results = self.platform.ping(
+                    pending.probe_ids,
+                    pending.target_ip,
+                    packets=pending.packets,
+                    seq=pending.seq,
+                )
+            else:
+                batch = self.platform.traceroute_batch(
+                    pending.probe_ids, [pending.target_ip], seq=pending.seq
+                )
+                pending.results = batch[pending.target_ip]
+        return pending.results
+
+    def wait(self, measurement_id: int) -> object:
+        """Advance the clock to a measurement's completion and return results.
+
+        The blocking-poll pattern the paper's tooling uses: "it generally
+        takes a few minutes to get the results of a measurement".
+        """
+        pending = self._pending.get(measurement_id)
+        if pending is None:
+            raise MeasurementError(f"unknown measurement id {measurement_id}")
+        remaining = pending.ready_at_s - self.clock.now_s
+        if remaining > 0:
+            self.clock.advance(remaining, "atlas-api")
+        return self.fetch_results(measurement_id)
+
+    def pending_count(self) -> int:
+        """Measurements scheduled but not yet complete at the current time."""
+        return sum(
+            1
+            for pending in self._pending.values()
+            if self.clock.now_s < pending.ready_at_s
+        )

@@ -1,0 +1,112 @@
+"""The client-side facade algorithms program against.
+
+An :class:`AtlasClient` bundles the platform with a credit ledger and a
+simulated clock, so that every geolocation technique implemented in
+:mod:`repro.core` automatically accounts for what it would cost — in
+credits and in wall-clock time — to run on the real RIPE Atlas.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.atlas.clock import SimClock
+from repro.atlas.credits import CreditLedger
+from repro.atlas.platform import AtlasPlatform, ProbeInfo
+from repro.latency.model import TraceObservation
+
+
+class AtlasClient:
+    """A measurement session: platform access + cost accounting."""
+
+    def __init__(
+        self,
+        platform: AtlasPlatform,
+        ledger: Optional[CreditLedger] = None,
+        clock: Optional[SimClock] = None,
+    ) -> None:
+        self.platform = platform
+        self.ledger = ledger if ledger is not None else CreditLedger()
+        self.clock = clock if clock is not None else SimClock()
+
+    def with_clock(self, clock: SimClock) -> "AtlasClient":
+        """A sibling client that charges time to a different clock.
+
+        Credits keep accumulating on the shared ledger; the street level
+        pipeline uses this to time each target independently while keeping
+        one global credit total.
+        """
+        return AtlasClient(self.platform, ledger=self.ledger, clock=clock)
+
+    # --- metadata ---------------------------------------------------------------
+
+    def list_probes(self, anchors_only: bool = False) -> List[ProbeInfo]:
+        """Vantage-point metadata (see :class:`ProbeInfo`)."""
+        return self.platform.probe_infos(anchors_only=anchors_only)
+
+    def probe(self, probe_id: int) -> ProbeInfo:
+        """Metadata for one vantage point."""
+        return self.platform.probe_info(probe_id)
+
+    # --- measurements -----------------------------------------------------------
+
+    def ping_from(
+        self,
+        probe_ids: Sequence[int],
+        target_ip: str,
+        packets: int = 3,
+        seq: int = 0,
+    ) -> Dict[int, Optional[float]]:
+        """Ping one target from several probes (min RTT per probe)."""
+        return self.platform.ping(
+            probe_ids, target_ip, packets=packets, seq=seq, ledger=self.ledger, clock=self.clock
+        )
+
+    def ping_matrix(
+        self,
+        probe_ids: Sequence[int],
+        target_ips: Sequence[str],
+        packets: int = 3,
+        seq: int = 0,
+    ) -> np.ndarray:
+        """Campaign-scale ping matrix (probes x targets, NaN = no answer)."""
+        return self.platform.ping_matrix(
+            probe_ids, target_ips, packets=packets, seq=seq, ledger=self.ledger, clock=self.clock
+        )
+
+    def traceroute_from(
+        self, probe_id: int, target_ip: str, seq: int = 0
+    ) -> Optional[TraceObservation]:
+        """One traceroute from a probe to a target."""
+        return self.platform.traceroute(
+            probe_id, target_ip, seq=seq, ledger=self.ledger, clock=self.clock
+        )
+
+    def traceroute_batch(
+        self,
+        probe_ids: Sequence[int],
+        target_ips: Sequence[str],
+        seq: int = 0,
+    ):
+        """Traceroutes from every probe to every target, in one API batch."""
+        return self.platform.traceroute_batch(
+            probe_ids, target_ips, seq=seq, ledger=self.ledger, clock=self.clock
+        )
+
+    def anchor_mesh(self):
+        """The platform's anchor-mesh dataset (ids, min-RTT matrix)."""
+        return self.platform.anchor_mesh()
+
+    # --- accounting ---------------------------------------------------------------
+
+    @property
+    def credits_spent(self) -> int:
+        """Credits consumed through this client's ledger."""
+        return self.ledger.spent
+
+    @property
+    def measurements_run(self) -> int:
+        """Total measurements issued through this client's ledger."""
+        return self.ledger.measurement_count()

@@ -1,0 +1,76 @@
+"""RIPE Atlas credit accounting.
+
+Running measurements on RIPE Atlas costs credits (one per ping packet,
+a flat price per traceroute). The paper burned "hundreds of millions" of
+credits and needed a specially upgraded account (§4.1.1); the ledger here
+makes that cost visible and lets experiments enforce budgets, which is what
+makes the §5.1.3 "cannot deploy the original VP selection algorithm"
+analysis quantitative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import CreditExhaustedError
+
+#: Credits charged per ping packet (RIPE Atlas pricing).
+CREDIT_COST_PER_PING_PACKET = 1
+
+#: Credits charged per traceroute measurement result.
+CREDIT_COST_PER_TRACEROUTE = 30
+
+
+@dataclass
+class CreditLedger:
+    """Tracks credits spent and measurement counts, with an optional budget.
+
+    Attributes:
+        budget: maximum credits that may be spent; ``None`` means unlimited
+            (the paper's upgraded account behaves as effectively unlimited).
+    """
+
+    budget: Optional[int] = None
+    _spent: int = 0
+    _counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def spent(self) -> int:
+        """Credits spent so far."""
+        return self._spent
+
+    @property
+    def remaining(self) -> Optional[int]:
+        """Credits left under the budget, or ``None`` when unlimited."""
+        if self.budget is None:
+            return None
+        return self.budget - self._spent
+
+    def charge(self, credits: int, kind: str, count: int = 1) -> None:
+        """Spend credits for ``count`` measurements of a kind.
+
+        Raises:
+            ValueError: on negative amounts.
+            CreditExhaustedError: if the charge would exceed the budget
+                (nothing is charged in that case).
+        """
+        if credits < 0 or count < 0:
+            raise ValueError("credits and count must be non-negative")
+        if self.budget is not None and self._spent + credits > self.budget:
+            raise CreditExhaustedError(
+                f"charge of {credits} credits exceeds budget "
+                f"({self._spent}/{self.budget} spent)"
+            )
+        self._spent += credits
+        self._counts[kind] = self._counts.get(kind, 0) + count
+
+    def measurement_count(self, kind: Optional[str] = None) -> int:
+        """Measurements recorded, for one kind or in total."""
+        if kind is not None:
+            return self._counts.get(kind, 0)
+        return sum(self._counts.values())
+
+    def counts(self) -> Dict[str, int]:
+        """Copy of the per-kind measurement counts."""
+        return dict(self._counts)

@@ -1,0 +1,296 @@
+"""The measurement platform: probe metadata and the measurement engine.
+
+:class:`AtlasPlatform` is the boundary between algorithms and the simulated
+world. Algorithms see:
+
+* probe *metadata* (:class:`ProbeInfo`) — the recorded location, never the
+  true one;
+* measurement *results* — min RTTs and traceroute hops, produced by the
+  latency model from true positions.
+
+That separation mirrors the real study: geolocation techniques trust the
+platform's metadata and whatever the network echoes back, nothing more.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import rand
+from repro.atlas.clock import SimClock
+from repro.atlas.credits import (
+    CREDIT_COST_PER_PING_PACKET,
+    CREDIT_COST_PER_TRACEROUTE,
+    CreditLedger,
+)
+from repro.errors import MeasurementError
+from repro.geo.coords import GeoPoint
+from repro.latency.model import LatencyModel, TraceObservation
+from repro.topology.graph import Topology
+from repro.world.hosts import Host, HostKind
+from repro.world.world import World
+
+#: Seconds of API overhead per measurement request batch.
+API_OVERHEAD_S = 2.0
+#: Measurement results become available after this long (min, max); the
+#: paper notes "it generally takes a few minutes" (§5.2.5). CALIBRATED
+#: against Figure 6c's median time to geolocate a target (1,238 s).
+RESULT_LATENCY_RANGE_S = (180.0, 420.0)
+#: How many measurement *specifications* (one target, many probes) the API
+#: runs concurrently; larger batches complete in waves.
+MAX_CONCURRENT_MEASUREMENTS = 100
+
+
+@dataclass(frozen=True)
+class ProbeInfo:
+    """Public metadata of a vantage point, as the platform advertises it.
+
+    Attributes:
+        probe_id: platform id (equals the underlying host id).
+        address: the probe's IPv4 address.
+        location: the *registered* location — possibly wrong, which is why
+            the paper sanitizes the platform first (§4.3).
+        asn: the probe's AS.
+        is_anchor: anchors are well-connected servers; probes are small
+            devices in access networks.
+        probing_rate_pps: the probe's packets-per-second budget (§5.1.3).
+    """
+
+    probe_id: int
+    address: str
+    location: GeoPoint
+    asn: int
+    is_anchor: bool
+    probing_rate_pps: float
+
+
+class AtlasPlatform:
+    """Simulated RIPE Atlas measurement platform over a world."""
+
+    def __init__(self, world: World) -> None:
+        self.world = world
+        self.topology = Topology(world)
+        self.latency = LatencyModel(world, self.topology)
+        self._infos: Dict[int, ProbeInfo] = {}
+        for host in world.hosts:
+            if host.kind in (HostKind.ANCHOR, HostKind.PROBE):
+                self._infos[host.host_id] = self._info_for(host)
+        self._mesh_cache: Optional[Tuple[List[int], np.ndarray]] = None
+
+    def _info_for(self, host: Host) -> ProbeInfo:
+        seed = self.world.config.seed
+        if host.kind is HostKind.ANCHOR:
+            pps = rand.uniform((seed, "pps", host.host_id), 200.0, 400.0)
+        else:
+            pps = rand.uniform((seed, "pps", host.host_id), 4.0, 12.0)
+        return ProbeInfo(
+            probe_id=host.host_id,
+            address=host.ip,
+            location=host.recorded_location,
+            asn=host.asn,
+            is_anchor=host.kind is HostKind.ANCHOR,
+            probing_rate_pps=pps,
+        )
+
+    # --- metadata ---------------------------------------------------------------
+
+    def probe_infos(self, anchors_only: bool = False) -> List[ProbeInfo]:
+        """Metadata of every vantage point (anchors first, then probes)."""
+        infos = sorted(self._infos.values(), key=lambda info: info.probe_id)
+        if anchors_only:
+            return [info for info in infos if info.is_anchor]
+        return infos
+
+    def probe_info(self, probe_id: int) -> ProbeInfo:
+        """Metadata of one vantage point.
+
+        Raises:
+            MeasurementError: for unknown probe ids.
+        """
+        info = self._infos.get(probe_id)
+        if info is None:
+            raise MeasurementError(f"unknown probe id {probe_id}")
+        return info
+
+    # --- measurement execution -----------------------------------------------------
+
+    def _charge_and_wait(
+        self,
+        measurement_count: int,
+        credits_per_measurement: int,
+        kind: str,
+        ledger: Optional[CreditLedger],
+        clock: Optional[SimClock],
+        wait_key: rand.Key,
+        specs: int = 1,
+    ) -> None:
+        """Account for a measurement batch: credits and completion time.
+
+        ``measurement_count`` is the number of (probe, target) results (what
+        credits are charged for); ``specs`` is the number of measurement
+        specifications — one per target — which is what bounds concurrency:
+        a single spec can fan out to a thousand probes at once.
+        """
+        if ledger is not None:
+            ledger.charge(
+                credits_per_measurement * measurement_count, kind, measurement_count
+            )
+        if clock is not None and measurement_count > 0:
+            waves = -(-max(specs, 1) // MAX_CONCURRENT_MEASUREMENTS)
+            low, high = RESULT_LATENCY_RANGE_S
+            wait = API_OVERHEAD_S + waves * rand.uniform(wait_key, low, high)
+            clock.advance(wait, "atlas-api")
+
+    def ping(
+        self,
+        probe_ids: Sequence[int],
+        target_ip: str,
+        packets: int = 3,
+        seq: int = 0,
+        ledger: Optional[CreditLedger] = None,
+        clock: Optional[SimClock] = None,
+    ) -> Dict[int, Optional[float]]:
+        """Ping a target from several probes; returns min RTT per probe.
+
+        Unknown or unresponsive targets yield ``None`` for every probe (the
+        measurement still costs credits — timeouts are not free).
+        """
+        self._charge_and_wait(
+            len(probe_ids),
+            CREDIT_COST_PER_PING_PACKET * packets,
+            "ping",
+            ledger,
+            clock,
+            ("ping-wait", seq, target_ip),
+        )
+        target = self.world.try_host(target_ip)
+        results: Dict[int, Optional[float]] = {}
+        for probe_id in probe_ids:
+            if target is None:
+                results[probe_id] = None
+                continue
+            source = self.world.host_by_id(self.probe_info(probe_id).probe_id)
+            observation = self.latency.ping(source, target, packets=packets, seq=seq)
+            results[probe_id] = observation.min_rtt_ms
+        return results
+
+    def ping_matrix(
+        self,
+        probe_ids: Sequence[int],
+        target_ips: Sequence[str],
+        packets: int = 3,
+        seq: int = 0,
+        ledger: Optional[CreditLedger] = None,
+        clock: Optional[SimClock] = None,
+    ) -> np.ndarray:
+        """Min-RTT matrix (probes x targets); NaN marks missing responses.
+
+        The vectorised path of the engine — identical numbers to per-pair
+        :meth:`ping` calls, at campaign scale.
+        """
+        ids = np.asarray(list(probe_ids), dtype=np.int64)
+        for probe_id in ids:
+            self.probe_info(int(probe_id))  # validate
+        self._charge_and_wait(
+            len(ids) * len(target_ips),
+            CREDIT_COST_PER_PING_PACKET * packets,
+            "ping",
+            ledger,
+            clock,
+            ("matrix-wait", seq, len(target_ips)),
+            specs=len(target_ips),
+        )
+        matrix = np.full((ids.shape[0], len(target_ips)), np.nan)
+        for column, target_ip in enumerate(target_ips):
+            target = self.world.try_host(target_ip)
+            if target is None:
+                continue
+            matrix[:, column] = self.latency.bulk_min_rtt(
+                ids, target, packets=packets, seq=seq
+            )
+        return matrix
+
+    def traceroute(
+        self,
+        probe_id: int,
+        target_ip: str,
+        seq: int = 0,
+        ledger: Optional[CreditLedger] = None,
+        clock: Optional[SimClock] = None,
+    ) -> Optional[TraceObservation]:
+        """Run one traceroute; ``None`` for targets outside the routed space."""
+        self._charge_and_wait(
+            1,
+            CREDIT_COST_PER_TRACEROUTE,
+            "traceroute",
+            ledger,
+            clock,
+            ("tr-wait", seq, probe_id, target_ip),
+        )
+        target = self.world.try_host(target_ip)
+        if target is None:
+            return None
+        source = self.world.host_by_id(self.probe_info(probe_id).probe_id)
+        return self.latency.traceroute(source, target, seq=seq)
+
+    def traceroute_batch(
+        self,
+        probe_ids: Sequence[int],
+        target_ips: Sequence[str],
+        seq: int = 0,
+        ledger: Optional[CreditLedger] = None,
+        clock: Optional[SimClock] = None,
+    ) -> Dict[str, Dict[int, Optional[TraceObservation]]]:
+        """Traceroutes from every probe to every target, as one API batch.
+
+        One measurement specification per target (all probes fan out in
+        parallel), so a batch completes in ``ceil(targets / concurrency)``
+        result waves rather than one wait per traceroute.
+
+        Returns:
+            ``{target_ip: {probe_id: observation-or-None}}``.
+        """
+        self._charge_and_wait(
+            len(probe_ids) * len(target_ips),
+            CREDIT_COST_PER_TRACEROUTE,
+            "traceroute",
+            ledger,
+            clock,
+            ("trbatch-wait", seq, len(target_ips), len(probe_ids)),
+            specs=len(target_ips),
+        )
+        results: Dict[str, Dict[int, Optional[TraceObservation]]] = {}
+        for target_ip in target_ips:
+            target = self.world.try_host(target_ip)
+            per_probe: Dict[int, Optional[TraceObservation]] = {}
+            for probe_id in probe_ids:
+                if target is None:
+                    per_probe[probe_id] = None
+                    continue
+                source = self.world.host_by_id(self.probe_info(probe_id).probe_id)
+                per_probe[probe_id] = self.latency.traceroute(source, target, seq=seq)
+            results[target_ip] = per_probe
+        return results
+
+    # --- platform datasets -------------------------------------------------------
+
+    def anchor_mesh(self) -> Tuple[List[int], np.ndarray]:
+        """The anchor-to-anchor meshed ping measurements.
+
+        RIPE Atlas continuously runs this mesh; it is a downloadable dataset
+        rather than a user-paid measurement, so no ledger is involved. The
+        matrix entry ``[i, j]`` is the min RTT from anchor i to anchor j
+        (NaN on the diagonal).
+        """
+        if self._mesh_cache is None:
+            anchors = [info for info in self.probe_infos() if info.is_anchor]
+            ids = [info.probe_id for info in anchors]
+            targets = [self.world.host_by_id(pid) for pid in ids]
+            matrix = self.latency.min_rtt_matrix(ids, targets, seq=999)
+            np.fill_diagonal(matrix, np.nan)
+            self._mesh_cache = (ids, matrix)
+        ids, matrix = self._mesh_cache
+        return list(ids), matrix.copy()

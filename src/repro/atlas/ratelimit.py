@@ -1,0 +1,64 @@
+"""Rate limiting against a simulated clock.
+
+Two rate limits matter in the replication:
+
+* the mapping service allowed roughly 8 concurrent/``per-second`` requests
+  (§4.2.4), which dominates landmark discovery time;
+* probes have probing-rate budgets of a few packets per second (§5.1.3),
+  which is why the original million scale VP selection cannot be deployed.
+
+:class:`SlidingWindowRateLimiter` charges waiting time to a
+:class:`~repro.atlas.clock.SimClock` instead of sleeping, so experiments can
+account for the time without actually spending it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from repro.atlas.clock import SimClock
+
+
+class SlidingWindowRateLimiter:
+    """At most ``max_requests`` per ``window_s`` seconds of simulated time."""
+
+    def __init__(self, clock: SimClock, max_requests: int, window_s: float = 1.0) -> None:
+        """Configure the limiter.
+
+        Args:
+            clock: the simulated clock charged for waits.
+            max_requests: allowed requests per window; must be positive.
+            window_s: window length in seconds; must be positive.
+
+        Raises:
+            ValueError: on non-positive parameters.
+        """
+        if max_requests <= 0:
+            raise ValueError(f"max_requests must be positive: {max_requests}")
+        if window_s <= 0:
+            raise ValueError(f"window_s must be positive: {window_s}")
+        self._clock = clock
+        self._max_requests = max_requests
+        self._window_s = window_s
+        self._recent: Deque[float] = deque()
+
+    def acquire(self, category: str = "rate-limit") -> float:
+        """Take one request slot, advancing the clock if the window is full.
+
+        Returns:
+            Seconds waited (0 when a slot was free).
+        """
+        now = self._clock.now_s
+        while self._recent and self._recent[0] <= now - self._window_s:
+            self._recent.popleft()
+        waited = 0.0
+        if len(self._recent) >= self._max_requests:
+            oldest = self._recent[0]
+            waited = max(0.0, oldest + self._window_s - now)
+            self._clock.advance(waited, category)
+            now = self._clock.now_s
+            while self._recent and self._recent[0] <= now - self._window_s:
+                self._recent.popleft()
+        self._recent.append(now)
+        return waited

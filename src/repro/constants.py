@@ -1,0 +1,84 @@
+"""Physical and protocol constants shared across the library.
+
+The replicated papers convert round-trip times into great-circle distance
+bounds using a fixed fraction of the speed of light in vacuum:
+
+* the million scale paper (Hu et al., IMC 2012) and the sanitizing process of
+  the replication use ``2/3 c``, the classic "speed of Internet" from CBG
+  (Gueye et al.);
+* the street level paper (Wang et al., NSDI 2011) uses the more aggressive
+  ``4/9 c``, which the replication keeps for tiers 1-3 (with a ``2/3 c``
+  fallback for the 5 targets whose ``4/9 c`` circles do not intersect).
+"""
+
+from __future__ import annotations
+
+#: Speed of light in vacuum, in kilometres per second.
+SPEED_OF_LIGHT_KM_S = 299_792.458
+
+#: The classic CBG "speed of Internet": data travels at most at 2/3 c.
+SOI_FRACTION_CBG = 2.0 / 3.0
+
+#: The street level paper's more aggressive conversion factor (4/9 c).
+SOI_FRACTION_STREET_LEVEL = 4.0 / 9.0
+
+#: Mean Earth radius in kilometres (IUGG).
+EARTH_RADIUS_KM = 6371.0088
+
+#: Half the Earth's circumference (pi * mean radius): the largest possible
+#: great-circle distance between two points.
+MAX_GREAT_CIRCLE_KM = 20_015.115
+
+#: The paper's city-level accuracy threshold (Section 5.1.1, citing [26]).
+CITY_LEVEL_KM = 40.0
+
+#: The paper's street-level accuracy threshold (Section 5.2.1).
+STREET_LEVEL_KM = 1.0
+
+
+def rtt_to_distance_km(rtt_ms: float, soi_fraction: float = SOI_FRACTION_CBG) -> float:
+    """Convert a round-trip time to a maximum great-circle distance.
+
+    The one-way delay is at most ``rtt / 2``; at a propagation speed of
+    ``soi_fraction * c`` the target is at most
+    ``(rtt / 2) * soi_fraction * c`` kilometres away from the vantage point.
+
+    Args:
+        rtt_ms: round-trip time in milliseconds. Must be non-negative.
+        soi_fraction: fraction of the speed of light assumed for propagation.
+
+    Returns:
+        The maximum distance in kilometres, capped at half the Earth's
+        circumference (a larger bound constrains nothing on a sphere).
+
+    Raises:
+        ValueError: if ``rtt_ms`` is negative.
+    """
+    if rtt_ms < 0:
+        raise ValueError(f"RTT must be non-negative, got {rtt_ms}")
+    distance = (rtt_ms / 1000.0 / 2.0) * soi_fraction * SPEED_OF_LIGHT_KM_S
+    return min(distance, MAX_GREAT_CIRCLE_KM)
+
+
+def distance_to_min_rtt_ms(
+    distance_km: float, soi_fraction: float = SOI_FRACTION_CBG
+) -> float:
+    """Return the smallest physically possible RTT over a given distance.
+
+    This is the inverse of :func:`rtt_to_distance_km`: light in fibre covers
+    ``distance_km`` one way in ``distance / (soi_fraction * c)`` seconds, and
+    the RTT is twice that.
+
+    Args:
+        distance_km: great-circle distance in kilometres. Must be non-negative.
+        soi_fraction: fraction of the speed of light assumed for propagation.
+
+    Returns:
+        The minimum RTT in milliseconds.
+
+    Raises:
+        ValueError: if ``distance_km`` is negative.
+    """
+    if distance_km < 0:
+        raise ValueError(f"distance must be non-negative, got {distance_km}")
+    return 2.0 * distance_km / (soi_fraction * SPEED_OF_LIGHT_KM_S) * 1000.0

@@ -1,0 +1,26 @@
+"""The replicated geolocation techniques.
+
+* :mod:`repro.core.shortest_ping` / :mod:`repro.core.cbg` — the classic
+  latency-based techniques both papers build on;
+* :mod:`repro.core.sanitize` — the §4.3 speed-of-Internet sanitization;
+* :mod:`repro.core.million_scale` — the IMC 2012 vantage-point selection;
+* :mod:`repro.core.coverage` + :mod:`repro.core.two_step` — the
+  replication's scalable two-step extension (§5.1.4);
+* :mod:`repro.core.street_level` + :mod:`repro.core.delays` — the NSDI 2011
+  three-tier street-level technique (§3.2, appendix B).
+"""
+
+from repro.core.results import GeolocationResult
+from repro.core.shortest_ping import shortest_ping
+from repro.core.cbg import cbg_estimate, cbg_centroid_fast, constraints_from_rtts
+from repro.core.sanitize import sanitize_anchors, sanitize_probes
+
+__all__ = [
+    "GeolocationResult",
+    "shortest_ping",
+    "cbg_estimate",
+    "cbg_centroid_fast",
+    "constraints_from_rtts",
+    "sanitize_anchors",
+    "sanitize_probes",
+]

@@ -1,0 +1,246 @@
+"""Constraint-Based Geolocation (CBG, Gueye et al. 2006).
+
+Each vantage point's RTT becomes a disk constraint ("the target is within
+``rtt/2 * speed`` of me"); the estimate is the centroid of the disks'
+intersection. Two implementations are provided:
+
+* :func:`cbg_estimate` — the exact object-level API, built on
+  :func:`repro.geo.regions.cbg_region`; used by the street level tiers,
+  where the *region* itself matters;
+* :func:`cbg_centroid_fast` — a vectorised approximation for experiment
+  campaigns that run CBG hundreds of thousands of times (Figure 2); it
+  samples the same tightest-circle grid with numpy and caps the number of
+  binding constraints. Consistency with the exact path is covered by tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.atlas.platform import ProbeInfo
+from repro.constants import MAX_GREAT_CIRCLE_KM, SOI_FRACTION_CBG, rtt_to_distance_km
+from repro.core.results import GeolocationResult
+from repro.errors import EmptyRegionError
+from repro.geo.coords import GeoPoint
+from repro.geo.regions import Circle, IntersectionRegion, cbg_region
+
+
+def constraints_from_rtts(
+    vantage_points: Sequence[ProbeInfo],
+    rtts_ms: Dict[int, Optional[float]],
+    soi_fraction: float = SOI_FRACTION_CBG,
+) -> List[Circle]:
+    """Turn per-VP RTTs into CBG constraint circles.
+
+    Unanswered vantage points contribute nothing; circles larger than half
+    the Earth are kept (they are harmless) so the caller sees one circle per
+    answering vantage point.
+    """
+    circles = []
+    for vantage_point in vantage_points:
+        rtt = rtts_ms.get(vantage_point.probe_id)
+        if rtt is None:
+            continue
+        circles.append(
+            Circle(vantage_point.location, rtt_to_distance_km(rtt, soi_fraction))
+        )
+    return circles
+
+
+def cbg_estimate(
+    target_ip: str,
+    vantage_points: Sequence[ProbeInfo],
+    rtts_ms: Dict[int, Optional[float]],
+    soi_fraction: float = SOI_FRACTION_CBG,
+) -> Tuple[GeolocationResult, Optional[IntersectionRegion]]:
+    """Geolocate a target with CBG.
+
+    Args:
+        target_ip: the target address.
+        vantage_points: vantage points that probed the target.
+        rtts_ms: min RTT per probe id (``None`` = no answer).
+        soi_fraction: RTT-to-distance conversion speed (2/3 c for classic
+            CBG, 4/9 c in the street level paper's tier 1).
+
+    Returns:
+        ``(result, region)``; the region is ``None`` when no vantage point
+        answered.
+
+    Raises:
+        EmptyRegionError: when the constraints share no feasible point (the
+            street level pipeline catches this and retries at 2/3 c).
+    """
+    circles = constraints_from_rtts(vantage_points, rtts_ms, soi_fraction)
+    if not circles:
+        return GeolocationResult(target_ip, None, "cbg", {"constraints": 0}), None
+    region = cbg_region(circles)
+    result = GeolocationResult(
+        target_ip,
+        region.centroid,
+        "cbg",
+        {
+            "constraints": len(circles),
+            "active_constraints": len(region.circles),
+            "tightest_radius_km": region.tightest.radius_km if region.tightest else None,
+        },
+    )
+    return result, region
+
+
+# --- vectorised campaign path ----------------------------------------------------
+
+#: Precomputed unit sampling grid (bearings, radius fractions), shared by
+#: every fast CBG call: 1 centre point + rings x spokes.
+_FAST_RINGS = 8
+_FAST_SPOKES = 18
+_GRID_BEARINGS = np.array(
+    [0.0]
+    + [
+        360.0 * spoke / _FAST_SPOKES
+        for ring in range(1, _FAST_RINGS + 1)
+        for spoke in range(_FAST_SPOKES)
+    ]
+)
+_GRID_FRACTIONS = np.array(
+    [0.0]
+    + [
+        ring / _FAST_RINGS
+        for ring in range(1, _FAST_RINGS + 1)
+        for _spoke in range(_FAST_SPOKES)
+    ]
+)
+
+
+def cbg_centroid_fast(
+    vp_lats: np.ndarray,
+    vp_lons: np.ndarray,
+    rtts_ms: np.ndarray,
+    soi_fraction: float = SOI_FRACTION_CBG,
+    max_active: int = 64,
+) -> Optional[Tuple[float, float]]:
+    """Vectorised approximate CBG centroid.
+
+    Args:
+        vp_lats: vantage-point latitudes (degrees).
+        vp_lons: vantage-point longitudes (degrees), aligned.
+        rtts_ms: min RTTs, aligned; NaN entries are skipped.
+        soi_fraction: RTT-to-distance conversion speed.
+        max_active: cap on binding constraints evaluated against the grid
+            (the tightest ones win); raising it trades speed for fidelity.
+
+    Returns:
+        ``(lat, lon)`` of the centroid, or ``None`` when no VP answered.
+        When the sampled grid finds no feasible point (empty or sliver
+        region), the sample with the least worst-case violation is returned
+        — the campaign equivalent of the exact path's repair step.
+    """
+    answered = ~np.isnan(rtts_ms)
+    if not answered.any():
+        return None
+    lats = np.asarray(vp_lats, dtype=np.float64)[answered]
+    lons = np.asarray(vp_lons, dtype=np.float64)[answered]
+    radii = np.minimum(
+        (rtts_ms[answered] / 2000.0) * soi_fraction * 299_792.458, MAX_GREAT_CIRCLE_KM
+    )
+
+    tightest = int(np.argmin(radii))
+    r_min = float(radii[tightest])
+    center_lat = float(lats[tightest])
+    center_lon = float(lons[tightest])
+    if r_min <= 0.0:
+        return center_lat, center_lon
+
+    from repro.geo.coords import GeoPoint as _GP, bulk_destination, bulk_haversine_km
+
+    # Keep only circles that do not fully contain the tightest circle.
+    to_tightest = bulk_haversine_km(lats, lons, center_lat, center_lon)
+    binding = radii < (to_tightest + r_min)
+    binding[tightest] = False
+    if binding.sum() > max_active:
+        slack = radii - to_tightest
+        order = np.argsort(np.where(binding, slack, np.inf))
+        keep = order[:max_active]
+        binding = np.zeros_like(binding)
+        binding[keep] = True
+    act_lats, act_lons, act_radii = lats[binding], lons[binding], radii[binding]
+
+    sample_lats, sample_lons = bulk_destination(
+        _GP(center_lat, center_lon), _GRID_BEARINGS, _GRID_FRACTIONS * r_min
+    )
+    if act_lats.shape[0] == 0:
+        feasible = np.ones(sample_lats.shape[0], dtype=bool)
+        worst = np.zeros(sample_lats.shape[0])
+    else:
+        # Distances: active circles x samples, via broadcasting haversine.
+        phi1 = np.radians(act_lats)[:, None]
+        phi2 = np.radians(sample_lats)[None, :]
+        dphi = phi2 - phi1
+        dlambda = np.radians(sample_lons)[None, :] - np.radians(act_lons)[:, None]
+        a = np.sin(dphi / 2.0) ** 2 + np.cos(phi1) * np.cos(phi2) * np.sin(dlambda / 2.0) ** 2
+        distances = 2.0 * 6371.0088 * np.arcsin(np.sqrt(np.clip(a, 0.0, 1.0)))
+        violation = distances - act_radii[:, None]
+        worst = violation.max(axis=0)
+        feasible = worst <= 0.5
+
+    if feasible.any():
+        chosen_lats = sample_lats[feasible]
+        chosen_lons = sample_lons[feasible]
+    else:
+        best = int(np.argmin(worst))
+        return float(sample_lats[best]), float(sample_lons[best])
+
+    # Spherical mean of the feasible samples.
+    phi = np.radians(chosen_lats)
+    lam = np.radians(chosen_lons)
+    x = np.cos(phi) * np.cos(lam)
+    y = np.cos(phi) * np.sin(lam)
+    z = np.sin(phi)
+    norm = math.sqrt(x.mean() ** 2 + y.mean() ** 2 + z.mean() ** 2)
+    if norm < 1e-12:
+        return center_lat, center_lon
+    lat = math.degrees(math.asin(max(-1.0, min(1.0, z.mean() / norm))))
+    lon = math.degrees(math.atan2(y.mean(), x.mean()))
+    return lat, lon
+
+
+def cbg_errors_for_subsets(
+    vp_lats: np.ndarray,
+    vp_lons: np.ndarray,
+    rtt_matrix: np.ndarray,
+    target_lats: np.ndarray,
+    target_lons: np.ndarray,
+    subset: np.ndarray,
+    soi_fraction: float = SOI_FRACTION_CBG,
+) -> np.ndarray:
+    """Per-target CBG error using only the vantage points in ``subset``.
+
+    Args:
+        vp_lats: latitudes of *all* vantage points.
+        vp_lons: longitudes, aligned.
+        rtt_matrix: min-RTT matrix, shape (all VPs, targets); NaN = no answer.
+        target_lats: ground-truth target latitudes.
+        target_lons: ground-truth target longitudes.
+        subset: indices (into the VP axis) of the vantage points to use.
+        soi_fraction: RTT-to-distance conversion speed.
+
+    Returns:
+        Array of error distances (km), NaN where CBG had no answer at all.
+    """
+    from repro.geo.coords import haversine_km
+
+    sub_lats = vp_lats[subset]
+    sub_lons = vp_lons[subset]
+    errors = np.full(rtt_matrix.shape[1], np.nan)
+    for column in range(rtt_matrix.shape[1]):
+        centroid = cbg_centroid_fast(
+            sub_lats, sub_lons, rtt_matrix[subset, column], soi_fraction
+        )
+        if centroid is None:
+            continue
+        errors[column] = haversine_km(
+            centroid[0], centroid[1], float(target_lats[column]), float(target_lons[column])
+        )
+    return errors

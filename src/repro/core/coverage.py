@@ -1,0 +1,87 @@
+"""Greedy earth-coverage vantage-point subsets (paper §5.1.4).
+
+The two-step VP selection needs a small first-step subset that covers the
+planet as uniformly as possible. Following the paper (and Metis, Appel et
+al. 2022): start from the most isolated vantage point and, at each
+iteration, add the vantage point that maximises the sum of logarithmic
+distances to the already-selected set. The log damps the pull of very
+remote vantage points so coverage spreads instead of clumping at the
+antipodes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.atlas.platform import ProbeInfo
+from repro.geo.coords import bulk_haversine_km
+
+#: Distance floor inside the logarithm, avoiding log(0) for co-located VPs.
+_LOG_FLOOR_KM = 1.0
+
+
+def greedy_coverage_indices(
+    lats: np.ndarray, lons: np.ndarray, count: int
+) -> List[int]:
+    """Pick ``count`` indices maximising pairwise log-distance coverage.
+
+    Args:
+        lats: candidate latitudes (degrees).
+        lons: candidate longitudes (degrees), aligned.
+        count: subset size; clipped to the number of candidates.
+
+    Returns:
+        Selected indices, in selection order (deterministic).
+    """
+    lats = np.asarray(lats, dtype=np.float64)
+    lons = np.asarray(lons, dtype=np.float64)
+    n = lats.shape[0]
+    count = min(count, n)
+    if count <= 0:
+        return []
+
+    # Seed: the vantage point with the largest total log distance to all
+    # others — the most "coverage-valuable" single point. Computed against a
+    # subsample for large n (the seed only needs to be roughly right).
+    sample = np.arange(n) if n <= 2000 else np.linspace(0, n - 1, 2000).astype(np.int64)
+    best_seed, best_score = 0, -np.inf
+    for index in sample:
+        distances = bulk_haversine_km(lats, lons, float(lats[index]), float(lons[index]))
+        score = float(np.log(np.maximum(distances, _LOG_FLOOR_KM)).sum())
+        if score > best_score:
+            best_score = score
+            best_seed = int(index)
+
+    selected = [best_seed]
+    # Running sum of log distances from every candidate to the selected set.
+    log_sum = np.log(
+        np.maximum(
+            bulk_haversine_km(lats, lons, float(lats[best_seed]), float(lons[best_seed])),
+            _LOG_FLOOR_KM,
+        )
+    )
+    chosen_mask = np.zeros(n, dtype=bool)
+    chosen_mask[best_seed] = True
+    while len(selected) < count:
+        scores = np.where(chosen_mask, -np.inf, log_sum)
+        nxt = int(np.argmax(scores))
+        selected.append(nxt)
+        chosen_mask[nxt] = True
+        log_sum = log_sum + np.log(
+            np.maximum(
+                bulk_haversine_km(lats, lons, float(lats[nxt]), float(lons[nxt])),
+                _LOG_FLOOR_KM,
+            )
+        )
+    return selected
+
+
+def greedy_coverage_subset(
+    vantage_points: Sequence[ProbeInfo], count: int
+) -> List[ProbeInfo]:
+    """:func:`greedy_coverage_indices` over probe metadata."""
+    lats = np.array([vp.location.lat for vp in vantage_points])
+    lons = np.array([vp.location.lon for vp in vantage_points])
+    return [vantage_points[i] for i in greedy_coverage_indices(lats, lons, count)]

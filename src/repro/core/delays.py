@@ -1,0 +1,160 @@
+"""Landmark-to-target delay estimation from traceroute pairs (appendix B).
+
+Given traceroutes from one vantage point to a landmark and to the target,
+the street level technique finds the last router common to both paths (R1)
+and estimates the landmark-target delay as::
+
+    D1 + D2 = (RTT(VP, L) - RTT(VP, R1)) + (RTT(VP, T) - RTT(VP, R1'))
+
+where each RTT comes out of the corresponding traceroute. As the paper's
+appendix B shows, this subtraction is only meaningful under reverse-path
+symmetry assumptions, and in practice the hop timestamps are noisy enough
+that many D1+D2 values come out negative — unusable for a distance. The
+replication keeps the same computation and quantifies the damage
+(Figure 6a); so do we.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.latency.model import TraceObservation
+
+
+def last_common_hop(
+    trace_a: TraceObservation, trace_b: TraceObservation
+) -> Optional[str]:
+    """The deepest router appearing on both paths.
+
+    Walks the aligned hop prefix first (destination-based routing keeps
+    shared waypoints in the same order); if the prefix is empty, falls back
+    to the deepest hop of ``trace_a`` present anywhere in ``trace_b``.
+    Destination hops never count as common routers.
+    """
+    a_ips = [hop.ip for hop in trace_a.hops[:-1]] if trace_a.reached else [
+        hop.ip for hop in trace_a.hops
+    ]
+    b_ips = [hop.ip for hop in trace_b.hops[:-1]] if trace_b.reached else [
+        hop.ip for hop in trace_b.hops
+    ]
+    common: Optional[str] = None
+    for ip_a, ip_b in zip(a_ips, b_ips):
+        if ip_a != ip_b:
+            break
+        common = ip_a
+    if common is not None:
+        return common
+    b_set = set(b_ips)
+    for ip in reversed(a_ips):
+        if ip in b_set:
+            return ip
+    return None
+
+
+@dataclass(frozen=True)
+class DelaySample:
+    """One vantage point's D1 + D2 estimate.
+
+    Attributes:
+        vp_id: the vantage point that ran both traceroutes.
+        common_hop_ip: R1, the last common router.
+        d1_ms: estimated delay from R1 to the landmark.
+        d2_ms: estimated delay from R1 to the target.
+    """
+
+    vp_id: int
+    common_hop_ip: str
+    d1_ms: float
+    d2_ms: float
+
+    @property
+    def total_ms(self) -> float:
+        """The landmark-target delay upper bound D1 + D2."""
+        return self.d1_ms + self.d2_ms
+
+    @property
+    def usable(self) -> bool:
+        """Negative sums cannot be converted into a distance."""
+        return self.total_ms >= 0.0
+
+
+def delay_sample(
+    vp_id: int,
+    trace_to_landmark: TraceObservation,
+    trace_to_target: TraceObservation,
+) -> Optional[DelaySample]:
+    """Compute one vantage point's D1 + D2, if the traces allow it.
+
+    Returns ``None`` when either trace failed to reach its destination or
+    no common router exists.
+    """
+    if not (trace_to_landmark.reached and trace_to_target.reached):
+        return None
+    common = last_common_hop(trace_to_landmark, trace_to_target)
+    if common is None:
+        return None
+    rtt_common_l = trace_to_landmark.rtt_to(common)
+    rtt_common_t = trace_to_target.rtt_to(common)
+    rtt_landmark = trace_to_landmark.destination_rtt_ms
+    rtt_target = trace_to_target.destination_rtt_ms
+    if None in (rtt_common_l, rtt_common_t, rtt_landmark, rtt_target):
+        return None
+    return DelaySample(
+        vp_id=vp_id,
+        common_hop_ip=common,
+        d1_ms=rtt_landmark - rtt_common_l,
+        d2_ms=rtt_target - rtt_common_t,
+    )
+
+
+@dataclass(frozen=True)
+class LandmarkDelayEstimate:
+    """Aggregated delay estimate between one landmark and the target.
+
+    Attributes:
+        samples: per-vantage-point D1 + D2 samples.
+        best_delay_ms: the minimum D1 + D2 across vantage points — the
+            paper's "upper bound" rule selects the minimum, *including*
+            negative values; ``None`` when no sample exists at all.
+    """
+
+    samples: Tuple[DelaySample, ...]
+    best_delay_ms: Optional[float]
+
+    @property
+    def usable(self) -> bool:
+        """A negative minimum cannot be converted into a distance (§5.2.3,
+        Figure 6a: these landmarks are unusable)."""
+        return self.best_delay_ms is not None and self.best_delay_ms >= 0.0
+
+    @property
+    def negative_samples(self) -> int:
+        """How many vantage points produced a negative (unusable) sum."""
+        return sum(1 for sample in self.samples if not sample.usable)
+
+
+def estimate_landmark_delay(
+    traces: Sequence[Tuple[int, TraceObservation, TraceObservation]]
+) -> LandmarkDelayEstimate:
+    """Aggregate D1 + D2 over vantage points for one landmark.
+
+    Args:
+        traces: ``(vp_id, trace_to_landmark, trace_to_target)`` triples.
+
+    Returns:
+        The estimate whose value is the minimum sum over vantage points
+        (paper: "the minimum of D1 + D2 and D3 + D4 is selected to be an
+        upper bound") — negative minima included, making the landmark
+        unusable, exactly as the paper's Figure 6a counts them.
+    """
+    samples: List[DelaySample] = []
+    for vp_id, trace_l, trace_t in traces:
+        sample = delay_sample(vp_id, trace_l, trace_t)
+        if sample is not None:
+            samples.append(sample)
+    totals = [sample.total_ms for sample in samples]
+    return LandmarkDelayEstimate(
+        samples=tuple(samples),
+        best_delay_ms=min(totals) if totals else None,
+    )

@@ -1,0 +1,179 @@
+"""High-level geolocation facade: one call per IP, any technique.
+
+The library's lower layers mirror the paper's experiments; this module is
+the interface a *downstream user* actually wants: hand it a measurement
+client once, then ask for the location of an IP address with the technique
+of your choice. It wires up representative discovery, vantage-point
+selection, and the street level pipeline behind one method, and always
+returns the same :class:`~repro.core.results.GeolocationResult` shape with
+an explainable evidence payload.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.atlas.client import AtlasClient
+from repro.atlas.platform import ProbeInfo
+from repro.core.cbg import cbg_estimate
+from repro.core.million_scale import select_closest_vps
+from repro.core.results import GeolocationResult
+from repro.core.shortest_ping import shortest_ping
+from repro.core.street_level import StreetLevelConfig, StreetLevelPipeline
+from repro.dataset import quality_from_min_rtt
+from repro.errors import ConfigurationError, GeolocationError
+from repro.net.hitlist import Hitlist
+from repro.world.world import World
+
+#: Techniques the facade understands.
+TECHNIQUES = ("shortest-ping", "cbg", "million-scale", "street-level")
+
+
+class Geolocator:
+    """Geolocates arbitrary IP addresses through the measurement client.
+
+    Example::
+
+        geolocator = Geolocator(client, world.hitlist, world=world)
+        result = geolocator.locate("11.2.3.4", technique="cbg")
+        print(result.estimate, result.details["quality"])
+    """
+
+    def __init__(
+        self,
+        client: AtlasClient,
+        hitlist: Optional[Hitlist] = None,
+        world: Optional[World] = None,
+        vantage_points: Optional[Sequence[ProbeInfo]] = None,
+        million_scale_k: int = 10,
+        street_config: Optional[StreetLevelConfig] = None,
+    ) -> None:
+        """Configure the facade.
+
+        Args:
+            client: the measurement session.
+            hitlist: needed for the million-scale technique (representative
+                discovery); omit if you never use it.
+            world: needed for the street-level technique (mapping
+                services); omit if you never use it.
+            vantage_points: VP set to use; defaults to every platform VP.
+            million_scale_k: vantage points kept by the selection step.
+            street_config: street level tier parameters.
+        """
+        self.client = client
+        self.hitlist = hitlist
+        self.world = world
+        self.vantage_points = (
+            list(vantage_points) if vantage_points is not None else client.list_probes()
+        )
+        if million_scale_k < 1:
+            raise ConfigurationError(f"million_scale_k must be >= 1: {million_scale_k}")
+        self.million_scale_k = million_scale_k
+        self.street_config = street_config
+
+    # --- internals -----------------------------------------------------------
+
+    def _vps_excluding(self, target_ip: str) -> List[ProbeInfo]:
+        return [vp for vp in self.vantage_points if vp.address != target_ip]
+
+    def _ping_all(self, target_ip: str, vps: Sequence[ProbeInfo]) -> Dict[int, Optional[float]]:
+        return self.client.ping_from([vp.probe_id for vp in vps], target_ip)
+
+    @staticmethod
+    def _attach_quality(result: GeolocationResult, rtts: Dict[int, Optional[float]]) -> GeolocationResult:
+        answered = [rtt for rtt in rtts.values() if rtt is not None]
+        min_rtt = min(answered) if answered else None
+        details = dict(result.details)
+        details["min_rtt_ms"] = min_rtt
+        details["quality"] = quality_from_min_rtt(min_rtt)
+        return GeolocationResult(result.target_ip, result.estimate, result.technique, details)
+
+    # --- public API ------------------------------------------------------------
+
+    def locate(self, target_ip: str, technique: str = "cbg") -> GeolocationResult:
+        """Geolocate one address.
+
+        Args:
+            target_ip: the address to locate.
+            technique: one of :data:`TECHNIQUES`.
+
+        Returns:
+            A result whose ``details`` always include ``min_rtt_ms`` and an
+            explainable ``quality`` class.
+
+        Raises:
+            ConfigurationError: for unknown techniques or missing
+                dependencies (hitlist / world).
+            GeolocationError: when the technique cannot produce a region.
+        """
+        if technique == "shortest-ping":
+            vps = self._vps_excluding(target_ip)
+            rtts = self._ping_all(target_ip, vps)
+            return self._attach_quality(shortest_ping(target_ip, vps, rtts), rtts)
+
+        if technique == "cbg":
+            vps = self._vps_excluding(target_ip)
+            rtts = self._ping_all(target_ip, vps)
+            result, _region = cbg_estimate(target_ip, vps, rtts)
+            return self._attach_quality(result, rtts)
+
+        if technique == "million-scale":
+            return self._locate_million_scale(target_ip)
+
+        if technique == "street-level":
+            return self._locate_street_level(target_ip)
+
+        raise ConfigurationError(
+            f"unknown technique {technique!r}; expected one of {TECHNIQUES}"
+        )
+
+    def _locate_million_scale(self, target_ip: str) -> GeolocationResult:
+        if self.hitlist is None:
+            raise ConfigurationError("million-scale needs a hitlist")
+        vps = self._vps_excluding(target_ip)
+        representatives = self.hitlist.representatives(target_ip)
+        vp_ids = [vp.probe_id for vp in vps]
+        rep_matrix = self.client.ping_matrix(vp_ids, representatives)
+        answered_rows = ~np.isnan(rep_matrix).all(axis=1)
+        rep_rtts = np.full(len(vps), np.nan)
+        if answered_rows.any():
+            rep_rtts[answered_rows] = np.nanmin(rep_matrix[answered_rows], axis=1)
+        chosen = select_closest_vps(rep_rtts, self.million_scale_k)
+        chosen_vps = [vps[int(index)] for index in chosen]
+        if not chosen_vps:
+            return GeolocationResult(
+                target_ip, None, "million-scale", {"quality": "unknown", "selected": 0}
+            )
+        rtts = self._ping_all(target_ip, chosen_vps)
+        result, _region = cbg_estimate(target_ip, chosen_vps, rtts)
+        enriched = self._attach_quality(result, rtts)
+        details = dict(enriched.details)
+        details["selected"] = len(chosen_vps)
+        details["representatives"] = list(representatives)
+        return GeolocationResult(target_ip, enriched.estimate, "million-scale", details)
+
+    def _locate_street_level(self, target_ip: str) -> GeolocationResult:
+        if self.world is None:
+            raise ConfigurationError("street-level needs the world's mapping services")
+        vps = self._vps_excluding(target_ip)
+        anchors = [vp for vp in vps if vp.is_anchor]
+        if not anchors:
+            raise GeolocationError("street-level needs anchor vantage points")
+        rtts = self._ping_all(target_ip, anchors)
+        pipeline = StreetLevelPipeline(self.client, self.world, self.street_config)
+        outcome = pipeline.geolocate(target_ip, anchors, rtts)
+        result = outcome.as_result()
+        enriched = self._attach_quality(result, rtts)
+        details = dict(enriched.details)
+        details["landmarks"] = len(outcome.measurements)
+        if outcome.chosen is not None:
+            details["landmark"] = outcome.chosen.landmark.hostname
+        return GeolocationResult(target_ip, enriched.estimate, "street-level", details)
+
+    def locate_batch(
+        self, target_ips: Sequence[str], technique: str = "cbg"
+    ) -> List[GeolocationResult]:
+        """Geolocate several addresses (convenience loop over :meth:`locate`)."""
+        return [self.locate(ip, technique) for ip in target_ips]

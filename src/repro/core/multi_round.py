@@ -1,0 +1,140 @@
+"""Multi-round vantage-point selection (the paper's §7.2.3 extension).
+
+The two-step selection (§5.1.4) generalises to N rounds: each round probes
+the representatives from the current candidate set, computes a CBG region
+from everything measured so far, and keeps one vantage point per AS/city
+inside the region as the next round's candidates. The paper sketches this
+("attain a number of rounds for which the measurement overhead is minimum
+... the tradeoff is that multiple rounds take more time"): every extra
+round means another RIPE Atlas API round trip, but the candidate set — and
+with it the probing cost — shrinks geometrically.
+
+This module implements the sketch so the trade-off can be measured; the
+``multi_round`` ablation bench sweeps the round count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.atlas.platform import ProbeInfo
+from repro.constants import SOI_FRACTION_CBG, rtt_to_distance_km
+from repro.core.two_step import _dedupe_per_as_city
+from repro.errors import EmptyRegionError
+from repro.geo.coords import GeoPoint
+from repro.geo.regions import Circle, cbg_region, region_contains_bulk
+
+#: Simulated duration of one measurement round (request + result wait), s.
+ROUND_LATENCY_S = 240.0
+
+
+@dataclass
+class MultiRoundOutcome:
+    """Result of an N-round selection for one target.
+
+    Attributes:
+        target_ip: the target.
+        chosen_vp_index: the finally selected vantage point (full-list
+            index), or ``None`` when selection failed.
+        estimate: the location estimate (the chosen VP's position).
+        ping_measurements: pings issued across all rounds.
+        rounds_run: rounds actually executed (early-stops when the
+            candidate set stops shrinking).
+        round_candidates: candidate-set size entering each round.
+        elapsed_s: simulated wall time: one API round trip per round.
+    """
+
+    target_ip: str
+    chosen_vp_index: Optional[int]
+    estimate: Optional[GeoPoint]
+    ping_measurements: int
+    rounds_run: int
+    round_candidates: List[int] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+
+def multi_round_select(
+    target_ip: str,
+    vantage_points: Sequence[ProbeInfo],
+    first_round_indices: Sequence[int],
+    rep_rtts_all: np.ndarray,
+    rounds: int = 2,
+    representatives_per_target: int = 3,
+) -> MultiRoundOutcome:
+    """Run the N-round selection for one target.
+
+    Args:
+        target_ip: the target address.
+        vantage_points: the full vantage-point list.
+        first_round_indices: the round-1 candidate set (an earth-covering
+            subset; see :mod:`repro.core.coverage`).
+        rep_rtts_all: per-VP RTT to this target's representatives (the full
+            column; rounds pay only for the rows they probe).
+        rounds: probing rounds to run (2 reproduces the two-step variant).
+        representatives_per_target: pings each probed row costs.
+
+    Returns:
+        The outcome, with per-round accounting.
+    """
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1: {rounds}")
+
+    lats = np.array([vp.location.lat for vp in vantage_points])
+    lons = np.array([vp.location.lon for vp in vantage_points])
+
+    measured: set = set()
+    measurements = 0
+    candidates = [int(i) for i in first_round_indices]
+    round_sizes: List[int] = []
+    rounds_run = 0
+
+    for round_index in range(rounds):
+        round_sizes.append(len(candidates))
+        new_rows = [i for i in candidates if i not in measured]
+        measurements += len(new_rows) * representatives_per_target
+        measured.update(new_rows)
+        rounds_run += 1
+
+        answered = [i for i in measured if not np.isnan(rep_rtts_all[i])]
+        if not answered:
+            return MultiRoundOutcome(
+                target_ip, None, None, measurements, rounds_run, round_sizes,
+                rounds_run * ROUND_LATENCY_S,
+            )
+        if round_index == rounds - 1:
+            break
+
+        circles = [
+            Circle(
+                vantage_points[i].location,
+                rtt_to_distance_km(float(rep_rtts_all[i]), SOI_FRACTION_CBG),
+            )
+            for i in answered
+        ]
+        try:
+            region = cbg_region(circles)
+        except EmptyRegionError:
+            break
+        inside = np.where(region_contains_bulk(region, lats, lons, tolerance_km=1.0))[0]
+        next_candidates = _dedupe_per_as_city(inside, vantage_points)
+        if not next_candidates or set(next_candidates) <= measured:
+            # Converged: nothing new to probe.
+            candidates = next_candidates or candidates
+            break
+        candidates = next_candidates
+
+    answered = [i for i in measured if not np.isnan(rep_rtts_all[i])]
+    chosen = min(answered, key=lambda i: float(rep_rtts_all[i]))
+    measurements += 1  # the final probe of the target itself
+    return MultiRoundOutcome(
+        target_ip=target_ip,
+        chosen_vp_index=chosen,
+        estimate=vantage_points[chosen].location,
+        ping_measurements=measurements,
+        rounds_run=rounds_run,
+        round_candidates=round_sizes,
+        elapsed_s=rounds_run * ROUND_LATENCY_S,
+    )

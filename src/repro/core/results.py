@@ -1,0 +1,37 @@
+"""Common result types for geolocation techniques."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.geo.coords import GeoPoint
+
+
+@dataclass(frozen=True)
+class GeolocationResult:
+    """The outcome of geolocating one target IP address.
+
+    Attributes:
+        target_ip: the geolocated address.
+        estimate: the technique's location estimate (``None`` when the
+            technique could not produce one).
+        technique: short technique name ("cbg", "shortest-ping",
+            "street-level", ...).
+        details: free-form diagnostic values (constraint counts, chosen
+            vantage point, tier information, ...), for analyses and logs.
+    """
+
+    target_ip: str
+    estimate: Optional[GeoPoint]
+    technique: str
+    details: Dict[str, object] = field(default_factory=dict)
+
+    def error_km(self, truth: GeoPoint) -> Optional[float]:
+        """Great-circle error against a ground-truth position.
+
+        Returns ``None`` when the technique produced no estimate.
+        """
+        if self.estimate is None:
+            return None
+        return self.estimate.distance_km(truth)

@@ -1,0 +1,121 @@
+"""Speed-of-Internet sanitization of platform geolocations (paper §4.3).
+
+A measurement *violates the speed of Internet* when the observed RTT is
+smaller than the time light in fibre (2/3 c) needs to cover the distance
+between the two registered locations — impossible unless at least one of
+the registered locations is wrong.
+
+* Anchors: using the anchor mesh, iteratively remove the anchor with the
+  most violations, recount, and repeat until no violations remain
+  (9 anchors in the paper).
+* Probes: ping every sanitized anchor from every probe and drop probes with
+  any violation (96 probes in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.constants import SOI_FRACTION_CBG
+from repro.geo.coords import GeoPoint
+
+#: Tolerance subtracted before declaring a violation, absorbing timestamping
+#: granularity on real platforms.
+VIOLATION_TOLERANCE_MS = 0.05
+
+
+def _pairwise_min_rtt_ms(locations: Sequence[GeoPoint]) -> np.ndarray:
+    """Matrix of physically minimal RTTs between registered locations."""
+    lats = np.array([loc.lat for loc in locations])
+    lons = np.array([loc.lon for loc in locations])
+    count = lats.shape[0]
+    minimum = np.zeros((count, count))
+    for i in range(count):
+        from repro.geo.coords import bulk_haversine_km
+
+        distances = bulk_haversine_km(lats, lons, float(lats[i]), float(lons[i]))
+        minimum[i, :] = distances * (
+            2.0 / (SOI_FRACTION_CBG * 299_792.458) * 1000.0
+        )
+    return minimum
+
+
+def sanitize_anchors(
+    anchor_ids: Sequence[int],
+    mesh_rtt_ms: np.ndarray,
+    locations: Sequence[GeoPoint],
+) -> Tuple[List[int], List[int]]:
+    """Iteratively remove anchors that violate the speed of Internet.
+
+    Args:
+        anchor_ids: platform ids, aligned with the mesh axes.
+        mesh_rtt_ms: anchor-mesh min-RTT matrix (NaN where unmeasured).
+        locations: registered anchor locations, aligned.
+
+    Returns:
+        ``(kept_ids, removed_ids)``; removal order is by violation count,
+        ties broken toward the lower id for determinism.
+    """
+    if mesh_rtt_ms.shape != (len(anchor_ids), len(anchor_ids)):
+        raise ValueError("mesh matrix shape does not match anchor list")
+    minimum = _pairwise_min_rtt_ms(locations)
+    with np.errstate(invalid="ignore"):
+        violations = mesh_rtt_ms < (minimum - VIOLATION_TOLERANCE_MS)
+    violations &= ~np.isnan(mesh_rtt_ms)
+    np.fill_diagonal(violations, False)
+
+    active = np.ones(len(anchor_ids), dtype=bool)
+    removed: List[int] = []
+    while True:
+        counts = (violations & active[None, :] & active[:, None]).sum(axis=0) + (
+            violations & active[None, :] & active[:, None]
+        ).sum(axis=1)
+        counts = np.where(active, counts, -1)
+        worst = int(np.argmax(counts))
+        if counts[worst] <= 0:
+            break
+        active[worst] = False
+        removed.append(anchor_ids[worst])
+    kept = [anchor_id for anchor_id, keep in zip(anchor_ids, active) if keep]
+    return kept, removed
+
+
+def sanitize_probes(
+    probe_ids: Sequence[int],
+    probe_locations: Sequence[GeoPoint],
+    anchor_locations: Sequence[GeoPoint],
+    probe_to_anchor_rtt_ms: np.ndarray,
+) -> Tuple[List[int], List[int]]:
+    """Drop probes whose pings to sanitized anchors violate 2/3 c.
+
+    Args:
+        probe_ids: probe platform ids.
+        probe_locations: registered probe locations, aligned with ids.
+        anchor_locations: registered locations of the (sanitized) anchors.
+        probe_to_anchor_rtt_ms: min-RTT matrix (probes x anchors), NaN where
+            unanswered.
+
+    Returns:
+        ``(kept_ids, removed_ids)``.
+    """
+    if probe_to_anchor_rtt_ms.shape != (len(probe_ids), len(anchor_locations)):
+        raise ValueError("rtt matrix shape does not match probe/anchor lists")
+    anchor_lats = np.array([loc.lat for loc in anchor_locations])
+    anchor_lons = np.array([loc.lon for loc in anchor_locations])
+    kept: List[int] = []
+    removed: List[int] = []
+    for row, (probe_id, location) in enumerate(zip(probe_ids, probe_locations)):
+        from repro.geo.coords import bulk_haversine_km
+
+        distances = bulk_haversine_km(anchor_lats, anchor_lons, location.lat, location.lon)
+        minimum = distances * (2.0 / (SOI_FRACTION_CBG * 299_792.458) * 1000.0)
+        rtts = probe_to_anchor_rtt_ms[row, :]
+        with np.errstate(invalid="ignore"):
+            violation = (rtts < (minimum - VIOLATION_TOLERANCE_MS)) & ~np.isnan(rtts)
+        if violation.any():
+            removed.append(probe_id)
+        else:
+            kept.append(probe_id)
+    return kept, removed

@@ -1,0 +1,48 @@
+"""Shortest Ping: map the target to the vantage point with the lowest RTT.
+
+The simplest latency-based technique (§3 of the paper): among all vantage
+points that got an answer, pick the one whose RTT to the target is
+smallest, and report that vantage point's (registered) location.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.atlas.platform import ProbeInfo
+from repro.core.results import GeolocationResult
+
+
+def shortest_ping(
+    target_ip: str,
+    vantage_points: Sequence[ProbeInfo],
+    rtts_ms: Dict[int, Optional[float]],
+) -> GeolocationResult:
+    """Geolocate a target with the Shortest Ping technique.
+
+    Args:
+        target_ip: the target address (recorded in the result).
+        vantage_points: metadata of the vantage points that probed it.
+        rtts_ms: min RTT per probe id; ``None`` marks unanswered probes.
+
+    Returns:
+        A result whose estimate is the lowest-RTT vantage point's location,
+        or ``None`` if no vantage point received an answer.
+    """
+    best_vp: Optional[ProbeInfo] = None
+    best_rtt: Optional[float] = None
+    for vantage_point in vantage_points:
+        rtt = rtts_ms.get(vantage_point.probe_id)
+        if rtt is None:
+            continue
+        if best_rtt is None or rtt < best_rtt:
+            best_rtt = rtt
+            best_vp = vantage_point
+    if best_vp is None:
+        return GeolocationResult(target_ip, None, "shortest-ping", {"answered": 0})
+    return GeolocationResult(
+        target_ip,
+        best_vp.location,
+        "shortest-ping",
+        {"vp_id": best_vp.probe_id, "min_rtt_ms": best_rtt},
+    )

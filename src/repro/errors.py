@@ -1,0 +1,39 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A world, platform, or algorithm was configured with invalid values."""
+
+
+class MeasurementError(ReproError):
+    """A measurement could not be scheduled or executed."""
+
+
+class CreditExhaustedError(MeasurementError):
+    """The RIPE Atlas credit budget does not cover the requested measurement."""
+
+
+class RateLimitError(MeasurementError):
+    """A probing-rate or API rate limit would be exceeded."""
+
+
+class UnknownHostError(ReproError):
+    """An IP address does not belong to any host in the simulated world."""
+
+
+class GeolocationError(ReproError):
+    """A geolocation technique could not produce an estimate."""
+
+
+class EmptyRegionError(GeolocationError):
+    """CBG constraints admit no feasible region (circles do not intersect)."""

@@ -1,0 +1,12 @@
+"""Experiment implementations: one module per paper table/figure.
+
+Each experiment module exposes a ``run(scenario, ...)`` function returning
+an :class:`repro.experiments.base.ExperimentOutput` with the measured
+series, the paper-reported reference values, and a printable table. The
+benchmark suite (``benchmarks/``) and the CLI
+(``python -m repro.experiments.run``) are thin wrappers around these.
+"""
+
+from repro.experiments.scenario import Scenario, get_scenario
+
+__all__ = ["Scenario", "get_scenario"]

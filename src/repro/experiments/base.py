@@ -1,0 +1,61 @@
+"""Common result shape for experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class ExperimentOutput:
+    """What an experiment run produces.
+
+    Attributes:
+        experiment_id: the paper artefact id ("fig2a", "table2", ...).
+        title: one-line description.
+        table: printable summary table.
+        measured: headline measured statistics (flat name -> value).
+        expected: the paper's reported values for the same statistics,
+            for the EXPERIMENTS.md paper-vs-measured comparison.
+        series: raw data series (for plotting or further analysis).
+    """
+
+    experiment_id: str
+    title: str
+    table: str
+    measured: Dict[str, float] = field(default_factory=dict)
+    expected: Dict[str, float] = field(default_factory=dict)
+    series: Dict[str, object] = field(default_factory=dict)
+
+    def save_json(self, path) -> None:
+        """Persist the run (measured/expected/series) as JSON.
+
+        The table text is included verbatim so saved runs remain readable
+        without the library.
+        """
+        import json
+        from pathlib import Path
+
+        payload = {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "table": self.table,
+            "measured": self.measured,
+            "expected": self.expected,
+            "series": self.series,
+        }
+        Path(path).write_text(json.dumps(payload, indent=1, default=float))
+
+    def render(self) -> str:
+        """Full printable report for the CLI and benchmarks."""
+        lines = [f"== {self.experiment_id}: {self.title} ==", self.table]
+        if self.expected:
+            lines.append("")
+            lines.append("paper vs measured:")
+            for key, expected_value in self.expected.items():
+                measured_value = self.measured.get(key)
+                measured_text = (
+                    f"{measured_value:.3g}" if isinstance(measured_value, float) else str(measured_value)
+                )
+                lines.append(f"  {key}: paper={expected_value} measured={measured_text}")
+        return "\n".join(lines)

@@ -1,0 +1,219 @@
+"""Figure 2: how vantage-point subsets affect CBG accuracy (§5.1.1).
+
+Three sub-experiments replicate the million scale paper's hypotheses:
+
+* **fig2a** — median CBG error for random VP subsets of growing size
+  (error-bar distributions over trials);
+* **fig2b** — CDF of the median error across random subsets of fixed sizes
+  (do some subsets do much better than others?);
+* **fig2c** — error CDF when all VPs closer than a distance cutoff are
+  removed per target (the "closest VPs maximize accuracy" hypothesis).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro import rand
+from repro.analysis import format_table, median
+from repro.core.cbg import cbg_errors_for_subsets
+from repro.experiments.base import ExperimentOutput
+from repro.experiments.scenario import Scenario
+from repro.geo.coords import bulk_haversine_km
+
+#: Paper-reported reference points (Figure 2 and §5.1.1 text).
+FIG2A_EXPECTED = {
+    "median_of_medians_at_max_km": 8.0,
+    "errors_shrink_with_more_vps": 1.0,
+}
+FIG2C_EXPECTED = {
+    "median_all_vps_km": 8.0,
+    "median_beyond_40km_km": 120.0,
+    "city_fraction_all_vps": 0.73,
+    "city_fraction_beyond_40km": 0.06,
+}
+
+
+def _subset_median_errors(
+    scenario: Scenario, size: int, trials: int, label: str
+) -> List[float]:
+    """Median CBG error over targets, for ``trials`` random VP subsets."""
+    matrix = scenario.rtt_matrix()
+    vp_count = len(scenario.vps)
+    size = min(size, vp_count)
+    medians: List[float] = []
+    for trial in range(trials):
+        rng = rand.generator((scenario.world.config.seed, label, size, trial))
+        subset = rng.choice(vp_count, size=size, replace=False)
+        errors = cbg_errors_for_subsets(
+            scenario.vp_lats,
+            scenario.vp_lons,
+            matrix,
+            scenario.target_true_lats,
+            scenario.target_true_lons,
+            np.sort(subset),
+        )
+        defined = errors[~np.isnan(errors)]
+        if defined.size:
+            medians.append(float(np.median(defined)))
+    return medians
+
+
+def run_fig2a(
+    scenario: Scenario,
+    sizes: Sequence[int] = (10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000),
+    trials: int = 25,
+) -> ExperimentOutput:
+    """Number of VPs vs accuracy (Figure 2a)."""
+    sizes = [size for size in sizes if size <= len(scenario.vps)]
+    if len(scenario.vps) not in sizes:
+        sizes.append(len(scenario.vps))
+    rows = []
+    series: Dict[str, object] = {}
+    for size in sizes:
+        effective_trials = 1 if size == len(scenario.vps) else trials
+        medians = _subset_median_errors(scenario, size, effective_trials, "fig2a")
+        series[str(size)] = medians
+        quartiles = np.percentile(medians, [0, 25, 50, 75, 100])
+        rows.append(
+            [size, len(medians)] + [f"{q:.1f}" for q in quartiles]
+        )
+    table = format_table(
+        ["VPs", "trials", "min", "q25", "median", "q75", "max"], rows
+    )
+    largest = series[str(sizes[-1])]
+    smallest = series[str(sizes[0])]
+    measured = {
+        "median_of_medians_at_max_km": float(np.median(largest)),
+        "errors_shrink_with_more_vps": float(
+            np.median(smallest) > np.median(largest)
+        ),
+    }
+    return ExperimentOutput(
+        "fig2a",
+        "CBG median error vs number of vantage points",
+        table,
+        measured=measured,
+        expected=dict(FIG2A_EXPECTED),
+        series=series,
+    )
+
+
+def run_fig2b(
+    scenario: Scenario,
+    sizes: Sequence[int] = (100, 500, 1000, 2000),
+    trials: int = 25,
+) -> ExperimentOutput:
+    """Accuracy spread across specific subset sizes (Figure 2b)."""
+    sizes = [size for size in sizes if size <= len(scenario.vps)]
+    series: Dict[str, object] = {}
+    rows = []
+    for size in sizes:
+        medians = sorted(_subset_median_errors(scenario, size, trials, "fig2b"))
+        series[str(size)] = medians
+        rows.append(
+            [
+                size,
+                len(medians),
+                f"{medians[0]:.1f}",
+                f"{median(medians):.1f}",
+                f"{medians[-1]:.1f}",
+                f"{medians[-1] / max(medians[0], 1e-9):.2f}x",
+            ]
+        )
+    table = format_table(["VPs", "trials", "best", "median", "worst", "spread"], rows)
+    spread_100 = 0.0
+    if "100" in series:
+        values = series["100"]
+        spread_100 = values[-1] / max(values[0], 1e-9)
+    measured = {"spread_factor_100vps": float(spread_100)}
+    # Paper: medians for 100 VPs spanned 191-366 km (a ~1.9x spread),
+    # much tighter than the original paper's near-10x spreads.
+    expected = {"spread_factor_100vps": 1.9}
+    return ExperimentOutput(
+        "fig2b",
+        "CDF of median error for fixed subset sizes",
+        table,
+        measured=measured,
+        expected=expected,
+        series=series,
+    )
+
+
+def run_fig2c(
+    scenario: Scenario,
+    cutoffs_km: Sequence[float] = (40.0, 100.0, 500.0, 1000.0),
+) -> ExperimentOutput:
+    """Removing vantage points close to each target (Figure 2c)."""
+    matrix = scenario.rtt_matrix()
+    all_indices = np.arange(len(scenario.vps))
+    series: Dict[str, object] = {}
+
+    def errors_with_exclusion(min_distance_km: float) -> np.ndarray:
+        errors = np.full(len(scenario.targets), np.nan)
+        for column, target in enumerate(scenario.targets):
+            distances = bulk_haversine_km(
+                scenario.vp_lats,
+                scenario.vp_lons,
+                target.true_location.lat,
+                target.true_location.lon,
+            )
+            keep = all_indices[distances >= min_distance_km]
+            if keep.size == 0:
+                continue
+            column_errors = cbg_errors_for_subsets(
+                scenario.vp_lats,
+                scenario.vp_lons,
+                matrix[:, [column]],
+                scenario.target_true_lats[[column]],
+                scenario.target_true_lons[[column]],
+                keep,
+            )
+            errors[column] = column_errors[0]
+        return errors
+
+    rows = []
+    all_errors = errors_with_exclusion(0.0)
+    series["all"] = all_errors.tolist()
+    rows.append(_cdf_row("All VPs", all_errors))
+    for cutoff in cutoffs_km:
+        errors = errors_with_exclusion(cutoff)
+        series[f">{cutoff:.0f}km"] = errors.tolist()
+        rows.append(_cdf_row(f"VPs > {cutoff:.0f} km", errors))
+    from repro.analysis.ascii_plots import ascii_cdf
+
+    table = (
+        format_table(["VP set", "median km", "<=40km", "<=100km", "<=1000km"], rows)
+        + "\n\n"
+        + ascii_cdf(
+            {label: values for label, values in series.items()}, x_label="error km"
+        )
+    )
+    beyond_40 = np.asarray(series[">40km"], dtype=float)
+    measured = {
+        "median_all_vps_km": float(np.nanmedian(all_errors)),
+        "median_beyond_40km_km": float(np.nanmedian(beyond_40)),
+        "city_fraction_all_vps": float(np.nanmean(all_errors <= 40.0)),
+        "city_fraction_beyond_40km": float(np.nanmean(beyond_40 <= 40.0)),
+    }
+    return ExperimentOutput(
+        "fig2c",
+        "Error when close vantage points are removed",
+        table,
+        measured=measured,
+        expected=dict(FIG2C_EXPECTED),
+        series=series,
+    )
+
+
+def _cdf_row(label: str, errors: np.ndarray) -> List[object]:
+    defined = errors[~np.isnan(errors)]
+    return [
+        label,
+        f"{np.median(defined):.1f}" if defined.size else "n/a",
+        f"{(defined <= 40).mean():.0%}" if defined.size else "n/a",
+        f"{(defined <= 100).mean():.0%}" if defined.size else "n/a",
+        f"{(defined <= 1000).mean():.0%}" if defined.size else "n/a",
+    ]

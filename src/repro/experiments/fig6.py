@@ -1,0 +1,136 @@
+"""Figure 6: delay noise, population density, and time-to-geolocate (§5.2).
+
+* **fig6a** — CDF over targets of the fraction of landmarks whose D1+D2 is
+  negative/unusable (paper: >= 28% for half the targets);
+* **fig6b** — street level error vs population density at the target, with
+  a linear fit (paper: no dependence);
+* **fig6c** — CDF of the simulated time to geolocate one target (paper
+  median: 1,238 s on a 32-core machine).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.experiments.base import ExperimentOutput
+from repro.experiments.scenario import Scenario
+from repro.experiments.street_runner import street_level_records
+
+FIG6A_EXPECTED = {"median_unusable_fraction": 0.28}
+FIG6B_EXPECTED = {"log_log_slope_abs_below": 0.35}
+FIG6C_EXPECTED = {"median_time_s": 1238.0}
+
+
+def run_fig6a(
+    scenario: Scenario, max_targets: Optional[int] = None
+) -> ExperimentOutput:
+    """Fraction of landmarks with unusable (negative) D1+D2 per target."""
+    records = street_level_records(scenario, max_targets)
+    fractions = [
+        record.unusable_fraction
+        for record in records
+        if record.unusable_fraction is not None
+    ]
+    array = np.asarray(fractions, dtype=float)
+    rows = [
+        ["targets with landmarks", array.size],
+        ["median unusable fraction", f"{np.median(array):.2f}" if array.size else "n/a"],
+        ["p90 unusable fraction", f"{np.percentile(array, 90):.2f}" if array.size else "n/a"],
+    ]
+    table = format_table(["statistic", "value"], rows)
+    measured = {
+        "median_unusable_fraction": float(np.median(array)) if array.size else float("nan")
+    }
+    return ExperimentOutput(
+        "fig6a",
+        "Unusable landmark delays (D1 + D2 < 0)",
+        table,
+        measured=measured,
+        expected=dict(FIG6A_EXPECTED),
+        series={"fractions": array.tolist()},
+    )
+
+
+def run_fig6b(
+    scenario: Scenario, max_targets: Optional[int] = None
+) -> ExperimentOutput:
+    """Street level error vs population density at the target."""
+    records = street_level_records(scenario, max_targets)
+    densities: List[float] = []
+    errors: List[float] = []
+    for record in records:
+        if np.isnan(record.street_error_km):
+            continue
+        density = scenario.world.population.density_at(record.target.true_location)
+        densities.append(density)
+        errors.append(max(record.street_error_km, 1e-3))
+
+    dens = np.asarray(densities)
+    errs = np.asarray(errors)
+    # Linear fit in log-log space, as the paper's Figure 6b visualisation.
+    slope, intercept = np.polyfit(np.log10(dens), np.log10(errs), 1)
+    rows = [
+        ["targets", len(errors)],
+        ["log-log slope (error vs density)", f"{slope:.3f}"],
+        ["median error, densest quartile km", f"{_quartile_median(dens, errs, 3):.1f}"],
+        ["median error, sparsest quartile km", f"{_quartile_median(dens, errs, 0):.1f}"],
+    ]
+    from repro.analysis.ascii_plots import ascii_scatter
+
+    table = (
+        format_table(["statistic", "value"], rows)
+        + "\n\n"
+        + ascii_scatter(
+            list(zip(errs, dens)), x_label="error km", y_label="people/km^2"
+        )
+    )
+    measured = {"log_log_slope_abs_below": float(abs(slope))}
+    return ExperimentOutput(
+        "fig6b",
+        "Error distance vs population density",
+        table,
+        measured=measured,
+        expected=dict(FIG6B_EXPECTED),
+        series={"density": dens.tolist(), "error_km": errs.tolist(), "slope": float(slope), "intercept": float(intercept)},
+    )
+
+
+def _quartile_median(keys: np.ndarray, values: np.ndarray, quartile: int) -> float:
+    order = np.argsort(keys)
+    chunks = np.array_split(order, 4)
+    chunk = chunks[quartile]
+    if chunk.size == 0:
+        return float("nan")
+    return float(np.median(values[chunk]))
+
+
+def run_fig6c(
+    scenario: Scenario, max_targets: Optional[int] = None
+) -> ExperimentOutput:
+    """Simulated time to geolocate one target with street level."""
+    records = street_level_records(scenario, max_targets)
+    times = np.asarray([record.result.elapsed_s for record in records])
+    breakdown_keys = sorted(
+        {key for record in records for key in record.result.time_breakdown}
+    )
+    rows = [
+        ["targets", times.size],
+        ["median time s", f"{np.median(times):.0f}"],
+        ["p90 time s", f"{np.percentile(times, 90):.0f}"],
+    ]
+    for key in breakdown_keys:
+        shares = [record.result.time_breakdown.get(key, 0.0) for record in records]
+        rows.append([f"median {key} s", f"{np.median(shares):.0f}"])
+    table = format_table(["statistic", "value"], rows)
+    measured = {"median_time_s": float(np.median(times))}
+    return ExperimentOutput(
+        "fig6c",
+        "Time to geolocate a target (simulated wall clock)",
+        table,
+        measured=measured,
+        expected=dict(FIG6C_EXPECTED),
+        series={"times_s": times.tolist()},
+    )

@@ -1,0 +1,46 @@
+"""Figure 8 (appendix C): population density of the target dataset.
+
+A sanity check that the target set covers both rural and urban areas, like
+the street level paper's original Figure 7 dataset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.experiments.base import ExperimentOutput
+from repro.experiments.scenario import Scenario
+
+EXPECTED = {
+    # Qualitative: the CDF spans from rural (tens of people/km^2) to dense
+    # urban (>= 10^4), i.e. at least three orders of magnitude.
+    "density_orders_of_magnitude": 3.0,
+}
+
+
+def run_fig8(scenario: Scenario) -> ExperimentOutput:
+    """CDF of population density at the targets' true positions."""
+    densities = np.array(
+        [
+            scenario.world.population.density_at(target.true_location)
+            for target in scenario.targets
+        ]
+    )
+    p5, p50, p95 = np.percentile(densities, [5, 50, 95])
+    rows = [
+        ["targets", densities.size],
+        ["p5 density (people/km^2)", f"{p5:.1f}"],
+        ["median density", f"{p50:.1f}"],
+        ["p95 density", f"{p95:.1f}"],
+    ]
+    table = format_table(["statistic", "value"], rows)
+    orders = float(np.log10(max(p95, 1e-9)) - np.log10(max(p5, 1e-9)))
+    return ExperimentOutput(
+        "fig8",
+        "Population density of the target dataset",
+        table,
+        measured={"density_orders_of_magnitude": orders},
+        expected=dict(EXPECTED),
+        series={"density": densities.tolist()},
+    )

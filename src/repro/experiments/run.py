@@ -1,0 +1,136 @@
+"""CLI: run one experiment and print its report.
+
+Usage::
+
+    python -m repro.experiments.run fig2a --preset small
+    python -m repro.experiments.run all --preset paper
+    repro-experiment fig7
+
+The ``--preset small`` world runs every experiment in seconds; ``paper``
+builds the full 723-target, ~10K-VP scenario (minutes for the street level
+family).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional
+
+from repro.experiments.base import ExperimentOutput
+from repro.experiments.scenario import Scenario, get_scenario
+
+
+def _street_max_targets(args: argparse.Namespace) -> Optional[int]:
+    return args.max_targets
+
+
+def _appendix_b(scenario: Scenario) -> ExperimentOutput:
+    from repro.experiments.appendix_b import run_appendix_b
+
+    return run_appendix_b(scenario)
+
+
+def _calibration_output(scenario: Scenario) -> ExperimentOutput:
+    from repro.world.calibration import calibration_checks, render_report
+
+    checks = calibration_checks(scenario)
+    return ExperimentOutput(
+        "calibration",
+        "Substrate calibration self-checks",
+        render_report(checks),
+        measured={check.name: check.measured for check in checks},
+        expected={check.name: check.paper for check in checks},
+    )
+
+
+def _registry() -> Dict[str, Callable[[Scenario, argparse.Namespace], ExperimentOutput]]:
+    from repro.experiments import (
+        baseline,
+        fig2,
+        fig3,
+        fig4,
+        fig5,
+        fig6,
+        fig7,
+        fig8,
+        parity,
+        tables,
+    )
+
+    return {
+        "baseline": lambda s, a: baseline.run_baseline(s, _street_max_targets(a)),
+        "parity": lambda s, a: parity.run_parity(s),
+        "calibration": lambda s, a: _calibration_output(s),
+        "appendixb": lambda s, a: _appendix_b(s),
+        "table1": lambda s, a: tables.run_table1(s),
+        "table2": lambda s, a: tables.run_table2(s),
+        "fig2a": lambda s, a: fig2.run_fig2a(s, trials=a.trials),
+        "fig2b": lambda s, a: fig2.run_fig2b(s, trials=a.trials),
+        "fig2c": lambda s, a: fig2.run_fig2c(s),
+        "fig3a": lambda s, a: fig3.run_fig3a(s),
+        "fig3bc": lambda s, a: fig3.run_fig3bc(s),
+        "fig4": lambda s, a: fig4.run_fig4(s),
+        "fig5a": lambda s, a: fig5.run_fig5a(s, _street_max_targets(a)),
+        "fig5b": lambda s, a: fig5.run_fig5b(s, _street_max_targets(a)),
+        "fig5c": lambda s, a: fig5.run_fig5c(s, _street_max_targets(a)),
+        "fig6a": lambda s, a: fig6.run_fig6a(s, _street_max_targets(a)),
+        "fig6b": lambda s, a: fig6.run_fig6b(s, _street_max_targets(a)),
+        "fig6c": lambda s, a: fig6.run_fig6c(s, _street_max_targets(a)),
+        "fig7": lambda s, a: fig7.run_fig7(s),
+        "fig8": lambda s, a: fig8.run_fig8(s),
+    }
+
+
+def main(argv: Optional[list] = None) -> int:
+    """Entry point for ``repro-experiment``."""
+    registry = _registry()
+    parser = argparse.ArgumentParser(
+        description="Reproduce one of the paper's tables/figures."
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(registry) + ["all"],
+        help="experiment id, or 'all' to run everything",
+    )
+    parser.add_argument(
+        "--preset",
+        choices=["paper", "small"],
+        default="paper",
+        help="world scale (default: paper)",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="world seed override")
+    parser.add_argument(
+        "--trials", type=int, default=25, help="random-subset trials for fig2a/fig2b"
+    )
+    parser.add_argument(
+        "--max-targets",
+        type=int,
+        default=None,
+        help="cap street level targets (default: all)",
+    )
+    parser.add_argument(
+        "--save-json",
+        metavar="DIR",
+        default=None,
+        help="also write each run as DIR/<experiment>.json",
+    )
+    args = parser.parse_args(argv)
+
+    scenario = get_scenario(args.preset, args.seed)
+    names = sorted(registry) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        output = registry[name](scenario, args)
+        print(output.render())
+        print()
+        if args.save_json is not None:
+            from pathlib import Path
+
+            directory = Path(args.save_json)
+            directory.mkdir(parents=True, exist_ok=True)
+            output.save_json(directory / f"{name}.json")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,236 @@
+"""The canonical experiment setup (datasets section of the paper, §4).
+
+Building a :class:`Scenario` performs, in order:
+
+1. world construction from a :class:`~repro.world.config.WorldConfig`;
+2. platform creation and the anchor-mesh measurement;
+3. §4.3 sanitization — anchors first (speed-of-Internet violations on the
+   mesh), then probes (violations against sanitized anchors);
+4. dataset fixing: *targets* are the sanitized anchors, *vantage points*
+   are sanitized probes + anchors.
+
+The two heavyweight measurement campaigns — the VP-to-target ping matrix
+and the VP-to-representative matrix — are computed lazily and cached, since
+several experiments share them. Scenarios themselves are cached per
+(preset, seed) so a pytest/benchmark session builds each at most once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.atlas.client import AtlasClient
+from repro.atlas.platform import AtlasPlatform, ProbeInfo
+from repro.core.million_scale import representative_rtt_matrix
+from repro.core.sanitize import sanitize_anchors, sanitize_probes
+from repro.world.builder import build_world
+from repro.world.config import WorldConfig
+from repro.world.hosts import Host
+from repro.world.world import World
+
+
+@dataclass
+class Scenario:
+    """A sanitized measurement scenario shared by the experiments."""
+
+    world: World
+    platform: AtlasPlatform
+    client: AtlasClient
+    #: sanitized targets (anchor hosts), in platform-id order.
+    targets: List[Host]
+    #: sanitized vantage points (anchors + probes), in platform-id order.
+    vps: List[ProbeInfo]
+    #: ids removed by sanitization, for the §4.3 bookkeeping.
+    removed_anchor_ids: List[int] = field(default_factory=list)
+    removed_probe_ids: List[int] = field(default_factory=list)
+
+    _rtt_matrix: Optional[np.ndarray] = field(default=None, repr=False)
+    _rep_matrix: Optional[np.ndarray] = field(default=None, repr=False)
+    _rep_median_matrix: Optional[np.ndarray] = field(default=None, repr=False)
+    _reps: Optional[Dict[str, List[str]]] = field(default=None, repr=False)
+
+    # --- derived arrays ----------------------------------------------------------
+
+    @property
+    def target_ips(self) -> List[str]:
+        """Addresses of the sanitized targets."""
+        return [t.ip for t in self.targets]
+
+    @property
+    def target_ids(self) -> List[int]:
+        """Host ids of the sanitized targets."""
+        return [t.host_id for t in self.targets]
+
+    @property
+    def vp_ids(self) -> np.ndarray:
+        """Vantage-point ids as an array."""
+        return np.array([vp.probe_id for vp in self.vps], dtype=np.int64)
+
+    @property
+    def vp_lats(self) -> np.ndarray:
+        """Registered VP latitudes (what algorithms are allowed to see)."""
+        return np.array([vp.location.lat for vp in self.vps])
+
+    @property
+    def vp_lons(self) -> np.ndarray:
+        """Registered VP longitudes."""
+        return np.array([vp.location.lon for vp in self.vps])
+
+    @property
+    def target_true_lats(self) -> np.ndarray:
+        """Ground-truth target latitudes (evaluation only)."""
+        return np.array([t.true_location.lat for t in self.targets])
+
+    @property
+    def target_true_lons(self) -> np.ndarray:
+        """Ground-truth target longitudes (evaluation only)."""
+        return np.array([t.true_location.lon for t in self.targets])
+
+    @property
+    def target_continents(self) -> List[str]:
+        """Continent code per target."""
+        return [self.world.city_of_host(t).continent for t in self.targets]
+
+    def anchor_vp_infos(self) -> List[ProbeInfo]:
+        """The anchor subset of the vantage points (street level VPs)."""
+        return [vp for vp in self.vps if vp.is_anchor]
+
+    # --- measurement campaigns ---------------------------------------------------
+
+    def rtt_matrix(self) -> np.ndarray:
+        """Min-RTT matrix, all VPs x all targets (the §4.1.3 ping campaign).
+
+        Entry ``[i, j]`` is NaN when VP i got no answer from target j; the
+        diagonal-ish entries where a VP *is* the target are NaN as well
+        (a host does not ping itself over the network).
+        """
+        if self._rtt_matrix is None:
+            matrix = self.client.ping_matrix(self.vp_ids, self.target_ips)
+            target_id_by_ip = {t.ip: t.host_id for t in self.targets}
+            vp_index = {int(vp_id): row for row, vp_id in enumerate(self.vp_ids)}
+            for column, ip in enumerate(self.target_ips):
+                row = vp_index.get(target_id_by_ip[ip])
+                if row is not None:
+                    matrix[row, column] = np.nan
+            self._rtt_matrix = matrix
+        return self._rtt_matrix
+
+    def representative_matrices(self) -> Tuple[np.ndarray, np.ndarray, Dict[str, List[str]]]:
+        """Representative RTTs: (min-over-reps, median-over-reps, reps map).
+
+        The §4.1.3 campaign: three /24 representatives per target, pinged
+        from every vantage point.
+        """
+        if self._rep_matrix is None:
+            min_matrix, reps = representative_rtt_matrix(
+                self.client, self.vp_ids, self.target_ips, self.world.hitlist
+            )
+            # Second read for the median aggregation (no extra measurements:
+            # same underlying campaign, different aggregation).
+            median_matrix = np.full_like(min_matrix, np.nan)
+            for column, target in enumerate(self.target_ips):
+                rep_matrix = self.platform.ping_matrix(self.vp_ids, reps[target])
+                answered_rows = ~np.isnan(rep_matrix).all(axis=1)
+                if answered_rows.any():
+                    median_matrix[answered_rows, column] = np.nanmedian(
+                        rep_matrix[answered_rows], axis=1
+                    )
+            # A VP must not use its own /24 siblings to locate itself.
+            target_id_by_ip = {t.ip: t.host_id for t in self.targets}
+            vp_index = {int(vp_id): row for row, vp_id in enumerate(self.vp_ids)}
+            for column, ip in enumerate(self.target_ips):
+                row = vp_index.get(target_id_by_ip[ip])
+                if row is not None:
+                    min_matrix[row, column] = np.nan
+                    median_matrix[row, column] = np.nan
+            self._rep_matrix = min_matrix
+            self._rep_median_matrix = median_matrix
+            self._reps = reps
+        return self._rep_matrix, self._rep_median_matrix, self._reps
+
+    def mesh(self) -> Tuple[List[int], np.ndarray]:
+        """The anchor-mesh dataset restricted to sanitized anchors."""
+        ids, matrix = self.platform.anchor_mesh()
+        keep = [index for index, anchor_id in enumerate(ids) if anchor_id in set(self.target_ids)]
+        kept_ids = [ids[index] for index in keep]
+        sub = matrix[np.ix_(keep, keep)]
+        return kept_ids, sub
+
+    def vp_row_of_target(self, target: Host) -> Optional[int]:
+        """Row index of a target inside the VP axis (targets are anchors)."""
+        matches = np.where(self.vp_ids == target.host_id)[0]
+        return int(matches[0]) if matches.size else None
+
+    # --- construction -------------------------------------------------------------
+
+    @classmethod
+    def build(cls, config: WorldConfig) -> "Scenario":
+        """Run the full §4 dataset pipeline for a world configuration."""
+        world = build_world(config)
+        platform = AtlasPlatform(world)
+        client = AtlasClient(platform)
+
+        # §4.3 step 1: sanitize anchors on the mesh.
+        mesh_ids, mesh_matrix = platform.anchor_mesh()
+        anchor_locations = [
+            platform.probe_info(anchor_id).location for anchor_id in mesh_ids
+        ]
+        kept_anchor_ids, removed_anchor_ids = sanitize_anchors(
+            mesh_ids, mesh_matrix, anchor_locations
+        )
+
+        # §4.3 step 2: sanitize probes against the sanitized anchors.
+        probe_infos = [info for info in platform.probe_infos() if not info.is_anchor]
+        probe_ids = [info.probe_id for info in probe_infos]
+        kept_anchor_ips = [platform.probe_info(a).address for a in kept_anchor_ids]
+        probe_matrix = client.ping_matrix(probe_ids, kept_anchor_ips, seq=7)
+        kept_probe_ids, removed_probe_ids = sanitize_probes(
+            probe_ids,
+            [info.location for info in probe_infos],
+            [platform.probe_info(a).location for a in kept_anchor_ids],
+            probe_matrix,
+        )
+
+        kept_vp_ids = sorted(set(kept_anchor_ids) | set(kept_probe_ids))
+        vps = [platform.probe_info(vp_id) for vp_id in kept_vp_ids]
+        targets = [world.host_by_id(anchor_id) for anchor_id in kept_anchor_ids]
+        targets.sort(key=lambda host: host.host_id)
+        return cls(
+            world=world,
+            platform=platform,
+            client=client,
+            targets=targets,
+            vps=vps,
+            removed_anchor_ids=removed_anchor_ids,
+            removed_probe_ids=removed_probe_ids,
+        )
+
+
+_SCENARIO_CACHE: Dict[Tuple[str, int], Scenario] = {}
+
+
+def get_scenario(preset: str = "paper", seed: Optional[int] = None) -> Scenario:
+    """A cached scenario for a preset ("paper" or "small").
+
+    Args:
+        preset: which :class:`WorldConfig` factory to use.
+        seed: override the preset's default seed.
+
+    Raises:
+        ValueError: for unknown presets.
+    """
+    if preset == "paper":
+        config = WorldConfig.paper() if seed is None else WorldConfig.paper(seed)
+    elif preset == "small":
+        config = WorldConfig.small() if seed is None else WorldConfig.small(seed)
+    else:
+        raise ValueError(f"unknown scenario preset: {preset!r}")
+    key = (preset, config.seed)
+    scenario = _SCENARIO_CACHE.get(key)
+    if scenario is None:
+        scenario = Scenario.build(config)
+        _SCENARIO_CACHE[key] = scenario
+    return scenario

@@ -1,0 +1,138 @@
+"""Seed-robustness sweeps: are the conclusions world-independent?
+
+The substrate is synthetic, so any single world could — in principle —
+produce a conclusion by accident. This module re-runs an experiment across
+several world seeds and summarises how each measured statistic varies,
+separating robust findings (stable across worlds) from seed artefacts.
+
+Used by ``benchmarks/test_bench_seed_robustness.py`` and available for any
+experiment::
+
+    from repro.experiments.sweep import seed_sweep
+    from repro.experiments.fig7 import run_fig7
+
+    summary = seed_sweep(run_fig7, preset="small", seeds=(7, 8, 9))
+    print(summary.render())
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+from repro.analysis import format_table
+from repro.experiments.base import ExperimentOutput
+from repro.experiments.scenario import Scenario
+from repro.world.config import WorldConfig
+
+
+@dataclass
+class SweepStat:
+    """One measured statistic across seeds.
+
+    Attributes:
+        name: the statistic's key in ``ExperimentOutput.measured``.
+        values: one value per seed, in seed order.
+        paper: the paper's value, when the experiment declares one.
+    """
+
+    name: str
+    values: List[float]
+    paper: float = math.nan
+
+    @property
+    def mean(self) -> float:
+        defined = [v for v in self.values if not math.isnan(v)]
+        return sum(defined) / len(defined) if defined else math.nan
+
+    @property
+    def spread(self) -> float:
+        """Max minus min over seeds (absolute robustness band)."""
+        defined = [v for v in self.values if not math.isnan(v)]
+        return (max(defined) - min(defined)) if defined else math.nan
+
+    @property
+    def relative_spread(self) -> float:
+        """Spread over |mean| — the fraction the statistic wobbles by."""
+        mean = self.mean
+        if math.isnan(mean) or mean == 0.0:
+            return math.nan
+        return self.spread / abs(mean)
+
+
+@dataclass
+class SweepSummary:
+    """Result of a seed sweep."""
+
+    experiment_id: str
+    seeds: List[int]
+    stats: Dict[str, SweepStat] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Printable per-statistic robustness table."""
+        rows = []
+        for stat in self.stats.values():
+            rows.append(
+                [
+                    stat.name,
+                    "n/a" if math.isnan(stat.paper) else f"{stat.paper:g}",
+                    f"{stat.mean:.3g}",
+                    f"{stat.spread:.3g}",
+                    "n/a"
+                    if math.isnan(stat.relative_spread)
+                    else f"{stat.relative_spread:.0%}",
+                ]
+            )
+        header = (
+            f"== seed sweep: {self.experiment_id} over seeds {self.seeds} ==\n"
+        )
+        return header + format_table(
+            ["statistic", "paper", "mean", "spread", "rel spread"], rows
+        )
+
+    def robust(self, name: str, max_relative_spread: float = 0.5) -> bool:
+        """Whether a statistic stays within a relative band across seeds."""
+        stat = self.stats.get(name)
+        if stat is None:
+            raise KeyError(f"no sweep statistic named {name!r}")
+        rel = stat.relative_spread
+        return (not math.isnan(rel)) and rel <= max_relative_spread
+
+
+def seed_sweep(
+    experiment: Callable[[Scenario], ExperimentOutput],
+    preset: str = "small",
+    seeds: Sequence[int] = (7, 8, 9),
+) -> SweepSummary:
+    """Run an experiment across several freshly built worlds.
+
+    Args:
+        experiment: a ``run_*`` function taking only a scenario (wrap
+            parameterised experiments in a lambda).
+        preset: which WorldConfig factory to use per seed.
+        seeds: world seeds to build.
+
+    Returns:
+        A :class:`SweepSummary` aggregating every measured statistic.
+    """
+    if preset == "paper":
+        configs = [WorldConfig.paper(seed) for seed in seeds]
+    elif preset == "small":
+        configs = [WorldConfig.small(seed) for seed in seeds]
+    else:
+        raise ValueError(f"unknown preset {preset!r}")
+
+    summary = SweepSummary(experiment_id="?", seeds=list(seeds))
+    for config in configs:
+        scenario = Scenario.build(config)
+        output = experiment(scenario)
+        summary.experiment_id = output.experiment_id
+        for name, value in output.measured.items():
+            stat = summary.stats.get(name)
+            if stat is None:
+                paper = output.expected.get(name, math.nan)
+                stat = SweepStat(name=name, values=[], paper=float(paper))
+                summary.stats[name] = stat
+            stat.values.append(float(value))
+    return summary

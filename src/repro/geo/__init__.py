@@ -1,0 +1,32 @@
+"""Geodesy primitives: points, distances, circles, regions, and sampling.
+
+Everything in this package works on a spherical Earth model (mean radius
+:data:`repro.constants.EARTH_RADIUS_KM`), which is the model used by all the
+latency-based geolocation literature this library replicates.
+"""
+
+from repro.geo.coords import (
+    GeoPoint,
+    bearing_deg,
+    bulk_haversine_km,
+    destination,
+    haversine_km,
+    midpoint,
+)
+from repro.geo.regions import Circle, IntersectionRegion, cbg_region
+from repro.geo.sampling import concentric_circle_points
+from repro.geo.grid import PopulationGrid
+
+__all__ = [
+    "GeoPoint",
+    "bearing_deg",
+    "bulk_haversine_km",
+    "destination",
+    "haversine_km",
+    "midpoint",
+    "Circle",
+    "IntersectionRegion",
+    "cbg_region",
+    "concentric_circle_points",
+    "PopulationGrid",
+]

@@ -1,0 +1,100 @@
+"""Population-density queries (substitute for Gridded Population of the World).
+
+The paper reads population density per target from the GPW v4 dataset (1 km
+resolution). Offline, we compute density analytically from the synthetic
+world's cities: each city contributes a Gaussian kernel whose integral equals
+its population, on top of a small rural baseline. Evaluating the kernel sum
+at a point is equivalent to reading a raster built from the same kernels, so
+the downstream analyses (Figures 6b and 8) exercise identical code paths.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.geo.coords import GeoPoint, haversine_km
+
+
+@dataclass(frozen=True)
+class PopulationCenter:
+    """One kernel of the density field: a city with population and spread."""
+
+    location: GeoPoint
+    population: float
+    sigma_km: float
+
+    def density_at_distance(self, distance_km: float) -> float:
+        """People per square km contributed at a given distance."""
+        variance = self.sigma_km**2
+        return (
+            self.population
+            / (2.0 * math.pi * variance)
+            * math.exp(-(distance_km**2) / (2.0 * variance))
+        )
+
+
+class PopulationGrid:
+    """Queryable population-density field built from population centers.
+
+    A 1-degree bucket index keeps queries fast: only centers within
+    ``reach_deg`` buckets of the query point are evaluated (beyond roughly
+    five sigmas a kernel contributes nothing measurable).
+    """
+
+    def __init__(
+        self,
+        centers: Iterable[PopulationCenter],
+        rural_density: float = 2.0,
+        reach_deg: int = 2,
+    ) -> None:
+        """Build the index.
+
+        Args:
+            centers: the population kernels.
+            rural_density: baseline density (people/km^2) far from any city.
+            reach_deg: bucket search radius in degrees.
+        """
+        if rural_density < 0:
+            raise ValueError(f"rural density must be non-negative: {rural_density}")
+        self._rural_density = rural_density
+        self._reach_deg = reach_deg
+        self._buckets: Dict[Tuple[int, int], List[PopulationCenter]] = defaultdict(list)
+        count = 0
+        for center in centers:
+            self._buckets[self._bucket(center.location)].append(center)
+            count += 1
+        self._count = count
+
+    @staticmethod
+    def _bucket(point: GeoPoint) -> Tuple[int, int]:
+        return int(math.floor(point.lat)), int(math.floor(point.lon))
+
+    def __len__(self) -> int:
+        return self._count
+
+    def _nearby(self, point: GeoPoint) -> Iterable[PopulationCenter]:
+        lat0, lon0 = self._bucket(point)
+        for dlat in range(-self._reach_deg, self._reach_deg + 1):
+            for dlon in range(-self._reach_deg, self._reach_deg + 1):
+                lon = (lon0 + dlon + 180) % 360 - 180
+                lat = lat0 + dlat
+                if not -90 <= lat <= 90:
+                    continue
+                yield from self._buckets.get((lat, lon), ())
+
+    def density_at(self, point: GeoPoint) -> float:
+        """Population density (people/km^2) at a point.
+
+        Includes the rural baseline, so the result is always positive —
+        matching GPW, where inhabited land never reads exactly zero.
+        """
+        total = self._rural_density
+        for center in self._nearby(point):
+            distance = haversine_km(
+                point.lat, point.lon, center.location.lat, center.location.lon
+            )
+            total += center.density_at_distance(distance)
+        return total

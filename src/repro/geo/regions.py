@@ -1,0 +1,259 @@
+"""Spherical-cap constraints and their intersection (the CBG region).
+
+Constraint-based geolocation (CBG, Gueye et al.) turns each RTT measurement
+into a *circle*: "the target is at most ``r`` km from this vantage point".
+The target must lie inside the intersection of all circles, and CBG's
+estimate is the centroid of that intersection.
+
+Intersections of spherical caps have no convenient closed form, so
+:func:`cbg_region` computes the region numerically: it samples points inside
+the tightest constraint circle (the only place the region can live),
+keeps the feasible ones, and averages them. When sampling misses a thin
+sliver region, an alternating-projection repair step walks a candidate point
+into feasibility before re-sampling locally. The approach is validated
+against analytic two-circle cases in the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.constants import MAX_GREAT_CIRCLE_KM
+from repro.errors import EmptyRegionError
+from repro.geo.coords import (
+    GeoPoint,
+    bearing_deg,
+    bulk_destination,
+    destination,
+    mean_point,
+)
+
+
+@dataclass(frozen=True)
+class Circle:
+    """A spherical cap: all points within ``radius_km`` of ``center``."""
+
+    center: GeoPoint
+    radius_km: float
+
+    def __post_init__(self) -> None:
+        if self.radius_km < 0:
+            raise ValueError(f"radius must be non-negative, got {self.radius_km}")
+
+    def contains(self, point: GeoPoint, tolerance_km: float = 1e-6) -> bool:
+        """Whether a point lies inside the cap (with a small tolerance)."""
+        return self.center.distance_km(point) <= self.radius_km + tolerance_km
+
+    def area_km2(self) -> float:
+        """Surface area of the cap on the spherical Earth."""
+        from repro.constants import EARTH_RADIUS_KM
+
+        angular = min(self.radius_km / EARTH_RADIUS_KM, math.pi)
+        return 2.0 * math.pi * EARTH_RADIUS_KM**2 * (1.0 - math.cos(angular))
+
+
+@dataclass
+class IntersectionRegion:
+    """The intersection of constraint circles, found by sampling.
+
+    Attributes:
+        circles: the constraints that define the region (after dropping
+            circles so large they constrain nothing).
+        centroid: spherical mean of the feasible sample points — the CBG
+            location estimate.
+        feasible_points: the feasible samples used for the centroid.
+        tightest: the smallest-radius circle, inside which the region lives.
+    """
+
+    circles: List[Circle]
+    centroid: GeoPoint
+    feasible_points: List[GeoPoint] = field(repr=False, default_factory=list)
+    tightest: Optional[Circle] = None
+
+    def contains(self, point: GeoPoint, tolerance_km: float = 1e-6) -> bool:
+        """Whether a point satisfies every constraint circle."""
+        return all(circle.contains(point, tolerance_km) for circle in self.circles)
+
+    def extent_km(self) -> float:
+        """Rough diameter of the region: max pairwise sample distance.
+
+        Returns 0 for a region collapsed to a single sample.
+        """
+        points = self.feasible_points
+        if len(points) < 2:
+            return 0.0
+        # The hull is small (a few hundred samples); an O(n^2) scan on the
+        # boundary samples is cheap and robust.
+        best = 0.0
+        step = max(1, len(points) // 64)
+        thinned = points[::step]
+        for i, a in enumerate(thinned):
+            for b in thinned[i + 1 :]:
+                best = max(best, a.distance_km(b))
+        return best
+
+
+def region_contains_bulk(
+    region: IntersectionRegion,
+    lats: np.ndarray,
+    lons: np.ndarray,
+    tolerance_km: float = 1e-6,
+) -> np.ndarray:
+    """Vectorised membership test: which points satisfy every constraint.
+
+    Args:
+        region: the intersection region.
+        lats: candidate latitudes (degrees).
+        lons: candidate longitudes (degrees), aligned.
+        tolerance_km: feasibility slack.
+
+    Returns:
+        Boolean array, aligned with the inputs.
+    """
+    lats = np.asarray(lats, dtype=np.float64)
+    lons = np.asarray(lons, dtype=np.float64)
+    return _feasible_mask(lats, lons, region.circles, tolerance_km)
+
+
+def _active_circles(circles: Sequence[Circle]) -> Tuple[Circle, List[Circle]]:
+    """Split circles into (tightest, possibly-binding others).
+
+    A circle that fully contains the tightest circle can never exclude any
+    candidate point, so it is dropped from the feasibility test.
+    """
+    tightest = min(circles, key=lambda c: c.radius_km)
+    active = []
+    for circle in circles:
+        if circle is tightest:
+            continue
+        separation = tightest.center.distance_km(circle.center)
+        if circle.radius_km < separation + tightest.radius_km:
+            active.append(circle)
+    return tightest, active
+
+
+def _sample_disk(
+    center: GeoPoint, radius_km: float, rings: int, spokes: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample points covering a spherical cap: center + rings x spokes grid."""
+    bearings = []
+    distances = []
+    for ring in range(1, rings + 1):
+        r = radius_km * ring / rings
+        for spoke in range(spokes):
+            bearings.append(360.0 * spoke / spokes)
+            distances.append(r)
+    lats, lons = bulk_destination(center, np.array(bearings), np.array(distances))
+    lats = np.concatenate(([center.lat], lats))
+    lons = np.concatenate(([center.lon], lons))
+    return lats, lons
+
+
+def _feasible_mask(
+    lats: np.ndarray, lons: np.ndarray, circles: Sequence[Circle], tolerance_km: float
+) -> np.ndarray:
+    """Boolean mask of which sample points satisfy every circle."""
+    from repro.geo.coords import bulk_haversine_km
+
+    mask = np.ones(lats.shape, dtype=bool)
+    for circle in circles:
+        distances = bulk_haversine_km(lats, lons, circle.center.lat, circle.center.lon)
+        mask &= distances <= circle.radius_km + tolerance_km
+        if not mask.any():
+            break
+    return mask
+
+
+def _repair_point(start: GeoPoint, circles: Sequence[Circle], max_iterations: int = 80) -> Optional[GeoPoint]:
+    """Walk a point into the intersection via alternating projections.
+
+    Repeatedly moves the point just inside the most-violated circle. This
+    converges for non-empty intersections of convex caps; returns None when
+    no feasible point is found within the iteration budget.
+    """
+    point = start
+    for _ in range(max_iterations):
+        worst: Optional[Circle] = None
+        worst_excess = 1e-9
+        for circle in circles:
+            excess = point.distance_km(circle.center) - circle.radius_km
+            if excess > worst_excess:
+                worst_excess = excess
+                worst = circle
+        if worst is None:
+            return point
+        # Move along the great circle toward the violated circle's center,
+        # landing slightly inside its boundary.
+        bearing = bearing_deg(point, worst.center)
+        point = destination(point, bearing, worst_excess + min(1.0, worst.radius_km * 0.01))
+    return None
+
+
+def cbg_region(
+    circles: Sequence[Circle],
+    rings: int = 10,
+    spokes: int = 24,
+    tolerance_km: float = 0.5,
+) -> IntersectionRegion:
+    """Compute the intersection region of constraint circles.
+
+    Args:
+        circles: the CBG constraints. Must be non-empty.
+        rings: number of concentric sampling rings inside the tightest circle.
+        spokes: number of angular samples per ring.
+        tolerance_km: feasibility slack, absorbing spherical-trig round-off.
+
+    Returns:
+        An :class:`IntersectionRegion` whose ``centroid`` is the CBG estimate.
+
+    Raises:
+        ValueError: if no circles are given.
+        EmptyRegionError: if the circles provably share no common point
+            (within the sampling resolution and repair budget).
+    """
+    if not circles:
+        raise ValueError("CBG needs at least one constraint circle")
+    # A radius of >= half the Earth's circumference constrains nothing.
+    meaningful = [c for c in circles if c.radius_km < MAX_GREAT_CIRCLE_KM]
+    if not meaningful:
+        tightest = min(circles, key=lambda c: c.radius_km)
+        return IntersectionRegion(
+            circles=list(circles), centroid=tightest.center, feasible_points=[tightest.center], tightest=tightest
+        )
+    tightest, active = _active_circles(meaningful)
+    constraints: List[Circle] = [tightest] + active
+
+    lats, lons = _sample_disk(tightest.center, tightest.radius_km, rings, spokes)
+    mask = _feasible_mask(lats, lons, active, tolerance_km)
+
+    if not mask.any():
+        # The region may be a thin sliver between circle boundaries that the
+        # grid missed; repair a candidate point, then sample locally.
+        repaired = _repair_point(tightest.center, constraints)
+        if repaired is None:
+            raise EmptyRegionError(
+                f"{len(constraints)} constraint circles share no common point"
+            )
+        local_radius = max(tightest.radius_km / max(rings, 1), 1.0)
+        lats, lons = _sample_disk(repaired, local_radius, rings, spokes)
+        mask = _feasible_mask(lats, lons, constraints, tolerance_km)
+        if not mask.any():
+            return IntersectionRegion(
+                circles=constraints,
+                centroid=repaired,
+                feasible_points=[repaired],
+                tightest=tightest,
+            )
+
+    feasible = [GeoPoint(float(lat), float(lon)) for lat, lon in zip(lats[mask], lons[mask])]
+    centroid = mean_point(feasible)
+    if not all(c.contains(centroid, tolerance_km=tightest.radius_km) for c in constraints):
+        # Pathological concave slivers can place the mean outside; snap back.
+        centroid = feasible[0]
+    return IntersectionRegion(
+        circles=constraints, centroid=centroid, feasible_points=feasible, tightest=tightest
+    )

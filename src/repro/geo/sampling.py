@@ -1,0 +1,75 @@
+"""Concentric-circle sampling of a region (street level paper, tiers 2/3).
+
+Tier 2 of the street level technique looks for landmarks around the CBG
+centroid: it draws concentric circles whose radius grows by a step ``R``
+(5 km in tier 2, 1 km in tier 3) and picks sample points on each circle by
+rotating from 0 degrees in increments of ``alpha`` (36 degrees in tier 2,
+10 degrees in tier 3). The process stops at the first circle that has no
+point inside the region.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional
+
+from repro.geo.coords import GeoPoint, destination
+from repro.geo.regions import IntersectionRegion
+
+
+def circle_points(center: GeoPoint, radius_km: float, alpha_deg: float) -> List[GeoPoint]:
+    """Points on one circle, rotated from bearing 0 by steps of ``alpha_deg``.
+
+    Args:
+        center: circle center.
+        radius_km: circle radius in kilometres (must be positive).
+        alpha_deg: angular step in degrees; e.g. 36 yields 10 points.
+
+    Raises:
+        ValueError: if ``radius_km`` or ``alpha_deg`` is not positive.
+    """
+    if radius_km <= 0:
+        raise ValueError(f"radius must be positive, got {radius_km}")
+    if alpha_deg <= 0:
+        raise ValueError(f"alpha must be positive, got {alpha_deg}")
+    points = []
+    bearing = 0.0
+    while bearing < 360.0 - 1e-9:
+        points.append(destination(center, bearing, radius_km))
+        bearing += alpha_deg
+    return points
+
+
+def concentric_circle_points(
+    center: GeoPoint,
+    region: Optional[IntersectionRegion],
+    step_km: float,
+    alpha_deg: float,
+    max_circles: int = 200,
+    inside: Optional[Callable[[GeoPoint], bool]] = None,
+) -> Iterator[GeoPoint]:
+    """Yield region sample points per the street level paper's procedure.
+
+    Yields the center first, then points on circles of radius ``k * step_km``
+    (``k = 1, 2, ...``), keeping only points inside the region, and stopping
+    at the first circle with no point inside the region (or after
+    ``max_circles`` circles, a safety bound for huge regions).
+
+    Args:
+        center: circle center, the region centroid from the previous tier.
+        region: the constraint region; ``None`` means "no constraint" and
+            only ``max_circles`` bounds the walk.
+        step_km: radius increment per circle (R in the paper).
+        alpha_deg: rotation step per point (alpha in the paper).
+        max_circles: hard bound on the number of circles.
+        inside: optional membership override; defaults to
+            ``region.contains``.
+    """
+    if inside is None:
+        inside = region.contains if region is not None else (lambda _point: True)
+    yield center
+    for k in range(1, max_circles + 1):
+        kept = [p for p in circle_points(center, k * step_km, alpha_deg) if inside(p)]
+        if not kept:
+            return
+        for point in kept:
+            yield point

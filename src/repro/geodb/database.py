@@ -1,0 +1,64 @@
+"""Prefix-keyed geolocation database with a pluggable error model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.geo.coords import GeoPoint
+from repro.net.addressing import ip_to_int
+from repro.world.hosts import Host
+from repro.world.world import World
+
+#: An error model: (prefix_base, true_location) -> recorded location or
+#: ``None`` when the provider has no data for the prefix.
+ErrorModel = Callable[[int, GeoPoint], Optional[GeoPoint]]
+
+
+@dataclass(frozen=True)
+class _PrefixEntry:
+    location: Optional[GeoPoint]
+
+
+class GeoDatabase:
+    """An IP-to-location database, queried like MaxMind/IPinfo dumps.
+
+    Entries are derived lazily, one /24 at a time: the provider "knows" the
+    prefix's true position (from its own measurements and hints) degraded
+    through the provider-specific error model. Lookups are deterministic —
+    the same prefix always answers the same location, like a real snapshot.
+    """
+
+    def __init__(self, name: str, world: World, error_model: ErrorModel) -> None:
+        self.name = name
+        self._world = world
+        self._error_model = error_model
+        self._cache: Dict[int, _PrefixEntry] = {}
+        # /24 -> hosts index over the static world (the routable truth).
+        self._hosts_by_prefix: Dict[int, List[Host]] = {}
+        for host in world.hosts:
+            base = ip_to_int(host.ip) & 0xFFFFFF00
+            self._hosts_by_prefix.setdefault(base, []).append(host)
+
+    def lookup(self, ip: str) -> Optional[GeoPoint]:
+        """The database's location for an address (``None`` if uncovered)."""
+        base = ip_to_int(ip) & 0xFFFFFF00
+        entry = self._cache.get(base)
+        if entry is None:
+            hosts = self._hosts_by_prefix.get(base)
+            if not hosts:
+                entry = _PrefixEntry(None)
+            else:
+                # The prefix's representative truth: its first host's
+                # physical position (providers see prefixes, not hosts).
+                truth = hosts[0].true_location
+                entry = _PrefixEntry(self._error_model(base, truth))
+            self._cache[base] = entry
+        return entry.location
+
+    def coverage_of(self, ips: List[str]) -> float:
+        """Fraction of the given addresses the database can answer."""
+        if not ips:
+            return 0.0
+        answered = sum(1 for ip in ips if self.lookup(ip) is not None)
+        return answered / len(ips)

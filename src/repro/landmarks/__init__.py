@@ -1,0 +1,28 @@
+"""Landmark infrastructure for the street level technique.
+
+The street level paper turns map data into measurement targets:
+reverse-geocode sample points to zip codes (:mod:`repro.landmarks.mapping`),
+list the amenities advertising websites around those zip codes
+(:mod:`repro.landmarks.overpass`), and keep the websites that pass the
+locally-hosted tests (:mod:`repro.landmarks.validation`). The
+:mod:`repro.landmarks.discovery` module runs the whole funnel.
+"""
+
+from repro.landmarks.mapping import ReverseGeocoder, ReverseGeocodeResult
+from repro.landmarks.overpass import OverpassService
+from repro.landmarks.validation import LandmarkValidator, ValidationOutcome
+from repro.landmarks.discovery import Landmark, LandmarkDiscovery, DiscoveryStats
+from repro.landmarks.cache import CacheStats, LandmarkCache
+
+__all__ = [
+    "ReverseGeocoder",
+    "ReverseGeocodeResult",
+    "OverpassService",
+    "LandmarkValidator",
+    "ValidationOutcome",
+    "Landmark",
+    "LandmarkDiscovery",
+    "DiscoveryStats",
+    "CacheStats",
+    "LandmarkCache",
+]

@@ -1,0 +1,80 @@
+"""Reverse geocoding: coordinates to zip codes (Nominatim substitute).
+
+The replication runs a local Nominatim instance because the Geonames API's
+quota (1,000 calls/hour) cannot absorb the ~878 reverse-geocoding queries a
+single target needs (§4.2.4). Even self-hosted, the service rate-limits at
+roughly 8 requests per second — the number this module charges to the
+simulated clock, since it dominates landmark-discovery time (§5.2.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.atlas.clock import SimClock
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.landmarks.cache import LandmarkCache
+from repro.atlas.ratelimit import SlidingWindowRateLimiter
+from repro.geo.coords import GeoPoint
+from repro.world.world import World
+
+#: Points farther than this from every city centre have no postal address.
+MAX_URBAN_RADIUS_KM = 60.0
+
+#: Server-side processing time per reverse-geocoding query, seconds.
+QUERY_COST_S = 0.02
+
+
+@dataclass(frozen=True)
+class ReverseGeocodeResult:
+    """A successful reverse-geocoding answer."""
+
+    zipcode: str
+    city_id: int
+
+
+class ReverseGeocoder:
+    """Maps coordinates to the zip code covering them."""
+
+    def __init__(
+        self,
+        world: World,
+        clock: Optional[SimClock] = None,
+        max_requests_per_s: int = 8,
+        cache: Optional["LandmarkCache"] = None,
+    ) -> None:
+        self.world = world
+        self._clock = clock
+        self._limiter = (
+            SlidingWindowRateLimiter(clock, max_requests_per_s) if clock else None
+        )
+        self._cache = cache
+        self.queries = 0
+
+    def reverse(self, point: GeoPoint) -> Optional[ReverseGeocodeResult]:
+        """The zip code at a point, or ``None`` in unpopulated areas.
+
+        Charges rate-limit wait time and processing time to the clock —
+        unless a shared cache (paper §5.2.5) already holds the answer, in
+        which case the query never reaches the service.
+        """
+        if self._cache is not None:
+            hit, cached = self._cache.get_geocode(point)
+            if hit:
+                return cached
+        self.queries += 1
+        if self._limiter is not None:
+            self._limiter.acquire("mapping")
+        if self._clock is not None:
+            self._clock.advance(QUERY_COST_S, "mapping")
+        city = self.world.city_index.nearest(point, max_distance_km=MAX_URBAN_RADIUS_KM)
+        answer = (
+            None
+            if city is None
+            else ReverseGeocodeResult(zipcode=city.zipcode_at(point), city_id=city.city_id)
+        )
+        if self._cache is not None:
+            self._cache.put_geocode(point, answer)
+        return answer

@@ -1,0 +1,57 @@
+"""Amenity queries: zip code to points of interest (Overpass substitute).
+
+The replication queries a public Overpass instance for "all the amenities
+with a website" around each zip code (§4.2.4), observing rate limiting at
+about 8 simultaneous requests. This service returns the POIs *spatially*
+located in a zip-code cell; note that a POI's **listed** postal address may
+disagree with the cell it physically sits in (stale map data), which is
+exactly what the street level zip-code test screens for.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.atlas.clock import SimClock
+from repro.atlas.ratelimit import SlidingWindowRateLimiter
+from repro.world.pois import PointOfInterest
+from repro.world.world import World
+
+#: Server-side processing time per Overpass query, seconds.
+QUERY_COST_S = 0.05
+
+
+class OverpassService:
+    """Lists the websites-bearing amenities inside a zip-code cell."""
+
+    def __init__(
+        self,
+        world: World,
+        clock: Optional[SimClock] = None,
+        max_requests_per_s: int = 8,
+    ) -> None:
+        self.world = world
+        self._clock = clock
+        self._limiter = (
+            SlidingWindowRateLimiter(clock, max_requests_per_s) if clock else None
+        )
+        self.queries = 0
+
+    def amenities_with_website(self, city_id: int, zipcode: str) -> List[PointOfInterest]:
+        """POIs with a website physically inside a zip-code cell.
+
+        Args:
+            city_id: the city owning the zip code (from reverse geocoding).
+            zipcode: the cell to search.
+
+        Returns:
+            POIs whose location falls in the cell and that advertise a
+            website; their *listed* ``zipcode`` attribute may differ.
+        """
+        self.queries += 1
+        if self._limiter is not None:
+            self._limiter.acquire("mapping")
+        if self._clock is not None:
+            self._clock.advance(QUERY_COST_S, "mapping")
+        in_cell = self.world.pois_by_spatial_zip(city_id).get(zipcode, [])
+        return [poi for poi in in_cell if poi.has_website]

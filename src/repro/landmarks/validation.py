@@ -1,0 +1,130 @@
+"""The street level paper's locally-hosted website tests (its §3.2).
+
+A candidate website only becomes a landmark if three checks pass:
+
+1. **Zip-code test** — the zip code of the entity's postal address (what
+   the mapping service lists) must match the zip code of the sampled circle
+   point that surfaced it; stale listings fail here.
+2. **CDN/hosting test** — one DNS resolution plus two content fetches: a
+   CNAME chain landing on a known CDN domain, or an A record pointing into
+   a content/hosting network, disqualifies the site (it is served from a
+   datacenter, not from the postal address).
+3. **Multi-zipcode test** — a website advertised by entities in several zip
+   codes (a franchise chain) cannot pin down one location.
+
+The replication ran 2,755,315 such tests (§5.2.5) — a DNS query and two
+wgets each — so the simulated cost per test matters for Figure 6c and is
+charged to the clock here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.atlas.clock import SimClock
+from repro.world.pois import PointOfInterest, Website
+from repro.world.world import World
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.landmarks.cache import LandmarkCache
+
+#: Seconds for the DNS resolution of one candidate website.
+DNS_COST_S = 0.15
+#: Seconds per content fetch (the test performs two).
+FETCH_COST_S = 0.6
+#: Website tests for one target run in a worker pool of this size; the
+#: per-target clock advances by cost / parallelism.
+TEST_PARALLELISM = 8
+
+
+@dataclass(frozen=True)
+class ValidationOutcome:
+    """Verdict of the locally-hosted tests for one (POI, website) pair.
+
+    Attributes:
+        passed: whether all three tests passed.
+        reason: which test rejected the site (``None`` when passed):
+            ``"zipcode"``, ``"cdn"``, ``"multi-zip"``, or ``"dns"`` for
+            unresolvable names.
+    """
+
+    passed: bool
+    reason: Optional[str] = None
+
+
+class LandmarkValidator:
+    """Runs the three locally-hosted tests against the simulated web."""
+
+    def __init__(
+        self,
+        world: World,
+        clock: Optional[SimClock] = None,
+        cache: Optional["LandmarkCache"] = None,
+    ) -> None:
+        self.world = world
+        self._clock = clock
+        self._cache = cache
+        self.tests_run = 0
+
+    def _charge(self, seconds: float) -> None:
+        if self._clock is not None:
+            self._clock.advance(seconds / TEST_PARALLELISM, "website-tests")
+
+    def validate(
+        self, poi: PointOfInterest, website: Website, query_zipcode: str
+    ) -> ValidationOutcome:
+        """Apply the three tests to a candidate website.
+
+        Args:
+            poi: the point of interest advertising the site.
+            website: the advertised website.
+            query_zipcode: zip code of the circle sample point that
+                surfaced the POI (test 1 compares against the POI's listed
+                postal code).
+        """
+        if self._cache is not None:
+            hit, cached = self._cache.get_validation(
+                website.hostname, poi.zipcode, query_zipcode
+            )
+            if hit and cached is not None:
+                return cached
+        self.tests_run += 1
+        outcome = self._run_tests(poi, website, query_zipcode)
+        if self._cache is not None:
+            self._cache.put_validation(
+                website.hostname, poi.zipcode, query_zipcode, outcome
+            )
+        return outcome
+
+    def _run_tests(
+        self, poi: PointOfInterest, website: Website, query_zipcode: str
+    ) -> ValidationOutcome:
+        # Test 1: listed postal address vs sampled location (no network).
+        if poi.zipcode != query_zipcode:
+            return ValidationOutcome(False, "zipcode")
+
+        # Test 2: DNS + two fetches.
+        self._charge(DNS_COST_S + 2 * FETCH_COST_S)
+        record = self.world.dns.try_resolve(website.hostname)
+        if record is None:
+            return ValidationOutcome(False, "dns")
+        if record.behind_cdn:
+            return ValidationOutcome(False, "cdn")
+        # Who originates the serving address? A content/hosting AS means the
+        # site is served from a datacenter, not from the postal address.
+        server = self.world.try_host(record.ip)
+        origin_asn = server.asn if server is not None else self.world.bgp.origin_asn(record.ip)
+        if origin_asn is not None:
+            server_as = self.world.ases.get(origin_asn)
+            if server_as is not None and server_as.caida_type == "Content":
+                return ValidationOutcome(False, "cdn")
+
+        # Test 3: does the website appear under multiple zip codes?
+        directory = self.world.web_directory
+        if directory is not None and directory.appears_in_multiple_zipcodes(
+            website.hostname
+        ):
+            return ValidationOutcome(False, "multi-zip")
+
+        return ValidationOutcome(True)

@@ -1,0 +1,17 @@
+"""The latency substrate: RTT and traceroute simulation.
+
+See :mod:`repro.latency.model` for the delay decomposition and
+:mod:`repro.latency.speed` for time/distance conversions.
+"""
+
+from repro.latency.model import LatencyModel, PingObservation, TraceHop, TraceObservation
+from repro.latency.speed import SOI_KM_PER_MS, km_per_ms
+
+__all__ = [
+    "LatencyModel",
+    "PingObservation",
+    "TraceHop",
+    "TraceObservation",
+    "SOI_KM_PER_MS",
+    "km_per_ms",
+]

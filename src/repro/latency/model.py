@@ -1,0 +1,271 @@
+"""RTT and traceroute simulation.
+
+Delay decomposition for one probe packet from host A to host B::
+
+    rtt = 2 * path_km(A, B) * fiber(A, B) / SOI_KM_PER_MS   # propagation
+        + last_mile(A) + last_mile(B)                        # access links
+        + jitter                                             # queueing
+
+* ``path_km`` is the routed (waypoint) distance from :class:`Topology`,
+  always >= the direct great-circle distance;
+* ``fiber`` is a per-pair factor in ``[fiber_min, fiber_max]`` modelling
+  cable slack and slower segments (symmetric, stable across measurements);
+* ``jitter`` is exponential per packet; a ping takes the minimum over its
+  packets, as real measurement platforms report.
+
+Traceroute hop timestamps add two extra noise terms observed in practice:
+Gaussian interface noise, and occasional large "ICMP slow path" spikes on
+intermediate routers (control-plane rate limiting). These spikes are what
+makes the street level D1+D2 delay differences noisy and often negative
+(paper §5.2.3, Figure 6a, and appendix B).
+
+Scalar and bulk paths share keys and formulas: ``bulk_min_rtt`` returns
+exactly what per-pair :meth:`LatencyModel.ping` calls would (property-
+tested).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import rand
+from repro.latency.speed import SOI_KM_PER_MS
+from repro.topology.graph import HostNetParams, Topology
+from repro.topology.routing import build_route
+from repro.world.hosts import Host
+from repro.world.world import World
+
+
+@dataclass(frozen=True)
+class PingObservation:
+    """Result of one ping measurement (a burst of packets).
+
+    Attributes:
+        src_ip: pinger address.
+        dst_ip: target address.
+        rtts_ms: per-packet RTTs; ``None`` entries are lost packets.
+        min_rtt_ms: minimum over received packets; ``None`` if none came
+            back (lost or unresponsive target).
+    """
+
+    src_ip: str
+    dst_ip: str
+    rtts_ms: Tuple[Optional[float], ...]
+    min_rtt_ms: Optional[float]
+
+    @property
+    def responded(self) -> bool:
+        """Whether at least one packet came back."""
+        return self.min_rtt_ms is not None
+
+
+@dataclass(frozen=True)
+class TraceHop:
+    """One traceroute hop: the responding address and its RTT."""
+
+    ip: str
+    rtt_ms: float
+
+
+@dataclass(frozen=True)
+class TraceObservation:
+    """Result of one traceroute measurement."""
+
+    src_ip: str
+    dst_ip: str
+    hops: Tuple[TraceHop, ...]
+    reached: bool
+
+    def rtt_to(self, hop_ip: str) -> Optional[float]:
+        """RTT of the first hop with a given address, if present."""
+        for hop in self.hops:
+            if hop.ip == hop_ip:
+                return hop.rtt_ms
+        return None
+
+    @property
+    def destination_rtt_ms(self) -> Optional[float]:
+        """RTT of the destination hop, if the destination answered."""
+        if self.reached and self.hops:
+            return self.hops[-1].rtt_ms
+        return None
+
+
+class LatencyModel:
+    """Computes what measurements between world hosts observe."""
+
+    def __init__(self, world: World, topology: Topology) -> None:
+        self.world = world
+        self.topology = topology
+        config = world.config
+        self._fiber_min = config.fiber_factor_min
+        self._fiber_span = config.fiber_factor_max - config.fiber_factor_min
+        self._jitter_mean = config.jitter_mean_ms
+        self._loss_rate = config.packet_loss_rate
+        self._hop_noise_std = config.hop_noise_std_ms
+        self._spike_probability = config.hop_spike_probability
+        self._spike_mean = config.hop_spike_mean_ms
+        self._seed = config.seed
+
+    # --- shared delay components -------------------------------------------
+
+    def fiber_factor(self, a_id: int, b_id: int) -> float:
+        """Per-pair propagation slowdown factor (symmetric, stable)."""
+        low, high = (a_id, b_id) if a_id <= b_id else (b_id, a_id)
+        pk = rand.pair_key(low, high)
+        return self._fiber_min + self._fiber_span * rand.uniform(("fiber", pk))
+
+    def base_rtt_ms(self, src: HostNetParams, dst: HostNetParams) -> float:
+        """Deterministic part of the RTT (no jitter, no loss)."""
+        path = self.topology.path_km(src, dst)
+        fiber = self.fiber_factor(src.host_id, dst.host_id)
+        return (
+            2.0 * path * fiber / SOI_KM_PER_MS + src.last_mile_ms + dst.last_mile_ms
+        )
+
+    # --- ping ------------------------------------------------------------------
+
+    def ping(
+        self, src: Host, dst: Host, packets: int = 3, seq: int = 0
+    ) -> PingObservation:
+        """Simulate a ping burst from ``src`` to ``dst``.
+
+        Args:
+            src: pinging host.
+            dst: target host; if unresponsive, every packet times out.
+            packets: burst size (RIPE Atlas default is 3).
+            seq: measurement sequence number; distinct values give
+                independent jitter (repeated measurements).
+        """
+        if packets < 1:
+            raise ValueError(f"packets must be positive: {packets}")
+        if not dst.responsive:
+            return PingObservation(src.ip, dst.ip, (None,) * packets, None)
+        base = self.base_rtt_ms(
+            self.topology.params_for(src), self.topology.params_for(dst)
+        )
+        low, high = sorted((src.host_id, dst.host_id))
+        pk = rand.pair_key(low, high)
+        rtts: List[Optional[float]] = []
+        for packet in range(packets):
+            if rand.uniform(("loss", seq, packet, pk)) < self._loss_rate:
+                rtts.append(None)
+                continue
+            jitter = -self._jitter_mean * math.log(
+                max(rand.uniform(("jit", seq, packet, pk)), 1e-12)
+            )
+            rtts.append(base + jitter)
+        received = [rtt for rtt in rtts if rtt is not None]
+        return PingObservation(
+            src.ip, dst.ip, tuple(rtts), min(received) if received else None
+        )
+
+    def bulk_min_rtt(
+        self,
+        src_host_ids: np.ndarray,
+        dst: Host,
+        packets: int = 3,
+        seq: int = 0,
+    ) -> np.ndarray:
+        """Vectorised ping: min RTT from many *static* hosts to one host.
+
+        Returns NaN where the target did not answer (unresponsive target or
+        all packets lost). Numerically identical to calling :meth:`ping`
+        per source with the same ``packets`` and ``seq``.
+        """
+        src_ids = np.asarray(src_host_ids, dtype=np.int64)
+        count = src_ids.shape[0]
+        if not dst.responsive:
+            return np.full(count, np.nan)
+
+        topo = self.topology
+        dst_params = topo.params_for(dst)
+        path = topo.bulk_path_km(
+            topo.host_tail_km[src_ids],
+            topo.host_uplink_km[src_ids],
+            topo.host_hub_index[src_ids],
+            self.world.host_city_ids[src_ids],
+            self.world.host_asns[src_ids],
+            dst_params,
+        )
+        low = np.minimum(src_ids, dst.host_id).astype(np.uint64)
+        high = np.maximum(src_ids, dst.host_id).astype(np.uint64)
+        pk = rand.bulk_pair_key(low, high)
+        fiber = self._fiber_min + self._fiber_span * rand.bulk_uniform("fiber", pk)
+        base = (
+            2.0 * path * fiber / SOI_KM_PER_MS
+            + self.world.host_last_mile[src_ids]
+            + dst_params.last_mile_ms
+        )
+        best = np.full(count, np.nan)
+        for packet in range(packets):
+            lost = rand.bulk_uniform(("loss", seq, packet), pk) < self._loss_rate
+            jitter = -self._jitter_mean * np.log(
+                np.maximum(rand.bulk_uniform(("jit", seq, packet), pk), 1e-12)
+            )
+            rtt = np.where(lost, np.nan, base + jitter)
+            best = np.fmin(best, rtt)
+        return best
+
+    # --- traceroute -----------------------------------------------------------
+
+    def traceroute(self, src: Host, dst: Host, seq: int = 0) -> TraceObservation:
+        """Simulate a traceroute from ``src`` to ``dst``.
+
+        Intermediate hops answer with ICMP TTL-exceeded, whose timestamps
+        carry Gaussian noise plus occasional slow-path spikes; the
+        destination answers like a ping packet. An unresponsive destination
+        yields ``reached=False`` with the router hops still present.
+        """
+        src_params = self.topology.params_for(src)
+        dst_params = self.topology.params_for(dst)
+        route = build_route(self.topology, src_params, dst_params, src.ip, dst.ip)
+        fiber = self.fiber_factor(src.host_id, dst.host_id)
+        low, high = sorted((src.host_id, dst.host_id))
+        pk = rand.pair_key(low, high)
+
+        hops: List[TraceHop] = []
+        for index, hop in enumerate(route.hops):
+            is_destination = index == len(route.hops) - 1
+            propagation = 2.0 * hop.cumulative_km * fiber / SOI_KM_PER_MS
+            if is_destination:
+                if not dst.responsive:
+                    return TraceObservation(src.ip, dst.ip, tuple(hops), reached=False)
+                jitter = -self._jitter_mean * math.log(
+                    max(rand.uniform(("jit", seq, 0, pk)), 1e-12)
+                )
+                rtt = propagation + src_params.last_mile_ms + dst_params.last_mile_ms + jitter
+            else:
+                noise = rand.normal(
+                    ("hopnoise", seq, index, pk), 0.0, self._hop_noise_std
+                )
+                spike = 0.0
+                if rand.uniform(("spike", seq, index, pk)) < self._spike_probability:
+                    spike = -self._spike_mean * math.log(
+                        max(rand.uniform(("spikemag", seq, index, pk)), 1e-12)
+                    )
+                rtt = max(
+                    propagation + src_params.last_mile_ms + noise + spike, 0.01
+                )
+            hops.append(TraceHop(hop.ip, rtt))
+        return TraceObservation(src.ip, dst.ip, tuple(hops), reached=True)
+
+    # --- convenience -----------------------------------------------------------
+
+    def min_rtt_matrix(
+        self,
+        src_host_ids: Sequence[int],
+        dst_hosts: Sequence[Host],
+        packets: int = 3,
+        seq: int = 0,
+    ) -> np.ndarray:
+        """Min-RTT matrix (sources x targets); NaN marks missing responses."""
+        src_ids = np.asarray(list(src_host_ids), dtype=np.int64)
+        matrix = np.empty((src_ids.shape[0], len(dst_hosts)))
+        for column, dst in enumerate(dst_hosts):
+            matrix[:, column] = self.bulk_min_rtt(src_ids, dst, packets=packets, seq=seq)
+        return matrix

@@ -1,0 +1,23 @@
+"""Time/distance conversion helpers for the latency model."""
+
+from __future__ import annotations
+
+from repro.constants import SOI_FRACTION_CBG, SPEED_OF_LIGHT_KM_S
+
+
+def km_per_ms(soi_fraction: float) -> float:
+    """Kilometres covered in one millisecond at a light-speed fraction.
+
+    Raises:
+        ValueError: if the fraction is not in (0, 1].
+    """
+    if not 0.0 < soi_fraction <= 1.0:
+        raise ValueError(f"speed fraction must be in (0, 1]: {soi_fraction}")
+    return soi_fraction * SPEED_OF_LIGHT_KM_S / 1000.0
+
+
+#: Propagation speed the simulator uses for signals in fibre (2/3 c), in
+#: km/ms. Per-pair fibre factors >= 1 slow paths further, so converting RTTs
+#: back to distance at 2/3 c always over-estimates — keeping CBG constraint
+#: circles valid, as in the real Internet.
+SOI_KM_PER_MS = km_per_ms(SOI_FRACTION_CBG)

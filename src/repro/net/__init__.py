@@ -1,0 +1,31 @@
+"""Network-layer primitives: IPv4 addressing, AS records, hitlist, BGP, DNS."""
+
+from repro.net.addressing import (
+    AddressAllocator,
+    Prefix,
+    int_to_ip,
+    ip_to_int,
+    prefix24_of,
+    same_prefix24,
+)
+from repro.net.asn import ASRecord, ASDB_CATEGORIES, CAIDA_TYPES
+from repro.net.bgp import PrefixTable
+from repro.net.hitlist import Hitlist, HitlistEntry
+from repro.net.dns import DnsResolver, DnsRecord
+
+__all__ = [
+    "AddressAllocator",
+    "Prefix",
+    "int_to_ip",
+    "ip_to_int",
+    "prefix24_of",
+    "same_prefix24",
+    "ASRecord",
+    "ASDB_CATEGORIES",
+    "CAIDA_TYPES",
+    "PrefixTable",
+    "Hitlist",
+    "HitlistEntry",
+    "DnsResolver",
+    "DnsRecord",
+]

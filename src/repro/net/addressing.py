@@ -1,0 +1,160 @@
+"""IPv4 addresses, prefixes, and deterministic address allocation.
+
+Addresses are represented as dotted-quad strings at API boundaries (matching
+what a measurement platform returns) and as integers internally. The
+replicated techniques reason in terms of /24 prefixes — the million scale
+paper's vantage-point selection probes three *representatives* inside the
+target's /24 — so /24 helpers get first-class treatment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import ConfigurationError
+
+
+def ip_to_int(ip: str) -> int:
+    """Parse a dotted-quad IPv4 address into a 32-bit integer.
+
+    Raises:
+        ValueError: if the string is not a valid IPv4 address.
+    """
+    parts = ip.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"not an IPv4 address: {ip!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit():
+            raise ValueError(f"not an IPv4 address: {ip!r}")
+        octet = int(part)
+        if octet > 255:
+            raise ValueError(f"octet out of range in {ip!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """Format a 32-bit integer as a dotted-quad IPv4 address.
+
+    Raises:
+        ValueError: if the value does not fit in 32 bits.
+    """
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise ValueError(f"not a 32-bit value: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def prefix24_of(ip: str) -> "Prefix":
+    """The /24 prefix containing an address."""
+    return Prefix(ip_to_int(ip) & 0xFFFFFF00, 24)
+
+
+def same_prefix24(ip_a: str, ip_b: str) -> bool:
+    """Whether two addresses share a /24 prefix."""
+    return (ip_to_int(ip_a) & 0xFFFFFF00) == (ip_to_int(ip_b) & 0xFFFFFF00)
+
+
+@dataclass(frozen=True, order=True)
+class Prefix:
+    """An IPv4 prefix: a base address (masked) plus a prefix length."""
+
+    base: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= 32:
+            raise ValueError(f"prefix length out of range: {self.length}")
+        mask = self.mask
+        if self.base & ~mask & 0xFFFFFFFF:
+            raise ValueError(f"base {int_to_ip(self.base)} has bits below /{self.length}")
+
+    @property
+    def mask(self) -> int:
+        """The netmask as a 32-bit integer."""
+        if self.length == 0:
+            return 0
+        return (0xFFFFFFFF << (32 - self.length)) & 0xFFFFFFFF
+
+    def contains(self, ip: str) -> bool:
+        """Whether an address falls inside this prefix."""
+        return (ip_to_int(ip) & self.mask) == self.base
+
+    def contains_int(self, value: int) -> bool:
+        """Whether an integer address falls inside this prefix."""
+        return (value & self.mask) == self.base
+
+    @property
+    def size(self) -> int:
+        """Number of addresses covered by the prefix."""
+        return 1 << (32 - self.length)
+
+    def addresses(self) -> Iterator[str]:
+        """Iterate every address in the prefix (use only on small prefixes)."""
+        for offset in range(self.size):
+            yield int_to_ip(self.base + offset)
+
+    def __str__(self) -> str:
+        return f"{int_to_ip(self.base)}/{self.length}"
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse ``a.b.c.d/len`` notation."""
+        try:
+            base_text, length_text = text.split("/")
+        except ValueError as exc:
+            raise ValueError(f"not CIDR notation: {text!r}") from exc
+        return cls(ip_to_int(base_text), int(length_text))
+
+
+class AddressAllocator:
+    """Hands out disjoint prefixes and host addresses deterministically.
+
+    The allocator walks the unicast space from ``base`` upward in /16 blocks;
+    each AS claims one or more /16s, and hosts receive consecutive /24s (or
+    individual addresses) within their AS's blocks. Determinism comes from
+    allocation order, which the world builder fixes by AS number.
+    """
+
+    def __init__(self, first_octet: int = 11) -> None:
+        """Start allocating at ``first_octet.0.0.0`` (default avoids 10/8)."""
+        if not 1 <= first_octet <= 223:
+            raise ConfigurationError(f"first octet must be unicast: {first_octet}")
+        self._next_slash16 = first_octet << 24
+
+    def allocate_slash16(self) -> Prefix:
+        """Claim the next free /16 block.
+
+        Raises:
+            ConfigurationError: if the unicast space is exhausted.
+        """
+        base = self._next_slash16
+        if base > (223 << 24) + 0xFFFF0000:
+            raise ConfigurationError("IPv4 allocation space exhausted")
+        self._next_slash16 = base + 0x10000
+        return Prefix(base, 16)
+
+
+class Slash24Pool:
+    """Allocates /24s and host addresses within one AS's /16 blocks."""
+
+    def __init__(self, allocator: AddressAllocator) -> None:
+        self._allocator = allocator
+        self._blocks: List[Prefix] = []
+        self._next_slash24 = 0
+
+    def allocate_slash24(self) -> Prefix:
+        """Claim the next free /24, growing the /16 pool as needed."""
+        total_slash24s = len(self._blocks) * 256
+        if self._next_slash24 >= total_slash24s:
+            self._blocks.append(self._allocator.allocate_slash16())
+        block = self._blocks[self._next_slash24 // 256]
+        offset = self._next_slash24 % 256
+        self._next_slash24 += 1
+        return Prefix(block.base + (offset << 8), 24)
+
+    @property
+    def blocks(self) -> List[Prefix]:
+        """The /16 blocks claimed so far (for BGP table construction)."""
+        return list(self._blocks)

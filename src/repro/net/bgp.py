@@ -1,0 +1,79 @@
+"""A RouteViews-like BGP prefix table with longest-prefix matching.
+
+The street level re-evaluation (§5.2.3) checks whether landmarks share a BGP
+prefix with the target. The world builder announces each AS's address blocks
+here (sometimes as one /16, sometimes de-aggregated), and analyses query the
+table exactly as they would query a RouteViews snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.net.addressing import Prefix, ip_to_int
+
+
+class PrefixTable:
+    """Maps IPv4 prefixes to origin AS numbers, with longest-prefix match."""
+
+    def __init__(self) -> None:
+        # One dict per prefix length keeps lookups O(32) worst case.
+        self._by_length: Dict[int, Dict[int, Tuple[Prefix, int]]] = {}
+        self._count = 0
+
+    def announce(self, prefix: Prefix, origin_asn: int) -> None:
+        """Insert (or replace) an announcement.
+
+        Args:
+            prefix: the announced prefix.
+            origin_asn: the originating AS number (must be positive).
+
+        Raises:
+            ValueError: if the origin AS number is not positive.
+        """
+        if origin_asn <= 0:
+            raise ValueError(f"origin ASN must be positive: {origin_asn}")
+        bucket = self._by_length.setdefault(prefix.length, {})
+        if prefix.base not in bucket:
+            self._count += 1
+        bucket[prefix.base] = (prefix, origin_asn)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def lookup(self, ip: str) -> Optional[Tuple[Prefix, int]]:
+        """Longest-prefix match for an address.
+
+        Returns:
+            ``(prefix, origin_asn)`` of the most specific covering
+            announcement, or ``None`` if nothing covers the address.
+        """
+        value = ip_to_int(ip)
+        for length in range(32, -1, -1):
+            bucket = self._by_length.get(length)
+            if not bucket:
+                continue
+            mask = 0 if length == 0 else (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF
+            hit = bucket.get(value & mask)
+            if hit is not None:
+                return hit
+        return None
+
+    def origin_asn(self, ip: str) -> Optional[int]:
+        """The origin AS for an address, or ``None`` if unrouted."""
+        hit = self.lookup(ip)
+        return hit[1] if hit is not None else None
+
+    def covering_prefix(self, ip: str) -> Optional[Prefix]:
+        """The most specific announced prefix covering an address."""
+        hit = self.lookup(ip)
+        return hit[0] if hit is not None else None
+
+    def same_bgp_prefix(self, ip_a: str, ip_b: str) -> bool:
+        """Whether two addresses fall in the same announced prefix."""
+        pfx_a = self.covering_prefix(ip_a)
+        return pfx_a is not None and pfx_a == self.covering_prefix(ip_b)
+
+    def __iter__(self) -> Iterator[Tuple[Prefix, int]]:
+        for bucket in self._by_length.values():
+            yield from bucket.values()

@@ -1,0 +1,86 @@
+"""Minimal DNS and HTTP-header simulation for the website hosting checks.
+
+The street level technique must decide whether a candidate website is
+*locally hosted* or served by a CDN / cloud platform. The paper does this
+with one DNS query and two ``wget`` fetches per website (§5.2.5: 2,755,315
+such tests). This module reproduces the observable surface those tests need:
+
+* :class:`DnsResolver` resolves a hostname to a record that may carry a
+  CNAME chain ending at a CDN's domain;
+* the HTTP "fetch" surface (served-by headers) lives on the website objects
+  in :mod:`repro.landmarks.websites`, which the validation code reads like
+  response headers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import UnknownHostError
+
+#: Hostname suffixes that identify well-known CDN platforms; resolving to a
+#: CNAME under one of these is what a CDN check looks for in practice.
+CDN_DOMAINS: Tuple[str, ...] = (
+    "edge.cdnexample.net",
+    "cache.fastroute.io",
+    "global.cloudfrontier.com",
+    "pop.anycastweb.org",
+)
+
+
+@dataclass(frozen=True)
+class DnsRecord:
+    """Resolution result for one hostname.
+
+    Attributes:
+        hostname: the queried name.
+        ip: the final A record.
+        cname_chain: intermediate CNAMEs, outermost first (empty when the
+            name resolves directly).
+    """
+
+    hostname: str
+    ip: str
+    cname_chain: Tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def final_name(self) -> str:
+        """The name the A record is attached to."""
+        return self.cname_chain[-1] if self.cname_chain else self.hostname
+
+    @property
+    def behind_cdn(self) -> bool:
+        """Whether any CNAME in the chain lands on a known CDN domain."""
+        return any(
+            name.endswith(suffix) for name in self.cname_chain for suffix in CDN_DOMAINS
+        )
+
+
+class DnsResolver:
+    """In-memory resolver populated by the world builder."""
+
+    def __init__(self) -> None:
+        self._records: Dict[str, DnsRecord] = {}
+
+    def register(self, record: DnsRecord) -> None:
+        """Install a record; later registrations replace earlier ones."""
+        self._records[record.hostname] = record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def resolve(self, hostname: str) -> DnsRecord:
+        """Resolve a hostname.
+
+        Raises:
+            UnknownHostError: if the name has no record.
+        """
+        record = self._records.get(hostname)
+        if record is None:
+            raise UnknownHostError(f"no DNS record for {hostname!r}")
+        return record
+
+    def try_resolve(self, hostname: str) -> Optional[DnsRecord]:
+        """Resolve a hostname, returning ``None`` instead of raising."""
+        return self._records.get(hostname)

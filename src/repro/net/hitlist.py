@@ -1,0 +1,91 @@
+"""An ISI-hitlist-like inventory of responsive addresses per /24 prefix.
+
+The million scale technique probes *representatives* of a target: the three
+most responsive addresses in the target's /24, as listed by the USC/ISI
+hitlist. This module provides the equivalent inventory over the simulated
+world: every host address is listed with a responsiveness score in [0, 99],
+and the selection rule ("three highest-scoring responsive addresses,
+falling back to random addresses in the /24 when fewer exist") is the one
+described in §4.1.3 of the replication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro import rand
+from repro.net.addressing import Prefix, int_to_ip, prefix24_of
+
+
+@dataclass(frozen=True, order=True)
+class HitlistEntry:
+    """One hitlist row: an address and its historical responsiveness score."""
+
+    ip: str
+    score: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.score <= 99:
+            raise ValueError(f"score must be in [0, 99]: {self.score}")
+
+    @property
+    def responsive(self) -> bool:
+        """The hitlist convention: positive score means the address replied."""
+        return self.score > 0
+
+
+class Hitlist:
+    """Per-/24 index of hitlist entries with representative selection."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._by_prefix: Dict[Prefix, List[HitlistEntry]] = {}
+        self._seed = seed
+
+    def add(self, ip: str, score: int) -> None:
+        """Record an address with its responsiveness score."""
+        self._by_prefix.setdefault(prefix24_of(ip), []).append(HitlistEntry(ip, score))
+
+    def __len__(self) -> int:
+        return sum(len(entries) for entries in self._by_prefix.values())
+
+    def entries_for(self, prefix: Prefix) -> Sequence[HitlistEntry]:
+        """All entries recorded in a /24, highest score first."""
+        entries = self._by_prefix.get(prefix, [])
+        return sorted(entries, key=lambda e: (-e.score, e.ip))
+
+    def representatives(self, target_ip: str, count: int = 3) -> List[str]:
+        """Pick representatives of a target per the million scale rule.
+
+        Takes the ``count`` most responsive addresses in the target's /24,
+        excluding the target itself. When fewer responsive addresses exist
+        (8 of the paper's 723 targets), random addresses in the /24 fill the
+        missing slots — those may turn out to be unresponsive when probed,
+        exactly as in the real study.
+
+        Args:
+            target_ip: the address whose /24 defines the candidate pool.
+            count: how many representatives to return.
+
+        Returns:
+            ``count`` distinct addresses in the target's /24.
+        """
+        prefix = prefix24_of(target_ip)
+        chosen = [
+            entry.ip
+            for entry in self.entries_for(prefix)
+            if entry.responsive and entry.ip != target_ip
+        ][:count]
+        taken = set(chosen) | {target_ip}
+        attempt = 0
+        while len(chosen) < count:
+            offset = rand.randint(
+                (self._seed, "hitlist-filler", target_ip, attempt), 1, 255
+            )
+            candidate = int_to_ip(prefix.base + offset)
+            attempt += 1
+            if candidate in taken:
+                continue
+            taken.add(candidate)
+            chosen.append(candidate)
+        return chosen

@@ -1,0 +1,23 @@
+"""Router-level topology and destination-based routing over the world.
+
+The topology gives every city a metro router, attaches each city to its
+nearest backbone hub, and routes host-to-host traffic along
+``host -> metro -> hub -> hub -> metro -> host`` waypoints. Path *length*
+(the sum of great-circle segment lengths) feeds the latency model, and the
+waypoint sequence feeds traceroute simulation — so pings and traceroutes
+are mutually consistent by construction.
+"""
+
+from repro.topology.routers import RouterRole, router_ip, parse_router_ip
+from repro.topology.graph import Topology, HostNetParams
+from repro.topology.routing import RoutePath, RouteHop
+
+__all__ = [
+    "RouterRole",
+    "router_ip",
+    "parse_router_ip",
+    "Topology",
+    "HostNetParams",
+    "RoutePath",
+    "RouteHop",
+]

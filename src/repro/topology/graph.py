@@ -1,0 +1,213 @@
+"""The Topology: per-city uplinks, the hub backbone, and per-host parameters.
+
+Everything the latency model needs about a host is condensed into a
+:class:`HostNetParams`: how far the host is from its metro router
+(``tail_km``), which hub its city homes to, and how long the city-to-hub
+uplink is. Static hosts get their parameters precomputed into numpy arrays
+(for the bulk ping engine); lazily created web servers get theirs computed
+on demand from the same formulas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro import rand
+from repro.geo.coords import GeoPoint
+from repro.world.hosts import Host
+from repro.world.world import World
+
+
+@dataclass(frozen=True)
+class HostNetParams:
+    """Network-position parameters of one host.
+
+    Attributes:
+        host_id: the host's dense id.
+        city_id: the host's physical city.
+        asn: the host's AS (drives same-city peering decisions).
+        tail_km: great-circle distance from the host to its metro router.
+        hub_index: index (into the topology's hub list) of the city's hub.
+        uplink_km: distance from the metro router to the hub router.
+        last_mile_ms: round-trip last-mile delay of the host.
+    """
+
+    host_id: int
+    city_id: int
+    asn: int
+    tail_km: float
+    hub_index: int
+    uplink_km: float
+    last_mile_ms: float
+
+
+class Topology:
+    """Routing geometry derived from a world.
+
+    The hub backbone is the set of hub cities chosen by the world builder;
+    every city homes to its nearest hub (a small preference for same-
+    continent hubs keeps routing realistic at continental borders).
+    """
+
+    def __init__(self, world: World) -> None:
+        self.world = world
+        self.hub_city_ids: List[int] = list(world.hub_city_ids)
+        self._hub_index_by_city: Dict[int, int] = {
+            city_id: index for index, city_id in enumerate(self.hub_city_ids)
+        }
+
+        hub_lats = np.array([world.city(cid).location.lat for cid in self.hub_city_ids])
+        hub_lons = np.array([world.city(cid).location.lon for cid in self.hub_city_ids])
+        self._hub_lats = hub_lats
+        self._hub_lons = hub_lons
+
+        # Hub-to-hub great-circle distance matrix (the backbone mesh).
+        count = len(self.hub_city_ids)
+        self.hub_distance_km = np.zeros((count, count))
+        for i in range(count):
+            from repro.geo.coords import bulk_haversine_km
+
+            self.hub_distance_km[i, :] = bulk_haversine_km(
+                hub_lats, hub_lons, float(hub_lats[i]), float(hub_lons[i])
+            )
+
+        # Per-city uplink: nearest hub, same-continent hubs preferred.
+        self.city_hub_index = np.zeros(len(world.cities), dtype=np.int64)
+        self.city_uplink_km = np.zeros(len(world.cities))
+        hub_continents = [world.city(cid).continent for cid in self.hub_city_ids]
+        for city in world.cities:
+            distances = _distances_to_hubs(city.location, hub_lats, hub_lons)
+            # Penalise cross-continent homing: border cities may still cross.
+            penalised = distances + np.array(
+                [0.0 if cont == city.continent else 1500.0 for cont in hub_continents]
+            )
+            hub_index = int(np.argmin(penalised))
+            self.city_hub_index[city.city_id] = hub_index
+            self.city_uplink_km[city.city_id] = float(distances[hub_index])
+
+        # Static-host parameter arrays (aligned with world host arrays).
+        static = world.static_host_count
+        hosts = world.hosts[:static]
+        city_ids = world.host_city_ids
+        metro_lats = np.array([world.city(int(cid)).location.lat for cid in city_ids])
+        metro_lons = np.array([world.city(int(cid)).location.lon for cid in city_ids])
+        from repro.geo.coords import pairwise_haversine_km
+
+        self.host_tail_km = pairwise_haversine_km(
+            world.host_true_lats, world.host_true_lons, metro_lats, metro_lons
+        )
+        self.host_hub_index = self.city_hub_index[city_ids]
+        self.host_uplink_km = self.city_uplink_km[city_ids]
+        self._lazy_params: Dict[int, HostNetParams] = {}
+        self._static_count = static
+        # Keep a handle for docstring-visible sizes.
+        self.hub_count = count
+
+    def hub_index_of_city(self, city_id: int) -> int:
+        """The backbone hub a city homes to."""
+        return int(self.city_hub_index[city_id])
+
+    def params_for(self, host: Host) -> HostNetParams:
+        """Network parameters of any host (static or lazily created)."""
+        if host.host_id < self._static_count:
+            return HostNetParams(
+                host_id=host.host_id,
+                city_id=host.city_id,
+                asn=host.asn,
+                tail_km=float(self.host_tail_km[host.host_id]),
+                hub_index=int(self.host_hub_index[host.host_id]),
+                uplink_km=float(self.host_uplink_km[host.host_id]),
+                last_mile_ms=host.last_mile_ms,
+            )
+        cached = self._lazy_params.get(host.host_id)
+        if cached is None:
+            city = self.world.city(host.city_id)
+            tail = host.true_location.distance_km(city.location)
+            cached = HostNetParams(
+                host_id=host.host_id,
+                city_id=host.city_id,
+                asn=host.asn,
+                tail_km=tail,
+                hub_index=self.hub_index_of_city(host.city_id),
+                uplink_km=float(self.city_uplink_km[host.city_id]),
+                last_mile_ms=host.last_mile_ms,
+            )
+            self._lazy_params[host.host_id] = cached
+        return cached
+
+    def locally_peered(self, city_id: int, asn_a: int, asn_b: int) -> bool:
+        """Whether two ASes exchange same-city traffic at the metro.
+
+        Same-AS traffic always stays local. Distinct ASes peer locally with
+        the configured probability (stable per city/AS-pair); unpeered
+        pairs trombone through the regional hub — the classic cause of
+        multi-millisecond RTTs between neighbours.
+        """
+        if asn_a == asn_b:
+            return True
+        low, high = (asn_a, asn_b) if asn_a <= asn_b else (asn_b, asn_a)
+        pk = rand.pair_key(low, high)
+        draw = rand.uniform(("peer", self.world.config.seed, city_id, pk))
+        return draw < self.world.config.local_peering_probability
+
+    def path_km(self, src: HostNetParams, dst: HostNetParams) -> float:
+        """One-way routed path length between two hosts, in kilometres.
+
+        Same city, locally peered: through the metro router only. Same
+        city, unpeered: trombone up to the hub and back. Different cities
+        under one hub: metro -> hub -> metro. Otherwise the full hub
+        backbone hop is included. The result is always >= the direct
+        great-circle distance between the metro routers involved.
+        """
+        if src.city_id == dst.city_id:
+            if self.locally_peered(src.city_id, src.asn, dst.asn):
+                return src.tail_km + dst.tail_km
+            return src.tail_km + 2.0 * src.uplink_km + dst.tail_km
+        if src.hub_index == dst.hub_index:
+            return src.tail_km + src.uplink_km + dst.uplink_km + dst.tail_km
+        backbone = float(self.hub_distance_km[src.hub_index, dst.hub_index])
+        return src.tail_km + src.uplink_km + backbone + dst.uplink_km + dst.tail_km
+
+    def bulk_path_km(
+        self,
+        src_tail: np.ndarray,
+        src_uplink: np.ndarray,
+        src_hub: np.ndarray,
+        src_city: np.ndarray,
+        src_asn: np.ndarray,
+        dst: HostNetParams,
+    ) -> np.ndarray:
+        """Vectorised :meth:`path_km` from many static hosts to one host."""
+        backbone = self.hub_distance_km[src_hub, dst.hub_index]
+        path = src_tail + src_uplink + backbone + dst.uplink_km + dst.tail_km
+        same_hub = src_hub == dst.hub_index
+        if same_hub.any():
+            path = np.where(
+                same_hub, src_tail + src_uplink + dst.uplink_km + dst.tail_km, path
+            )
+        same_city = src_city == dst.city_id
+        if same_city.any():
+            low = np.minimum(src_asn, dst.asn).astype(np.uint64)
+            high = np.maximum(src_asn, dst.asn).astype(np.uint64)
+            pk = rand.bulk_pair_key(low, high)
+            draws = rand.bulk_uniform(
+                ("peer", self.world.config.seed, dst.city_id), pk
+            )
+            peered = (src_asn == dst.asn) | (
+                draws < self.world.config.local_peering_probability
+            )
+            local = src_tail + dst.tail_km
+            trombone = src_tail + 2.0 * src_uplink + dst.tail_km
+            path = np.where(same_city, np.where(peered, local, trombone), path)
+        return path
+
+
+def _distances_to_hubs(
+    point: GeoPoint, hub_lats: np.ndarray, hub_lons: np.ndarray
+) -> np.ndarray:
+    from repro.geo.coords import bulk_haversine_km
+
+    return bulk_haversine_km(hub_lats, hub_lons, point.lat, point.lon)

@@ -1,0 +1,77 @@
+"""Router identities and their synthetic addresses.
+
+Router addresses live in dedicated ranges so they can never collide with
+host addresses (the world allocator starts handing out host space at
+11.0.0.0). The address encodes the router's role and index, which keeps
+"same router" checks — the heart of the street level last-common-hop logic
+— trivially consistent across traceroutes.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+
+
+class RouterRole(enum.Enum):
+    """What layer of the topology a router belongs to."""
+
+    GATEWAY = "gateway"  # a host's first-hop router
+    METRO = "metro"  # city aggregation router
+    HUB = "hub"  # backbone/core router
+
+    @property
+    def first_octet(self) -> int:
+        """The address range marker for this role."""
+        return _ROLE_OCTETS[self]
+
+
+_ROLE_OCTETS = {
+    RouterRole.GATEWAY: 7,
+    RouterRole.METRO: 8,
+    RouterRole.HUB: 9,
+}
+_OCTET_ROLES = {octet: role for role, octet in _ROLE_OCTETS.items()}
+
+
+def router_ip(role: RouterRole, index: int) -> str:
+    """The address of router ``index`` of a given role.
+
+    Gateways are indexed by host id, metros by city id, hubs by hub index.
+
+    Raises:
+        ConfigurationError: if the index exceeds the 24-bit router space.
+    """
+    if not 0 <= index < (1 << 24):
+        raise ConfigurationError(f"router index out of range: {index}")
+    return (
+        f"{role.first_octet}.{(index >> 16) & 0xFF}.{(index >> 8) & 0xFF}.{index & 0xFF}"
+    )
+
+
+def parse_router_ip(ip: str) -> Tuple[RouterRole, int]:
+    """Invert :func:`router_ip`.
+
+    Raises:
+        ValueError: if the address is not a router address.
+    """
+    octets = ip.split(".")
+    if len(octets) != 4:
+        raise ValueError(f"not an IPv4 address: {ip!r}")
+    first = int(octets[0])
+    role = _OCTET_ROLES.get(first)
+    if role is None:
+        raise ValueError(f"not a router address: {ip!r}")
+    index = (int(octets[1]) << 16) | (int(octets[2]) << 8) | int(octets[3])
+    return role, index
+
+
+def is_router_ip(ip: str) -> bool:
+    """Whether an address belongs to the router ranges."""
+    try:
+        parse_router_ip(ip)
+    except ValueError:
+        return False
+    return True

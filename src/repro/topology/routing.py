@@ -1,0 +1,106 @@
+"""Hop-level route construction (what traceroute sees).
+
+Routing is destination-based and consistent with :class:`Topology.path_km`:
+the cumulative distance at the final hop equals the path length the ping
+engine uses, an invariant the test suite checks. Two routes from the same
+source share their hop prefix for as long as their waypoints coincide,
+which is exactly the property the street level technique's last-common-hop
+delay computation relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.topology.graph import HostNetParams, Topology
+from repro.topology.routers import RouterRole, router_ip
+
+
+@dataclass(frozen=True)
+class RouteHop:
+    """One forwarding hop of a route.
+
+    Attributes:
+        ip: the responding interface's address (router, or the destination
+            host itself on the final hop).
+        cumulative_km: routed distance from the source up to this hop.
+        role: coarse role of the hop (``None`` marks the destination host).
+    """
+
+    ip: str
+    cumulative_km: float
+    role: str
+
+
+@dataclass(frozen=True)
+class RoutePath:
+    """A fully resolved route between two hosts."""
+
+    src_ip: str
+    dst_ip: str
+    hops: Tuple[RouteHop, ...]
+
+    @property
+    def total_km(self) -> float:
+        """Routed one-way length: the cumulative distance at the last hop."""
+        return self.hops[-1].cumulative_km
+
+    def hop_ips(self) -> List[str]:
+        """The hop addresses, in order."""
+        return [hop.ip for hop in self.hops]
+
+
+def build_route(
+    topology: Topology, src: HostNetParams, dst: HostNetParams, src_ip: str, dst_ip: str
+) -> RoutePath:
+    """Construct the waypoint route from one host to another.
+
+    The route is ``gateway(src) -> metro(src city) [-> hub(src) -> hub(dst)]
+    -> metro(dst city) -> gateway(dst) -> dst``. City-internal traffic
+    between locally peered ASes skips the backbone entirely; unpeered
+    same-city traffic trombones through the regional hub (and the hop
+    distances account for the detour).
+    """
+    hops: List[RouteHop] = [
+        RouteHop(router_ip(RouterRole.GATEWAY, src.host_id), 0.0, RouterRole.GATEWAY.value)
+    ]
+    cumulative = src.tail_km
+    hops.append(
+        RouteHop(router_ip(RouterRole.METRO, src.city_id), cumulative, RouterRole.METRO.value)
+    )
+    if src.city_id == dst.city_id and not topology.locally_peered(
+        src.city_id, src.asn, dst.asn
+    ):
+        hops.append(
+            RouteHop(
+                router_ip(RouterRole.HUB, src.hub_index),
+                cumulative + src.uplink_km,
+                RouterRole.HUB.value,
+            )
+        )
+        cumulative += 2.0 * src.uplink_km
+    if src.city_id != dst.city_id:
+        cumulative += src.uplink_km
+        hops.append(
+            RouteHop(router_ip(RouterRole.HUB, src.hub_index), cumulative, RouterRole.HUB.value)
+        )
+        if dst.hub_index != src.hub_index:
+            cumulative += float(topology.hub_distance_km[src.hub_index, dst.hub_index])
+            hops.append(
+                RouteHop(
+                    router_ip(RouterRole.HUB, dst.hub_index), cumulative, RouterRole.HUB.value
+                )
+            )
+        cumulative += dst.uplink_km
+        hops.append(
+            RouteHop(
+                router_ip(RouterRole.METRO, dst.city_id), cumulative, RouterRole.METRO.value
+            )
+        )
+    cumulative += dst.tail_km
+    hops.append(
+        RouteHop(router_ip(RouterRole.GATEWAY, dst.host_id), cumulative, RouterRole.GATEWAY.value)
+    )
+    hops.append(RouteHop(dst_ip, cumulative, "destination"))
+    return RoutePath(src_ip=src_ip, dst_ip=dst_ip, hops=tuple(hops))

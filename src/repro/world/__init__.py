@@ -1,0 +1,27 @@
+"""Synthetic world generation: continents, cities, ASes, hosts, websites.
+
+The world is the simulated counterpart of "the Internet + RIPE Atlas + the
+web" that the paper measures. Everything is generated deterministically from
+``WorldConfig.seed``; see DESIGN.md §1 for the substitution rationale.
+"""
+
+from repro.world.config import WorldConfig
+from repro.world.cities import City, Continent, Country, CONTINENTS
+from repro.world.hosts import Host, HostKind
+from repro.world.pois import PointOfInterest, Website
+from repro.world.world import World
+from repro.world.builder import build_world
+
+__all__ = [
+    "WorldConfig",
+    "City",
+    "Continent",
+    "Country",
+    "CONTINENTS",
+    "Host",
+    "HostKind",
+    "PointOfInterest",
+    "Website",
+    "World",
+    "build_world",
+]

@@ -1,0 +1,784 @@
+"""World construction: from a :class:`WorldConfig` to a ready :class:`World`.
+
+Build order (everything keyed off ``config.seed``):
+
+1. countries and cities (clustered, population-weighted, Europe-dense);
+2. hub cities (the backbone waypoints of the topology);
+3. the AS fabric, with CAIDA types, ASDB categories, and city footprints;
+4. anchors (with their /24 representative hosts), then probes — a planted
+   subset of each carries a wrong recorded location for §4.3 to catch;
+5. the hitlist, BGP announcements (driven by address allocation), and the
+   population-density field;
+6. a lazy POI factory: a city's points of interest, websites, web-server
+   hosts, and DNS records materialise the first time a landmark search
+   touches the city.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro import rand
+from repro.errors import ConfigurationError
+from repro.geo.coords import GeoPoint, destination
+from repro.geo.grid import PopulationCenter, PopulationGrid
+from repro.net.addressing import AddressAllocator, Prefix, Slash24Pool, int_to_ip
+from repro.net.asn import ASDB_CATEGORIES, ASRecord, CAIDA_TYPES
+from repro.net.bgp import PrefixTable
+from repro.net.dns import DnsRecord, DnsResolver
+from repro.net.hitlist import Hitlist
+from repro.world.cities import City, generate_cities, generate_countries
+from repro.world.config import WorldConfig
+from repro.world.hosts import Host, HostKind
+from repro.world.pois import AMENITY_CATEGORIES, HostingKind, PointOfInterest, Website
+from repro.world.world import World
+
+#: Share of each CAIDA type in the AS fabric itself (not in host placement).
+_AS_TYPE_FABRIC_SHARES: Dict[str, float] = {
+    "Access": 0.58,
+    "Content": 0.13,
+    "Transit/Access": 0.09,
+    "Enterprise": 0.13,
+    "Tier-1": 0.008,
+    "Unknown": 0.062,
+}
+
+
+class WebDirectory:
+    """Global index of which zip codes advertise each website.
+
+    This stands in for "searching the mapping service for the website": the
+    street level technique flags websites that appear under multiple zip
+    codes (franchise chains) as not locally hosted. The directory is filled
+    when websites are created; chain branches are registered eagerly so the
+    answer does not depend on which cities happen to be materialised.
+    """
+
+    def __init__(self) -> None:
+        self._zipcodes: Dict[str, Set[str]] = {}
+
+    def register(self, hostname: str, zipcode: str) -> None:
+        """Record that a website is advertised under a zip code."""
+        self._zipcodes.setdefault(hostname, set()).add(zipcode)
+
+    def zipcodes_of(self, hostname: str) -> Set[str]:
+        """All zip codes a website is advertised under (empty if unknown)."""
+        return set(self._zipcodes.get(hostname, ()))
+
+    def appears_in_multiple_zipcodes(self, hostname: str) -> bool:
+        """The street level multi-zipcode test's data source."""
+        return len(self._zipcodes.get(hostname, ())) > 1
+
+
+class _ASAddressSpace:
+    """Per-AS address pool that keeps the BGP table in sync.
+
+    Every /16 claimed by the pool is announced; a configurable share of /24s
+    is also announced more specifically (de-aggregation), which creates the
+    "landmark in the same BGP prefix as the target" cases of §5.2.3.
+    """
+
+    def __init__(self, asn: int, allocator: AddressAllocator, bgp: PrefixTable, seed: int) -> None:
+        self.asn = asn
+        self._pool = Slash24Pool(allocator)
+        self._bgp = bgp
+        self._seed = seed
+        self._announced_blocks = 0
+        self._packed_prefix: Optional[Prefix] = None
+        self._packed_offset = 255
+
+    def allocate_slash24(self) -> Prefix:
+        """Claim a /24, announcing new covering /16s (and some /24s)."""
+        prefix = self._pool.allocate_slash24()
+        blocks = self._pool.blocks
+        while self._announced_blocks < len(blocks):
+            self._bgp.announce(blocks[self._announced_blocks], self.asn)
+            self._announced_blocks += 1
+        if rand.chance((self._seed, "deagg", prefix.base), 0.25):
+            self._bgp.announce(prefix, self.asn)
+        return prefix
+
+    def allocate_address(self) -> str:
+        """Claim a single address, packing a /24 before opening a new one.
+
+        Used for web servers: real hosting ASes pack many customers per
+        /24, so websites must not each burn a whole prefix.
+        """
+        if self._packed_prefix is None or self._packed_offset > 254:
+            self._packed_prefix = self.allocate_slash24()
+            self._packed_offset = 1
+        ip = int_to_ip(self._packed_prefix.base + self._packed_offset)
+        self._packed_offset += 1
+        return ip
+
+
+@dataclass
+class _Wiring:
+    """Mutable state shared between build phases and the lazy POI factory."""
+
+    config: WorldConfig
+    allocator: AddressAllocator
+    bgp: PrefixTable
+    dns: DnsResolver
+    directory: WebDirectory
+    spaces: Dict[int, _ASAddressSpace] = field(default_factory=dict)
+    city_access_asns: Dict[int, List[int]] = field(default_factory=dict)
+    content_asns_by_continent: Dict[str, List[int]] = field(default_factory=dict)
+    asns_by_type_continent: Dict[Tuple[str, str], List[int]] = field(default_factory=dict)
+    hub_city_ids: List[int] = field(default_factory=list)
+    hub_by_continent: Dict[str, List[int]] = field(default_factory=dict)
+    next_poi_id: int = 0
+    chain_websites: Dict[str, List[Website]] = field(default_factory=dict)
+
+    def space(self, asn: int) -> _ASAddressSpace:
+        """The address space of an AS, created on first use."""
+        existing = self.spaces.get(asn)
+        if existing is None:
+            existing = _ASAddressSpace(asn, self.allocator, self.bgp, self.config.seed)
+            self.spaces[asn] = existing
+        return existing
+
+
+def build_world(config: WorldConfig) -> World:
+    """Build a complete :class:`World` from a configuration.
+
+    Deterministic: equal configs produce byte-for-byte equal worlds.
+    """
+    countries = generate_countries(config)
+    cities = generate_cities(config, countries)
+    if not cities:
+        raise ConfigurationError("world has no cities")
+
+    hub_city_ids, hub_by_continent = _pick_hubs(config, cities)
+    ases, city_access_asns, content_by_continent, asns_by_type_continent = _build_as_fabric(
+        config, cities, hub_by_continent
+    )
+
+    allocator = AddressAllocator()
+    bgp = PrefixTable()
+    dns = DnsResolver()
+    directory = WebDirectory()
+    wiring = _Wiring(
+        config=config,
+        allocator=allocator,
+        bgp=bgp,
+        dns=dns,
+        directory=directory,
+        city_access_asns=city_access_asns,
+        content_asns_by_continent=content_by_continent,
+        asns_by_type_continent=asns_by_type_continent,
+        hub_city_ids=hub_city_ids,
+        hub_by_continent=hub_by_continent,
+    )
+
+    hitlist = Hitlist(seed=config.seed)
+    hosts: List[Host] = []
+    _build_anchors_and_representatives(config, cities, ases, wiring, hosts, hitlist)
+    _build_probes(config, cities, ases, wiring, hosts)
+
+    population = PopulationGrid(
+        (
+            PopulationCenter(city.location, city.population, city.density_sigma_km)
+            for city in cities
+        ),
+        rural_density=config.rural_density,
+    )
+
+    world = World(
+        config=config,
+        cities=cities,
+        countries=countries,
+        ases=ases,
+        hosts=hosts,
+        hitlist=hitlist,
+        bgp=bgp,
+        dns=dns,
+        population=population,
+        hub_city_ids=hub_city_ids,
+        poi_factory=lambda w, city_id: _materialize_city_pois(w, city_id, wiring),
+    )
+    world.web_directory = directory
+    return world
+
+
+# --- geography helpers --------------------------------------------------------
+
+
+def _pick_hubs(
+    config: WorldConfig, cities: Sequence[City]
+) -> Tuple[List[int], Dict[str, List[int]]]:
+    """Hub cities: the most populated cities of each continent."""
+    by_continent: Dict[str, List[City]] = {}
+    for city in cities:
+        by_continent.setdefault(city.continent, []).append(city)
+    hub_ids: List[int] = []
+    hub_map: Dict[str, List[int]] = {}
+    for continent, group in sorted(by_continent.items()):
+        top = sorted(group, key=lambda c: -c.population)[: config.hubs_per_continent]
+        ids = [city.city_id for city in top]
+        hub_map[continent] = ids
+        hub_ids.extend(ids)
+    return hub_ids, hub_map
+
+
+# --- AS fabric ------------------------------------------------------------------
+
+
+def _weighted_type(key: rand.Key, shares: Dict[str, float]) -> str:
+    """Draw a CAIDA type according to a share mapping."""
+    draw = rand.uniform(key) * sum(shares.values())
+    cumulative = 0.0
+    for caida_type in CAIDA_TYPES:
+        cumulative += shares.get(caida_type, 0.0)
+        if draw < cumulative:
+            return caida_type
+    return "Unknown"
+
+
+def _asdb_category(key: rand.Key, config: WorldConfig) -> str:
+    """Draw an ASDB category following the paper's observed mix."""
+    draw = rand.uniform(key)
+    cumulative = 0.0
+    for category, share in config.anchor_asdb_shares.items():
+        cumulative += share
+        if draw < cumulative:
+            return category
+    remaining = [c for c in ASDB_CATEGORIES if c not in config.anchor_asdb_shares]
+    return remaining[rand.randint((key, "rest"), 0, len(remaining))]
+
+
+def _build_as_fabric(
+    config: WorldConfig,
+    cities: Sequence[City],
+    hub_by_continent: Dict[str, List[int]],
+) -> Tuple[
+    Dict[int, ASRecord],
+    Dict[int, List[int]],
+    Dict[str, List[int]],
+    Dict[Tuple[str, str], List[int]],
+]:
+    """Create the AS records with their footprints and city indexes."""
+    cities_by_continent: Dict[str, List[City]] = {}
+    cities_by_country: Dict[str, List[City]] = {}
+    for city in cities:
+        cities_by_continent.setdefault(city.continent, []).append(city)
+        cities_by_country.setdefault(city.country, []).append(city)
+
+    continent_weights = {code: len(group) for code, group in cities_by_continent.items()}
+    continent_codes = sorted(continent_weights)
+    total_weight = sum(continent_weights.values())
+
+    ases: Dict[int, ASRecord] = {}
+    city_access_asns: Dict[int, List[int]] = {}
+    content_by_continent: Dict[str, List[int]] = {code: [] for code in continent_codes}
+    asns_by_type_continent: Dict[Tuple[str, str], List[int]] = {}
+
+    for index in range(config.total_ases):
+        asn = 10000 + index
+        key = (config.seed, "as", asn)
+        caida_type = _weighted_type((key, "type"), _AS_TYPE_FABRIC_SHARES)
+        # Continent by city-count weight.
+        draw = rand.uniform((key, "continent")) * total_weight
+        cumulative = 0
+        continent = continent_codes[-1]
+        for code in continent_codes:
+            cumulative += continent_weights[code]
+            if draw < cumulative:
+                continent = code
+                break
+        continent_cities = cities_by_continent[continent]
+        home_city = continent_cities[rand.randint((key, "home"), 0, len(continent_cities))]
+        country = home_city.country
+
+        footprint = _as_footprint(
+            key, caida_type, home_city, cities_by_country, continent_cities, hub_by_continent
+        )
+        record = ASRecord(
+            asn=asn,
+            name=f"AS-{caida_type.replace('/', '-')}-{asn}",
+            caida_type=caida_type,
+            asdb_category=_asdb_category((key, "asdb"), config),
+            country=country,
+            city_ids=footprint,
+        )
+        ases[asn] = record
+        asns_by_type_continent.setdefault((caida_type, continent), []).append(asn)
+        if caida_type in ("Access", "Enterprise", "Transit/Access", "Unknown"):
+            for city_id in footprint:
+                city_access_asns.setdefault(city_id, []).append(asn)
+        if caida_type == "Content":
+            content_by_continent[continent].append(asn)
+
+    # Every continent must offer content ASes (for cloud/CDN hosting).
+    for code in continent_codes:
+        if not content_by_continent[code]:
+            fallback = next(iter(ases))
+            content_by_continent[code].append(fallback)
+    return ases, city_access_asns, content_by_continent, asns_by_type_continent
+
+
+def _as_footprint(
+    key: rand.Key,
+    caida_type: str,
+    home_city: City,
+    cities_by_country: Dict[str, List[City]],
+    continent_cities: Sequence[City],
+    hub_by_continent: Dict[str, List[int]],
+) -> List[int]:
+    """City ids where an AS has points of presence."""
+    if caida_type == "Tier-1":
+        return [cid for ids in hub_by_continent.values() for cid in ids]
+    if caida_type == "Transit/Access":
+        count = min(len(continent_cities), rand.randint((key, "fp"), 8, 25))
+        picks = {home_city.city_id}
+        attempt = 0
+        while len(picks) < count:
+            picks.add(
+                continent_cities[
+                    rand.randint((key, "fp", attempt), 0, len(continent_cities))
+                ].city_id
+            )
+            attempt += 1
+        return sorted(picks)
+    if caida_type == "Content":
+        hubs = hub_by_continent[home_city.continent]
+        count = min(len(hubs), rand.randint((key, "fp"), 1, 5))
+        return sorted(hubs[:count])
+    if caida_type == "Access":
+        country_cities = cities_by_country[home_city.country]
+        count = min(len(country_cities), rand.randint((key, "fp"), 3, 16))
+        picks = {home_city.city_id}
+        attempt = 0
+        while len(picks) < count:
+            picks.add(
+                country_cities[
+                    rand.randint((key, "fp", attempt), 0, len(country_cities))
+                ].city_id
+            )
+            attempt += 1
+        return sorted(picks)
+    # Enterprise / Unknown: a single site.
+    return [home_city.city_id]
+
+
+# --- platform hosts -------------------------------------------------------------
+
+
+def _pick_weighted_city(
+    key: rand.Key, cities: Sequence[City], weights: Sequence[float]
+) -> City:
+    """Population-weighted deterministic city choice."""
+    total = sum(weights)
+    draw = rand.uniform(key) * total
+    cumulative = 0.0
+    for city, weight in zip(cities, weights):
+        cumulative += weight
+        if draw < cumulative:
+            return city
+    return cities[-1]
+
+
+def _pick_as_for_host(
+    key: rand.Key,
+    city: City,
+    shares: Dict[str, float],
+    ases: Dict[int, ASRecord],
+    wiring: _Wiring,
+) -> ASRecord:
+    """Pick an AS for a host: draw a CAIDA type, then an AS of that type.
+
+    Prefers ASes already present in the host's city; otherwise extends a
+    same-continent AS's footprint into the city (the AS opens a PoP there).
+    """
+    caida_type = _weighted_type((key, "host-type"), shares)
+    in_city = [
+        asn
+        for asn in wiring.city_access_asns.get(city.city_id, [])
+        if ases[asn].caida_type == caida_type
+    ]
+    if in_city:
+        return ases[in_city[rand.randint((key, "pick"), 0, len(in_city))]]
+    same_continent = wiring.asns_by_type_continent.get((caida_type, city.continent), [])
+    if not same_continent:
+        same_continent = [
+            asn
+            for (kind, _continent), asns in wiring.asns_by_type_continent.items()
+            for asn in asns
+            if kind == caida_type
+        ]
+    if not same_continent:
+        same_continent = sorted(ases)
+    record = ases[same_continent[rand.randint((key, "fallback"), 0, len(same_continent))]]
+    if city.city_id not in record.city_ids:
+        record.city_ids.append(city.city_id)
+        if record.caida_type in ("Access", "Enterprise", "Transit/Access", "Unknown"):
+            wiring.city_access_asns.setdefault(city.city_id, []).append(record.asn)
+    return record
+
+
+def _mislocate(key: rand.Key, true_location: GeoPoint, config: WorldConfig) -> GeoPoint:
+    """A wrong recorded location, displaced by a large random offset."""
+    bearing = rand.uniform((key, "bearing"), 0.0, 360.0)
+    distance = rand.uniform(
+        (key, "distance"), config.mislocation_min_km, config.mislocation_max_km
+    )
+    return destination(true_location, bearing, distance)
+
+
+def _build_anchors_and_representatives(
+    config: WorldConfig,
+    cities: Sequence[City],
+    ases: Dict[int, ASRecord],
+    wiring: _Wiring,
+    hosts: List[Host],
+    hitlist: Hitlist,
+) -> None:
+    """Create anchors per continental quota, plus their /24 representatives."""
+    cities_by_continent: Dict[str, List[City]] = {}
+    for city in cities:
+        cities_by_continent.setdefault(city.continent, []).append(city)
+
+    anchor_specs: List[Tuple[str, bool]] = []
+    for continent in sorted(config.anchor_quotas):
+        anchor_specs.extend((continent, False) for _ in range(config.anchor_quotas[continent]))
+    # Mis-geolocated anchors: spread over the quota continents round-robin.
+    quota_continents = sorted(config.anchor_quotas)
+    for index in range(config.bad_anchors):
+        anchor_specs.append((quota_continents[index % len(quota_continents)], True))
+
+    # Which anchors sit in a sparsely populated /24 (fewer than 3 responsive
+    # representatives): a deterministic subset of the good anchors.
+    good_indexes = [i for i, (_, bad) in enumerate(anchor_specs) if not bad]
+    underpopulated = set(
+        good_indexes[:: max(1, len(good_indexes) // max(config.underpopulated_prefixes, 1))][
+            : config.underpopulated_prefixes
+        ]
+    )
+
+    hub_cities = set(wiring.hub_city_ids)
+    anchors_in_city: Dict[int, int] = {}
+    for index, (continent, mislocated) in enumerate(anchor_specs):
+        key = (config.seed, "anchor", index)
+        group = cities_by_continent[continent]
+        weights = [
+            city.population
+            * (config.anchor_hub_city_boost if city.city_id in hub_cities else 1.0)
+            / (1.0 + 2.0 * anchors_in_city.get(city.city_id, 0))
+            for city in group
+        ]
+        city = _pick_weighted_city((key, "city"), group, weights)
+        anchors_in_city[city.city_id] = anchors_in_city.get(city.city_id, 0) + 1
+
+        record = _pick_as_for_host(key, city, config.anchor_as_type_shares, ases, wiring)
+        prefix = wiring.space(record.asn).allocate_slash24()
+        anchor_offset = rand.randint((key, "offset"), 1, 200)
+        anchor_ip = int_to_ip(prefix.base + anchor_offset)
+        # Anchors are hosted facilities: they sit near the urban core.
+        true_location = city.random_point((key, "loc"), sigma_scale=0.25)
+        recorded = (
+            _mislocate((key, "mis"), true_location, config) if mislocated else true_location
+        )
+        anchor = Host(
+            host_id=len(hosts),
+            ip=anchor_ip,
+            kind=HostKind.ANCHOR,
+            true_location=true_location,
+            recorded_location=recorded,
+            city_id=city.city_id,
+            asn=record.asn,
+            last_mile_ms=rand.exponential((key, "lm"), config.anchor_last_mile_mean_ms),
+            mislocated=mislocated,
+        )
+        hosts.append(anchor)
+
+        rep_count = rand.randint(
+            (key, "repcount"),
+            config.representatives_per_anchor_min,
+            config.representatives_per_anchor_max + 1,
+        )
+        responsive_quota = rep_count
+        if index in underpopulated:
+            responsive_quota = rand.randint((key, "under"), 0, 3)
+        used_offsets = {anchor_offset}
+        for rep_index in range(rep_count):
+            rep_key = (key, "rep", rep_index)
+            offset = rand.randint(rep_key, 1, 255)
+            while offset in used_offsets:
+                offset = (offset % 254) + 1
+            used_offsets.add(offset)
+            rep_ip = int_to_ip(prefix.base + offset)
+            bearing = rand.uniform((rep_key, "bearing"), 0.0, 360.0)
+            distance = abs(rand.normal((rep_key, "dist"), 0.0, 2.5))
+            rep_location = destination(true_location, bearing, distance)
+            responsive = rep_index < responsive_quota
+            hosts.append(
+                Host(
+                    host_id=len(hosts),
+                    ip=rep_ip,
+                    kind=HostKind.REPRESENTATIVE,
+                    true_location=rep_location,
+                    recorded_location=rep_location,
+                    city_id=city.city_id,
+                    asn=record.asn,
+                    last_mile_ms=rand.exponential(
+                        (rep_key, "lm"), config.anchor_last_mile_mean_ms * 2.0
+                    ),
+                    responsive=responsive,
+                )
+            )
+            if responsive:
+                hitlist.add(rep_ip, rand.randint((rep_key, "score"), 20, 100))
+
+
+def _build_probes(
+    config: WorldConfig,
+    cities: Sequence[City],
+    ases: Dict[int, ASRecord],
+    wiring: _Wiring,
+    hosts: List[Host],
+) -> None:
+    """Create probes with the platform's continental and AS-type mix."""
+    cities_by_continent: Dict[str, List[City]] = {}
+    for city in cities:
+        cities_by_continent.setdefault(city.continent, []).append(city)
+
+    continents = sorted(config.probe_shares)
+    counts = {
+        code: int(round(config.probe_shares[code] * config.probes_total))
+        for code in continents
+    }
+    # Fix rounding drift on the largest share.
+    drift = config.probes_total - sum(counts.values())
+    counts[max(counts, key=lambda c: counts[c])] += drift
+
+    probe_index = 0
+    bad_stride = max(1, config.probes_total // max(config.bad_probes, 1))
+    for continent in continents:
+        group = cities_by_continent[continent]
+        for _ in range(counts[continent]):
+            key = (config.seed, "probe", probe_index)
+            weights = [city.population for city in group]
+            city = _pick_weighted_city((key, "city"), group, weights)
+            record = _pick_as_for_host(key, city, config.probe_as_type_shares, ases, wiring)
+            prefix = wiring.space(record.asn).allocate_slash24()
+            ip = int_to_ip(prefix.base + rand.randint((key, "offset"), 1, 255))
+            true_location = city.random_point((key, "loc"), sigma_scale=0.6)
+            mislocated = (
+                probe_index % bad_stride == 0
+                and probe_index // bad_stride < config.bad_probes
+            )
+            if mislocated:
+                recorded = _mislocate((key, "mis"), true_location, config)
+            elif rand.chance((key, "jitter"), config.probe_metadata_jitter_share):
+                # Sub-SOI metadata error: city-level registration, probes
+                # moved without updating coordinates. Plausible enough that
+                # the §4.3 sanitization (mostly) cannot catch it.
+                recorded = destination(
+                    true_location,
+                    rand.uniform((key, "jit-bearing"), 0.0, 360.0),
+                    rand.uniform(
+                        (key, "jit-dist"),
+                        config.probe_metadata_jitter_min_km,
+                        config.probe_metadata_jitter_max_km,
+                    ),
+                )
+            else:
+                recorded = true_location
+            last_mile = config.probe_last_mile_floor_ms + rand.exponential(
+                (key, "lm"), config.probe_last_mile_mean_ms
+            )
+            if rand.chance((key, "badlm"), config.probe_bad_last_mile_share):
+                last_mile += config.probe_bad_last_mile_extra_ms * (
+                    0.5 + rand.uniform((key, "badlm-mag"))
+                )
+            if rand.chance(
+                (config.seed, "congested-city", city.city_id),
+                config.city_congested_share,
+            ):
+                last_mile += config.city_congestion_extra_ms * (
+                    0.5 + rand.uniform((key, "cong-mag"))
+                )
+            hosts.append(
+                Host(
+                    host_id=len(hosts),
+                    ip=ip,
+                    kind=HostKind.PROBE,
+                    true_location=true_location,
+                    recorded_location=recorded,
+                    city_id=city.city_id,
+                    asn=record.asn,
+                    last_mile_ms=last_mile,
+                    mislocated=mislocated,
+                )
+            )
+            probe_index += 1
+
+
+# --- lazy POIs and websites ------------------------------------------------------
+
+
+def _materialize_city_pois(world: World, city_id: int, wiring: _Wiring) -> List[PointOfInterest]:
+    """Generate a city's POIs, websites, web servers, and DNS records."""
+    config = wiring.config
+    city = world.city(city_id)
+    count = int(city.population / 10_000.0 * config.pois_per_10k_population)
+    count = max(3, min(count, config.poi_max_per_city))
+
+    pois: List[PointOfInterest] = []
+    for index in range(count):
+        key = (config.seed, "poi", city_id, index)
+        location = city.random_point((key, "loc"), sigma_scale=0.35)
+        category = AMENITY_CATEGORIES[
+            rand.randint((key, "cat"), 0, len(AMENITY_CATEGORIES))
+        ]
+        zipcode = city.zipcode_at(location)
+        if rand.chance((key, "wrongzip"), config.poi_wrong_zip_share):
+            # Stale mapping data: the listed code is a different cell's.
+            shifted = destination(
+                location,
+                rand.uniform((key, "wz-bearing"), 0.0, 360.0),
+                rand.uniform((key, "wz-dist"), 6.0, 25.0),
+            )
+            zipcode = city.zipcode_at(shifted)
+
+        website = None
+        if rand.chance((key, "haswww"), config.poi_website_probability):
+            website = _make_website(world, wiring, key, city, location, zipcode)
+
+        poi_id = wiring.next_poi_id
+        wiring.next_poi_id += 1
+        pois.append(
+            PointOfInterest(
+                poi_id=poi_id,
+                name=f"{category}-{city.name}-{index}",
+                category=category,
+                location=location,
+                city_id=city_id,
+                zipcode=zipcode,
+                website=website,
+            )
+        )
+    return pois
+
+
+def _make_website(
+    world: World,
+    wiring: _Wiring,
+    key: rand.Key,
+    city: City,
+    poi_location: GeoPoint,
+    poi_zipcode: str,
+) -> Website:
+    """Create (or reuse, for chains) the website advertised by a POI."""
+    config = wiring.config
+    draw = rand.uniform((key, "hosting"))
+    if draw < config.website_local_share:
+        hosting = HostingKind.LOCAL
+    elif draw < config.website_local_share + config.website_cloud_share:
+        hosting = HostingKind.CLOUD
+    else:
+        hosting = HostingKind.CDN
+
+    # Franchise chains: reuse an existing chain site of the country when one
+    # exists; its branches appear under several zip codes.
+    if hosting is HostingKind.LOCAL and rand.chance((key, "chain"), config.website_chain_share):
+        pool = wiring.chain_websites.setdefault(city.country, [])
+        if pool and rand.chance((key, "chain-reuse"), 0.7):
+            website = pool[rand.randint((key, "chain-pick"), 0, len(pool))]
+            wiring.directory.register(website.hostname, poi_zipcode)
+            return website
+        website = _new_website(world, wiring, key, city, poi_location, hosting, chain=True)
+        wiring.directory.register(website.hostname, poi_zipcode)
+        # Pre-register a few future branches so the multi-zip answer does not
+        # depend on materialisation order.
+        for branch in range(rand.randint((key, "branches"), 1, 4)):
+            synthetic = f"{website.hostname}-branch{branch}"
+            wiring.directory.register(website.hostname, synthetic)
+        pool.append(website)
+        return website
+
+    website = _new_website(world, wiring, key, city, poi_location, hosting, chain=False)
+    wiring.directory.register(website.hostname, poi_zipcode)
+    return website
+
+
+def _new_website(
+    world: World,
+    wiring: _Wiring,
+    key: rand.Key,
+    city: City,
+    poi_location: GeoPoint,
+    hosting: HostingKind,
+    chain: bool,
+) -> Website:
+    """Allocate the server address, DNS record, and Website object.
+
+    Only locally hosted websites get a full :class:`Host` (they are the
+    ones the street level technique pings and traceroutes). Cloud and CDN
+    sites get an address inside a content AS — enough for the hosting
+    checks, which inspect DNS and BGP origin — without the memory cost of
+    hundreds of thousands of never-probed host objects.
+    """
+    config = wiring.config
+    serial = wiring.next_poi_id
+    hostname = f"www.site-{city.country.lower()}-{serial}.example"
+    server_host_id: Optional[int] = None
+
+    if hosting is HostingKind.LOCAL:
+        asns = wiring.city_access_asns.get(city.city_id) or []
+        if asns:
+            asn = asns[rand.randint((key, "las"), 0, len(asns))]
+        else:
+            # No access AS reaches this city yet: any non-hosting AS keeps
+            # the site plausibly on premises (a Content AS would make the
+            # CDN/hosting test reject a genuinely local site).
+            asn = next(
+                record.asn
+                for record in world.ases.values()
+                if record.caida_type != "Content"
+            )
+        ip = wiring.space(asn).allocate_address()
+        server = Host(
+            host_id=world.next_host_id(),
+            ip=ip,
+            kind=HostKind.WEBSERVER,
+            true_location=poi_location,
+            recorded_location=poi_location,
+            city_id=city.city_id,
+            asn=asn,
+            last_mile_ms=rand.exponential((key, "wlm"), config.webserver_last_mile_mean_ms),
+        )
+        world.register_host(server)
+        server_host_id = server.host_id
+        cname_chain = ()
+    elif hosting is HostingKind.CLOUD:
+        # Cloud region: a hub city, same continent 60% of the time.
+        if rand.chance((key, "samecont"), 0.6):
+            continent = city.continent
+        else:
+            continents = sorted(wiring.hub_by_continent)
+            continent = continents[rand.randint((key, "cont"), 0, len(continents))]
+        pool = wiring.content_asns_by_continent[continent]
+        asn = pool[rand.randint((key, "cas"), 0, len(pool))]
+        ip = wiring.space(asn).allocate_address()
+        cname_chain = (
+            (f"{hostname}.lb.cloudhosting.example",)
+            if rand.chance((key, "cloudcname"), 0.5)
+            else ()
+        )
+    else:  # CDN: anycast behind a well-known CDN domain.
+        pool = wiring.content_asns_by_continent[city.continent]
+        asn = pool[rand.randint((key, "cdnas"), 0, len(pool))]
+        ip = wiring.space(asn).allocate_address()
+        cname_chain = (f"{hostname}.pop.anycastweb.org",)
+
+    wiring.dns.register(DnsRecord(hostname=hostname, ip=ip, cname_chain=cname_chain))
+    chain_id = serial if chain else None
+    return Website(
+        hostname=hostname,
+        ip=ip,
+        hosting=hosting,
+        server_host_id=server_host_id,
+        chain_id=chain_id,
+    )

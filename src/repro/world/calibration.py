@@ -1,0 +1,170 @@
+"""Calibration self-checks: is the substrate still paper-faithful?
+
+The world generator has free parameters whose values were calibrated
+against statistics the paper reports (see the CALIBRATED tags in
+:mod:`repro.world.config` and the table in EXPERIMENTS.md). This module
+recomputes those statistics from a live scenario and compares them with
+the paper's values, so any change to the generator that silently drifts
+the substrate away from the paper fails loudly (the test suite runs the
+checks with loose tolerances; ``repro-experiment calibration`` prints
+them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CalibrationCheck:
+    """One paper statistic vs its measured counterpart.
+
+    Attributes:
+        name: what is being checked.
+        paper: the paper's reported value.
+        measured: the value on this scenario.
+        low: lower acceptance bound.
+        high: upper acceptance bound.
+    """
+
+    name: str
+    paper: float
+    measured: float
+    low: float
+    high: float
+
+    @property
+    def ok(self) -> bool:
+        """Whether the measured value falls inside the acceptance band."""
+        return self.low <= self.measured <= self.high
+
+    def render(self) -> str:
+        """One printable line."""
+        flag = "ok " if self.ok else "DRIFT"
+        return (
+            f"[{flag}] {self.name}: paper={self.paper:g} measured={self.measured:.3g} "
+            f"(accept {self.low:g}..{self.high:g})"
+        )
+
+
+def calibration_checks(scenario) -> List[CalibrationCheck]:
+    """Compute the calibration suite for a scenario.
+
+    Bands are intentionally wide — they guard against *drift* (an order of
+    magnitude, a broken mechanism), not against noise. Several statistics
+    only make sense at paper scale; on small scenarios those bands widen
+    further with the platform size.
+    """
+    from repro.core.cbg import cbg_errors_for_subsets
+
+    checks: List[CalibrationCheck] = []
+    matrix = scenario.rtt_matrix()
+    vp_count = len(scenario.vps)
+    paper_scale = vp_count > 5000
+
+    errors = cbg_errors_for_subsets(
+        scenario.vp_lats,
+        scenario.vp_lons,
+        matrix,
+        scenario.target_true_lats,
+        scenario.target_true_lons,
+        np.arange(vp_count),
+    )
+    checks.append(
+        CalibrationCheck(
+            "all-VP CBG median error km",
+            paper=8.0,
+            measured=float(np.nanmedian(errors)),
+            low=3.0,
+            high=25.0 if paper_scale else 60.0,
+        )
+    )
+    checks.append(
+        CalibrationCheck(
+            "all-VP CBG city-level fraction",
+            paper=0.73,
+            measured=float(np.nanmean(errors <= 40.0)),
+            low=0.55,
+            high=0.97,
+        )
+    )
+
+    # Sanitization catches exactly the planted hosts.
+    planted_anchors = sum(1 for a in scenario.world.anchors if a.mislocated)
+    checks.append(
+        CalibrationCheck(
+            "anchors removed by sanitization",
+            paper=9.0,
+            measured=float(len(scenario.removed_anchor_ids)),
+            low=planted_anchors,
+            high=planted_anchors,
+        )
+    )
+
+    # Platform composition (Table 2).
+    access = sum(
+        1
+        for vp in scenario.vps
+        if scenario.world.ases[vp.asn].caida_type == "Access"
+    )
+    checks.append(
+        CalibrationCheck(
+            "VPs in access networks",
+            paper=0.724,
+            measured=access / vp_count,
+            low=0.55,
+            high=0.85,
+        )
+    )
+
+    # Probing rates (§5.1.3): probes must be orders below the 500 pps the
+    # original study used.
+    probe_rates = [vp.probing_rate_pps for vp in scenario.vps if not vp.is_anchor]
+    checks.append(
+        CalibrationCheck(
+            "median probe probing rate pps",
+            paper=8.0,  # "between 4 and 12"
+            measured=float(np.median(probe_rates)),
+            low=4.0,
+            high=12.0,
+        )
+    )
+
+    # RTT floor sanity: no measurement beats the speed of Internet.
+    from repro.constants import distance_to_min_rtt_ms
+
+    violations = 0
+    sampled = 0
+    for column, target in enumerate(scenario.targets[:20]):
+        rtts = matrix[:, column]
+        answered = np.where(~np.isnan(rtts))[0]
+        for row in answered[:: max(1, answered.size // 50)]:
+            vp_host = scenario.world.host_by_id(int(scenario.vp_ids[row]))
+            direct = vp_host.true_location.distance_km(target.true_location)
+            sampled += 1
+            if rtts[row] < distance_to_min_rtt_ms(direct) - 1e-9:
+                violations += 1
+    checks.append(
+        CalibrationCheck(
+            "speed-of-Internet violations in true space",
+            paper=0.0,
+            measured=float(violations),
+            low=0.0,
+            high=0.0,
+        )
+    )
+    return checks
+
+
+def render_report(checks: List[CalibrationCheck]) -> str:
+    """The full printable calibration report."""
+    lines = [check.render() for check in checks]
+    failed = sum(1 for check in checks if not check.ok)
+    lines.append(
+        f"-- {len(checks) - failed}/{len(checks)} checks in band"
+        + ("" if failed == 0 else f", {failed} DRIFTED")
+    )
+    return "\n".join(lines)

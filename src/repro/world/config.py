@@ -1,0 +1,253 @@
+"""World generation parameters.
+
+Two presets matter:
+
+* :meth:`WorldConfig.paper` mirrors the replication's scale — 732 generated
+  anchors (9 mis-geolocated, leaving the paper's 723 sanitized targets),
+  ~9.4K probes (96 mis-geolocated, leaving ~10K usable vantage points
+  including anchors), with the paper's continental distribution;
+* :meth:`WorldConfig.small` is a fast miniature for unit tests.
+
+Free parameters whose values were *calibrated* against statistics reported
+in the paper (rather than copied from it) are marked CALIBRATED; see
+EXPERIMENTS.md for the paper-vs-measured comparison that justifies them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from repro.errors import ConfigurationError
+
+#: Continental quotas for sanitized anchors, from §4.1.2 of the paper.
+#: The paper's reported per-continent counts (399/125/133/27/18/16) sum to
+#: 718, not to its 723 total; we distribute the 5 unaccounted targets over
+#: the three largest continents so the sanitized total is exactly 723.
+PAPER_ANCHOR_QUOTAS: Mapping[str, int] = {
+    "EU": 402,
+    "NA": 126,
+    "AS": 134,
+    "SA": 27,
+    "OC": 18,
+    "AF": 16,
+}
+
+#: Continental shares of RIPE Atlas probes (Europe-heavy platform bias).
+PAPER_PROBE_SHARES: Mapping[str, float] = {
+    "EU": 0.58,
+    "NA": 0.18,
+    "AS": 0.12,
+    "SA": 0.04,
+    "OC": 0.04,
+    "AF": 0.04,
+}
+
+#: CAIDA-type shares of anchors (Table 2, "Anchors" row).
+PAPER_ANCHOR_AS_TYPE_SHARES: Mapping[str, float] = {
+    "Content": 0.317,
+    "Access": 0.292,
+    "Transit/Access": 0.272,
+    "Enterprise": 0.076,
+    "Tier-1": 0.008,
+    "Unknown": 0.035,
+}
+
+#: CAIDA-type shares of probes (Table 2, "Probes" row).
+PAPER_PROBE_AS_TYPE_SHARES: Mapping[str, float] = {
+    "Content": 0.092,
+    "Access": 0.752,
+    "Transit/Access": 0.083,
+    "Enterprise": 0.034,
+    "Tier-1": 0.014,
+    "Unknown": 0.026,
+}
+
+#: ASDB category shares of the anchors' ASes (§4.4.1: 72% IT, 5% R&E, rest
+#: spread below 5% each over the remaining 14 categories).
+PAPER_ANCHOR_ASDB_SHARES: Mapping[str, float] = {
+    "Computer and Information Technology": 0.72,
+    "R&E": 0.05,
+}
+
+
+@dataclass
+class WorldConfig:
+    """All knobs of the synthetic world generator."""
+
+    seed: int = 2023
+
+    # --- geography ---------------------------------------------------------
+    #: cities per continent (before population weighting).
+    cities_per_continent: Dict[str, int] = field(
+        default_factory=lambda: {"EU": 420, "NA": 260, "AS": 300, "SA": 120, "OC": 60, "AF": 140}
+    )
+    #: countries per continent.
+    countries_per_continent: Dict[str, int] = field(
+        default_factory=lambda: {"EU": 40, "NA": 12, "AS": 25, "SA": 10, "OC": 4, "AF": 30}
+    )
+    #: hub (core-router) cities per continent, chosen by population.
+    #: CALIBRATED: hub density bounds the uplink detour of same-region
+    #: traffic, and with it how tight nearby anchors' CBG circles can get.
+    hubs_per_continent: int = 40
+    #: how much more likely an anchor is to sit in a hub (IXP) city than
+    #: population alone suggests — anchors are hosted in well-connected
+    #: facilities. CALIBRATED against the anchors-only CBG curve (Fig. 5a).
+    anchor_hub_city_boost: float = 3.0
+    #: log-normal parameters of city population.
+    city_population_mu: float = 12.2
+    city_population_sigma: float = 1.1
+    #: baseline rural population density, people per km^2.
+    rural_density: float = 2.0
+
+    # --- platform (anchors = targets, probes = vantage points) --------------
+    anchor_quotas: Dict[str, int] = field(default_factory=lambda: dict(PAPER_ANCHOR_QUOTAS))
+    #: anchors generated with a wrong recorded location (removed by §4.3).
+    bad_anchors: int = 9
+    probes_total: int = 9379
+    probe_shares: Dict[str, float] = field(default_factory=lambda: dict(PAPER_PROBE_SHARES))
+    #: probes generated with a wrong recorded location (removed by §4.3).
+    bad_probes: int = 96
+    #: minimum displacement of a mis-geolocated host, km. CALIBRATED: large
+    #: enough that the SOI sanitization provably catches every planted host.
+    mislocation_min_km: float = 4000.0
+    mislocation_max_km: float = 12000.0
+    #: share of probes whose registered location is off by a *sub-SOI*
+    #: amount (city-level registration, moved probes): plausible errors the
+    #: sanitization cannot catch. CALIBRATED against Figure 2a/§5.1.1 (all-
+    #: VP CBG: median 8 km but only 73% of targets at city level) and
+    #: Figure 3a (62% within 10 km with the single closest VP).
+    probe_metadata_jitter_share: float = 0.30
+    probe_metadata_jitter_min_km: float = 8.0
+    probe_metadata_jitter_max_km: float = 40.0
+    #: share of cities whose access infrastructure is congested: every
+    #: probe there carries extra last-mile delay. CALIBRATED against §5.1.5
+    #: (European targets whose close probes give a median 7.96 ms RTT).
+    city_congested_share: float = 0.28
+    city_congestion_extra_ms: float = 8.0
+    #: targets whose /24 has fewer than three responsive representatives
+    #: (8 of 723 in §4.1.3).
+    underpopulated_prefixes: int = 8
+    representatives_per_anchor_min: int = 3
+    representatives_per_anchor_max: int = 6
+
+    # --- autonomous systems --------------------------------------------------
+    #: total ASes in the world; RIPE Atlas spans 3,494 ASes (§2.2.1).
+    total_ases: int = 3500
+    anchor_as_type_shares: Dict[str, float] = field(
+        default_factory=lambda: dict(PAPER_ANCHOR_AS_TYPE_SHARES)
+    )
+    probe_as_type_shares: Dict[str, float] = field(
+        default_factory=lambda: dict(PAPER_PROBE_AS_TYPE_SHARES)
+    )
+    anchor_asdb_shares: Dict[str, float] = field(
+        default_factory=lambda: dict(PAPER_ANCHOR_ASDB_SHARES)
+    )
+
+    # --- latency model (see repro.latency.model) ----------------------------
+    #: per-pair fibre slowdown factor range. CALIBRATED so that CBG circle
+    #: constraints at 2/3c stay valid (factor >= 1) with realistic inflation.
+    fiber_factor_min: float = 1.05
+    fiber_factor_max: float = 1.25
+    #: probability that two ASes exchange same-city traffic locally (at the
+    #: metro). Unpeered pairs trombone through the regional hub, which is
+    #: why same-city RTTs are often milliseconds, not microseconds.
+    #: CALIBRATED against Figure 5b's latency-check attrition and the
+    #: overall city-level fraction (73%).
+    local_peering_probability: float = 0.7
+    #: round-trip last-mile delay, ms: anchors are well connected servers.
+    anchor_last_mile_mean_ms: float = 0.15
+    #: probes sit in access networks; exponential tail plus a floor.
+    probe_last_mile_floor_ms: float = 0.3
+    probe_last_mile_mean_ms: float = 1.8
+    #: share of probes behind a congested/bufferbloated last mile, and the
+    #: extra round-trip delay they suffer. CALIBRATED: drives the §5.1.5
+    #: observation that some European targets see no small RTT from nearby
+    #: probes (median 7.96 ms over the 26 high-error EU targets).
+    probe_bad_last_mile_share: float = 0.10
+    probe_bad_last_mile_extra_ms: float = 9.0
+    #: per-packet queueing jitter (exponential mean, ms).
+    jitter_mean_ms: float = 0.25
+    #: probability that any single probe packet is lost.
+    packet_loss_rate: float = 0.01
+    #: probability and magnitude (exp mean, ms) of ICMP slow-path spikes on
+    #: traceroute hop timestamps. CALIBRATED against Figure 6a: for half the
+    #: targets at least ~28% of landmark D1+D2 values come out negative.
+    hop_spike_probability: float = 0.03
+    hop_spike_mean_ms: float = 2.5
+    hop_noise_std_ms: float = 0.25
+
+    # --- web / landmarks -----------------------------------------------------
+    #: points of interest per city per 10k population. CALIBRATED against
+    #: Figure 5b (28% of targets with a landmark within 1 km) and the
+    #: §5.2.5 candidate volume (~3,800 website tests per target).
+    pois_per_10k_population: float = 14.0
+    poi_max_per_city: int = 1800
+    #: probability that a POI advertises a website on the mapping service.
+    poi_website_probability: float = 0.62
+    #: hosting mix of websites. CALIBRATED against §5.2.2: only a few
+    #: percent of candidate websites pass the locally-hosted tests.
+    website_local_share: float = 0.075
+    website_cloud_share: float = 0.70
+    # (remainder is CDN-fronted)
+    #: share of locally hosted websites that belong to a multi-site chain
+    #: (they fail the "appears in multiple zipcodes" test).
+    website_chain_share: float = 0.15
+    #: share of POIs whose mapping-service zip code is stale/wrong (they fail
+    #: the zip-code comparison test even when locally hosted).
+    poi_wrong_zip_share: float = 0.12
+    #: web-server round-trip last-mile delay, ms.
+    webserver_last_mile_mean_ms: float = 0.4
+
+    # --- zip codes -----------------------------------------------------------
+    #: side of the square cells that partition a city into zip codes, km.
+    zipcode_cell_km: float = 2.5
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Check internal consistency; raise ConfigurationError otherwise."""
+        if self.seed < 0:
+            raise ConfigurationError("seed must be non-negative")
+        for mapping_name in ("cities_per_continent", "countries_per_continent"):
+            mapping = getattr(self, mapping_name)
+            if any(v <= 0 for v in mapping.values()):
+                raise ConfigurationError(f"{mapping_name} must be positive")
+        if set(self.anchor_quotas) - set(self.cities_per_continent):
+            raise ConfigurationError("anchor quotas name unknown continents")
+        share_sum = sum(self.probe_shares.values())
+        if abs(share_sum - 1.0) > 1e-6:
+            raise ConfigurationError(f"probe shares must sum to 1, got {share_sum}")
+        if self.website_local_share + self.website_cloud_share >= 1.0:
+            raise ConfigurationError("website hosting shares exceed 1")
+        if self.bad_anchors < 0 or self.bad_probes < 0:
+            raise ConfigurationError("bad host counts must be non-negative")
+        if self.mislocation_min_km > self.mislocation_max_km:
+            raise ConfigurationError("mislocation range is inverted")
+
+    @property
+    def total_anchors(self) -> int:
+        """Generated anchors: the sanitized quota plus the planted bad ones."""
+        return sum(self.anchor_quotas.values()) + self.bad_anchors
+
+    @classmethod
+    def paper(cls, seed: int = 2023) -> "WorldConfig":
+        """The full paper-scale world (723 sanitized targets, ~10K VPs)."""
+        return cls(seed=seed)
+
+    @classmethod
+    def small(cls, seed: int = 7) -> "WorldConfig":
+        """A miniature world for unit tests: ~60 anchors, ~700 probes."""
+        return cls(
+            seed=seed,
+            cities_per_continent={"EU": 40, "NA": 24, "AS": 24, "SA": 12, "OC": 8, "AF": 12},
+            countries_per_continent={"EU": 8, "NA": 4, "AS": 5, "SA": 3, "OC": 2, "AF": 4},
+            hubs_per_continent=3,
+            anchor_quotas={"EU": 30, "NA": 12, "AS": 10, "SA": 4, "OC": 2, "AF": 2},
+            bad_anchors=2,
+            probes_total=700,
+            bad_probes=8,
+            underpopulated_prefixes=2,
+            total_ases=220,
+        )

@@ -1,0 +1,80 @@
+"""Hosts: the network endpoints of the simulated Internet.
+
+A host is anything with an IP address that can send or answer probes:
+RIPE Atlas anchors and probes, the /24 "representative" addresses the
+million scale technique pings, and the web servers behind candidate
+landmark websites.
+
+Each host carries *two* locations:
+
+* ``true_location`` — where the machine physically sits; the latency model
+  uses only this;
+* ``recorded_location`` — what the platform's metadata claims; geolocation
+  algorithms and error computations against VP positions use only this.
+
+The two differ for the deliberately mis-geolocated hosts that the paper's
+§4.3 sanitization process is designed to catch.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from repro.geo.coords import GeoPoint
+
+
+class HostKind(enum.Enum):
+    """What role a host plays on the platform."""
+
+    ANCHOR = "anchor"
+    PROBE = "probe"
+    REPRESENTATIVE = "representative"
+    WEBSERVER = "webserver"
+
+
+@dataclass
+class Host:
+    """One network endpoint.
+
+    Attributes:
+        host_id: dense integer id (index into the world's host arrays).
+        ip: IPv4 address, unique across the world.
+        kind: the host's role.
+        true_location: physical position (drives latency).
+        recorded_location: advertised position (drives algorithms); equal to
+            ``true_location`` unless the host is mis-geolocated.
+        city_id: the city the host physically sits in.
+        asn: the host's AS.
+        last_mile_ms: round-trip delay contributed by the host's access link.
+        responsive: whether the host answers pings at all.
+        mislocated: whether recorded and true locations deliberately differ.
+    """
+
+    host_id: int
+    ip: str
+    kind: HostKind
+    true_location: GeoPoint
+    recorded_location: GeoPoint
+    city_id: int
+    asn: int
+    last_mile_ms: float
+    responsive: bool = True
+    mislocated: bool = False
+
+    def __post_init__(self) -> None:
+        if self.last_mile_ms < 0:
+            raise ValueError(f"last-mile delay must be non-negative: {self.last_mile_ms}")
+
+    @property
+    def geolocation_error_km(self) -> float:
+        """Distance between the recorded and true positions."""
+        return self.recorded_location.distance_km(self.true_location)
+
+    def describe(self) -> str:
+        """One-line human-readable summary (for logs and examples)."""
+        flag = " MISLOCATED" if self.mislocated else ""
+        return (
+            f"{self.kind.value} {self.ip} AS{self.asn} "
+            f"@({self.recorded_location.lat:.3f},{self.recorded_location.lon:.3f})"
+            f"{flag}"
+        )

@@ -1,0 +1,99 @@
+"""Points of interest and their websites (the landmark substrate).
+
+Tier 2 of the street level technique turns map data into landmarks: it
+reverse-geocodes sample points into zip codes, asks for the points of
+interest (amenities) around those zip codes, and keeps the POIs that
+advertise a website. A website is only usable as a landmark if it is
+*locally hosted* — physically at the POI's postal address — which the
+technique tests heuristically.
+
+This module defines the data model; generation lives in the world builder,
+which materialises each city's POIs lazily and deterministically.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.geo.coords import GeoPoint
+
+#: Amenity categories, a blend of the street level paper's Geonames keywords
+#: ("business", "university", "government office") and the Overpass amenity
+#: values the replication queries instead.
+AMENITY_CATEGORIES: Tuple[str, ...] = (
+    "business",
+    "university",
+    "government_office",
+    "hospital",
+    "school",
+    "library",
+    "restaurant",
+    "bank",
+    "hotel",
+    "museum",
+)
+
+
+class HostingKind(enum.Enum):
+    """Where a website's content is actually served from."""
+
+    LOCAL = "local"  # on premises, at the POI's postal address
+    CLOUD = "cloud"  # in some datacenter, often far away
+    CDN = "cdn"  # behind an anycast CDN edge
+
+
+@dataclass(frozen=True)
+class Website:
+    """A website advertised by a point of interest.
+
+    Attributes:
+        hostname: the site's DNS name.
+        ip: address the hostname resolves to (the A record target).
+        hosting: ground-truth hosting kind — *never* read by algorithms,
+            only by the world when simulating DNS/HTTP and by evaluation
+            code computing oracle bounds.
+        server_host_id: host id of the serving machine for locally hosted
+            sites; ``None`` for cloud/CDN sites, whose serving address
+            lives in a content AS and is never probed (the hosting checks
+            reject them first).
+        chain_id: non-None when the site belongs to a multi-branch chain
+            (same website advertised by POIs in several zip codes).
+    """
+
+    hostname: str
+    ip: str
+    hosting: HostingKind
+    server_host_id: Optional[int]
+    chain_id: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class PointOfInterest:
+    """A mapped amenity: the unit the landmark discovery pipeline consumes.
+
+    Attributes:
+        poi_id: globally unique integer id.
+        name: synthetic display name.
+        category: one of :data:`AMENITY_CATEGORIES`.
+        location: physical position of the amenity.
+        city_id: city the POI belongs to.
+        zipcode: postal code the mapping service lists for the POI. Usually
+            the code of ``location``'s cell, but a configurable share of POIs
+            carries a stale/wrong code — those fail the street level zip test.
+        website: advertised website, if any.
+    """
+
+    poi_id: int
+    name: str
+    category: str
+    location: GeoPoint
+    city_id: int
+    zipcode: str
+    website: Optional[Website] = None
+
+    @property
+    def has_website(self) -> bool:
+        """Whether the mapping service lists a website for this POI."""
+        return self.website is not None

@@ -1,0 +1,118 @@
+"""World statistics: distributions behind the substrate's behaviour.
+
+Every calibration claim in EXPERIMENTS.md traces back to a distribution in
+the generated world; this module computes them so they can be inspected,
+asserted on, and printed (``examples/world_report.py``). Nothing here is
+used by the geolocation algorithms — it is diagnostics and documentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.world.world import World
+
+
+@dataclass
+class WorldStats:
+    """Aggregated distributions of one world.
+
+    All percentile tuples are (p10, p50, p90).
+    """
+
+    cities: int
+    countries: int
+    ases: int
+    anchors: int
+    probes: int
+    city_population_percentiles: tuple
+    probe_last_mile_ms_percentiles: tuple
+    anchor_last_mile_ms_percentiles: tuple
+    probe_metadata_error_km_percentiles: tuple
+    anchors_per_city_max: int
+    distinct_anchor_cities: int
+    continent_probe_counts: Dict[str, int] = field(default_factory=dict)
+    as_type_counts: Dict[str, int] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Printable multi-section report."""
+        def pct(values: tuple) -> str:
+            return " / ".join(f"{v:.2f}" for v in values)
+
+        rows = [
+            ["cities", self.cities],
+            ["countries", self.countries],
+            ["ASes", self.ases],
+            ["anchors", self.anchors],
+            ["probes", self.probes],
+            ["distinct anchor cities", self.distinct_anchor_cities],
+            ["max anchors in one city", self.anchors_per_city_max],
+            ["city population p10/50/90", pct(self.city_population_percentiles)],
+            ["probe last mile ms p10/50/90", pct(self.probe_last_mile_ms_percentiles)],
+            ["anchor last mile ms p10/50/90", pct(self.anchor_last_mile_ms_percentiles)],
+            [
+                "probe metadata error km p10/50/90",
+                pct(self.probe_metadata_error_km_percentiles),
+            ],
+        ]
+        sections = [format_table(["statistic", "value"], rows)]
+        sections.append(
+            format_table(
+                ["continent", "probes"],
+                sorted(self.continent_probe_counts.items()),
+            )
+        )
+        sections.append(
+            format_table(["AS type", "count"], sorted(self.as_type_counts.items()))
+        )
+        return "\n\n".join(sections)
+
+
+def compute_world_stats(world: World) -> WorldStats:
+    """Compute the distributions for a world."""
+    anchors = world.anchors
+    probes = world.probes
+
+    def percentiles(values: List[float]) -> tuple:
+        if not values:
+            return (0.0, 0.0, 0.0)
+        return tuple(np.percentile(values, [10, 50, 90]))
+
+    anchors_per_city: Dict[int, int] = {}
+    for anchor in anchors:
+        anchors_per_city[anchor.city_id] = anchors_per_city.get(anchor.city_id, 0) + 1
+
+    continent_counts: Dict[str, int] = {}
+    for probe in probes:
+        code = world.city_of_host(probe).continent
+        continent_counts[code] = continent_counts.get(code, 0) + 1
+
+    as_type_counts: Dict[str, int] = {}
+    for record in world.ases.values():
+        as_type_counts[record.caida_type] = as_type_counts.get(record.caida_type, 0) + 1
+
+    metadata_errors = [
+        probe.geolocation_error_km
+        for probe in probes
+        if not probe.mislocated and probe.geolocation_error_km > 0.0
+    ]
+
+    return WorldStats(
+        cities=len(world.cities),
+        countries=len(world.countries),
+        ases=len(world.ases),
+        anchors=len(anchors),
+        probes=len(probes),
+        city_population_percentiles=percentiles([c.population for c in world.cities]),
+        probe_last_mile_ms_percentiles=percentiles([p.last_mile_ms for p in probes]),
+        anchor_last_mile_ms_percentiles=percentiles([a.last_mile_ms for a in anchors]),
+        probe_metadata_error_km_percentiles=percentiles(metadata_errors),
+        anchors_per_city_max=max(anchors_per_city.values()) if anchors_per_city else 0,
+        distinct_anchor_cities=len(anchors_per_city),
+        continent_probe_counts=continent_counts,
+        as_type_counts=as_type_counts,
+    )

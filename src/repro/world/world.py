@@ -1,0 +1,229 @@
+"""The World container: everything the simulated Internet is made of.
+
+A :class:`World` owns the geography (cities, countries, population field),
+the AS fabric, the BGP table, the DNS zone, the hitlist, and every host.
+Points of interest (and the web servers behind their websites) are
+materialised lazily per city, deterministically from the seed, because only
+the cities inside some target's CBG region are ever inspected.
+
+Nothing in this class implements geolocation: algorithms observe the world
+exclusively through the measurement APIs in :mod:`repro.atlas` and the
+mapping services in :mod:`repro.landmarks`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import UnknownHostError
+from repro.geo.coords import GeoPoint
+from repro.geo.grid import PopulationGrid
+from repro.net.asn import ASRecord
+from repro.net.bgp import PrefixTable
+from repro.net.dns import DnsResolver
+from repro.net.hitlist import Hitlist
+from repro.world.cities import City, CityIndex, Country
+from repro.world.config import WorldConfig
+from repro.world.hosts import Host, HostKind
+from repro.world.pois import PointOfInterest
+
+
+class World:
+    """Immutable-after-build snapshot of the simulated Internet.
+
+    Instances are created by :func:`repro.world.builder.build_world`; the
+    constructor only wires the parts together.
+    """
+
+    def __init__(
+        self,
+        config: WorldConfig,
+        cities: List[City],
+        countries: List[Country],
+        ases: Dict[int, ASRecord],
+        hosts: List[Host],
+        hitlist: Hitlist,
+        bgp: PrefixTable,
+        dns: DnsResolver,
+        population: PopulationGrid,
+        hub_city_ids: List[int],
+        poi_factory: Callable[["World", int], List[PointOfInterest]],
+    ) -> None:
+        self.config = config
+        self.cities = cities
+        self.countries = countries
+        self.ases = ases
+        self.hitlist = hitlist
+        self.bgp = bgp
+        self.dns = dns
+        self.population = population
+        self.hub_city_ids = hub_city_ids
+        self.city_index = CityIndex(cities)
+        #: Filled by the builder: the global website/zip-code directory used
+        #: by the street level multi-zipcode test.
+        self.web_directory = None
+
+        self._hosts: List[Host] = list(hosts)
+        self._static_host_count = len(hosts)
+        self._host_by_ip: Dict[str, Host] = {host.ip: host for host in hosts}
+        if len(self._host_by_ip) != len(hosts):
+            raise ValueError("duplicate host IPs in world build")
+
+        self._poi_factory = poi_factory
+        self._pois_by_city: Dict[int, List[PointOfInterest]] = {}
+        self._poi_index: Dict[int, PointOfInterest] = {}
+        self._zip_index: Dict[int, Dict[str, List[PointOfInterest]]] = {}
+
+        # Static-host arrays for the vectorised latency engine.
+        self.host_true_lats = np.array([h.true_location.lat for h in hosts])
+        self.host_true_lons = np.array([h.true_location.lon for h in hosts])
+        self.host_last_mile = np.array([h.last_mile_ms for h in hosts])
+        self.host_responsive = np.array([h.responsive for h in hosts], dtype=bool)
+        self.host_city_ids = np.array([h.city_id for h in hosts], dtype=np.int64)
+        self.host_asns = np.array([h.asn for h in hosts], dtype=np.int64)
+
+    # --- hosts ---------------------------------------------------------------
+
+    @property
+    def hosts(self) -> Sequence[Host]:
+        """All hosts created so far (static + lazily built web servers)."""
+        return tuple(self._hosts)
+
+    @property
+    def static_host_count(self) -> int:
+        """Number of hosts present at build time (before lazy web servers)."""
+        return self._static_host_count
+
+    def host(self, ip: str) -> Host:
+        """The host owning an address.
+
+        Raises:
+            UnknownHostError: if no host has this address.
+        """
+        host = self._host_by_ip.get(ip)
+        if host is None:
+            raise UnknownHostError(f"no host with address {ip}")
+        return host
+
+    def try_host(self, ip: str) -> Optional[Host]:
+        """Like :meth:`host` but returns ``None`` for unknown addresses."""
+        return self._host_by_ip.get(ip)
+
+    def host_by_id(self, host_id: int) -> Host:
+        """The host with a given dense id."""
+        return self._hosts[host_id]
+
+    def register_host(self, host: Host) -> None:
+        """Add a lazily created host (web servers only).
+
+        Raises:
+            ValueError: on duplicate addresses or out-of-sequence ids.
+        """
+        if host.ip in self._host_by_ip:
+            raise ValueError(f"duplicate host address {host.ip}")
+        if host.host_id != len(self._hosts):
+            raise ValueError(
+                f"host_id {host.host_id} out of sequence (expected {len(self._hosts)})"
+            )
+        self._hosts.append(host)
+        self._host_by_ip[host.ip] = host
+
+    def next_host_id(self) -> int:
+        """The id the next registered host must use."""
+        return len(self._hosts)
+
+    def hosts_of_kind(self, kind: HostKind) -> List[Host]:
+        """All hosts of one kind, in id order."""
+        return [host for host in self._hosts if host.kind is kind]
+
+    @property
+    def anchors(self) -> List[Host]:
+        """All anchors (including any mis-geolocated ones)."""
+        return self.hosts_of_kind(HostKind.ANCHOR)
+
+    @property
+    def probes(self) -> List[Host]:
+        """All probes (including any mis-geolocated ones)."""
+        return self.hosts_of_kind(HostKind.PROBE)
+
+    # --- geography -----------------------------------------------------------
+
+    def city(self, city_id: int) -> City:
+        """The city with a given id."""
+        return self.cities[city_id]
+
+    def city_of_host(self, host: Host) -> City:
+        """The city a host physically sits in."""
+        return self.cities[host.city_id]
+
+    def continent_of_ip(self, ip: str) -> str:
+        """Continent code of the host owning an address."""
+        return self.city_of_host(self.host(ip)).continent
+
+    # --- autonomous systems ----------------------------------------------------
+
+    def as_of_host(self, host: Host) -> ASRecord:
+        """The AS record of a host."""
+        return self.ases[host.asn]
+
+    # --- points of interest ------------------------------------------------------
+
+    def pois_of_city(self, city_id: int) -> List[PointOfInterest]:
+        """The city's points of interest, materialising them on first use."""
+        cached = self._pois_by_city.get(city_id)
+        if cached is None:
+            cached = self._poi_factory(self, city_id)
+            self._pois_by_city[city_id] = cached
+            for poi in cached:
+                self._poi_index[poi.poi_id] = poi
+        return cached
+
+    def pois_by_spatial_zip(self, city_id: int) -> Dict[str, List[PointOfInterest]]:
+        """A city's POIs indexed by the zip-code cell they physically sit in.
+
+        This is the index the Overpass-like amenity service queries; note
+        that a POI's *listed* ``zipcode`` attribute may disagree with its
+        spatial cell (stale map data), which is what the street level
+        zip-code test screens for.
+        """
+        cached = self._zip_index.get(city_id)
+        if cached is None:
+            city = self.cities[city_id]
+            cached = {}
+            for poi in self.pois_of_city(city_id):
+                cached.setdefault(city.zipcode_at(poi.location), []).append(poi)
+            self._zip_index[city_id] = cached
+        return cached
+
+    def pois_near(self, point: GeoPoint, radius_km: float) -> List[PointOfInterest]:
+        """POIs within a radius of a point (materialises nearby cities).
+
+        The search window covers every city whose metro area could reach the
+        query circle.
+        """
+        results: List[PointOfInterest] = []
+        max_metro_radius = 60.0
+        for city in self.city_index.within(point, radius_km + max_metro_radius):
+            for poi in self.pois_of_city(city.city_id):
+                if poi.location.distance_km(point) <= radius_km:
+                    results.append(poi)
+        return results
+
+    def materialized_poi_count(self) -> int:
+        """How many POIs have been generated so far (diagnostics)."""
+        return len(self._poi_index)
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary (for examples and logs)."""
+        lines = [
+            f"World(seed={self.config.seed}):",
+            f"  cities: {len(self.cities)} in {len(self.countries)} countries",
+            f"  ASes: {len(self.ases)}",
+            f"  anchors: {len(self.anchors)} ({self.config.bad_anchors} mis-geolocated)",
+            f"  probes: {len(self.probes)} ({self.config.bad_probes} mis-geolocated)",
+            f"  hitlist entries: {len(self.hitlist)}",
+            f"  BGP announcements: {len(self.bgp)}",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""Shared fixtures: a small world/scenario built once per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.atlas.client import AtlasClient
+from repro.atlas.platform import AtlasPlatform
+from repro.experiments.scenario import Scenario, get_scenario
+from repro.world import World, WorldConfig, build_world
+
+
+@pytest.fixture(scope="session")
+def small_config() -> WorldConfig:
+    """The small world configuration used across the suite."""
+    return WorldConfig.small()
+
+
+@pytest.fixture(scope="session")
+def small_world(small_config: WorldConfig) -> World:
+    """A small world, built once."""
+    return build_world(small_config)
+
+
+@pytest.fixture(scope="session")
+def small_platform(small_world: World) -> AtlasPlatform:
+    """A platform over the small world."""
+    return AtlasPlatform(small_world)
+
+
+@pytest.fixture(scope="session")
+def small_client(small_platform: AtlasPlatform) -> AtlasClient:
+    """A client with a fresh ledger over the shared platform."""
+    return AtlasClient(small_platform)
+
+
+@pytest.fixture(scope="session")
+def small_scenario() -> Scenario:
+    """The sanitized small scenario (cached by the experiments layer)."""
+    return get_scenario("small")

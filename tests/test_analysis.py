@@ -1,0 +1,122 @@
+"""Tests for metrics, correlation, and table formatting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    cdf_points,
+    format_table,
+    fraction_within,
+    median,
+    pearson,
+    percentile,
+    summarize_errors,
+)
+from repro.analysis.metrics import cdf_at
+
+
+class TestMetrics:
+    def test_median_simple(self):
+        assert median([1.0, 2.0, 3.0]) == 2.0
+
+    def test_median_skips_none_and_nan(self):
+        assert median([1.0, None, float("nan"), 3.0]) == 2.0
+
+    def test_median_empty_raises(self):
+        with pytest.raises(ValueError):
+            median([None])
+
+    def test_percentile(self):
+        values = list(range(101))
+        assert percentile(values, 90) == pytest.approx(90.0)
+
+    def test_fraction_within_counts_none_in_denominator(self):
+        assert fraction_within([10.0, None, 50.0, 20.0], 40.0) == 0.5
+
+    def test_fraction_within_empty(self):
+        assert fraction_within([], 10.0) == 0.0
+
+    def test_cdf_points_monotone(self):
+        xs, ys = cdf_points([5.0, 1.0, 3.0])
+        assert list(xs) == [1.0, 3.0, 5.0]
+        assert list(ys) == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_cdf_points_empty(self):
+        xs, ys = cdf_points([])
+        assert xs.size == 0 and ys.size == 0
+
+    def test_cdf_at(self):
+        assert cdf_at([1.0, 2.0, 3.0, 4.0], [2.5]) == [0.5]
+
+    def test_summarize(self):
+        summary = summarize_errors([0.5, 10.0, 100.0, None])
+        assert summary["median_km"] == 10.0
+        assert summary["city_level_fraction"] == 0.5
+        assert summary["street_level_fraction"] == 0.25
+        assert summary["count"] == 4.0
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_fraction_within_bounds_property(self, values):
+        fraction = fraction_within(values, 100.0)
+        assert 0.0 <= fraction <= 1.0
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_median_between_min_max_property(self, values):
+        m = median(values)
+        assert min(values) <= m <= max(values)
+
+
+class TestPearson:
+    def test_perfect_correlation(self):
+        assert pearson([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_perfect_anticorrelation(self):
+        assert pearson([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_no_variance_none(self):
+        assert pearson([1, 1, 1], [1, 2, 3]) is None
+
+    def test_too_few_points_none(self):
+        assert pearson([1], [2]) is None
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson([1, 2], [1])
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        xs = rng.normal(size=100)
+        ys = xs * 0.5 + rng.normal(size=100)
+        expected = float(np.corrcoef(xs, ys)[0, 1])
+        assert pearson(list(xs), list(ys)) == pytest.approx(expected)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e3, max_value=1e3), min_size=2, max_size=30
+        ).filter(lambda xs: len(set(xs)) > 1)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bounded_property(self, xs):
+        ys = [x * 2 + 1 for x in xs]
+        coefficient = pearson(xs, ys)
+        assert coefficient is None or -1.0001 <= coefficient <= 1.0001
+
+
+class TestTables:
+    def test_alignment(self):
+        table = format_table(["a", "bb"], [["x", "y"], ["long", "z"]])
+        lines = table.split("\n")
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["x", "y"]])
+
+    def test_non_string_cells(self):
+        table = format_table(["n"], [[42], [3.5]])
+        assert "42" in table and "3.5" in table

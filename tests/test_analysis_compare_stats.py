@@ -1,0 +1,123 @@
+"""Tests for distribution comparison and world statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.compare import ks_distance, median_ratio
+from repro.world.stats import compute_world_stats
+
+
+class TestKsDistance:
+    def test_identical_samples_zero(self):
+        sample = [1.0, 2.0, 3.0, 4.0]
+        assert ks_distance(sample, sample) == 0.0
+
+    def test_disjoint_samples_one(self):
+        assert ks_distance([1.0, 2.0], [10.0, 20.0]) == 1.0
+
+    def test_partial_overlap(self):
+        d = ks_distance([1.0, 2.0, 3.0, 4.0], [3.0, 4.0, 5.0, 6.0])
+        assert 0.0 < d < 1.0
+
+    def test_none_and_nan_dropped(self):
+        d = ks_distance([1.0, None, float("nan"), 2.0], [1.0, 2.0])
+        assert d == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ks_distance([], [1.0])
+
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(0, 1, 200)
+        b = rng.normal(0.5, 1, 150)
+        fast = ks_distance(a, b)
+        grid = np.concatenate([a, b])
+        brute = max(
+            abs((a <= x).mean() - (b <= x).mean()) for x in grid
+        )
+        assert fast == pytest.approx(brute)
+
+    def test_symmetric(self):
+        a = [1.0, 5.0, 9.0]
+        b = [2.0, 4.0, 8.0, 16.0]
+        assert ks_distance(a, b) == pytest.approx(ks_distance(b, a))
+
+
+class TestMedianRatio:
+    def test_basic(self):
+        assert median_ratio([2.0, 4.0, 6.0], [1.0, 2.0, 3.0]) == 2.0
+
+    def test_zero_denominator(self):
+        with pytest.raises(ValueError):
+            median_ratio([1.0], [0.0])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            median_ratio([1.0], [])
+
+
+class TestWorldStats:
+    def test_counts_match_world(self, small_world):
+        stats = compute_world_stats(small_world)
+        assert stats.cities == len(small_world.cities)
+        assert stats.anchors == len(small_world.anchors)
+        assert stats.probes == len(small_world.probes)
+        assert stats.ases == len(small_world.ases)
+
+    def test_distributions_sane(self, small_world):
+        stats = compute_world_stats(small_world)
+        p10, p50, p90 = stats.probe_last_mile_ms_percentiles
+        assert 0 < p10 <= p50 <= p90
+        assert stats.anchor_last_mile_ms_percentiles[1] < p50
+        assert stats.distinct_anchor_cities <= stats.anchors
+
+    def test_metadata_jitter_visible(self, small_world):
+        stats = compute_world_stats(small_world)
+        config = small_world.config
+        _p10, _p50, p90 = stats.probe_metadata_error_km_percentiles
+        assert p90 <= config.probe_metadata_jitter_max_km + 1.0
+
+    def test_continent_counts_sum(self, small_world):
+        stats = compute_world_stats(small_world)
+        assert sum(stats.continent_probe_counts.values()) == stats.probes
+
+    def test_render_contains_sections(self, small_world):
+        text = compute_world_stats(small_world).render()
+        assert "cities" in text
+        assert "AS type" in text
+        assert "continent" in text
+
+
+class TestParityExperiment:
+    def test_runs_on_small(self, small_scenario):
+        from repro.experiments.parity import run_parity
+
+        output = run_parity(small_scenario)
+        assert output.experiment_id == "parity"
+        assert 0.0 <= output.measured["all_vps_ks"] <= 1.0
+        assert output.measured["all_vps_median_ratio"] > 0.0
+        # The paper's claim on our substrate: the distributions are close.
+        assert output.measured["all_vps_ks"] < 0.4
+
+
+class TestDatasetCli:
+    def test_export_json(self, tmp_path, capsys):
+        from repro.dataset import GeolocationDataset, main
+
+        out = tmp_path / "baseline.json"
+        code = main(
+            ["--preset", "small", "--out", str(out), "--max-targets", "5"]
+        )
+        assert code == 0
+        assert "wrote 5 records" in capsys.readouterr().out
+        assert len(GeolocationDataset.read_json(out)) == 5
+
+    def test_export_csv(self, tmp_path):
+        from repro.dataset import GeolocationDataset, main
+
+        out = tmp_path / "baseline.csv"
+        main(
+            ["--preset", "small", "--format", "csv", "--out", str(out), "--max-targets", "4"]
+        )
+        assert len(GeolocationDataset.read_csv(out)) == 4

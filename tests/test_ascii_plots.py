@@ -1,0 +1,61 @@
+"""Tests for the terminal CDF/scatter rendering."""
+
+import math
+
+from repro.analysis.ascii_plots import ascii_cdf, ascii_scatter
+
+
+class TestAsciiCdf:
+    def test_renders_series_and_legend(self):
+        panel = ascii_cdf({"cbg": [1.0, 5.0, 10.0], "street": [2.0, 20.0, 50.0]})
+        assert "*=cbg" in panel
+        assert "o=street" in panel
+        assert "km" in panel
+
+    def test_empty_series_placeholder(self):
+        assert ascii_cdf({}) == "(no data to plot)"
+        assert ascii_cdf({"x": [float("nan"), None]}) == "(no data to plot)"
+
+    def test_monotone_curve(self):
+        panel = ascii_cdf({"s": list(range(1, 100))}, width=40, height=10)
+        lines = [line for line in panel.split("\n") if "|" in line]
+        # The top row (CDF=1) must have marks at the right edge, the bottom
+        # row (CDF=0) none at the right edge.
+        top = lines[0].split("|", 1)[1]
+        assert "*" in top
+        assert len(lines) == 10
+
+    def test_linear_axis(self):
+        panel = ascii_cdf({"s": [1.0, 2.0, 3.0]}, log_x=False)
+        assert "(log)" not in panel
+
+    def test_fixed_dimensions(self):
+        panel = ascii_cdf({"s": [1, 10, 100]}, width=30, height=8)
+        plot_lines = [line for line in panel.split("\n") if "|" in line]
+        assert len(plot_lines) == 8
+        assert all(len(line) <= 6 + 30 for line in plot_lines)
+
+
+class TestAsciiScatter:
+    def test_renders_points(self):
+        panel = ascii_scatter([(1.0, 2.0), (10.0, 20.0), (100.0, 50.0)])
+        assert "[3 points]" in panel
+        assert "." in panel or "o" in panel
+
+    def test_log_filters_nonpositive(self):
+        panel = ascii_scatter([(0.0, 1.0), (1.0, 1.0), (2.0, 4.0)])
+        assert "[2 points]" in panel
+
+    def test_empty(self):
+        assert ascii_scatter([]) == "(no data to plot)"
+        assert ascii_scatter([(math.nan, 1.0)]) == "(no data to plot)"
+
+    def test_density_marks_escalate(self):
+        points = [(5.0, 5.0)] * 10
+        panel = ascii_scatter(points, width=10, height=5)
+        assert "#" in panel
+
+    def test_linear_mode(self):
+        panel = ascii_scatter([(-1.0, 2.0), (3.0, -4.0)], log=False)
+        assert "[2 points]" in panel
+        assert "(log)" not in panel

@@ -1,0 +1,101 @@
+"""Tests for the asynchronous measurement API layer."""
+
+import pytest
+
+from repro.atlas.api import MeasurementApi, MeasurementStatus
+from repro.atlas.clock import SimClock
+from repro.atlas.credits import CreditLedger
+from repro.atlas.platform import API_OVERHEAD_S, RESULT_LATENCY_RANGE_S
+from repro.errors import CreditExhaustedError, MeasurementError
+
+
+@pytest.fixture
+def api(small_platform):
+    return MeasurementApi(small_platform, SimClock(), CreditLedger())
+
+
+class TestScheduling:
+    def test_create_returns_id_and_charges(self, api, small_world):
+        probe_ids = [p.host_id for p in small_world.probes[:4]]
+        measurement_id = api.create_ping(probe_ids, small_world.anchors[0].ip)
+        assert measurement_id >= 1000000
+        assert api.ledger.spent == 4 * 3
+        assert api.clock.now_s == API_OVERHEAD_S
+
+    def test_ids_unique(self, api, small_world):
+        probe_ids = [small_world.probes[0].host_id]
+        a = api.create_ping(probe_ids, small_world.anchors[0].ip)
+        b = api.create_ping(probe_ids, small_world.anchors[0].ip)
+        assert a != b
+
+    def test_unknown_probe_rejected(self, api):
+        with pytest.raises(MeasurementError):
+            api.create_ping([10**9], "11.0.0.1")
+
+    def test_budget_enforced(self, small_platform, small_world):
+        api = MeasurementApi(small_platform, SimClock(), CreditLedger(budget=5))
+        with pytest.raises(CreditExhaustedError):
+            api.create_ping(
+                [p.host_id for p in small_world.probes[:4]], small_world.anchors[0].ip
+            )
+
+
+class TestPolling:
+    def test_results_unavailable_before_latency(self, api, small_world):
+        measurement_id = api.create_ping(
+            [small_world.probes[0].host_id], small_world.anchors[0].ip
+        )
+        assert api.status(measurement_id) is MeasurementStatus.SCHEDULED
+        assert api.fetch_results(measurement_id) is None
+        assert api.pending_count() == 1
+
+    def test_results_after_clock_advance(self, api, small_world):
+        probe = small_world.probes[0]
+        measurement_id = api.create_ping([probe.host_id], small_world.anchors[0].ip)
+        api.clock.advance(RESULT_LATENCY_RANGE_S[1] + 1.0, "poll-wait")
+        assert api.status(measurement_id) is MeasurementStatus.DONE
+        results = api.fetch_results(measurement_id)
+        assert probe.host_id in results
+        assert results[probe.host_id] is None or results[probe.host_id] > 0
+
+    def test_wait_blocks_to_completion(self, api, small_world):
+        probe = small_world.probes[1]
+        measurement_id = api.create_ping([probe.host_id], small_world.anchors[1].ip)
+        results = api.wait(measurement_id)
+        low, high = RESULT_LATENCY_RANGE_S
+        assert API_OVERHEAD_S + low <= api.clock.now_s <= API_OVERHEAD_S + high
+        assert probe.host_id in results
+        assert api.pending_count() == 0
+
+    def test_wait_matches_client_results(self, api, small_world, small_platform):
+        """The async layer returns the same values as the sync platform."""
+        probe = small_world.probes[2]
+        target = small_world.anchors[2]
+        measurement_id = api.create_ping([probe.host_id], target.ip, seq=6)
+        async_results = api.wait(measurement_id)
+        sync_results = small_platform.ping([probe.host_id], target.ip, seq=6)
+        assert async_results == sync_results
+
+    def test_traceroute_results(self, api, small_world):
+        probe = small_world.probes[0]
+        target = small_world.anchors[0]
+        measurement_id = api.create_traceroute([probe.host_id], target.ip)
+        results = api.wait(measurement_id)
+        trace = results[probe.host_id]
+        assert trace is not None and trace.reached
+        assert trace.hops[-1].ip == target.ip
+
+    def test_unknown_id_rejected(self, api):
+        with pytest.raises(MeasurementError):
+            api.status(42)
+        with pytest.raises(MeasurementError):
+            api.fetch_results(42)
+        with pytest.raises(MeasurementError):
+            api.wait(42)
+
+    def test_results_cached_after_first_fetch(self, api, small_world):
+        probe = small_world.probes[0]
+        measurement_id = api.create_ping([probe.host_id], small_world.anchors[0].ip)
+        first = api.wait(measurement_id)
+        second = api.fetch_results(measurement_id)
+        assert first is second

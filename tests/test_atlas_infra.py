@@ -1,0 +1,93 @@
+"""Tests for the platform's clock, credits, and rate limiting."""
+
+import pytest
+
+from repro.atlas.clock import SimClock
+from repro.atlas.credits import CreditLedger
+from repro.atlas.ratelimit import SlidingWindowRateLimiter
+from repro.errors import CreditExhaustedError
+
+
+class TestSimClock:
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(5.0, "a")
+        clock.advance(2.5, "b")
+        assert clock.now_s == 7.5
+
+    def test_categories_tracked(self):
+        clock = SimClock()
+        clock.advance(1.0, "mapping")
+        clock.advance(2.0, "mapping")
+        clock.advance(3.0, "atlas-api")
+        assert clock.spent_in("mapping") == 3.0
+        assert clock.breakdown() == {"mapping": 3.0, "atlas-api": 3.0}
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1.0)
+
+    def test_unknown_category_zero(self):
+        assert SimClock().spent_in("nothing") == 0.0
+
+
+class TestCreditLedger:
+    def test_charge_accumulates(self):
+        ledger = CreditLedger()
+        ledger.charge(10, "ping", count=5)
+        ledger.charge(30, "traceroute", count=1)
+        assert ledger.spent == 40
+        assert ledger.measurement_count() == 6
+        assert ledger.measurement_count("ping") == 5
+        assert ledger.counts() == {"ping": 5, "traceroute": 1}
+
+    def test_budget_enforced(self):
+        ledger = CreditLedger(budget=100)
+        ledger.charge(90, "ping")
+        with pytest.raises(CreditExhaustedError):
+            ledger.charge(20, "ping")
+        # Failed charge spends nothing.
+        assert ledger.spent == 90
+        assert ledger.remaining == 10
+
+    def test_unlimited_budget(self):
+        ledger = CreditLedger()
+        assert ledger.remaining is None
+        ledger.charge(10**9, "ping")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CreditLedger().charge(-1, "ping")
+
+
+class TestRateLimiter:
+    def test_no_wait_below_limit(self):
+        clock = SimClock()
+        limiter = SlidingWindowRateLimiter(clock, max_requests=8)
+        waits = [limiter.acquire() for _ in range(8)]
+        assert all(w == 0.0 for w in waits)
+        assert clock.now_s == 0.0
+
+    def test_waits_once_window_full(self):
+        clock = SimClock()
+        limiter = SlidingWindowRateLimiter(clock, max_requests=2, window_s=1.0)
+        limiter.acquire()
+        limiter.acquire()
+        waited = limiter.acquire()
+        assert waited == pytest.approx(1.0)
+        assert clock.now_s == pytest.approx(1.0)
+
+    def test_sustained_rate(self):
+        clock = SimClock()
+        limiter = SlidingWindowRateLimiter(clock, max_requests=8, window_s=1.0)
+        for _ in range(80):
+            limiter.acquire()
+        # 80 requests at 8/s take about 9 windows.
+        assert clock.now_s == pytest.approx(9.0, abs=1.1)
+
+    def test_invalid_parameters(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            SlidingWindowRateLimiter(clock, max_requests=0)
+        with pytest.raises(ValueError):
+            SlidingWindowRateLimiter(clock, max_requests=1, window_s=0.0)

@@ -1,0 +1,150 @@
+"""Tests for the platform and client measurement APIs."""
+
+import numpy as np
+import pytest
+
+from repro.atlas.client import AtlasClient
+from repro.atlas.clock import SimClock
+from repro.atlas.credits import CreditLedger
+from repro.errors import MeasurementError
+
+
+class TestProbeMetadata:
+    def test_metadata_shows_recorded_location(self, small_world, small_platform):
+        """The platform must never leak true positions of mislocated hosts."""
+        for host in small_world.probes:
+            if host.mislocated:
+                info = small_platform.probe_info(host.host_id)
+                assert info.location == host.recorded_location
+                assert info.location.distance_km(host.true_location) > 1000.0
+
+    def test_anchor_flag(self, small_world, small_platform):
+        anchor_ids = {a.host_id for a in small_world.anchors}
+        for info in small_platform.probe_infos():
+            assert info.is_anchor == (info.probe_id in anchor_ids)
+
+    def test_probing_rates_match_paper_ranges(self, small_platform):
+        for info in small_platform.probe_infos():
+            if info.is_anchor:
+                assert 200.0 <= info.probing_rate_pps <= 400.0
+            else:
+                assert 4.0 <= info.probing_rate_pps <= 12.0
+
+    def test_unknown_probe_rejected(self, small_platform):
+        with pytest.raises(MeasurementError):
+            small_platform.probe_info(10**9)
+
+    def test_anchors_only_filter(self, small_platform):
+        anchors = small_platform.probe_infos(anchors_only=True)
+        assert anchors
+        assert all(info.is_anchor for info in anchors)
+
+
+class TestPingApi:
+    def test_ping_returns_per_probe(self, small_world, small_platform):
+        probe_ids = [p.host_id for p in small_world.probes[:5]]
+        target = small_world.anchors[0]
+        results = small_platform.ping(probe_ids, target.ip)
+        assert set(results) == set(probe_ids)
+        assert all(r is None or r > 0 for r in results.values())
+
+    def test_unknown_target_times_out_but_charges(self, small_world, small_platform):
+        ledger = CreditLedger()
+        probe_ids = [small_world.probes[0].host_id]
+        results = small_platform.ping(probe_ids, "203.0.113.99", ledger=ledger)
+        assert results[probe_ids[0]] is None
+        assert ledger.spent > 0
+
+    def test_matrix_matches_single_pings(self, small_world, small_platform):
+        probe_ids = [p.host_id for p in small_world.probes[:30]]
+        targets = [a.ip for a in small_world.anchors[:3]]
+        matrix = small_platform.ping_matrix(probe_ids, targets, seq=5)
+        singles = small_platform.ping(probe_ids, targets[1], seq=5)
+        for row, probe_id in enumerate(probe_ids):
+            expected = singles[probe_id]
+            if expected is None:
+                assert np.isnan(matrix[row, 1])
+            else:
+                assert matrix[row, 1] == pytest.approx(expected)
+
+    def test_credits_proportional(self, small_world, small_platform):
+        ledger = CreditLedger()
+        probe_ids = [p.host_id for p in small_world.probes[:10]]
+        small_platform.ping_matrix(
+            probe_ids, [small_world.anchors[0].ip], packets=3, ledger=ledger
+        )
+        assert ledger.spent == 10 * 3
+        assert ledger.measurement_count("ping") == 10
+
+    def test_clock_advances_per_batch(self, small_world, small_platform):
+        clock = SimClock()
+        probe_ids = [p.host_id for p in small_world.probes[:10]]
+        small_platform.ping(probe_ids, small_world.anchors[0].ip, clock=clock)
+        first = clock.now_s
+        from repro.atlas.platform import API_OVERHEAD_S, RESULT_LATENCY_RANGE_S
+
+        assert RESULT_LATENCY_RANGE_S[0] <= first <= API_OVERHEAD_S + RESULT_LATENCY_RANGE_S[1]
+        small_platform.ping(probe_ids, small_world.anchors[1].ip, clock=clock)
+        assert clock.now_s > first
+
+
+class TestTraceroute:
+    def test_single(self, small_world, small_platform):
+        probe = small_world.probes[0]
+        anchor = small_world.anchors[0]
+        trace = small_platform.traceroute(probe.host_id, anchor.ip)
+        assert trace is not None and trace.reached
+
+    def test_unknown_target_none(self, small_world, small_platform):
+        assert small_platform.traceroute(small_world.probes[0].host_id, "203.0.113.9") is None
+
+    def test_batch_structure_and_cost(self, small_world, small_platform):
+        ledger = CreditLedger()
+        probe_ids = [p.host_id for p in small_world.probes[:3]]
+        targets = [a.ip for a in small_world.anchors[:4]]
+        batch = small_platform.traceroute_batch(probe_ids, targets, ledger=ledger)
+        assert set(batch) == set(targets)
+        for per_probe in batch.values():
+            assert set(per_probe) == set(probe_ids)
+        assert ledger.measurement_count("traceroute") == 12
+
+    def test_batch_waves_bound_time(self, small_world, small_platform):
+        clock = SimClock()
+        probe_ids = [p.host_id for p in small_world.probes[:2]]
+        targets = [a.ip for a in small_world.anchors[:5]]
+        small_platform.traceroute_batch(probe_ids, targets, clock=clock)
+        # 5 specs fit one concurrency wave: a single result wait.
+        from repro.atlas.platform import API_OVERHEAD_S, RESULT_LATENCY_RANGE_S
+
+        assert clock.now_s <= API_OVERHEAD_S + RESULT_LATENCY_RANGE_S[1]
+
+
+class TestAnchorMesh:
+    def test_shape_and_diagonal(self, small_world, small_platform):
+        ids, mesh = small_platform.anchor_mesh()
+        assert mesh.shape == (len(ids), len(ids))
+        assert np.isnan(np.diag(mesh)).all()
+
+    def test_cached_copy_isolated(self, small_platform):
+        _ids, mesh_a = small_platform.anchor_mesh()
+        mesh_a[0, 1] = -1.0
+        _ids, mesh_b = small_platform.anchor_mesh()
+        assert mesh_b[0, 1] != -1.0
+
+
+class TestClient:
+    def test_accounting_properties(self, small_world, small_platform):
+        client = AtlasClient(small_platform)
+        client.ping_from(
+            [small_world.probes[0].host_id], small_world.anchors[0].ip
+        )
+        assert client.credits_spent == 3
+        assert client.measurements_run == 1
+
+    def test_with_clock_shares_ledger(self, small_world, small_platform):
+        client = AtlasClient(small_platform)
+        sibling = client.with_clock(SimClock())
+        sibling.ping_from([small_world.probes[0].host_id], small_world.anchors[0].ip)
+        assert client.credits_spent == 3
+        assert sibling.clock.now_s > 0
+        assert client.clock.now_s == 0

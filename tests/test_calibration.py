@@ -1,0 +1,43 @@
+"""Tests for the calibration self-checks."""
+
+import pytest
+
+from repro.world.calibration import CalibrationCheck, calibration_checks, render_report
+
+
+class TestCalibrationCheck:
+    def test_ok_band(self):
+        check = CalibrationCheck("x", paper=1.0, measured=1.2, low=0.5, high=2.0)
+        assert check.ok
+        assert "ok" in check.render()
+
+    def test_drift_flagged(self):
+        check = CalibrationCheck("x", paper=1.0, measured=9.0, low=0.5, high=2.0)
+        assert not check.ok
+        assert "DRIFT" in check.render()
+
+
+class TestSuite:
+    @pytest.fixture(scope="class")
+    def checks(self, small_scenario):
+        return calibration_checks(small_scenario)
+
+    def test_all_in_band_on_small(self, checks):
+        drifted = [check for check in checks if not check.ok]
+        assert not drifted, "\n".join(check.render() for check in drifted)
+
+    def test_soi_check_is_exact_zero(self, checks):
+        soi = next(c for c in checks if "speed-of-Internet" in c.name)
+        assert soi.measured == 0.0
+
+    def test_report_renders(self, checks):
+        report = render_report(checks)
+        assert "checks in band" in report
+        assert report.count("\n") == len(checks)
+
+    def test_cli_exposes_calibration(self, capsys):
+        from repro.experiments.run import main
+
+        assert main(["calibration", "--preset", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "calibration" in out

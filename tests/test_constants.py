@@ -1,0 +1,58 @@
+"""Tests for repro.constants: RTT/distance conversions."""
+
+import math
+
+import pytest
+
+from repro.constants import (
+    MAX_GREAT_CIRCLE_KM,
+    SOI_FRACTION_CBG,
+    SOI_FRACTION_STREET_LEVEL,
+    SPEED_OF_LIGHT_KM_S,
+    distance_to_min_rtt_ms,
+    rtt_to_distance_km,
+)
+
+
+class TestRttToDistance:
+    def test_zero_rtt_is_zero_distance(self):
+        assert rtt_to_distance_km(0.0) == 0.0
+
+    def test_known_value_at_two_thirds_c(self):
+        # 1 ms RTT -> 0.5 ms one way -> (2/3 c) * 0.0005 s ~ 99.93 km.
+        expected = 0.0005 * (2.0 / 3.0) * SPEED_OF_LIGHT_KM_S
+        assert rtt_to_distance_km(1.0) == pytest.approx(expected)
+
+    def test_street_level_speed_is_two_thirds_of_cbg(self):
+        cbg = rtt_to_distance_km(10.0, SOI_FRACTION_CBG)
+        street = rtt_to_distance_km(10.0, SOI_FRACTION_STREET_LEVEL)
+        assert street == pytest.approx(cbg * (4.0 / 9.0) / (2.0 / 3.0))
+
+    def test_capped_at_half_earth_circumference(self):
+        assert rtt_to_distance_km(10_000.0) == MAX_GREAT_CIRCLE_KM
+
+    def test_negative_rtt_rejected(self):
+        with pytest.raises(ValueError):
+            rtt_to_distance_km(-1.0)
+
+
+class TestDistanceToMinRtt:
+    def test_round_trips_with_rtt_to_distance(self):
+        for rtt in (0.5, 3.0, 42.0):
+            distance = rtt_to_distance_km(rtt)
+            assert distance_to_min_rtt_ms(distance) == pytest.approx(rtt)
+
+    def test_zero_distance(self):
+        assert distance_to_min_rtt_ms(0.0) == 0.0
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            distance_to_min_rtt_ms(-5.0)
+
+    def test_scales_linearly(self):
+        assert distance_to_min_rtt_ms(200.0) == pytest.approx(
+            2.0 * distance_to_min_rtt_ms(100.0)
+        )
+
+    def test_faster_speed_means_smaller_min_rtt(self):
+        assert distance_to_min_rtt_ms(100.0, 1.0) < distance_to_min_rtt_ms(100.0, 0.5)

@@ -1,0 +1,176 @@
+"""Tests for CBG: exact path, fast vectorised path, and their agreement."""
+
+import numpy as np
+import pytest
+
+from repro.atlas.platform import ProbeInfo
+from repro.constants import SOI_FRACTION_STREET_LEVEL, rtt_to_distance_km
+from repro.core.cbg import (
+    cbg_centroid_fast,
+    cbg_errors_for_subsets,
+    cbg_estimate,
+    constraints_from_rtts,
+)
+from repro.geo.coords import GeoPoint, haversine_km
+
+
+def _vp(vp_id: int, lat: float, lon: float) -> ProbeInfo:
+    return ProbeInfo(
+        probe_id=vp_id,
+        address=f"10.0.{vp_id}.1",
+        location=GeoPoint(lat, lon),
+        asn=65000 + vp_id,
+        is_anchor=False,
+        probing_rate_pps=8.0,
+    )
+
+
+class TestConstraints:
+    def test_unanswered_skipped(self):
+        vps = [_vp(1, 0, 0), _vp(2, 1, 1)]
+        circles = constraints_from_rtts(vps, {1: 5.0, 2: None})
+        assert len(circles) == 1
+        assert circles[0].center == GeoPoint(0, 0)
+
+    def test_radius_follows_soi(self):
+        vps = [_vp(1, 0, 0)]
+        circles = constraints_from_rtts(vps, {1: 10.0}, SOI_FRACTION_STREET_LEVEL)
+        assert circles[0].radius_km == pytest.approx(
+            rtt_to_distance_km(10.0, SOI_FRACTION_STREET_LEVEL)
+        )
+
+
+class TestCbgEstimate:
+    def test_no_answers_no_estimate(self):
+        result, region = cbg_estimate("10.9.9.9", [_vp(1, 0, 0)], {1: None})
+        assert result.estimate is None
+        assert region is None
+
+    def test_single_vp_estimate_at_vp(self):
+        result, region = cbg_estimate("10.9.9.9", [_vp(1, 20, 30)], {1: 2.0})
+        assert result.estimate.distance_km(GeoPoint(20, 30)) < 30.0
+        assert region is not None
+
+    def test_triangulation(self):
+        # Three VPs around a point; RTTs consistent with ~ the center.
+        center = GeoPoint(10.0, 10.0)
+        from repro.geo.coords import destination
+        from repro.constants import distance_to_min_rtt_ms
+
+        vps = []
+        rtts = {}
+        for index, bearing in enumerate((0.0, 120.0, 240.0)):
+            location = destination(center, bearing, 300.0)
+            vps.append(_vp(index, location.lat, location.lon))
+            rtts[index] = distance_to_min_rtt_ms(300.0) * 1.2
+        result, region = cbg_estimate("10.9.9.9", vps, rtts)
+        assert result.estimate.distance_km(center) < 100.0
+        assert region.contains(result.estimate, tolerance_km=1.0)
+
+    def test_details_present(self):
+        result, _region = cbg_estimate("10.9.9.9", [_vp(1, 0, 0)], {1: 5.0})
+        assert result.details["constraints"] == 1
+        assert result.technique == "cbg"
+
+
+class TestFastPath:
+    def test_matches_exact_on_random_cases(self):
+        rng = np.random.default_rng(42)
+        for _case in range(25):
+            count = int(rng.integers(2, 20))
+            target = GeoPoint(float(rng.uniform(-50, 50)), float(rng.uniform(-150, 150)))
+            vps = []
+            rtts = {}
+            lats, lons, rtt_arr = [], [], []
+            from repro.geo.coords import destination
+            from repro.constants import distance_to_min_rtt_ms
+
+            for index in range(count):
+                distance = float(rng.uniform(50, 4000))
+                location = destination(target, float(rng.uniform(0, 360)), distance)
+                rtt = distance_to_min_rtt_ms(distance) * float(rng.uniform(1.1, 1.7))
+                vps.append(_vp(index, location.lat, location.lon))
+                rtts[index] = rtt
+                lats.append(location.lat)
+                lons.append(location.lon)
+                rtt_arr.append(rtt)
+            exact, region = cbg_estimate("10.0.0.1", vps, rtts)
+            fast = cbg_centroid_fast(
+                np.array(lats), np.array(lons), np.array(rtt_arr)
+            )
+            assert fast is not None
+            fast_point = GeoPoint(fast[0], fast[1])
+            # The fast path is an approximation of the same region; both
+            # estimates must be close relative to the region scale (the
+            # tightest constraint circle bounds where the region can live).
+            scale = max(
+                100.0,
+                exact.estimate.distance_km(target),
+                0.2 * region.tightest.radius_km,
+            )
+            assert exact.estimate.distance_km(fast_point) < scale
+
+    def test_all_nan_returns_none(self):
+        assert (
+            cbg_centroid_fast(np.array([0.0]), np.array([0.0]), np.array([np.nan]))
+            is None
+        )
+
+    def test_single_circle_centroid_near_center(self):
+        fast = cbg_centroid_fast(
+            np.array([45.0]), np.array([9.0]), np.array([2.0])
+        )
+        assert haversine_km(fast[0], fast[1], 45.0, 9.0) < 30.0
+
+    def test_errors_for_subsets_shapes(self, small_scenario):
+        matrix = small_scenario.rtt_matrix()
+        errors = cbg_errors_for_subsets(
+            small_scenario.vp_lats,
+            small_scenario.vp_lons,
+            matrix,
+            small_scenario.target_true_lats,
+            small_scenario.target_true_lons,
+            np.arange(20),
+        )
+        assert errors.shape == (len(small_scenario.targets),)
+        defined = errors[~np.isnan(errors)]
+        assert (defined >= 0).all()
+
+    def test_more_vps_do_not_hurt_much(self, small_scenario):
+        matrix = small_scenario.rtt_matrix()
+        few = cbg_errors_for_subsets(
+            small_scenario.vp_lats,
+            small_scenario.vp_lons,
+            matrix,
+            small_scenario.target_true_lats,
+            small_scenario.target_true_lons,
+            np.arange(10),
+        )
+        many = cbg_errors_for_subsets(
+            small_scenario.vp_lats,
+            small_scenario.vp_lons,
+            matrix,
+            small_scenario.target_true_lats,
+            small_scenario.target_true_lons,
+            np.arange(len(small_scenario.vps)),
+        )
+        assert np.nanmedian(many) < np.nanmedian(few)
+
+    def test_cbg_constraints_always_contain_target(self, small_scenario):
+        """Physical validity: at 2/3c every constraint circle contains the
+        target's true position (the core CBG soundness property)."""
+        matrix = small_scenario.rtt_matrix()
+        for column, target in enumerate(small_scenario.targets[:10]):
+            rtts = matrix[:, column]
+            answered = ~np.isnan(rtts)
+            radii = np.array([rtt_to_distance_km(r) for r in rtts[answered]])
+            true_loc = target.true_location
+            # Distance from each VP's TRUE position to the target.
+            vp_hosts = [
+                small_scenario.world.host_by_id(int(vp_id))
+                for vp_id in small_scenario.vp_ids[answered]
+            ]
+            distances = np.array(
+                [vp.true_location.distance_km(true_loc) for vp in vp_hosts]
+            )
+            assert (radii >= distances - 1e-6).all()

@@ -1,0 +1,107 @@
+"""Tests for greedy coverage subsets and the two-step VP selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.coverage import greedy_coverage_indices, greedy_coverage_subset
+from repro.core.two_step import two_step_select
+
+
+class TestGreedyCoverage:
+    def test_count_respected(self):
+        lats = np.array([0.0, 10.0, 20.0, 30.0, 40.0])
+        lons = np.zeros(5)
+        assert len(greedy_coverage_indices(lats, lons, 3)) == 3
+
+    def test_clipped_to_population(self):
+        lats = np.array([0.0, 10.0])
+        lons = np.zeros(2)
+        assert len(greedy_coverage_indices(lats, lons, 10)) == 2
+
+    def test_zero_or_negative_empty(self):
+        lats = np.array([0.0])
+        lons = np.array([0.0])
+        assert greedy_coverage_indices(lats, lons, 0) == []
+
+    def test_no_duplicates(self, small_scenario):
+        indices = greedy_coverage_indices(
+            small_scenario.vp_lats, small_scenario.vp_lons, 50
+        )
+        assert len(indices) == len(set(indices))
+
+    def test_spreads_over_clusters(self):
+        # Two tight clusters: a 2-subset must take one point from each.
+        lats = np.array([0.0, 0.1, 0.2, 50.0, 50.1, 50.2])
+        lons = np.array([0.0, 0.1, 0.2, 50.0, 50.1, 50.2])
+        chosen = greedy_coverage_indices(lats, lons, 2)
+        sides = {index < 3 for index in chosen}
+        assert sides == {True, False}
+
+    def test_covers_continents(self, small_scenario):
+        """A 30-VP cover must not leave whole continents empty."""
+        subset = greedy_coverage_subset(small_scenario.vps, 30)
+        continents = {
+            small_scenario.world.city_of_host(
+                small_scenario.world.host_by_id(vp.probe_id)
+            ).continent
+            for vp in subset
+        }
+        assert len(continents) >= 5
+
+    def test_deterministic(self, small_scenario):
+        a = greedy_coverage_indices(small_scenario.vp_lats, small_scenario.vp_lons, 20)
+        b = greedy_coverage_indices(small_scenario.vp_lats, small_scenario.vp_lons, 20)
+        assert a == b
+
+
+class TestTwoStep:
+    @pytest.fixture(scope="class")
+    def setup(self, small_scenario):
+        rep_min, rep_median, _reps = small_scenario.representative_matrices()
+        step1 = greedy_coverage_indices(
+            small_scenario.vp_lats, small_scenario.vp_lons, 30
+        )
+        return small_scenario, rep_median, step1
+
+    def test_outcome_structure(self, setup):
+        scenario, rep_median, step1 = setup
+        target = scenario.targets[0]
+        outcome = two_step_select(target.ip, scenario.vps, step1, rep_median[:, 0])
+        assert outcome.step1_size == 30
+        assert outcome.ping_measurements > 0
+        assert outcome.chosen_vp_index is not None
+        assert outcome.estimate is not None
+
+    def test_measurement_accounting(self, setup):
+        scenario, rep_median, step1 = setup
+        outcome = two_step_select(scenario.targets[1].ip, scenario.vps, step1, rep_median[:, 1])
+        # step1 reps + new step2 rows * reps + 1 final target ping.
+        expected_minimum = len(step1) * 3 + 1
+        assert outcome.ping_measurements >= expected_minimum
+
+    def test_cheaper_than_original(self, setup):
+        scenario, rep_median, step1 = setup
+        original = len(scenario.vps) * 3
+        total = 0
+        for column in range(min(10, len(scenario.targets))):
+            outcome = two_step_select(
+                scenario.targets[column].ip, scenario.vps, step1, rep_median[:, column]
+            )
+            total += outcome.ping_measurements
+        assert total < original * 10
+
+    def test_accuracy_reasonable(self, setup):
+        scenario, rep_median, step1 = setup
+        errors = []
+        for column, target in enumerate(scenario.targets):
+            outcome = two_step_select(target.ip, scenario.vps, step1, rep_median[:, column])
+            if outcome.estimate is not None:
+                errors.append(outcome.estimate.distance_km(target.true_location))
+        assert np.median(errors) < 150.0
+
+    def test_all_nan_column_fails_gracefully(self, setup):
+        scenario, rep_median, step1 = setup
+        empty = np.full(len(scenario.vps), np.nan)
+        outcome = two_step_select("203.0.113.1", scenario.vps, step1, empty)
+        assert outcome.chosen_vp_index is None
+        assert outcome.estimate is None

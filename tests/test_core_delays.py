@@ -1,0 +1,130 @@
+"""Tests for the appendix-B D1+D2 delay computation."""
+
+import pytest
+
+from repro.core.delays import (
+    DelaySample,
+    delay_sample,
+    estimate_landmark_delay,
+    last_common_hop,
+)
+from repro.latency.model import TraceHop, TraceObservation
+
+
+def _trace(src, dst, hops, reached=True):
+    return TraceObservation(
+        src_ip=src,
+        dst_ip=dst,
+        hops=tuple(TraceHop(ip, rtt) for ip, rtt in hops),
+        reached=reached,
+    )
+
+
+class TestLastCommonHop:
+    def test_shared_prefix(self):
+        a = _trace("1.1.1.1", "2.2.2.2", [("8.0.0.1", 1.0), ("9.0.0.1", 2.0), ("2.2.2.2", 3.0)])
+        b = _trace("1.1.1.1", "3.3.3.3", [("8.0.0.1", 1.0), ("9.0.0.1", 2.1), ("9.0.0.5", 2.5), ("3.3.3.3", 4.0)])
+        assert last_common_hop(a, b) == "9.0.0.1"
+
+    def test_no_common(self):
+        a = _trace("1.1.1.1", "2.2.2.2", [("8.0.0.1", 1.0), ("2.2.2.2", 3.0)])
+        b = _trace("1.1.1.1", "3.3.3.3", [("8.0.0.9", 1.0), ("3.3.3.3", 4.0)])
+        assert last_common_hop(a, b) is None
+
+    def test_destination_never_common(self):
+        a = _trace("1.1.1.1", "2.2.2.2", [("8.0.0.1", 1.0), ("2.2.2.2", 3.0)])
+        b = _trace("1.1.1.1", "2.2.2.2", [("8.0.0.1", 1.0), ("2.2.2.2", 3.0)])
+        assert last_common_hop(a, b) == "8.0.0.1"
+
+    def test_out_of_order_fallback(self):
+        a = _trace("1.1.1.1", "2.2.2.2", [("8.0.0.1", 1.0), ("9.0.0.2", 2.0), ("2.2.2.2", 3.0)])
+        b = _trace("1.1.1.1", "3.3.3.3", [("7.0.0.1", 0.5), ("9.0.0.2", 2.1), ("3.3.3.3", 4.0)])
+        assert last_common_hop(a, b) == "9.0.0.2"
+
+
+class TestDelaySample:
+    def test_clean_subtraction(self):
+        trace_l = _trace(
+            "1.1.1.1", "2.2.2.2", [("8.0.0.1", 1.0), ("9.0.0.1", 2.0), ("2.2.2.2", 3.5)]
+        )
+        trace_t = _trace(
+            "1.1.1.1", "3.3.3.3", [("8.0.0.1", 1.0), ("9.0.0.1", 2.2), ("3.3.3.3", 4.0)]
+        )
+        sample = delay_sample(7, trace_l, trace_t)
+        assert sample is not None
+        assert sample.common_hop_ip == "9.0.0.1"
+        assert sample.d1_ms == pytest.approx(1.5)
+        assert sample.d2_ms == pytest.approx(1.8)
+        assert sample.total_ms == pytest.approx(3.3)
+        assert sample.usable
+
+    def test_negative_sum_unusable(self):
+        sample = DelaySample(1, "9.0.0.1", d1_ms=-2.0, d2_ms=0.5)
+        assert not sample.usable
+
+    def test_unreached_trace_gives_none(self):
+        trace_l = _trace("1.1.1.1", "2.2.2.2", [("8.0.0.1", 1.0)], reached=False)
+        trace_t = _trace("1.1.1.1", "3.3.3.3", [("8.0.0.1", 1.0), ("3.3.3.3", 2.0)])
+        assert delay_sample(1, trace_l, trace_t) is None
+
+    def test_no_common_hop_gives_none(self):
+        trace_l = _trace("1.1.1.1", "2.2.2.2", [("8.0.0.1", 1.0), ("2.2.2.2", 3.0)])
+        trace_t = _trace("1.1.1.1", "3.3.3.3", [("8.0.0.9", 1.0), ("3.3.3.3", 4.0)])
+        assert delay_sample(1, trace_l, trace_t) is None
+
+
+class TestEstimate:
+    def _pair(self, rtt_common_l, rtt_l, rtt_common_t, rtt_t):
+        trace_l = _trace(
+            "1.1.1.1", "2.2.2.2", [("9.0.0.1", rtt_common_l), ("2.2.2.2", rtt_l)]
+        )
+        trace_t = _trace(
+            "1.1.1.1", "3.3.3.3", [("9.0.0.1", rtt_common_t), ("3.3.3.3", rtt_t)]
+        )
+        return trace_l, trace_t
+
+    def test_minimum_selected(self):
+        pairs = [
+            (1,) + self._pair(1.0, 3.0, 1.0, 3.0),  # D1+D2 = 4.0
+            (2,) + self._pair(1.0, 2.0, 1.0, 2.0),  # D1+D2 = 2.0
+        ]
+        estimate = estimate_landmark_delay(pairs)
+        assert estimate.best_delay_ms == pytest.approx(2.0)
+        assert estimate.usable
+
+    def test_negative_minimum_unusable(self):
+        """The paper's rule: the minimum includes negative sums, and a
+        negative minimum makes the landmark unusable (Figure 6a)."""
+        pairs = [
+            (1,) + self._pair(1.0, 3.0, 1.0, 3.0),  # +4.0
+            (2,) + self._pair(5.0, 2.0, 1.0, 2.0),  # -2.0
+        ]
+        estimate = estimate_landmark_delay(pairs)
+        assert estimate.best_delay_ms == pytest.approx(-2.0)
+        assert not estimate.usable
+        assert estimate.negative_samples == 1
+
+    def test_no_samples(self):
+        estimate = estimate_landmark_delay([])
+        assert estimate.best_delay_ms is None
+        assert not estimate.usable
+
+    def test_simulated_traces_give_mostly_positive_delays(self, small_world, small_platform):
+        """Integration: same-city landmark/target with a remote VP."""
+        model = small_platform.latency
+        anchor = small_world.anchors[0]
+        sibling = next(
+            h for h in small_world.hosts if h.city_id == anchor.city_id and h is not anchor
+        )
+        remote_vp = next(
+            p for p in small_world.probes if p.city_id != anchor.city_id
+        )
+        triples = []
+        for seq in range(20):
+            trace_l = model.traceroute(remote_vp, sibling, seq=seq)
+            trace_t = model.traceroute(remote_vp, anchor, seq=seq + 1000)
+            triples.append((remote_vp.host_id, trace_l, trace_t))
+        estimate = estimate_landmark_delay(triples)
+        assert len(estimate.samples) == 20
+        positive = sum(1 for s in estimate.samples if s.usable)
+        assert positive >= 10

@@ -1,0 +1,86 @@
+"""Tests for the high-level Geolocator facade."""
+
+import pytest
+
+from repro.core.geolocator import TECHNIQUES, Geolocator
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def geolocator(small_scenario):
+    return Geolocator(
+        small_scenario.client,
+        hitlist=small_scenario.world.hitlist,
+        world=small_scenario.world,
+        vantage_points=small_scenario.vps,
+    )
+
+
+class TestGeolocator:
+    def test_shortest_ping(self, geolocator, small_scenario):
+        target = small_scenario.targets[0]
+        result = geolocator.locate(target.ip, "shortest-ping")
+        assert result.technique == "shortest-ping"
+        assert result.estimate is not None
+        assert result.details["quality"] in (
+            "street-level",
+            "city-level",
+            "region-level",
+            "unknown",
+        )
+        assert result.error_km(target.true_location) < 1000.0
+
+    def test_cbg(self, geolocator, small_scenario):
+        target = small_scenario.targets[1]
+        result = geolocator.locate(target.ip, "cbg")
+        assert result.technique == "cbg"
+        assert result.error_km(target.true_location) < 1000.0
+        assert "min_rtt_ms" in result.details
+
+    def test_million_scale(self, geolocator, small_scenario):
+        target = small_scenario.targets[2]
+        result = geolocator.locate(target.ip, "million-scale")
+        assert result.technique == "million-scale"
+        assert result.details["selected"] <= 10
+        assert len(result.details["representatives"]) == 3
+        assert result.error_km(target.true_location) < 2000.0
+
+    def test_street_level(self, geolocator, small_scenario):
+        target = small_scenario.targets[3]
+        result = geolocator.locate(target.ip, "street-level")
+        assert result.technique == "street-level"
+        assert result.estimate is not None
+        assert "landmarks" in result.details
+
+    def test_unknown_technique(self, geolocator):
+        with pytest.raises(ConfigurationError):
+            geolocator.locate("10.0.0.1", "magic")
+
+    def test_techniques_constant_consistent(self, geolocator, small_scenario):
+        target = small_scenario.targets[4]
+        for technique in TECHNIQUES:
+            result = geolocator.locate(target.ip, technique)
+            assert result.technique == technique
+
+    def test_missing_hitlist_rejected(self, small_scenario):
+        bare = Geolocator(small_scenario.client, vantage_points=small_scenario.vps)
+        with pytest.raises(ConfigurationError):
+            bare.locate(small_scenario.targets[0].ip, "million-scale")
+
+    def test_missing_world_rejected(self, small_scenario):
+        bare = Geolocator(small_scenario.client, vantage_points=small_scenario.vps)
+        with pytest.raises(ConfigurationError):
+            bare.locate(small_scenario.targets[0].ip, "street-level")
+
+    def test_bad_k_rejected(self, small_scenario):
+        with pytest.raises(ConfigurationError):
+            Geolocator(small_scenario.client, million_scale_k=0)
+
+    def test_locate_batch(self, geolocator, small_scenario):
+        ips = [t.ip for t in small_scenario.targets[:3]]
+        results = geolocator.locate_batch(ips, "shortest-ping")
+        assert [r.target_ip for r in results] == ips
+
+    def test_defaults_to_platform_vps(self, small_scenario):
+        geolocator = Geolocator(small_scenario.client)
+        assert len(geolocator.vantage_points) >= len(small_scenario.vps)

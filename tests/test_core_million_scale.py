@@ -1,0 +1,102 @@
+"""Tests for the million scale VP selection and deployability analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.million_scale import (
+    full_ipv4_campaign_feasibility,
+    geolocate_with_selection,
+    representative_rtt_matrix,
+    select_closest_vps,
+)
+
+
+class TestSelectClosestVps:
+    def test_orders_by_rtt(self):
+        rtts = np.array([5.0, 1.0, np.nan, 3.0])
+        assert list(select_closest_vps(rtts, 2)) == [1, 3]
+
+    def test_nan_skipped(self):
+        rtts = np.array([np.nan, np.nan, 7.0])
+        assert list(select_closest_vps(rtts, 5)) == [2]
+
+    def test_all_nan_empty(self):
+        assert select_closest_vps(np.array([np.nan, np.nan]), 3).size == 0
+
+    def test_k_positive(self):
+        with pytest.raises(ValueError):
+            select_closest_vps(np.array([1.0]), 0)
+
+
+class TestRepresentativeMatrix:
+    def test_matrix_and_reps(self, small_scenario):
+        client = small_scenario.client
+        targets = small_scenario.target_ips[:4]
+        matrix, reps = representative_rtt_matrix(
+            client, small_scenario.vp_ids[:50], targets, small_scenario.world.hitlist
+        )
+        assert matrix.shape == (50, 4)
+        for target in targets:
+            assert len(reps[target]) == 3
+            for rep in reps[target]:
+                assert rep.rsplit(".", 1)[0] == target.rsplit(".", 1)[0]
+
+    def test_selection_finds_close_vps(self, small_scenario):
+        """The core million scale insight: low rep-RTT VPs are close."""
+        rep_min, _median, _reps = small_scenario.representative_matrices()
+        close_count = 0
+        checked = 0
+        for column, target in enumerate(small_scenario.targets):
+            chosen = select_closest_vps(rep_min[:, column], 1)
+            if chosen.size == 0:
+                continue
+            vp = small_scenario.vps[int(chosen[0])]
+            vp_host = small_scenario.world.host_by_id(vp.probe_id)
+            checked += 1
+            if vp_host.true_location.distance_km(target.true_location) < 300.0:
+                close_count += 1
+        assert checked > 0
+        assert close_count / checked > 0.6
+
+    def test_geolocate_with_selection(self, small_scenario):
+        rep_min, _median, _reps = small_scenario.representative_matrices()
+        target = small_scenario.targets[0]
+        column = 0
+        result = geolocate_with_selection(
+            small_scenario.client,
+            target.ip,
+            small_scenario.vps,
+            rep_min[:, column],
+            k=10,
+        )
+        assert result.technique == "million-scale"
+        assert result.estimate is not None
+        assert result.error_km(target.true_location) < 2000.0
+
+
+class TestFeasibility:
+    def test_atlas_probes_cannot_run_campaign(self, small_scenario):
+        report = full_ipv4_campaign_feasibility(small_scenario.vps)
+        assert not report.feasible
+        assert report.probes_needed_pps > report.available_pps
+        assert "NOT deployable" in report.describe()
+
+    def test_planetlab_like_rates_could(self, small_scenario):
+        """At the original study's 500 pps the campaign fits in months."""
+        from dataclasses import replace
+
+        fast_vps = [replace(vp, probing_rate_pps=500.0) for vp in small_scenario.vps]
+        report = full_ipv4_campaign_feasibility(
+            fast_vps, routable_slash24s=4_000_000, campaign_days=120.0, budget_fraction=1.0
+        )
+        assert report.feasible
+
+    def test_no_vps_rejected(self):
+        with pytest.raises(ValueError):
+            full_ipv4_campaign_feasibility([])
+
+    def test_total_measurement_count(self, small_scenario):
+        report = full_ipv4_campaign_feasibility(
+            small_scenario.vps, routable_slash24s=1000
+        )
+        assert report.total_ping_measurements == 1000 * 3 * len(small_scenario.vps)

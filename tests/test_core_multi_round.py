@@ -1,0 +1,102 @@
+"""Tests for the multi-round VP selection extension (§7.2.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.coverage import greedy_coverage_indices
+from repro.core.multi_round import ROUND_LATENCY_S, multi_round_select
+from repro.geo.coords import haversine_km
+
+
+@pytest.fixture(scope="module")
+def setup(small_scenario):
+    _min_m, rep_median, _reps = small_scenario.representative_matrices()
+    step1 = greedy_coverage_indices(
+        small_scenario.vp_lats, small_scenario.vp_lons, 40
+    )
+    return small_scenario, rep_median, step1
+
+
+class TestMultiRound:
+    def test_one_round_probes_only_first_set(self, setup):
+        scenario, rep_median, step1 = setup
+        outcome = multi_round_select(
+            scenario.targets[0].ip, scenario.vps, step1, rep_median[:, 0], rounds=1
+        )
+        assert outcome.rounds_run == 1
+        # round-1 rows * 3 reps + 1 final target ping.
+        assert outcome.ping_measurements == len(step1) * 3 + 1
+        assert outcome.elapsed_s == ROUND_LATENCY_S
+
+    def test_two_rounds_match_two_step_structure(self, setup):
+        scenario, rep_median, step1 = setup
+        outcome = multi_round_select(
+            scenario.targets[1].ip, scenario.vps, step1, rep_median[:, 1], rounds=2
+        )
+        assert outcome.rounds_run <= 2
+        assert outcome.round_candidates[0] == len(step1)
+        assert outcome.chosen_vp_index is not None
+
+    def test_latency_grows_with_rounds(self, setup):
+        scenario, rep_median, step1 = setup
+        one = multi_round_select(
+            scenario.targets[2].ip, scenario.vps, step1, rep_median[:, 2], rounds=1
+        )
+        three = multi_round_select(
+            scenario.targets[2].ip, scenario.vps, step1, rep_median[:, 2], rounds=3
+        )
+        assert three.elapsed_s >= one.elapsed_s
+
+    def test_extra_rounds_repair_round_one(self, setup):
+        """Round 1 alone only knows the 40 covering VPs (coarse); the
+        region-driven later rounds must bring the error down sharply."""
+        scenario, rep_median, step1 = setup
+        medians = {}
+        for rounds in (1, 2, 3):
+            errors = []
+            for column, target in enumerate(scenario.targets[:20]):
+                outcome = multi_round_select(
+                    target.ip, scenario.vps, step1, rep_median[:, column], rounds=rounds
+                )
+                if outcome.estimate is not None:
+                    errors.append(
+                        haversine_km(
+                            outcome.estimate.lat,
+                            outcome.estimate.lon,
+                            target.true_location.lat,
+                            target.true_location.lon,
+                        )
+                    )
+            medians[rounds] = float(np.median(errors))
+        assert medians[2] < medians[1]
+        assert medians[2] < 300.0
+        assert medians[3] < 300.0
+
+    def test_rows_never_paid_twice(self, setup):
+        """Re-probing a row measured in an earlier round is free."""
+        scenario, rep_median, step1 = setup
+        two = multi_round_select(
+            scenario.targets[3].ip, scenario.vps, step1, rep_median[:, 3], rounds=2
+        )
+        four = multi_round_select(
+            scenario.targets[3].ip, scenario.vps, step1, rep_median[:, 3], rounds=4
+        )
+        # Extra rounds converge: they can only add unmeasured rows.
+        assert four.ping_measurements >= two.ping_measurements
+        assert four.ping_measurements <= two.ping_measurements * 3
+
+    def test_invalid_rounds(self, setup):
+        scenario, rep_median, step1 = setup
+        with pytest.raises(ValueError):
+            multi_round_select(
+                scenario.targets[0].ip, scenario.vps, step1, rep_median[:, 0], rounds=0
+            )
+
+    def test_all_nan_column(self, setup):
+        scenario, _rep_median, step1 = setup
+        empty = np.full(len(scenario.vps), np.nan)
+        outcome = multi_round_select(
+            "203.0.113.7", scenario.vps, step1, empty, rounds=3
+        )
+        assert outcome.chosen_vp_index is None
+        assert outcome.estimate is None

@@ -1,0 +1,107 @@
+"""Tests for the §4.3 speed-of-Internet sanitization."""
+
+import numpy as np
+import pytest
+
+from repro.constants import distance_to_min_rtt_ms
+from repro.core.sanitize import sanitize_anchors, sanitize_probes
+from repro.geo.coords import GeoPoint, destination
+
+
+def _clean_mesh(locations):
+    """A mesh whose RTTs are physically consistent with the locations."""
+    count = len(locations)
+    mesh = np.full((count, count), np.nan)
+    for i in range(count):
+        for j in range(count):
+            if i == j:
+                continue
+            distance = locations[i].distance_km(locations[j])
+            mesh[i, j] = distance_to_min_rtt_ms(distance) * 1.3 + 0.5
+    return mesh
+
+
+class TestSanitizeAnchors:
+    def test_clean_mesh_keeps_everyone(self):
+        locations = [GeoPoint(0, 0), GeoPoint(10, 10), GeoPoint(20, -10)]
+        kept, removed = sanitize_anchors([1, 2, 3], _clean_mesh(locations), locations)
+        assert kept == [1, 2, 3]
+        assert removed == []
+
+    def test_mislocated_anchor_removed(self):
+        true_locations = [GeoPoint(0, 0), GeoPoint(1, 1), GeoPoint(2, 0), GeoPoint(1, -1)]
+        mesh = _clean_mesh(true_locations)
+        # Anchor 0 *claims* to be 8000 km away from where it really is.
+        claimed = [destination(GeoPoint(0, 0), 90.0, 8000.0)] + true_locations[1:]
+        kept, removed = sanitize_anchors([10, 11, 12, 13], mesh, claimed)
+        assert removed == [10]
+        assert kept == [11, 12, 13]
+
+    def test_iterative_removal_stops_at_clean_state(self):
+        true_locations = [GeoPoint(i, i) for i in range(6)]
+        mesh = _clean_mesh(true_locations)
+        claimed = list(true_locations)
+        claimed[2] = destination(true_locations[2], 0.0, 9000.0)
+        claimed[4] = destination(true_locations[4], 180.0, 9000.0)
+        kept, removed = sanitize_anchors(list(range(6)), mesh, claimed)
+        assert set(removed) == {2, 4}
+        assert len(kept) == 4
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            sanitize_anchors([1, 2], np.zeros((3, 3)), [GeoPoint(0, 0)] * 2)
+
+    def test_nan_entries_ignored(self):
+        locations = [GeoPoint(0, 0), GeoPoint(10, 10)]
+        mesh = np.full((2, 2), np.nan)
+        kept, removed = sanitize_anchors([1, 2], mesh, locations)
+        assert kept == [1, 2]
+
+
+class TestSanitizeProbes:
+    def test_honest_probes_kept(self):
+        anchors = [GeoPoint(0, 0), GeoPoint(20, 20)]
+        probes = [GeoPoint(1, 1), GeoPoint(19, 19)]
+        matrix = np.zeros((2, 2))
+        for i, probe in enumerate(probes):
+            for j, anchor in enumerate(anchors):
+                matrix[i, j] = distance_to_min_rtt_ms(probe.distance_km(anchor)) * 1.4 + 1.0
+        kept, removed = sanitize_probes([100, 101], probes, anchors, matrix)
+        assert kept == [100, 101]
+        assert removed == []
+
+    def test_lying_probe_removed(self):
+        anchors = [GeoPoint(0, 0)]
+        true_probe = GeoPoint(0.5, 0.5)  # really ~78 km from the anchor
+        claimed = destination(true_probe, 90.0, 7000.0)
+        rtt = distance_to_min_rtt_ms(true_probe.distance_km(anchors[0])) * 1.3 + 0.5
+        kept, removed = sanitize_probes(
+            [7], [claimed], anchors, np.array([[rtt]])
+        )
+        assert removed == [7]
+        assert kept == []
+
+    def test_unanswered_probe_kept(self):
+        anchors = [GeoPoint(0, 0)]
+        kept, removed = sanitize_probes(
+            [5], [GeoPoint(50, 50)], anchors, np.array([[np.nan]])
+        )
+        assert kept == [5]
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            sanitize_probes([1], [GeoPoint(0, 0)], [GeoPoint(1, 1)], np.zeros((2, 2)))
+
+
+class TestEndToEndSanitization:
+    def test_planted_hosts_caught_in_scenario(self, small_scenario):
+        world = small_scenario.world
+        planted_anchors = {a.host_id for a in world.anchors if a.mislocated}
+        planted_probes = {p.host_id for p in world.probes if p.mislocated}
+        assert planted_anchors <= set(small_scenario.removed_anchor_ids)
+        assert planted_probes <= set(small_scenario.removed_probe_ids)
+
+    def test_targets_are_well_geolocated(self, small_scenario):
+        for target in small_scenario.targets:
+            assert not target.mislocated
+            assert target.geolocation_error_km < 1.0

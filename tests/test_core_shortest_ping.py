@@ -1,0 +1,62 @@
+"""Tests for Shortest Ping."""
+
+from repro.atlas.platform import ProbeInfo
+from repro.core.shortest_ping import shortest_ping
+from repro.geo.coords import GeoPoint
+
+
+def _vp(vp_id: int, lat: float, lon: float) -> ProbeInfo:
+    return ProbeInfo(
+        probe_id=vp_id,
+        address=f"10.0.{vp_id}.1",
+        location=GeoPoint(lat, lon),
+        asn=65000,
+        is_anchor=False,
+        probing_rate_pps=8.0,
+    )
+
+
+class TestShortestPing:
+    def test_lowest_rtt_wins(self):
+        vps = [_vp(1, 0, 0), _vp(2, 10, 10), _vp(3, 20, 20)]
+        result = shortest_ping("10.9.9.9", vps, {1: 30.0, 2: 5.0, 3: 12.0})
+        assert result.estimate == GeoPoint(10, 10)
+        assert result.details["vp_id"] == 2
+        assert result.details["min_rtt_ms"] == 5.0
+
+    def test_unanswered_ignored(self):
+        vps = [_vp(1, 0, 0), _vp(2, 10, 10)]
+        result = shortest_ping("10.9.9.9", vps, {1: None, 2: 9.0})
+        assert result.details["vp_id"] == 2
+
+    def test_no_answers_no_estimate(self):
+        vps = [_vp(1, 0, 0)]
+        result = shortest_ping("10.9.9.9", vps, {1: None})
+        assert result.estimate is None
+        assert result.error_km(GeoPoint(0, 0)) is None
+
+    def test_missing_rtts_treated_as_unanswered(self):
+        vps = [_vp(1, 0, 0), _vp(2, 5, 5)]
+        result = shortest_ping("10.9.9.9", vps, {2: 3.0})
+        assert result.details["vp_id"] == 2
+
+    def test_error_km(self):
+        vps = [_vp(1, 0, 0)]
+        result = shortest_ping("10.9.9.9", vps, {1: 1.0})
+        assert result.error_km(GeoPoint(0, 1)) is not None
+        assert result.error_km(GeoPoint(0, 0)) == 0.0
+
+    def test_in_scenario_better_than_random(self, small_scenario):
+        """Shortest ping on the live scenario lands in the right region."""
+        import numpy as np
+
+        matrix = small_scenario.rtt_matrix()
+        errors = []
+        for column, target in enumerate(small_scenario.targets):
+            rtts = {
+                vp.probe_id: (None if np.isnan(matrix[row, column]) else float(matrix[row, column]))
+                for row, vp in enumerate(small_scenario.vps)
+            }
+            result = shortest_ping(target.ip, small_scenario.vps, rtts)
+            errors.append(result.error_km(target.true_location))
+        assert np.nanmedian(np.array(errors, dtype=float)) < 100.0

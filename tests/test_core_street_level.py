@@ -1,0 +1,119 @@
+"""Tests for the three-tier street level pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.street_level import (
+    StreetLevelConfig,
+    StreetLevelPipeline,
+    closest_landmark_oracle,
+)
+from repro.geo.coords import GeoPoint
+
+
+@pytest.fixture(scope="module")
+def street_setup(small_scenario):
+    anchors = small_scenario.anchor_vp_infos()
+    mesh_ids, mesh = small_scenario.mesh()
+    row_by_id = {anchor_id: row for row, anchor_id in enumerate(mesh_ids)}
+    pipeline = StreetLevelPipeline(small_scenario.client, small_scenario.world)
+    return small_scenario, anchors, mesh, row_by_id, pipeline
+
+
+def _tier1_rtts(mesh, row_by_id, target_id):
+    column = row_by_id[target_id]
+    return {
+        anchor_id: (None if np.isnan(mesh[row, column]) else float(mesh[row, column]))
+        for anchor_id, row in row_by_id.items()
+    }
+
+
+class TestPipeline:
+    @pytest.fixture(scope="class")
+    def result(self, street_setup):
+        scenario, anchors, mesh, row_by_id, pipeline = street_setup
+        target = scenario.targets[0]
+        rtts = _tier1_rtts(mesh, row_by_id, target.host_id)
+        return target, pipeline.geolocate(target.ip, anchors, rtts)
+
+    def test_produces_estimate(self, result):
+        _target, outcome = result
+        assert outcome.estimate is not None
+        assert outcome.tier1_estimate is not None
+
+    def test_target_excluded_from_vps(self, result):
+        target, outcome = result
+        # Tier-1 cannot be perfect: the target did not ping itself.
+        assert outcome.tier1_estimate.distance_km(target.true_location) > 0.0
+
+    def test_time_accounted(self, result):
+        _target, outcome = result
+        assert outcome.elapsed_s > 0
+        assert sum(outcome.time_breakdown.values()) == pytest.approx(outcome.elapsed_s)
+        assert "atlas-api" in outcome.time_breakdown
+
+    def test_chosen_landmark_has_smallest_usable_delay(self, result):
+        _target, outcome = result
+        usable = [m for m in outcome.measurements if m.delay.usable]
+        if outcome.chosen is not None:
+            assert outcome.chosen.delay.best_delay_ms == min(
+                m.delay.best_delay_ms for m in usable
+            )
+            assert outcome.estimate == outcome.chosen.landmark.location
+        else:
+            assert outcome.fell_back_to_cbg
+            assert outcome.estimate == outcome.tier1_estimate
+
+    def test_as_result_roundtrip(self, result):
+        _target, outcome = result
+        condensed = outcome.as_result()
+        assert condensed.technique == "street-level"
+        assert condensed.estimate == outcome.estimate
+
+    def test_traceroutes_counted(self, result):
+        _target, outcome = result
+        expected_min = 10  # at least the target traceroutes from 10 VPs
+        assert outcome.traceroutes_run >= expected_min
+
+
+class TestConfig:
+    def test_default_matches_paper(self):
+        config = StreetLevelConfig()
+        assert config.tier2_step_km == 5.0
+        assert config.tier2_alpha_deg == 36.0
+        assert config.tier3_step_km == 1.0
+        assert config.tier3_alpha_deg == 10.0
+        assert config.closest_vp_count == 10
+        assert config.soi_fraction == pytest.approx(4.0 / 9.0)
+
+    def test_custom_vp_count(self, street_setup):
+        scenario, anchors, mesh, row_by_id, _pipeline = street_setup
+        pipeline = StreetLevelPipeline(
+            scenario.client, scenario.world, StreetLevelConfig(closest_vp_count=3)
+        )
+        target = scenario.targets[1]
+        outcome = pipeline.geolocate(
+            target.ip, anchors, _tier1_rtts(mesh, row_by_id, target.host_id)
+        )
+        assert outcome.estimate is not None
+
+
+class TestOracle:
+    def test_picks_geographically_closest(self, street_setup):
+        scenario, anchors, mesh, row_by_id, pipeline = street_setup
+        target = scenario.targets[0]
+        outcome = pipeline.geolocate(
+            target.ip, anchors, _tier1_rtts(mesh, row_by_id, target.host_id)
+        )
+        if not outcome.measurements:
+            pytest.skip("no landmarks for this target in the small world")
+        oracle = closest_landmark_oracle(outcome.measurements, target.true_location)
+        assert oracle is not None
+        best = min(
+            m.landmark.location.distance_km(target.true_location)
+            for m in outcome.measurements
+        )
+        assert oracle.location.distance_km(target.true_location) == pytest.approx(best)
+
+    def test_empty_measurements(self):
+        assert closest_landmark_oracle([], GeoPoint(0, 0)) is None

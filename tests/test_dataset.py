@@ -1,0 +1,124 @@
+"""Tests for the exportable geolocation dataset."""
+
+import pytest
+
+from repro.dataset import (
+    DATASET_SCHEMA_VERSION,
+    GeolocationDataset,
+    GeolocationRecord,
+    QUALITY_CITY,
+    QUALITY_REGION,
+    QUALITY_STREET,
+    QUALITY_UNKNOWN,
+    build_dataset_from_scenario,
+    quality_from_min_rtt,
+)
+from repro.geo.coords import GeoPoint
+
+
+def _record(ip="10.0.0.1"):
+    return GeolocationRecord(
+        ip=ip,
+        estimates={"cbg": [48.85, 2.35], "shortest-ping": [48.9, 2.4]},
+        preferred_technique="cbg",
+        quality=QUALITY_CITY,
+        evidence={"min_rtt_ms": 0.8},
+    )
+
+
+class TestQualityRule:
+    def test_classes(self):
+        assert quality_from_min_rtt(None) == QUALITY_UNKNOWN
+        assert quality_from_min_rtt(0.1) == QUALITY_STREET
+        assert quality_from_min_rtt(1.0) == QUALITY_CITY
+        assert quality_from_min_rtt(50.0) == QUALITY_REGION
+
+
+class TestRecords:
+    def test_preferred_location(self):
+        record = _record()
+        location = record.preferred_location()
+        assert location == GeoPoint(48.85, 2.35)
+
+    def test_missing_preferred(self):
+        record = GeolocationRecord(ip="10.0.0.2")
+        assert record.preferred_location() is None
+
+
+class TestDataset:
+    def test_add_and_lookup(self):
+        dataset = GeolocationDataset()
+        dataset.add(_record())
+        assert len(dataset) == 1
+        assert dataset.lookup("10.0.0.1").quality == QUALITY_CITY
+        assert dataset.lookup("10.0.0.9") is None
+
+    def test_duplicate_rejected(self):
+        dataset = GeolocationDataset([_record()])
+        with pytest.raises(ValueError):
+            dataset.add(_record())
+
+    def test_quality_counts(self):
+        dataset = GeolocationDataset(
+            [_record("10.0.0.1"), _record("10.0.0.2")]
+        )
+        assert dataset.quality_counts() == {QUALITY_CITY: 2}
+
+    def test_json_round_trip(self, tmp_path):
+        dataset = GeolocationDataset([_record("10.0.0.1"), _record("10.0.0.2")])
+        path = tmp_path / "baseline.json"
+        dataset.write_json(path)
+        loaded = GeolocationDataset.read_json(path)
+        assert len(loaded) == 2
+        assert loaded.lookup("10.0.0.1").estimates == dataset.lookup("10.0.0.1").estimates
+        assert loaded.lookup("10.0.0.2").evidence["min_rtt_ms"] == 0.8
+
+    def test_json_schema_guard(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema_version": 99, "records": []}')
+        with pytest.raises(ValueError):
+            GeolocationDataset.read_json(path)
+
+    def test_csv_round_trip(self, tmp_path):
+        dataset = GeolocationDataset([_record("10.0.0.1")])
+        path = tmp_path / "baseline.csv"
+        dataset.write_csv(path)
+        loaded = GeolocationDataset.read_csv(path)
+        record = loaded.lookup("10.0.0.1")
+        assert record is not None
+        assert record.preferred_technique == "cbg"
+        assert record.estimates["cbg"] == pytest.approx([48.85, 2.35])
+
+    def test_csv_header_guard(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ValueError):
+            GeolocationDataset.read_csv(path)
+
+
+class TestFromScenario:
+    def test_builds_over_targets(self, small_scenario):
+        dataset = build_dataset_from_scenario(small_scenario, max_targets=10)
+        assert len(dataset) == 10
+        for record in dataset:
+            assert record.preferred_technique in record.estimates
+            assert record.quality in (
+                QUALITY_STREET,
+                QUALITY_CITY,
+                QUALITY_REGION,
+                QUALITY_UNKNOWN,
+            )
+            assert record.evidence["vp_count"] == len(small_scenario.vps)
+
+    def test_quality_is_explainable_not_oracular(self, small_scenario):
+        """Quality must be derived from evidence, not from real error."""
+        dataset = build_dataset_from_scenario(small_scenario, max_targets=10)
+        for record in dataset:
+            min_rtt = record.evidence["min_rtt_ms"]
+            assert record.quality == quality_from_min_rtt(min_rtt)
+
+    def test_round_trips_through_files(self, small_scenario, tmp_path):
+        dataset = build_dataset_from_scenario(small_scenario, max_targets=5)
+        json_path = tmp_path / "d.json"
+        dataset.write_json(json_path)
+        assert len(GeolocationDataset.read_json(json_path)) == 5

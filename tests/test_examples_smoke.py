@@ -1,0 +1,37 @@
+"""Smoke tests: every example script must run cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = [
+    ("quickstart.py", []),
+    ("million_scale_campaign.py", []),
+    ("street_level_campaign.py", []),
+    ("database_comparison.py", []),
+    ("vp_selection_ablation.py", []),
+    ("world_report.py", ["--preset", "small"]),
+]
+
+
+@pytest.mark.parametrize("script,args", EXAMPLES, ids=[s for s, _ in EXAMPLES])
+def test_example_runs(script, args):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_examples_list_is_complete():
+    """Every script in examples/ is exercised by this smoke suite."""
+    on_disk = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    covered = {script for script, _args in EXAMPLES}
+    assert on_disk == covered

@@ -1,0 +1,37 @@
+"""Tests for the §7.1 baseline experiment and its dataset export."""
+
+import pytest
+
+from repro.experiments.baseline import run_baseline
+
+
+class TestBaseline:
+    @pytest.fixture(scope="class")
+    def output(self, small_scenario):
+        return run_baseline(small_scenario, max_targets=12)
+
+    def test_structure(self, output):
+        assert output.experiment_id == "baseline"
+        assert "city level" in output.table
+        assert "|" in output.table  # the embedded ASCII CDF
+
+    def test_fractions_ordered(self, output):
+        assert (
+            output.measured["street_level_fraction"]
+            <= output.measured["city_level_fraction"]
+        )
+        assert 0.0 <= output.measured["city_level_fraction"] <= 1.0
+
+    def test_not_feasible_at_scale(self, output):
+        assert output.measured["millions_coverage_feasible"] == 0.0
+
+    def test_series_present(self, output):
+        assert len(output.series["cbg"]) > 0
+        assert len(output.series["street"]) == 12
+
+    def test_cli_exposes_baseline(self, capsys, small_scenario):
+        from repro.experiments.run import main
+
+        code = main(["baseline", "--preset", "small", "--max-targets", "12"])
+        assert code == 0
+        assert "baseline" in capsys.readouterr().out

@@ -1,0 +1,158 @@
+"""Tests for great-circle geometry."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import EARTH_RADIUS_KM, MAX_GREAT_CIRCLE_KM
+from repro.geo.coords import (
+    GeoPoint,
+    bearing_deg,
+    bulk_destination,
+    bulk_haversine_km,
+    destination,
+    haversine_km,
+    mean_point,
+    midpoint,
+    normalize_lon,
+    pairwise_haversine_km,
+)
+
+LATS = st.floats(min_value=-85.0, max_value=85.0)
+LONS = st.floats(min_value=-179.9, max_value=179.9)
+
+
+class TestGeoPoint:
+    def test_valid_construction(self):
+        point = GeoPoint(48.85, 2.35)
+        assert point.lat == 48.85
+
+    def test_latitude_bounds(self):
+        with pytest.raises(ValueError):
+            GeoPoint(91.0, 0.0)
+        with pytest.raises(ValueError):
+            GeoPoint(-90.5, 0.0)
+
+    def test_longitude_bounds(self):
+        with pytest.raises(ValueError):
+            GeoPoint(0.0, -181.0)
+
+    def test_distance_to_self_is_zero(self):
+        point = GeoPoint(10.0, 20.0)
+        assert point.distance_km(point) == 0.0
+
+    def test_frozen(self):
+        point = GeoPoint(1.0, 2.0)
+        with pytest.raises(AttributeError):
+            point.lat = 3.0
+
+
+class TestHaversine:
+    def test_paris_london(self):
+        # Paris (48.8566, 2.3522) to London (51.5074, -0.1278) ~ 344 km.
+        assert haversine_km(48.8566, 2.3522, 51.5074, -0.1278) == pytest.approx(344, abs=5)
+
+    def test_equator_degree(self):
+        # One degree of longitude at the equator ~ 111.19 km.
+        assert haversine_km(0, 0, 0, 1) == pytest.approx(
+            2 * math.pi * EARTH_RADIUS_KM / 360.0, rel=1e-6
+        )
+
+    def test_antipodal(self):
+        assert haversine_km(0, 0, 0, 179.9999) == pytest.approx(MAX_GREAT_CIRCLE_KM, abs=5)
+
+    @given(LATS, LONS, LATS, LONS)
+    @settings(max_examples=100, deadline=None)
+    def test_symmetry(self, lat1, lon1, lat2, lon2):
+        d1 = haversine_km(lat1, lon1, lat2, lon2)
+        d2 = haversine_km(lat2, lon2, lat1, lon1)
+        assert d1 == pytest.approx(d2, abs=1e-9)
+
+    @given(LATS, LONS, LATS, LONS, LATS, LONS)
+    @settings(max_examples=100, deadline=None)
+    def test_triangle_inequality(self, lat1, lon1, lat2, lon2, lat3, lon3):
+        d12 = haversine_km(lat1, lon1, lat2, lon2)
+        d23 = haversine_km(lat2, lon2, lat3, lon3)
+        d13 = haversine_km(lat1, lon1, lat3, lon3)
+        assert d13 <= d12 + d23 + 1e-6
+
+    def test_bulk_matches_scalar(self):
+        lats = np.array([0.0, 45.0, -30.0])
+        lons = np.array([0.0, 90.0, -60.0])
+        bulk = bulk_haversine_km(lats, lons, 10.0, 20.0)
+        for index in range(3):
+            assert bulk[index] == pytest.approx(
+                haversine_km(lats[index], lons[index], 10.0, 20.0)
+            )
+
+    def test_pairwise_matches_scalar(self):
+        a = np.array([0.0, 45.0])
+        b = np.array([10.0, 50.0])
+        c = np.array([5.0, -45.0])
+        d = np.array([15.0, -50.0])
+        pair = pairwise_haversine_km(a, b, c, d)
+        for index in range(2):
+            assert pair[index] == pytest.approx(
+                haversine_km(a[index], b[index], c[index], d[index])
+            )
+
+
+class TestDestination:
+    def test_north_one_degree(self):
+        origin = GeoPoint(0.0, 0.0)
+        step = 2 * math.pi * EARTH_RADIUS_KM / 360.0
+        result = destination(origin, 0.0, step)
+        assert result.lat == pytest.approx(1.0, abs=1e-6)
+        assert result.lon == pytest.approx(0.0, abs=1e-6)
+
+    @given(LATS, LONS, st.floats(min_value=0.0, max_value=359.9), st.floats(min_value=0.1, max_value=5000.0))
+    @settings(max_examples=100, deadline=None)
+    def test_distance_preserved(self, lat, lon, bearing, dist):
+        origin = GeoPoint(lat, lon)
+        result = destination(origin, bearing, dist)
+        assert origin.distance_km(result) == pytest.approx(dist, rel=1e-6, abs=1e-6)
+
+    def test_bulk_matches_scalar(self):
+        origin = GeoPoint(40.0, -3.0)
+        bearings = np.array([0.0, 90.0, 180.0, 270.0])
+        distances = np.array([10.0, 100.0, 1000.0, 5000.0])
+        lats, lons = bulk_destination(origin, bearings, distances)
+        for index in range(4):
+            scalar = destination(origin, float(bearings[index]), float(distances[index]))
+            assert lats[index] == pytest.approx(scalar.lat, abs=1e-9)
+            assert lons[index] == pytest.approx(scalar.lon, abs=1e-9)
+
+
+class TestBearingMidpointMean:
+    def test_bearing_east(self):
+        assert bearing_deg(GeoPoint(0, 0), GeoPoint(0, 10)) == pytest.approx(90.0)
+
+    def test_bearing_north(self):
+        assert bearing_deg(GeoPoint(0, 0), GeoPoint(10, 0)) == pytest.approx(0.0)
+
+    def test_midpoint_equidistant(self):
+        a, b = GeoPoint(10, 10), GeoPoint(20, 40)
+        mid = midpoint(a, b)
+        assert a.distance_km(mid) == pytest.approx(b.distance_km(mid), rel=1e-6)
+
+    def test_mean_point_of_identical_points(self):
+        point = GeoPoint(12.0, 34.0)
+        assert mean_point([point, point, point]).distance_km(point) < 1e-6
+
+    def test_mean_point_requires_points(self):
+        with pytest.raises(ValueError):
+            mean_point([])
+
+    def test_mean_point_between(self):
+        a, b = GeoPoint(0, 0), GeoPoint(0, 10)
+        mean = mean_point([a, b])
+        assert mean.lat == pytest.approx(0.0, abs=1e-6)
+        assert mean.lon == pytest.approx(5.0, abs=1e-6)
+
+    def test_normalize_lon(self):
+        assert normalize_lon(190.0) == pytest.approx(-170.0)
+        assert normalize_lon(-190.0) == pytest.approx(170.0)
+        assert normalize_lon(0.0) == 0.0

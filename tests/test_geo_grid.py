@@ -1,0 +1,64 @@
+"""Tests for the population-density field."""
+
+import pytest
+
+from repro.geo.coords import GeoPoint, destination
+from repro.geo.grid import PopulationCenter, PopulationGrid
+
+
+class TestPopulationCenter:
+    def test_density_decreases_with_distance(self):
+        center = PopulationCenter(GeoPoint(0, 0), 1_000_000.0, 10.0)
+        assert center.density_at_distance(0.0) > center.density_at_distance(5.0)
+        assert center.density_at_distance(5.0) > center.density_at_distance(20.0)
+
+    def test_kernel_integrates_to_population(self):
+        # Riemann sum over rings: integral of the Gaussian kernel ~ population.
+        import math
+
+        center = PopulationCenter(GeoPoint(0, 0), 500_000.0, 8.0)
+        total = 0.0
+        step = 0.25
+        r = step / 2
+        while r < 80.0:
+            total += center.density_at_distance(r) * 2 * math.pi * r * step
+            r += step
+        assert total == pytest.approx(500_000.0, rel=0.01)
+
+
+class TestPopulationGrid:
+    def test_rural_baseline_far_from_cities(self):
+        grid = PopulationGrid(
+            [PopulationCenter(GeoPoint(0, 0), 1e6, 10.0)], rural_density=2.0
+        )
+        remote = grid.density_at(GeoPoint(45.0, 90.0))
+        assert remote == pytest.approx(2.0)
+
+    def test_city_center_is_dense(self):
+        grid = PopulationGrid(
+            [PopulationCenter(GeoPoint(0, 0), 1e6, 10.0)], rural_density=2.0
+        )
+        assert grid.density_at(GeoPoint(0, 0)) > 1000.0
+
+    def test_density_monotone_outward(self):
+        center = GeoPoint(10.0, 10.0)
+        grid = PopulationGrid([PopulationCenter(center, 1e6, 10.0)])
+        densities = [
+            grid.density_at(destination(center, 90.0, d)) for d in (0.0, 5.0, 15.0, 30.0)
+        ]
+        assert densities == sorted(densities, reverse=True)
+
+    def test_negative_rural_density_rejected(self):
+        with pytest.raises(ValueError):
+            PopulationGrid([], rural_density=-1.0)
+
+    def test_len_counts_centers(self):
+        centers = [PopulationCenter(GeoPoint(i, i), 1e5, 5.0) for i in range(4)]
+        assert len(PopulationGrid(centers)) == 4
+
+    def test_overlapping_cities_add(self):
+        a = PopulationCenter(GeoPoint(0, 0), 1e6, 10.0)
+        b = PopulationCenter(GeoPoint(0, 0.1), 1e6, 10.0)
+        single = PopulationGrid([a]).density_at(GeoPoint(0, 0.05))
+        double = PopulationGrid([a, b]).density_at(GeoPoint(0, 0.05))
+        assert double > single * 1.5

@@ -1,0 +1,113 @@
+"""Tests for constraint circles and the CBG intersection region."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EmptyRegionError
+from repro.geo.coords import GeoPoint, destination
+from repro.geo.regions import (
+    Circle,
+    cbg_region,
+    region_contains_bulk,
+)
+
+
+class TestCircle:
+    def test_contains_center(self):
+        circle = Circle(GeoPoint(10, 10), 100.0)
+        assert circle.contains(GeoPoint(10, 10))
+
+    def test_contains_boundary(self):
+        center = GeoPoint(0, 0)
+        circle = Circle(center, 100.0)
+        edge = destination(center, 45.0, 99.9)
+        outside = destination(center, 45.0, 101.0)
+        assert circle.contains(edge)
+        assert not circle.contains(outside)
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            Circle(GeoPoint(0, 0), -1.0)
+
+    def test_area_grows_with_radius(self):
+        small = Circle(GeoPoint(0, 0), 10.0).area_km2()
+        large = Circle(GeoPoint(0, 0), 100.0).area_km2()
+        assert large > small > 0
+        # Small caps are nearly flat disks.
+        assert small == pytest.approx(np.pi * 100.0, rel=0.01)
+
+
+class TestCbgRegion:
+    def test_single_circle_centroid_is_center(self):
+        center = GeoPoint(48.0, 2.0)
+        region = cbg_region([Circle(center, 200.0)])
+        assert region.centroid.distance_km(center) < 10.0
+
+    def test_requires_circles(self):
+        with pytest.raises(ValueError):
+            cbg_region([])
+
+    def test_two_overlapping_circles_analytic(self):
+        # Two circles of radius 300 km whose centers are 400 km apart:
+        # the lens is centred on the midpoint of the segment.
+        a = GeoPoint(0.0, 0.0)
+        b = destination(a, 90.0, 400.0)
+        region = cbg_region([Circle(a, 300.0), Circle(b, 300.0)])
+        expected_mid = destination(a, 90.0, 200.0)
+        assert region.centroid.distance_km(expected_mid) < 40.0
+        assert region.contains(region.centroid, tolerance_km=1.0)
+
+    def test_disjoint_circles_raise(self):
+        a = GeoPoint(0.0, 0.0)
+        b = destination(a, 90.0, 3000.0)
+        with pytest.raises(EmptyRegionError):
+            cbg_region([Circle(a, 100.0), Circle(b, 100.0)])
+
+    def test_contained_circle_wins(self):
+        # A tiny circle inside a huge one: region ~ the tiny circle.
+        tiny_center = GeoPoint(10.0, 10.0)
+        region = cbg_region(
+            [Circle(tiny_center, 50.0), Circle(GeoPoint(12.0, 12.0), 5000.0)]
+        )
+        assert region.centroid.distance_km(tiny_center) < 20.0
+
+    def test_sliver_region_found_by_repair(self):
+        # Two circles overlapping in a thin lens: grid sampling inside the
+        # tightest circle may miss it; the repair step must find it.
+        a = GeoPoint(0.0, 0.0)
+        b = destination(a, 90.0, 995.0)
+        region = cbg_region([Circle(a, 500.0), Circle(b, 500.0)])
+        assert region.contains(region.centroid, tolerance_km=5.0)
+
+    def test_huge_circles_do_not_constrain(self):
+        center = GeoPoint(5.0, 5.0)
+        region = cbg_region(
+            [Circle(center, 100.0), Circle(GeoPoint(-40.0, 100.0), 25000.0)]
+        )
+        assert region.centroid.distance_km(center) < 10.0
+
+    def test_centroid_inside_all_circles(self):
+        circles = [
+            Circle(GeoPoint(0, 0), 800.0),
+            Circle(GeoPoint(3, 3), 700.0),
+            Circle(GeoPoint(-2, 4), 900.0),
+        ]
+        region = cbg_region(circles)
+        for circle in circles:
+            assert circle.contains(region.centroid, tolerance_km=5.0)
+
+    def test_extent_reasonable(self):
+        region = cbg_region([Circle(GeoPoint(0, 0), 100.0)])
+        assert 0 < region.extent_km() <= 210.0
+
+
+class TestRegionContainsBulk:
+    def test_matches_scalar_contains(self):
+        circles = [Circle(GeoPoint(0, 0), 500.0), Circle(GeoPoint(2, 2), 600.0)]
+        region = cbg_region(circles)
+        lats = np.array([0.0, 1.0, 30.0, -1.0])
+        lons = np.array([0.0, 1.0, 30.0, 2.0])
+        bulk = region_contains_bulk(region, lats, lons)
+        for index in range(4):
+            point = GeoPoint(float(lats[index]), float(lons[index]))
+            assert bulk[index] == region.contains(point)

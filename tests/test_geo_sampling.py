@@ -1,0 +1,63 @@
+"""Tests for the street level concentric-circle sampling."""
+
+import pytest
+
+from repro.geo.coords import GeoPoint
+from repro.geo.regions import Circle, cbg_region
+from repro.geo.sampling import circle_points, concentric_circle_points
+
+
+class TestCirclePoints:
+    def test_count_from_alpha(self):
+        center = GeoPoint(0, 0)
+        assert len(circle_points(center, 10.0, 36.0)) == 10
+        assert len(circle_points(center, 10.0, 10.0)) == 36
+
+    def test_points_on_radius(self):
+        center = GeoPoint(20, 30)
+        for point in circle_points(center, 25.0, 45.0):
+            assert center.distance_km(point) == pytest.approx(25.0, rel=1e-6)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            circle_points(GeoPoint(0, 0), 0.0, 36.0)
+        with pytest.raises(ValueError):
+            circle_points(GeoPoint(0, 0), 10.0, 0.0)
+
+
+class TestConcentricSampling:
+    def test_center_first(self):
+        center = GeoPoint(0, 0)
+        region = cbg_region([Circle(center, 50.0)])
+        points = list(concentric_circle_points(center, region, 5.0, 36.0))
+        assert points[0] == center
+
+    def test_stops_outside_region(self):
+        center = GeoPoint(0, 0)
+        region = cbg_region([Circle(center, 23.0)])
+        points = list(concentric_circle_points(center, region, 5.0, 36.0))
+        # Circles at 5, 10, 15, 20 km are inside; 25 km is fully outside.
+        assert all(center.distance_km(p) <= 23.0 for p in points)
+        assert len(points) == 1 + 4 * 10
+
+    def test_tier2_parameters_yield_10_per_circle(self):
+        center = GeoPoint(10, 10)
+        region = cbg_region([Circle(center, 12.0)])
+        points = list(concentric_circle_points(center, region, 5.0, 36.0))
+        assert len(points) == 1 + 2 * 10
+
+    def test_max_circles_bounds_walk(self):
+        center = GeoPoint(0, 0)
+        points = list(
+            concentric_circle_points(center, None, 5.0, 36.0, max_circles=3)
+        )
+        assert len(points) == 1 + 3 * 10
+
+    def test_custom_inside_predicate(self):
+        center = GeoPoint(0, 0)
+        points = list(
+            concentric_circle_points(
+                center, None, 5.0, 90.0, max_circles=10, inside=lambda p: p.lat >= 0
+            )
+        )
+        assert all(p.lat >= -1e-9 for p in points)

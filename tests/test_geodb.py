@@ -1,0 +1,57 @@
+"""Tests for the simulated geolocation databases."""
+
+import numpy as np
+import pytest
+
+from repro.geodb import build_ipinfo, build_maxmind_free
+
+
+class TestDatabases:
+    def test_lookup_deterministic(self, small_world):
+        db = build_maxmind_free(small_world)
+        ip = small_world.anchors[0].ip
+        assert db.lookup(ip) == db.lookup(ip)
+
+    def test_same_prefix_same_answer(self, small_world):
+        db = build_ipinfo(small_world)
+        anchor = small_world.anchors[0]
+        sibling = next(
+            h
+            for h in small_world.hosts
+            if h is not anchor and h.ip.rsplit(".", 1)[0] == anchor.ip.rsplit(".", 1)[0]
+        )
+        assert db.lookup(anchor.ip) == db.lookup(sibling.ip)
+
+    def test_unknown_prefix_none(self, small_world):
+        db = build_ipinfo(small_world)
+        assert db.lookup("203.0.113.1") is None
+
+    def test_ipinfo_better_than_maxmind(self, small_scenario):
+        """The Figure 7 ordering must hold on the scenario targets."""
+        world = small_scenario.world
+        ipinfo = build_ipinfo(world)
+        maxmind = build_maxmind_free(world)
+
+        def city_fraction(db):
+            hits = 0
+            total = 0
+            for target in small_scenario.targets:
+                location = db.lookup(target.ip)
+                total += 1
+                if location is not None and location.distance_km(target.true_location) <= 40.0:
+                    hits += 1
+            return hits / total
+
+        assert city_fraction(ipinfo) > city_fraction(maxmind)
+        assert city_fraction(ipinfo) > 0.8
+        assert city_fraction(maxmind) < 0.75
+
+    def test_coverage_of(self, small_scenario):
+        db = build_maxmind_free(small_scenario.world)
+        coverage = db.coverage_of(small_scenario.target_ips)
+        assert 0.9 <= coverage <= 1.0
+        assert db.coverage_of([]) == 0.0
+
+    def test_names(self, small_world):
+        assert build_ipinfo(small_world).name == "ipinfo"
+        assert build_maxmind_free(small_world).name == "maxmind-free"

@@ -1,0 +1,85 @@
+"""Tests for the GeoJSON export helpers."""
+
+import json
+
+import pytest
+
+from repro.analysis.geojson import (
+    collection,
+    dataset_features,
+    dump,
+    region_feature,
+    world_features,
+)
+from repro.geo.coords import GeoPoint
+from repro.geo.regions import Circle, cbg_region
+from repro.world.hosts import HostKind
+
+
+class TestWorldFeatures:
+    def test_points_for_requested_kinds(self, small_world):
+        features = world_features(small_world, kinds=(HostKind.ANCHOR,), max_hosts=10)
+        points = [f for f in features if f["geometry"]["type"] == "Point"]
+        assert len(points) == 10
+        for feature in points:
+            assert feature["properties"]["kind"] == "anchor"
+            lon, lat = feature["geometry"]["coordinates"]
+            assert -180 <= lon < 180 and -90 <= lat <= 90
+
+    def test_displacement_lines_for_mislocated(self, small_world):
+        features = world_features(small_world, kinds=(HostKind.PROBE,))
+        lines = [f for f in features if f["geometry"]["type"] == "LineString"]
+        assert lines  # metadata jitter + planted mislocations exist
+        for line in lines:
+            assert line["properties"]["displacement_km"] > 0
+
+    def test_no_lines_when_disabled(self, small_world):
+        features = world_features(
+            small_world, kinds=(HostKind.PROBE,), displacement_lines=False
+        )
+        assert all(f["geometry"]["type"] == "Point" for f in features)
+
+
+class TestDatasetFeatures:
+    def test_one_point_per_estimate(self, small_scenario):
+        from repro.dataset import build_dataset_from_scenario
+
+        dataset = build_dataset_from_scenario(small_scenario, max_targets=5)
+        features = dataset_features(dataset)
+        assert len(features) >= 5
+        preferred = [f for f in features if f["properties"]["preferred"]]
+        assert len(preferred) == 5
+
+
+class TestRegionFeature:
+    def test_circles_and_centroid(self):
+        region = cbg_region(
+            [Circle(GeoPoint(0, 0), 500.0), Circle(GeoPoint(2, 2), 600.0)]
+        )
+        features = region_feature(region)
+        polygons = [f for f in features if f["geometry"]["type"] == "Polygon"]
+        points = [f for f in features if f["geometry"]["type"] == "Point"]
+        assert len(polygons) == 2
+        assert len(points) == 1
+        ring = polygons[0]["geometry"]["coordinates"][0]
+        assert ring[0] == ring[-1]  # closed ring
+
+    def test_circle_cap(self):
+        circles = [Circle(GeoPoint(i * 0.01, 0), 1000.0 + i) for i in range(30)]
+        region = cbg_region(circles)
+        features = region_feature(region, max_circles=5)
+        polygons = [f for f in features if f["geometry"]["type"] == "Polygon"]
+        assert len(polygons) <= 5
+
+
+class TestSerialisation:
+    def test_collection_shape(self):
+        fc = collection([])
+        assert fc == {"type": "FeatureCollection", "features": []}
+
+    def test_dump_valid_json(self, small_world, tmp_path):
+        path = tmp_path / "world.geojson"
+        dump(world_features(small_world, max_hosts=5), path)
+        loaded = json.loads(path.read_text())
+        assert loaded["type"] == "FeatureCollection"
+        assert loaded["features"]

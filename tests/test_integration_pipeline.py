@@ -1,0 +1,105 @@
+"""End-to-end integration tests across the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro.core.cbg import cbg_errors_for_subsets
+from repro.experiments.scenario import Scenario
+from repro.world import WorldConfig
+
+
+class TestFullPipeline:
+    def test_scenario_is_deterministic(self):
+        a = Scenario.build(WorldConfig.small(seed=99))
+        b = Scenario.build(WorldConfig.small(seed=99))
+        assert a.target_ips == b.target_ips
+        assert list(a.vp_ids) == list(b.vp_ids)
+        assert np.allclose(a.rtt_matrix(), b.rtt_matrix(), equal_nan=True)
+
+    def test_measurement_accounting_spans_campaigns(self, small_scenario):
+        """The shared ledger sees every campaign the scenario ran."""
+        ledger = small_scenario.client.ledger
+        small_scenario.rtt_matrix()
+        assert ledger.measurement_count("ping") > 0
+        # The probe sanitization campaign alone is probes x anchors.
+        assert ledger.measurement_count("ping") >= len(small_scenario.targets) * 100
+
+    def test_cbg_beats_continental_baseline(self, small_scenario):
+        """Sanity: with hundreds of VPs, CBG is far better than guessing."""
+        matrix = small_scenario.rtt_matrix()
+        errors = cbg_errors_for_subsets(
+            small_scenario.vp_lats,
+            small_scenario.vp_lons,
+            matrix,
+            small_scenario.target_true_lats,
+            small_scenario.target_true_lons,
+            np.arange(len(small_scenario.vps)),
+        )
+        assert np.nanmedian(errors) < 100.0
+        assert np.nanmax(errors) < 20_100.0
+
+    def test_techniques_ordering_holds(self, small_scenario):
+        """The paper's global ordering: all-VP CBG ~ two-step selection,
+        both far better than a tiny random subset."""
+        from repro import rand
+        from repro.core.coverage import greedy_coverage_indices
+
+        matrix = small_scenario.rtt_matrix()
+        all_errors = cbg_errors_for_subsets(
+            small_scenario.vp_lats,
+            small_scenario.vp_lons,
+            matrix,
+            small_scenario.target_true_lats,
+            small_scenario.target_true_lons,
+            np.arange(len(small_scenario.vps)),
+        )
+        rng = rand.generator(("integration-small-subset", 0))
+        random10 = np.sort(rng.choice(len(small_scenario.vps), size=10, replace=False))
+        small_errors = cbg_errors_for_subsets(
+            small_scenario.vp_lats,
+            small_scenario.vp_lons,
+            matrix,
+            small_scenario.target_true_lats,
+            small_scenario.target_true_lons,
+            random10,
+        )
+        assert np.nanmedian(all_errors) < np.nanmedian(small_errors) / 3
+
+    def test_street_level_landmarks_are_real_websites(self, small_scenario):
+        """Every landmark the pipeline measured exists in the world's DNS
+        and claims the location of a real POI."""
+        from repro.experiments.street_runner import street_level_records
+
+        records = street_level_records(small_scenario, 12)
+        for record in records:
+            for measurement in record.result.measurements:
+                landmark = measurement.landmark
+                dns = small_scenario.world.dns.try_resolve(landmark.hostname)
+                assert dns is not None
+                assert dns.ip == landmark.ip
+                assert not dns.behind_cdn
+
+    def test_street_level_time_matches_breakdown(self, small_scenario):
+        from repro.experiments.street_runner import street_level_records
+
+        records = street_level_records(small_scenario, 12)
+        for record in records:
+            total = sum(record.result.time_breakdown.values())
+            assert total == pytest.approx(record.result.elapsed_s)
+
+    def test_unusable_fraction_bounds(self, small_scenario):
+        from repro.experiments.street_runner import street_level_records
+
+        for record in street_level_records(small_scenario, 12):
+            fraction = record.unusable_fraction
+            if fraction is not None:
+                assert 0.0 <= fraction <= 1.0
+
+    def test_oracle_lower_bounds_street(self, small_scenario):
+        """The closest-landmark oracle is a lower bound for the landmark-
+        mapped street level estimate (when a landmark was chosen)."""
+        from repro.experiments.street_runner import street_level_records
+
+        for record in street_level_records(small_scenario, 12):
+            if record.result.chosen is not None:
+                assert record.oracle_error_km <= record.street_error_km + 1e-9

@@ -1,0 +1,116 @@
+"""Tests for the §5.2.5 shared landmark cache."""
+
+import pytest
+
+from repro.atlas.clock import SimClock
+from repro.geo.coords import GeoPoint
+from repro.landmarks.cache import LandmarkCache
+from repro.landmarks.mapping import ReverseGeocoder
+from repro.landmarks.validation import LandmarkValidator, ValidationOutcome
+
+
+class TestCachePrimitives:
+    def test_geocode_round_trip(self):
+        cache = LandmarkCache()
+        point = GeoPoint(10.0, 20.0)
+        hit, _ = cache.get_geocode(point)
+        assert not hit
+        from repro.landmarks.mapping import ReverseGeocodeResult
+
+        answer = ReverseGeocodeResult("1234-500500", 7)
+        cache.put_geocode(point, answer)
+        hit, cached = cache.get_geocode(point)
+        assert hit and cached == answer
+
+    def test_nearby_points_share_entry(self):
+        cache = LandmarkCache()
+        cache.put_geocode(GeoPoint(10.0, 20.0), None)
+        hit, cached = cache.get_geocode(GeoPoint(10.0003, 20.0003))
+        assert hit and cached is None
+
+    def test_distant_points_do_not(self):
+        cache = LandmarkCache()
+        cache.put_geocode(GeoPoint(10.0, 20.0), None)
+        hit, _ = cache.get_geocode(GeoPoint(10.1, 20.1))
+        assert not hit
+
+    def test_validation_round_trip(self):
+        cache = LandmarkCache()
+        outcome = ValidationOutcome(False, "cdn")
+        cache.put_validation("www.x.example", "1-1", "1-2", outcome)
+        hit, cached = cache.get_validation("www.x.example", "1-1", "1-2")
+        assert hit and cached == outcome
+        hit, _ = cache.get_validation("www.x.example", "1-1", "1-3")
+        assert not hit
+
+    def test_stats(self):
+        cache = LandmarkCache()
+        cache.get_geocode(GeoPoint(0, 0))
+        cache.put_geocode(GeoPoint(0, 0), None)
+        cache.get_geocode(GeoPoint(0, 0))
+        assert cache.stats.geocode_hits == 1
+        assert cache.stats.geocode_misses == 1
+        assert cache.stats.geocode_hit_rate == 0.5
+        assert cache.stats.validation_hit_rate == 0.0
+
+    def test_len(self):
+        cache = LandmarkCache()
+        cache.put_geocode(GeoPoint(0, 0), None)
+        cache.put_validation("h", "a", "b", ValidationOutcome(True))
+        assert len(cache) == 2
+
+
+class TestCachedServices:
+    def test_geocoder_skips_service_on_hit(self, small_world):
+        cache = LandmarkCache()
+        clock = SimClock()
+        geocoder = ReverseGeocoder(small_world, clock, cache=cache)
+        point = small_world.cities[0].location
+        first = geocoder.reverse(point)
+        queries_after_first = geocoder.queries
+        cost_after_first = clock.now_s
+        second = geocoder.reverse(point)
+        assert second == first
+        assert geocoder.queries == queries_after_first  # no new service query
+        assert clock.now_s == cost_after_first  # and no time charged
+
+    def test_validator_skips_tests_on_hit(self, small_world):
+        cache = LandmarkCache()
+        clock = SimClock()
+        validator = LandmarkValidator(small_world, clock, cache=cache)
+        poi = next(
+            p
+            for p in small_world.pois_of_city(small_world.anchors[0].city_id)
+            if p.website is not None
+        )
+        first = validator.validate(poi, poi.website, poi.zipcode)
+        runs = validator.tests_run
+        cost = clock.now_s
+        second = validator.validate(poi, poi.website, poi.zipcode)
+        assert second == first
+        assert validator.tests_run == runs
+        assert clock.now_s == cost
+
+    def test_cached_pipeline_results_identical(self, small_scenario):
+        """With and without cache, the street level answers must match."""
+        import numpy as np
+
+        from repro.core.street_level import StreetLevelPipeline
+
+        anchors = small_scenario.anchor_vp_infos()
+        mesh_ids, mesh = small_scenario.mesh()
+        row_by_id = {a: r for r, a in enumerate(mesh_ids)}
+        target = small_scenario.targets[0]
+        column = row_by_id[target.host_id]
+        rtts = {
+            a: (None if np.isnan(mesh[r, column]) else float(mesh[r, column]))
+            for a, r in row_by_id.items()
+        }
+        plain = StreetLevelPipeline(small_scenario.client, small_scenario.world)
+        cached = StreetLevelPipeline(
+            small_scenario.client, small_scenario.world, cache=LandmarkCache()
+        )
+        result_plain = plain.geolocate(target.ip, anchors, rtts)
+        result_cached = cached.geolocate(target.ip, anchors, rtts)
+        assert result_plain.estimate == result_cached.estimate
+        assert len(result_plain.measurements) == len(result_cached.measurements)

@@ -1,0 +1,184 @@
+"""Tests for the landmark services: geocoding, amenities, validation,
+and the discovery funnel."""
+
+import pytest
+
+from repro.atlas.clock import SimClock
+from repro.geo.coords import GeoPoint, destination
+from repro.geo.regions import Circle, cbg_region
+from repro.landmarks.discovery import LandmarkDiscovery
+from repro.landmarks.mapping import ReverseGeocoder
+from repro.landmarks.overpass import OverpassService
+from repro.landmarks.validation import LandmarkValidator
+from repro.world.pois import HostingKind
+
+
+@pytest.fixture(scope="module")
+def services(small_world):
+    geocoder = ReverseGeocoder(small_world)
+    overpass = OverpassService(small_world)
+    validator = LandmarkValidator(small_world)
+    return geocoder, overpass, validator
+
+
+class TestReverseGeocoder:
+    def test_city_center_resolves(self, small_world, services):
+        geocoder, _overpass, _validator = services
+        city = small_world.cities[0]
+        result = geocoder.reverse(city.location)
+        assert result is not None
+        assert result.city_id == city.city_id
+        assert result.zipcode == city.zipcode_at(city.location)
+
+    def test_middle_of_ocean_is_none(self, services):
+        geocoder, _overpass, _validator = services
+        assert geocoder.reverse(GeoPoint(-60.0, -160.0)) is None
+
+    def test_clock_charged(self, small_world):
+        clock = SimClock()
+        geocoder = ReverseGeocoder(small_world, clock)
+        for _ in range(20):
+            geocoder.reverse(small_world.cities[0].location)
+        assert clock.now_s > 0
+        assert clock.spent_in("mapping") == clock.now_s
+
+    def test_rate_limited_at_8_per_second(self, small_world):
+        clock = SimClock()
+        geocoder = ReverseGeocoder(small_world, clock, max_requests_per_s=8)
+        for _ in range(80):
+            geocoder.reverse(small_world.cities[0].location)
+        assert clock.now_s >= 8.0  # ~80 requests / 8 per second
+
+
+class TestOverpass:
+    def test_returns_only_website_pois_in_cell(self, small_world, services):
+        _geocoder, overpass, _validator = services
+        city = small_world.cities[small_world.anchors[0].city_id]
+        zipcode = city.zipcode_at(city.location)
+        pois = overpass.amenities_with_website(city.city_id, zipcode)
+        for poi in pois:
+            assert poi.has_website
+            assert city.zipcode_at(poi.location) == zipcode
+
+    def test_unknown_zip_empty(self, small_world, services):
+        _geocoder, overpass, _validator = services
+        assert overpass.amenities_with_website(0, "9999-000000") == []
+
+
+class TestValidation:
+    def _pois_with_hosting(self, small_world, hosting):
+        found = []
+        for city in small_world.cities[:30]:
+            for poi in small_world.pois_of_city(city.city_id):
+                if poi.website is not None and poi.website.hosting is hosting:
+                    found.append(poi)
+        return found
+
+    def test_cdn_sites_rejected(self, small_world, services):
+        _geocoder, _overpass, validator = services
+        for poi in self._pois_with_hosting(small_world, HostingKind.CDN)[:20]:
+            outcome = validator.validate(poi, poi.website, poi.zipcode)
+            assert not outcome.passed
+            assert outcome.reason == "cdn"
+
+    def test_cloud_sites_rejected(self, small_world, services):
+        _geocoder, _overpass, validator = services
+        for poi in self._pois_with_hosting(small_world, HostingKind.CLOUD)[:20]:
+            outcome = validator.validate(poi, poi.website, poi.zipcode)
+            assert not outcome.passed
+
+    def test_wrong_zip_rejected(self, small_world, services):
+        _geocoder, _overpass, validator = services
+        poi = self._pois_with_hosting(small_world, HostingKind.LOCAL)[0]
+        outcome = validator.validate(poi, poi.website, "0000-000000")
+        assert not outcome.passed
+        assert outcome.reason == "zipcode"
+
+    def test_chain_sites_rejected(self, small_world, services):
+        _geocoder, _overpass, validator = services
+        chains = [
+            poi
+            for poi in self._pois_with_hosting(small_world, HostingKind.LOCAL)
+            if poi.website.chain_id is not None
+        ]
+        assert chains
+        for poi in chains[:10]:
+            outcome = validator.validate(poi, poi.website, poi.zipcode)
+            assert not outcome.passed
+            assert outcome.reason == "multi-zip"
+
+    def test_good_local_sites_pass(self, small_world, services):
+        _geocoder, _overpass, validator = services
+        passed = 0
+        for poi in self._pois_with_hosting(small_world, HostingKind.LOCAL):
+            if poi.website.chain_id is None:
+                city = small_world.cities[poi.city_id]
+                honest_zip = city.zipcode_at(poi.location)
+                if honest_zip == poi.zipcode:
+                    outcome = validator.validate(poi, poi.website, honest_zip)
+                    assert outcome.passed
+                    passed += 1
+        assert passed > 0
+
+    def test_clock_charged_per_network_test(self, small_world):
+        clock = SimClock()
+        validator = LandmarkValidator(small_world, clock)
+        poi = next(
+            p
+            for p in small_world.pois_of_city(small_world.anchors[0].city_id)
+            if p.website is not None
+        )
+        validator.validate(poi, poi.website, poi.zipcode)
+        if poi.zipcode == small_world.cities[poi.city_id].zipcode_at(poi.location):
+            assert clock.now_s > 0
+
+
+class TestDiscovery:
+    def test_funnel_finds_landmarks_near_anchor(self, small_world, services):
+        geocoder, overpass, validator = services
+        discovery = LandmarkDiscovery(small_world, geocoder, overpass, validator)
+        anchor = small_world.anchors[0]
+        region = cbg_region([Circle(anchor.true_location, 60.0)])
+        landmarks, stats = discovery.discover(
+            anchor.true_location, region, 5.0, 36.0, tier=2
+        )
+        assert stats.candidates_tested > 0
+        assert stats.geocode_queries > 0
+        # Every landmark hostname is unique and maps into the region area.
+        hostnames = [l.hostname for l in landmarks]
+        assert len(hostnames) == len(set(hostnames))
+        for landmark in landmarks:
+            assert anchor.true_location.distance_km(landmark.location) < 120.0
+
+    def test_known_hostnames_skipped(self, small_world, services):
+        geocoder, overpass, validator = services
+        discovery = LandmarkDiscovery(small_world, geocoder, overpass, validator)
+        anchor = small_world.anchors[0]
+        region = cbg_region([Circle(anchor.true_location, 40.0)])
+        known: set = set()
+        first, _ = discovery.discover(
+            anchor.true_location, region, 5.0, 36.0, tier=2, known_hostnames=known
+        )
+        second, _ = discovery.discover(
+            anchor.true_location, region, 5.0, 36.0, tier=3, known_hostnames=known
+        )
+        assert not {l.hostname for l in first} & {l.hostname for l in second}
+
+    def test_max_landmarks_cap(self, small_world, services):
+        geocoder, overpass, validator = services
+        discovery = LandmarkDiscovery(small_world, geocoder, overpass, validator)
+        anchor = small_world.anchors[0]
+        region = cbg_region([Circle(anchor.true_location, 300.0)])
+        landmarks, _stats = discovery.discover(
+            anchor.true_location, region, 5.0, 36.0, tier=2, max_landmarks=3
+        )
+        assert len(landmarks) <= 3
+
+    def test_stats_merge(self):
+        from repro.landmarks.discovery import DiscoveryStats
+
+        a = DiscoveryStats(geocode_queries=2, rejected_by={"cdn": 1})
+        b = DiscoveryStats(geocode_queries=3, rejected_by={"cdn": 2, "zipcode": 1})
+        a.merge(b)
+        assert a.geocode_queries == 5
+        assert a.rejected_by == {"cdn": 3, "zipcode": 1}

@@ -1,0 +1,163 @@
+"""Tests for the latency engine: physical validity and scalar/bulk parity."""
+
+import numpy as np
+import pytest
+
+from repro.constants import distance_to_min_rtt_ms
+from repro.latency.speed import SOI_KM_PER_MS, km_per_ms
+
+
+@pytest.fixture(scope="module")
+def model(small_platform):
+    return small_platform.latency
+
+
+class TestSpeed:
+    def test_km_per_ms_known(self):
+        assert km_per_ms(1.0) == pytest.approx(299.792458)
+        assert SOI_KM_PER_MS == pytest.approx(299.792458 * 2 / 3)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            km_per_ms(0.0)
+        with pytest.raises(ValueError):
+            km_per_ms(1.5)
+
+
+class TestPing:
+    def test_rtt_never_violates_speed_of_internet(self, small_world, model):
+        """The foundational CBG assumption: RTT >= physical minimum."""
+        for probe in small_world.probes[:60]:
+            for anchor in small_world.anchors[:5]:
+                observation = model.ping(probe, anchor)
+                if observation.min_rtt_ms is None:
+                    continue
+                direct = probe.true_location.distance_km(anchor.true_location)
+                assert observation.min_rtt_ms >= distance_to_min_rtt_ms(direct) - 1e-9
+
+    def test_ping_deterministic(self, small_world, model):
+        a = model.ping(small_world.probes[0], small_world.anchors[0], seq=4)
+        b = model.ping(small_world.probes[0], small_world.anchors[0], seq=4)
+        assert a == b
+
+    def test_distinct_seq_distinct_jitter(self, small_world, model):
+        a = model.ping(small_world.probes[0], small_world.anchors[0], seq=0)
+        b = model.ping(small_world.probes[0], small_world.anchors[0], seq=1)
+        assert a.rtts_ms != b.rtts_ms
+
+    def test_unresponsive_target_times_out(self, small_world, model):
+        from repro.world.hosts import HostKind
+
+        silent = next(
+            h
+            for h in small_world.hosts
+            if h.kind is HostKind.REPRESENTATIVE and not h.responsive
+        )
+        observation = model.ping(small_world.probes[0], silent)
+        assert observation.min_rtt_ms is None
+        assert not observation.responded
+
+    def test_min_is_min_of_packets(self, small_world, model):
+        observation = model.ping(small_world.probes[1], small_world.anchors[1], packets=5)
+        received = [r for r in observation.rtts_ms if r is not None]
+        assert observation.min_rtt_ms == min(received)
+
+    def test_packets_must_be_positive(self, small_world, model):
+        with pytest.raises(ValueError):
+            model.ping(small_world.probes[0], small_world.anchors[0], packets=0)
+
+    def test_last_mile_hurts(self, small_world, model):
+        """Two co-located probes: the one with worse last mile sees higher base RTT."""
+        from dataclasses import replace
+
+        probe = small_world.probes[0]
+        target = small_world.anchors[0]
+        params = model.topology.params_for(probe)
+        fat = replace(params, last_mile_ms=params.last_mile_ms + 10.0)
+        base_thin = model.base_rtt_ms(params, model.topology.params_for(target))
+        base_fat = model.base_rtt_ms(fat, model.topology.params_for(target))
+        assert base_fat == pytest.approx(base_thin + 10.0)
+
+
+class TestBulkParity:
+    def test_bulk_matches_scalar(self, small_world, model):
+        src_ids = np.array([p.host_id for p in small_world.probes[:150]])
+        target = small_world.anchors[2]
+        bulk = model.bulk_min_rtt(src_ids, target, seq=3)
+        for row, probe in enumerate(small_world.probes[:150]):
+            scalar = model.ping(probe, target, seq=3).min_rtt_ms
+            if scalar is None:
+                assert np.isnan(bulk[row])
+            else:
+                assert bulk[row] == pytest.approx(scalar, abs=1e-9)
+
+    def test_unresponsive_bulk_all_nan(self, small_world, model):
+        from repro.world.hosts import HostKind
+
+        silent = next(
+            h
+            for h in small_world.hosts
+            if h.kind is HostKind.REPRESENTATIVE and not h.responsive
+        )
+        src_ids = np.array([p.host_id for p in small_world.probes[:10]])
+        assert np.isnan(model.bulk_min_rtt(src_ids, silent)).all()
+
+    def test_matrix_shape(self, small_world, model):
+        src_ids = [p.host_id for p in small_world.probes[:20]]
+        targets = small_world.anchors[:4]
+        matrix = model.min_rtt_matrix(src_ids, targets)
+        assert matrix.shape == (20, 4)
+
+
+class TestTraceroute:
+    def test_destination_rtt_matches_ping_base(self, small_world, model):
+        """The traceroute's destination hop uses the ping delay model."""
+        probe, anchor = small_world.probes[0], small_world.anchors[0]
+        trace = model.traceroute(probe, anchor, seq=9)
+        ping = model.ping(probe, anchor, packets=1, seq=9)
+        assert trace.reached
+        assert trace.destination_rtt_ms == pytest.approx(ping.rtts_ms[0])
+
+    def test_hops_end_with_destination(self, small_world, model):
+        probe, anchor = small_world.probes[1], small_world.anchors[1]
+        trace = model.traceroute(probe, anchor)
+        assert trace.hops[-1].ip == anchor.ip
+
+    def test_unresponsive_destination_not_reached(self, small_world, model):
+        from repro.world.hosts import HostKind
+
+        silent = next(
+            h
+            for h in small_world.hosts
+            if h.kind is HostKind.REPRESENTATIVE and not h.responsive
+        )
+        trace = model.traceroute(small_world.probes[0], silent)
+        assert not trace.reached
+        assert trace.destination_rtt_ms is None
+        assert all(hop.ip != silent.ip for hop in trace.hops)
+
+    def test_rtt_to_finds_hop(self, small_world, model):
+        probe, anchor = small_world.probes[2], small_world.anchors[2]
+        trace = model.traceroute(probe, anchor)
+        hop = trace.hops[1]
+        assert trace.rtt_to(hop.ip) == hop.rtt_ms
+        assert trace.rtt_to("203.0.113.1") is None
+
+    def test_deterministic(self, small_world, model):
+        a = model.traceroute(small_world.probes[0], small_world.anchors[0], seq=2)
+        b = model.traceroute(small_world.probes[0], small_world.anchors[0], seq=2)
+        assert a == b
+
+    def test_hop_rtts_positive(self, small_world, model):
+        for probe in small_world.probes[:20]:
+            trace = model.traceroute(probe, small_world.anchors[0])
+            assert all(hop.rtt_ms > 0 for hop in trace.hops)
+
+
+class TestFiberFactor:
+    def test_symmetric_and_bounded(self, small_world, model):
+        config = small_world.config
+        for a, b in [(1, 2), (10, 500), (7, 7)]:
+            factor = model.fiber_factor(a, b)
+            assert config.fiber_factor_min <= factor <= config.fiber_factor_max
+            assert factor == model.fiber_factor(b, a)

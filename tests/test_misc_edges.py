@@ -1,0 +1,156 @@
+"""Edge-case tests across small modules: errors, outputs, fallbacks."""
+
+import numpy as np
+import pytest
+
+from repro import errors
+from repro.experiments.base import ExperimentOutput
+
+
+class TestErrorHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in (
+            "ConfigurationError",
+            "MeasurementError",
+            "CreditExhaustedError",
+            "RateLimitError",
+            "UnknownHostError",
+            "GeolocationError",
+            "EmptyRegionError",
+        ):
+            assert issubclass(getattr(errors, name), errors.ReproError)
+
+    def test_specific_parents(self):
+        assert issubclass(errors.CreditExhaustedError, errors.MeasurementError)
+        assert issubclass(errors.EmptyRegionError, errors.GeolocationError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.EmptyRegionError("no region")
+
+
+class TestExperimentOutput:
+    def test_render_without_expected(self):
+        output = ExperimentOutput("x1", "title", "table-body")
+        text = output.render()
+        assert "x1" in text and "table-body" in text
+        assert "paper vs measured" not in text
+
+    def test_render_with_expected(self):
+        output = ExperimentOutput(
+            "x2", "title", "body", measured={"a": 1.234}, expected={"a": 1.0}
+        )
+        text = output.render()
+        assert "paper=1.0" in text
+        assert "measured=1.23" in text
+
+    def test_render_handles_missing_measured(self):
+        output = ExperimentOutput("x3", "t", "b", expected={"gone": 5.0})
+        assert "measured=None" in output.render()
+
+
+class TestStreetLevelFallbacks:
+    def test_tier1_soi_fallback(self, small_scenario):
+        """Impossible 4/9c constraints must fall back to 2/3c."""
+        from repro.atlas.platform import ProbeInfo
+        from repro.constants import SOI_FRACTION_CBG, distance_to_min_rtt_ms
+        from repro.core.street_level import StreetLevelPipeline
+        from repro.geo.coords import GeoPoint, destination
+
+        pipeline = StreetLevelPipeline(small_scenario.client, small_scenario.world)
+        # Two VPs 2000 km apart whose RTTs admit a 2/3c intersection but
+        # not a 4/9c one: radius at 2/3c ~ 1100 km each (overlap), at 4/9c
+        # ~ 733 km each (no overlap).
+        a = GeoPoint(10.0, 10.0)
+        b = destination(a, 90.0, 2000.0)
+        rtt = distance_to_min_rtt_ms(1100.0, SOI_FRACTION_CBG)
+        vps = [
+            ProbeInfo(1, "10.0.0.1", a, 65001, True, 300.0),
+            ProbeInfo(2, "10.0.0.2", b, 65002, True, 300.0),
+        ]
+        result, region, used_fallback = pipeline._tier1(
+            "10.9.9.9", vps, {1: rtt, 2: rtt}
+        )
+        assert used_fallback
+        assert result.estimate is not None
+        assert region is not None
+
+    def test_geolocate_raises_without_answers(self, small_scenario):
+        from repro.core.street_level import StreetLevelPipeline
+        from repro.errors import GeolocationError
+
+        pipeline = StreetLevelPipeline(small_scenario.client, small_scenario.world)
+        anchors = small_scenario.anchor_vp_infos()
+        with pytest.raises(GeolocationError):
+            pipeline.geolocate(
+                "203.0.113.1", anchors, {vp.probe_id: None for vp in anchors}
+            )
+
+
+class TestWorldQueries:
+    def test_pois_near_radius(self, small_world):
+        anchor = small_world.anchors[0]
+        nearby = small_world.pois_near(anchor.true_location, 10.0)
+        for poi in nearby:
+            assert poi.location.distance_km(anchor.true_location) <= 10.0
+        wider = small_world.pois_near(anchor.true_location, 30.0)
+        assert len(wider) >= len(nearby)
+
+    def test_register_host_guards(self, small_world):
+        from repro.world.hosts import Host, HostKind
+        from repro.geo.coords import GeoPoint
+
+        existing = small_world.hosts[0]
+        clone = Host(
+            host_id=small_world.next_host_id(),
+            ip=existing.ip,  # duplicate address
+            kind=HostKind.WEBSERVER,
+            true_location=GeoPoint(0, 0),
+            recorded_location=GeoPoint(0, 0),
+            city_id=0,
+            asn=existing.asn,
+            last_mile_ms=0.1,
+        )
+        with pytest.raises(ValueError):
+            small_world.register_host(clone)
+
+    def test_continent_of_ip(self, small_world):
+        anchor = small_world.anchors[0]
+        assert small_world.continent_of_ip(anchor.ip) in (
+            "EU",
+            "NA",
+            "AS",
+            "SA",
+            "OC",
+            "AF",
+        )
+
+    def test_negative_last_mile_rejected(self):
+        from repro.world.hosts import Host, HostKind
+        from repro.geo.coords import GeoPoint
+
+        with pytest.raises(ValueError):
+            Host(
+                host_id=0,
+                ip="10.0.0.1",
+                kind=HostKind.PROBE,
+                true_location=GeoPoint(0, 0),
+                recorded_location=GeoPoint(0, 0),
+                city_id=0,
+                asn=1,
+                last_mile_ms=-1.0,
+            )
+
+
+class TestResultsType:
+    def test_error_km_none_without_estimate(self):
+        from repro.core.results import GeolocationResult
+        from repro.geo.coords import GeoPoint
+
+        result = GeolocationResult("10.0.0.1", None, "cbg")
+        assert result.error_km(GeoPoint(0, 0)) is None
+
+    def test_details_default_empty(self):
+        from repro.core.results import GeolocationResult
+
+        assert GeolocationResult("10.0.0.1", None, "cbg").details == {}

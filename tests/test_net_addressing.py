@@ -1,0 +1,119 @@
+"""Tests for IPv4 addressing primitives and allocation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.net.addressing import (
+    AddressAllocator,
+    Prefix,
+    Slash24Pool,
+    int_to_ip,
+    ip_to_int,
+    prefix24_of,
+    same_prefix24,
+)
+
+
+class TestConversions:
+    def test_known_values(self):
+        assert ip_to_int("0.0.0.0") == 0
+        assert ip_to_int("1.2.3.4") == 0x01020304
+        assert int_to_ip(0x01020304) == "1.2.3.4"
+        assert int_to_ip(0xFFFFFFFF) == "255.255.255.255"
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    @settings(max_examples=200, deadline=None)
+    def test_round_trip(self, value):
+        assert ip_to_int(int_to_ip(value)) == value
+
+    def test_invalid_strings(self):
+        for bad in ("1.2.3", "1.2.3.4.5", "a.b.c.d", "1.2.3.256", ""):
+            with pytest.raises(ValueError):
+                ip_to_int(bad)
+
+    def test_invalid_int(self):
+        with pytest.raises(ValueError):
+            int_to_ip(-1)
+        with pytest.raises(ValueError):
+            int_to_ip(2**32)
+
+
+class TestPrefix:
+    def test_contains(self):
+        prefix = Prefix.parse("10.1.2.0/24")
+        assert prefix.contains("10.1.2.99")
+        assert not prefix.contains("10.1.3.1")
+
+    def test_misaligned_base_rejected(self):
+        with pytest.raises(ValueError):
+            Prefix(ip_to_int("10.1.2.1"), 24)
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            Prefix(0, 33)
+
+    def test_size(self):
+        assert Prefix.parse("10.0.0.0/24").size == 256
+        assert Prefix.parse("10.0.0.0/16").size == 65536
+
+    def test_str_round_trip(self):
+        prefix = Prefix.parse("192.168.4.0/22")
+        assert Prefix.parse(str(prefix)) == prefix
+
+    def test_addresses_enumeration(self):
+        prefix = Prefix.parse("10.0.0.0/30")
+        assert list(prefix.addresses()) == [
+            "10.0.0.0",
+            "10.0.0.1",
+            "10.0.0.2",
+            "10.0.0.3",
+        ]
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Prefix.parse("10.0.0.0")
+
+    def test_ordering(self):
+        assert Prefix.parse("10.0.0.0/24") < Prefix.parse("10.0.1.0/24")
+
+
+class TestPrefix24Helpers:
+    def test_prefix24_of(self):
+        assert str(prefix24_of("10.1.2.34")) == "10.1.2.0/24"
+
+    def test_same_prefix24(self):
+        assert same_prefix24("10.1.2.3", "10.1.2.254")
+        assert not same_prefix24("10.1.2.3", "10.1.3.3")
+
+
+class TestAllocator:
+    def test_disjoint_slash16s(self):
+        allocator = AddressAllocator()
+        a = allocator.allocate_slash16()
+        b = allocator.allocate_slash16()
+        assert a != b
+        assert not a.contains_int(b.base)
+
+    def test_first_octet_bounds(self):
+        with pytest.raises(ConfigurationError):
+            AddressAllocator(first_octet=0)
+        with pytest.raises(ConfigurationError):
+            AddressAllocator(first_octet=240)
+
+    def test_slash24_pool_disjoint(self):
+        allocator = AddressAllocator()
+        pool = Slash24Pool(allocator)
+        prefixes = [pool.allocate_slash24() for _ in range(300)]
+        assert len(set(prefixes)) == 300
+        # 300 /24s require two /16 blocks.
+        assert len(pool.blocks) == 2
+
+    def test_two_pools_never_collide(self):
+        allocator = AddressAllocator()
+        pool_a = Slash24Pool(allocator)
+        pool_b = Slash24Pool(allocator)
+        a = {pool_a.allocate_slash24() for _ in range(10)}
+        b = {pool_b.allocate_slash24() for _ in range(10)}
+        assert not a & b

@@ -1,0 +1,53 @@
+"""Tests for the BGP prefix table."""
+
+import pytest
+
+from repro.net.addressing import Prefix
+from repro.net.bgp import PrefixTable
+
+
+@pytest.fixture
+def table() -> PrefixTable:
+    t = PrefixTable()
+    t.announce(Prefix.parse("10.0.0.0/16"), 65001)
+    t.announce(Prefix.parse("10.0.4.0/24"), 65002)
+    t.announce(Prefix.parse("192.168.0.0/24"), 65003)
+    return t
+
+
+class TestPrefixTable:
+    def test_longest_prefix_wins(self, table):
+        assert table.origin_asn("10.0.4.7") == 65002
+        assert table.origin_asn("10.0.5.7") == 65001
+
+    def test_miss_returns_none(self, table):
+        assert table.lookup("8.8.8.8") is None
+        assert table.origin_asn("8.8.8.8") is None
+
+    def test_covering_prefix(self, table):
+        assert str(table.covering_prefix("10.0.4.1")) == "10.0.4.0/24"
+        assert str(table.covering_prefix("10.0.9.1")) == "10.0.0.0/16"
+
+    def test_same_bgp_prefix(self, table):
+        assert table.same_bgp_prefix("10.0.4.1", "10.0.4.200")
+        assert not table.same_bgp_prefix("10.0.4.1", "10.0.5.1")
+        assert not table.same_bgp_prefix("8.8.8.8", "8.8.4.4")
+
+    def test_replace_announcement(self, table):
+        table.announce(Prefix.parse("10.0.4.0/24"), 65099)
+        assert table.origin_asn("10.0.4.7") == 65099
+        assert len(table) == 3  # replaced, not added
+
+    def test_invalid_asn_rejected(self, table):
+        with pytest.raises(ValueError):
+            table.announce(Prefix.parse("10.9.0.0/16"), 0)
+
+    def test_iteration(self, table):
+        entries = list(table)
+        assert len(entries) == 3
+        assert all(asn > 0 for _prefix, asn in entries)
+
+    def test_default_route(self):
+        t = PrefixTable()
+        t.announce(Prefix(0, 0), 65000)
+        assert t.origin_asn("1.2.3.4") == 65000

@@ -1,0 +1,87 @@
+"""Tests for the DNS resolver and CDN detection surface."""
+
+import pytest
+
+from repro.errors import UnknownHostError
+from repro.net.asn import ASRecord, ASDB_CATEGORIES, CAIDA_TYPES
+from repro.net.dns import DnsRecord, DnsResolver
+
+
+class TestDnsRecord:
+    def test_direct_record_not_cdn(self):
+        record = DnsRecord("www.example.org", "10.0.0.1")
+        assert not record.behind_cdn
+        assert record.final_name == "www.example.org"
+
+    def test_cdn_cname_detected(self):
+        record = DnsRecord(
+            "www.example.org",
+            "10.0.0.1",
+            cname_chain=("www.example.org.pop.anycastweb.org",),
+        )
+        assert record.behind_cdn
+        assert record.final_name.endswith("anycastweb.org")
+
+    def test_non_cdn_cname(self):
+        record = DnsRecord(
+            "www.example.org", "10.0.0.1", cname_chain=("lb.example.org",)
+        )
+        assert not record.behind_cdn
+
+
+class TestDnsResolver:
+    def test_register_and_resolve(self):
+        resolver = DnsResolver()
+        resolver.register(DnsRecord("a.example", "10.0.0.1"))
+        assert resolver.resolve("a.example").ip == "10.0.0.1"
+
+    def test_unknown_raises(self):
+        resolver = DnsResolver()
+        with pytest.raises(UnknownHostError):
+            resolver.resolve("missing.example")
+
+    def test_try_resolve_returns_none(self):
+        assert DnsResolver().try_resolve("missing.example") is None
+
+    def test_replacement(self):
+        resolver = DnsResolver()
+        resolver.register(DnsRecord("a.example", "10.0.0.1"))
+        resolver.register(DnsRecord("a.example", "10.0.0.2"))
+        assert resolver.resolve("a.example").ip == "10.0.0.2"
+        assert len(resolver) == 1
+
+
+class TestASRecord:
+    def test_valid_record(self):
+        record = ASRecord(65001, "AS-test", "Access", ASDB_CATEGORIES[0], "EU00")
+        assert record.is_eyeball
+        assert not record.is_transit
+
+    def test_tier1_is_transit(self):
+        record = ASRecord(65001, "t1", "Tier-1", ASDB_CATEGORIES[0], "EU00")
+        assert record.is_transit
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(ValueError):
+            ASRecord(65001, "x", "Eyeball", ASDB_CATEGORIES[0], "EU00")
+
+    def test_bad_category_rejected(self):
+        with pytest.raises(ValueError):
+            ASRecord(65001, "x", "Access", "Nonsense", "EU00")
+
+    def test_bad_asn_rejected(self):
+        with pytest.raises(ValueError):
+            ASRecord(0, "x", "Access", ASDB_CATEGORIES[0], "EU00")
+
+    def test_caida_types_cover_table2(self):
+        assert set(CAIDA_TYPES) == {
+            "Content",
+            "Access",
+            "Transit/Access",
+            "Enterprise",
+            "Tier-1",
+            "Unknown",
+        }
+
+    def test_asdb_has_16_categories(self):
+        assert len(ASDB_CATEGORIES) == 16

@@ -1,0 +1,73 @@
+"""Tests for the hitlist and representative selection (§4.1.3)."""
+
+import pytest
+
+from repro.net.addressing import prefix24_of, same_prefix24
+from repro.net.hitlist import Hitlist, HitlistEntry
+
+
+class TestHitlistEntry:
+    def test_score_bounds(self):
+        with pytest.raises(ValueError):
+            HitlistEntry("1.2.3.4", 100)
+        with pytest.raises(ValueError):
+            HitlistEntry("1.2.3.4", -1)
+
+    def test_responsive(self):
+        assert HitlistEntry("1.2.3.4", 50).responsive
+        assert not HitlistEntry("1.2.3.4", 0).responsive
+
+
+class TestRepresentatives:
+    def test_highest_scores_win(self):
+        hitlist = Hitlist()
+        hitlist.add("10.0.0.10", 90)
+        hitlist.add("10.0.0.20", 50)
+        hitlist.add("10.0.0.30", 70)
+        hitlist.add("10.0.0.40", 10)
+        reps = hitlist.representatives("10.0.0.99", count=3)
+        assert reps == ["10.0.0.10", "10.0.0.30", "10.0.0.20"]
+
+    def test_target_itself_excluded(self):
+        hitlist = Hitlist()
+        hitlist.add("10.0.0.10", 90)
+        hitlist.add("10.0.0.20", 80)
+        hitlist.add("10.0.0.30", 70)
+        hitlist.add("10.0.0.40", 60)
+        reps = hitlist.representatives("10.0.0.10", count=3)
+        assert "10.0.0.10" not in reps
+        assert len(reps) == 3
+
+    def test_filler_addresses_in_same_slash24(self):
+        hitlist = Hitlist(seed=3)
+        hitlist.add("10.0.0.10", 90)  # only one responsive address
+        reps = hitlist.representatives("10.0.0.99", count=3)
+        assert len(reps) == 3
+        assert len(set(reps)) == 3
+        for rep in reps:
+            assert same_prefix24(rep, "10.0.0.99")
+            assert rep != "10.0.0.99"
+
+    def test_empty_prefix_all_fillers(self):
+        hitlist = Hitlist(seed=1)
+        reps = hitlist.representatives("172.30.1.1", count=3)
+        assert len(set(reps)) == 3
+        assert all(same_prefix24(rep, "172.30.1.1") for rep in reps)
+
+    def test_deterministic(self):
+        a = Hitlist(seed=5)
+        b = Hitlist(seed=5)
+        assert a.representatives("10.1.1.1") == b.representatives("10.1.1.1")
+
+    def test_entries_for_sorted(self):
+        hitlist = Hitlist()
+        hitlist.add("10.0.0.1", 10)
+        hitlist.add("10.0.0.2", 99)
+        entries = hitlist.entries_for(prefix24_of("10.0.0.1"))
+        assert [e.score for e in entries] == [99, 10]
+
+    def test_len(self):
+        hitlist = Hitlist()
+        hitlist.add("10.0.0.1", 10)
+        hitlist.add("10.0.1.1", 20)
+        assert len(hitlist) == 2

@@ -1,0 +1,147 @@
+"""Cross-cutting property-based tests (hypothesis)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import (
+    SOI_FRACTION_CBG,
+    SOI_FRACTION_STREET_LEVEL,
+    distance_to_min_rtt_ms,
+    rtt_to_distance_km,
+)
+from repro.geo.coords import GeoPoint, destination, haversine_km
+from repro.geo.regions import Circle, cbg_region
+from repro.geo.sampling import circle_points
+
+LATS = st.floats(min_value=-80.0, max_value=80.0)
+LONS = st.floats(min_value=-179.0, max_value=179.0)
+RADII = st.floats(min_value=10.0, max_value=5000.0)
+
+
+class TestConversionProperties:
+    @given(st.floats(min_value=0.0, max_value=500.0))
+    @settings(max_examples=100, deadline=None)
+    def test_rtt_distance_monotone(self, rtt):
+        assert rtt_to_distance_km(rtt) <= rtt_to_distance_km(rtt + 1.0)
+
+    @given(st.floats(min_value=0.0, max_value=200.0))
+    @settings(max_examples=100, deadline=None)
+    def test_street_speed_never_exceeds_cbg_speed(self, rtt):
+        assert rtt_to_distance_km(rtt, SOI_FRACTION_STREET_LEVEL) <= rtt_to_distance_km(
+            rtt, SOI_FRACTION_CBG
+        )
+
+    @given(st.floats(min_value=0.0, max_value=19000.0))
+    @settings(max_examples=100, deadline=None)
+    def test_conversion_inverse(self, distance):
+        rtt = distance_to_min_rtt_ms(distance)
+        assert rtt_to_distance_km(rtt) == pytest.approx(distance, rel=1e-9, abs=1e-9)
+
+
+class TestRegionProperties:
+    @given(LATS, LONS, RADII)
+    @settings(max_examples=40, deadline=None)
+    def test_single_circle_centroid_inside(self, lat, lon, radius):
+        circle = Circle(GeoPoint(lat, lon), radius)
+        region = cbg_region([circle])
+        assert circle.contains(region.centroid, tolerance_km=radius * 0.05 + 1.0)
+
+    @given(LATS, LONS, RADII, st.floats(min_value=0.0, max_value=359.0))
+    @settings(max_examples=40, deadline=None)
+    def test_two_overlapping_circles_feasible_centroid(self, lat, lon, radius, bearing):
+        a = GeoPoint(lat, lon)
+        b = destination(a, bearing, radius)  # centers one radius apart
+        circles = [Circle(a, radius), Circle(b, radius)]
+        region = cbg_region(circles)
+        for circle in circles:
+            assert circle.contains(region.centroid, tolerance_km=radius * 0.05 + 1.0)
+
+    @given(LATS, LONS, st.floats(min_value=1.0, max_value=500.0), st.integers(min_value=1, max_value=12))
+    @settings(max_examples=40, deadline=None)
+    def test_circle_points_equidistant(self, lat, lon, radius, divisions):
+        center = GeoPoint(lat, lon)
+        alpha = 360.0 / divisions
+        points = circle_points(center, radius, alpha)
+        assert len(points) == divisions
+        for point in points:
+            assert center.distance_km(point) == pytest.approx(radius, rel=1e-6)
+
+
+def _cached_scenario():
+    from repro.experiments.scenario import get_scenario
+
+    return get_scenario("small")
+
+
+class TestLatencyProperties:
+    @given(st.integers(min_value=0, max_value=30), st.integers(min_value=0, max_value=30))
+    @settings(max_examples=30, deadline=None)
+    def test_ping_soi_bound_random_pairs(self, src_index, dst_index):
+        scenario = _cached_scenario()
+        model = scenario.platform.latency
+        probes = scenario.world.probes
+        anchors = scenario.world.anchors
+        src = probes[src_index % len(probes)]
+        dst = anchors[dst_index % len(anchors)]
+        observation = model.ping(src, dst)
+        if observation.min_rtt_ms is not None:
+            direct = src.true_location.distance_km(dst.true_location)
+            assert observation.min_rtt_ms >= distance_to_min_rtt_ms(direct) - 1e-9
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=50, deadline=None)
+    def test_fiber_factor_bounds(self, pair_seed):
+        scenario = _cached_scenario()
+        model = scenario.platform.latency
+        config = scenario.world.config
+        factor = model.fiber_factor(pair_seed, pair_seed * 7 + 1)
+        assert config.fiber_factor_min <= factor <= config.fiber_factor_max
+
+
+class TestMetricsProperties:
+    @given(
+        st.lists(
+            st.one_of(st.none(), st.floats(min_value=0.0, max_value=1e5)),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_fraction_within_monotone_in_threshold(self, values):
+        from repro.analysis import fraction_within
+
+        assert fraction_within(values, 10.0) <= fraction_within(values, 1000.0)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e5), min_size=1, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_cdf_points_are_a_cdf(self, values):
+        from repro.analysis import cdf_points
+
+        xs, ys = cdf_points(values)
+        assert list(xs) == sorted(xs)
+        assert list(ys) == sorted(ys)
+        assert ys[-1] == pytest.approx(1.0)
+
+
+class TestAddressProperties:
+    @given(st.integers(min_value=0, max_value=(1 << 24) - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_router_ip_round_trip(self, index):
+        from repro.topology.routers import RouterRole, parse_router_ip, router_ip
+
+        for role in RouterRole:
+            assert parse_router_ip(router_ip(role, index)) == (role, index)
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFF00 >> 8))
+    @settings(max_examples=100, deadline=None)
+    def test_prefix24_alignment(self, base_high):
+        from repro.net.addressing import Prefix, int_to_ip, prefix24_of
+
+        base = base_high << 8
+        prefix = Prefix(base, 24)
+        for offset in (0, 1, 255):
+            assert prefix24_of(int_to_ip(base + offset)) == prefix

@@ -1,0 +1,140 @@
+"""Property-based tests over the geolocation algorithms themselves."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.atlas.platform import ProbeInfo
+from repro.constants import distance_to_min_rtt_ms
+from repro.core.cbg import cbg_centroid_fast
+from repro.core.coverage import greedy_coverage_indices
+from repro.core.million_scale import select_closest_vps
+from repro.core.shortest_ping import shortest_ping
+from repro.geo.coords import GeoPoint, destination, haversine_km
+
+LATS = st.floats(min_value=-70.0, max_value=70.0)
+LONS = st.floats(min_value=-170.0, max_value=170.0)
+
+
+def _make_vps(positions):
+    return [
+        ProbeInfo(i, f"10.{i // 256}.{i % 256}.1", GeoPoint(lat, lon), 65000 + i, False, 8.0)
+        for i, (lat, lon) in enumerate(positions)
+    ]
+
+
+class TestShortestPingProperties:
+    @given(
+        st.lists(
+            st.tuples(LATS, LONS, st.floats(min_value=0.1, max_value=300.0)),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_always_picks_global_minimum(self, triples):
+        vps = _make_vps([(lat, lon) for lat, lon, _rtt in triples])
+        rtts = {i: triples[i][2] for i in range(len(triples))}
+        result = shortest_ping("10.99.99.99", vps, rtts)
+        chosen = result.details["min_rtt_ms"]
+        assert chosen == min(rtts.values())
+
+
+class TestSelectionProperties:
+    @given(
+        st.lists(
+            st.one_of(st.none(), st.floats(min_value=0.1, max_value=500.0)),
+            min_size=1,
+            max_size=40,
+        ),
+        st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_select_closest_sorted_and_bounded(self, rtts, k):
+        array = np.array([np.nan if r is None else r for r in rtts])
+        chosen = select_closest_vps(array, k)
+        values = array[chosen]
+        assert list(values) == sorted(values)
+        assert chosen.size <= k
+        defined = np.count_nonzero(~np.isnan(array))
+        assert chosen.size == min(k, defined)
+
+    @given(
+        st.lists(st.tuples(LATS, LONS), min_size=2, max_size=40, unique=True),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_greedy_coverage_valid_subset(self, positions, count):
+        lats = np.array([p[0] for p in positions])
+        lons = np.array([p[1] for p in positions])
+        chosen = greedy_coverage_indices(lats, lons, count)
+        assert len(chosen) == min(count, len(positions))
+        assert len(set(chosen)) == len(chosen)
+        assert all(0 <= index < len(positions) for index in chosen)
+
+
+class TestFastCbgProperties:
+    @given(
+        LATS,
+        LONS,
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=359.9),
+                st.floats(min_value=50.0, max_value=3000.0),
+                st.floats(min_value=1.05, max_value=1.8),
+            ),
+            min_size=1,
+            max_size=15,
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_centroid_error_bounded_by_slackest_consistent_geometry(
+        self, lat, lon, vp_specs
+    ):
+        """With physically valid RTTs, the fast CBG centroid never lands
+        farther from the target than the largest constraint radius."""
+        target = GeoPoint(lat, lon)
+        lats, lons, rtts = [], [], []
+        for bearing, distance, inflation in vp_specs:
+            location = destination(target, bearing, distance)
+            lats.append(location.lat)
+            lons.append(location.lon)
+            rtts.append(distance_to_min_rtt_ms(distance) * inflation)
+        centroid = cbg_centroid_fast(
+            np.array(lats), np.array(lons), np.array(rtts)
+        )
+        assert centroid is not None
+        error = haversine_km(centroid[0], centroid[1], target.lat, target.lon)
+        # The target is feasible for every circle, so the tightest circle
+        # bounds the region: error <= 2 * r_min (diameter), with slack for
+        # the sampling approximation.
+        from repro.constants import rtt_to_distance_km
+
+        r_min = min(rtt_to_distance_km(r) for r in rtts)
+        assert error <= 2.0 * r_min + 50.0
+
+
+def _two_step_fixture():
+    from repro.experiments.scenario import get_scenario
+
+    scenario = get_scenario("small")
+    return scenario, scenario.representative_matrices()[1]
+
+
+class TestTwoStepProperties:
+    @given(st.integers(min_value=5, max_value=30), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_measurement_count_bounds(self, step1_size, seed):
+        from repro.core.two_step import two_step_select
+
+        scenario, rep_median = _two_step_fixture()
+        column = seed % len(scenario.targets)
+        step1 = list(range(step1_size))
+        outcome = two_step_select(
+            scenario.targets[column].ip, scenario.vps, step1, rep_median[:, column]
+        )
+        total_vps = len(scenario.vps)
+        # Lower bound: step-1 pings. Upper bound: every VP probed once + 1.
+        assert outcome.ping_measurements >= step1_size * 3
+        assert outcome.ping_measurements <= total_vps * 3 + 1

@@ -1,0 +1,58 @@
+"""Tests for the seed-robustness sweep utility."""
+
+import math
+
+import pytest
+
+from repro.experiments.sweep import SweepStat, SweepSummary, seed_sweep
+
+
+class TestSweepStat:
+    def test_mean_and_spread(self):
+        stat = SweepStat("x", [1.0, 2.0, 3.0])
+        assert stat.mean == 2.0
+        assert stat.spread == 2.0
+        assert stat.relative_spread == 1.0
+
+    def test_nan_values_skipped(self):
+        stat = SweepStat("x", [1.0, math.nan, 3.0])
+        assert stat.mean == 2.0
+
+    def test_zero_mean_relative_nan(self):
+        stat = SweepStat("x", [-1.0, 1.0])
+        assert math.isnan(stat.relative_spread)
+
+
+class TestSweepSummary:
+    def test_robust_api(self):
+        summary = SweepSummary("exp", [1, 2])
+        summary.stats["a"] = SweepStat("a", [10.0, 11.0])
+        assert summary.robust("a", max_relative_spread=0.2)
+        assert not summary.robust("a", max_relative_spread=0.01)
+        with pytest.raises(KeyError):
+            summary.robust("missing")
+
+    def test_render(self):
+        summary = SweepSummary("exp", [1])
+        summary.stats["a"] = SweepStat("a", [1.0], paper=2.0)
+        text = summary.render()
+        assert "exp" in text and "rel spread" in text
+
+
+class TestSeedSweep:
+    def test_sweep_over_two_seeds(self):
+        """A fast sweep using table2 (cheap, no matrices)."""
+        from repro.experiments.tables import run_table2
+
+        summary = seed_sweep(run_table2, preset="small", seeds=(7, 8))
+        assert summary.experiment_id == "table2"
+        assert summary.seeds == [7, 8]
+        access = summary.stats["combined_access_share"]
+        assert len(access.values) == 2
+        assert all(0.4 < v < 0.95 for v in access.values)
+        # Paper value carried through from the experiment's expected dict.
+        assert access.paper == pytest.approx(0.724)
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError):
+            seed_sweep(lambda s: None, preset="galaxy")

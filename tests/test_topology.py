@@ -1,0 +1,151 @@
+"""Tests for routers, the topology graph, and route construction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.topology.graph import Topology
+from repro.topology.routers import RouterRole, is_router_ip, parse_router_ip, router_ip
+from repro.topology.routing import build_route
+
+
+@pytest.fixture(scope="module")
+def topology(small_platform):
+    return small_platform.topology
+
+
+class TestRouterAddresses:
+    def test_round_trip(self):
+        for role in RouterRole:
+            for index in (0, 1, 255, 65535, 100000):
+                ip = router_ip(role, index)
+                assert parse_router_ip(ip) == (role, index)
+
+    def test_roles_disjoint(self):
+        assert router_ip(RouterRole.METRO, 5) != router_ip(RouterRole.HUB, 5)
+
+    def test_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            router_ip(RouterRole.METRO, 1 << 24)
+
+    def test_is_router_ip(self):
+        assert is_router_ip(router_ip(RouterRole.GATEWAY, 12))
+        assert not is_router_ip("11.0.0.1")
+        assert not is_router_ip("not-an-ip")
+
+    def test_parse_rejects_host_addresses(self):
+        with pytest.raises(ValueError):
+            parse_router_ip("11.0.0.1")
+
+
+class TestPathLengths:
+    def test_path_at_least_direct_distance(self, small_world, topology):
+        hosts = small_world.hosts[: small_world.static_host_count : 37]
+        for a in hosts[:12]:
+            for b in hosts[12:24]:
+                if a.host_id == b.host_id:
+                    continue
+                path = topology.path_km(topology.params_for(a), topology.params_for(b))
+                direct = a.true_location.distance_km(b.true_location)
+                # Tails measure to the metro, so allow metro-offset slack.
+                assert path >= direct - 1e-6 - 2 * 60.0
+
+    def test_path_symmetric(self, small_world, topology):
+        a = small_world.anchors[0]
+        b = small_world.probes[5]
+        ab = topology.path_km(topology.params_for(a), topology.params_for(b))
+        ba = topology.path_km(topology.params_for(b), topology.params_for(a))
+        assert ab == pytest.approx(ba)
+
+    def test_same_city_peered_path_short(self, small_world, topology):
+        # Same host to a same-AS sibling: must route through the metro only.
+        anchor = small_world.anchors[0]
+        reps = [
+            h
+            for h in small_world.hosts
+            if h.city_id == anchor.city_id and h.asn == anchor.asn and h is not anchor
+        ]
+        assert reps, "expected /24 siblings in the anchor's city"
+        params_a = topology.params_for(anchor)
+        params_b = topology.params_for(reps[0])
+        path = topology.path_km(params_a, params_b)
+        assert path == pytest.approx(params_a.tail_km + params_b.tail_km)
+
+    def test_bulk_matches_scalar(self, small_world, topology):
+        dst = small_world.anchors[3]
+        dst_params = topology.params_for(dst)
+        src_ids = np.array([h.host_id for h in small_world.probes[:200]])
+        bulk = topology.bulk_path_km(
+            topology.host_tail_km[src_ids],
+            topology.host_uplink_km[src_ids],
+            topology.host_hub_index[src_ids],
+            small_world.host_city_ids[src_ids],
+            small_world.host_asns[src_ids],
+            dst_params,
+        )
+        for row, src in enumerate(small_world.probes[:200]):
+            scalar = topology.path_km(topology.params_for(src), dst_params)
+            assert bulk[row] == pytest.approx(scalar)
+
+    def test_peering_deterministic(self, topology):
+        first = topology.locally_peered(3, 10001, 10002)
+        assert all(topology.locally_peered(3, 10001, 10002) == first for _ in range(5))
+        # Symmetric in the AS pair.
+        assert topology.locally_peered(3, 10002, 10001) == first
+
+    def test_same_as_always_peered(self, topology):
+        assert topology.locally_peered(0, 10001, 10001)
+
+
+class TestRoutes:
+    def test_route_total_matches_path(self, small_world, topology):
+        pairs = [
+            (small_world.anchors[0], small_world.probes[0]),
+            (small_world.anchors[1], small_world.anchors[2]),
+            (small_world.probes[3], small_world.probes[4]),
+        ]
+        for a, b in pairs:
+            pa, pb = topology.params_for(a), topology.params_for(b)
+            route = build_route(topology, pa, pb, a.ip, b.ip)
+            assert route.total_km == pytest.approx(topology.path_km(pa, pb))
+
+    def test_route_starts_gateway_ends_destination(self, small_world, topology):
+        a, b = small_world.anchors[0], small_world.probes[0]
+        route = build_route(
+            topology, topology.params_for(a), topology.params_for(b), a.ip, b.ip
+        )
+        assert parse_router_ip(route.hops[0].ip)[0] is RouterRole.GATEWAY
+        assert route.hops[-1].ip == b.ip
+
+    def test_cumulative_distances_monotone(self, small_world, topology):
+        a, b = small_world.anchors[0], small_world.probes[10]
+        route = build_route(
+            topology, topology.params_for(a), topology.params_for(b), a.ip, b.ip
+        )
+        cums = [hop.cumulative_km for hop in route.hops]
+        assert cums == sorted(cums)
+
+    def test_shared_prefix_same_source(self, small_world, topology):
+        # Two routes from one VP to hosts in the same remote city must share
+        # their waypoint prefix — the street level last-common-hop premise.
+        vp = small_world.probes[0]
+        city_hosts = [
+            h
+            for h in small_world.anchors
+            if h.city_id != vp.city_id
+        ]
+        target = city_hosts[0]
+        siblings = [h for h in small_world.hosts if h.city_id == target.city_id and h is not target]
+        assert siblings
+        route_a = build_route(
+            topology, topology.params_for(vp), topology.params_for(target), vp.ip, target.ip
+        )
+        route_b = build_route(
+            topology, topology.params_for(vp), topology.params_for(siblings[0]), vp.ip, siblings[0].ip
+        )
+        shared = 0
+        for hop_a, hop_b in zip(route_a.hops, route_b.hops):
+            if hop_a.ip != hop_b.ip:
+                break
+            shared += 1
+        assert shared >= 2  # at least gateway + metro of the VP

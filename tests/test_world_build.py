@@ -1,0 +1,167 @@
+"""Tests for world generation: geography, platform hosts, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.world import CONTINENTS, HostKind, WorldConfig, build_world
+from repro.world.cities import CityIndex
+
+
+class TestConfig:
+    def test_paper_counts(self):
+        config = WorldConfig.paper()
+        assert config.total_anchors == 723 + config.bad_anchors
+
+    def test_validation_catches_bad_shares(self):
+        with pytest.raises(ConfigurationError):
+            WorldConfig(probe_shares={"EU": 0.5})
+
+    def test_validation_catches_inverted_mislocation(self):
+        with pytest.raises(ConfigurationError):
+            WorldConfig(mislocation_min_km=100.0, mislocation_max_km=10.0)
+
+    def test_validation_catches_hosting_overflow(self):
+        with pytest.raises(ConfigurationError):
+            WorldConfig(website_local_share=0.5, website_cloud_share=0.6)
+
+
+class TestGeography:
+    def test_city_counts(self, small_world):
+        config = small_world.config
+        assert len(small_world.cities) == sum(config.cities_per_continent.values())
+
+    def test_cities_inside_continent_boxes(self, small_world):
+        for city in small_world.cities:
+            continent = CONTINENTS[city.continent]
+            assert continent.contains(city.location)
+
+    def test_city_ids_dense(self, small_world):
+        for index, city in enumerate(small_world.cities):
+            assert city.city_id == index
+
+    def test_hubs_are_populous(self, small_world):
+        populations = [small_world.city(cid).population for cid in small_world.hub_city_ids]
+        median_all = np.median([c.population for c in small_world.cities])
+        assert np.median(populations) > median_all
+
+    def test_city_index_nearest(self, small_world):
+        city = small_world.cities[5]
+        index = CityIndex(small_world.cities)
+        nearest = index.nearest(city.location)
+        assert nearest is not None
+        assert nearest.city_id == city.city_id
+
+    def test_zipcodes_stable_within_cell(self, small_world):
+        city = small_world.cities[0]
+        assert city.zipcode_at(city.location) == city.zipcode_at(city.location)
+
+    def test_zipcodes_differ_across_city(self, small_world):
+        from repro.geo.coords import destination
+
+        city = small_world.cities[0]
+        far = destination(city.location, 90.0, 3 * city.zipcode_cell_km)
+        assert city.zipcode_at(city.location) != city.zipcode_at(far)
+
+
+class TestPlatformHosts:
+    def test_anchor_count(self, small_world):
+        config = small_world.config
+        assert len(small_world.anchors) == config.total_anchors
+
+    def test_probe_count(self, small_world):
+        assert len(small_world.probes) == small_world.config.probes_total
+
+    def test_bad_host_counts(self, small_world):
+        config = small_world.config
+        assert sum(1 for a in small_world.anchors if a.mislocated) == config.bad_anchors
+        assert sum(1 for p in small_world.probes if p.mislocated) == config.bad_probes
+
+    def test_mislocated_hosts_really_far(self, small_world):
+        for host in small_world.anchors + small_world.probes:
+            if host.mislocated:
+                assert host.geolocation_error_km >= small_world.config.mislocation_min_km * 0.9
+
+    def test_anchor_continent_quotas(self, small_world):
+        config = small_world.config
+        good = [a for a in small_world.anchors if not a.mislocated]
+        by_continent = {}
+        for anchor in good:
+            code = small_world.city_of_host(anchor).continent
+            by_continent[code] = by_continent.get(code, 0) + 1
+        assert by_continent == dict(config.anchor_quotas)
+
+    def test_unique_ips(self, small_world):
+        ips = [h.ip for h in small_world.hosts]
+        assert len(ips) == len(set(ips))
+
+    def test_representatives_share_anchor_prefix(self, small_world):
+        from repro.net.addressing import same_prefix24
+
+        reps = small_world.hosts_of_kind(HostKind.REPRESENTATIVE)
+        anchors_by_prefix = {}
+        for anchor in small_world.anchors:
+            anchors_by_prefix[anchor.ip.rsplit(".", 1)[0]] = anchor
+        for rep in reps[:50]:
+            anchor = anchors_by_prefix.get(rep.ip.rsplit(".", 1)[0])
+            assert anchor is not None
+            assert same_prefix24(rep.ip, anchor.ip)
+            # Representatives are physically near their anchor.
+            assert rep.true_location.distance_km(anchor.true_location) < 30.0
+
+    def test_hitlist_covers_most_anchor_prefixes(self, small_world):
+        covered = 0
+        for anchor in small_world.anchors:
+            from repro.net.addressing import prefix24_of
+
+            if small_world.hitlist.entries_for(prefix24_of(anchor.ip)):
+                covered += 1
+        # All but the deliberately underpopulated prefixes have entries.
+        assert covered >= len(small_world.anchors) - small_world.config.underpopulated_prefixes * 2
+
+    def test_host_lookup_by_ip(self, small_world):
+        anchor = small_world.anchors[0]
+        assert small_world.host(anchor.ip) is anchor
+
+    def test_unknown_ip_raises(self, small_world):
+        from repro.errors import UnknownHostError
+
+        with pytest.raises(UnknownHostError):
+            small_world.host("203.0.113.7")
+
+
+class TestDeterminism:
+    def test_same_seed_same_world(self):
+        a = build_world(WorldConfig.small(seed=123))
+        b = build_world(WorldConfig.small(seed=123))
+        assert [h.ip for h in a.hosts] == [h.ip for h in b.hosts]
+        assert [h.true_location for h in a.hosts[:50]] == [
+            h.true_location for h in b.hosts[:50]
+        ]
+
+    def test_different_seed_different_world(self):
+        a = build_world(WorldConfig.small(seed=123))
+        b = build_world(WorldConfig.small(seed=124))
+        assert [h.ip for h in a.hosts] != [h.ip for h in b.hosts] or [
+            h.true_location for h in a.hosts[:20]
+        ] != [h.true_location for h in b.hosts[:20]]
+
+
+class TestASFabric:
+    def test_as_count(self, small_world):
+        assert len(small_world.ases) == small_world.config.total_ases
+
+    def test_probe_as_mix_dominated_by_access(self, small_world):
+        counts = {}
+        for probe in small_world.probes:
+            kind = small_world.as_of_host(probe).caida_type
+            counts[kind] = counts.get(kind, 0) + 1
+        assert counts["Access"] / len(small_world.probes) > 0.6
+
+    def test_every_host_as_exists(self, small_world):
+        for host in small_world.hosts[:200]:
+            assert host.asn in small_world.ases
+
+    def test_bgp_covers_host_addresses(self, small_world):
+        for host in list(small_world.anchors)[:30]:
+            assert small_world.bgp.origin_asn(host.ip) == host.asn

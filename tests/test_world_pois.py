@@ -1,0 +1,103 @@
+"""Tests for lazy POI/website materialisation and the web directory."""
+
+import pytest
+
+from repro.world.pois import AMENITY_CATEGORIES, HostingKind
+
+
+class TestLazyMaterialisation:
+    def test_pois_cached(self, small_world):
+        city_id = small_world.anchors[0].city_id
+        first = small_world.pois_of_city(city_id)
+        second = small_world.pois_of_city(city_id)
+        assert first is second
+
+    def test_poi_fields(self, small_world):
+        city_id = small_world.anchors[0].city_id
+        for poi in small_world.pois_of_city(city_id)[:30]:
+            assert poi.category in AMENITY_CATEGORIES
+            assert poi.city_id == city_id
+            assert poi.zipcode
+
+    def test_poi_ids_unique(self, small_world):
+        ids = set()
+        for city in small_world.cities[:10]:
+            for poi in small_world.pois_of_city(city.city_id):
+                assert poi.poi_id not in ids
+                ids.add(poi.poi_id)
+
+    def test_websites_resolve_in_dns(self, small_world):
+        city_id = small_world.anchors[0].city_id
+        for poi in small_world.pois_of_city(city_id):
+            if poi.website is not None:
+                record = small_world.dns.try_resolve(poi.website.hostname)
+                assert record is not None
+                assert record.ip == poi.website.ip
+
+    def test_local_sites_have_hosts_at_poi(self, small_world):
+        city_id = small_world.anchors[0].city_id
+        found_local = False
+        for poi in small_world.pois_of_city(city_id):
+            website = poi.website
+            if website is not None and website.hosting is HostingKind.LOCAL:
+                found_local = True
+                assert website.server_host_id is not None
+                server = small_world.host_by_id(website.server_host_id)
+                assert server.true_location.distance_km(poi.location) < 0.5
+        assert found_local
+
+    def test_cdn_sites_have_cdn_cname(self, small_world):
+        checked = 0
+        for city in small_world.cities[:15]:
+            for poi in small_world.pois_of_city(city.city_id):
+                website = poi.website
+                if website is not None and website.hosting is HostingKind.CDN:
+                    record = small_world.dns.resolve(website.hostname)
+                    assert record.behind_cdn
+                    checked += 1
+        assert checked > 0
+
+    def test_hosting_mix_roughly_configured(self, small_world):
+        config = small_world.config
+        counts = {kind: 0 for kind in HostingKind}
+        total = 0
+        for city in small_world.cities[:25]:
+            for poi in small_world.pois_of_city(city.city_id):
+                if poi.website is not None:
+                    counts[poi.website.hosting] += 1
+                    total += 1
+        assert total > 100
+        local_share = counts[HostingKind.LOCAL] / total
+        assert local_share == pytest.approx(config.website_local_share, abs=0.05)
+
+    def test_spatial_zip_index_consistent(self, small_world):
+        city = small_world.cities[small_world.anchors[0].city_id]
+        index = small_world.pois_by_spatial_zip(city.city_id)
+        for zipcode, pois in list(index.items())[:20]:
+            for poi in pois:
+                assert city.zipcode_at(poi.location) == zipcode
+
+
+class TestWebDirectory:
+    def test_chain_sites_multi_zip(self, small_world):
+        directory = small_world.web_directory
+        chain_seen = 0
+        for city in small_world.cities[:25]:
+            for poi in small_world.pois_of_city(city.city_id):
+                website = poi.website
+                if website is not None and website.chain_id is not None:
+                    assert directory.appears_in_multiple_zipcodes(website.hostname)
+                    chain_seen += 1
+        assert chain_seen > 0
+
+    def test_regular_sites_single_zip(self, small_world):
+        directory = small_world.web_directory
+        city_id = small_world.anchors[0].city_id
+        for poi in small_world.pois_of_city(city_id):
+            website = poi.website
+            if website is not None and website.chain_id is None:
+                zips = directory.zipcodes_of(website.hostname)
+                assert len(zips) >= 1
+
+    def test_unknown_hostname_empty(self, small_world):
+        assert small_world.web_directory.zipcodes_of("nope.example") == set()
