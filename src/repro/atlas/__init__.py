@@ -12,6 +12,7 @@ from repro.atlas.credits import CreditLedger, CREDIT_COST_PER_PING_PACKET, CREDI
 from repro.atlas.ratelimit import SlidingWindowRateLimiter
 from repro.atlas.platform import AtlasPlatform, ProbeInfo
 from repro.atlas.client import AtlasClient
+from repro.atlas.resilient import ResilientClient, RetryPolicy, RetryStats
 
 __all__ = [
     "SimClock",
@@ -22,4 +23,7 @@ __all__ = [
     "AtlasPlatform",
     "ProbeInfo",
     "AtlasClient",
+    "ResilientClient",
+    "RetryPolicy",
+    "RetryStats",
 ]

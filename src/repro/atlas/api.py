@@ -50,6 +50,9 @@ class _PendingMeasurement:
     packets: int
     seq: int
     ready_at_s: float
+    #: churn window at schedule time — results reflect the probes that were
+    #: online when the measurement actually ran, not when it was fetched.
+    fault_window: int = 0
     results: Optional[object] = None
 
 
@@ -73,18 +76,47 @@ class MeasurementApi:
     def _schedule(
         self, kind: str, probe_ids: Sequence[int], target_ip: str, packets: int, seq: int
     ) -> int:
+        """Validate, charge, and register a measurement.
+
+        A measurement is counted against the ledger exactly once — here, at
+        schedule time. :meth:`fetch_results` later delivers results through
+        the platform's accounting-free ``execute_*`` path, so the sync
+        (:class:`~repro.atlas.client.AtlasClient`) and async paths always
+        report identical totals.
+
+        Raises:
+            AtlasApiError: when the fault layer fails the create call (the
+                attempt has been charged — failed API calls are not free).
+            CreditExhaustedError: when a ledger or account budget runs out.
+        """
         for probe_id in probe_ids:
             self.platform.probe_info(probe_id)  # validate early, like the API
-        measurement_id = self._next_id
-        self._next_id += 1
+        faults = self.platform.faults
+        window = 0
+        index = None
+        if faults is not None:
+            window = faults.window_at(self.clock.now_s)
         if kind == "ping":
             credits = CREDIT_COST_PER_PING_PACKET * packets * len(probe_ids)
         else:
             credits = CREDIT_COST_PER_TRACEROUTE * len(probe_ids)
+        if faults is not None:
+            index = faults.next_call()
+            faults.check_credits(credits)
+        measurement_id = self._next_id
+        self._next_id += 1
         self.ledger.charge(credits, kind, len(probe_ids))
         self.clock.advance(API_OVERHEAD_S, "atlas-api")
+        if faults is not None:
+            error = faults.api_error(f"create-{kind}", index)
+            if error is not None:
+                if error.cost_s > 0:
+                    self.clock.advance(error.cost_s, "atlas-faults")
+                raise error
         low, high = RESULT_LATENCY_RANGE_S
         latency = rand.uniform(("api-latency", measurement_id, target_ip), low, high)
+        if faults is not None and index is not None:
+            latency += faults.result_delay(f"create-{kind}", index)
         self._pending[measurement_id] = _PendingMeasurement(
             measurement_id=measurement_id,
             kind=kind,
@@ -93,6 +125,7 @@ class MeasurementApi:
             packets=packets,
             seq=seq,
             ready_at_s=self.clock.now_s + latency,
+            fault_window=window,
         )
         return measurement_id
 
@@ -137,16 +170,25 @@ class MeasurementApi:
         if self.clock.now_s < pending.ready_at_s:
             return None
         if pending.results is None:
+            # Delivery only: the measurement was counted and charged at
+            # schedule time, so results come through the platform's
+            # accounting-free execution path (no ledger, no API-fault
+            # draws — churn and loss still apply, pinned to the window in
+            # which the measurement ran).
             if pending.kind == "ping":
-                pending.results = self.platform.ping(
+                pending.results = self.platform.execute_ping(
                     pending.probe_ids,
                     pending.target_ip,
                     packets=pending.packets,
                     seq=pending.seq,
+                    window=pending.fault_window,
                 )
             else:
-                batch = self.platform.traceroute_batch(
-                    pending.probe_ids, [pending.target_ip], seq=pending.seq
+                batch = self.platform.execute_traceroute_batch(
+                    pending.probe_ids,
+                    [pending.target_ip],
+                    seq=pending.seq,
+                    window=pending.fault_window,
                 )
                 pending.results = batch[pending.target_ip]
         return pending.results

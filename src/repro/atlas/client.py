@@ -4,6 +4,12 @@ An :class:`AtlasClient` bundles the platform with a credit ledger and a
 simulated clock, so that every geolocation technique implemented in
 :mod:`repro.core` automatically accounts for what it would cost — in
 credits and in wall-clock time — to run on the real RIPE Atlas.
+
+Against a fault-injected platform (see :mod:`repro.faults`) this client is
+*transparent*: typed :class:`~repro.errors.AtlasApiError` failures
+propagate to the caller. Campaigns that should survive platform weather
+wrap it in :class:`repro.atlas.resilient.ResilientClient`, which retries
+with backoff and degrades failed calls to ``None``/NaN results.
 """
 
 from __future__ import annotations

@@ -47,6 +47,16 @@ class CreditLedger:
             return None
         return self.budget - self._spent
 
+    def can_afford(self, credits: int) -> bool:
+        """Whether a charge of ``credits`` would fit the budget.
+
+        Lets resilient callers stop retrying before a charge that is
+        guaranteed to raise :class:`~repro.errors.CreditExhaustedError`.
+        """
+        if credits < 0:
+            raise ValueError("credits must be non-negative")
+        return self.budget is None or self._spent + credits <= self.budget
+
     def charge(self, credits: int, kind: str, count: int = 1) -> None:
         """Spend credits for ``count`` measurements of a kind.
 

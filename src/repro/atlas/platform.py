@@ -27,6 +27,7 @@ from repro.atlas.credits import (
     CreditLedger,
 )
 from repro.errors import MeasurementError
+from repro.faults import FaultInjector
 from repro.geo.coords import GeoPoint
 from repro.latency.model import LatencyModel, TraceObservation
 from repro.topology.graph import Topology
@@ -68,10 +69,21 @@ class ProbeInfo:
 
 
 class AtlasPlatform:
-    """Simulated RIPE Atlas measurement platform over a world."""
+    """Simulated RIPE Atlas measurement platform over a world.
 
-    def __init__(self, world: World) -> None:
+    Args:
+        world: the simulated world measurements observe.
+        faults: optional :class:`~repro.faults.FaultInjector`. When absent
+            (or carrying a zero :class:`~repro.faults.FaultPlan`) the
+            platform is the fair-weather substrate it always was —
+            byte-identical results. When present, measurements are subject
+            to probe churn, packet loss, typed API errors, delivery delays
+            and account-level credit exhaustion.
+    """
+
+    def __init__(self, world: World, faults: Optional[FaultInjector] = None) -> None:
         self.world = world
+        self.faults = faults
         self.topology = Topology(world)
         self.latency = LatencyModel(world, self.topology)
         self._infos: Dict[int, ProbeInfo] = {}
@@ -144,6 +156,46 @@ class AtlasPlatform:
             wait = API_OVERHEAD_S + waves * rand.uniform(wait_key, low, high)
             clock.advance(wait, "atlas-api")
 
+    # --- fault hooks -------------------------------------------------------------
+
+    def _fault_window(self, clock: Optional[SimClock]) -> int:
+        """Churn window at request time (0 without a clock or fault layer)."""
+        if self.faults is None or clock is None:
+            return 0
+        return self.faults.window_at(clock.now_s)
+
+    def _fault_admission(self, credits: int) -> Optional[int]:
+        """Account-level admission: allocate a call index, check the budget.
+
+        Raises:
+            CreditExhaustedError: when the fault plan's account budget
+                cannot honour the charge.
+        """
+        if self.faults is None:
+            return None
+        index = self.faults.next_call()
+        self.faults.check_credits(credits)
+        return index
+
+    def _fault_outcome(self, op: str, index: Optional[int], clock: Optional[SimClock]) -> None:
+        """Draw the call's API fate: typed failure, late delivery, or ok.
+
+        Runs *after* :meth:`_charge_and_wait`, so a failed call has already
+        charged the ledger and clock — retried attempts are not free, which
+        keeps Fig. 6c-style time/credit accounting honest.
+        """
+        if self.faults is None or index is None:
+            return
+        error = self.faults.api_error(op, index)
+        if error is not None:
+            if clock is not None and error.cost_s > 0:
+                clock.advance(error.cost_s, "atlas-faults")
+            raise error
+        if clock is not None:
+            delay = self.faults.result_delay(op, index)
+            if delay > 0:
+                clock.advance(delay, "atlas-faults")
+
     def ping(
         self,
         probe_ids: Sequence[int],
@@ -157,7 +209,14 @@ class AtlasPlatform:
 
         Unknown or unresponsive targets yield ``None`` for every probe (the
         measurement still costs credits — timeouts are not free).
+
+        Raises:
+            AtlasApiError: when the fault layer fails the API call (the
+                attempt has already been charged).
+            CreditExhaustedError: when a ledger or account budget runs out.
         """
+        window = self._fault_window(clock)
+        index = self._fault_admission(CREDIT_COST_PER_PING_PACKET * packets * len(probe_ids))
         self._charge_and_wait(
             len(probe_ids),
             CREDIT_COST_PER_PING_PACKET * packets,
@@ -166,16 +225,49 @@ class AtlasPlatform:
             clock,
             ("ping-wait", seq, target_ip),
         )
+        self._fault_outcome("ping", index, clock)
+        return self.execute_ping(probe_ids, target_ip, packets=packets, seq=seq, window=window)
+
+    def execute_ping(
+        self,
+        probe_ids: Sequence[int],
+        target_ip: str,
+        packets: int = 3,
+        seq: int = 0,
+        window: int = 0,
+    ) -> Dict[int, Optional[float]]:
+        """Measurement execution only: no accounting, no API-fault draws.
+
+        The delivery path for already-scheduled measurements — the async
+        :class:`~repro.atlas.api.MeasurementApi` counts and charges at
+        schedule time, then fetches results through here, so a measurement
+        can never be double-counted. Probe churn and packet loss *do*
+        apply: they are properties of the measurement, not of the API call.
+        """
         target = self.world.try_host(target_ip)
         results: Dict[int, Optional[float]] = {}
         for probe_id in probe_ids:
             if target is None:
                 results[probe_id] = None
                 continue
-            source = self.world.host_by_id(self.probe_info(probe_id).probe_id)
+            self.probe_info(probe_id)  # validate
+            if self._measurement_failed("ping", probe_id, target_ip, seq, window):
+                results[probe_id] = None
+                continue
+            source = self.world.host_by_id(probe_id)
             observation = self.latency.ping(source, target, packets=packets, seq=seq)
             results[probe_id] = observation.min_rtt_ms
         return results
+
+    def _measurement_failed(
+        self, kind: str, probe_id: int, target_ip: str, seq: int, window: int
+    ) -> bool:
+        """Whether churn or loss silences one (probe, target) measurement."""
+        if self.faults is None:
+            return False
+        return self.faults.probe_disconnected(probe_id, window) or self.faults.measurement_lost(
+            kind, target_ip, seq, probe_id
+        )
 
     def ping_matrix(
         self,
@@ -190,10 +282,19 @@ class AtlasPlatform:
 
         The vectorised path of the engine — identical numbers to per-pair
         :meth:`ping` calls, at campaign scale.
+
+        Raises:
+            AtlasApiError: when the fault layer fails the API call (the
+                attempt has already been charged).
+            CreditExhaustedError: when a ledger or account budget runs out.
         """
+        window = self._fault_window(clock)
         ids = np.asarray(list(probe_ids), dtype=np.int64)
         for probe_id in ids:
             self.probe_info(int(probe_id))  # validate
+        index = self._fault_admission(
+            CREDIT_COST_PER_PING_PACKET * packets * len(ids) * len(target_ips)
+        )
         self._charge_and_wait(
             len(ids) * len(target_ips),
             CREDIT_COST_PER_PING_PACKET * packets,
@@ -203,6 +304,20 @@ class AtlasPlatform:
             ("matrix-wait", seq, len(target_ips)),
             specs=len(target_ips),
         )
+        self._fault_outcome("ping", index, clock)
+        return self.execute_ping_matrix(ids, target_ips, packets=packets, seq=seq, window=window)
+
+    def execute_ping_matrix(
+        self,
+        probe_ids: Sequence[int],
+        target_ips: Sequence[str],
+        packets: int = 3,
+        seq: int = 0,
+        window: int = 0,
+    ) -> np.ndarray:
+        """Matrix execution only (see :meth:`execute_ping`): churn and loss
+        apply per cell, accounting does not."""
+        ids = np.asarray(list(probe_ids), dtype=np.int64)
         matrix = np.full((ids.shape[0], len(target_ips)), np.nan)
         for column, target_ip in enumerate(target_ips):
             target = self.world.try_host(target_ip)
@@ -211,6 +326,14 @@ class AtlasPlatform:
             matrix[:, column] = self.latency.bulk_min_rtt(
                 ids, target, packets=packets, seq=seq
             )
+            if self.faults is not None:
+                lost = self.faults.loss_mask("ping", target_ip, seq, ids)
+                if lost.any():
+                    matrix[lost, column] = np.nan
+        if self.faults is not None:
+            down = self.faults.disconnected_mask(ids, window)
+            if down.any():
+                matrix[down, :] = np.nan
         return matrix
 
     def traceroute(
@@ -221,7 +344,15 @@ class AtlasPlatform:
         ledger: Optional[CreditLedger] = None,
         clock: Optional[SimClock] = None,
     ) -> Optional[TraceObservation]:
-        """Run one traceroute; ``None`` for targets outside the routed space."""
+        """Run one traceroute; ``None`` for targets outside the routed space.
+
+        Raises:
+            AtlasApiError: when the fault layer fails the API call (the
+                attempt has already been charged).
+            CreditExhaustedError: when a ledger or account budget runs out.
+        """
+        window = self._fault_window(clock)
+        index = self._fault_admission(CREDIT_COST_PER_TRACEROUTE)
         self._charge_and_wait(
             1,
             CREDIT_COST_PER_TRACEROUTE,
@@ -230,10 +361,20 @@ class AtlasPlatform:
             clock,
             ("tr-wait", seq, probe_id, target_ip),
         )
+        self._fault_outcome("traceroute", index, clock)
+        return self._execute_traceroute(probe_id, target_ip, seq=seq, window=window)
+
+    def _execute_traceroute(
+        self, probe_id: int, target_ip: str, seq: int = 0, window: int = 0
+    ) -> Optional[TraceObservation]:
+        """One traceroute, execution only (churn/loss apply)."""
         target = self.world.try_host(target_ip)
         if target is None:
             return None
-        source = self.world.host_by_id(self.probe_info(probe_id).probe_id)
+        self.probe_info(probe_id)  # validate
+        if self._measurement_failed("traceroute", probe_id, target_ip, seq, window):
+            return None
+        source = self.world.host_by_id(probe_id)
         return self.latency.traceroute(source, target, seq=seq)
 
     def traceroute_batch(
@@ -252,7 +393,16 @@ class AtlasPlatform:
 
         Returns:
             ``{target_ip: {probe_id: observation-or-None}}``.
+
+        Raises:
+            AtlasApiError: when the fault layer fails the API call (the
+                attempt has already been charged).
+            CreditExhaustedError: when a ledger or account budget runs out.
         """
+        window = self._fault_window(clock)
+        index = self._fault_admission(
+            CREDIT_COST_PER_TRACEROUTE * len(probe_ids) * len(target_ips)
+        )
         self._charge_and_wait(
             len(probe_ids) * len(target_ips),
             CREDIT_COST_PER_TRACEROUTE,
@@ -262,6 +412,17 @@ class AtlasPlatform:
             ("trbatch-wait", seq, len(target_ips), len(probe_ids)),
             specs=len(target_ips),
         )
+        self._fault_outcome("traceroute", index, clock)
+        return self.execute_traceroute_batch(probe_ids, target_ips, seq=seq, window=window)
+
+    def execute_traceroute_batch(
+        self,
+        probe_ids: Sequence[int],
+        target_ips: Sequence[str],
+        seq: int = 0,
+        window: int = 0,
+    ) -> Dict[str, Dict[int, Optional[TraceObservation]]]:
+        """Batch traceroute execution only (see :meth:`execute_ping`)."""
         results: Dict[str, Dict[int, Optional[TraceObservation]]] = {}
         for target_ip in target_ips:
             target = self.world.try_host(target_ip)
@@ -270,7 +431,11 @@ class AtlasPlatform:
                 if target is None:
                     per_probe[probe_id] = None
                     continue
-                source = self.world.host_by_id(self.probe_info(probe_id).probe_id)
+                self.probe_info(probe_id)  # validate
+                if self._measurement_failed("traceroute", probe_id, target_ip, seq, window):
+                    per_probe[probe_id] = None
+                    continue
+                source = self.world.host_by_id(probe_id)
                 per_probe[probe_id] = self.latency.traceroute(source, target, seq=seq)
             results[target_ip] = per_probe
         return results

@@ -18,6 +18,7 @@ from collections import deque
 from typing import Deque
 
 from repro.atlas.clock import SimClock
+from repro.errors import ApiRateLimitError
 
 
 class SlidingWindowRateLimiter:
@@ -62,3 +63,33 @@ class SlidingWindowRateLimiter:
                 self._recent.popleft()
         self._recent.append(now)
         return waited
+
+    def would_wait(self) -> float:
+        """Seconds :meth:`acquire` would block for right now (0 = free slot).
+
+        Pure peek: neither the window bookkeeping nor the clock changes.
+        """
+        now = self._clock.now_s
+        recent = [t for t in self._recent if t > now - self._window_s]
+        if len(recent) < self._max_requests:
+            return 0.0
+        return max(0.0, recent[0] + self._window_s - now)
+
+    def acquire_or_raise(self) -> None:
+        """Take a slot only if one is free; otherwise fail like a 429.
+
+        The non-blocking flavour used by resilient clients: instead of
+        silently charging the clock, a full window raises
+        :class:`~repro.errors.ApiRateLimitError` carrying the wait as
+        ``retry_after_s``, so the caller's backoff policy decides what the
+        wait costs.
+
+        Raises:
+            ApiRateLimitError: when the window is full.
+        """
+        wait = self.would_wait()
+        if wait > 0.0:
+            raise ApiRateLimitError(
+                f"rate limit window full; retry in {wait:.1f}s", retry_after_s=wait
+            )
+        self.acquire()

@@ -1,0 +1,267 @@
+"""A fault-tolerant client wrapper: retries, backoff, graceful degradation.
+
+The real replication tooling (like HLOC's measure step) treats framework
+failures as first-class: a timed-out RIPE Atlas call is retried with
+backoff, and a probe that never answers becomes a missing value instead of
+a crashed campaign. :class:`ResilientClient` brings that discipline to the
+simulated platform:
+
+* transient :class:`~repro.errors.AtlasApiError` failures are retried up
+  to :attr:`RetryPolicy.max_attempts` times with exponential backoff and
+  deterministic jitter — every attempt and every backoff charges the
+  simulated clock (and failed attempts have already charged the ledger),
+  so time/credit accounting under faults stays honest (Fig. 6c);
+* a per-call timeout bounds how long one logical call may burn;
+* when retries are exhausted, the call *degrades* instead of raising:
+  pings yield ``None``/NaN, traceroutes yield ``None`` — the shape every
+  algorithm in :mod:`repro.core` already accepts for unanswered probes;
+* :class:`~repro.errors.CreditExhaustedError` always propagates — retrying
+  cannot mint credits.
+
+The wrapper exposes the same surface as
+:class:`~repro.atlas.client.AtlasClient`, so it drops into any campaign
+unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, TypeVar
+
+import numpy as np
+
+from repro import rand
+from repro.atlas.client import AtlasClient
+from repro.atlas.clock import SimClock
+from repro.atlas.platform import ProbeInfo
+from repro.errors import ApiRateLimitError, AtlasApiError, ConfigurationError
+from repro.latency.model import TraceObservation
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard to try before degrading.
+
+    Attributes:
+        max_attempts: total attempts per logical call (1 = no retries).
+        base_backoff_s: backoff before the first retry.
+        backoff_multiplier: exponential growth factor per retry.
+        max_backoff_s: cap on a single backoff interval.
+        jitter_fraction: each backoff is scaled by a deterministic factor
+            drawn uniformly from ``[1 - jitter, 1 + jitter]`` (decorrelates
+            retry storms without breaking reproducibility).
+        call_timeout_s: give up on a logical call once it has burned this
+            much simulated time, even with attempts left; ``None`` disables.
+        seed: root of the jitter draw keys.
+    """
+
+    max_attempts: int = 4
+    base_backoff_s: float = 5.0
+    backoff_multiplier: float = 2.0
+    max_backoff_s: float = 300.0
+    jitter_fraction: float = 0.25
+    call_timeout_s: Optional[float] = 3600.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(f"max_attempts must be >= 1: {self.max_attempts}")
+        if self.base_backoff_s < 0 or self.max_backoff_s < 0:
+            raise ConfigurationError("backoff durations must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigurationError(
+                f"backoff_multiplier must be >= 1: {self.backoff_multiplier}"
+            )
+        if not 0.0 <= self.jitter_fraction < 1.0:
+            raise ConfigurationError(
+                f"jitter_fraction must be in [0, 1): {self.jitter_fraction}"
+            )
+        if self.call_timeout_s is not None and self.call_timeout_s <= 0:
+            raise ConfigurationError(
+                f"call_timeout_s must be positive: {self.call_timeout_s}"
+            )
+
+    def backoff_s(self, op: str, call_index: int, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (0-based), with jitter."""
+        backoff = min(
+            self.base_backoff_s * self.backoff_multiplier**attempt, self.max_backoff_s
+        )
+        if self.jitter_fraction > 0.0:
+            backoff *= rand.uniform(
+                (self.seed, "retry-jitter", op, call_index, attempt),
+                1.0 - self.jitter_fraction,
+                1.0 + self.jitter_fraction,
+            )
+        return backoff
+
+
+@dataclass
+class RetryStats:
+    """What resilience cost: the retry/degradation overhead of a session."""
+
+    calls: int = 0
+    attempts: int = 0
+    retries: int = 0
+    degraded_calls: int = 0
+    backoff_s: float = 0.0
+    errors_by_type: Dict[str, int] = field(default_factory=dict)
+
+    def record_error(self, error: AtlasApiError) -> None:
+        name = type(error).__name__
+        self.errors_by_type[name] = self.errors_by_type.get(name, 0) + 1
+
+
+class ResilientClient:
+    """An :class:`AtlasClient` drop-in that survives platform faults."""
+
+    def __init__(
+        self,
+        client: AtlasClient,
+        policy: Optional[RetryPolicy] = None,
+        stats: Optional[RetryStats] = None,
+    ) -> None:
+        self.client = client
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.stats = stats if stats is not None else RetryStats()
+
+    # --- plumbing shared with AtlasClient -----------------------------------------
+
+    @property
+    def platform(self):
+        """The underlying platform (same attribute as :class:`AtlasClient`)."""
+        return self.client.platform
+
+    @property
+    def ledger(self):
+        """The underlying credit ledger."""
+        return self.client.ledger
+
+    @property
+    def clock(self) -> SimClock:
+        """The underlying simulated clock (backoff is charged here)."""
+        return self.client.clock
+
+    def with_clock(self, clock: SimClock) -> "ResilientClient":
+        """A sibling resilient client charging time to a different clock.
+
+        Credits and retry statistics stay shared — the street level
+        pipeline times each target independently but overhead is global.
+        """
+        return ResilientClient(
+            self.client.with_clock(clock), policy=self.policy, stats=self.stats
+        )
+
+    @property
+    def credits_spent(self) -> int:
+        """Credits consumed through this client's ledger."""
+        return self.client.credits_spent
+
+    @property
+    def measurements_run(self) -> int:
+        """Total measurements issued through this client's ledger."""
+        return self.client.measurements_run
+
+    # --- metadata (no retry needed: metadata access is local) ----------------------
+
+    def list_probes(self, anchors_only: bool = False) -> List[ProbeInfo]:
+        """Vantage-point metadata (see :class:`AtlasClient.list_probes`)."""
+        return self.client.list_probes(anchors_only=anchors_only)
+
+    def probe(self, probe_id: int) -> ProbeInfo:
+        """Metadata for one vantage point."""
+        return self.client.probe(probe_id)
+
+    def anchor_mesh(self):
+        """The platform's anchor-mesh dataset (a download, not an API call)."""
+        return self.client.anchor_mesh()
+
+    # --- the retry loop -----------------------------------------------------------
+
+    def _call(self, op: str, attempt_fn: Callable[[], T], degrade_fn: Callable[[], T]) -> T:
+        """Run one logical call with retries; degrade when they run out.
+
+        ``CreditExhaustedError`` (and any non-API error) propagates: it is
+        not transient, and hiding it would falsify cost accounting.
+        """
+        call_index = self.stats.calls
+        self.stats.calls += 1
+        started_s = self.clock.now_s
+        policy = self.policy
+        for attempt in range(policy.max_attempts):
+            self.stats.attempts += 1
+            try:
+                return attempt_fn()
+            except AtlasApiError as error:
+                self.stats.record_error(error)
+                elapsed = self.clock.now_s - started_s
+                timed_out = (
+                    policy.call_timeout_s is not None and elapsed >= policy.call_timeout_s
+                )
+                if attempt + 1 >= policy.max_attempts or timed_out or not error.retryable:
+                    break
+                backoff = policy.backoff_s(op, call_index, attempt)
+                if isinstance(error, ApiRateLimitError):
+                    backoff = max(backoff, error.retry_after_s)
+                self.clock.advance(backoff, "retry-backoff")
+                self.stats.backoff_s += backoff
+                self.stats.retries += 1
+        self.stats.degraded_calls += 1
+        return degrade_fn()
+
+    # --- measurements -----------------------------------------------------------
+
+    def ping_from(
+        self,
+        probe_ids: Sequence[int],
+        target_ip: str,
+        packets: int = 3,
+        seq: int = 0,
+    ) -> Dict[int, Optional[float]]:
+        """Ping one target from several probes; degraded probes yield ``None``."""
+        return self._call(
+            "ping",
+            lambda: self.client.ping_from(probe_ids, target_ip, packets=packets, seq=seq),
+            lambda: {probe_id: None for probe_id in probe_ids},
+        )
+
+    def ping_matrix(
+        self,
+        probe_ids: Sequence[int],
+        target_ips: Sequence[str],
+        packets: int = 3,
+        seq: int = 0,
+    ) -> np.ndarray:
+        """Campaign ping matrix; a degraded call yields an all-NaN matrix."""
+        return self._call(
+            "ping-matrix",
+            lambda: self.client.ping_matrix(probe_ids, target_ips, packets=packets, seq=seq),
+            lambda: np.full((len(list(probe_ids)), len(target_ips)), np.nan),
+        )
+
+    def traceroute_from(
+        self, probe_id: int, target_ip: str, seq: int = 0
+    ) -> Optional[TraceObservation]:
+        """One traceroute; ``None`` when the platform keeps failing."""
+        return self._call(
+            "traceroute",
+            lambda: self.client.traceroute_from(probe_id, target_ip, seq=seq),
+            lambda: None,
+        )
+
+    def traceroute_batch(
+        self,
+        probe_ids: Sequence[int],
+        target_ips: Sequence[str],
+        seq: int = 0,
+    ) -> Dict[str, Dict[int, Optional[TraceObservation]]]:
+        """Batch traceroutes; degraded batches are all-``None`` per target."""
+        return self._call(
+            "traceroute-batch",
+            lambda: self.client.traceroute_batch(probe_ids, target_ips, seq=seq),
+            lambda: {
+                target_ip: {probe_id: None for probe_id in probe_ids}
+                for target_ip in target_ips
+            },
+        )

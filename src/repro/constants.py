@@ -35,6 +35,12 @@ CITY_LEVEL_KM = 40.0
 #: The paper's street-level accuracy threshold (Section 5.2.1).
 STREET_LEVEL_KM = 1.0
 
+#: Minimum answering vantage points for a *trustworthy* CBG region under
+#: degraded conditions. One or two circles technically intersect, but the
+#: centroid is then dominated by a single measurement; robustness-aware
+#: campaigns refuse to emit an estimate below this floor.
+MIN_USABLE_VPS = 3
+
 
 def rtt_to_distance_km(rtt_ms: float, soi_fraction: float = SOI_FRACTION_CBG) -> float:
     """Convert a round-trip time to a maximum great-circle distance.

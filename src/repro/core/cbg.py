@@ -55,6 +55,7 @@ def cbg_estimate(
     vantage_points: Sequence[ProbeInfo],
     rtts_ms: Dict[int, Optional[float]],
     soi_fraction: float = SOI_FRACTION_CBG,
+    min_constraints: int = 1,
 ) -> Tuple[GeolocationResult, Optional[IntersectionRegion]]:
     """Geolocate a target with CBG.
 
@@ -64,18 +65,26 @@ def cbg_estimate(
         rtts_ms: min RTT per probe id (``None`` = no answer).
         soi_fraction: RTT-to-distance conversion speed (2/3 c for classic
             CBG, 4/9 c in the street level paper's tier 1).
+        min_constraints: minimum answering vantage points required before
+            an estimate is emitted (see
+            :data:`repro.constants.MIN_USABLE_VPS`). The default of 1 is
+            classic CBG; fault-aware campaigns raise it so a location is
+            never derived from a near-empty constraint set.
 
     Returns:
-        ``(result, region)``; the region is ``None`` when no vantage point
-        answered.
+        ``(result, region)``; the region is ``None`` when fewer than
+        ``min_constraints`` vantage points answered.
 
     Raises:
         EmptyRegionError: when the constraints share no feasible point (the
             street level pipeline catches this and retries at 2/3 c).
     """
     circles = constraints_from_rtts(vantage_points, rtts_ms, soi_fraction)
-    if not circles:
-        return GeolocationResult(target_ip, None, "cbg", {"constraints": 0}), None
+    if len(circles) < max(min_constraints, 1):
+        return (
+            GeolocationResult(target_ip, None, "cbg", {"constraints": len(circles)}),
+            None,
+        )
     region = cbg_region(circles)
     result = GeolocationResult(
         target_ip,
@@ -120,6 +129,7 @@ def cbg_centroid_fast(
     rtts_ms: np.ndarray,
     soi_fraction: float = SOI_FRACTION_CBG,
     max_active: int = 64,
+    min_vps: int = 1,
 ) -> Optional[Tuple[float, float]]:
     """Vectorised approximate CBG centroid.
 
@@ -130,15 +140,19 @@ def cbg_centroid_fast(
         soi_fraction: RTT-to-distance conversion speed.
         max_active: cap on binding constraints evaluated against the grid
             (the tightest ones win); raising it trades speed for fidelity.
+        min_vps: minimum answering vantage points required before an
+            estimate is emitted (1 = classic behaviour; fault-aware
+            campaigns use :data:`repro.constants.MIN_USABLE_VPS`).
 
     Returns:
-        ``(lat, lon)`` of the centroid, or ``None`` when no VP answered.
+        ``(lat, lon)`` of the centroid, or ``None`` when fewer than
+        ``min_vps`` vantage points answered.
         When the sampled grid finds no feasible point (empty or sliver
         region), the sample with the least worst-case violation is returned
         — the campaign equivalent of the exact path's repair step.
     """
     answered = ~np.isnan(rtts_ms)
-    if not answered.any():
+    if int(answered.sum()) < max(min_vps, 1):
         return None
     lats = np.asarray(vp_lats, dtype=np.float64)[answered]
     lons = np.asarray(vp_lons, dtype=np.float64)[answered]
@@ -214,6 +228,7 @@ def cbg_errors_for_subsets(
     target_lons: np.ndarray,
     subset: np.ndarray,
     soi_fraction: float = SOI_FRACTION_CBG,
+    min_vps: int = 1,
 ) -> np.ndarray:
     """Per-target CBG error using only the vantage points in ``subset``.
 
@@ -225,9 +240,11 @@ def cbg_errors_for_subsets(
         target_lons: ground-truth target longitudes.
         subset: indices (into the VP axis) of the vantage points to use.
         soi_fraction: RTT-to-distance conversion speed.
+        min_vps: minimum answering vantage points per target (see
+            :func:`cbg_centroid_fast`).
 
     Returns:
-        Array of error distances (km), NaN where CBG had no answer at all.
+        Array of error distances (km), NaN where CBG had no usable answer.
     """
     from repro.geo.coords import haversine_km
 
@@ -236,7 +253,7 @@ def cbg_errors_for_subsets(
     errors = np.full(rtt_matrix.shape[1], np.nan)
     for column in range(rtt_matrix.shape[1]):
         centroid = cbg_centroid_fast(
-            sub_lats, sub_lons, rtt_matrix[subset, column], soi_fraction
+            sub_lats, sub_lons, rtt_matrix[subset, column], soi_fraction, min_vps=min_vps
         )
         if centroid is None:
             continue

@@ -26,6 +26,7 @@ from repro.atlas.client import AtlasClient
 from repro.atlas.platform import ProbeInfo
 from repro.core.cbg import cbg_estimate
 from repro.core.results import GeolocationResult
+from repro.errors import EmptyRegionError
 from repro.net.hitlist import Hitlist
 
 
@@ -89,18 +90,33 @@ def geolocate_with_selection(
     rep_rtts: np.ndarray,
     k: int = 10,
     packets: int = 3,
+    min_vps: int = 1,
 ) -> GeolocationResult:
     """Run the full selection + probing pipeline for one target.
 
     Selects the ``k`` closest vantage points by representative RTT, pings
     the target from them, and applies CBG to those measurements.
+
+    The pipeline degrades instead of crashing under platform faults: a
+    representative row with no answers selects nothing, target pings that
+    all fail produce a result without an estimate, and ``min_vps`` (see
+    :data:`repro.constants.MIN_USABLE_VPS`) refuses estimates built from
+    too few surviving vantage points.
     """
     chosen = select_closest_vps(rep_rtts, k)
     chosen_vps = [vantage_points[int(index)] for index in chosen]
     if not chosen_vps:
         return GeolocationResult(target_ip, None, "million-scale", {"selected": 0})
     rtts = client.ping_from([vp.probe_id for vp in chosen_vps], target_ip, packets=packets)
-    result, _region = cbg_estimate(target_ip, chosen_vps, rtts)
+    try:
+        result, _region = cbg_estimate(target_ip, chosen_vps, rtts, min_constraints=min_vps)
+    except EmptyRegionError:
+        # Infeasible constraints (mis-registered or flapping vantage points)
+        # degrade to "no estimate", like the other CBG consumers.
+        return GeolocationResult(
+            target_ip, None, "million-scale",
+            {"selected": len(chosen_vps), "k": k, "empty_region": True},
+        )
     return GeolocationResult(
         target_ip,
         result.estimate,

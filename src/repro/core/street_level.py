@@ -63,6 +63,11 @@ class StreetLevelConfig:
     #: cap on landmarks measured per tier (the paper measures all; the cap
     #: only guards against pathological synthetic regions).
     max_landmarks_per_tier: int = 300
+    #: fault tolerance: when True, a target whose tier-1 measurements are
+    #: all missing (platform faults, dead probes) yields a degraded
+    #: :class:`StreetLevelResult` with ``estimate=None`` instead of raising
+    #: :class:`~repro.errors.GeolocationError` and aborting the campaign.
+    allow_degraded: bool = False
 
 
 @dataclass
@@ -231,16 +236,41 @@ class StreetLevelPipeline:
         Returns:
             A :class:`StreetLevelResult`; when no landmark yields a usable
             delay the estimate falls back to the tier-1 CBG centroid, as
-            the paper does for its 46 landmark-less targets.
+            the paper does for its 46 landmark-less targets. With
+            ``config.allow_degraded`` a target whose tier-1 measurements
+            all failed yields a degraded result (``estimate=None``) rather
+            than raising.
+
+        Raises:
+            GeolocationError: when tier 1 produces no region and degraded
+                results are not allowed.
         """
         clock = SimClock()
         client = self.client.with_clock(clock)
         vps = [vp for vp in vantage_points if vp.address != target_ip]
         rtts = {vp.probe_id: tier1_rtts.get(vp.probe_id) for vp in vps}
 
-        tier1_result, tier1_region, used_fallback = self._tier1(target_ip, vps, rtts)
-        if tier1_result.estimate is None or tier1_region is None:
-            raise GeolocationError(f"tier 1 produced no region for {target_ip}")
+        try:
+            tier1_result, tier1_region, used_fallback = self._tier1(target_ip, vps, rtts)
+        except EmptyRegionError:
+            # Both SOI speeds left an empty region (noise-corrupted RTTs
+            # under heavy faults can do this even when some VPs answered).
+            if not self.config.allow_degraded:
+                raise
+            tier1_result, tier1_region, used_fallback = None, None, True
+        if tier1_result is None or tier1_result.estimate is None or tier1_region is None:
+            if not self.config.allow_degraded:
+                raise GeolocationError(f"tier 1 produced no region for {target_ip}")
+            return StreetLevelResult(
+                target_ip=target_ip,
+                estimate=None,
+                tier1_estimate=None,
+                used_fallback_soi=used_fallback,
+                fell_back_to_cbg=True,
+                chosen=None,
+                elapsed_s=clock.now_s,
+                time_breakdown=clock.breakdown(),
+            )
 
         # The 10 closest vantage points by tier-1 RTT run all traceroutes.
         answered = [(rtt, vp.probe_id) for vp in vps if (rtt := rtts.get(vp.probe_id)) is not None]

@@ -27,6 +27,61 @@ class RateLimitError(MeasurementError):
     """A probing-rate or API rate limit would be exceeded."""
 
 
+class AtlasApiError(MeasurementError):
+    """A transient RIPE Atlas API failure (timeout, 429, 5xx).
+
+    These are the operational failures "Day in the Life of RIPE Atlas"
+    documents and the fault layer (:mod:`repro.faults`) injects. They are
+    *retryable*: :class:`repro.atlas.resilient.ResilientClient` backs off
+    and tries again, charging the simulated clock for every attempt.
+
+    Attributes:
+        cost_s: simulated seconds the failed call consumed before the error
+            surfaced (charged to the clock at the injection site).
+    """
+
+    #: Whether a retry can plausibly succeed (overridden per subclass).
+    retryable = True
+
+    def __init__(self, message: str, cost_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.cost_s = cost_s
+
+
+class ApiTimeoutError(AtlasApiError):
+    """The API call timed out before returning a response."""
+
+
+class ApiRateLimitError(AtlasApiError, RateLimitError):
+    """The API answered 429 Too Many Requests.
+
+    Attributes:
+        retry_after_s: the server's suggested wait before retrying.
+    """
+
+    def __init__(
+        self, message: str, cost_s: float = 0.0, retry_after_s: float = 30.0
+    ) -> None:
+        super().__init__(message, cost_s=cost_s)
+        self.retry_after_s = retry_after_s
+
+
+class ApiServerError(AtlasApiError):
+    """The API answered with a 5xx server error.
+
+    Attributes:
+        status: the HTTP-like status code (500-class).
+    """
+
+    def __init__(self, message: str, cost_s: float = 0.0, status: int = 503) -> None:
+        super().__init__(message, cost_s=cost_s)
+        self.status = status
+
+
+class ProbeDisconnectedError(MeasurementError):
+    """A measurement was requested from a probe that is offline."""
+
+
 class UnknownHostError(ReproError):
     """An IP address does not belong to any host in the simulated world."""
 

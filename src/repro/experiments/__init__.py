@@ -8,5 +8,6 @@ benchmark suite (``benchmarks/``) and the CLI
 """
 
 from repro.experiments.scenario import Scenario, get_scenario
+from repro.experiments.robustness import run_robustness
 
-__all__ = ["Scenario", "get_scenario"]
+__all__ = ["Scenario", "get_scenario", "run_robustness"]

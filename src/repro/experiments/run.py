@@ -55,12 +55,14 @@ def _registry() -> Dict[str, Callable[[Scenario, argparse.Namespace], Experiment
         fig7,
         fig8,
         parity,
+        robustness,
         tables,
     )
 
     return {
         "baseline": lambda s, a: baseline.run_baseline(s, _street_max_targets(a)),
         "parity": lambda s, a: parity.run_parity(s),
+        "robustness": lambda s, a: robustness.run_robustness(s),
         "calibration": lambda s, a: _calibration_output(s),
         "appendixb": lambda s, a: _appendix_b(s),
         "table1": lambda s, a: tables.run_table1(s),

@@ -24,8 +24,10 @@ import numpy as np
 
 from repro.atlas.client import AtlasClient
 from repro.atlas.platform import AtlasPlatform, ProbeInfo
+from repro.atlas.resilient import ResilientClient, RetryPolicy
 from repro.core.million_scale import representative_rtt_matrix
 from repro.core.sanitize import sanitize_anchors, sanitize_probes
+from repro.faults import FaultInjector, FaultPlan
 from repro.world.builder import build_world
 from repro.world.config import WorldConfig
 from repro.world.hosts import Host
@@ -164,14 +166,43 @@ class Scenario:
         matches = np.where(self.vp_ids == target.host_id)[0]
         return int(matches[0]) if matches.size else None
 
+    # --- fault-injected views ------------------------------------------------------
+
+    def faulty_client(
+        self,
+        plan: FaultPlan,
+        policy: Optional[RetryPolicy] = None,
+    ) -> ResilientClient:
+        """A resilient measurement session over this world, under faults.
+
+        Builds a fresh fault-injected :class:`AtlasPlatform` over the
+        *same* world (same hosts, same latency draws) and wraps it in a
+        :class:`ResilientClient`, so experiments can re-run a campaign
+        under different weather while holding the sanitized VP/target sets
+        fixed. Because fault draw keys are rate-free where it matters, the
+        fault sets of :meth:`FaultPlan.at_rate` plans are nested across
+        rates — coverage can only shrink as the rate grows.
+        """
+        platform = AtlasPlatform(self.world, faults=FaultInjector(plan))
+        return ResilientClient(AtlasClient(platform), policy=policy)
+
     # --- construction -------------------------------------------------------------
 
     @classmethod
-    def build(cls, config: WorldConfig) -> "Scenario":
-        """Run the full §4 dataset pipeline for a world configuration."""
+    def build(cls, config: WorldConfig, faults: Optional[FaultInjector] = None) -> "Scenario":
+        """Run the full §4 dataset pipeline for a world configuration.
+
+        Args:
+            config: the world configuration.
+            faults: optional fault layer for the platform. When given, the
+                scenario's client is a :class:`ResilientClient`, and every
+                campaign — including the §4.3 sanitization measurements —
+                runs under the plan's weather with partial results instead
+                of crashes.
+        """
         world = build_world(config)
-        platform = AtlasPlatform(world)
-        client = AtlasClient(platform)
+        platform = AtlasPlatform(world, faults=faults)
+        client = AtlasClient(platform) if faults is None else ResilientClient(AtlasClient(platform))
 
         # §4.3 step 1: sanitize anchors on the mesh.
         mesh_ids, mesh_matrix = platform.anchor_mesh()

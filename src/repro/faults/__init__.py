@@ -1,0 +1,27 @@
+"""Deterministic fault injection for the simulated RIPE Atlas platform.
+
+The paper's scalability findings (§5.1.3, §5.2.5) are about how the
+techniques behave when the platform misbehaves: probes disconnect and
+reconnect, measurements time out, the API rate-limits or errors out,
+results arrive late, and credits run out. "Day in the Life of RIPE Atlas"
+(Nosyk et al.) documents exactly this operational churn on the real
+platform. This package makes that churn reproducible:
+
+* :class:`FaultPlan` — an immutable, seeded description of *how much* of
+  each fault kind to inject (all rates default to zero, which is
+  byte-identical to a fault-free platform);
+* :class:`FaultInjector` — the stateful draw engine the platform consults;
+  every decision derives from ``repro.rand`` keyed hashes (the same
+  discipline as measurement noise), so the same seed always produces the
+  same fault schedule.
+
+Fault decisions whose keys are rate-free (packet loss, probe churn) are
+*nested* across rates: raising the rate only ever adds faults, never
+moves them — which is what makes coverage monotonically non-increasing in
+the fault rate, a property the chaos suite verifies.
+"""
+
+from repro.faults.plan import FaultPlan
+from repro.faults.injector import FaultInjector
+
+__all__ = ["FaultPlan", "FaultInjector"]

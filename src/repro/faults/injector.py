@@ -1,0 +1,188 @@
+"""The draw engine that turns a :class:`FaultPlan` into fault decisions.
+
+Every decision is a keyed draw through :mod:`repro.rand`:
+
+* probe churn and packet loss use *rate-free, call-order-free* keys
+  (``(seed, "fault-churn", window, probe_id)`` and
+  ``(seed, "fault-loss", kind, target_ip, seq, probe_id)``) — the same
+  (probe, target, time) always fails the same way regardless of when it is
+  measured, and raising the rate only adds faults (nesting);
+* API faults and result delays use a *counter hash*: each API call gets a
+  monotonically increasing index, and the draw key is
+  ``(seed, "fault-api", op, index)``. A retry is a new call with a new
+  index, so it draws fresh — which is exactly what makes retrying
+  worthwhile — while the full schedule stays deterministic for a fixed
+  call sequence.
+
+The injector also keeps per-kind injection counts, which the robustness
+experiment reports as overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro import rand
+from repro.errors import (
+    ApiRateLimitError,
+    ApiServerError,
+    ApiTimeoutError,
+    AtlasApiError,
+    CreditExhaustedError,
+)
+from repro.faults.plan import FaultPlan
+
+
+class FaultInjector:
+    """Stateful fault-draw engine consulted by the platform and API layers."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._api_index = 0
+        self._credits_charged = 0
+        self._counts: Dict[str, int] = {}
+
+    # --- bookkeeping -------------------------------------------------------------
+
+    def _record(self, kind: str, count: int = 1) -> None:
+        if count:
+            self._counts[kind] = self._counts.get(kind, 0) + count
+
+    def fault_counts(self) -> Dict[str, int]:
+        """Copy of the per-kind injected-fault counts."""
+        return dict(self._counts)
+
+    @property
+    def credits_charged(self) -> int:
+        """Credits the platform account has honoured so far."""
+        return self._credits_charged
+
+    def next_call(self) -> int:
+        """Allocate the next API-call index (the counter in counter-hash)."""
+        index = self._api_index
+        self._api_index += 1
+        return index
+
+    # --- credit exhaustion -------------------------------------------------------
+
+    def check_credits(self, credits: int) -> None:
+        """Record a charge against the account-level budget.
+
+        Raises:
+            CreditExhaustedError: when the plan's ``credit_budget`` cannot
+                cover the charge (nothing is recorded in that case).
+        """
+        budget = self.plan.credit_budget
+        if budget is not None and self._credits_charged + credits > budget:
+            self._record("credit-denied")
+            raise CreditExhaustedError(
+                f"platform account exhausted: charge of {credits} credits "
+                f"exceeds budget ({self._credits_charged}/{budget} spent)"
+            )
+        self._credits_charged += credits
+
+    # --- probe churn -------------------------------------------------------------
+
+    def window_at(self, now_s: float) -> int:
+        """The churn window index covering a simulated instant."""
+        return int(now_s // self.plan.probe_churn_window_s)
+
+    def probe_disconnected(self, probe_id: int, window: int) -> bool:
+        """Whether a probe is offline during a churn window."""
+        if self.plan.probe_disconnect_rate == 0.0:
+            return False
+        down = rand.chance(
+            (self.plan.seed, "fault-churn", window, probe_id),
+            self.plan.probe_disconnect_rate,
+        )
+        if down:
+            self._record("probe-disconnect")
+        return down
+
+    def disconnected_mask(self, probe_ids: np.ndarray, window: int) -> np.ndarray:
+        """Vectorised :meth:`probe_disconnected` over a probe-id array."""
+        ids = np.asarray(probe_ids, dtype=np.uint64)
+        if self.plan.probe_disconnect_rate == 0.0:
+            return np.zeros(ids.shape[0], dtype=bool)
+        draws = rand.bulk_uniform((self.plan.seed, "fault-churn", window), ids)
+        mask = draws < self.plan.probe_disconnect_rate
+        self._record("probe-disconnect", int(mask.sum()))
+        return mask
+
+    # --- packet loss -------------------------------------------------------------
+
+    def measurement_lost(self, kind: str, target_ip: str, seq: int, probe_id: int) -> bool:
+        """Whether one (probe, target) measurement loses all its packets."""
+        if self.plan.packet_loss_rate == 0.0:
+            return False
+        lost = rand.chance(
+            (self.plan.seed, "fault-loss", kind, target_ip, seq, probe_id),
+            self.plan.packet_loss_rate,
+        )
+        if lost:
+            self._record("packet-loss")
+        return lost
+
+    def loss_mask(
+        self, kind: str, target_ip: str, seq: int, probe_ids: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised :meth:`measurement_lost` over a probe-id array."""
+        ids = np.asarray(probe_ids, dtype=np.uint64)
+        if self.plan.packet_loss_rate == 0.0:
+            return np.zeros(ids.shape[0], dtype=bool)
+        draws = rand.bulk_uniform(
+            (self.plan.seed, "fault-loss", kind, target_ip, seq), ids
+        )
+        mask = draws < self.plan.packet_loss_rate
+        self._record("packet-loss", int(mask.sum()))
+        return mask
+
+    # --- API faults --------------------------------------------------------------
+
+    def api_error(self, op: str, index: int) -> Optional[AtlasApiError]:
+        """The typed API failure for one call, or ``None`` on success.
+
+        One uniform draw is partitioned into [timeout | 429 | 5xx | ok]
+        bands, so the three failure modes are mutually exclusive and each
+        occurs at exactly its configured rate.
+        """
+        plan = self.plan
+        total = plan.api_timeout_rate + plan.api_rate_limit_rate + plan.api_server_error_rate
+        if total == 0.0:
+            return None
+        u = rand.uniform((plan.seed, "fault-api", op, index))
+        if u < plan.api_timeout_rate:
+            self._record("api-timeout")
+            return ApiTimeoutError(
+                f"{op} call #{index} timed out", cost_s=plan.api_timeout_cost_s
+            )
+        if u < plan.api_timeout_rate + plan.api_rate_limit_rate:
+            self._record("api-rate-limit")
+            return ApiRateLimitError(
+                f"{op} call #{index} rate-limited (429)",
+                cost_s=1.0,
+                retry_after_s=plan.api_rate_limit_retry_after_s,
+            )
+        if u < total:
+            self._record("api-server-error")
+            return ApiServerError(
+                f"{op} call #{index} failed (503)",
+                cost_s=plan.api_server_error_cost_s,
+                status=503,
+            )
+        return None
+
+    # --- result-delivery delays ---------------------------------------------------
+
+    def result_delay(self, op: str, index: int) -> float:
+        """Extra result-delivery delay (seconds) for one call; 0 when none."""
+        plan = self.plan
+        if plan.result_delay_rate == 0.0:
+            return 0.0
+        if not rand.chance((plan.seed, "fault-delay-gate", op, index), plan.result_delay_rate):
+            return 0.0
+        low, high = plan.result_delay_range_s
+        self._record("result-delay")
+        return rand.uniform((plan.seed, "fault-delay", op, index), low, high)

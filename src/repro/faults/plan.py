@@ -1,0 +1,136 @@
+"""The immutable description of a fault schedule.
+
+A :class:`FaultPlan` holds only *rates and parameters*; the draws
+themselves happen in :class:`repro.faults.injector.FaultInjector`. Keeping
+the plan frozen and hashable lets scenarios and experiments key caches on
+it, and makes "the same plan twice" trivially identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Rates and parameters of every injectable fault kind.
+
+    All rates default to zero: a default plan injects nothing and a
+    platform carrying one behaves byte-identically to a platform without
+    a fault layer.
+
+    Attributes:
+        seed: root of every fault draw key (independent of the world seed,
+            so the same world can be stressed with many fault schedules).
+        probe_disconnect_rate: probability that a given probe is offline
+            during a given churn window ("Day in the Life" probe flapping).
+        probe_churn_window_s: length of a churn window in simulated
+            seconds; a probe's connectivity is re-drawn each window.
+        packet_loss_rate: probability that one (probe, target) measurement
+            loses all its packets and reports no result.
+        api_timeout_rate: probability that an API call times out.
+        api_rate_limit_rate: probability that an API call is answered 429.
+        api_server_error_rate: probability that an API call is answered 5xx.
+        api_timeout_cost_s: simulated seconds a timed-out call burns.
+        api_rate_limit_retry_after_s: the 429 response's Retry-After value.
+        api_server_error_cost_s: simulated seconds a 5xx round trip burns.
+        result_delay_rate: probability that a measurement's results are
+            delivered late (§5.2.5: "it generally takes a few minutes").
+        result_delay_range_s: (min, max) extra delivery delay in seconds.
+        credit_budget: total credits the platform account will honour
+            before schedule requests fail with
+            :class:`~repro.errors.CreditExhaustedError`; ``None`` means
+            unlimited (the paper's upgraded account).
+    """
+
+    seed: int = 0
+    probe_disconnect_rate: float = 0.0
+    probe_churn_window_s: float = 3600.0
+    packet_loss_rate: float = 0.0
+    api_timeout_rate: float = 0.0
+    api_rate_limit_rate: float = 0.0
+    api_server_error_rate: float = 0.0
+    api_timeout_cost_s: float = 60.0
+    api_rate_limit_retry_after_s: float = 30.0
+    api_server_error_cost_s: float = 5.0
+    result_delay_rate: float = 0.0
+    result_delay_range_s: Tuple[float, float] = (60.0, 600.0)
+    credit_budget: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        rates = {
+            "probe_disconnect_rate": self.probe_disconnect_rate,
+            "packet_loss_rate": self.packet_loss_rate,
+            "api_timeout_rate": self.api_timeout_rate,
+            "api_rate_limit_rate": self.api_rate_limit_rate,
+            "api_server_error_rate": self.api_server_error_rate,
+            "result_delay_rate": self.result_delay_rate,
+        }
+        for name, rate in rates.items():
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1]: {rate}")
+        api_total = (
+            self.api_timeout_rate + self.api_rate_limit_rate + self.api_server_error_rate
+        )
+        if api_total > 1.0:
+            raise ConfigurationError(
+                f"API fault rates sum to {api_total:.3f} > 1; a call cannot fail "
+                "two ways at once"
+            )
+        if self.probe_churn_window_s <= 0:
+            raise ConfigurationError(
+                f"probe_churn_window_s must be positive: {self.probe_churn_window_s}"
+            )
+        low, high = self.result_delay_range_s
+        if low < 0 or high < low:
+            raise ConfigurationError(
+                f"result_delay_range_s must satisfy 0 <= low <= high: ({low}, {high})"
+            )
+        if self.credit_budget is not None and self.credit_budget < 0:
+            raise ConfigurationError(
+                f"credit_budget must be non-negative: {self.credit_budget}"
+            )
+
+    @property
+    def is_zero(self) -> bool:
+        """Whether this plan injects nothing at all."""
+        return (
+            self.probe_disconnect_rate == 0.0
+            and self.packet_loss_rate == 0.0
+            and self.api_timeout_rate == 0.0
+            and self.api_rate_limit_rate == 0.0
+            and self.api_server_error_rate == 0.0
+            and self.result_delay_rate == 0.0
+            and self.credit_budget is None
+        )
+
+    @classmethod
+    def none(cls, seed: int = 0) -> "FaultPlan":
+        """A plan that injects nothing (the fair-weather platform)."""
+        return cls(seed=seed)
+
+    @classmethod
+    def at_rate(cls, rate: float, seed: int = 0) -> "FaultPlan":
+        """A balanced chaos profile parameterised by one headline rate.
+
+        ``rate`` is the packet-loss probability; the other fault kinds
+        scale with it the way the real platform's pathologies co-occur
+        (churn about half as often as loss, API faults rarer still). The
+        per-fault draw keys do not include the rate, so the fault sets of
+        two plans at rates ``r1 < r2`` are nested: every fault injected at
+        ``r1`` is also injected at ``r2``.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError(f"fault rate must be in [0, 1]: {rate}")
+        return cls(
+            seed=seed,
+            packet_loss_rate=rate,
+            probe_disconnect_rate=rate / 2.0,
+            api_timeout_rate=rate / 4.0,
+            api_rate_limit_rate=rate / 8.0,
+            api_server_error_rate=rate / 8.0,
+            result_delay_rate=rate,
+        )

@@ -3,10 +3,12 @@
 import pytest
 
 from repro.atlas.api import MeasurementApi, MeasurementStatus
+from repro.atlas.client import AtlasClient
 from repro.atlas.clock import SimClock
 from repro.atlas.credits import CreditLedger
-from repro.atlas.platform import API_OVERHEAD_S, RESULT_LATENCY_RANGE_S
+from repro.atlas.platform import API_OVERHEAD_S, RESULT_LATENCY_RANGE_S, AtlasPlatform
 from repro.errors import CreditExhaustedError, MeasurementError
+from repro.faults import FaultInjector, FaultPlan
 
 
 @pytest.fixture
@@ -99,3 +101,65 @@ class TestPolling:
         first = api.wait(measurement_id)
         second = api.fetch_results(measurement_id)
         assert first is second
+
+
+class TestAccountingParity:
+    """Regression: measurements are counted exactly once, at schedule time.
+
+    The lazy :meth:`MeasurementApi.fetch_results` execution delivers results
+    through the platform's accounting-free ``execute_*`` path, so the sync
+    (:class:`AtlasClient`) and async paths must always report identical
+    ledger totals for the same campaign.
+    """
+
+    def test_sync_and_async_totals_identical(self, small_platform, small_world):
+        probe_ids = [p.host_id for p in small_world.probes[:3]]
+        targets = [a.ip for a in small_world.anchors[:3]]
+
+        client = AtlasClient(small_platform)
+        for seq, target in enumerate(targets):
+            client.ping_from(probe_ids, target, seq=seq)
+        client.traceroute_from(probe_ids[0], targets[0])
+
+        api = MeasurementApi(small_platform, SimClock(), CreditLedger())
+        ids = [
+            api.create_ping(probe_ids, target, seq=seq)
+            for seq, target in enumerate(targets)
+        ]
+        ids.append(api.create_traceroute([probe_ids[0]], targets[0]))
+        for measurement_id in ids:
+            api.wait(measurement_id)
+
+        assert api.ledger.spent == client.ledger.spent
+        assert api.ledger.counts() == client.ledger.counts()
+        assert api.ledger.measurement_count() == client.ledger.measurement_count()
+
+    def test_fetching_results_charges_nothing(self, api, small_world):
+        probe_ids = [p.host_id for p in small_world.probes[:4]]
+        measurement_id = api.create_ping(probe_ids, small_world.anchors[0].ip)
+        spent_at_schedule = api.ledger.spent
+        counted_at_schedule = api.ledger.measurement_count()
+        api.wait(measurement_id)
+        api.fetch_results(measurement_id)
+        api.fetch_results(measurement_id)
+        assert api.ledger.spent == spent_at_schedule
+        assert api.ledger.measurement_count() == counted_at_schedule
+
+    def test_parity_holds_under_faults(self, small_world):
+        """Fault layers must not reintroduce double counting: a scheduled
+        measurement delivered later is still one measurement."""
+        plan = FaultPlan(seed=4, packet_loss_rate=0.3, probe_disconnect_rate=0.1)
+        platform = AtlasPlatform(small_world, faults=FaultInjector(plan))
+        probe_ids = [p.host_id for p in small_world.probes[:4]]
+        target = small_world.anchors[0].ip
+
+        api = MeasurementApi(platform, SimClock(), CreditLedger())
+        measurement_id = api.create_ping(probe_ids, target, seq=3)
+        spent = api.ledger.spent
+        results = api.wait(measurement_id)
+        assert api.ledger.spent == spent  # delivery is free
+        assert set(results) == set(probe_ids)
+
+        sync_results = platform.ping(probe_ids, target, seq=3, clock=SimClock())
+        # Same world, same fault draws (window 0 in both): identical values.
+        assert results == sync_results

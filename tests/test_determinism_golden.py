@@ -68,6 +68,49 @@ class TestWorldGolden:
         assert checksum_a > 0
 
 
+class TestFaultGolden:
+    """Golden values for a fixed fault plan (at_rate 0.25, fault seed 5).
+
+    These pin the fault draw streams exactly: if any of them moves, the
+    fault schedules of every recorded chaos run change silently.
+    """
+
+    PLAN_ARGS = dict(rate=0.25, seed=5)
+
+    def test_fault_schedule_reference_values(self):
+        from repro.faults import FaultInjector, FaultPlan
+
+        plan = FaultPlan.at_rate(**self.PLAN_ARGS)
+        ids = np.arange(16, dtype=np.uint64)
+        churn = FaultInjector(plan).disconnected_mask(ids, window=0).astype(int).tolist()
+        assert churn == [0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0]
+        loss = (
+            FaultInjector(plan).loss_mask("ping", "10.0.0.1", 0, ids).astype(int).tolist()
+        )
+        assert loss == [0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 1]
+        api = [type(FaultInjector(plan).api_error("ping", i)).__name__ for i in range(8)]
+        assert api == ["NoneType"] * 7 + ["ApiServerError"]
+        delay = FaultInjector(FaultPlan(seed=5, result_delay_rate=1.0)).result_delay(
+            "ping", 0
+        )
+        assert delay == pytest.approx(552.0403053136721, abs=1e-9)
+
+    def test_fixed_fault_plan_campaign_golden(self, small_world):
+        from repro.atlas.platform import AtlasPlatform
+        from repro.faults import FaultInjector, FaultPlan
+
+        plan = FaultPlan.at_rate(**self.PLAN_ARGS)
+        probe_ids = [p.host_id for p in small_world.probes[:10]]
+        targets = [a.ip for a in small_world.anchors[:6]]
+        matrices = []
+        for _trial in range(2):
+            platform = AtlasPlatform(small_world, faults=FaultInjector(plan))
+            matrices.append(platform.ping_matrix(probe_ids, targets, seq=4))
+        np.testing.assert_array_equal(matrices[0], matrices[1])
+        assert int(np.isnan(matrices[0]).sum()) == 19
+        assert float(np.nansum(matrices[0])) == pytest.approx(4171.014897621213, abs=1e-6)
+
+
 class TestScenarioGolden:
     def test_street_runner_subsampling_even(self, small_scenario):
         from repro.experiments.street_runner import street_level_records

@@ -1,0 +1,299 @@
+"""Tests for the fault-injection substrate (:mod:`repro.faults`).
+
+Covers plan validation, determinism of the fault schedules (same seed →
+same faults; different seeds → different faults), the zero-fault
+byte-identity guarantee, churn windows, scalar/bulk draw consistency,
+typed API fault bands, credit exhaustion, result delays, and the nesting
+property that makes coverage monotone in the fault rate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.atlas.platform import AtlasPlatform
+from repro.errors import (
+    ApiRateLimitError,
+    ApiServerError,
+    ApiTimeoutError,
+    AtlasApiError,
+    ConfigurationError,
+    CreditExhaustedError,
+    MeasurementError,
+    RateLimitError,
+)
+from repro.faults import FaultInjector, FaultPlan
+
+SEEDS = (3, 11)
+
+
+class TestFaultPlanValidation:
+    @pytest.mark.parametrize(
+        "field", ["probe_disconnect_rate", "packet_loss_rate", "api_timeout_rate",
+                  "api_rate_limit_rate", "api_server_error_rate", "result_delay_rate"],
+    )
+    @pytest.mark.parametrize("bad", [-0.01, 1.01])
+    def test_rates_must_be_probabilities(self, field, bad):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(**{field: bad})
+
+    def test_api_rates_cannot_sum_over_one(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(api_timeout_rate=0.5, api_rate_limit_rate=0.4, api_server_error_rate=0.2)
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(probe_churn_window_s=0.0)
+
+    def test_delay_range_must_be_ordered(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(result_delay_range_s=(100.0, 50.0))
+        with pytest.raises(ConfigurationError):
+            FaultPlan(result_delay_range_s=(-1.0, 50.0))
+
+    def test_budget_must_be_non_negative(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(credit_budget=-1)
+
+    def test_at_rate_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.at_rate(1.5)
+
+    def test_none_and_at_rate_zero_are_zero(self):
+        assert FaultPlan.none().is_zero
+        assert FaultPlan.at_rate(0.0).is_zero
+        assert not FaultPlan.at_rate(0.1).is_zero
+        assert not FaultPlan(credit_budget=10).is_zero
+
+    def test_plan_is_frozen_and_hashable(self):
+        plan = FaultPlan.at_rate(0.2, seed=5)
+        assert plan == FaultPlan.at_rate(0.2, seed=5)
+        assert hash(plan) == hash(FaultPlan.at_rate(0.2, seed=5))
+        with pytest.raises(AttributeError):
+            plan.seed = 1
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_same_seed_same_schedule(self, seed):
+        plan = FaultPlan.at_rate(0.3, seed=seed)
+        a, b = FaultInjector(plan), FaultInjector(plan)
+        ids = np.arange(100, 200, dtype=np.int64)
+        np.testing.assert_array_equal(
+            a.disconnected_mask(ids, window=4), b.disconnected_mask(ids, window=4)
+        )
+        np.testing.assert_array_equal(
+            a.loss_mask("ping", "10.0.0.1", 0, ids), b.loss_mask("ping", "10.0.0.1", 0, ids)
+        )
+        for index in range(20):
+            ea, eb = a.api_error("ping", index), b.api_error("ping", index)
+            assert type(ea) is type(eb)
+            assert a.result_delay("ping", index) == b.result_delay("ping", index)
+        assert a.fault_counts() == b.fault_counts()
+
+    def test_different_seeds_differ(self):
+        ids = np.arange(0, 500, dtype=np.int64)
+        masks = [
+            FaultInjector(FaultPlan.at_rate(0.3, seed=seed)).loss_mask("ping", "10.0.0.1", 0, ids)
+            for seed in SEEDS
+        ]
+        assert not np.array_equal(masks[0], masks[1])
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_draws_independent_of_call_order(self, seed):
+        plan = FaultPlan.at_rate(0.4, seed=seed)
+        a, b = FaultInjector(plan), FaultInjector(plan)
+        forward = [a.probe_disconnected(pid, window=0) for pid in range(50)]
+        backward = [b.probe_disconnected(pid, window=0) for pid in reversed(range(50))]
+        assert forward == list(reversed(backward))
+
+
+class TestZeroPlanIdentity:
+    def test_zero_plan_platform_byte_identical(self, small_world):
+        """A platform carrying a zero plan is the fair-weather platform."""
+        plain = AtlasPlatform(small_world)
+        faulty = AtlasPlatform(small_world, faults=FaultInjector(FaultPlan.none()))
+        probe_ids = [p.host_id for p in small_world.probes[:8]]
+        targets = [a.ip for a in small_world.anchors[:5]]
+        np.testing.assert_array_equal(
+            plain.ping_matrix(probe_ids, targets, seq=2),
+            faulty.ping_matrix(probe_ids, targets, seq=2),
+        )
+        assert plain.ping(probe_ids, targets[0], seq=2) == faulty.ping(probe_ids, targets[0], seq=2)
+        assert faulty.faults.fault_counts() == {}
+
+
+class TestChurn:
+    def test_window_arithmetic(self):
+        injector = FaultInjector(FaultPlan(probe_disconnect_rate=0.5, probe_churn_window_s=600.0))
+        assert injector.window_at(0.0) == 0
+        assert injector.window_at(599.9) == 0
+        assert injector.window_at(600.0) == 1
+        assert injector.window_at(6000.0) == 10
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_connectivity_redrawn_per_window(self, seed):
+        injector = FaultInjector(FaultPlan(seed=seed, probe_disconnect_rate=0.5))
+        per_window = [
+            [injector.probe_disconnected(pid, window) for pid in range(64)]
+            for window in range(4)
+        ]
+        # Same window → same fate; different windows → different draws.
+        assert any(per_window[0] != later for later in per_window[1:])
+        repeat = [injector.probe_disconnected(pid, 0) for pid in range(64)]
+        assert repeat == per_window[0]
+
+
+class TestScalarBulkConsistency:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_disconnected_mask_matches_scalar(self, seed):
+        plan = FaultPlan(seed=seed, probe_disconnect_rate=0.3)
+        ids = np.arange(1, 257, dtype=np.int64)
+        bulk = FaultInjector(plan).disconnected_mask(ids, window=7)
+        scalar = np.array(
+            [FaultInjector(plan).probe_disconnected(int(pid), 7) for pid in ids]
+        )
+        np.testing.assert_array_equal(bulk, scalar)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_loss_mask_matches_scalar(self, seed):
+        plan = FaultPlan(seed=seed, packet_loss_rate=0.25)
+        ids = np.arange(1, 257, dtype=np.int64)
+        bulk = FaultInjector(plan).loss_mask("ping", "10.1.2.3", 5, ids)
+        scalar = np.array(
+            [
+                FaultInjector(plan).measurement_lost("ping", "10.1.2.3", 5, int(pid))
+                for pid in ids
+            ]
+        )
+        np.testing.assert_array_equal(bulk, scalar)
+
+    def test_masks_record_counts(self):
+        injector = FaultInjector(FaultPlan(packet_loss_rate=0.5, probe_disconnect_rate=0.5))
+        ids = np.arange(0, 400, dtype=np.int64)
+        lost = int(injector.loss_mask("ping", "10.0.0.9", 0, ids).sum())
+        down = int(injector.disconnected_mask(ids, 0).sum())
+        counts = injector.fault_counts()
+        assert counts["packet-loss"] == lost > 0
+        assert counts["probe-disconnect"] == down > 0
+
+
+class TestApiFaults:
+    def test_all_timeout_band(self):
+        injector = FaultInjector(FaultPlan(api_timeout_rate=1.0, api_timeout_cost_s=45.0))
+        for index in range(5):
+            error = injector.api_error("ping", index)
+            assert isinstance(error, ApiTimeoutError)
+            assert error.cost_s == 45.0
+            assert error.retryable
+
+    def test_all_rate_limit_band(self):
+        injector = FaultInjector(
+            FaultPlan(api_rate_limit_rate=1.0, api_rate_limit_retry_after_s=77.0)
+        )
+        error = injector.api_error("ping", 0)
+        assert isinstance(error, ApiRateLimitError)
+        assert isinstance(error, RateLimitError)  # typed: also a platform 429
+        assert isinstance(error, AtlasApiError)
+        assert error.retry_after_s == 77.0
+
+    def test_all_server_error_band(self):
+        injector = FaultInjector(FaultPlan(api_server_error_rate=1.0))
+        error = injector.api_error("traceroute", 0)
+        assert isinstance(error, ApiServerError)
+        assert error.status == 503
+
+    def test_bands_are_mutually_exclusive(self):
+        """One draw, partitioned: each call fails at most one way."""
+        injector = FaultInjector(
+            FaultPlan(api_timeout_rate=0.3, api_rate_limit_rate=0.3, api_server_error_rate=0.3)
+        )
+        kinds = [type(injector.api_error("ping", index)) for index in range(300)]
+        counts = injector.fault_counts()
+        total_faults = sum(1 for k in kinds if k is not type(None))
+        assert (
+            counts.get("api-timeout", 0)
+            + counts.get("api-rate-limit", 0)
+            + counts.get("api-server-error", 0)
+            == total_faults
+        )
+        # With 90% fault probability all three bands get hit over 300 draws.
+        assert counts["api-timeout"] > 0
+        assert counts["api-rate-limit"] > 0
+        assert counts["api-server-error"] > 0
+
+    def test_zero_rates_draw_nothing(self):
+        injector = FaultInjector(FaultPlan.none())
+        assert injector.api_error("ping", 0) is None
+        assert injector.result_delay("ping", 0) == 0.0
+
+    def test_errors_are_measurement_errors(self):
+        """Existing except MeasurementError handlers still catch API faults."""
+        assert issubclass(AtlasApiError, MeasurementError)
+
+
+class TestCreditBudget:
+    def test_budget_enforced_with_typed_error(self):
+        injector = FaultInjector(FaultPlan(credit_budget=100))
+        injector.check_credits(60)
+        with pytest.raises(CreditExhaustedError):
+            injector.check_credits(50)
+        # The denied charge was not recorded; a fitting one still passes.
+        assert injector.credits_charged == 60
+        injector.check_credits(40)
+        assert injector.credits_charged == 100
+        assert injector.fault_counts()["credit-denied"] == 1
+
+    def test_unlimited_budget_never_raises(self):
+        injector = FaultInjector(FaultPlan.none())
+        injector.check_credits(10**9)
+        assert injector.credits_charged == 10**9
+
+    def test_platform_admission_raises(self, small_world):
+        platform = AtlasPlatform(
+            small_world, faults=FaultInjector(FaultPlan(credit_budget=5))
+        )
+        probe_ids = [p.host_id for p in small_world.probes[:4]]
+        with pytest.raises(CreditExhaustedError):
+            platform.ping(probe_ids, small_world.anchors[0].ip)
+
+
+class TestResultDelays:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_delay_within_configured_range(self, seed):
+        plan = FaultPlan(seed=seed, result_delay_rate=1.0, result_delay_range_s=(30.0, 90.0))
+        injector = FaultInjector(plan)
+        delays = [injector.result_delay("ping", index) for index in range(20)]
+        assert all(30.0 <= delay <= 90.0 for delay in delays)
+        assert injector.fault_counts()["result-delay"] == 20
+
+    def test_partial_rate_sometimes_zero(self):
+        injector = FaultInjector(FaultPlan(result_delay_rate=0.5))
+        delays = [injector.result_delay("ping", index) for index in range(50)]
+        assert any(delay == 0.0 for delay in delays)
+        assert any(delay > 0.0 for delay in delays)
+
+
+class TestNesting:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_fault_sets_nest_across_rates(self, seed):
+        """Rate-free draw keys: every fault at rate r1 < r2 recurs at r2."""
+        ids = np.arange(0, 300, dtype=np.int64)
+        rates = (0.05, 0.1, 0.2, 0.4)
+        loss_masks = [
+            FaultInjector(FaultPlan.at_rate(rate, seed=seed)).loss_mask(
+                "ping", "10.0.0.1", 0, ids
+            )
+            for rate in rates
+        ]
+        churn_masks = [
+            FaultInjector(FaultPlan.at_rate(rate, seed=seed)).disconnected_mask(ids, 0)
+            for rate in rates
+        ]
+        for smaller, larger in zip(loss_masks, loss_masks[1:]):
+            assert not np.any(smaller & ~larger)
+        for smaller, larger in zip(churn_masks, churn_masks[1:]):
+            assert not np.any(smaller & ~larger)
+
+    def test_next_call_counter_is_monotone(self):
+        injector = FaultInjector(FaultPlan.none())
+        assert [injector.next_call() for _ in range(5)] == [0, 1, 2, 3, 4]

@@ -1,0 +1,156 @@
+"""Property-based chaos tests (Hypothesis) for the fault substrate.
+
+For any fault rate in [0, 0.5] and any fault seed:
+
+* fault-injected campaigns never crash — they degrade to missing values;
+* CBG (both the exact and the vectorised path) never emits a location
+  built from fewer than the required usable vantage points;
+* coverage is monotone non-increasing in the fault rate (the nested
+  fault-set property of rate-free draw keys);
+* a zero-rate plan is indistinguishable from fair weather.
+
+Examples are deterministic: every fault draw is a pure function of
+(seed, key), so a failing example reproduces exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.atlas.client import AtlasClient
+from repro.atlas.platform import AtlasPlatform
+from repro.atlas.resilient import ResilientClient, RetryPolicy
+from repro.constants import MIN_USABLE_VPS
+from repro.core.cbg import cbg_centroid_fast, cbg_estimate
+from repro.core.million_scale import geolocate_with_selection
+from repro.faults import FaultInjector, FaultPlan
+
+RATES = st.floats(min_value=0.0, max_value=0.5, allow_nan=False, allow_subnormal=False)
+FAULT_SEEDS = st.sampled_from((3, 11))
+
+CHAOS_SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _faulty_client(world, plan):
+    platform = AtlasPlatform(world, faults=FaultInjector(plan))
+    policy = RetryPolicy(max_attempts=2, base_backoff_s=1.0)
+    return ResilientClient(AtlasClient(platform), policy=policy)
+
+
+def _vp_sample(world, count=12):
+    probes = world.probes[:count]
+    return [p.host_id for p in probes]
+
+
+class TestCampaignsSurviveFaults:
+    @CHAOS_SETTINGS
+    @given(rate=RATES, seed=FAULT_SEEDS)
+    def test_matrix_campaign_never_crashes_and_min_vps_holds(
+        self, small_world, rate, seed
+    ):
+        client = _faulty_client(small_world, FaultPlan.at_rate(rate, seed=seed))
+        probe_ids = _vp_sample(small_world)
+        targets = [a.ip for a in small_world.anchors[:4]]
+        matrix = client.ping_matrix(probe_ids, targets)
+        assert matrix.shape == (len(probe_ids), len(targets))
+        infos = [client.platform.probe_info(pid) for pid in probe_ids]
+        vp_lats = np.array([info.location.lat for info in infos])
+        vp_lons = np.array([info.location.lon for info in infos])
+        for column in range(len(targets)):
+            rtts = matrix[:, column]
+            centroid = cbg_centroid_fast(vp_lats, vp_lons, rtts, min_vps=MIN_USABLE_VPS)
+            answered = int((~np.isnan(rtts)).sum())
+            if answered < MIN_USABLE_VPS:
+                assert centroid is None
+            if centroid is not None:
+                assert answered >= MIN_USABLE_VPS
+                assert -90.0 <= centroid[0] <= 90.0
+                assert -180.0 <= centroid[1] <= 180.0
+
+    @CHAOS_SETTINGS
+    @given(rate=RATES, seed=FAULT_SEEDS)
+    def test_exact_cbg_never_locates_from_too_few_vps(self, small_world, rate, seed):
+        client = _faulty_client(small_world, FaultPlan.at_rate(rate, seed=seed))
+        probe_ids = _vp_sample(small_world, count=8)
+        infos = [client.platform.probe_info(pid) for pid in probe_ids]
+        target_ip = small_world.anchors[0].ip
+        rtts = client.ping_from(probe_ids, target_ip)
+        result, region = cbg_estimate(
+            target_ip, infos, rtts, min_constraints=MIN_USABLE_VPS
+        )
+        answered = sum(1 for rtt in rtts.values() if rtt is not None)
+        if answered < MIN_USABLE_VPS:
+            assert result.estimate is None
+            assert region is None
+        if result.estimate is not None:
+            assert result.details["constraints"] >= MIN_USABLE_VPS
+
+    @CHAOS_SETTINGS
+    @given(rate=RATES, seed=FAULT_SEEDS)
+    def test_million_scale_pipeline_never_crashes(self, small_world, rate, seed):
+        client = _faulty_client(small_world, FaultPlan.at_rate(rate, seed=seed))
+        probe_ids = _vp_sample(small_world)
+        infos = [client.platform.probe_info(pid) for pid in probe_ids]
+        target_ip = small_world.anchors[1].ip
+        # Representative RTTs from a fair-weather read of the same world —
+        # selection quality is not under test, survival is.
+        rep_rtts = AtlasPlatform(small_world).ping_matrix(probe_ids, [target_ip])[:, 0]
+        result = geolocate_with_selection(
+            client, target_ip, infos, rep_rtts, k=8, min_vps=MIN_USABLE_VPS
+        )
+        assert result.target_ip == target_ip
+        if result.estimate is not None:
+            assert result.details["constraints"] >= MIN_USABLE_VPS
+
+
+class TestMonotoneCoverage:
+    @CHAOS_SETTINGS
+    @given(rate=RATES, seed=FAULT_SEEDS)
+    def test_coverage_non_increasing_in_rate(self, small_world, rate, seed):
+        """Every cell lost at rate r/2 is also lost at rate r (nesting)."""
+        probe_ids = _vp_sample(small_world)
+        targets = [a.ip for a in small_world.anchors[:4]]
+        matrices = {}
+        for r in (rate / 2.0, rate):
+            plan = FaultPlan(
+                seed=seed, packet_loss_rate=r, probe_disconnect_rate=r / 2.0
+            )
+            platform = AtlasPlatform(small_world, faults=FaultInjector(plan))
+            matrices[r] = platform.ping_matrix(probe_ids, targets)
+        low, high = matrices[rate / 2.0], matrices[rate]
+        # No cell answers at the higher rate but not at the lower one.
+        assert not np.any(~np.isnan(high) & np.isnan(low))
+        assert np.count_nonzero(~np.isnan(high)) <= np.count_nonzero(~np.isnan(low))
+
+    @CHAOS_SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_zero_rate_plan_is_fair_weather(self, small_world, seed):
+        probe_ids = _vp_sample(small_world, count=6)
+        targets = [a.ip for a in small_world.anchors[:2]]
+        clean = AtlasPlatform(small_world).ping_matrix(probe_ids, targets)
+        plan = FaultPlan.at_rate(0.0, seed=seed)
+        faulty = AtlasPlatform(small_world, faults=FaultInjector(plan)).ping_matrix(
+            probe_ids, targets
+        )
+        np.testing.assert_array_equal(clean, faulty)
+
+
+class TestDegradedValuesAreSane:
+    @CHAOS_SETTINGS
+    @given(rate=RATES, seed=FAULT_SEEDS)
+    def test_surviving_rtts_match_fair_weather(self, small_world, rate, seed):
+        """Faults only *remove* answers; they never corrupt the RTTs that
+        do come back."""
+        probe_ids = _vp_sample(small_world)
+        targets = [a.ip for a in small_world.anchors[:3]]
+        clean = AtlasPlatform(small_world).ping_matrix(probe_ids, targets)
+        plan = FaultPlan.at_rate(rate, seed=seed)
+        faulty = AtlasPlatform(small_world, faults=FaultInjector(plan)).ping_matrix(
+            probe_ids, targets
+        )
+        surviving = ~np.isnan(faulty)
+        np.testing.assert_array_equal(faulty[surviving], clean[surviving])

@@ -1,0 +1,256 @@
+"""Tests for :class:`repro.atlas.resilient.ResilientClient`.
+
+Covers retry-until-success, backoff/clock/ledger accounting (every attempt
+and every backoff costs simulated resources), graceful degradation shapes
+for all four measurement calls, typed credit-exhaustion propagation,
+per-call timeouts, and zero-fault passthrough identity.
+"""
+
+import numpy as np
+import pytest
+
+from repro import rand
+from repro.atlas.client import AtlasClient
+from repro.atlas.clock import SimClock
+from repro.atlas.platform import AtlasPlatform
+from repro.atlas.resilient import ResilientClient, RetryPolicy, RetryStats
+from repro.errors import ConfigurationError, CreditExhaustedError
+from repro.faults import FaultInjector, FaultPlan
+
+SEEDS = (3, 11)
+
+
+def _seed_with_api_pattern(op, rate, pattern, start=0):
+    """Smallest fault seed whose counter-hash draws match a fail pattern.
+
+    The draw for call ``index`` of ``op`` is ``uniform((seed, "fault-api",
+    op, index))``; searching seeds is deterministic, so tests can pin an
+    exact fail/succeed sequence without monkeypatching the injector.
+    """
+    for seed in range(500):
+        draws = [
+            rand.uniform((seed, "fault-api", op, start + index)) < rate
+            for index in range(len(pattern))
+        ]
+        if draws == pattern:
+            return seed
+    pytest.fail(f"no seed under 500 gives pattern {pattern} for {op} at rate {rate}")
+
+
+def _resilient(world, plan, policy=None):
+    platform = AtlasPlatform(world, faults=FaultInjector(plan))
+    return ResilientClient(AtlasClient(platform), policy=policy)
+
+
+class TestPolicyValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(base_backoff_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_multiplier=0.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter_fraction=1.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(call_timeout_s=0.0)
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(
+            base_backoff_s=10.0, backoff_multiplier=3.0, max_backoff_s=50.0, jitter_fraction=0.0
+        )
+        assert policy.backoff_s("ping", 0, 0) == 10.0
+        assert policy.backoff_s("ping", 0, 1) == 30.0
+        assert policy.backoff_s("ping", 0, 2) == 50.0  # capped
+
+    def test_jitter_bounds_and_determinism(self):
+        policy = RetryPolicy(base_backoff_s=100.0, jitter_fraction=0.25)
+        values = [policy.backoff_s("ping", call, 0) for call in range(30)]
+        assert all(75.0 <= value <= 125.0 for value in values)
+        assert values == [policy.backoff_s("ping", call, 0) for call in range(30)]
+        assert len(set(values)) > 1  # jitter actually decorrelates
+
+
+class TestRetrySuccess:
+    def test_retries_until_success(self, small_world):
+        seed = _seed_with_api_pattern("ping", 0.5, [True, True, False])
+        client = _resilient(small_world, FaultPlan(seed=seed, api_timeout_rate=0.5))
+        probe_ids = [p.host_id for p in small_world.probes[:3]]
+        results = client.ping_from(probe_ids, small_world.anchors[0].ip)
+        # Two failures, then real results — not the degraded all-None shape.
+        assert any(rtt is not None for rtt in results.values())
+        assert client.stats.calls == 1
+        assert client.stats.attempts == 3
+        assert client.stats.retries == 2
+        assert client.stats.degraded_calls == 0
+        assert client.stats.errors_by_type == {"ApiTimeoutError": 2}
+
+    def test_every_attempt_charges_the_ledger(self, small_world):
+        seed = _seed_with_api_pattern("ping", 0.5, [True, False])
+        client = _resilient(small_world, FaultPlan(seed=seed, api_timeout_rate=0.5))
+        probe_ids = [p.host_id for p in small_world.probes[:2]]
+        client.ping_from(probe_ids, small_world.anchors[0].ip)
+        # 2 probes x 3 packets x 1 credit, for each of the 2 attempts.
+        assert client.credits_spent == 2 * (2 * 3)
+
+    def test_backoff_charges_the_clock(self, small_world):
+        seed = _seed_with_api_pattern("ping", 0.5, [True, False])
+        policy = RetryPolicy(base_backoff_s=40.0, jitter_fraction=0.25)
+        client = _resilient(
+            small_world,
+            FaultPlan(seed=seed, api_timeout_rate=0.5, api_timeout_cost_s=60.0),
+            policy=policy,
+        )
+        client.ping_from([small_world.probes[0].host_id], small_world.anchors[0].ip)
+        breakdown = client.clock.breakdown()
+        assert breakdown["retry-backoff"] == pytest.approx(client.stats.backoff_s)
+        assert 40.0 * 0.75 <= client.stats.backoff_s <= 40.0 * 1.25  # one retry, jittered
+        assert breakdown["atlas-faults"] == pytest.approx(60.0)  # the timeout burn
+        assert breakdown["atlas-api"] > 0  # both attempts paid the API wait
+
+    def test_rate_limit_backoff_respects_retry_after(self, small_world):
+        seed = _seed_with_api_pattern("ping", 0.5, [True, False])
+        policy = RetryPolicy(base_backoff_s=1.0, jitter_fraction=0.0)
+        client = _resilient(
+            small_world,
+            FaultPlan(seed=seed, api_rate_limit_rate=0.5, api_rate_limit_retry_after_s=120.0),
+            policy=policy,
+        )
+        client.ping_from([small_world.probes[0].host_id], small_world.anchors[0].ip)
+        assert client.stats.retries == 1
+        assert client.stats.backoff_s >= 120.0
+
+
+class TestDegradation:
+    @pytest.fixture
+    def always_failing(self, small_world):
+        return _resilient(
+            small_world,
+            FaultPlan(api_timeout_rate=1.0),
+            policy=RetryPolicy(max_attempts=2, base_backoff_s=1.0, call_timeout_s=None),
+        )
+
+    def test_ping_from_degrades_to_none(self, always_failing, small_world):
+        probe_ids = [p.host_id for p in small_world.probes[:4]]
+        results = always_failing.ping_from(probe_ids, small_world.anchors[0].ip)
+        assert results == {probe_id: None for probe_id in probe_ids}
+        assert always_failing.stats.degraded_calls == 1
+
+    def test_ping_matrix_degrades_to_nan(self, always_failing, small_world):
+        probe_ids = [p.host_id for p in small_world.probes[:4]]
+        targets = [a.ip for a in small_world.anchors[:3]]
+        matrix = always_failing.ping_matrix(probe_ids, targets)
+        assert matrix.shape == (4, 3)
+        assert np.isnan(matrix).all()
+
+    def test_traceroute_degrades_to_none(self, always_failing, small_world):
+        result = always_failing.traceroute_from(
+            small_world.probes[0].host_id, small_world.anchors[0].ip
+        )
+        assert result is None
+
+    def test_traceroute_batch_degrades_per_target(self, always_failing, small_world):
+        probe_ids = [p.host_id for p in small_world.probes[:2]]
+        targets = [a.ip for a in small_world.anchors[:2]]
+        batch = always_failing.traceroute_batch(probe_ids, targets)
+        assert set(batch) == set(targets)
+        for per_probe in batch.values():
+            assert per_probe == {probe_id: None for probe_id in probe_ids}
+
+    def test_degraded_attempts_still_cost(self, always_failing, small_world):
+        probe_ids = [p.host_id for p in small_world.probes[:2]]
+        always_failing.ping_from(probe_ids, small_world.anchors[0].ip)
+        # max_attempts=2: both failed attempts were charged.
+        assert always_failing.credits_spent == 2 * (2 * 3)
+        assert always_failing.stats.attempts == 2
+
+
+class TestHardFailures:
+    def test_credit_exhaustion_propagates(self, small_world):
+        client = _resilient(small_world, FaultPlan(credit_budget=5))
+        with pytest.raises(CreditExhaustedError):
+            client.ping_from(
+                [p.host_id for p in small_world.probes[:4]], small_world.anchors[0].ip
+            )
+        # Not a degradation: retrying cannot mint credits.
+        assert client.stats.degraded_calls == 0
+
+    def test_call_timeout_stops_retrying_early(self, small_world):
+        policy = RetryPolicy(max_attempts=10, base_backoff_s=1.0, call_timeout_s=100.0)
+        client = _resilient(
+            small_world,
+            FaultPlan(api_timeout_rate=1.0, api_timeout_cost_s=500.0),
+            policy=policy,
+        )
+        results = client.ping_from([small_world.probes[0].host_id], small_world.anchors[0].ip)
+        assert results[small_world.probes[0].host_id] is None
+        # The first failed attempt burned 500 s > 100 s budget: no retries.
+        assert client.stats.attempts == 1
+        assert client.stats.degraded_calls == 1
+
+
+class TestPassthrough:
+    def test_zero_fault_passthrough_identity(self, small_world, small_platform):
+        """Wrapping a fault-free session changes nothing but the stats."""
+        plain = AtlasClient(small_platform)
+        wrapped = ResilientClient(AtlasClient(small_platform))
+        probe_ids = [p.host_id for p in small_world.probes[:6]]
+        targets = [a.ip for a in small_world.anchors[:4]]
+        np.testing.assert_array_equal(
+            plain.ping_matrix(probe_ids, targets, seq=9),
+            wrapped.ping_matrix(probe_ids, targets, seq=9),
+        )
+        assert plain.ping_from(probe_ids, targets[0], seq=9) == wrapped.ping_from(
+            probe_ids, targets[0], seq=9
+        )
+        assert wrapped.stats.calls == 2
+        assert wrapped.stats.retries == 0
+        assert wrapped.stats.degraded_calls == 0
+        assert plain.clock.now_s == wrapped.clock.now_s
+
+    def test_metadata_passthrough(self, small_platform):
+        wrapped = ResilientClient(AtlasClient(small_platform))
+        probes = wrapped.list_probes()
+        assert probes == small_platform.probe_infos()
+        assert wrapped.probe(probes[0].probe_id) == probes[0]
+        ids, mesh = wrapped.anchor_mesh()
+        assert len(ids) == mesh.shape[0]
+
+    def test_with_clock_shares_ledger_and_stats(self, small_world):
+        client = _resilient(small_world, FaultPlan(api_timeout_rate=1.0),
+                            policy=RetryPolicy(max_attempts=1))
+        sibling = client.with_clock(SimClock())
+        sibling.ping_from([small_world.probes[0].host_id], small_world.anchors[0].ip)
+        assert sibling.stats is client.stats
+        assert sibling.ledger is client.ledger
+        assert client.stats.degraded_calls == 1
+        assert client.credits_spent == sibling.credits_spent > 0
+        assert client.clock.now_s == 0.0  # time went to the sibling's clock
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_identical_sessions_identical_outcomes(self, small_world, seed):
+        plan = FaultPlan.at_rate(0.3, seed=seed)
+        probe_count = 6
+        runs = []
+        for _ in range(2):
+            client = _resilient(small_world, plan)
+            probe_ids = [p.host_id for p in small_world.probes[:probe_count]]
+            targets = [a.ip for a in small_world.anchors[:4]]
+            matrix = client.ping_matrix(probe_ids, targets)
+            runs.append((matrix, client.stats, client.clock.now_s, client.credits_spent))
+        np.testing.assert_array_equal(runs[0][0], runs[1][0])
+        assert runs[0][1] == runs[1][1]
+        assert runs[0][2] == runs[1][2]
+        assert runs[0][3] == runs[1][3]
+
+    def test_retries_draw_fresh_fault_indices(self, small_world):
+        """A retry is a new API call: the injector's counter advances per
+        attempt, so retrying can actually succeed (counter-hash draws)."""
+        seed = _seed_with_api_pattern("ping", 0.5, [True, False])
+        client = _resilient(small_world, FaultPlan(seed=seed, api_timeout_rate=0.5))
+        client.ping_from([small_world.probes[0].host_id], small_world.anchors[0].ip)
+        counts = client.platform.faults.fault_counts()
+        assert counts["api-timeout"] == 1  # first index faulted, second not
+        assert client.stats.attempts == 2
