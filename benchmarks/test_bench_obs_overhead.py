@@ -1,0 +1,67 @@
+"""Bench: observability overhead on the Figure 2a campaign.
+
+Runs the same seeded fig2a experiment against two fresh small-preset
+scenarios — one with the default :class:`~repro.obs.NullObserver`, one
+with a live :class:`~repro.obs.Observer` — and compares wall-clock time.
+The contract (docs/OBSERVABILITY.md): a fully instrumented campaign stays
+within 5% of the unobserved run, because hot paths guard event/metric work
+behind ``if obs.enabled:`` and the truly hot CBG inner loop records
+counters only.
+
+Best-of-N timing is used on both sides so scheduler noise does not
+dominate the (intentionally tiny) difference being measured.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments.fig2 import run_fig2a
+from repro.experiments.scenario import Scenario
+from repro.obs import Observer
+from repro.world.config import WorldConfig
+
+_TRIALS = 5
+_REPEATS = 3
+
+
+def _timed_run(observer=None) -> tuple[float, object]:
+    """Build a fresh observed scenario and time fig2a, best of N."""
+    kwargs = {} if observer is None else {"obs": observer}
+    scenario = Scenario.build(WorldConfig.small(), **kwargs)
+    best = float("inf")
+    output = None
+    for _ in range(_REPEATS):
+        started = time.perf_counter()
+        output = run_fig2a(scenario, trials=_TRIALS)
+        best = min(best, time.perf_counter() - started)
+    return best, output
+
+
+def test_bench_obs_overhead(benchmark):
+    observer = Observer()
+
+    def run():
+        null_s, null_output = _timed_run()
+        obs_s, obs_output = _timed_run(observer)
+        return null_s, null_output, obs_s, obs_output
+
+    null_s, null_output, obs_s, obs_output = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    # Observability must not change what the experiment computes.
+    assert obs_output.measured == null_output.measured
+
+    # The observed run actually observed something.
+    assert observer.metrics.counters().get("atlas.ping.measurements", 0) > 0
+    assert len(observer.events) > 0
+
+    ratio = obs_s / null_s
+    print(
+        f"\nnull={null_s * 1000:.1f}ms observed={obs_s * 1000:.1f}ms "
+        f"ratio={ratio:.3f}"
+    )
+    assert ratio < 1.05, (
+        f"observability overhead {100 * (ratio - 1):.1f}% exceeds the 5% budget"
+    )

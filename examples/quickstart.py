@@ -4,9 +4,11 @@
 This walks the core public API end to end in under a minute:
 
 1. build a small simulated world (cities, ASes, RIPE-Atlas-like platform);
-2. open a measurement client (credits + simulated clock included);
+2. open a measurement client (credits + simulated clock included), with a
+   campaign observer attached;
 3. ping one anchor from every vantage point;
-4. geolocate it with Shortest Ping and CBG, and compare with the truth.
+4. geolocate it with Shortest Ping and CBG, and compare with the truth;
+5. print the campaign summary the observer collected along the way.
 
 Run: ``python examples/quickstart.py``
 """
@@ -14,6 +16,7 @@ Run: ``python examples/quickstart.py``
 from repro import (
     AtlasClient,
     AtlasPlatform,
+    Observer,
     WorldConfig,
     build_world,
     cbg_estimate,
@@ -26,7 +29,11 @@ def main() -> None:
     print(world.describe())
     print()
 
-    platform = AtlasPlatform(world)
+    # The observer records every credit charge and measurement as typed
+    # events/metrics (see docs/OBSERVABILITY.md); omit it (the default is
+    # a zero-cost NullObserver) and nothing below changes.
+    observer = Observer()
+    platform = AtlasPlatform(world, obs=observer)
     client = AtlasClient(platform)
     vantage_points = client.list_probes()
     print(f"platform offers {len(vantage_points)} vantage points")
@@ -91,6 +98,10 @@ def main() -> None:
         f"tightest radius {cbg.details['tightest_radius_km']:.0f} km)"
     )
     print(f"CBG region extent: {region.extent_km():.0f} km")
+    print()
+
+    # What did this little campaign cost? The observer kept the books.
+    print(observer.summary())
     print()
     print("For properly sanitized datasets, use repro.experiments.Scenario -")
     print("it runs the paper's full §4.3 pipeline (anchors first, then probes).")

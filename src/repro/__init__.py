@@ -11,7 +11,10 @@ The package layers as follows (bottom-up):
   geolocation databases;
 * :mod:`repro.core` — the replicated geolocation techniques;
 * :mod:`repro.analysis`, :mod:`repro.experiments` — evaluation and the
-  per-figure/table experiment harness.
+  per-figure/table experiment harness;
+* :mod:`repro.obs` — the cross-cutting campaign observability subsystem
+  (metrics, structured events, spans), off by default via
+  :class:`~repro.obs.NullObserver`.
 
 Quickstart::
 
@@ -33,6 +36,7 @@ from repro.constants import (
 from repro.core import cbg_estimate, shortest_ping
 from repro.core.street_level import StreetLevelConfig, StreetLevelPipeline
 from repro.geo import GeoPoint
+from repro.obs import NullObserver, Observer
 from repro.world import WorldConfig, World, build_world
 
 __version__ = "1.0.0"
@@ -51,6 +55,8 @@ __all__ = [
     "StreetLevelConfig",
     "StreetLevelPipeline",
     "GeoPoint",
+    "Observer",
+    "NullObserver",
     "WorldConfig",
     "World",
     "build_world",

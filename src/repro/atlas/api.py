@@ -32,6 +32,7 @@ from repro.atlas.credits import (
 from repro.atlas.platform import API_OVERHEAD_S, RESULT_LATENCY_RANGE_S, AtlasPlatform
 from repro.errors import MeasurementError
 from repro.latency.model import TraceObservation
+from repro.obs import events as _ev
 
 
 class MeasurementStatus(enum.Enum):
@@ -67,7 +68,10 @@ class MeasurementApi:
     ) -> None:
         self.platform = platform
         self.clock = clock
-        self.ledger = ledger if ledger is not None else CreditLedger()
+        self.obs = platform.obs
+        self.ledger = (
+            ledger if ledger is not None else CreditLedger(observer=platform.obs)
+        )
         self._pending: Dict[int, _PendingMeasurement] = {}
         self._next_id = 1000000
 
@@ -105,6 +109,18 @@ class MeasurementApi:
             faults.check_credits(credits)
         measurement_id = self._next_id
         self._next_id += 1
+        if self.obs.enabled:
+            self.obs.event(
+                _ev.MEASUREMENT_SCHEDULED,
+                t_s=self.clock.now_s,
+                op=kind,
+                measurements=len(probe_ids),
+                specs=1,
+                credits=credits,
+                measurement_id=measurement_id,
+            )
+            self.obs.count(f"atlas.{kind}.measurements", len(probe_ids))
+            self.obs.count("atlas.api_calls")
         self.ledger.charge(credits, kind, len(probe_ids))
         self.clock.advance(API_OVERHEAD_S, "atlas-api")
         if faults is not None:
@@ -191,6 +207,22 @@ class MeasurementApi:
                     window=pending.fault_window,
                 )
                 pending.results = batch[pending.target_ip]
+            if self.obs.enabled:
+                answered = sum(
+                    1 for value in pending.results.values() if value is not None
+                )
+                self.obs.event(
+                    _ev.MEASUREMENT_EXECUTED,
+                    t_s=self.clock.now_s,
+                    op=pending.kind,
+                    answered=answered,
+                    total=len(pending.results),
+                    measurement_id=measurement_id,
+                )
+                self.obs.count(f"atlas.{pending.kind}.answered", answered)
+                self.obs.count(
+                    f"atlas.{pending.kind}.silent", len(pending.results) - answered
+                )
         return pending.results
 
     def wait(self, measurement_id: int) -> object:

@@ -34,8 +34,17 @@ class AtlasClient:
         clock: Optional[SimClock] = None,
     ) -> None:
         self.platform = platform
-        self.ledger = ledger if ledger is not None else CreditLedger()
+        # A fresh ledger reports through the platform's observer, so credit
+        # charges land in the same campaign stream as measurement events.
+        self.ledger = (
+            ledger if ledger is not None else CreditLedger(observer=platform.obs)
+        )
         self.clock = clock if clock is not None else SimClock()
+
+    @property
+    def obs(self):
+        """The campaign observer (the platform's; NullObserver by default)."""
+        return self.platform.obs
 
     def with_clock(self, clock: SimClock) -> "AtlasClient":
         """A sibling client that charges time to a different clock.

@@ -14,6 +14,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.errors import CreditExhaustedError
+from repro.obs import events as _ev
+from repro.obs.observer import NULL_OBSERVER
 
 #: Credits charged per ping packet (RIPE Atlas pricing).
 CREDIT_COST_PER_PING_PACKET = 1
@@ -29,11 +31,15 @@ class CreditLedger:
     Attributes:
         budget: maximum credits that may be spent; ``None`` means unlimited
             (the paper's upgraded account behaves as effectively unlimited).
+        observer: campaign observer notified of every accepted charge (a
+            ``credit-charge`` event plus ``credits.*`` counters); the
+            default :data:`~repro.obs.observer.NULL_OBSERVER` is free.
     """
 
     budget: Optional[int] = None
     _spent: int = 0
     _counts: Dict[str, int] = field(default_factory=dict)
+    observer: object = field(default=NULL_OBSERVER, repr=False, compare=False)
 
     @property
     def spent(self) -> int:
@@ -74,6 +80,12 @@ class CreditLedger:
             )
         self._spent += credits
         self._counts[kind] = self._counts.get(kind, 0) + count
+        if self.observer.enabled:
+            self.observer.event(
+                _ev.CREDIT_CHARGE, kind=kind, credits=credits, count=count, spent=self._spent
+            )
+            self.observer.count("credits.spent", credits)
+            self.observer.count(f"credits.{kind}", credits)
 
     def measurement_count(self, kind: Optional[str] = None) -> int:
         """Measurements recorded, for one kind or in total."""

@@ -29,6 +29,8 @@ from repro.atlas.credits import (
 from repro.errors import MeasurementError
 from repro.faults import FaultInjector
 from repro.geo.coords import GeoPoint
+from repro.obs import events as _ev
+from repro.obs.observer import NULL_OBSERVER
 from repro.latency.model import LatencyModel, TraceObservation
 from repro.topology.graph import Topology
 from repro.world.hosts import Host, HostKind
@@ -79,11 +81,25 @@ class AtlasPlatform:
             byte-identical results. When present, measurements are subject
             to probe churn, packet loss, typed API errors, delivery delays
             and account-level credit exhaustion.
+        obs: campaign observer (see :mod:`repro.obs`). Measurement batches
+            emit ``measurement-scheduled`` / ``measurement-executed``
+            events and ``atlas.*`` counters; a fault injector still
+            carrying the default :data:`~repro.obs.observer.NULL_OBSERVER`
+            adopts this observer so fault events land in the same stream.
+            The default no-op observer costs nothing on the hot paths.
     """
 
-    def __init__(self, world: World, faults: Optional[FaultInjector] = None) -> None:
+    def __init__(
+        self,
+        world: World,
+        faults: Optional[FaultInjector] = None,
+        obs=NULL_OBSERVER,
+    ) -> None:
         self.world = world
         self.faults = faults
+        self.obs = obs
+        if faults is not None and obs.enabled and not faults.obs.enabled:
+            faults.obs = obs
         self.topology = Topology(world)
         self.latency = LatencyModel(world, self.topology)
         self._infos: Dict[int, ProbeInfo] = {}
@@ -146,6 +162,17 @@ class AtlasPlatform:
         specifications — one per target — which is what bounds concurrency:
         a single spec can fan out to a thousand probes at once.
         """
+        if self.obs.enabled:
+            self.obs.event(
+                _ev.MEASUREMENT_SCHEDULED,
+                t_s=clock.now_s if clock is not None else 0.0,
+                op=kind,
+                measurements=measurement_count,
+                specs=specs,
+                credits=credits_per_measurement * measurement_count,
+            )
+            self.obs.count(f"atlas.{kind}.measurements", measurement_count)
+            self.obs.count("atlas.api_calls")
         if ledger is not None:
             ledger.charge(
                 credits_per_measurement * measurement_count, kind, measurement_count
@@ -155,6 +182,22 @@ class AtlasPlatform:
             low, high = RESULT_LATENCY_RANGE_S
             wait = API_OVERHEAD_S + waves * rand.uniform(wait_key, low, high)
             clock.advance(wait, "atlas-api")
+            if self.obs.enabled:
+                self.obs.observe("atlas.result_wait_s", wait)
+
+    def _obs_executed(
+        self, op: str, clock: Optional[SimClock], answered: int, total: int
+    ) -> None:
+        """Record one delivered measurement batch (answered/total results)."""
+        self.obs.event(
+            _ev.MEASUREMENT_EXECUTED,
+            t_s=clock.now_s if clock is not None else 0.0,
+            op=op,
+            answered=answered,
+            total=total,
+        )
+        self.obs.count(f"atlas.{op}.answered", answered)
+        self.obs.count(f"atlas.{op}.silent", total - answered)
 
     # --- fault hooks -------------------------------------------------------------
 
@@ -226,7 +269,13 @@ class AtlasPlatform:
             ("ping-wait", seq, target_ip),
         )
         self._fault_outcome("ping", index, clock)
-        return self.execute_ping(probe_ids, target_ip, packets=packets, seq=seq, window=window)
+        results = self.execute_ping(
+            probe_ids, target_ip, packets=packets, seq=seq, window=window
+        )
+        if self.obs.enabled:
+            answered = sum(1 for rtt in results.values() if rtt is not None)
+            self._obs_executed("ping", clock, answered, len(results))
+        return results
 
     def execute_ping(
         self,
@@ -305,7 +354,14 @@ class AtlasPlatform:
             specs=len(target_ips),
         )
         self._fault_outcome("ping", index, clock)
-        return self.execute_ping_matrix(ids, target_ips, packets=packets, seq=seq, window=window)
+        matrix = self.execute_ping_matrix(
+            ids, target_ips, packets=packets, seq=seq, window=window
+        )
+        if self.obs.enabled:
+            self._obs_executed(
+                "ping", clock, int((~np.isnan(matrix)).sum()), int(matrix.size)
+            )
+        return matrix
 
     def execute_ping_matrix(
         self,
@@ -362,7 +418,10 @@ class AtlasPlatform:
             ("tr-wait", seq, probe_id, target_ip),
         )
         self._fault_outcome("traceroute", index, clock)
-        return self._execute_traceroute(probe_id, target_ip, seq=seq, window=window)
+        observation = self._execute_traceroute(probe_id, target_ip, seq=seq, window=window)
+        if self.obs.enabled:
+            self._obs_executed("traceroute", clock, int(observation is not None), 1)
+        return observation
 
     def _execute_traceroute(
         self, probe_id: int, target_ip: str, seq: int = 0, window: int = 0
@@ -413,7 +472,18 @@ class AtlasPlatform:
             specs=len(target_ips),
         )
         self._fault_outcome("traceroute", index, clock)
-        return self.execute_traceroute_batch(probe_ids, target_ips, seq=seq, window=window)
+        results = self.execute_traceroute_batch(probe_ids, target_ips, seq=seq, window=window)
+        if self.obs.enabled:
+            answered = sum(
+                1
+                for per_probe in results.values()
+                for observation in per_probe.values()
+                if observation is not None
+            )
+            self._obs_executed(
+                "traceroute", clock, answered, len(probe_ids) * len(target_ips)
+            )
+        return results
 
     def execute_traceroute_batch(
         self,

@@ -19,18 +19,28 @@ from typing import Deque
 
 from repro.atlas.clock import SimClock
 from repro.errors import ApiRateLimitError
+from repro.obs import events as _ev
+from repro.obs.observer import NULL_OBSERVER
 
 
 class SlidingWindowRateLimiter:
     """At most ``max_requests`` per ``window_s`` seconds of simulated time."""
 
-    def __init__(self, clock: SimClock, max_requests: int, window_s: float = 1.0) -> None:
+    def __init__(
+        self,
+        clock: SimClock,
+        max_requests: int,
+        window_s: float = 1.0,
+        obs=NULL_OBSERVER,
+    ) -> None:
         """Configure the limiter.
 
         Args:
             clock: the simulated clock charged for waits.
             max_requests: allowed requests per window; must be positive.
             window_s: window length in seconds; must be positive.
+            obs: campaign observer; waits emit ``rate-limit-wait`` events
+                and ``ratelimit.*`` counters.
 
         Raises:
             ValueError: on non-positive parameters.
@@ -43,6 +53,7 @@ class SlidingWindowRateLimiter:
         self._max_requests = max_requests
         self._window_s = window_s
         self._recent: Deque[float] = deque()
+        self.obs = obs
 
     def acquire(self, category: str = "rate-limit") -> float:
         """Take one request slot, advancing the clock if the window is full.
@@ -61,6 +72,12 @@ class SlidingWindowRateLimiter:
             now = self._clock.now_s
             while self._recent and self._recent[0] <= now - self._window_s:
                 self._recent.popleft()
+            if waited > 0.0 and self.obs.enabled:
+                self.obs.event(
+                    _ev.RATE_LIMIT_WAIT, t_s=now, category=category, waited_s=waited
+                )
+                self.obs.count("ratelimit.waits")
+                self.obs.count("ratelimit.waited_s", waited)
         self._recent.append(now)
         return waited
 
@@ -89,6 +106,14 @@ class SlidingWindowRateLimiter:
         """
         wait = self.would_wait()
         if wait > 0.0:
+            if self.obs.enabled:
+                self.obs.event(
+                    _ev.RATE_LIMIT_WAIT,
+                    t_s=self._clock.now_s,
+                    category="rate-limit-429",
+                    waited_s=wait,
+                )
+                self.obs.count("ratelimit.rejections")
             raise ApiRateLimitError(
                 f"rate limit window full; retry in {wait:.1f}s", retry_after_s=wait
             )

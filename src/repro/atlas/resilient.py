@@ -36,6 +36,7 @@ from repro.atlas.clock import SimClock
 from repro.atlas.platform import ProbeInfo
 from repro.errors import ApiRateLimitError, AtlasApiError, ConfigurationError
 from repro.latency.model import TraceObservation
+from repro.obs import events as _ev
 
 T = TypeVar("T")
 
@@ -125,6 +126,9 @@ class ResilientClient:
         self.client = client
         self.policy = policy if policy is not None else RetryPolicy()
         self.stats = stats if stats is not None else RetryStats()
+        #: campaign observer, inherited from the wrapped client's platform;
+        #: the retry loop reports retries/backoffs/degradations through it.
+        self.obs = client.obs
 
     # --- plumbing shared with AtlasClient -----------------------------------------
 
@@ -204,10 +208,35 @@ class ResilientClient:
                 backoff = policy.backoff_s(op, call_index, attempt)
                 if isinstance(error, ApiRateLimitError):
                     backoff = max(backoff, error.retry_after_s)
+                if self.obs.enabled:
+                    self.obs.event(
+                        _ev.RETRY,
+                        t_s=self.clock.now_s,
+                        op=op,
+                        call_index=call_index,
+                        attempt=attempt,
+                        error=type(error).__name__,
+                    )
+                    self.obs.count("resilient.retries")
                 self.clock.advance(backoff, "retry-backoff")
+                if self.obs.enabled:
+                    self.obs.event(
+                        _ev.BACKOFF,
+                        t_s=self.clock.now_s,
+                        op=op,
+                        call_index=call_index,
+                        backoff_s=backoff,
+                    )
+                    self.obs.count("resilient.backoff_s", backoff)
+                    self.obs.observe("resilient.backoff_wait_s", backoff)
                 self.stats.backoff_s += backoff
                 self.stats.retries += 1
         self.stats.degraded_calls += 1
+        if self.obs.enabled:
+            self.obs.event(
+                _ev.DEGRADATION, t_s=self.clock.now_s, op=op, call_index=call_index
+            )
+            self.obs.count("resilient.degraded_calls")
         return degrade_fn()
 
     # --- measurements -----------------------------------------------------------

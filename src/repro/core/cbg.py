@@ -23,9 +23,8 @@ import numpy as np
 from repro.atlas.platform import ProbeInfo
 from repro.constants import MAX_GREAT_CIRCLE_KM, SOI_FRACTION_CBG, rtt_to_distance_km
 from repro.core.results import GeolocationResult
-from repro.errors import EmptyRegionError
-from repro.geo.coords import GeoPoint
 from repro.geo.regions import Circle, IntersectionRegion, cbg_region
+from repro.obs.observer import NULL_OBSERVER
 
 
 def constraints_from_rtts(
@@ -56,6 +55,7 @@ def cbg_estimate(
     rtts_ms: Dict[int, Optional[float]],
     soi_fraction: float = SOI_FRACTION_CBG,
     min_constraints: int = 1,
+    obs=NULL_OBSERVER,
 ) -> Tuple[GeolocationResult, Optional[IntersectionRegion]]:
     """Geolocate a target with CBG.
 
@@ -70,6 +70,8 @@ def cbg_estimate(
             :data:`repro.constants.MIN_USABLE_VPS`). The default of 1 is
             classic CBG; fault-aware campaigns raise it so a location is
             never derived from a near-empty constraint set.
+        obs: campaign observer; exact-path calls bump ``cbg.exact_calls``
+            (and ``cbg.exact_no_estimate`` on constraint starvation).
 
     Returns:
         ``(result, region)``; the region is ``None`` when fewer than
@@ -80,7 +82,11 @@ def cbg_estimate(
             street level pipeline catches this and retries at 2/3 c).
     """
     circles = constraints_from_rtts(vantage_points, rtts_ms, soi_fraction)
+    if obs.enabled:
+        obs.count("cbg.exact_calls")
     if len(circles) < max(min_constraints, 1):
+        if obs.enabled:
+            obs.count("cbg.exact_no_estimate")
         return (
             GeolocationResult(target_ip, None, "cbg", {"constraints": len(circles)}),
             None,
@@ -130,6 +136,7 @@ def cbg_centroid_fast(
     soi_fraction: float = SOI_FRACTION_CBG,
     max_active: int = 64,
     min_vps: int = 1,
+    obs=NULL_OBSERVER,
 ) -> Optional[Tuple[float, float]]:
     """Vectorised approximate CBG centroid.
 
@@ -143,6 +150,9 @@ def cbg_centroid_fast(
         min_vps: minimum answering vantage points required before an
             estimate is emitted (1 = classic behaviour; fault-aware
             campaigns use :data:`repro.constants.MIN_USABLE_VPS`).
+        obs: campaign observer. This is the campaign hot path (hundreds of
+            thousands of calls per figure), so instrumentation is counters
+            only — no event objects are allocated here.
 
     Returns:
         ``(lat, lon)`` of the centroid, or ``None`` when fewer than
@@ -152,7 +162,11 @@ def cbg_centroid_fast(
         — the campaign equivalent of the exact path's repair step.
     """
     answered = ~np.isnan(rtts_ms)
+    if obs.enabled:
+        obs.count("cbg.fast_calls")
     if int(answered.sum()) < max(min_vps, 1):
+        if obs.enabled:
+            obs.count("cbg.fast_no_estimate")
         return None
     lats = np.asarray(vp_lats, dtype=np.float64)[answered]
     lons = np.asarray(vp_lons, dtype=np.float64)[answered]
@@ -229,6 +243,7 @@ def cbg_errors_for_subsets(
     subset: np.ndarray,
     soi_fraction: float = SOI_FRACTION_CBG,
     min_vps: int = 1,
+    obs=NULL_OBSERVER,
 ) -> np.ndarray:
     """Per-target CBG error using only the vantage points in ``subset``.
 
@@ -242,6 +257,7 @@ def cbg_errors_for_subsets(
         soi_fraction: RTT-to-distance conversion speed.
         min_vps: minimum answering vantage points per target (see
             :func:`cbg_centroid_fast`).
+        obs: campaign observer, forwarded to :func:`cbg_centroid_fast`.
 
     Returns:
         Array of error distances (km), NaN where CBG had no usable answer.
@@ -253,7 +269,12 @@ def cbg_errors_for_subsets(
     errors = np.full(rtt_matrix.shape[1], np.nan)
     for column in range(rtt_matrix.shape[1]):
         centroid = cbg_centroid_fast(
-            sub_lats, sub_lons, rtt_matrix[subset, column], soi_fraction, min_vps=min_vps
+            sub_lats,
+            sub_lons,
+            rtt_matrix[subset, column],
+            soi_fraction,
+            min_vps=min_vps,
+            obs=obs,
         )
         if centroid is None:
             continue

@@ -102,27 +102,47 @@ def geolocate_with_selection(
     all fail produce a result without an estimate, and ``min_vps`` (see
     :data:`repro.constants.MIN_USABLE_VPS`) refuses estimates built from
     too few surviving vantage points.
+
+    Instrumentation rides the client's observer: each target runs inside a
+    ``technique:million-scale`` span (timed on the client's clock) and
+    bumps ``million_scale.targets`` / ``million_scale.no_estimate``.
     """
-    chosen = select_closest_vps(rep_rtts, k)
-    chosen_vps = [vantage_points[int(index)] for index in chosen]
-    if not chosen_vps:
-        return GeolocationResult(target_ip, None, "million-scale", {"selected": 0})
-    rtts = client.ping_from([vp.probe_id for vp in chosen_vps], target_ip, packets=packets)
-    try:
-        result, _region = cbg_estimate(target_ip, chosen_vps, rtts, min_constraints=min_vps)
-    except EmptyRegionError:
-        # Infeasible constraints (mis-registered or flapping vantage points)
-        # degrade to "no estimate", like the other CBG consumers.
-        return GeolocationResult(
-            target_ip, None, "million-scale",
-            {"selected": len(chosen_vps), "k": k, "empty_region": True},
+    obs = client.obs
+    with obs.span(
+        "technique:million-scale", clock=client.clock, target=target_ip
+    ):
+        if obs.enabled:
+            obs.count("million_scale.targets")
+        chosen = select_closest_vps(rep_rtts, k)
+        chosen_vps = [vantage_points[int(index)] for index in chosen]
+        if not chosen_vps:
+            if obs.enabled:
+                obs.count("million_scale.no_estimate")
+            return GeolocationResult(target_ip, None, "million-scale", {"selected": 0})
+        rtts = client.ping_from(
+            [vp.probe_id for vp in chosen_vps], target_ip, packets=packets
         )
-    return GeolocationResult(
-        target_ip,
-        result.estimate,
-        "million-scale",
-        {"selected": len(chosen_vps), "k": k, **result.details},
-    )
+        try:
+            result, _region = cbg_estimate(
+                target_ip, chosen_vps, rtts, min_constraints=min_vps, obs=obs
+            )
+        except EmptyRegionError:
+            # Infeasible constraints (mis-registered or flapping vantage points)
+            # degrade to "no estimate", like the other CBG consumers.
+            if obs.enabled:
+                obs.count("million_scale.no_estimate")
+            return GeolocationResult(
+                target_ip, None, "million-scale",
+                {"selected": len(chosen_vps), "k": k, "empty_region": True},
+            )
+        if result.estimate is None and obs.enabled:
+            obs.count("million_scale.no_estimate")
+        return GeolocationResult(
+            target_ip,
+            result.estimate,
+            "million-scale",
+            {"selected": len(chosen_vps), "k": k, **result.details},
+        )
 
 
 # --- deployability analysis (§5.1.3) ---------------------------------------------

@@ -26,6 +26,7 @@ from repro.core.two_step import _dedupe_per_as_city
 from repro.errors import EmptyRegionError
 from repro.geo.coords import GeoPoint
 from repro.geo.regions import Circle, cbg_region, region_contains_bulk
+from repro.obs.observer import NULL_OBSERVER
 
 #: Simulated duration of one measurement round (request + result wait), s.
 ROUND_LATENCY_S = 240.0
@@ -63,6 +64,7 @@ def multi_round_select(
     rep_rtts_all: np.ndarray,
     rounds: int = 2,
     representatives_per_target: int = 3,
+    obs=NULL_OBSERVER,
 ) -> MultiRoundOutcome:
     """Run the N-round selection for one target.
 
@@ -75,12 +77,42 @@ def multi_round_select(
             column; rounds pay only for the rows they probe).
         rounds: probing rounds to run (2 reproduces the two-step variant).
         representatives_per_target: pings each probed row costs.
+        obs: campaign observer; the selection runs inside a
+            ``technique:multi-round`` span and bumps per-round counters
+            (``multi_round.rounds``, ``multi_round.ping_measurements``).
 
     Returns:
         The outcome, with per-round accounting.
     """
     if rounds < 1:
         raise ValueError(f"rounds must be >= 1: {rounds}")
+    with obs.span("technique:multi-round", target=target_ip, rounds=rounds):
+        outcome = _multi_round_select(
+            target_ip,
+            vantage_points,
+            first_round_indices,
+            rep_rtts_all,
+            rounds,
+            representatives_per_target,
+        )
+    if obs.enabled:
+        obs.count("multi_round.targets")
+        obs.count("multi_round.rounds", outcome.rounds_run)
+        obs.count("multi_round.ping_measurements", outcome.ping_measurements)
+        if outcome.chosen_vp_index is None:
+            obs.count("multi_round.no_estimate")
+    return outcome
+
+
+def _multi_round_select(
+    target_ip: str,
+    vantage_points: Sequence[ProbeInfo],
+    first_round_indices: Sequence[int],
+    rep_rtts_all: np.ndarray,
+    rounds: int,
+    representatives_per_target: int,
+) -> MultiRoundOutcome:
+    """The uninstrumented selection loop behind :func:`multi_round_select`."""
 
     lats = np.array([vp.location.lat for vp in vantage_points])
     lons = np.array([vp.location.lon for vp in vantage_points])

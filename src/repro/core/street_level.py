@@ -42,6 +42,7 @@ from repro.landmarks.mapping import ReverseGeocoder
 from repro.landmarks.overpass import OverpassService
 from repro.landmarks.validation import LandmarkValidator
 from repro.latency.model import TraceObservation
+from repro.obs.observer import NULL_OBSERVER
 from repro.world.world import World
 
 
@@ -126,6 +127,7 @@ class StreetLevelPipeline:
         world: World,
         config: Optional[StreetLevelConfig] = None,
         cache: Optional["LandmarkCache"] = None,
+        obs=None,
     ) -> None:
         """Set up the pipeline.
 
@@ -136,11 +138,24 @@ class StreetLevelPipeline:
             cache: optional shared :class:`~repro.landmarks.cache.LandmarkCache`
                 — the §5.2.5 cross-target caching of geocoding answers and
                 website-test verdicts.
+            obs: campaign observer; defaults to the client's. Each target
+                runs inside a ``technique:street-level`` span with
+                ``tier1``/``tier2``/``tier3`` children timed on the
+                per-target clock. A shared cache still carrying the default
+                :data:`~repro.obs.observer.NULL_OBSERVER` is adopted so its
+                hits/misses land in the same stream.
         """
         self.client = client
         self.world = world
         self.config = config if config is not None else StreetLevelConfig()
         self.cache = cache
+        self.obs = obs if obs is not None else client.obs
+        if (
+            cache is not None
+            and self.obs.enabled
+            and not getattr(cache, "obs", NULL_OBSERVER).enabled
+        ):
+            cache.obs = self.obs
 
     # --- tier 1 -----------------------------------------------------------------
 
@@ -246,21 +261,37 @@ class StreetLevelPipeline:
                 results are not allowed.
         """
         clock = SimClock()
+        with self.obs.span("technique:street-level", clock=clock, target=target_ip):
+            return self._geolocate(target_ip, vantage_points, tier1_rtts, clock)
+
+    def _geolocate(
+        self,
+        target_ip: str,
+        vantage_points: Sequence[ProbeInfo],
+        tier1_rtts: Dict[int, Optional[float]],
+        clock: SimClock,
+    ) -> StreetLevelResult:
+        obs = self.obs
         client = self.client.with_clock(clock)
         vps = [vp for vp in vantage_points if vp.address != target_ip]
         rtts = {vp.probe_id: tier1_rtts.get(vp.probe_id) for vp in vps}
 
-        try:
-            tier1_result, tier1_region, used_fallback = self._tier1(target_ip, vps, rtts)
-        except EmptyRegionError:
-            # Both SOI speeds left an empty region (noise-corrupted RTTs
-            # under heavy faults can do this even when some VPs answered).
-            if not self.config.allow_degraded:
-                raise
-            tier1_result, tier1_region, used_fallback = None, None, True
+        with obs.span("tier1", clock=clock):
+            try:
+                tier1_result, tier1_region, used_fallback = self._tier1(
+                    target_ip, vps, rtts
+                )
+            except EmptyRegionError:
+                # Both SOI speeds left an empty region (noise-corrupted RTTs
+                # under heavy faults can do this even when some VPs answered).
+                if not self.config.allow_degraded:
+                    raise
+                tier1_result, tier1_region, used_fallback = None, None, True
         if tier1_result is None or tier1_result.estimate is None or tier1_region is None:
             if not self.config.allow_degraded:
                 raise GeolocationError(f"tier 1 produced no region for {target_ip}")
+            if obs.enabled:
+                obs.count("street_level.degraded_targets")
             return StreetLevelResult(
                 target_ip=target_ip,
                 estimate=None,
@@ -282,29 +313,30 @@ class StreetLevelPipeline:
         validator = LandmarkValidator(self.world, clock, cache=self.cache)
         discovery = LandmarkDiscovery(self.world, geocoder, overpass, validator)
 
-        # Tier 2: harvest landmarks in the tier-1 region.
-        known_hostnames: set = set()
-        tier2_landmarks, stats = discovery.discover(
-            tier1_result.estimate,
-            tier1_region,
-            self.config.tier2_step_km,
-            self.config.tier2_alpha_deg,
-            tier=2,
-            max_circles=self.config.max_circles_tier2,
-            known_hostnames=known_hostnames,
-            max_landmarks=self.config.max_landmarks_per_tier,
-        )
+        with obs.span("tier2", clock=clock):
+            # Tier 2: harvest landmarks in the tier-1 region.
+            known_hostnames: set = set()
+            tier2_landmarks, stats = discovery.discover(
+                tier1_result.estimate,
+                tier1_region,
+                self.config.tier2_step_km,
+                self.config.tier2_alpha_deg,
+                tier=2,
+                max_circles=self.config.max_circles_tier2,
+                known_hostnames=known_hostnames,
+                max_landmarks=self.config.max_landmarks_per_tier,
+            )
 
-        # One traceroute to the target per vantage point, reused for every
-        # landmark comparison in both tiers.
-        batch = client.traceroute_batch(vp_ids, [target_ip], seq=11)
-        target_traces = batch[target_ip]
-        traceroutes_run = len(vp_ids)
+            # One traceroute to the target per vantage point, reused for
+            # every landmark comparison in both tiers.
+            batch = client.traceroute_batch(vp_ids, [target_ip], seq=11)
+            target_traces = batch[target_ip]
+            traceroutes_run = len(vp_ids)
 
-        measurements, count = self._measure_landmarks(
-            client, tier2_landmarks, vp_ids, target_traces, seq=12
-        )
-        traceroutes_run += count
+            measurements, count = self._measure_landmarks(
+                client, tier2_landmarks, vp_ids, target_traces, seq=12
+            )
+            traceroutes_run += count
 
         tier2_region = self._region_from_landmarks(measurements)
         tier3_center = (
@@ -312,23 +344,24 @@ class StreetLevelPipeline:
         )
         tier3_region = tier2_region if tier2_region is not None else tier1_region
 
-        # Tier 3: finer harvest inside the refined region.
-        tier3_landmarks, stats3 = discovery.discover(
-            tier3_center,
-            tier3_region,
-            self.config.tier3_step_km,
-            self.config.tier3_alpha_deg,
-            tier=3,
-            max_circles=self.config.max_circles_tier3,
-            known_hostnames=known_hostnames,
-            max_landmarks=self.config.max_landmarks_per_tier,
-        )
-        stats.merge(stats3)
-        tier3_measurements, count = self._measure_landmarks(
-            client, tier3_landmarks, vp_ids, target_traces, seq=13
-        )
-        traceroutes_run += count
-        measurements.extend(tier3_measurements)
+        with obs.span("tier3", clock=clock):
+            # Tier 3: finer harvest inside the refined region.
+            tier3_landmarks, stats3 = discovery.discover(
+                tier3_center,
+                tier3_region,
+                self.config.tier3_step_km,
+                self.config.tier3_alpha_deg,
+                tier=3,
+                max_circles=self.config.max_circles_tier3,
+                known_hostnames=known_hostnames,
+                max_landmarks=self.config.max_landmarks_per_tier,
+            )
+            stats.merge(stats3)
+            tier3_measurements, count = self._measure_landmarks(
+                client, tier3_landmarks, vp_ids, target_traces, seq=13
+            )
+            traceroutes_run += count
+            measurements.extend(tier3_measurements)
 
         # Final mapping: the landmark with the smallest usable delay.
         usable = [m for m in measurements if m.delay.usable]
@@ -340,6 +373,13 @@ class StreetLevelPipeline:
         else:
             estimate = tier1_result.estimate
             fell_back = True
+
+        if obs.enabled:
+            obs.count("street_level.targets")
+            obs.count("street_level.landmarks_measured", len(measurements))
+            obs.count("street_level.traceroutes", traceroutes_run)
+            if fell_back:
+                obs.count("street_level.cbg_fallbacks")
 
         return StreetLevelResult(
             target_ip=target_ip,

@@ -223,7 +223,6 @@ def build_dataset_from_scenario(scenario, max_targets: Optional[int] = None) -> 
     import numpy as np
 
     from repro.core.cbg import cbg_centroid_fast
-    from repro.geo.coords import haversine_km
 
     matrix = scenario.rtt_matrix()
     dataset = GeolocationDataset()

@@ -4,11 +4,19 @@ Usage::
 
     python -m repro.experiments.run fig2a --preset small
     python -m repro.experiments.run all --preset paper
+    python -m repro.experiments.run fig2a --preset small --metrics-out m.json --trace
     repro-experiment fig7
 
 The ``--preset small`` world runs every experiment in seconds; ``paper``
 builds the full 723-target, ~10K-VP scenario (minutes for the street level
 family).
+
+``--metrics-out PATH`` and ``--trace`` attach a real
+:class:`~repro.obs.Observer` to the run: the first writes the deterministic
+JSON metrics report (byte-identical across same-seed invocations) to PATH
+and prints the campaign summary table; the second prints the span tree.
+Without either flag the run uses the zero-cost
+:class:`~repro.obs.NullObserver` and behaves exactly as before.
 """
 
 from __future__ import annotations
@@ -117,12 +125,34 @@ def main(argv: Optional[list] = None) -> int:
         default=None,
         help="also write each run as DIR/<experiment>.json",
     )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="observe the run and write the JSON metrics report to PATH "
+        "(also prints the campaign summary)",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="observe the run and print the span tree",
+    )
     args = parser.parse_args(argv)
 
-    scenario = get_scenario(args.preset, args.seed)
+    observer = None
+    if args.metrics_out is not None or args.trace:
+        from repro.obs import Observer
+
+        observer = Observer()
+
+    # Observed scenarios are built fresh (never cached): the observer's
+    # event stream must cover exactly this invocation, nothing earlier.
+    scenario = get_scenario(args.preset, args.seed, obs=observer)
+    obs = scenario.obs
     names = sorted(registry) if args.experiment == "all" else [args.experiment]
     for name in names:
-        output = registry[name](scenario, args)
+        with obs.span(f"experiment:{name}", clock=scenario.client.clock):
+            output = registry[name](scenario, args)
         print(output.render())
         print()
         if args.save_json is not None:
@@ -131,6 +161,22 @@ def main(argv: Optional[list] = None) -> int:
             directory = Path(args.save_json)
             directory.mkdir(parents=True, exist_ok=True)
             output.save_json(directory / f"{name}.json")
+    if observer is not None:
+        print(observer.summary())
+        print()
+        if args.trace:
+            print(observer.span_tree())
+            print()
+        if args.metrics_out is not None:
+            from pathlib import Path
+
+            from repro.obs.report import metrics_report_json
+
+            report_path = Path(args.metrics_out)
+            if report_path.parent != Path("."):
+                report_path.parent.mkdir(parents=True, exist_ok=True)
+            report_path.write_text(metrics_report_json(observer) + "\n")
+            print(f"metrics report written to {report_path}")
     return 0
 
 

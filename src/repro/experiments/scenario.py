@@ -28,6 +28,7 @@ from repro.atlas.resilient import ResilientClient, RetryPolicy
 from repro.core.million_scale import representative_rtt_matrix
 from repro.core.sanitize import sanitize_anchors, sanitize_probes
 from repro.faults import FaultInjector, FaultPlan
+from repro.obs.observer import NULL_OBSERVER
 from repro.world.builder import build_world
 from repro.world.config import WorldConfig
 from repro.world.hosts import Host
@@ -48,6 +49,8 @@ class Scenario:
     #: ids removed by sanitization, for the §4.3 bookkeeping.
     removed_anchor_ids: List[int] = field(default_factory=list)
     removed_probe_ids: List[int] = field(default_factory=list)
+    #: campaign observer (the platform's; :data:`NULL_OBSERVER` by default).
+    obs: object = field(default=NULL_OBSERVER, repr=False, compare=False)
 
     _rtt_matrix: Optional[np.ndarray] = field(default=None, repr=False)
     _rep_matrix: Optional[np.ndarray] = field(default=None, repr=False)
@@ -110,7 +113,13 @@ class Scenario:
         (a host does not ping itself over the network).
         """
         if self._rtt_matrix is None:
-            matrix = self.client.ping_matrix(self.vp_ids, self.target_ips)
+            with self.obs.span(
+                "campaign:rtt-matrix",
+                clock=self.client.clock,
+                vps=len(self.vps),
+                targets=len(self.targets),
+            ):
+                matrix = self.client.ping_matrix(self.vp_ids, self.target_ips)
             target_id_by_ip = {t.ip: t.host_id for t in self.targets}
             vp_index = {int(vp_id): row for row, vp_id in enumerate(self.vp_ids)}
             for column, ip in enumerate(self.target_ips):
@@ -127,9 +136,15 @@ class Scenario:
         from every vantage point.
         """
         if self._rep_matrix is None:
-            min_matrix, reps = representative_rtt_matrix(
-                self.client, self.vp_ids, self.target_ips, self.world.hitlist
-            )
+            with self.obs.span(
+                "campaign:representatives",
+                clock=self.client.clock,
+                vps=len(self.vps),
+                targets=len(self.targets),
+            ):
+                min_matrix, reps = representative_rtt_matrix(
+                    self.client, self.vp_ids, self.target_ips, self.world.hitlist
+                )
             # Second read for the median aggregation (no extra measurements:
             # same underlying campaign, different aggregation).
             median_matrix = np.full_like(min_matrix, np.nan)
@@ -182,14 +197,22 @@ class Scenario:
         fixed. Because fault draw keys are rate-free where it matters, the
         fault sets of :meth:`FaultPlan.at_rate` plans are nested across
         rates — coverage can only shrink as the rate grows.
+
+        The scenario's observer is threaded through, so fault injections
+        and retries on the faulty view land in the same campaign stream.
         """
-        platform = AtlasPlatform(self.world, faults=FaultInjector(plan))
+        platform = AtlasPlatform(self.world, faults=FaultInjector(plan), obs=self.obs)
         return ResilientClient(AtlasClient(platform), policy=policy)
 
     # --- construction -------------------------------------------------------------
 
     @classmethod
-    def build(cls, config: WorldConfig, faults: Optional[FaultInjector] = None) -> "Scenario":
+    def build(
+        cls,
+        config: WorldConfig,
+        faults: Optional[FaultInjector] = None,
+        obs=NULL_OBSERVER,
+    ) -> "Scenario":
         """Run the full §4 dataset pipeline for a world configuration.
 
         Args:
@@ -199,9 +222,11 @@ class Scenario:
                 campaign — including the §4.3 sanitization measurements —
                 runs under the plan's weather with partial results instead
                 of crashes.
+            obs: campaign observer, threaded into the platform (and from
+                there into the ledger, rate limiter, and fault layer).
         """
         world = build_world(config)
-        platform = AtlasPlatform(world, faults=faults)
+        platform = AtlasPlatform(world, faults=faults, obs=obs)
         client = AtlasClient(platform) if faults is None else ResilientClient(AtlasClient(platform))
 
         # §4.3 step 1: sanitize anchors on the mesh.
@@ -237,18 +262,25 @@ class Scenario:
             vps=vps,
             removed_anchor_ids=removed_anchor_ids,
             removed_probe_ids=removed_probe_ids,
+            obs=obs,
         )
 
 
 _SCENARIO_CACHE: Dict[Tuple[str, int], Scenario] = {}
 
 
-def get_scenario(preset: str = "paper", seed: Optional[int] = None) -> Scenario:
+def get_scenario(
+    preset: str = "paper", seed: Optional[int] = None, obs=None
+) -> Scenario:
     """A cached scenario for a preset ("paper" or "small").
 
     Args:
         preset: which :class:`WorldConfig` factory to use.
         seed: override the preset's default seed.
+        obs: optional campaign observer. Observed scenarios are built
+            fresh and **not** cached — an observer accumulates state from
+            every campaign run against its scenario, so sharing one across
+            callers would mix unrelated event streams.
 
     Raises:
         ValueError: for unknown presets.
@@ -259,6 +291,8 @@ def get_scenario(preset: str = "paper", seed: Optional[int] = None) -> Scenario:
         config = WorldConfig.small() if seed is None else WorldConfig.small(seed)
     else:
         raise ValueError(f"unknown scenario preset: {preset!r}")
+    if obs is not None:
+        return Scenario.build(config, obs=obs)
     key = (preset, config.seed)
     scenario = _SCENARIO_CACHE.get(key)
     if scenario is None:

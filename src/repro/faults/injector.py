@@ -33,13 +33,25 @@ from repro.errors import (
     CreditExhaustedError,
 )
 from repro.faults.plan import FaultPlan
+from repro.obs import events as _ev
+from repro.obs.observer import NULL_OBSERVER
 
 
 class FaultInjector:
     """Stateful fault-draw engine consulted by the platform and API layers."""
 
-    def __init__(self, plan: FaultPlan) -> None:
+    def __init__(self, plan: FaultPlan, obs=NULL_OBSERVER) -> None:
+        """Set up the draw engine.
+
+        Args:
+            plan: the frozen fault plan to interpret.
+            obs: campaign observer; every injected fault becomes a
+                ``fault-injected`` event plus a ``faults.<kind>`` counter.
+                A platform built with a real observer adopts injectors that
+                still carry the default :data:`NULL_OBSERVER`.
+        """
         self.plan = plan
+        self.obs = obs
         self._api_index = 0
         self._credits_charged = 0
         self._counts: Dict[str, int] = {}
@@ -49,6 +61,9 @@ class FaultInjector:
     def _record(self, kind: str, count: int = 1) -> None:
         if count:
             self._counts[kind] = self._counts.get(kind, 0) + count
+            if self.obs.enabled:
+                self.obs.event(_ev.FAULT_INJECTED, kind=kind, count=count)
+                self.obs.count(f"faults.{kind}", count)
 
     def fault_counts(self) -> Dict[str, int]:
         """Copy of the per-kind injected-fault counts."""

@@ -19,6 +19,8 @@ from typing import Dict, Optional, Tuple
 from repro.geo.coords import GeoPoint
 from repro.landmarks.mapping import ReverseGeocodeResult
 from repro.landmarks.validation import ValidationOutcome
+from repro.obs import events as _ev
+from repro.obs.observer import NULL_OBSERVER
 
 #: Positions are quantised to this many decimal degrees for geocode
 #: caching (~100 m at mid latitudes — well within one zip cell).
@@ -50,10 +52,25 @@ class CacheStats:
 class LandmarkCache:
     """Shared cache for geocoding answers and validation verdicts."""
 
-    def __init__(self) -> None:
+    def __init__(self, obs=NULL_OBSERVER) -> None:
+        """Create an empty cache.
+
+        Args:
+            obs: campaign observer; every lookup becomes a ``cache-hit`` or
+                ``cache-miss`` event plus ``cache.hits``/``cache.misses``
+                counters. A street-level pipeline built with a real
+                observer adopts caches still carrying the default
+                :data:`NULL_OBSERVER`.
+        """
         self._geocode: Dict[Tuple[int, int], Optional[ReverseGeocodeResult]] = {}
         self._validation: Dict[Tuple[str, str, str], ValidationOutcome] = {}
         self.stats = CacheStats()
+        self.obs = obs
+
+    def _observe_lookup(self, kind: str, hit: bool) -> None:
+        if self.obs.enabled:
+            self.obs.event(_ev.CACHE_HIT if hit else _ev.CACHE_MISS, kind=kind)
+            self.obs.count("cache.hits" if hit else "cache.misses")
 
     @staticmethod
     def _geocode_key(point: GeoPoint) -> Tuple[int, int]:
@@ -71,8 +88,10 @@ class LandmarkCache:
         key = self._geocode_key(point)
         if key in self._geocode:
             self.stats.geocode_hits += 1
+            self._observe_lookup("geocode", True)
             return True, self._geocode[key]
         self.stats.geocode_misses += 1
+        self._observe_lookup("geocode", False)
         return False, None
 
     def put_geocode(self, point: GeoPoint, answer: Optional[ReverseGeocodeResult]) -> None:
@@ -86,8 +105,10 @@ class LandmarkCache:
         key = (hostname, listed_zip, query_zip)
         if key in self._validation:
             self.stats.validation_hits += 1
+            self._observe_lookup("validation", True)
             return True, self._validation[key]
         self.stats.validation_misses += 1
+        self._observe_lookup("validation", False)
         return False, None
 
     def put_validation(

@@ -1,0 +1,136 @@
+"""Structured, append-only campaign events.
+
+Every operationally interesting moment of a campaign — a measurement
+scheduled or executed, a retry, a backoff, a degradation, an injected
+fault, a credit charge, a cache hit — becomes one typed :class:`Event` in
+an :class:`EventLog`. The log is strictly append-only and sequence-stamped,
+and timestamps come from the *simulated* clock (never the wall clock), so a
+seeded run produces a byte-identical event stream: ``to_jsonl()`` of two
+same-seed campaigns compares equal byte for byte.
+
+Event types are closed over :data:`EVENT_TYPES`; emitting an unknown type
+is a programming error and raises immediately, which keeps the taxonomy in
+``docs/OBSERVABILITY.md`` honest.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: A measurement batch was admitted by the API (charged, clock advanced).
+MEASUREMENT_SCHEDULED = "measurement-scheduled"
+#: A measurement batch's results were produced (sync return or async fetch).
+MEASUREMENT_EXECUTED = "measurement-executed"
+#: A failed API call is about to be attempted again.
+RETRY = "retry"
+#: A retry backoff charged the simulated clock.
+BACKOFF = "backoff"
+#: A logical call exhausted its retries and degraded to None/NaN results.
+DEGRADATION = "degradation"
+#: The fault layer injected a fault (churn, loss, API error, delay, ...).
+FAULT_INJECTED = "fault-injected"
+#: A credit ledger accepted a charge.
+CREDIT_CHARGE = "credit-charge"
+#: A shared cache answered a lookup.
+CACHE_HIT = "cache-hit"
+#: A shared cache missed a lookup.
+CACHE_MISS = "cache-miss"
+#: A rate limiter made a caller wait (or fail) for a slot.
+RATE_LIMIT_WAIT = "rate-limit-wait"
+
+#: The closed event taxonomy (see docs/OBSERVABILITY.md).
+EVENT_TYPES = frozenset(
+    {
+        MEASUREMENT_SCHEDULED,
+        MEASUREMENT_EXECUTED,
+        RETRY,
+        BACKOFF,
+        DEGRADATION,
+        FAULT_INJECTED,
+        CREDIT_CHARGE,
+        CACHE_HIT,
+        CACHE_MISS,
+        RATE_LIMIT_WAIT,
+    }
+)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured campaign event.
+
+    Attributes:
+        seq: position in the log (0-based, strictly increasing).
+        t_s: simulated-clock timestamp of the emitting site; 0.0 for sites
+            that run outside any simulated clock (e.g. ledger bookkeeping).
+        etype: one of :data:`EVENT_TYPES`.
+        fields: type-specific payload (JSON-serialisable scalars only).
+    """
+
+    seq: int
+    t_s: float
+    etype: str
+    fields: Tuple[Tuple[str, object], ...] = ()
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation with deterministically ordered keys."""
+        payload: Dict[str, object] = {"seq": self.seq, "t_s": self.t_s, "type": self.etype}
+        payload.update(sorted(self.fields))
+        return payload
+
+
+class EventLog:
+    """An append-only, sequence-stamped log of :class:`Event` records."""
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        """Create an empty log.
+
+        Args:
+            capacity: optional hard cap on stored events; once reached,
+                further events are counted (``dropped``) but not stored.
+                Protects pathological campaigns from unbounded memory.
+        """
+        self._events: List[Event] = []
+        self._capacity = capacity
+        self.dropped = 0
+        self._by_type: Dict[str, int] = {}
+
+    def emit(self, etype: str, t_s: float = 0.0, **fields: object) -> None:
+        """Append one event.
+
+        Raises:
+            ValueError: for an event type outside :data:`EVENT_TYPES`.
+        """
+        if etype not in EVENT_TYPES:
+            raise ValueError(f"unknown event type: {etype!r}")
+        self._by_type[etype] = self._by_type.get(etype, 0) + 1
+        if self._capacity is not None and len(self._events) >= self._capacity:
+            self.dropped += 1
+            return
+        self._events.append(
+            Event(len(self._events), float(t_s), etype, tuple(sorted(fields.items())))
+        )
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def of_type(self, etype: str) -> List[Event]:
+        """Stored events of one type, in emission order."""
+        return [event for event in self._events if event.etype == etype]
+
+    def counts_by_type(self) -> Dict[str, int]:
+        """Emitted-event counts per type (dropped events still counted)."""
+        return dict(self._by_type)
+
+    def to_jsonl(self) -> str:
+        """The whole stream as JSON lines — byte-identical across same-seed
+        runs, which is what the determinism golden tests pin."""
+        return "\n".join(
+            json.dumps(event.to_dict(), sort_keys=True, default=float)
+            for event in self._events
+        )

@@ -1,0 +1,152 @@
+"""Counters, gauges, and fixed-bucket histograms for campaign metrics.
+
+A :class:`MetricsRegistry` is the numeric side of observability: cheap
+monotonic counters (credits, retries, measurements), last-value gauges
+(coverage fractions, candidate-set sizes), and fixed-bucket histograms
+(RTTs, backoff durations). Buckets are *fixed at creation* — no dynamic
+rebinning — so two same-seed runs serialise to identical JSON.
+
+Metric names are dotted lowercase paths (``atlas.pings``,
+``resilient.backoff_s``); the conventions live in docs/OBSERVABILITY.md.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+#: Default histogram bucket upper bounds (seconds or milliseconds scale —
+#: generic enough for RTTs and waits; callers with a better idea pass
+#: their own bounds at first observation).
+DEFAULT_BUCKET_BOUNDS: Tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0,
+)
+
+
+@dataclass
+class Histogram:
+    """A fixed-bucket histogram: counts per bucket plus sum/count/min/max.
+
+    Attributes:
+        bounds: sorted upper bounds; values above the last bound land in
+            the implicit overflow bucket.
+        counts: one count per bound, plus the overflow bucket at the end.
+    """
+
+    bounds: Tuple[float, ...]
+    counts: List[int] = field(default_factory=list)
+    total: float = 0.0
+    count: int = 0
+    min_value: float = float("inf")
+    max_value: float = float("-inf")
+
+    def __post_init__(self) -> None:
+        if not self.bounds or list(self.bounds) != sorted(self.bounds):
+            raise ValueError(f"bucket bounds must be non-empty and sorted: {self.bounds}")
+        if not self.counts:
+            self.counts = [0] * (len(self.bounds) + 1)
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+        if value < self.min_value:
+            self.min_value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (deterministic key order)."""
+        return {
+            "bounds": list(self.bounds),
+            "count": self.count,
+            "counts": list(self.counts),
+            "max": self.max_value if self.count else None,
+            "mean": self.mean,
+            "min": self.min_value if self.count else None,
+            "sum": self.total,
+        }
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms for one campaign."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # --- counters ---------------------------------------------------------------
+
+    def count(self, name: str, value: float = 1) -> None:
+        """Increment a monotonic counter.
+
+        Raises:
+            ValueError: on negative increments (counters only go up).
+        """
+        if value < 0:
+            raise ValueError(f"counter increments must be non-negative: {value}")
+        self._counters[name] = self._counters.get(name, 0) + value
+
+    def counter(self, name: str) -> float:
+        """Current value of a counter (0 when never incremented)."""
+        return self._counters.get(name, 0)
+
+    # --- gauges -----------------------------------------------------------------
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set a gauge to its latest value."""
+        self._gauges[name] = float(value)
+
+    def gauge_value(self, name: str, default: float = 0.0) -> float:
+        """Current value of a gauge."""
+        return self._gauges.get(name, default)
+
+    # --- histograms -------------------------------------------------------------
+
+    def observe(
+        self, name: str, value: float, bounds: Sequence[float] = DEFAULT_BUCKET_BOUNDS
+    ) -> None:
+        """Record one observation into a fixed-bucket histogram.
+
+        The first observation of a name fixes its buckets; later calls
+        ignore ``bounds`` (fixed buckets are what keep reports
+        byte-identical across runs).
+        """
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = Histogram(tuple(float(b) for b in bounds))
+            self._histograms[name] = histogram
+        histogram.observe(float(value))
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram registered under a name.
+
+        Raises:
+            KeyError: when nothing was observed under the name.
+        """
+        return self._histograms[name]
+
+    # --- export -----------------------------------------------------------------
+
+    def counters(self) -> Dict[str, float]:
+        """Copy of all counters, sorted by name."""
+        return dict(sorted(self._counters.items()))
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot of every metric, deterministically ordered."""
+        return {
+            "counters": dict(sorted(self._counters.items())),
+            "gauges": dict(sorted(self._gauges.items())),
+            "histograms": {
+                name: histogram.as_dict()
+                for name, histogram in sorted(self._histograms.items())
+            },
+        }

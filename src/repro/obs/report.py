@@ -1,0 +1,132 @@
+"""Per-campaign reporting: text summary tables and the JSON metrics report.
+
+Two renderings of one :class:`~repro.obs.observer.Observer`:
+
+* :func:`render_summary` — the human-facing campaign recap: credits by
+  measurement kind, retry/degradation/backoff overhead, injected faults,
+  cache efficiency, and the hottest phases by simulated time;
+* :func:`metrics_report` — the machine-facing JSON document. Every value
+  derives from seeded draws and sim-clock readings, so a seeded campaign
+  produces a byte-identical report across invocations
+  (``json.dumps(..., sort_keys=True)`` is pinned by the golden tests).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Dict, List
+
+from repro.analysis.tables import format_table
+from repro.obs import events as ev
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.obs.observer import Observer
+
+
+def credits_by_kind(observer: "Observer") -> Dict[str, int]:
+    """Total credits charged per measurement kind, from credit-charge events."""
+    totals: Dict[str, int] = {}
+    for event in observer.events.of_type(ev.CREDIT_CHARGE):
+        fields = dict(event.fields)
+        kind = str(fields.get("kind", "other"))
+        totals[kind] = totals.get(kind, 0) + int(fields.get("credits", 0))
+    return dict(sorted(totals.items()))
+
+
+def fault_counts(observer: "Observer") -> Dict[str, int]:
+    """Injected-fault totals per fault kind, from fault-injected events."""
+    totals: Dict[str, int] = {}
+    for event in observer.events.of_type(ev.FAULT_INJECTED):
+        fields = dict(event.fields)
+        kind = str(fields.get("kind", "other"))
+        totals[kind] = totals.get(kind, 0) + int(fields.get("count", 1))
+    return dict(sorted(totals.items()))
+
+
+def metrics_report(observer: "Observer") -> Dict[str, object]:
+    """The JSON metrics report for one campaign (deterministic content)."""
+    spans_by_name = {
+        name: {"count": count, "sim_time_s": sim_s}
+        for name, (count, sim_s) in observer.tracer.by_name().items()
+    }
+    report: Dict[str, object] = {
+        "credits": {
+            "by_kind": credits_by_kind(observer),
+            "total": sum(credits_by_kind(observer).values()),
+        },
+        "events": {
+            "by_type": dict(sorted(observer.events.counts_by_type().items())),
+            "dropped": observer.events.dropped,
+            "total": len(observer.events) + observer.events.dropped,
+        },
+        "faults": fault_counts(observer),
+        "metrics": observer.metrics.as_dict(),
+        "spans": {
+            "by_name": spans_by_name,
+            "total": len(observer.tracer),
+        },
+    }
+    return report
+
+
+def metrics_report_json(observer: "Observer") -> str:
+    """The metrics report serialised canonically (sorted keys, 1-indent)."""
+    return json.dumps(metrics_report(observer), indent=1, sort_keys=True, default=float)
+
+
+def render_summary(observer: "Observer") -> str:
+    """The per-campaign text summary (credits, overhead, faults, timings)."""
+    sections: List[str] = ["== campaign summary =="]
+
+    credit_rows = [
+        [kind, f"{credits:,}"] for kind, credits in credits_by_kind(observer).items()
+    ]
+    if credit_rows:
+        credit_rows.append(
+            ["total", f"{sum(credits_by_kind(observer).values()):,}"]
+        )
+        sections += ["", "credits by kind:", format_table(["kind", "credits"], credit_rows)]
+
+    counters = observer.metrics.counters()
+    overhead_names = [
+        ("retries", "resilient.retries"),
+        ("degraded calls", "resilient.degraded_calls"),
+        ("backoff (s sim)", "resilient.backoff_s"),
+        ("rate-limit waits", "ratelimit.waits"),
+        ("cache hits", "cache.hits"),
+        ("cache misses", "cache.misses"),
+    ]
+    overhead_rows = [
+        [label, f"{counters[name]:g}"] for label, name in overhead_names if name in counters
+    ]
+    if overhead_rows:
+        sections += ["", "overhead:", format_table(["what", "count"], overhead_rows)]
+
+    faults = fault_counts(observer)
+    if faults:
+        fault_rows = [[kind, str(count)] for kind, count in faults.items()]
+        sections += ["", "injected faults:", format_table(["kind", "count"], fault_rows)]
+
+    by_name = observer.tracer.by_name()
+    timed = sorted(
+        ((name, count, sim_s) for name, (count, sim_s) in by_name.items()),
+        key=lambda row: -row[2],
+    )
+    if timed:
+        span_rows = [
+            [name, str(count), f"{sim_s:.1f}"] for name, count, sim_s in timed[:12]
+        ]
+        sections += [
+            "",
+            "hot phases (simulated time):",
+            format_table(["span", "count", "sim s"], span_rows),
+        ]
+
+    events_by_type = dict(sorted(observer.events.counts_by_type().items()))
+    if events_by_type:
+        event_rows = [[etype, str(count)] for etype, count in events_by_type.items()]
+        sections += ["", "events:", format_table(["type", "count"], event_rows)]
+
+    if len(sections) == 1:
+        sections.append("(nothing recorded)")
+    return "\n".join(sections)

@@ -1,0 +1,172 @@
+"""Lightweight span tracing with parent/child nesting.
+
+A span marks one logical phase of a campaign — ``campaign:rtt-matrix``,
+``experiment:fig2a``, ``technique:street-level``, ``round:2`` — and spans
+nest: entering a span while another is open makes it a child. Durations
+are *simulated* time (an optional :class:`~repro.atlas.clock.SimClock`
+read at enter/exit), never wall time, so traces are deterministic and the
+span tree of a seeded run is stable byte for byte.
+
+The tracer is deliberately synchronous and single-threaded, like the
+campaigns it observes; there is no context-var machinery to pay for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class Span:
+    """One traced phase.
+
+    Attributes:
+        span_id: 0-based creation index (deterministic).
+        parent_id: enclosing span's id, or ``None`` for roots.
+        name: phase name (``kind:detail`` by convention).
+        depth: nesting depth (0 = root).
+        attrs: small JSON-serialisable annotations.
+        start_t_s / end_t_s: simulated-clock readings when a clock was
+            supplied at enter; ``None`` otherwise.
+    """
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    depth: int
+    attrs: Tuple[Tuple[str, object], ...] = ()
+    start_t_s: Optional[float] = None
+    end_t_s: Optional[float] = None
+    children: List[int] = field(default_factory=list)
+
+    @property
+    def sim_duration_s(self) -> Optional[float]:
+        """Simulated seconds between enter and exit, when clocked."""
+        if self.start_t_s is None or self.end_t_s is None:
+            return None
+        return self.end_t_s - self.start_t_s
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (deterministic key order)."""
+        payload: Dict[str, object] = {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "depth": self.depth,
+            "sim_duration_s": self.sim_duration_s,
+        }
+        if self.attrs:
+            payload["attrs"] = dict(sorted(self.attrs))
+        return payload
+
+
+class _ActiveSpan:
+    """Context manager for one open span (returned by ``SpanTracer.span``)."""
+
+    __slots__ = ("_tracer", "_span", "_clock")
+
+    def __init__(self, tracer: "SpanTracer", span: Span, clock) -> None:
+        self._tracer = tracer
+        self._span = span
+        self._clock = clock
+
+    @property
+    def span(self) -> Span:
+        return self._span
+
+    def annotate(self, **attrs: object) -> None:
+        """Attach attributes to the span while it is open."""
+        merged = dict(self._span.attrs)
+        merged.update(attrs)
+        self._span.attrs = tuple(sorted(merged.items()))
+
+    def __enter__(self) -> "_ActiveSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._clock is not None:
+            self._span.end_t_s = self._clock.now_s
+        self._tracer._close(self._span)
+
+
+class SpanTracer:
+    """Creates, nests, and stores spans for one campaign."""
+
+    def __init__(self) -> None:
+        self._spans: List[Span] = []
+        self._stack: List[Span] = []
+
+    def span(self, name: str, clock=None, **attrs: object) -> _ActiveSpan:
+        """Open a span nested under the currently open one (if any).
+
+        Args:
+            name: phase name, ``kind:detail`` by convention.
+            clock: optional :class:`~repro.atlas.clock.SimClock`; when
+                given, the span records simulated enter/exit times.
+            **attrs: JSON-serialisable annotations.
+        """
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            span_id=len(self._spans),
+            parent_id=parent.span_id if parent is not None else None,
+            name=name,
+            depth=len(self._stack),
+            attrs=tuple(sorted(attrs.items())),
+            start_t_s=clock.now_s if clock is not None else None,
+        )
+        if parent is not None:
+            parent.children.append(span.span_id)
+        self._spans.append(span)
+        self._stack.append(span)
+        return _ActiveSpan(self, span, clock)
+
+    def _close(self, span: Span) -> None:
+        while self._stack:
+            popped = self._stack.pop()
+            if popped is span:
+                break
+
+    # --- introspection ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    @property
+    def spans(self) -> List[Span]:
+        """All spans in creation order."""
+        return list(self._spans)
+
+    def roots(self) -> List[Span]:
+        """Top-level spans in creation order."""
+        return [span for span in self._spans if span.parent_id is None]
+
+    def by_name(self) -> Dict[str, Tuple[int, float]]:
+        """Per-name aggregate: (count, total simulated seconds)."""
+        totals: Dict[str, Tuple[int, float]] = {}
+        for span in self._spans:
+            count, sim_s = totals.get(span.name, (0, 0.0))
+            duration = span.sim_duration_s
+            totals[span.name] = (count + 1, sim_s + (duration or 0.0))
+        return dict(sorted(totals.items()))
+
+    def render_tree(self) -> str:
+        """Indented text rendering of the span forest."""
+        if not self._spans:
+            return "(no spans recorded)"
+        lines: List[str] = []
+
+        def walk(span: Span) -> None:
+            duration = span.sim_duration_s
+            timing = f"  [{duration:.1f}s sim]" if duration is not None else ""
+            attrs = ""
+            if span.attrs:
+                rendered = ", ".join(f"{key}={value}" for key, value in span.attrs)
+                attrs = f"  ({rendered})"
+            lines.append(f"{'  ' * span.depth}- {span.name}{timing}{attrs}")
+            for child_id in span.children:
+                walk(self._spans[child_id])
+
+        for root in self.roots():
+            walk(root)
+        return "\n".join(lines)

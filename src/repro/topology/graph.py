@@ -90,7 +90,6 @@ class Topology:
 
         # Static-host parameter arrays (aligned with world host arrays).
         static = world.static_host_count
-        hosts = world.hosts[:static]
         city_ids = world.host_city_ids
         metro_lats = np.array([world.city(int(cid)).location.lat for cid in city_ids])
         metro_lons = np.array([world.city(int(cid)).location.lon for cid in city_ids])

@@ -9,7 +9,7 @@ size, used by the reverse-geocoding service).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro import rand

@@ -1,0 +1,254 @@
+"""Unit tests for the :mod:`repro.obs` observability subsystem.
+
+Covers the metrics registry (counters/gauges/fixed-bucket histograms), the
+typed append-only event log, span nesting and rendering, the observer
+facade (including the null observer's contract), and the reporters.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    EVENT_TYPES,
+    EventLog,
+    Histogram,
+    MetricsRegistry,
+    NULL_OBSERVER,
+    NullObserver,
+    Observer,
+    SpanTracer,
+    events,
+)
+from repro.obs.report import (
+    credits_by_kind,
+    fault_counts,
+    metrics_report,
+    metrics_report_json,
+    render_summary,
+)
+
+
+class TestMetricsRegistry:
+    def test_counters_accumulate(self):
+        registry = MetricsRegistry()
+        registry.count("atlas.pings")
+        registry.count("atlas.pings", 9)
+        assert registry.counter("atlas.pings") == 10
+        assert registry.counter("never.touched") == 0
+
+    def test_negative_increment_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.count("x", -1)
+
+    def test_gauges_keep_last_value(self):
+        registry = MetricsRegistry()
+        registry.gauge("coverage", 0.4)
+        registry.gauge("coverage", 0.9)
+        assert registry.gauge_value("coverage") == 0.9
+        assert registry.gauge_value("missing", default=-1.0) == -1.0
+
+    def test_histogram_buckets_fixed_at_creation(self):
+        registry = MetricsRegistry()
+        registry.observe("rtt", 3.0, bounds=(1.0, 5.0, 10.0))
+        # Later bounds are ignored: buckets never rebin.
+        registry.observe("rtt", 7.0, bounds=(100.0,))
+        histogram = registry.histogram("rtt")
+        assert histogram.bounds == (1.0, 5.0, 10.0)
+        assert histogram.counts == [0, 1, 1, 0]
+        assert histogram.count == 2
+        assert histogram.mean == 5.0
+        assert histogram.min_value == 3.0 and histogram.max_value == 7.0
+
+    def test_histogram_overflow_bucket(self):
+        histogram = Histogram((1.0, 2.0))
+        histogram.observe(1000.0)
+        assert histogram.counts == [0, 0, 1]
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram((5.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(())
+
+    def test_as_dict_is_sorted_and_json_ready(self):
+        registry = MetricsRegistry()
+        registry.count("b")
+        registry.count("a")
+        registry.gauge("g", 1.5)
+        registry.observe("h", 4.2)
+        snapshot = registry.as_dict()
+        assert list(snapshot["counters"]) == ["a", "b"]
+        json.dumps(snapshot)  # must serialise cleanly
+
+
+class TestEventLog:
+    def test_emit_and_read_back(self):
+        log = EventLog()
+        log.emit(events.RETRY, t_s=12.5, op="ping", attempt=1)
+        log.emit(events.CREDIT_CHARGE, kind="ping", credits=30)
+        assert len(log) == 2
+        retry = log.of_type(events.RETRY)[0]
+        assert retry.seq == 0
+        assert retry.t_s == 12.5
+        assert dict(retry.fields) == {"op": "ping", "attempt": 1}
+        assert log.counts_by_type() == {"retry": 1, "credit-charge": 1}
+
+    def test_unknown_type_raises(self):
+        log = EventLog()
+        with pytest.raises(ValueError):
+            log.emit("totally-new-event")
+        assert "retry" in EVENT_TYPES and len(EVENT_TYPES) == 10
+
+    def test_capacity_drops_but_counts(self):
+        log = EventLog(capacity=2)
+        for _ in range(5):
+            log.emit(events.CACHE_HIT, kind="geocode")
+        assert len(log) == 2
+        assert log.dropped == 3
+        assert log.counts_by_type() == {"cache-hit": 5}
+
+    def test_jsonl_is_deterministic(self):
+        def build():
+            log = EventLog()
+            log.emit(events.BACKOFF, t_s=3.0, op="ping", backoff_s=5.0)
+            log.emit(events.DEGRADATION, t_s=9.0, op="ping", call_index=0)
+            return log.to_jsonl()
+
+        first, second = build(), build()
+        assert first == second
+        lines = first.splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["type"] == "backoff"
+
+
+class _FakeClock:
+    def __init__(self):
+        self.now_s = 0.0
+
+
+class TestSpans:
+    def test_nesting_and_durations(self):
+        tracer = SpanTracer()
+        clock = _FakeClock()
+        with tracer.span("campaign:x", clock=clock):
+            clock.now_s = 10.0
+            with tracer.span("technique:y", clock=clock, target="1.2.3.4"):
+                clock.now_s = 25.0
+        campaign, technique = tracer.spans
+        assert campaign.parent_id is None and campaign.depth == 0
+        assert technique.parent_id == campaign.span_id and technique.depth == 1
+        assert campaign.children == [technique.span_id]
+        assert campaign.sim_duration_s == 25.0
+        assert technique.sim_duration_s == 15.0
+        assert tracer.by_name() == {
+            "campaign:x": (1, 25.0),
+            "technique:y": (1, 15.0),
+        }
+
+    def test_unclocked_span_has_no_duration(self):
+        tracer = SpanTracer()
+        with tracer.span("round:1"):
+            pass
+        assert tracer.spans[0].sim_duration_s is None
+
+    def test_annotate_merges_attrs(self):
+        tracer = SpanTracer()
+        with tracer.span("x", a=1) as span:
+            span.annotate(b=2, a=3)
+        assert dict(tracer.spans[0].attrs) == {"a": 3, "b": 2}
+
+    def test_render_tree(self):
+        tracer = SpanTracer()
+        clock = _FakeClock()
+        with tracer.span("outer", clock=clock):
+            clock.now_s = 2.0
+            with tracer.span("inner", clock=clock, k="v"):
+                clock.now_s = 3.0
+        tree = tracer.render_tree()
+        assert "- outer  [3.0s sim]" in tree
+        assert "  - inner  [1.0s sim]  (k=v)" in tree
+        assert SpanTracer().render_tree() == "(no spans recorded)"
+
+    def test_span_ids_follow_creation_order(self):
+        tracer = SpanTracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+            with tracer.span("c"):
+                pass
+        assert [span.span_id for span in tracer.spans] == [0, 1, 2]
+        assert [span.name for span in tracer.roots()] == ["a"]
+
+
+class TestObserverFacade:
+    def test_verbs_land_in_the_right_stores(self):
+        observer = Observer()
+        observer.count("n", 2)
+        observer.gauge("g", 0.5)
+        observer.observe("h", 3.0)
+        observer.event(events.CACHE_MISS, kind="geocode")
+        with observer.span("phase"):
+            pass
+        assert observer.enabled is True
+        assert observer.metrics.counter("n") == 2
+        assert len(observer.events) == 1
+        assert len(observer.tracer) == 1
+
+    def test_null_observer_is_inert_and_shared(self):
+        null = NullObserver()
+        assert null.enabled is False
+        assert NULL_OBSERVER.enabled is False
+        null.count("n")
+        null.event(events.RETRY, op="ping")
+        with null.span("phase") as span:
+            span.annotate(a=1)
+        # The null span is one shared instance: no per-call allocation.
+        assert null.span("x") is null.span("y") is NULL_OBSERVER.span("z")
+        assert null.metrics_report() == {}
+        assert "disabled" in null.summary()
+
+
+class TestReporters:
+    def _observer_with_traffic(self):
+        observer = Observer()
+        observer.event(events.CREDIT_CHARGE, kind="ping", credits=30, count=10)
+        observer.event(events.CREDIT_CHARGE, kind="ping", credits=60, count=20)
+        observer.event(events.CREDIT_CHARGE, kind="traceroute", credits=40, count=2)
+        observer.event(events.FAULT_INJECTED, kind="packet-loss", count=3)
+        observer.count("resilient.retries", 4)
+        observer.count("cache.hits", 7)
+        clock = _FakeClock()
+        with observer.span("experiment:fig2a", clock=clock):
+            clock.now_s = 120.0
+        return observer
+
+    def test_credit_and_fault_aggregation(self):
+        observer = self._observer_with_traffic()
+        assert credits_by_kind(observer) == {"ping": 90, "traceroute": 40}
+        assert fault_counts(observer) == {"packet-loss": 3}
+
+    def test_metrics_report_shape(self):
+        observer = self._observer_with_traffic()
+        report = metrics_report(observer)
+        assert report["credits"]["total"] == 130
+        assert report["events"]["total"] == 4
+        assert report["faults"] == {"packet-loss": 3}
+        assert report["spans"]["by_name"]["experiment:fig2a"]["sim_time_s"] == 120.0
+
+    def test_metrics_report_json_is_canonical(self):
+        observer = self._observer_with_traffic()
+        first = metrics_report_json(observer)
+        second = metrics_report_json(observer)
+        assert first == second
+        assert json.loads(first)["credits"]["by_kind"]["ping"] == 90
+
+    def test_summary_renders_all_sections(self):
+        summary = render_summary(self._observer_with_traffic())
+        assert "credits by kind" in summary
+        assert "overhead:" in summary
+        assert "injected faults:" in summary
+        assert "hot phases" in summary
+        assert "events:" in summary
+        assert render_summary(Observer()) == "== campaign summary ==\n(nothing recorded)"

@@ -1,0 +1,140 @@
+"""Golden determinism tests for observability (ISSUE 2 acceptance).
+
+Three guarantees are pinned:
+
+1. two same-seed observed runs emit *byte-identical* event streams (and
+   metrics reports) — including under faults with a resilient client;
+2. attaching an observer changes no computed result: matrices and
+   geolocation estimates match the unobserved run exactly;
+3. two same-seed CLI invocations with ``--metrics-out`` write
+   byte-identical JSON report files.
+"""
+
+import numpy as np
+
+from repro.atlas.client import AtlasClient
+from repro.atlas.platform import AtlasPlatform
+from repro.atlas.resilient import ResilientClient, RetryPolicy
+from repro.core.million_scale import geolocate_with_selection, select_closest_vps
+from repro.experiments.fig2 import run_fig2a
+from repro.experiments.run import main as run_main
+from repro.experiments.scenario import Scenario
+from repro.faults import FaultInjector, FaultPlan
+from repro.obs import Observer
+from repro.obs.report import metrics_report_json
+from repro.world.builder import build_world
+from repro.world.config import WorldConfig
+
+_PLAN = FaultPlan(
+    seed=7,
+    api_timeout_rate=0.2,
+    api_server_error_rate=0.1,
+    packet_loss_rate=0.05,
+    probe_disconnect_rate=0.02,
+)
+
+
+def _observed_faulty_campaign():
+    """One seeded faulty campaign; returns (observer, matrix)."""
+    observer = Observer()
+    world = build_world(WorldConfig.small())
+    platform = AtlasPlatform(world, faults=FaultInjector(_PLAN), obs=observer)
+    client = ResilientClient(
+        AtlasClient(platform), policy=RetryPolicy(max_attempts=3, jitter_fraction=0.0)
+    )
+    probes = client.list_probes()[:25]
+    targets = [probe.address for probe in client.list_probes(anchors_only=True)[:8]]
+    matrix = client.ping_matrix([probe.probe_id for probe in probes], targets)
+    client.traceroute_batch([probe.probe_id for probe in probes[:5]], targets[:3])
+    return observer, matrix
+
+
+class TestByteIdenticalStreams:
+    def test_faulty_campaign_event_stream_is_byte_identical(self):
+        first_obs, first_matrix = _observed_faulty_campaign()
+        second_obs, second_matrix = _observed_faulty_campaign()
+        first_stream = first_obs.events.to_jsonl()
+        assert first_stream == second_obs.events.to_jsonl()
+        assert len(first_stream) > 0 and len(first_obs.events) > 0
+        assert metrics_report_json(first_obs) == metrics_report_json(second_obs)
+        np.testing.assert_array_equal(first_matrix, second_matrix)
+
+    def test_observed_scenario_report_is_byte_identical(self):
+        def build_and_run():
+            observer = Observer()
+            scenario = Scenario.build(WorldConfig.small(), obs=observer)
+            output = run_fig2a(scenario, trials=2)
+            return observer, output
+
+        first_obs, first_output = build_and_run()
+        second_obs, second_output = build_and_run()
+        assert first_obs.events.to_jsonl() == second_obs.events.to_jsonl()
+        assert metrics_report_json(first_obs) == metrics_report_json(second_obs)
+        assert first_output.measured == second_output.measured
+
+
+class TestObserverChangesNothing:
+    def test_matrix_and_results_match_unobserved_run(self):
+        null_scenario = Scenario.build(WorldConfig.small())
+        observed = Scenario.build(WorldConfig.small(), obs=Observer())
+
+        np.testing.assert_array_equal(
+            null_scenario.rtt_matrix(), observed.rtt_matrix()
+        )
+
+        rep_null, _, _ = null_scenario.representative_matrices()
+        rep_obs, _, _ = observed.representative_matrices()
+        np.testing.assert_array_equal(rep_null, rep_obs)
+
+        # One full technique run produces an identical GeolocationResult.
+        column = 0
+        target_ip = null_scenario.target_ips[column]
+        null_result = geolocate_with_selection(
+            null_scenario.client, target_ip, null_scenario.vps, rep_null[:, column]
+        )
+        obs_result = geolocate_with_selection(
+            observed.client, target_ip, observed.vps, rep_obs[:, column]
+        )
+        assert null_result.estimate == obs_result.estimate
+        assert null_result.details == obs_result.details
+        assert null_result.technique == obs_result.technique
+
+    def test_faulty_run_matches_unobserved_faulty_run(self):
+        def faulty_matrix(observer=None):
+            kwargs = {} if observer is None else {"obs": observer}
+            world = build_world(WorldConfig.small())
+            platform = AtlasPlatform(world, faults=FaultInjector(_PLAN), **kwargs)
+            client = ResilientClient(AtlasClient(platform))
+            probes = client.list_probes()[:20]
+            targets = [p.address for p in client.list_probes(anchors_only=True)[:5]]
+            return client.ping_matrix([p.probe_id for p in probes], targets)
+
+        np.testing.assert_array_equal(faulty_matrix(), faulty_matrix(Observer()))
+
+    def test_selection_order_unchanged(self):
+        rtts = np.array([9.0, np.nan, 3.0, 5.0, np.nan, 1.0])
+        np.testing.assert_array_equal(
+            select_closest_vps(rtts, 3), select_closest_vps(rtts, 3)
+        )
+
+
+class TestCliMetricsOut:
+    def test_two_invocations_write_identical_reports(self, tmp_path, capsys):
+        paths = [tmp_path / "first.json", tmp_path / "second.json"]
+        for path in paths:
+            code = run_main(
+                [
+                    "fig2a",
+                    "--preset",
+                    "small",
+                    "--trials",
+                    "2",
+                    "--metrics-out",
+                    str(path),
+                ]
+            )
+            assert code == 0
+        capsys.readouterr()
+        first, second = (path.read_bytes() for path in paths)
+        assert first == second
+        assert b'"credits"' in first
