@@ -1,0 +1,132 @@
+"""Campaign benchmark: the batched CBG kernel vs the per-target loop.
+
+Establishes the perf trajectory the ROADMAP asks for: one JSON point per
+run (``BENCH_campaign.json``) recording the Figure-2a campaign wall-clock
+on the batched kernel path and on the reference per-target loop, the
+speedup between them, and a pair of engine micro-timings. The two paths
+must also produce *identical* outputs — the benchmark fails loudly if the
+kernels disagree, so the speedup number can never come from a wrong
+answer.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/campaign_bench.py                # paper preset
+    PYTHONPATH=src python benchmarks/campaign_bench.py --preset small --trials 5
+    PYTHONPATH=src python benchmarks/campaign_bench.py --out BENCH_campaign.json
+
+The scenario build itself is not part of the timed region (use the
+artifact cache, ``REPRO_CACHE_DIR``, to amortise it across sessions).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform as platform_mod
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import cbg_batch
+from repro.core.cbg import cbg_centroid_fast
+from repro.experiments import fig2
+from repro.experiments.scenario import get_scenario
+
+
+def _time_once(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def _time_min(fn, repeats: int) -> float:
+    return min(_time_once(fn)[1] for _ in range(repeats))
+
+
+def run_campaign_bench(preset: str, trials: int) -> dict:
+    """Time fig2a on both kernel paths and the engine micro-cases."""
+    scenario = get_scenario(preset)
+    matrix = scenario.rtt_matrix()
+
+    batch_output, batch_s = _time_once(
+        lambda: fig2.run_fig2a(scenario, trials=trials)
+    )
+
+    original = fig2.cbg_errors_for_subsets
+    fig2.cbg_errors_for_subsets = cbg_batch.cbg_errors_for_subsets_loop
+    try:
+        loop_output, loop_s = _time_once(
+            lambda: fig2.run_fig2a(scenario, trials=trials)
+        )
+    finally:
+        fig2.cbg_errors_for_subsets = original
+
+    identical = batch_output.series == loop_output.series
+    if not identical:
+        raise AssertionError(
+            "batched kernel and per-target loop disagree on fig2a series"
+        )
+
+    micro = {
+        "cbg_centroid_fast_one_target_s": _time_min(
+            lambda: cbg_centroid_fast(
+                scenario.vp_lats, scenario.vp_lons, matrix[:, 0]
+            ),
+            repeats=3,
+        ),
+        "cbg_batch_full_matrix_s": _time_min(
+            lambda: cbg_batch.cbg_centroids_batch(
+                scenario.vp_lats, scenario.vp_lons, matrix
+            ),
+            repeats=3,
+        ),
+    }
+
+    return {
+        "schema": "bench-campaign-v1",
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "preset": preset,
+        "trials": trials,
+        "vps": len(scenario.vps),
+        "targets": len(scenario.targets),
+        "python": platform_mod.python_version(),
+        "numpy": np.__version__,
+        "fig2a": {
+            "batch_s": round(batch_s, 3),
+            "loop_s": round(loop_s, 3),
+            "speedup": round(loop_s / batch_s, 2),
+            "identical": identical,
+        },
+        "microbench": {name: round(value, 6) for name, value in micro.items()},
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--preset", choices=["paper", "small"], default="paper")
+    parser.add_argument(
+        "--trials", type=int, default=25, help="fig2a trials (default 25)"
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_campaign.json",
+        help="output JSON path (default: BENCH_campaign.json)",
+    )
+    args = parser.parse_args(argv)
+
+    record = run_campaign_bench(args.preset, args.trials)
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(record, indent=2) + "\n")
+    fig = record["fig2a"]
+    print(
+        f"fig2a [{args.preset}] batch {fig['batch_s']}s vs loop {fig['loop_s']}s "
+        f"-> {fig['speedup']}x (identical={fig['identical']})"
+    )
+    print(f"written to {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""Persistent scenario artifact cache (see :mod:`repro.cache.artifacts`)."""
+
+from repro.cache.artifacts import (
+    CACHE_VERSION,
+    ArtifactCache,
+    cache_dir_from_env,
+    cache_from_env,
+    config_key,
+)
+
+__all__ = [
+    "CACHE_VERSION",
+    "ArtifactCache",
+    "cache_dir_from_env",
+    "cache_from_env",
+    "config_key",
+]

@@ -1,0 +1,168 @@
+"""Content-addressed on-disk cache for scenario measurement artifacts.
+
+Building a scenario replays the paper's measurement campaigns — the anchor
+mesh, the §4.3 sanitization pings, the VP-to-target RTT matrix, and the
+/24-representative matrices. All of them are pure functions of the
+:class:`~repro.world.config.WorldConfig` (every draw is counter-keyed by
+the seed), so their outputs can be written to disk once and replayed
+byte-identically forever.
+
+Addressing is by content, not by name: the cache key is the SHA-256 of the
+canonical JSON of the full config plus :data:`CACHE_VERSION`, a code-version
+salt. Any config change — and any code change that bumps the salt — yields
+a different key, so stale artifacts are never *read*; they are simply
+orphaned on disk. See DESIGN.md for the salt policy (when a change
+requires bumping it).
+
+Storage is one ``.npz`` per artifact with an embedded digest over the
+payload arrays; a load that fails to decode or whose digest mismatches is
+treated as a miss and the file is removed (a crashed writer cannot poison
+later runs — writes are atomic renames anyway).
+
+The cache is off unless ``REPRO_CACHE_DIR`` names a directory (or the CLI
+maps ``--cache-dir``/``--no-cache`` onto it). Hits and misses are counted
+on the campaign observer as ``cache.hit`` / ``cache.miss`` (plus
+``cache.corrupt`` for integrity failures).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import zipfile
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.obs.observer import NULL_OBSERVER
+from repro.world.config import WorldConfig
+
+#: Code-version salt folded into every cache key. Bump whenever measurement
+#: semantics change — world generation, latency draws, sanitization, or the
+#: campaign code whose outputs are cached — so old artifacts are orphaned
+#: instead of replayed (DESIGN.md documents the policy).
+CACHE_VERSION = "scenario-artifacts-v1"
+
+
+def config_key(config: WorldConfig) -> str:
+    """The content address of a world configuration.
+
+    Canonical JSON (sorted keys, no whitespace) of every config field,
+    salted with :data:`CACHE_VERSION`, hashed with SHA-256.
+    """
+    payload = json.dumps(
+        asdict(config), sort_keys=True, separators=(",", ":"), default=str
+    )
+    return hashlib.sha256(
+        f"{CACHE_VERSION}\n{payload}".encode("utf-8")
+    ).hexdigest()
+
+
+def cache_dir_from_env() -> Optional[Path]:
+    """The cache root from ``REPRO_CACHE_DIR``, or ``None`` (cache off)."""
+    raw = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    return Path(raw) if raw else None
+
+
+def json_payload_array(obj: object) -> np.ndarray:
+    """Encode a JSON-serialisable object as a byte array for ``.npz``."""
+    data = json.dumps(obj, sort_keys=True).encode("utf-8")
+    return np.frombuffer(data, dtype=np.uint8)
+
+
+def json_payload_object(array: np.ndarray) -> object:
+    """Decode an array written by :func:`json_payload_array`."""
+    return json.loads(bytes(bytearray(array)).decode("utf-8"))
+
+
+def _digest(arrays: Dict[str, np.ndarray]) -> str:
+    """Integrity digest over the payload arrays (order-independent)."""
+    digest = hashlib.sha256()
+    for name in sorted(arrays):
+        array = np.ascontiguousarray(arrays[name])
+        digest.update(name.encode("utf-8"))
+        digest.update(str(array.dtype).encode("ascii"))
+        digest.update(repr(array.shape).encode("ascii"))
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+class ArtifactCache:
+    """A directory of content-addressed ``.npz`` measurement artifacts."""
+
+    def __init__(self, root: Path, obs=NULL_OBSERVER) -> None:
+        self.root = Path(root)
+        self.obs = obs
+
+    def path(self, name: str, key: str) -> Path:
+        """Where the artifact ``name`` for cache key ``key`` lives."""
+        return self.root / f"{name}-{key[:24]}.npz"
+
+    def load(self, name: str, key: str) -> Optional[Dict[str, np.ndarray]]:
+        """The artifact's arrays, or ``None`` on miss/corruption.
+
+        A file that cannot be decoded, lacks the digest, or whose digest
+        does not match its payload is deleted and reported as a miss.
+        """
+        path = self.path(name, key)
+        if not path.exists():
+            self.obs.count("cache.miss")
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                arrays = {
+                    member: data[member]
+                    for member in data.files
+                    if member != "__digest__"
+                }
+                stored = bytes(bytearray(data["__digest__"])).decode("ascii")
+        except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile):
+            return self._corrupt(path)
+        if _digest(arrays) != stored:
+            return self._corrupt(path)
+        self.obs.count("cache.hit")
+        return arrays
+
+    def _corrupt(self, path: Path) -> None:
+        self.obs.count("cache.corrupt")
+        self.obs.count("cache.miss")
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - racing writers
+            pass
+        return None
+
+    def store(self, name: str, key: str, arrays: Dict[str, np.ndarray]) -> None:
+        """Write an artifact atomically (tmp file + rename)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = {member: np.asarray(array) for member, array in arrays.items()}
+        digest = _digest(payload)
+        payload["__digest__"] = np.frombuffer(
+            digest.encode("ascii"), dtype=np.uint8
+        )
+        path = self.path(name, key)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.root, prefix=f".{name}-", suffix=".npz.tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez(handle, **payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+
+def cache_from_env(obs=NULL_OBSERVER) -> Optional[ArtifactCache]:
+    """An :class:`ArtifactCache` rooted at ``REPRO_CACHE_DIR``, if set."""
+    root = cache_dir_from_env()
+    if root is None:
+        return None
+    return ArtifactCache(root, obs=obs)

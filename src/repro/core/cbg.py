@@ -261,24 +261,24 @@ def cbg_errors_for_subsets(
 
     Returns:
         Array of error distances (km), NaN where CBG had no usable answer.
-    """
-    from repro.geo.coords import haversine_km
 
-    sub_lats = vp_lats[subset]
-    sub_lons = vp_lons[subset]
-    errors = np.full(rtt_matrix.shape[1], np.nan)
-    for column in range(rtt_matrix.shape[1]):
-        centroid = cbg_centroid_fast(
-            sub_lats,
-            sub_lons,
-            rtt_matrix[subset, column],
-            soi_fraction,
-            min_vps=min_vps,
-            obs=obs,
-        )
-        if centroid is None:
-            continue
-        errors[column] = haversine_km(
-            centroid[0], centroid[1], float(target_lats[column]), float(target_lons[column])
-        )
-    return errors
+    This is a thin wrapper over the batched campaign kernel
+    (:func:`repro.core.cbg_batch.cbg_errors_batch`), which computes every
+    target in one vectorised pass; results are bitwise identical to the
+    original per-target loop (kept as
+    :func:`repro.core.cbg_batch.cbg_errors_for_subsets_loop` and pinned by
+    the parity suite).
+    """
+    from repro.core.cbg_batch import cbg_errors_batch
+
+    return cbg_errors_batch(
+        vp_lats,
+        vp_lons,
+        rtt_matrix,
+        target_lats,
+        target_lons,
+        subset,
+        soi_fraction,
+        min_vps=min_vps,
+        obs=obs,
+    )

@@ -1,0 +1,106 @@
+"""Process-pool campaign executor with a byte-identical serial fallback.
+
+Campaign experiments decompose into independent work items — Figure 2
+trials, street-level targets — whose randomness is counter-keyed
+(:mod:`repro.rand`), so each item's result depends only on its own
+descriptor, never on execution order. That makes fan-out safe: a parallel
+run must produce byte-identical results to the serial path, and the
+determinism suite (``tests/test_exec.py``) pins it.
+
+Workers come from the ``REPRO_WORKERS`` environment variable (unset, "",
+"0" or "1" → serial; an integer → that many processes; ``auto`` → CPU
+count). The pool uses the ``fork`` start method, so workers inherit the
+parent's scenario arrays by memory sharing instead of pickling
+multi-megabyte matrices per item; on platforms without ``fork`` the
+executor silently degrades to the serial path, which computes the same
+bytes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def worker_count() -> int:
+    """Worker processes requested via ``REPRO_WORKERS`` (default serial).
+
+    Returns:
+        1 when the variable is unset/empty/"0"/"1" (serial execution),
+        the CPU count for ``auto``, otherwise the parsed integer.
+
+    Raises:
+        ValueError: when the variable is set to something unintelligible —
+            a silent fall-back to serial would hide a misconfigured
+            campaign host.
+    """
+    raw = os.environ.get("REPRO_WORKERS", "").strip().lower()
+    if raw in ("", "0", "1"):
+        return 1
+    if raw == "auto":
+        return os.cpu_count() or 1
+    return max(1, int(raw))
+
+
+def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
+    """The fork start-method context, or ``None`` when unsupported."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return None
+
+
+def chunked(items: Sequence[T], size: int) -> List[List[T]]:
+    """Split ``items`` into order-preserving chunks of at most ``size``."""
+    if size < 1:
+        raise ValueError(f"chunk size must be >= 1, got {size}")
+    return [list(items[i : i + size]) for i in range(0, len(items), size)]
+
+
+def default_chunksize(n_items: int, workers: int) -> int:
+    """Work-descriptor chunk size balancing dispatch overhead vs skew.
+
+    Four chunks per worker keeps the tail short while amortising IPC;
+    identical results regardless of the value (items are independent).
+    """
+    return max(1, n_items // max(1, workers * 4))
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    workers: Optional[int] = None,
+    chunksize: Optional[int] = None,
+) -> List[R]:
+    """Map ``fn`` over ``items``, preserving order.
+
+    Args:
+        fn: a module-level callable (picklable by reference). Any large
+            shared state must already live in module globals before the
+            call, so forked workers inherit it.
+        items: work descriptors; materialised to a list.
+        workers: process count; defaults to :func:`worker_count`.
+        chunksize: descriptors per dispatch; defaults to
+            :func:`default_chunksize`.
+
+    Returns:
+        ``[fn(item) for item in items]`` — by construction in the serial
+        path, and byte-identically in the parallel one (pinned by the
+        determinism tests).
+    """
+    work = list(items)
+    if workers is None:
+        workers = worker_count()
+    workers = min(workers, len(work))
+    context = _fork_context()
+    if workers <= 1 or context is None:
+        return [fn(item) for item in work]
+    if chunksize is None:
+        chunksize = default_chunksize(len(work), workers)
+    with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+        return list(pool.map(fn, work, chunksize=chunksize))

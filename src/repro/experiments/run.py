@@ -137,7 +137,28 @@ def main(argv: Optional[list] = None) -> int:
         action="store_true",
         help="observe the run and print the span tree",
     )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="persist scenario measurement artifacts under DIR "
+        "(overrides REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore REPRO_CACHE_DIR and rebuild everything",
+    )
     args = parser.parse_args(argv)
+
+    # The artifact cache is wired through the environment variable so the
+    # flags and REPRO_CACHE_DIR behave identically downstream.
+    import os
+
+    if args.no_cache:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    elif args.cache_dir is not None:
+        os.environ["REPRO_CACHE_DIR"] = args.cache_dir
 
     observer = None
     if args.metrics_out is not None or args.trace:

@@ -51,11 +51,37 @@ class Scenario:
     removed_probe_ids: List[int] = field(default_factory=list)
     #: campaign observer (the platform's; :data:`NULL_OBSERVER` by default).
     obs: object = field(default=NULL_OBSERVER, repr=False, compare=False)
+    #: artifact cache and this scenario's content address (``None`` → off).
+    cache: Optional[object] = field(default=None, repr=False, compare=False)
+    cache_key: Optional[str] = field(default=None, repr=False, compare=False)
 
     _rtt_matrix: Optional[np.ndarray] = field(default=None, repr=False)
     _rep_matrix: Optional[np.ndarray] = field(default=None, repr=False)
     _rep_median_matrix: Optional[np.ndarray] = field(default=None, repr=False)
     _reps: Optional[Dict[str, List[str]]] = field(default=None, repr=False)
+    #: memoized derived arrays — the VP/target sets are fixed at build time,
+    #: and fig2-style campaigns read these once per trial (hundreds of times).
+    _derived_arrays: Dict[str, np.ndarray] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def _derived(self, key: str, build) -> np.ndarray:
+        array = self._derived_arrays.get(key)
+        if array is None:
+            array = build()
+            self._derived_arrays[key] = array
+        return array
+
+    # --- artifact cache ----------------------------------------------------------
+
+    def _cache_load(self, name: str) -> Optional[Dict[str, np.ndarray]]:
+        if self.cache is None:
+            return None
+        return self.cache.load(name, self.cache_key)
+
+    def _cache_store(self, name: str, arrays: Dict[str, np.ndarray]) -> None:
+        if self.cache is not None:
+            self.cache.store(name, self.cache_key, arrays)
 
     # --- derived arrays ----------------------------------------------------------
 
@@ -72,27 +98,40 @@ class Scenario:
     @property
     def vp_ids(self) -> np.ndarray:
         """Vantage-point ids as an array."""
-        return np.array([vp.probe_id for vp in self.vps], dtype=np.int64)
+        return self._derived(
+            "vp_ids",
+            lambda: np.array([vp.probe_id for vp in self.vps], dtype=np.int64),
+        )
 
     @property
     def vp_lats(self) -> np.ndarray:
         """Registered VP latitudes (what algorithms are allowed to see)."""
-        return np.array([vp.location.lat for vp in self.vps])
+        return self._derived(
+            "vp_lats", lambda: np.array([vp.location.lat for vp in self.vps])
+        )
 
     @property
     def vp_lons(self) -> np.ndarray:
         """Registered VP longitudes."""
-        return np.array([vp.location.lon for vp in self.vps])
+        return self._derived(
+            "vp_lons", lambda: np.array([vp.location.lon for vp in self.vps])
+        )
 
     @property
     def target_true_lats(self) -> np.ndarray:
         """Ground-truth target latitudes (evaluation only)."""
-        return np.array([t.true_location.lat for t in self.targets])
+        return self._derived(
+            "target_true_lats",
+            lambda: np.array([t.true_location.lat for t in self.targets]),
+        )
 
     @property
     def target_true_lons(self) -> np.ndarray:
         """Ground-truth target longitudes (evaluation only)."""
-        return np.array([t.true_location.lon for t in self.targets])
+        return self._derived(
+            "target_true_lons",
+            lambda: np.array([t.true_location.lon for t in self.targets]),
+        )
 
     @property
     def target_continents(self) -> List[str]:
@@ -113,6 +152,10 @@ class Scenario:
         (a host does not ping itself over the network).
         """
         if self._rtt_matrix is None:
+            cached = self._cache_load("rtt-matrix")
+            if cached is not None:
+                self._rtt_matrix = cached["matrix"]
+                return self._rtt_matrix
             with self.obs.span(
                 "campaign:rtt-matrix",
                 clock=self.client.clock,
@@ -127,6 +170,7 @@ class Scenario:
                 if row is not None:
                     matrix[row, column] = np.nan
             self._rtt_matrix = matrix
+            self._cache_store("rtt-matrix", {"matrix": matrix})
         return self._rtt_matrix
 
     def representative_matrices(self) -> Tuple[np.ndarray, np.ndarray, Dict[str, List[str]]]:
@@ -136,6 +180,14 @@ class Scenario:
         from every vantage point.
         """
         if self._rep_matrix is None:
+            cached = self._cache_load("representatives")
+            if cached is not None:
+                from repro.cache.artifacts import json_payload_object
+
+                self._rep_matrix = cached["min_matrix"]
+                self._rep_median_matrix = cached["median_matrix"]
+                self._reps = json_payload_object(cached["reps_json"])
+                return self._rep_matrix, self._rep_median_matrix, self._reps
             with self.obs.span(
                 "campaign:representatives",
                 clock=self.client.clock,
@@ -166,12 +218,24 @@ class Scenario:
             self._rep_matrix = min_matrix
             self._rep_median_matrix = median_matrix
             self._reps = reps
+            if self.cache is not None:
+                from repro.cache.artifacts import json_payload_array
+
+                self._cache_store(
+                    "representatives",
+                    {
+                        "min_matrix": min_matrix,
+                        "median_matrix": median_matrix,
+                        "reps_json": json_payload_array(reps),
+                    },
+                )
         return self._rep_matrix, self._rep_median_matrix, self._reps
 
     def mesh(self) -> Tuple[List[int], np.ndarray]:
         """The anchor-mesh dataset restricted to sanitized anchors."""
         ids, matrix = self.platform.anchor_mesh()
-        keep = [index for index, anchor_id in enumerate(ids) if anchor_id in set(self.target_ids)]
+        target_id_set = set(self.target_ids)
+        keep = [index for index, anchor_id in enumerate(ids) if anchor_id in target_id_set]
         kept_ids = [ids[index] for index in keep]
         sub = matrix[np.ix_(keep, keep)]
         return kept_ids, sub
@@ -212,6 +276,7 @@ class Scenario:
         config: WorldConfig,
         faults: Optional[FaultInjector] = None,
         obs=NULL_OBSERVER,
+        cache=None,
     ) -> "Scenario":
         """Run the full §4 dataset pipeline for a world configuration.
 
@@ -224,31 +289,74 @@ class Scenario:
                 of crashes.
             obs: campaign observer, threaded into the platform (and from
                 there into the ledger, rate limiter, and fault layer).
+            cache: optional :class:`~repro.cache.ArtifactCache`. When set,
+                the anchor mesh and sanitized id sets are replayed from (or
+                written to) disk, and the lazy campaign matrices are cached
+                too. Fault-injected builds bypass it — their measurements
+                depend on the weather, not just the config.
         """
+        if faults is not None:
+            cache = None
+        cache_key = None
+        if cache is not None:
+            from repro.cache.artifacts import config_key
+
+            cache_key = config_key(config)
+
         world = build_world(config)
         platform = AtlasPlatform(world, faults=faults, obs=obs)
         client = AtlasClient(platform) if faults is None else ResilientClient(AtlasClient(platform))
 
-        # §4.3 step 1: sanitize anchors on the mesh.
-        mesh_ids, mesh_matrix = platform.anchor_mesh()
-        anchor_locations = [
-            platform.probe_info(anchor_id).location for anchor_id in mesh_ids
-        ]
-        kept_anchor_ids, removed_anchor_ids = sanitize_anchors(
-            mesh_ids, mesh_matrix, anchor_locations
-        )
+        cached = cache.load("sanitize", cache_key) if cache is not None else None
+        if cached is not None:
+            # Warm start: replay the mesh into the platform and skip both
+            # sanitization campaigns (byte-identical by construction —
+            # every measurement is a pure function of the config).
+            platform.seed_anchor_mesh(
+                cached["mesh_ids"].tolist(), cached["mesh_matrix"]
+            )
+            kept_anchor_ids = [int(i) for i in cached["kept_anchor_ids"]]
+            removed_anchor_ids = [int(i) for i in cached["removed_anchor_ids"]]
+            kept_probe_ids = [int(i) for i in cached["kept_probe_ids"]]
+            removed_probe_ids = [int(i) for i in cached["removed_probe_ids"]]
+        else:
+            # §4.3 step 1: sanitize anchors on the mesh.
+            mesh_ids, mesh_matrix = platform.anchor_mesh()
+            anchor_locations = [
+                platform.probe_info(anchor_id).location for anchor_id in mesh_ids
+            ]
+            kept_anchor_ids, removed_anchor_ids = sanitize_anchors(
+                mesh_ids, mesh_matrix, anchor_locations
+            )
 
-        # §4.3 step 2: sanitize probes against the sanitized anchors.
-        probe_infos = [info for info in platform.probe_infos() if not info.is_anchor]
-        probe_ids = [info.probe_id for info in probe_infos]
-        kept_anchor_ips = [platform.probe_info(a).address for a in kept_anchor_ids]
-        probe_matrix = client.ping_matrix(probe_ids, kept_anchor_ips, seq=7)
-        kept_probe_ids, removed_probe_ids = sanitize_probes(
-            probe_ids,
-            [info.location for info in probe_infos],
-            [platform.probe_info(a).location for a in kept_anchor_ids],
-            probe_matrix,
-        )
+            # §4.3 step 2: sanitize probes against the sanitized anchors.
+            probe_infos = [info for info in platform.probe_infos() if not info.is_anchor]
+            probe_ids = [info.probe_id for info in probe_infos]
+            kept_anchor_ips = [platform.probe_info(a).address for a in kept_anchor_ids]
+            probe_matrix = client.ping_matrix(probe_ids, kept_anchor_ips, seq=7)
+            kept_probe_ids, removed_probe_ids = sanitize_probes(
+                probe_ids,
+                [info.location for info in probe_infos],
+                [platform.probe_info(a).location for a in kept_anchor_ids],
+                probe_matrix,
+            )
+            if cache is not None:
+                cache.store(
+                    "sanitize",
+                    cache_key,
+                    {
+                        "mesh_ids": np.asarray(mesh_ids, dtype=np.int64),
+                        "mesh_matrix": mesh_matrix,
+                        "kept_anchor_ids": np.asarray(kept_anchor_ids, dtype=np.int64),
+                        "removed_anchor_ids": np.asarray(
+                            removed_anchor_ids, dtype=np.int64
+                        ),
+                        "kept_probe_ids": np.asarray(kept_probe_ids, dtype=np.int64),
+                        "removed_probe_ids": np.asarray(
+                            removed_probe_ids, dtype=np.int64
+                        ),
+                    },
+                )
 
         kept_vp_ids = sorted(set(kept_anchor_ids) | set(kept_probe_ids))
         vps = [platform.probe_info(vp_id) for vp_id in kept_vp_ids]
@@ -263,6 +371,8 @@ class Scenario:
             removed_anchor_ids=removed_anchor_ids,
             removed_probe_ids=removed_probe_ids,
             obs=obs,
+            cache=cache,
+            cache_key=cache_key,
         )
 
 
@@ -274,17 +384,25 @@ def get_scenario(
 ) -> Scenario:
     """A cached scenario for a preset ("paper" or "small").
 
+    When ``REPRO_CACHE_DIR`` is set, builds go through the persistent
+    :class:`~repro.cache.ArtifactCache` rooted there: measurement artifacts
+    (anchor mesh, sanitized id sets, campaign matrices) are replayed from
+    disk on warm starts and written on cold ones — byte-identical either
+    way. The in-memory per-(preset, seed) memo is independent of it.
+
     Args:
         preset: which :class:`WorldConfig` factory to use.
         seed: override the preset's default seed.
         obs: optional campaign observer. Observed scenarios are built
-            fresh and **not** cached — an observer accumulates state from
-            every campaign run against its scenario, so sharing one across
-            callers would mix unrelated event streams.
+            fresh and **not** cached in memory — an observer accumulates
+            state from every campaign run against its scenario, so sharing
+            one across callers would mix unrelated event streams.
 
     Raises:
         ValueError: for unknown presets.
     """
+    from repro.cache import cache_from_env
+
     if preset == "paper":
         config = WorldConfig.paper() if seed is None else WorldConfig.paper(seed)
     elif preset == "small":
@@ -292,10 +410,10 @@ def get_scenario(
     else:
         raise ValueError(f"unknown scenario preset: {preset!r}")
     if obs is not None:
-        return Scenario.build(config, obs=obs)
+        return Scenario.build(config, obs=obs, cache=cache_from_env(obs))
     key = (preset, config.seed)
     scenario = _SCENARIO_CACHE.get(key)
     if scenario is None:
-        scenario = Scenario.build(config)
+        scenario = Scenario.build(config, cache=cache_from_env())
         _SCENARIO_CACHE[key] = scenario
     return scenario

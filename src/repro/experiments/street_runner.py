@@ -18,6 +18,7 @@ from repro.core.street_level import (
     StreetLevelPipeline,
     StreetLevelResult,
 )
+from repro.exec import parallel_map, worker_count
 from repro.experiments.scenario import Scenario
 from repro.geo.coords import GeoPoint
 from repro.world.hosts import Host
@@ -61,6 +62,30 @@ class TargetRecord:
 
 _CACHE: Dict[Tuple[int, Optional[int]], List[TargetRecord]] = {}
 
+#: Shared campaign context for target workers; populated before the
+#: executor call so forked workers inherit the pipeline and mesh without
+#: pickling them per item (the serial path reads the same globals).
+_STREET_CTX: Dict[str, object] = {}
+
+
+def _street_target(index: int) -> TargetRecord:
+    """Geolocate one street-level target from the shared campaign context.
+
+    Each target's measurements are keyed by its own IP/sequence counters,
+    never by shared mutable state, so targets may run in any order on any
+    worker with byte-identical results.
+    """
+    ctx = _STREET_CTX
+    target = ctx["targets"][index]
+    mesh = ctx["mesh"]
+    column = ctx["mesh_row_by_id"][target.host_id]
+    tier1_rtts = {
+        anchor_id: (None if np.isnan(mesh[row, column]) else float(mesh[row, column]))
+        for anchor_id, row in ctx["mesh_row_by_id"].items()
+    }
+    result = ctx["pipeline"].geolocate(target.ip, ctx["anchors"], tier1_rtts)
+    return _evaluate(target, result)
+
 
 def street_level_records(
     scenario: Scenario,
@@ -90,15 +115,18 @@ def street_level_records(
         stride = len(targets) / max_targets
         targets = [targets[int(i * stride)] for i in range(max_targets)]
 
-    records: List[TargetRecord] = []
-    for target in targets:
-        column = mesh_row_by_id[target.host_id]
-        tier1_rtts = {
-            anchor_id: (None if np.isnan(mesh[row, column]) else float(mesh[row, column]))
-            for anchor_id, row in mesh_row_by_id.items()
-        }
-        result = pipeline.geolocate(target.ip, anchors, tier1_rtts)
-        records.append(_evaluate(target, result))
+    _STREET_CTX.update(
+        targets=targets,
+        mesh=mesh,
+        mesh_row_by_id=mesh_row_by_id,
+        pipeline=pipeline,
+        anchors=anchors,
+    )
+    # Parallel fan-out only when observability is off: forked workers
+    # would accumulate counters/events in their own address space and the
+    # parent's observer would silently miss them.
+    workers = worker_count() if not pipeline.obs.enabled else 1
+    records = parallel_map(_street_target, range(len(targets)), workers=workers)
 
     if config is None:
         _CACHE[key] = records

@@ -1,0 +1,180 @@
+"""Artifact-cache tests: content addressing, integrity, warm rebuilds.
+
+The cache's contract is replay, not approximation: a warm build must
+produce byte-identical scenarios to a cold one while running **zero**
+measurement campaigns (no ``atlas.api_calls``), and any undecodable or
+digest-mismatched file must be treated as a miss and rebuilt.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cache import ArtifactCache, cache_from_env, config_key
+from repro.cache.artifacts import (
+    json_payload_array,
+    json_payload_object,
+)
+from repro.experiments import scenario as scenario_mod
+from repro.experiments.scenario import Scenario, get_scenario
+from repro.faults import FaultInjector, FaultPlan
+from repro.obs.observer import Observer
+from repro.world.config import WorldConfig
+
+
+class TestConfigKey:
+    def test_stable(self):
+        assert config_key(WorldConfig.small()) == config_key(WorldConfig.small())
+
+    def test_seed_changes_key(self):
+        assert config_key(WorldConfig.small()) != config_key(
+            WorldConfig.small(2024)
+        )
+
+    def test_preset_changes_key(self):
+        assert config_key(WorldConfig.small()) != config_key(WorldConfig.paper())
+
+
+class TestArtifactStore:
+    def test_round_trip(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        arrays = {
+            "matrix": np.array([[1.5, np.nan], [0.25, 3.0]]),
+            "ids": np.array([3, 1, 4], dtype=np.int64),
+        }
+        cache.store("demo", "k" * 64, arrays)
+        loaded = cache.load("demo", "k" * 64)
+        assert set(loaded) == {"matrix", "ids"}
+        np.testing.assert_array_equal(loaded["matrix"], arrays["matrix"])
+        np.testing.assert_array_equal(loaded["ids"], arrays["ids"])
+
+    def test_missing_is_miss(self, tmp_path):
+        obs = Observer()
+        cache = ArtifactCache(tmp_path, obs=obs)
+        assert cache.load("demo", "k" * 64) is None
+        assert obs.metrics.counters()["cache.miss"] == 1
+
+    def test_garbage_file_is_removed_and_missed(self, tmp_path):
+        obs = Observer()
+        cache = ArtifactCache(tmp_path, obs=obs)
+        cache.store("demo", "k" * 64, {"x": np.arange(4)})
+        path = cache.path("demo", "k" * 64)
+        path.write_bytes(b"not a zip archive")
+        assert cache.load("demo", "k" * 64) is None
+        assert not path.exists()
+        counters = obs.metrics.counters()
+        assert counters["cache.corrupt"] == 1
+        assert counters["cache.miss"] == 1
+
+    def test_digest_mismatch_is_removed(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.store("demo", "a" * 64, {"x": np.arange(4)})
+        cache.store("demo", "b" * 64, {"x": np.arange(5)})
+        # Graft one artifact's file onto the other's address: the payload
+        # decodes fine but belongs to different content.
+        data = cache.path("demo", "b" * 64).read_bytes()
+        target = cache.path("demo", "a" * 64)
+        target.write_bytes(data)
+        loaded = cache.load("demo", "a" * 64)
+        # Self-consistent payloads pass the digest check (the digest covers
+        # payload integrity, the *key* covers addressing) — but a truncated
+        # copy must not.
+        assert loaded is not None
+        target.write_bytes(data[: len(data) // 2])
+        assert cache.load("demo", "a" * 64) is None
+
+    def test_json_payload_round_trip(self):
+        obj = {"10.0.0.1": ["10.0.0.2", "10.0.0.3"], "empty": []}
+        assert json_payload_object(json_payload_array(obj)) == obj
+
+    def test_cache_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert cache_from_env() is None
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cache = cache_from_env()
+        assert cache is not None and cache.root == tmp_path
+
+
+def _campaigns(scn: Scenario):
+    """Run every cached campaign and return its artifacts."""
+    rtt = scn.rtt_matrix()
+    rep_min, rep_median, reps = scn.representative_matrices()
+    mesh_ids, mesh = scn.mesh()
+    return rtt, rep_min, rep_median, reps, mesh_ids, mesh
+
+
+class TestScenarioWarmRebuild:
+    def test_warm_rebuild_is_identical_and_measurement_free(self, tmp_path):
+        config = WorldConfig.small()
+        cache_cold = ArtifactCache(tmp_path)
+        cold = Scenario.build(config, cache=cache_cold)
+        cold_arrays = _campaigns(cold)
+
+        obs = Observer()
+        warm = Scenario.build(config, obs=obs, cache=ArtifactCache(tmp_path, obs=obs))
+        warm_arrays = _campaigns(warm)
+
+        # Zero measurement campaigns on the warm path: everything replayed.
+        counters = obs.metrics.counters()
+        assert counters.get("atlas.api_calls", 0) == 0
+        assert counters["cache.hit"] == 3  # sanitize, rtt-matrix, representatives
+        assert "cache.miss" not in counters
+
+        # Byte-identical scenario.
+        assert [t.host_id for t in warm.targets] == [t.host_id for t in cold.targets]
+        assert [vp.probe_id for vp in warm.vps] == [vp.probe_id for vp in cold.vps]
+        assert warm.removed_anchor_ids == cold.removed_anchor_ids
+        assert warm.removed_probe_ids == cold.removed_probe_ids
+        rtt_c, min_c, med_c, reps_c, ids_c, mesh_c = cold_arrays
+        rtt_w, min_w, med_w, reps_w, ids_w, mesh_w = warm_arrays
+        np.testing.assert_array_equal(rtt_w, rtt_c)
+        np.testing.assert_array_equal(min_w, min_c)
+        np.testing.assert_array_equal(med_w, med_c)
+        assert reps_w == reps_c
+        assert ids_w == ids_c
+        np.testing.assert_array_equal(mesh_w, mesh_c)
+
+    def test_corrupt_artifact_rebuilds(self, tmp_path):
+        config = WorldConfig.small()
+        cold = Scenario.build(config, cache=ArtifactCache(tmp_path))
+        rtt_cold = cold.rtt_matrix()
+        key = config_key(config)
+        ArtifactCache(tmp_path).path("rtt-matrix", key).write_bytes(b"garbage")
+
+        obs = Observer()
+        warm = Scenario.build(config, obs=obs, cache=ArtifactCache(tmp_path, obs=obs))
+        np.testing.assert_array_equal(warm.rtt_matrix(), rtt_cold)
+        counters = obs.metrics.counters()
+        assert counters["cache.corrupt"] == 1
+        assert counters["cache.hit"] >= 1  # the sanitize artifact still hits
+
+    def test_uncached_build_matches_cached(self, tmp_path, small_scenario):
+        config = WorldConfig.small()
+        cached = Scenario.build(config, cache=ArtifactCache(tmp_path))
+        np.testing.assert_array_equal(
+            cached.rtt_matrix(), small_scenario.rtt_matrix()
+        )
+        warm = Scenario.build(config, cache=ArtifactCache(tmp_path))
+        np.testing.assert_array_equal(
+            warm.rtt_matrix(), small_scenario.rtt_matrix()
+        )
+
+    def test_faulty_build_bypasses_cache(self, tmp_path):
+        config = WorldConfig.small()
+        scn = Scenario.build(
+            config,
+            faults=FaultInjector(FaultPlan.at_rate(0.05)),
+            cache=ArtifactCache(tmp_path),
+        )
+        assert scn.cache is None
+        assert list(tmp_path.iterdir()) == []
+
+    def test_get_scenario_uses_env_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setattr(scenario_mod, "_SCENARIO_CACHE", {})
+        scn = get_scenario("small")
+        assert scn.cache is not None
+        scn.rtt_matrix()
+        names = sorted(path.name for path in tmp_path.iterdir())
+        assert any(name.startswith("sanitize-") for name in names)
+        assert any(name.startswith("rtt-matrix-") for name in names)

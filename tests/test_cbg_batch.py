@@ -1,0 +1,323 @@
+"""Parity suite: the batched CBG kernel vs the per-target reference loop.
+
+The batched kernel promises *bitwise* identical results to calling
+:func:`repro.core.cbg.cbg_centroid_fast` once per target — not "close",
+equal. Every comparison here is ``np.array_equal(..., equal_nan=True)``
+on raw float64 output, across the edge cases the kernel handles with
+special machinery: all-NaN columns, ``min_vps`` starvation, ``max_active``
+overflow (the exact trim replay), near-full masked subsets, cached vs
+uncached derived arrays, and chunked execution.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import SOI_FRACTION_CBG
+from repro.core import cbg_batch
+from repro.core.cbg import cbg_centroid_fast, cbg_errors_for_subsets, cbg_estimate
+from repro.core.cbg_batch import (
+    _reset_derived_cache,
+    cbg_centroids_batch,
+    cbg_errors_batch,
+    cbg_errors_for_subsets_loop,
+)
+from repro.geo.coords import GeoPoint
+from repro.obs.observer import Observer
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    """Each test starts and ends without a populated derived-array cache."""
+    _reset_derived_cache()
+    yield
+    _reset_derived_cache()
+
+
+def _random_world(rng, n_vps, n_targets, nan_fraction=0.3):
+    """A synthetic campaign: VP/target coordinates plus an RTT matrix."""
+    vp_lats = rng.uniform(-75, 75, n_vps)
+    vp_lons = rng.uniform(-180, 180, n_vps)
+    t_lats = rng.uniform(-75, 75, n_targets)
+    t_lons = rng.uniform(-180, 180, n_targets)
+    matrix = rng.uniform(1.0, 250.0, (n_vps, n_targets))
+    mask = rng.random((n_vps, n_targets)) < nan_fraction
+    matrix[mask] = np.nan
+    return vp_lats, vp_lons, t_lats, t_lons, matrix
+
+
+def _loop_centroids(vp_lats, vp_lons, matrix, subset, **kwargs):
+    """Reference: one `cbg_centroid_fast` call per column."""
+    lats = np.full(matrix.shape[1], np.nan)
+    lons = np.full(matrix.shape[1], np.nan)
+    for t in range(matrix.shape[1]):
+        centroid = cbg_centroid_fast(
+            vp_lats[subset], vp_lons[subset], matrix[subset, t], **kwargs
+        )
+        if centroid is not None:
+            lats[t], lons[t] = centroid
+    return lats, lons
+
+
+def _assert_bitwise(a, b):
+    assert np.array_equal(a, b, equal_nan=True)
+
+
+class TestCentroidParity:
+    def test_random_subsets_bitwise(self):
+        rng = np.random.default_rng(7)
+        vp_lats, vp_lons, _tl, _to, matrix = _random_world(rng, 120, 40)
+        for size in (3, 10, 60, 119):
+            subset = np.sort(rng.choice(120, size=size, replace=False))
+            got = cbg_centroids_batch(vp_lats, vp_lons, matrix, subset)
+            want = _loop_centroids(vp_lats, vp_lons, matrix, subset)
+            _assert_bitwise(got[0], want[0])
+            _assert_bitwise(got[1], want[1])
+
+    def test_full_range_and_none_subset_agree(self):
+        rng = np.random.default_rng(8)
+        vp_lats, vp_lons, _tl, _to, matrix = _random_world(rng, 50, 20)
+        everyone = np.arange(50)
+        a = cbg_centroids_batch(vp_lats, vp_lons, matrix, everyone)
+        b = cbg_centroids_batch(vp_lats, vp_lons, matrix, None)
+        want = _loop_centroids(vp_lats, vp_lons, matrix, everyone)
+        for got in (a, b):
+            _assert_bitwise(got[0], want[0])
+            _assert_bitwise(got[1], want[1])
+
+    def test_unsorted_subset_bitwise(self):
+        rng = np.random.default_rng(9)
+        vp_lats, vp_lons, _tl, _to, matrix = _random_world(rng, 80, 25)
+        subset = rng.permutation(80)[:30]  # deliberately unsorted
+        got = cbg_centroids_batch(vp_lats, vp_lons, matrix, subset)
+        want = _loop_centroids(vp_lats, vp_lons, matrix, subset)
+        _assert_bitwise(got[0], want[0])
+        _assert_bitwise(got[1], want[1])
+
+    def test_all_nan_columns(self):
+        rng = np.random.default_rng(10)
+        vp_lats, vp_lons, _tl, _to, matrix = _random_world(rng, 30, 12)
+        matrix[:, [2, 7, 11]] = np.nan
+        subset = np.arange(30)
+        got_lats, got_lons = cbg_centroids_batch(vp_lats, vp_lons, matrix, subset)
+        assert np.isnan(got_lats[[2, 7, 11]]).all()
+        assert np.isnan(got_lons[[2, 7, 11]]).all()
+        want = _loop_centroids(vp_lats, vp_lons, matrix, subset)
+        _assert_bitwise(got_lats, want[0])
+        _assert_bitwise(got_lons, want[1])
+
+    def test_min_vps_starvation(self):
+        rng = np.random.default_rng(11)
+        vp_lats, vp_lons, _tl, _to, matrix = _random_world(
+            rng, 40, 15, nan_fraction=0.9
+        )
+        subset = np.sort(rng.choice(40, size=25, replace=False))
+        for min_vps in (1, 3, 10):
+            got = cbg_centroids_batch(
+                vp_lats, vp_lons, matrix, subset, min_vps=min_vps
+            )
+            want = _loop_centroids(
+                vp_lats, vp_lons, matrix, subset, min_vps=min_vps
+            )
+            _assert_bitwise(got[0], want[0])
+            _assert_bitwise(got[1], want[1])
+
+    def test_max_active_overflow_trim(self):
+        # Tiny max_active forces the binding-set trim (the reference's
+        # slack argsort) on essentially every column.
+        rng = np.random.default_rng(12)
+        vp_lats, vp_lons, _tl, _to, matrix = _random_world(
+            rng, 90, 30, nan_fraction=0.05
+        )
+        subset = np.arange(90)
+        for max_active in (2, 5, 16):
+            got = cbg_centroids_batch(
+                vp_lats, vp_lons, matrix, subset, max_active=max_active
+            )
+            want = _loop_centroids(
+                vp_lats, vp_lons, matrix, subset, max_active=max_active
+            )
+            _assert_bitwise(got[0], want[0])
+            _assert_bitwise(got[1], want[1])
+
+    def test_zero_rtt_degenerate_columns(self):
+        rng = np.random.default_rng(13)
+        vp_lats, vp_lons, _tl, _to, matrix = _random_world(rng, 25, 10)
+        matrix[4, :5] = 0.0  # zero radius pins the estimate at the VP
+        subset = np.arange(25)
+        got = cbg_centroids_batch(vp_lats, vp_lons, matrix, subset)
+        want = _loop_centroids(vp_lats, vp_lons, matrix, subset)
+        _assert_bitwise(got[0], want[0])
+        _assert_bitwise(got[1], want[1])
+
+    def test_chunked_execution_bitwise(self):
+        rng = np.random.default_rng(14)
+        vp_lats, vp_lons, _tl, _to, matrix = _random_world(rng, 60, 37)
+        subset = np.sort(rng.choice(60, size=45, replace=False))
+        whole = cbg_centroids_batch(vp_lats, vp_lons, matrix, subset)
+        for chunk in (1, 5, 36, 37, 1000):
+            parts = cbg_centroids_batch(
+                vp_lats, vp_lons, matrix, subset, chunk_targets=chunk
+            )
+            _assert_bitwise(whole[0], parts[0])
+            _assert_bitwise(whole[1], parts[1])
+
+    def test_soi_fraction_forwarded(self):
+        rng = np.random.default_rng(15)
+        vp_lats, vp_lons, _tl, _to, matrix = _random_world(rng, 40, 16)
+        subset = np.arange(40)
+        got = cbg_centroids_batch(
+            vp_lats, vp_lons, matrix, subset, soi_fraction=4.0 / 9.0
+        )
+        want = _loop_centroids(
+            vp_lats, vp_lons, matrix, subset, soi_fraction=4.0 / 9.0
+        )
+        _assert_bitwise(got[0], want[0])
+        _assert_bitwise(got[1], want[1])
+
+
+class TestDerivedCache:
+    def test_cached_and_uncached_calls_bitwise(self):
+        rng = np.random.default_rng(16)
+        vp_lats, vp_lons, _tl, _to, matrix = _random_world(rng, 70, 24)
+        subset = np.sort(rng.choice(70, size=30, replace=False))
+        cold = cbg_centroids_batch(vp_lats, vp_lons, matrix, subset)
+        # Second and later sightings of the same matrix run off the cache.
+        warm1 = cbg_centroids_batch(vp_lats, vp_lons, matrix, subset)
+        warm2 = cbg_centroids_batch(vp_lats, vp_lons, matrix, subset)
+        assert cbg_batch._DERIVED_SLOT is not None
+        for got in (warm1, warm2):
+            _assert_bitwise(cold[0], got[0])
+            _assert_bitwise(cold[1], got[1])
+
+    def test_masked_near_full_mode_bitwise(self):
+        # A sorted subset covering >= 3/4 of the VPs takes the full-width
+        # masked path off the cached arrays; gather path and reference
+        # loop must agree bitwise.
+        rng = np.random.default_rng(17)
+        vp_lats, vp_lons, _tl, _to, matrix = _random_world(rng, 100, 30)
+        subset = np.sort(rng.choice(100, size=90, replace=False))
+        cold = cbg_centroids_batch(vp_lats, vp_lons, matrix, subset)
+        warm = cbg_centroids_batch(vp_lats, vp_lons, matrix, subset)
+        want = _loop_centroids(vp_lats, vp_lons, matrix, subset)
+        for got in (cold, warm):
+            _assert_bitwise(got[0], want[0])
+            _assert_bitwise(got[1], want[1])
+
+    def test_cache_not_fooled_by_lookalike_matrix(self):
+        rng = np.random.default_rng(18)
+        vp_lats, vp_lons, _tl, _to, matrix = _random_world(rng, 40, 14)
+        subset = np.arange(40)
+        cbg_centroids_batch(vp_lats, vp_lons, matrix, subset)
+        cbg_centroids_batch(vp_lats, vp_lons, matrix, subset)  # cache warm
+        other = matrix + 1.0
+        got = cbg_centroids_batch(vp_lats, vp_lons, other, subset)
+        want = _loop_centroids(vp_lats, vp_lons, other, subset)
+        _assert_bitwise(got[0], want[0])
+        _assert_bitwise(got[1], want[1])
+
+
+class TestErrorsParity:
+    def test_errors_bitwise_vs_loop(self):
+        rng = np.random.default_rng(19)
+        vp_lats, vp_lons, t_lats, t_lons, matrix = _random_world(rng, 80, 30)
+        for size in (5, 40, 75):
+            subset = np.sort(rng.choice(80, size=size, replace=False))
+            got = cbg_errors_batch(
+                vp_lats, vp_lons, matrix, t_lats, t_lons, subset
+            )
+            want = cbg_errors_for_subsets_loop(
+                vp_lats, vp_lons, matrix, t_lats, t_lons, subset
+            )
+            _assert_bitwise(got, want)
+
+    def test_public_wrapper_delegates_to_batch(self):
+        rng = np.random.default_rng(20)
+        vp_lats, vp_lons, t_lats, t_lons, matrix = _random_world(rng, 30, 10)
+        subset = np.arange(30)
+        got = cbg_errors_for_subsets(
+            vp_lats, vp_lons, matrix, t_lats, t_lons, subset
+        )
+        want = cbg_errors_for_subsets_loop(
+            vp_lats, vp_lons, matrix, t_lats, t_lons, subset
+        )
+        _assert_bitwise(got, want)
+
+    def test_campaign_parity_on_small_scenario(self, small_scenario):
+        matrix = small_scenario.rtt_matrix()
+        vp_lats = small_scenario.vp_lats
+        vp_lons = small_scenario.vp_lons
+        t_lats = small_scenario.target_true_lats
+        t_lons = small_scenario.target_true_lons
+        n_vps = len(small_scenario.vps)
+        rng = np.random.default_rng(21)
+        for size in (10, n_vps // 2, max(1, n_vps - 3), n_vps):
+            subset = np.sort(rng.choice(n_vps, size=size, replace=False))
+            got = cbg_errors_batch(
+                vp_lats, vp_lons, matrix, t_lats, t_lons, subset
+            )
+            want = cbg_errors_for_subsets_loop(
+                vp_lats, vp_lons, matrix, t_lats, t_lons, subset
+            )
+            _assert_bitwise(got, want)
+
+
+class TestObsCounters:
+    def test_counter_totals_match_loop_semantics(self):
+        rng = np.random.default_rng(22)
+        vp_lats, vp_lons, t_lats, t_lons, matrix = _random_world(
+            rng, 40, 18, nan_fraction=0.85
+        )
+        subset = np.arange(40)
+        obs_batch = Observer()
+        cbg_errors_batch(
+            vp_lats, vp_lons, matrix, t_lats, t_lons, subset,
+            min_vps=5, obs=obs_batch,
+        )
+        obs_loop = Observer()
+        cbg_errors_for_subsets_loop(
+            vp_lats, vp_lons, matrix, t_lats, t_lons, subset,
+            min_vps=5, obs=obs_loop,
+        )
+        batch_counters = obs_batch.metrics.counters()
+        loop_counters = obs_loop.metrics.counters()
+        assert batch_counters["cbg.fast_calls"] == loop_counters["cbg.fast_calls"]
+        assert batch_counters.get("cbg.fast_no_estimate", 0) == loop_counters.get(
+            "cbg.fast_no_estimate", 0
+        )
+
+
+class TestAgainstExactPath:
+    def test_batch_consistent_with_exact_region_estimate(self):
+        # Same consistency bound the fast path is held to vs cbg_estimate:
+        # the batched kernel must land near the exact region centroid.
+        from repro.atlas.platform import ProbeInfo
+        from repro.constants import distance_to_min_rtt_ms
+        from repro.geo.coords import destination
+
+        center = GeoPoint(42.0, 7.0)
+        vps, vp_lats, vp_lons, rtts = [], [], [], {}
+        for index, bearing in enumerate((10.0, 130.0, 250.0, 300.0)):
+            location = destination(center, bearing, 400.0)
+            vps.append(
+                ProbeInfo(
+                    probe_id=index,
+                    address=f"10.1.{index}.1",
+                    location=location,
+                    asn=65000 + index,
+                    is_anchor=False,
+                    probing_rate_pps=8.0,
+                )
+            )
+            vp_lats.append(location.lat)
+            vp_lons.append(location.lon)
+            rtts[index] = distance_to_min_rtt_ms(400.0) * 1.15
+        result, _region = cbg_estimate("10.9.9.9", vps, rtts)
+        matrix = np.array([[rtts[i]] for i in range(4)])
+        got_lats, got_lons = cbg_centroids_batch(
+            np.array(vp_lats), np.array(vp_lons), matrix, np.arange(4)
+        )
+        assert not math.isnan(got_lats[0])
+        estimate = GeoPoint(float(got_lats[0]), float(got_lons[0]))
+        assert result.estimate.distance_km(estimate) < 150.0
