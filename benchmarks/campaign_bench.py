@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform as platform_mod
 import sys
 import time
@@ -31,8 +32,10 @@ import numpy as np
 
 from repro.core import cbg_batch
 from repro.core.cbg import cbg_centroid_fast
+from repro.exec.pool import _fork_context
 from repro.experiments import fig2
 from repro.experiments.scenario import get_scenario
+from repro.obs import Observer
 
 
 def _time_once(fn):
@@ -43,6 +46,55 @@ def _time_once(fn):
 
 def _time_min(fn, repeats: int) -> float:
     return min(_time_once(fn)[1] for _ in range(repeats))
+
+
+def _obs_parallel_point(preset: str, trials: int, workers: int = 2) -> dict | None:
+    """Time fig2a fanned out with and without worker-side capture.
+
+    Measures the distributed-observability tax: the observed run goes
+    through CaptureScope → pickle → merge_snapshots → absorb for every
+    work item, the unobserved run through the plain pool path. Returns
+    ``None`` where fork is unavailable (the pool degrades to serial and
+    the comparison would be meaningless).
+    """
+    if _fork_context() is None:
+        return None
+    observer = Observer()
+    observed_scenario = get_scenario(preset, obs=observer)
+    unobserved_scenario = get_scenario(preset)
+    # The §4.1.3 ping campaign is scenario setup, not campaign execution:
+    # warm both matrices so neither side pays it inside the timed region.
+    observed_scenario.rtt_matrix()
+    unobserved_scenario.rtt_matrix()
+    os.environ["REPRO_WORKERS"] = str(workers)
+    try:
+        # One untimed run per side first — the process's first pool
+        # fan-outs pay a large one-off fork/page-fault cost that would
+        # otherwise land entirely on whichever side runs first. Then
+        # interleave and keep the best of each, as the bench tests do.
+        null_output = fig2.run_fig2a(unobserved_scenario, trials=trials)
+        obs_output = fig2.run_fig2a(observed_scenario, trials=trials)
+        null_s = obs_s = float("inf")
+        for _ in range(3):
+            null_output, elapsed = _time_once(
+                lambda: fig2.run_fig2a(unobserved_scenario, trials=trials)
+            )
+            null_s = min(null_s, elapsed)
+            obs_output, elapsed = _time_once(
+                lambda: fig2.run_fig2a(observed_scenario, trials=trials)
+            )
+            obs_s = min(obs_s, elapsed)
+    finally:
+        os.environ.pop("REPRO_WORKERS", None)
+    if obs_output.measured != null_output.measured:
+        raise AssertionError("observed parallel fig2a diverged from unobserved")
+    return {
+        "workers": workers,
+        "unobserved_s": round(null_s, 3),
+        "observed_s": round(obs_s, 3),
+        "overhead": round(obs_s / null_s, 3),
+        "identical": True,
+    }
 
 
 def run_campaign_bench(preset: str, trials: int) -> dict:
@@ -99,6 +151,7 @@ def run_campaign_bench(preset: str, trials: int) -> dict:
             "speedup": round(loop_s / batch_s, 2),
             "identical": identical,
         },
+        "obs_parallel": _obs_parallel_point(preset, trials),
         "microbench": {name: round(value, 6) for name, value in micro.items()},
     }
 
@@ -124,6 +177,13 @@ def main(argv=None) -> int:
         f"fig2a [{args.preset}] batch {fig['batch_s']}s vs loop {fig['loop_s']}s "
         f"-> {fig['speedup']}x (identical={fig['identical']})"
     )
+    obs = record["obs_parallel"]
+    if obs is not None:
+        print(
+            f"obs-parallel [{obs['workers']} workers] unobserved "
+            f"{obs['unobserved_s']}s vs observed {obs['observed_s']}s "
+            f"-> {obs['overhead']}x overhead"
+        )
     print(f"written to {out_path}")
     return 0
 

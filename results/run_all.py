@@ -1,10 +1,28 @@
-"""Produce every experiment's report at paper scale (for EXPERIMENTS.md)."""
-import json, time, sys
+"""Produce every experiment's report at paper scale (for EXPERIMENTS.md).
+
+Optionally writes a provenance run directory::
+
+    PYTHONPATH=src python results/run_all.py --run-dir results/run-paper
+
+which observes the whole sweep and records the manifest (config digest,
+seed, versions, git rev, durations, final metrics report), the event
+stream, and the span profiles (see repro.obs.rundir).
+"""
+import argparse, json, os, time
 from repro.experiments import get_scenario
 from repro.experiments import fig2, fig3, fig4, fig5, fig6, fig7, fig8, tables
 
+parser = argparse.ArgumentParser(description=__doc__)
+parser.add_argument('--run-dir', default=None, help='write a provenance run directory')
+args = parser.parse_args()
+
+observer = None
+if args.run_dir is not None:
+    from repro.obs import Observer
+    observer = Observer()
+
 t0 = time.time()
-s = get_scenario('paper')
+s = get_scenario('paper', obs=observer)
 print(f'scenario ready {time.time()-t0:.0f}s', flush=True)
 
 runs = [
@@ -26,14 +44,36 @@ runs = [
     ('fig8', lambda: fig8.run_fig8(s)),
 ]
 summary = {}
-with open('results/paper_scale_report.txt', 'w') as f:
-    for name, fn in runs:
-        t = time.time()
-        out = fn()
-        elapsed = time.time() - t
-        print(f'{name} done in {elapsed:.0f}s', flush=True)
-        f.write(out.render() + f'\n[{elapsed:.0f}s]\n\n')
-        f.flush()
-        summary[name] = {'measured': out.measured, 'expected': out.expected, 'seconds': elapsed}
+outcome = 'ok'
+obs = s.obs
+try:
+    with open('results/paper_scale_report.txt', 'w') as f:
+        for name, fn in runs:
+            t = time.time()
+            with obs.span(f'experiment:{name}', clock=s.client.clock):
+                out = fn()
+            elapsed = time.time() - t
+            print(f'{name} done in {elapsed:.0f}s', flush=True)
+            f.write(out.render() + f'\n[{elapsed:.0f}s]\n\n')
+            f.flush()
+            summary[name] = {'measured': out.measured, 'expected': out.expected, 'seconds': elapsed}
+except Exception as error:
+    outcome = f'error: {type(error).__name__}: {error}'
+    raise
+finally:
+    if observer is not None:
+        from repro.exec import worker_count
+        from repro.obs.rundir import RunManifest, write_run_dir
+        manifest = RunManifest.for_scenario(
+            s,
+            preset='paper',
+            experiments=[name for name, _fn in runs],
+            workers=worker_count(),
+            cache_dir=os.environ.get('REPRO_CACHE_DIR') or None,
+            wall_s=time.time() - t0,
+            outcome=outcome,
+        )
+        paths = write_run_dir(args.run_dir, observer, manifest)
+        print(f'run dir written to {paths["manifest"].parent}', flush=True)
 json.dump(summary, open('results/paper_scale_summary.json', 'w'), indent=2, default=float)
 print('ALL DONE', time.time()-t0, flush=True)

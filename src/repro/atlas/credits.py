@@ -81,8 +81,12 @@ class CreditLedger:
         self._spent += credits
         self._counts[kind] = self._counts.get(kind, 0) + count
         if self.observer.enabled:
+            # No running total in the event: it is a prefix sum of the
+            # ``credits`` fields (and would differ between a worker's
+            # fork-local ledger and the serial campaign ledger, breaking
+            # the byte-identity of merged parallel event streams).
             self.observer.event(
-                _ev.CREDIT_CHARGE, kind=kind, credits=credits, count=count, spent=self._spent
+                _ev.CREDIT_CHARGE, kind=kind, credits=credits, count=count
             )
             self.observer.count("credits.spent", credits)
             self.observer.count(f"credits.{kind}", credits)

@@ -8,12 +8,21 @@ run must produce byte-identical results to the serial path, and the
 determinism suite (``tests/test_exec.py``) pins it.
 
 Workers come from the ``REPRO_WORKERS`` environment variable (unset, "",
-"0" or "1" → serial; an integer → that many processes; ``auto`` → CPU
-count). The pool uses the ``fork`` start method, so workers inherit the
-parent's scenario arrays by memory sharing instead of pickling
-multi-megabyte matrices per item; on platforms without ``fork`` the
-executor silently degrades to the serial path, which computes the same
-bytes.
+"0" or "1" → serial; a positive integer → that many processes; ``auto`` →
+CPU count; anything else, including negative integers, raises). The pool
+uses the ``fork`` start method, so workers inherit the parent's scenario
+arrays by memory sharing instead of pickling multi-megabyte matrices per
+item; on platforms without ``fork`` the executor silently degrades to the
+serial path, which computes the same bytes.
+
+Observed campaigns fan out too: pass the campaign observer via ``obs=``
+and each work item runs inside a worker-side
+:class:`~repro.obs.snapshot.CaptureScope`, returning ``(result,
+snapshot)`` over the pipe. The parent merges the snapshots
+(:func:`~repro.obs.snapshot.merge_snapshots`, ordered by stable item
+index) and folds them into its live observer — metrics, event stream, and
+span tree come out byte-identical to a serial observed run (pinned by
+``tests/test_obs_distributed.py``).
 """
 
 from __future__ import annotations
@@ -21,7 +30,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -35,16 +44,22 @@ def worker_count() -> int:
         the CPU count for ``auto``, otherwise the parsed integer.
 
     Raises:
-        ValueError: when the variable is set to something unintelligible —
-            a silent fall-back to serial would hide a misconfigured
-            campaign host.
+        ValueError: when the variable is set to something unintelligible
+            or to a negative integer — a silent fall-back to serial would
+            hide a misconfigured campaign host.
     """
     raw = os.environ.get("REPRO_WORKERS", "").strip().lower()
     if raw in ("", "0", "1"):
         return 1
     if raw == "auto":
         return os.cpu_count() or 1
-    return max(1, int(raw))
+    try:
+        count = int(raw)
+    except ValueError:
+        raise ValueError(f"unintelligible REPRO_WORKERS value: {raw!r}") from None
+    if count < 0:
+        raise ValueError(f"REPRO_WORKERS must be non-negative, got {count}")
+    return max(1, count)
 
 
 def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
@@ -71,11 +86,32 @@ def default_chunksize(n_items: int, workers: int) -> int:
     return max(1, n_items // max(1, workers * 4))
 
 
+#: Shared (fn, observer) for the observed-item wrapper; populated in the
+#: parent immediately before the pool forks, so workers inherit it.
+_OBSERVED_CTX: Dict[str, object] = {}
+
+
+def _observed_item(pair: Tuple[int, T]):
+    """Run one work item under worker-side capture.
+
+    Returns ``(result, snapshot)``; the snapshot carries everything the
+    item recorded on the campaign observer, tagged with the item's stable
+    index so the parent-side merge reproduces serial emission order.
+    """
+    from repro.obs.snapshot import CaptureScope
+
+    index, item = pair
+    with CaptureScope(_OBSERVED_CTX["obs"], index) as scope:
+        result = _OBSERVED_CTX["fn"](item)
+    return result, scope.snapshot
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Iterable[T],
     workers: Optional[int] = None,
     chunksize: Optional[int] = None,
+    obs=None,
 ) -> List[R]:
     """Map ``fn`` over ``items``, preserving order.
 
@@ -87,11 +123,17 @@ def parallel_map(
         workers: process count; defaults to :func:`worker_count`.
         chunksize: descriptors per dispatch; defaults to
             :func:`default_chunksize`.
+        obs: optional campaign :class:`~repro.obs.Observer`. When enabled
+            and the run is parallel, each item is captured worker-side and
+            the merged snapshot is absorbed into this observer after the
+            map — the serial path records on it live, as always. A
+            :class:`~repro.obs.NullObserver` (or ``None``) costs nothing.
 
     Returns:
         ``[fn(item) for item in items]`` — by construction in the serial
         path, and byte-identically in the parallel one (pinned by the
-        determinism tests).
+        determinism tests). With ``obs=``, the observer's final state is
+        byte-identical between the two paths as well.
     """
     work = list(items)
     if workers is None:
@@ -102,5 +144,20 @@ def parallel_map(
         return [fn(item) for item in work]
     if chunksize is None:
         chunksize = default_chunksize(len(work), workers)
-    with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
-        return list(pool.map(fn, work, chunksize=chunksize))
+    if obs is None or not getattr(obs, "enabled", False):
+        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+            return list(pool.map(fn, work, chunksize=chunksize))
+
+    from repro.obs.snapshot import merge_snapshots
+
+    _OBSERVED_CTX["fn"] = fn
+    _OBSERVED_CTX["obs"] = obs
+    try:
+        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+            pairs = list(
+                pool.map(_observed_item, list(enumerate(work)), chunksize=chunksize)
+            )
+    finally:
+        _OBSERVED_CTX.clear()
+    obs.absorb(merge_snapshots(*(snapshot for _result, snapshot in pairs)))
+    return [result for result, _snapshot in pairs]

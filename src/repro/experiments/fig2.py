@@ -60,6 +60,7 @@ def _trial_median(trial: int) -> Optional[float]:
         ctx["target_lats"],
         ctx["target_lons"],
         np.sort(subset),
+        obs=ctx["obs"],
     )
     defined = errors[~np.isnan(errors)]
     if defined.size:
@@ -84,8 +85,11 @@ def _subset_median_errors(
         matrix=matrix,
         target_lats=scenario.target_true_lats,
         target_lons=scenario.target_true_lons,
+        obs=scenario.obs,
     )
-    results = parallel_map(_trial_median, range(trials))
+    # Observed trials fan out like unobserved ones: worker-side capture +
+    # deterministic merge keeps the campaign counters complete either way.
+    results = parallel_map(_trial_median, range(trials), obs=scenario.obs)
     return [result for result in results if result is not None]
 
 

@@ -15,8 +15,15 @@ family).
 :class:`~repro.obs.Observer` to the run: the first writes the deterministic
 JSON metrics report (byte-identical across same-seed invocations) to PATH
 and prints the campaign summary table; the second prints the span tree.
-Without either flag the run uses the zero-cost
-:class:`~repro.obs.NullObserver` and behaves exactly as before.
+``--trace-out FILE`` exports the span profile as Chrome-trace JSON (open
+in ``chrome://tracing`` or Perfetto), and ``--run-dir DIR`` writes a full
+provenance run directory — manifest (config digest, seed, versions, git
+rev, durations, final report), metrics JSON, event JSONL, and both span
+profiles (see :mod:`repro.obs.rundir`). Without any of these flags the run
+uses the zero-cost :class:`~repro.obs.NullObserver` and behaves exactly as
+before. Observed runs fan out across ``REPRO_WORKERS`` like unobserved
+ones: worker-side capture plus a deterministic merge keeps the streams
+byte-identical to a serial run.
 """
 
 from __future__ import annotations
@@ -138,6 +145,20 @@ def main(argv: Optional[list] = None) -> int:
         help="observe the run and print the span tree",
     )
     parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="observe the run and write the span profile as Chrome-trace "
+        "JSON (chrome://tracing / Perfetto)",
+    )
+    parser.add_argument(
+        "--run-dir",
+        metavar="DIR",
+        default=None,
+        help="observe the run and write a provenance run directory "
+        "(manifest + metrics + events + span profiles)",
+    )
+    parser.add_argument(
         "--cache-dir",
         metavar="DIR",
         default=None,
@@ -161,27 +182,43 @@ def main(argv: Optional[list] = None) -> int:
         os.environ["REPRO_CACHE_DIR"] = args.cache_dir
 
     observer = None
-    if args.metrics_out is not None or args.trace:
+    if (
+        args.metrics_out is not None
+        or args.trace
+        or args.trace_out is not None
+        or args.run_dir is not None
+    ):
         from repro.obs import Observer
 
         observer = Observer()
 
+    import time
+    from pathlib import Path
+
     # Observed scenarios are built fresh (never cached): the observer's
     # event stream must cover exactly this invocation, nothing earlier.
+    started = time.perf_counter()
     scenario = get_scenario(args.preset, args.seed, obs=observer)
     obs = scenario.obs
     names = sorted(registry) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        with obs.span(f"experiment:{name}", clock=scenario.client.clock):
-            output = registry[name](scenario, args)
-        print(output.render())
-        print()
-        if args.save_json is not None:
-            from pathlib import Path
-
-            directory = Path(args.save_json)
-            directory.mkdir(parents=True, exist_ok=True)
-            output.save_json(directory / f"{name}.json")
+    outcome = "ok"
+    try:
+        for name in names:
+            with obs.span(f"experiment:{name}", clock=scenario.client.clock):
+                output = registry[name](scenario, args)
+            print(output.render())
+            print()
+            if args.save_json is not None:
+                directory = Path(args.save_json)
+                directory.mkdir(parents=True, exist_ok=True)
+                output.save_json(directory / f"{name}.json")
+    except Exception as error:
+        # The run dir still documents an aborted campaign before the
+        # error propagates — provenance matters most when things break.
+        outcome = f"error: {type(error).__name__}: {error}"
+        if observer is not None and args.run_dir is not None:
+            _write_run_dir(args, scenario, observer, names, started, outcome)
+        raise
     if observer is not None:
         print(observer.summary())
         print()
@@ -189,8 +226,6 @@ def main(argv: Optional[list] = None) -> int:
             print(observer.span_tree())
             print()
         if args.metrics_out is not None:
-            from pathlib import Path
-
             from repro.obs.report import metrics_report_json
 
             report_path = Path(args.metrics_out)
@@ -198,7 +233,39 @@ def main(argv: Optional[list] = None) -> int:
                 report_path.parent.mkdir(parents=True, exist_ok=True)
             report_path.write_text(metrics_report_json(observer) + "\n")
             print(f"metrics report written to {report_path}")
+        if args.trace_out is not None:
+            from repro.obs.export import chrome_trace_json
+
+            trace_path = Path(args.trace_out)
+            if trace_path.parent != Path("."):
+                trace_path.parent.mkdir(parents=True, exist_ok=True)
+            trace_path.write_text(chrome_trace_json(observer) + "\n")
+            print(f"chrome trace written to {trace_path}")
+        if args.run_dir is not None:
+            paths = _write_run_dir(args, scenario, observer, names, started, outcome)
+            print(f"run dir written to {paths['manifest'].parent}")
     return 0
+
+
+def _write_run_dir(args, scenario, observer, names, started, outcome):
+    """Write the provenance run directory for one CLI invocation."""
+    import os
+    import time
+    from pathlib import Path
+
+    from repro.exec import worker_count
+    from repro.obs.rundir import RunManifest, write_run_dir
+
+    manifest = RunManifest.for_scenario(
+        scenario,
+        preset=args.preset,
+        experiments=names,
+        workers=worker_count(),
+        cache_dir=os.environ.get("REPRO_CACHE_DIR") or None,
+        wall_s=time.perf_counter() - started,
+        outcome=outcome,
+    )
+    return write_run_dir(Path(args.run_dir), observer, manifest)
 
 
 if __name__ == "__main__":

@@ -18,7 +18,7 @@ from repro.core.street_level import (
     StreetLevelPipeline,
     StreetLevelResult,
 )
-from repro.exec import parallel_map, worker_count
+from repro.exec import parallel_map
 from repro.experiments.scenario import Scenario
 from repro.geo.coords import GeoPoint
 from repro.world.hosts import Host
@@ -115,6 +115,12 @@ def street_level_records(
         stride = len(targets) / max_targets
         targets = [targets[int(i * stride)] for i in range(max_targets)]
 
+    # Landmark discovery materialises POIs/web servers lazily in visit
+    # order, which is target order — worker processes would each invent a
+    # different order and diverge. Materialise the whole world canonically
+    # up front so the campaign only reads it (serial and parallel alike).
+    scenario.world.materialize_all_pois()
+
     _STREET_CTX.update(
         targets=targets,
         mesh=mesh,
@@ -122,11 +128,10 @@ def street_level_records(
         pipeline=pipeline,
         anchors=anchors,
     )
-    # Parallel fan-out only when observability is off: forked workers
-    # would accumulate counters/events in their own address space and the
-    # parent's observer would silently miss them.
-    workers = worker_count() if not pipeline.obs.enabled else 1
-    records = parallel_map(_street_target, range(len(targets)), workers=workers)
+    # Observed campaigns fan out too: workers capture per-target
+    # counters/events/spans and the executor folds them back into the
+    # live observer, byte-identical to a serial observed run.
+    records = parallel_map(_street_target, range(len(targets)), obs=pipeline.obs)
 
     if config is None:
         _CACHE[key] = records

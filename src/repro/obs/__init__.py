@@ -25,8 +25,16 @@ conventions, and span semantics.
 
 from repro.obs import events
 from repro.obs.events import Event, EventLog, EVENT_TYPES
+from repro.obs.export import chrome_trace, chrome_trace_json, collapsed_stacks
 from repro.obs.metrics import DEFAULT_BUCKET_BOUNDS, Histogram, MetricsRegistry
 from repro.obs.observer import NULL_OBSERVER, NullObserver, Observer
+from repro.obs.rundir import RunManifest, write_run_dir
+from repro.obs.snapshot import (
+    CaptureScope,
+    ItemCapture,
+    ObsSnapshot,
+    merge_snapshots,
+)
 from repro.obs.spans import Span, SpanTracer
 
 __all__ = [
@@ -35,11 +43,20 @@ __all__ = [
     "EventLog",
     "EVENT_TYPES",
     "DEFAULT_BUCKET_BOUNDS",
+    "CaptureScope",
     "Histogram",
+    "ItemCapture",
     "MetricsRegistry",
     "NULL_OBSERVER",
     "NullObserver",
+    "ObsSnapshot",
     "Observer",
+    "RunManifest",
     "Span",
     "SpanTracer",
+    "chrome_trace",
+    "chrome_trace_json",
+    "collapsed_stacks",
+    "merge_snapshots",
+    "write_run_dir",
 ]

@@ -1,0 +1,131 @@
+"""Span profile exporters: Chrome-trace JSON and collapsed flame stacks.
+
+Two interchange formats for the :class:`~repro.obs.spans.SpanTracer`'s
+span forest, both over **simulated** time (so two same-seed runs export
+byte-identical profiles):
+
+* :func:`chrome_trace` — the Trace Event Format consumed by
+  ``chrome://tracing`` and `Perfetto <https://ui.perfetto.dev>`_: one
+  complete (``"ph": "X"``) event per span, timestamps in microseconds.
+  Each *root* span tree gets its own ``tid`` track, so per-target
+  pipelines (each timed on its own per-target clock starting at 0) render
+  as parallel rows instead of overlapping on one line.
+* :func:`collapsed_stacks` — Brendan Gregg's folded-stack format
+  (``root;child;leaf <weight>``), directly consumable by
+  ``flamegraph.pl`` or speedscope; weights are *self* simulated
+  microseconds (a span's duration minus its timed children).
+
+Spans recorded without a clock have no duration; they are exported with
+zero duration in the Chrome trace (so the tree structure stays visible)
+and skipped in the collapsed output (a flame frame needs a weight).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.obs.spans import Span, SpanTracer
+
+
+def _tracer_of(source) -> SpanTracer:
+    """Accept an Observer or a SpanTracer."""
+    return source if isinstance(source, SpanTracer) else source.tracer
+
+
+def _root_of(spans: Sequence[Span], span: Span) -> int:
+    """The root span id of a span's tree (spans are indexed by id)."""
+    current = span
+    while current.parent_id is not None:
+        current = spans[current.parent_id]
+    return current.span_id
+
+
+def _micros(seconds: float) -> float:
+    """Simulated seconds → microseconds, rounded to a stable 3 decimals."""
+    return round(seconds * 1e6, 3)
+
+
+def chrome_trace(source) -> Dict[str, object]:
+    """The span forest as a Chrome Trace Event Format document.
+
+    Args:
+        source: an :class:`~repro.obs.Observer` or a
+            :class:`~repro.obs.spans.SpanTracer`.
+
+    Returns:
+        A JSON-ready dict with a ``traceEvents`` list (one ``"ph": "X"``
+        complete event per span: ``name``, ``cat`` (the ``kind`` half of
+        the ``kind:detail`` name), ``ts``/``dur`` in simulated
+        microseconds, ``pid`` 1, ``tid`` = 1 + the root span id of the
+        span's tree) and ``displayTimeUnit``. Span attributes and ids ride
+        along in ``args``.
+    """
+    tracer = _tracer_of(source)
+    spans = tracer.spans
+    trace_events: List[Dict[str, object]] = []
+    for span in spans:
+        start = span.start_t_s if span.start_t_s is not None else 0.0
+        duration = span.sim_duration_s
+        args: Dict[str, object] = {
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+        }
+        if span.attrs:
+            args.update({key: value for key, value in sorted(span.attrs)})
+        if duration is None:
+            args["untimed"] = True
+        trace_events.append(
+            {
+                "name": span.name,
+                "cat": span.name.split(":", 1)[0],
+                "ph": "X",
+                "ts": _micros(start),
+                "dur": _micros(duration) if duration is not None else 0.0,
+                "pid": 1,
+                "tid": 1 + _root_of(spans, span),
+                "args": args,
+            }
+        )
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "simulated", "spans": len(spans)},
+    }
+
+
+def chrome_trace_json(source) -> str:
+    """:func:`chrome_trace` serialised canonically (sorted keys, 1-indent)."""
+    return json.dumps(chrome_trace(source), indent=1, sort_keys=True, default=float)
+
+
+def collapsed_stacks(source) -> str:
+    """The span forest as collapsed flame-graph stacks.
+
+    One line per *timed* span: its ``;``-joined ancestry path and its self
+    time in whole simulated microseconds (duration minus timed children,
+    clamped at zero). Lines follow span creation order, so output is
+    deterministic across same-seed runs.
+    """
+    tracer = _tracer_of(source)
+    spans = tracer.spans
+    lines: List[str] = []
+    for span in spans:
+        duration = span.sim_duration_s
+        if duration is None:
+            continue
+        children_s = sum(
+            child_duration
+            for child_id in span.children
+            if (child_duration := spans[child_id].sim_duration_s) is not None
+        )
+        self_us = max(0, int(round((duration - children_s) * 1e6)))
+        path: List[str] = []
+        current: Span = span
+        while True:
+            path.append(current.name)
+            if current.parent_id is None:
+                break
+            current = spans[current.parent_id]
+        lines.append(f"{';'.join(reversed(path))} {self_us}")
+    return "\n".join(lines)

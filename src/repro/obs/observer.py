@@ -67,6 +67,30 @@ class Observer:
         """Open a (nested) span; use as a context manager."""
         return self.tracer.span(name, clock=clock, **attrs)
 
+    # --- distributed capture ----------------------------------------------------
+
+    def snapshot(self, index: int = 0):
+        """Package the current state as a picklable one-item snapshot.
+
+        See :mod:`repro.obs.snapshot`; ``index`` is the stable work-item
+        index used to order captures at merge time.
+        """
+        from repro.obs.snapshot import snapshot_of
+
+        return snapshot_of(self, index)
+
+    def absorb(self, snapshot) -> None:
+        """Fold a worker-captured snapshot into this live observer.
+
+        Replays metric ops in item order, re-emits events through this
+        observer's log (re-sequenced, capacity enforced here), and grafts
+        spans under the currently open span — byte-identical to having run
+        the captured work items in this process, in index order.
+        """
+        from repro.obs.snapshot import absorb_snapshot
+
+        absorb_snapshot(self, snapshot)
+
     # --- reporting shortcuts ----------------------------------------------------
 
     def metrics_report(self) -> Dict[str, object]:
@@ -131,6 +155,14 @@ class NullObserver:
 
     def span(self, name: str, clock=None, **attrs: object) -> _NullSpan:
         return _NULL_SPAN
+
+    def snapshot(self, index: int = 0):
+        from repro.obs.snapshot import ObsSnapshot
+
+        return ObsSnapshot(items=())
+
+    def absorb(self, snapshot) -> None:
+        return None
 
     def metrics_report(self) -> Dict[str, object]:
         return {}

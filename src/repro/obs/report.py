@@ -125,6 +125,10 @@ def render_summary(observer: "Observer") -> str:
     events_by_type = dict(sorted(observer.events.counts_by_type().items()))
     if events_by_type:
         event_rows = [[etype, str(count)] for etype, count in events_by_type.items()]
+        if observer.events.dropped:
+            # Capacity losses are never silent: the per-type counts above
+            # still include dropped events, and the loss itself is a row.
+            event_rows.append(["(dropped: capacity)", str(observer.events.dropped)])
         sections += ["", "events:", format_table(["type", "count"], event_rows)]
 
     if len(sections) == 1:

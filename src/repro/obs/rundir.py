@@ -1,0 +1,177 @@
+"""Per-run provenance: results directories with a run manifest.
+
+A campaign's results are only interpretable alongside *how* they were
+produced — which config (by content digest), which seed, which code and
+package versions, how many workers, whether artifacts came from a cache,
+how much wall and simulated time it burned, and what the campaign's
+observable history was. A :class:`RunManifest` records exactly that, and
+:func:`write_run_dir` lays a whole run out on disk::
+
+    <run-dir>/
+      manifest.json     # the manifest, with the final metrics report embedded
+      metrics.json      # canonical JSON metrics report (byte-identical per seed)
+      events.jsonl      # the full event stream
+      trace.json        # Chrome-trace span profile (chrome://tracing, Perfetto)
+      trace.collapsed   # folded flame-graph stacks
+
+The config digest reuses the :mod:`repro.cache` content-address scheme
+(SHA-256 of the canonical config JSON plus the cache-version salt), so a
+manifest's digest equals the artifact-cache key of the scenario it ran —
+one identity for "the same measured world" across caching and provenance.
+
+``python -m repro.experiments.run <exp> --run-dir DIR`` wires this into
+the CLI; ``results/run_all.py --run-dir DIR`` does the same for the full
+paper-scale sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import platform as platform_mod
+import subprocess
+from dataclasses import asdict, dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.obs.export import chrome_trace_json, collapsed_stacks
+from repro.obs.report import metrics_report, metrics_report_json
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.obs.observer import Observer
+
+
+def package_versions() -> Dict[str, str]:
+    """Versions of the packages that determine a run's bytes."""
+    import numpy
+
+    import repro
+
+    return {
+        "python": platform_mod.python_version(),
+        "numpy": numpy.__version__,
+        "repro": repro.__version__,
+    }
+
+
+def git_revision() -> Optional[str]:
+    """The repository's HEAD commit, or ``None`` outside a git checkout."""
+    try:
+        revision = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):  # pragma: no cover - no git
+        return None
+    output = revision.stdout.strip()
+    return output if revision.returncode == 0 and output else None
+
+
+@dataclass
+class RunManifest:
+    """Provenance for one observed campaign run.
+
+    Attributes:
+        config_digest: content address of the world config — the same
+            SHA-256 scheme (and salt) the artifact cache keys by.
+        seed: the world seed the run used.
+        preset: scenario preset name (``paper``/``small``).
+        experiments: experiment ids executed, in order.
+        workers: worker processes the executor was configured with.
+        cache_dir: artifact-cache root, or ``None`` when caching was off.
+        versions: package versions (:func:`package_versions`).
+        git_rev: HEAD commit when run from a checkout.
+        wall_s: real elapsed seconds for the run.
+        sim_s: simulated seconds on the campaign clock.
+        outcome: ``"ok"``, or ``"error: ..."`` when the run aborted.
+        started_at: UTC ISO-8601 wall timestamp (provenance only — never
+            part of any byte-identical artifact).
+    """
+
+    config_digest: str
+    seed: int
+    preset: str
+    experiments: List[str]
+    workers: int
+    cache_dir: Optional[str]
+    wall_s: float
+    sim_s: float
+    outcome: str
+    versions: Dict[str, str] = field(default_factory=package_versions)
+    git_rev: Optional[str] = field(default_factory=git_revision)
+    started_at: str = field(
+        default_factory=lambda: datetime.now(timezone.utc).isoformat()
+    )
+
+    @classmethod
+    def for_scenario(
+        cls,
+        scenario,
+        preset: str,
+        experiments: List[str],
+        workers: int,
+        cache_dir: Optional[str],
+        wall_s: float,
+        outcome: str,
+    ) -> "RunManifest":
+        """Build a manifest from a scenario's config, clock, and knobs."""
+        from repro.cache.artifacts import config_key
+
+        clock = getattr(scenario.client, "clock", None)
+        return cls(
+            config_digest=config_key(scenario.world.config),
+            seed=scenario.world.config.seed,
+            preset=preset,
+            experiments=list(experiments),
+            workers=workers,
+            cache_dir=cache_dir,
+            wall_s=wall_s,
+            sim_s=float(clock.now_s) if clock is not None else 0.0,
+            outcome=outcome,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+def write_run_dir(
+    run_dir: Path, observer: "Observer", manifest: RunManifest
+) -> Dict[str, Path]:
+    """Write a run's manifest, reports, event stream, and span profiles.
+
+    The manifest embeds the final metrics report and the event-stream
+    summary (per-type counts, total, dropped) and names the sibling files
+    holding the full streams. Returns the written paths by artifact name.
+    """
+    run_dir = Path(run_dir)
+    run_dir.mkdir(parents=True, exist_ok=True)
+    paths = {
+        "manifest": run_dir / "manifest.json",
+        "metrics": run_dir / "metrics.json",
+        "events": run_dir / "events.jsonl",
+        "trace": run_dir / "trace.json",
+        "flame": run_dir / "trace.collapsed",
+    }
+    paths["metrics"].write_text(metrics_report_json(observer) + "\n")
+    events_jsonl = observer.events.to_jsonl()
+    paths["events"].write_text(events_jsonl + ("\n" if events_jsonl else ""))
+    paths["trace"].write_text(chrome_trace_json(observer) + "\n")
+    stacks = collapsed_stacks(observer)
+    paths["flame"].write_text(stacks + ("\n" if stacks else ""))
+
+    document = manifest.to_dict()
+    document["report"] = metrics_report(observer)
+    document["events"] = {
+        "by_type": dict(sorted(observer.events.counts_by_type().items())),
+        "dropped": observer.events.dropped,
+        "total": len(observer.events) + observer.events.dropped,
+        "stream": paths["events"].name,
+    }
+    document["files"] = {name: path.name for name, path in paths.items()}
+    paths["manifest"].write_text(
+        json.dumps(document, indent=1, sort_keys=True, default=float) + "\n"
+    )
+    return paths

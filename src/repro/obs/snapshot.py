@@ -1,0 +1,305 @@
+"""Worker-side observability capture with a deterministic merge.
+
+The parallel executor (:mod:`repro.exec.pool`) forks worker processes, and
+anything a worker records on its (forked copy of the) campaign
+:class:`~repro.obs.observer.Observer` would be lost when the worker exits.
+This module makes observability *distributed*: a worker wraps each work
+item in a :class:`CaptureScope`, which swaps the observer's live stores for
+fresh recording ones, runs the item, and packages whatever was recorded
+into a picklable :class:`ObsSnapshot`. The parent process collects the
+``(result, snapshot)`` pairs, merges the snapshots with
+:func:`merge_snapshots`, and folds them back into its live observer with
+:meth:`Observer.absorb`.
+
+The determinism contract extends the one in ``docs/OBSERVABILITY.md``:
+
+* every snapshot carries the **stable item index** of the work item that
+  produced it, and the merge orders captures by that index — the same total
+  order a serial run would have emitted them in, regardless of which worker
+  ran what, or when;
+* metric mutations are replayed as an **ordered op log** (not pre-aggregated
+  totals), so floating-point accumulation happens in exactly the serial
+  order — counter values, histogram sums, and bucket counts come out
+  bit-identical to an in-process run;
+* events are re-sequenced by the parent log at absorb time (capacity and
+  drop accounting included), and spans are re-based onto the parent tracer:
+  item-local span ids (unique per worker as ``(item index, span id)``) are
+  offset into the parent's creation order, and item roots are re-parented
+  under whatever span the parent currently has open — exactly where they
+  would have nested in a serial run.
+
+Because a merged snapshot keeps its per-item captures separate (only
+sorting them), :func:`merge_snapshots` is associative and order-independent:
+any grouping of any permutation of the same captures merges to the same
+snapshot. The property suite (``tests/test_obs_snapshot.py``) pins this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, List, Sequence, Tuple
+
+from repro.obs.events import Event, EventLog
+from repro.obs.metrics import DEFAULT_BUCKET_BOUNDS, MetricsRegistry
+from repro.obs.spans import Span, SpanTracer
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.obs.observer import Observer
+
+
+class RecordingMetrics(MetricsRegistry):
+    """A metrics registry that also keeps an ordered log of every mutation.
+
+    The op log is what makes snapshot replay *exact*: the parent re-applies
+    each ``count``/``gauge``/``observe`` in emission order, so accumulated
+    floats round identically to a serial run (pre-aggregated per-item totals
+    would re-associate the additions).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: ordered mutations: ("count"|"gauge", name, value) or
+        #: ("observe", name, value, bounds).
+        self.ops: List[Tuple[object, ...]] = []
+
+    def count(self, name: str, value: float = 1) -> None:
+        super().count(name, value)
+        self.ops.append(("count", name, value))
+
+    def gauge(self, name: str, value: float) -> None:
+        super().gauge(name, value)
+        self.ops.append(("gauge", name, float(value)))
+
+    def observe(
+        self, name: str, value: float, bounds: Sequence[float] = DEFAULT_BUCKET_BOUNDS
+    ) -> None:
+        super().observe(name, value, bounds)
+        self.ops.append(("observe", name, float(value), tuple(float(b) for b in bounds)))
+
+
+def _synthesized_ops(metrics: MetricsRegistry) -> Tuple[Tuple[object, ...], ...]:
+    """An op log reconstructed from a plain registry's aggregate state.
+
+    Used when snapshotting an observer whose metrics were not recorded op
+    by op: counters and gauges replay exactly (one op per name); histograms
+    replay as whole-state merges (``"histogram"`` ops), which preserves
+    bucket counts and extrema but re-associates the float sum — fine for a
+    standalone snapshot, while the executor path always records.
+    """
+    ops: List[Tuple[object, ...]] = []
+    for name, value in sorted(metrics._counters.items()):
+        ops.append(("count", name, value))
+    for name, value in sorted(metrics._gauges.items()):
+        ops.append(("gauge", name, value))
+    for name, histogram in sorted(metrics._histograms.items()):
+        ops.append(
+            (
+                "histogram",
+                name,
+                histogram.bounds,
+                tuple(histogram.counts),
+                histogram.total,
+                histogram.count,
+                histogram.min_value,
+                histogram.max_value,
+            )
+        )
+    return tuple(ops)
+
+
+@dataclass(frozen=True)
+class ItemCapture:
+    """Everything one work item recorded, tagged with its stable index.
+
+    Attributes:
+        index: the work item's position in the campaign's item list — the
+            total order a serial run would have observed it in.
+        ops: ordered metric mutations (see :class:`RecordingMetrics`).
+        events: captured events with item-local ``seq`` (re-stamped by the
+            parent log at absorb time).
+        spans: captured spans with item-local ids starting at 0 (re-based
+            by :meth:`~repro.obs.spans.SpanTracer.absorb`).
+    """
+
+    index: int
+    ops: Tuple[Tuple[object, ...], ...]
+    events: Tuple[Event, ...]
+    spans: Tuple[Span, ...]
+
+
+@dataclass(frozen=True)
+class ObsSnapshot:
+    """A picklable bundle of per-item captures, totally ordered by index.
+
+    A snapshot never pre-merges its captures into one aggregate — keeping
+    the items separate is what makes :func:`merge_snapshots` associative
+    and the final fold byte-identical to serial observation.
+    """
+
+    items: Tuple[ItemCapture, ...]
+
+    @property
+    def item_count(self) -> int:
+        return len(self.items)
+
+    def counters(self) -> dict:
+        """Aggregate counter view (diagnostic; the fold replays ops)."""
+        registry = MetricsRegistry()
+        _replay_metrics(registry, self)
+        return registry.counters()
+
+    def event_count(self) -> int:
+        return sum(len(capture.events) for capture in self.items)
+
+    def span_count(self) -> int:
+        return sum(len(capture.spans) for capture in self.items)
+
+
+def snapshot_of(observer: "Observer", index: int = 0) -> ObsSnapshot:
+    """Package an observer's current state as a one-item snapshot.
+
+    Span ids and event seqs stay observer-local; uniqueness across workers
+    comes from the ``(index, id)`` pair, and the absorb step re-bases both.
+    """
+    metrics = observer.metrics
+    if isinstance(metrics, RecordingMetrics):
+        ops = tuple(metrics.ops)
+    else:
+        ops = _synthesized_ops(metrics)
+    return ObsSnapshot(
+        items=(
+            ItemCapture(
+                index=index,
+                ops=ops,
+                events=tuple(observer.events),
+                spans=tuple(observer.tracer.spans),
+            ),
+        )
+    )
+
+
+def merge_snapshots(*snapshots: ObsSnapshot) -> ObsSnapshot:
+    """Merge snapshots into one, deterministically and order-independently.
+
+    Captures are sorted by their stable item index (each item's internal
+    stream is already ordered by seq / sim-time), so any permutation and
+    any grouping of the same captures merges to the same snapshot:
+    ``merge(merge(a, b), c) == merge(a, merge(b, c)) == merge(c, a, b)``.
+    Item indexes are expected to be unique per campaign — the executor
+    assigns them from ``enumerate``.
+    """
+    captures: List[ItemCapture] = []
+    for snapshot in snapshots:
+        captures.extend(snapshot.items)
+    captures.sort(key=lambda capture: capture.index)
+    return ObsSnapshot(items=tuple(captures))
+
+
+def _replay_metrics(registry: MetricsRegistry, snapshot: ObsSnapshot) -> None:
+    """Re-apply every metric op, in item order then emission order."""
+    for capture in sorted(snapshot.items, key=lambda c: c.index):
+        for op in capture.ops:
+            kind = op[0]
+            if kind == "count":
+                registry.count(op[1], op[2])
+            elif kind == "gauge":
+                registry.gauge(op[1], op[2])
+            elif kind == "observe":
+                registry.observe(op[1], op[2], op[3])
+            elif kind == "histogram":
+                _merge_histogram_state(registry, op)
+            else:  # pragma: no cover - corrupted snapshot
+                raise ValueError(f"unknown metric op kind: {kind!r}")
+
+
+def _merge_histogram_state(registry: MetricsRegistry, op: Tuple[object, ...]) -> None:
+    """Fold a whole-histogram state op into the registry."""
+    _, name, bounds, counts, total, count, min_value, max_value = op
+    histogram = registry._histograms.get(name)
+    if histogram is None:
+        from repro.obs.metrics import Histogram
+
+        histogram = Histogram(tuple(bounds))
+        registry._histograms[name] = histogram
+    if histogram.bounds != tuple(bounds):
+        raise ValueError(
+            f"histogram {name!r} bucket bounds differ across snapshots: "
+            f"{histogram.bounds} vs {tuple(bounds)}"
+        )
+    histogram.counts = [a + b for a, b in zip(histogram.counts, counts)]
+    histogram.total += total
+    histogram.count += count
+    histogram.min_value = min(histogram.min_value, min_value)
+    histogram.max_value = max(histogram.max_value, max_value)
+
+
+def absorb_snapshot(observer: "Observer", snapshot: ObsSnapshot) -> None:
+    """Fold a snapshot into a live observer, byte-identically to serial.
+
+    Metric ops replay in order; events re-emit through the parent log
+    (which re-stamps ``seq`` and enforces its own capacity, so drop
+    accounting matches a serial run); spans re-base onto the parent tracer
+    under its currently open span.
+    """
+    captures = sorted(snapshot.items, key=lambda capture: capture.index)
+    _replay_metrics(observer.metrics, ObsSnapshot(items=tuple(captures)))
+    for capture in captures:
+        for event in capture.events:
+            observer.events.emit(event.etype, event.t_s, **dict(event.fields))
+        observer.tracer.absorb(capture.spans)
+
+
+class CaptureScope:
+    """Swap an observer's stores for fresh recording ones, for one item.
+
+    Usage (what the executor's worker wrapper does per work item)::
+
+        with CaptureScope(observer, index=i) as scope:
+            result = fn(item)
+        return result, scope.snapshot
+
+    On entry the observer's metrics/events/tracer are replaced with empty
+    recording instances — every component holding a reference to the
+    *observer* (the platform, clients, fault injector, pipelines) records
+    into them transparently. On exit the captured delta is packaged into
+    ``.snapshot`` and the original stores are restored untouched.
+
+    The capture event log is unbounded: capacity is the parent log's
+    policy and is enforced once, at absorb time, in serial order.
+    """
+
+    def __init__(self, observer: "Observer", index: int = 0) -> None:
+        self.observer = observer
+        self.index = index
+        self.snapshot: ObsSnapshot = ObsSnapshot(items=())
+        self._saved = None
+
+    def __enter__(self) -> "CaptureScope":
+        observer = self.observer
+        self._saved = (observer.metrics, observer.events, observer.tracer)
+        observer.metrics = RecordingMetrics()
+        observer.events = EventLog()
+        observer.tracer = SpanTracer()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.snapshot = snapshot_of(self.observer, self.index)
+        self.observer.metrics, self.observer.events, self.observer.tracer = self._saved
+        self._saved = None
+
+
+def capture_items(
+    observer: "Observer", fn, items: Iterable, start_index: int = 0
+) -> Tuple[List[object], ObsSnapshot]:
+    """Run ``fn`` over items under per-item capture; return results + merge.
+
+    A convenience used by tests and single-process callers that want the
+    distributed capture semantics without a pool.
+    """
+    results: List[object] = []
+    snapshots: List[ObsSnapshot] = []
+    for offset, item in enumerate(items):
+        with CaptureScope(observer, start_index + offset) as scope:
+            results.append(fn(item))
+        snapshots.append(scope.snapshot)
+    return results, merge_snapshots(*snapshots)

@@ -127,6 +127,39 @@ class SpanTracer:
             if popped is span:
                 break
 
+    def absorb(self, spans: List[Span]) -> None:
+        """Graft captured spans (item-local ids) onto this tracer.
+
+        The spans come from a worker-side :class:`~repro.obs.snapshot`
+        capture: ids start at 0 and roots have ``parent_id=None``. They are
+        re-based into this tracer's creation order and re-parented under
+        the currently open span (if any) — exactly where they would have
+        been created had the item run in this process. The captured spans
+        are copied, never mutated, so a snapshot can be absorbed by more
+        than one tracer.
+        """
+        offset = len(self._spans)
+        open_parent = self._stack[-1] if self._stack else None
+        base_depth = open_parent.depth + 1 if open_parent is not None else 0
+        for span in spans:
+            if span.parent_id is not None:
+                parent_id = span.parent_id + offset
+            else:
+                parent_id = open_parent.span_id if open_parent is not None else None
+            grafted = Span(
+                span_id=span.span_id + offset,
+                parent_id=parent_id,
+                name=span.name,
+                depth=span.depth + base_depth,
+                attrs=span.attrs,
+                start_t_s=span.start_t_s,
+                end_t_s=span.end_t_s,
+                children=[child + offset for child in span.children],
+            )
+            if span.parent_id is None and open_parent is not None:
+                open_parent.children.append(grafted.span_id)
+            self._spans.append(grafted)
+
     # --- introspection ----------------------------------------------------------
 
     def __len__(self) -> int:

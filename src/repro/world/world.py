@@ -215,6 +215,24 @@ class World:
         """How many POIs have been generated so far (diagnostics)."""
         return len(self._poi_index)
 
+    def materialize_all_pois(self) -> int:
+        """Materialise every city's POIs and zip index, in city-id order.
+
+        Lazy materialisation mutates shared state (the global POI counter,
+        per-AS address pools, web-server host ids, chain-website pools) in
+        *visit order*, so two campaigns that inspect cities in different
+        orders build observably different web servers. Campaigns that fan
+        out across worker processes call this first: with the whole world
+        materialised in one canonical order before the fork, workers only
+        ever read, and a parallel run is byte-identical to a serial one.
+
+        Idempotent and cheap once materialised. Returns the POI count.
+        """
+        for city in self.cities:
+            self.pois_of_city(city.city_id)
+            self.pois_by_spatial_zip(city.city_id)
+        return len(self._poi_index)
+
     def describe(self) -> str:
         """Multi-line human-readable summary (for examples and logs)."""
         lines = [

@@ -49,6 +49,17 @@ class TestWorkerCount:
         with pytest.raises(ValueError):
             worker_count()
 
+    @pytest.mark.parametrize("raw", ["-1", "-8", " -2 "])
+    def test_negative_raises(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_WORKERS", raw)
+        with pytest.raises(ValueError, match="non-negative"):
+            worker_count()
+
+    def test_garbage_error_names_the_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2.5")
+        with pytest.raises(ValueError, match="2.5"):
+            worker_count()
+
 
 class TestChunked:
     def test_preserves_order_and_content(self):
@@ -131,11 +142,11 @@ class TestCampaignDeterminism:
             assert a.landmark_measured_km == b.landmark_measured_km
 
     def test_observed_street_campaign_counts_match_serial(self, monkeypatch):
-        """Observability forces the serial path, so counters are complete.
+        """Observed campaigns fan out and still produce complete counters.
 
-        A 2-worker request with an enabled observer must produce the same
-        counter totals as an explicit serial run: the gate in
-        ``street_level_records`` keeps instrumented campaigns in-process.
+        A 2-worker request with an enabled observer captures each target's
+        metrics worker-side and folds them back into the live observer; the
+        counter totals must equal an explicit serial run's.
         """
         obs_serial = Observer()
         scenario_serial = get_scenario("small", obs=obs_serial)

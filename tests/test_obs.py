@@ -252,3 +252,21 @@ class TestReporters:
         assert "hot phases" in summary
         assert "events:" in summary
         assert render_summary(Observer()) == "== campaign summary ==\n(nothing recorded)"
+
+    def test_summary_and_report_expose_dropped_events(self):
+        """Capacity-dropped events must never be silent: both the summary
+        table and the JSON report carry the loss explicitly."""
+        observer = Observer(events=EventLog(capacity=2))
+        for _ in range(5):
+            observer.event(events.CACHE_HIT, kind="geocode")
+        summary = render_summary(observer)
+        assert "(dropped: capacity)" in summary
+        assert "3" in summary
+        report = metrics_report(observer)
+        assert report["events"]["dropped"] == 3
+        assert report["events"]["total"] == 5
+        assert report["events"]["by_type"] == {"cache-hit": 5}
+
+    def test_summary_omits_dropped_row_when_nothing_dropped(self):
+        summary = render_summary(self._observer_with_traffic())
+        assert "(dropped: capacity)" not in summary

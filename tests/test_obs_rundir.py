@@ -1,0 +1,193 @@
+"""Run-provenance and span-export tests: manifests, Chrome traces, flames.
+
+Covers the ``repro.obs.rundir`` manifest schema (config digest shared with
+the artifact cache, versions, outcome, embedded final report), the
+``repro.obs.export`` profile formats, and the ``--run-dir``/``--trace-out``
+CLI wiring end to end.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.atlas.clock import SimClock
+from repro.cache import config_key
+from repro.experiments.run import main as run_main
+from repro.obs import Observer
+from repro.obs.export import chrome_trace, chrome_trace_json, collapsed_stacks
+from repro.obs.rundir import RunManifest, git_revision, package_versions, write_run_dir
+from repro.world.config import WorldConfig
+
+
+def _observed_sample() -> Observer:
+    """A small observer with one timed span tree, metrics, and events."""
+    observer = Observer()
+    clock = SimClock()
+    with observer.span("campaign:test", clock=clock):
+        observer.count("atlas.api_calls", 3)
+        observer.observe("atlas.result_wait_s", 1.5)
+        observer.event("cache-hit", t_s=clock.now_s, kind="geocode")
+        with observer.span("technique:cbg", clock=clock):
+            clock.advance(2.0, "work")
+    with observer.span("untimed"):
+        pass
+    return observer
+
+
+class TestChromeTrace:
+    def test_schema(self):
+        document = chrome_trace(_observed_sample())
+        assert set(document) == {"traceEvents", "displayTimeUnit", "otherData"}
+        events = document["traceEvents"]
+        assert [event["name"] for event in events] == [
+            "campaign:test",
+            "technique:cbg",
+            "untimed",
+        ]
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["pid"] == 1
+            assert isinstance(event["ts"], float)
+            assert isinstance(event["dur"], float)
+            assert event["cat"] == event["name"].split(":", 1)[0]
+
+    def test_microsecond_timestamps_and_tracks(self):
+        events = chrome_trace(_observed_sample())["traceEvents"]
+        campaign, cbg, untimed = events
+        assert campaign["dur"] == pytest.approx(2_000_000.0)
+        assert cbg["dur"] == pytest.approx(2_000_000.0)
+        # Each root span tree renders on its own track.
+        assert campaign["tid"] == cbg["tid"]
+        assert untimed["tid"] != campaign["tid"]
+        assert untimed["args"]["untimed"] is True
+        assert untimed["dur"] == 0.0
+
+    def test_json_is_canonical_and_parseable(self):
+        serialised = chrome_trace_json(_observed_sample())
+        parsed = json.loads(serialised)
+        assert parsed["otherData"]["clock"] == "simulated"
+        assert parsed["otherData"]["spans"] == 3
+        # Canonical form: re-serialising with the same options round-trips.
+        assert json.dumps(parsed, indent=1, sort_keys=True, default=float) == serialised
+
+
+class TestCollapsedStacks:
+    def test_folded_format_and_self_time(self):
+        stacks = collapsed_stacks(_observed_sample())
+        lines = stacks.splitlines()
+        # The untimed span is skipped; the campaign's 2s belong to the
+        # child, so the parent's self time is zero.
+        assert lines == [
+            "campaign:test 0",
+            "campaign:test;technique:cbg 2000000",
+        ]
+
+    def test_empty_tracer(self):
+        assert collapsed_stacks(Observer()) == ""
+
+
+class TestRunManifest:
+    def test_config_digest_reuses_cache_scheme(self, small_scenario):
+        manifest = RunManifest.for_scenario(
+            small_scenario,
+            preset="small",
+            experiments=["fig2a"],
+            workers=1,
+            cache_dir=None,
+            wall_s=1.25,
+            outcome="ok",
+        )
+        assert manifest.config_digest == config_key(WorldConfig.small())
+        assert manifest.config_digest == config_key(small_scenario.world.config)
+        assert manifest.seed == small_scenario.world.config.seed
+        assert manifest.preset == "small"
+        assert manifest.experiments == ["fig2a"]
+        assert manifest.sim_s >= 0.0
+
+    def test_versions_and_revision(self):
+        versions = package_versions()
+        assert set(versions) == {"python", "numpy", "repro"}
+        assert all(isinstance(value, str) and value for value in versions.values())
+        revision = git_revision()
+        assert revision is None or (len(revision) == 40 and revision.isalnum())
+
+    def test_write_run_dir_layout(self, small_scenario, tmp_path):
+        observer = _observed_sample()
+        manifest = RunManifest.for_scenario(
+            small_scenario,
+            preset="small",
+            experiments=["fig2a", "fig2b"],
+            workers=2,
+            cache_dir="/tmp/cache",
+            wall_s=3.5,
+            outcome="ok",
+        )
+        paths = write_run_dir(tmp_path / "run", observer, manifest)
+        assert set(paths) == {"manifest", "metrics", "events", "trace", "flame"}
+        for path in paths.values():
+            assert path.exists()
+
+        document = json.loads(paths["manifest"].read_text())
+        assert document["config_digest"] == config_key(WorldConfig.small())
+        assert document["workers"] == 2
+        assert document["cache_dir"] == "/tmp/cache"
+        assert document["outcome"] == "ok"
+        assert document["wall_s"] == 3.5
+        assert document["report"] == observer.metrics_report()
+        assert document["events"]["by_type"] == {"cache-hit": 1}
+        assert document["events"]["dropped"] == 0
+        assert document["events"]["total"] == 1
+        assert document["events"]["stream"] == "events.jsonl"
+        assert document["files"]["trace"] == "trace.json"
+
+        metrics = json.loads(paths["metrics"].read_text())
+        assert metrics["metrics"]["counters"]["atlas.api_calls"] == 3
+        assert len(paths["events"].read_text().splitlines()) == 1
+        trace = json.loads(paths["trace"].read_text())
+        assert len(trace["traceEvents"]) == 3
+
+
+class TestCliIntegration:
+    def test_run_dir_and_trace_out_flags(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        run_dir = tmp_path / "run"
+        trace_out = tmp_path / "profile.json"
+        exit_code = run_main(
+            [
+                "fig2a",
+                "--preset",
+                "small",
+                "--trials",
+                "1",
+                "--run-dir",
+                str(run_dir),
+                "--trace-out",
+                str(trace_out),
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "run dir written to" in output
+        assert "chrome trace written to" in output
+
+        manifest = json.loads((run_dir / "manifest.json").read_text())
+        assert manifest["preset"] == "small"
+        assert manifest["experiments"] == ["fig2a"]
+        assert manifest["workers"] == 1
+        assert manifest["outcome"] == "ok"
+        assert manifest["config_digest"] == config_key(WorldConfig.small())
+        assert manifest["wall_s"] > 0
+        assert manifest["sim_s"] > 0
+        assert manifest["report"]["metrics"]["counters"]["credits.spent"] > 0
+
+        trace = json.loads(trace_out.read_text())
+        names = [event["name"] for event in trace["traceEvents"]]
+        assert "experiment:fig2a" in names
+        # The standalone trace export matches the run dir's copy.
+        assert trace_out.read_text().strip() == (
+            (run_dir / "trace.json").read_text().strip()
+        )
+        assert (run_dir / "events.jsonl").read_text().count('"type"') >= 1

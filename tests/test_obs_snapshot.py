@@ -1,0 +1,241 @@
+"""Snapshot/merge tests: the distributed-observability determinism contract.
+
+``repro.obs.snapshot`` promises that capturing work items worker-side and
+folding them back into a live observer is byte-identical to having observed
+the same items serially, and that :func:`merge_snapshots` is associative
+and order-independent. These tests pin both properties on synthetic
+workloads (the campaign-scale goldens live in ``test_obs_distributed.py``).
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+
+from repro.atlas.clock import SimClock
+from repro.obs import (
+    CaptureScope,
+    EventLog,
+    MetricsRegistry,
+    ObsSnapshot,
+    Observer,
+    merge_snapshots,
+)
+from repro.obs.observer import NULL_OBSERVER
+from repro.obs.report import metrics_report_json
+from repro.obs.snapshot import capture_items, snapshot_of
+from repro.obs.spans import SpanTracer
+
+
+def _run_item(obs: Observer, index: int) -> int:
+    """A synthetic work item touching all four observability verbs."""
+    clock = SimClock()
+    with obs.span(f"item:{index}", clock=clock, index=index):
+        obs.count("items")
+        obs.count("work_units", 0.1 * (index + 1))
+        obs.gauge("last_index", float(index))
+        obs.observe("latency_ms", 3.7 * index + 0.3)
+        with obs.span("inner", clock=clock):
+            clock.advance(0.25 + 0.01 * index, "work")
+        obs.event("cache-hit", t_s=clock.now_s, item=index)
+    return index * index
+
+
+def _item_snapshots(count: int):
+    """One single-item snapshot per work item, captured independently."""
+    observer = Observer()
+    snapshots = []
+    for index in range(count):
+        with CaptureScope(observer, index) as scope:
+            _run_item(observer, index)
+        snapshots.append(scope.snapshot)
+    return snapshots
+
+
+class TestCaptureScope:
+    def test_restores_original_stores(self):
+        observer = Observer()
+        observer.count("before")
+        metrics, events, tracer = observer.metrics, observer.events, observer.tracer
+        with CaptureScope(observer, 0):
+            observer.count("inside")
+            assert observer.metrics is not metrics
+        assert observer.metrics is metrics
+        assert observer.events is events
+        assert observer.tracer is tracer
+        assert observer.metrics.counter("before") == 1
+        assert observer.metrics.counter("inside") == 0
+
+    def test_snapshot_holds_only_the_delta(self):
+        observer = Observer()
+        observer.count("before")
+        with CaptureScope(observer, 3) as scope:
+            _run_item(observer, 3)
+        snapshot = scope.snapshot
+        assert snapshot.item_count == 1
+        assert snapshot.items[0].index == 3
+        assert "before" not in snapshot.counters()
+        assert snapshot.counters()["items"] == 1
+        assert snapshot.event_count() == 1
+        assert snapshot.span_count() == 2
+
+    def test_snapshot_pickles(self):
+        (snapshot,) = _item_snapshots(1)
+        clone = pickle.loads(pickle.dumps(snapshot))
+        assert clone == snapshot
+
+
+class TestMergeSnapshots:
+    def test_merge_sorts_by_item_index(self):
+        snapshots = _item_snapshots(4)
+        merged = merge_snapshots(snapshots[2], snapshots[0], snapshots[3], snapshots[1])
+        assert [capture.index for capture in merged.items] == [0, 1, 2, 3]
+
+    def test_merge_of_nothing_is_empty(self):
+        assert merge_snapshots() == ObsSnapshot(items=())
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_order_independent_under_permutation(self, seed):
+        snapshots = _item_snapshots(6)
+        reference = merge_snapshots(*snapshots)
+        shuffled = list(snapshots)
+        random.Random(seed).shuffle(shuffled)
+        assert merge_snapshots(*shuffled) == reference
+
+    @pytest.mark.parametrize("seed", [10, 11, 12, 13, 14])
+    def test_associative_under_random_grouping(self, seed):
+        snapshots = _item_snapshots(6)
+        reference = merge_snapshots(*snapshots)
+        rng = random.Random(seed)
+        shuffled = list(snapshots)
+        rng.shuffle(shuffled)
+        # Fold in random left/right groupings: merge(merge(...), merge(...)).
+        merged = shuffled[0]
+        for snapshot in shuffled[1:]:
+            if rng.random() < 0.5:
+                merged = merge_snapshots(merged, snapshot)
+            else:
+                merged = merge_snapshots(snapshot, merged)
+        assert merged == reference
+
+
+class TestAbsorbParity:
+    """capture+absorb must equal direct serial observation, byte for byte."""
+
+    def test_metrics_events_spans_match_serial(self):
+        serial = Observer()
+        for index in range(5):
+            _run_item(serial, index)
+
+        captured = Observer()
+        results, snapshot = capture_items(
+            captured, lambda index: _run_item(captured, index), range(5)
+        )
+        captured.absorb(snapshot)
+
+        assert results == [index * index for index in range(5)]
+        assert metrics_report_json(captured) == metrics_report_json(serial)
+        assert captured.events.to_jsonl() == serial.events.to_jsonl()
+        assert captured.span_tree() == serial.span_tree()
+
+    def test_absorb_under_permuted_single_captures_matches_serial(self):
+        serial = Observer()
+        for index in range(5):
+            _run_item(serial, index)
+
+        captured = Observer()
+        snapshots = []
+        for index in range(5):
+            with CaptureScope(captured, index) as scope:
+                _run_item(captured, index)
+            snapshots.append(scope.snapshot)
+        random.Random(42).shuffle(snapshots)
+        captured.absorb(merge_snapshots(*snapshots))
+
+        assert metrics_report_json(captured) == metrics_report_json(serial)
+        assert captured.events.to_jsonl() == serial.events.to_jsonl()
+        assert captured.span_tree() == serial.span_tree()
+
+    def test_gauge_last_serial_write_wins(self):
+        observer = Observer()
+        _, snapshot = capture_items(
+            observer, lambda index: observer.gauge("g", float(index)), [0, 1, 2]
+        )
+        observer.absorb(snapshot)
+        assert observer.metrics.gauge_value("g") == 2.0
+
+    def test_spans_graft_under_open_parent(self):
+        observer = Observer()
+        snapshots = _item_snapshots(2)
+        with observer.span("experiment:test"):
+            observer.absorb(merge_snapshots(*snapshots))
+        roots = [span for span in observer.tracer.spans if span.parent_id is None]
+        assert [span.name for span in roots] == ["experiment:test"]
+        children = [observer.tracer.spans[i].name for i in roots[0].children]
+        assert children == ["item:0", "item:1"]
+
+    def test_event_capacity_enforced_at_absorb(self):
+        observer = Observer(events=EventLog(capacity=3))
+        _, snapshot = capture_items(
+            observer,
+            lambda index: observer.event("cache-miss", item=index),
+            range(5),
+        )
+        observer.absorb(snapshot)
+        assert len(observer.events) == 3
+        assert observer.events.dropped == 2
+        assert observer.events.counts_by_type()["cache-miss"] == 5
+
+    def test_histogram_bounds_mismatch_raises(self):
+        left = Observer()
+        left.observe("h", 1.0, bounds=(1.0, 2.0))
+        right = Observer()
+        right.observe("h", 1.0, bounds=(1.0, 4.0))
+        # Synthesized whole-state ops carry their bounds; replaying both
+        # into one registry must fail loudly instead of mixing buckets.
+        merged = merge_snapshots(snapshot_of(left, 0), snapshot_of(right, 1))
+        target = Observer()
+        with pytest.raises(ValueError, match="bucket bounds"):
+            target.absorb(merged)
+
+    def test_plain_registry_snapshot_preserves_aggregates(self):
+        source = Observer(metrics=MetricsRegistry())
+        source.count("c", 2)
+        source.count("c", 3)
+        source.gauge("g", 7.5)
+        source.observe("h", 0.5)
+        source.observe("h", 1.5)
+        target = Observer()
+        target.absorb(source.snapshot())
+        assert target.metrics.counter("c") == 5
+        assert target.metrics.gauge_value("g") == 7.5
+        histogram = target.metrics.histogram("h")
+        assert histogram.count == 2
+        assert histogram.total == 2.0
+
+
+class TestNullObserver:
+    def test_snapshot_is_empty_and_absorb_is_noop(self):
+        snapshot = NULL_OBSERVER.snapshot()
+        assert snapshot.item_count == 0
+        NULL_OBSERVER.absorb(merge_snapshots(*_item_snapshots(2)))
+        assert NULL_OBSERVER.snapshot().item_count == 0
+
+
+class TestSpanTracerAbsorb:
+    def test_offsets_ids_and_depths(self):
+        parent = SpanTracer()
+        with parent.span("outer"):
+            pass
+        child = SpanTracer()
+        with child.span("a"):
+            with child.span("b"):
+                pass
+        parent.absorb(tuple(child.spans))
+        spans = parent.spans
+        assert [span.name for span in spans] == ["outer", "a", "b"]
+        assert spans[1].span_id == 1 and spans[1].parent_id is None
+        assert spans[2].span_id == 2 and spans[2].parent_id == 1
+        assert spans[1].depth == 0 and spans[2].depth == 1
