@@ -34,10 +34,14 @@ class AtlasClient:
         clock: Optional[SimClock] = None,
     ) -> None:
         self.platform = platform
-        # A fresh ledger reports through the platform's observer, so credit
-        # charges land in the same campaign stream as measurement events.
+        # A fresh ledger reports through the platform's observer (credit
+        # charges land in the same campaign stream as measurement events)
+        # and inherits its invariant checker (conservation checks follow
+        # the same arm switch as the physics checks).
         self.ledger = (
-            ledger if ledger is not None else CreditLedger(observer=platform.obs)
+            ledger
+            if ledger is not None
+            else CreditLedger(observer=platform.obs, checker=platform.checker)
         )
         self.clock = clock if clock is not None else SimClock()
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.check.invariants import NULL_CHECKER
 from repro.errors import CreditExhaustedError
 from repro.obs import events as _ev
 from repro.obs.observer import NULL_OBSERVER
@@ -34,12 +35,24 @@ class CreditLedger:
         observer: campaign observer notified of every accepted charge (a
             ``credit-charge`` event plus ``credits.*`` counters); the
             default :data:`~repro.obs.observer.NULL_OBSERVER` is free.
+        checker: optional :class:`~repro.check.InvariantChecker`. When
+            armed, the ledger keeps an independent shadow total per charge
+            kind and verifies ``credits.conservation`` — total == sum of
+            per-kind charges, inside the budget — after every accepted
+            charge. The default :data:`~repro.check.NULL_CHECKER` is free.
     """
 
     budget: Optional[int] = None
     _spent: int = 0
     _counts: Dict[str, int] = field(default_factory=dict)
     observer: object = field(default=NULL_OBSERVER, repr=False, compare=False)
+    checker: object = field(default=NULL_CHECKER, repr=False, compare=False)
+    #: shadow per-kind credit totals, maintained only while a checker is
+    #: armed — an independent accumulator the conservation check compares
+    #: against ``_spent``.
+    _kind_credits: Dict[str, int] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     @property
     def spent(self) -> int:
@@ -80,6 +93,14 @@ class CreditLedger:
             )
         self._spent += credits
         self._counts[kind] = self._counts.get(kind, 0) + count
+        if self.checker.enabled:
+            self._kind_credits[kind] = self._kind_credits.get(kind, 0) + credits
+            self.checker.check_ledger(
+                self._spent,
+                sum(self._kind_credits.values()),
+                self.budget,
+                f"ledger charge kind={kind}",
+            )
         if self.observer.enabled:
             # No running total in the event: it is a prefix sum of the
             # ``credits`` fields (and would differ between a worker's

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro import rand
 from repro.atlas.clock import SimClock
+from repro.check.invariants import NULL_CHECKER
 from repro.atlas.credits import (
     CREDIT_COST_PER_PING_PACKET,
     CREDIT_COST_PER_TRACEROUTE,
@@ -87,6 +88,11 @@ class AtlasPlatform:
             carrying the default :data:`~repro.obs.observer.NULL_OBSERVER`
             adopts this observer so fault events land in the same stream.
             The default no-op observer costs nothing on the hot paths.
+        checker: optional :class:`~repro.check.InvariantChecker`, threaded
+            into the latency model (physics invariants on every produced
+            measurement) and adopted by client-created ledgers (credit
+            conservation). :data:`~repro.check.NULL_CHECKER` — free — by
+            default.
     """
 
     def __init__(
@@ -94,14 +100,16 @@ class AtlasPlatform:
         world: World,
         faults: Optional[FaultInjector] = None,
         obs=NULL_OBSERVER,
+        checker=NULL_CHECKER,
     ) -> None:
         self.world = world
         self.faults = faults
         self.obs = obs
+        self.checker = checker
         if faults is not None and obs.enabled and not faults.obs.enabled:
             faults.obs = obs
         self.topology = Topology(world)
-        self.latency = LatencyModel(world, self.topology)
+        self.latency = LatencyModel(world, self.topology, checker=checker)
         self._infos: Dict[int, ProbeInfo] = {}
         for host in world.hosts:
             if host.kind in (HostKind.ANCHOR, HostKind.PROBE):

@@ -38,6 +38,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro.check.invariants import NULL_CHECKER
 from repro.obs.observer import NULL_OBSERVER
 from repro.world.config import WorldConfig
 
@@ -92,11 +93,24 @@ def _digest(arrays: Dict[str, np.ndarray]) -> str:
 
 
 class ArtifactCache:
-    """A directory of content-addressed ``.npz`` measurement artifacts."""
+    """A directory of content-addressed ``.npz`` measurement artifacts.
 
-    def __init__(self, root: Path, obs=NULL_OBSERVER) -> None:
+    Args:
+        root: cache directory (created on first store).
+        obs: campaign observer for ``cache.hit``/``cache.miss``/
+            ``cache.corrupt`` counters.
+        checker: optional :class:`~repro.check.InvariantChecker`. When
+            armed, every digest comparison is accounted under the
+            ``cache.digest`` invariant: matching loads count as passes, a
+            mismatch is a violation (instead of the silent delete-and-
+            recompute recovery), and every store re-reads its own file to
+            verify the written payload round-trips.
+    """
+
+    def __init__(self, root: Path, obs=NULL_OBSERVER, checker=NULL_CHECKER) -> None:
         self.root = Path(root)
         self.obs = obs
+        self.checker = checker
 
     def path(self, name: str, key: str) -> Path:
         """Where the artifact ``name`` for cache key ``key`` lives."""
@@ -123,7 +137,11 @@ class ArtifactCache:
         except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile):
             return self._corrupt(path)
         if _digest(arrays) != stored:
+            if self.checker.enabled:
+                self.checker.check_cache_digest(False, name, f"load {path.name}")
             return self._corrupt(path)
+        if self.checker.enabled:
+            self.checker.check_cache_digest(True, name, f"load {path.name}")
         self.obs.count("cache.hit")
         return arrays
 
@@ -158,11 +176,26 @@ class ArtifactCache:
             except OSError:
                 pass
             raise
+        if self.checker.enabled:
+            # Store roundtrip: re-read the just-written file and verify the
+            # payload digests to what we computed before writing — catches
+            # writer/serialisation drift at the moment it happens.
+            try:
+                with np.load(path, allow_pickle=False) as data:
+                    written = {
+                        member: data[member]
+                        for member in data.files
+                        if member != "__digest__"
+                    }
+                ok = _digest(written) == digest
+            except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile):
+                ok = False
+            self.checker.check_cache_digest(ok, name, f"store {path.name}")
 
 
-def cache_from_env(obs=NULL_OBSERVER) -> Optional[ArtifactCache]:
+def cache_from_env(obs=NULL_OBSERVER, checker=NULL_CHECKER) -> Optional[ArtifactCache]:
     """An :class:`ArtifactCache` rooted at ``REPRO_CACHE_DIR``, if set."""
     root = cache_dir_from_env()
     if root is None:
         return None
-    return ArtifactCache(root, obs=obs)
+    return ArtifactCache(root, obs=obs, checker=checker)

@@ -1,0 +1,264 @@
+"""Differential self-verification: run paired paths, assert equal bytes.
+
+The substrate promises three expensive equivalences:
+
+* the batched CBG kernel computes exactly what the per-target reference
+  loop computes (``repro.core.cbg_batch``);
+* a parallel campaign (``REPRO_WORKERS=N``) produces byte-identical
+  results to the serial path (``repro.exec``);
+* a warm artifact-cache rebuild replays byte-identical measurements to a
+  cold build (``repro.cache``).
+
+Each promise is pinned by golden tests, but those only run under pytest.
+This module packages the same comparisons as a *runtime* harness: each
+``diff_*`` function runs one campaign through both sides of a pair and
+compares outputs bitwise, and :func:`run_selfcheck` bundles all three into
+the :class:`SelfCheckReport` behind ``experiments/run.py --selfcheck``
+(exit 0 iff every pair agrees) and the ``selfcheck_report`` pytest
+fixture. The paired computations are invoked through their *modules*, so
+a monkeypatched (deliberately broken) kernel is caught — which is exactly
+how ``tests/test_check_diff.py`` proves the harness can fail.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro import rand
+from repro.world.config import WorldConfig
+
+
+@dataclass(frozen=True)
+class DiffOutcome:
+    """Result of one paired-path comparison.
+
+    Attributes:
+        pair: which equivalence was exercised.
+        ok: whether every compared artifact was bitwise equal.
+        compared: how many artifacts (arrays/series) were compared.
+        detail: human-readable note — the first divergence, or context
+            such as "fork unavailable" for a degenerate comparison.
+    """
+
+    pair: str
+    ok: bool
+    compared: int
+    detail: str = ""
+
+
+@dataclass
+class SelfCheckReport:
+    """All paired-path outcomes of one self-check run."""
+
+    outcomes: List[DiffOutcome] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(outcome.ok for outcome in self.outcomes)
+
+    def render(self) -> str:
+        lines = ["self-check: differential verification of paired paths", ""]
+        for outcome in self.outcomes:
+            status = "ok" if outcome.ok else "DIVERGED"
+            lines.append(
+                f"  {outcome.pair:<24} {status:<9} "
+                f"({outcome.compared} artifacts) {outcome.detail}".rstrip()
+            )
+        lines.append("")
+        lines.append("result: " + ("all paths agree" if self.ok else "DIVERGENCE"))
+        return "\n".join(lines)
+
+
+def _arrays_equal(a: np.ndarray, b: np.ndarray) -> bool:
+    a = np.asarray(a)
+    b = np.asarray(b)
+    return a.shape == b.shape and bool(np.array_equal(a, b, equal_nan=True))
+
+
+def diff_batch_vs_loop(
+    scenario, sizes=(8, 24), trials: int = 2
+) -> DiffOutcome:
+    """Batched CBG kernel vs the per-target reference loop, bitwise.
+
+    Runs random VP subsets (and the full set) of the scenario's RTT matrix
+    through ``cbg_errors_batch`` and ``cbg_errors_for_subsets_loop`` —
+    via the module, so a patched kernel diverges visibly.
+    """
+    from repro.core import cbg_batch
+
+    matrix = scenario.rtt_matrix()
+    vp_count = len(scenario.vps)
+    seed = scenario.world.config.seed
+    subsets = [np.arange(vp_count)]
+    for size in sizes:
+        size = min(size, vp_count)
+        for trial in range(trials):
+            rng = rand.generator((seed, "selfcheck-batch", size, trial))
+            subsets.append(np.sort(rng.choice(vp_count, size=size, replace=False)))
+    compared = 0
+    for subset in subsets:
+        batch = cbg_batch.cbg_errors_batch(
+            scenario.vp_lats,
+            scenario.vp_lons,
+            matrix,
+            scenario.target_true_lats,
+            scenario.target_true_lons,
+            subset,
+        )
+        loop = cbg_batch.cbg_errors_for_subsets_loop(
+            scenario.vp_lats,
+            scenario.vp_lons,
+            matrix,
+            scenario.target_true_lats,
+            scenario.target_true_lons,
+            subset,
+        )
+        compared += 1
+        if not _arrays_equal(batch, loop):
+            mismatch = int(np.argmax(~(np.isclose(batch, loop, equal_nan=True))))
+            return DiffOutcome(
+                "cbg: batch vs loop",
+                ok=False,
+                compared=compared,
+                detail=f"subset of {subset.size} VPs diverges at target "
+                f"{mismatch}: batch={batch[mismatch]!r} loop={loop[mismatch]!r}",
+            )
+    return DiffOutcome("cbg: batch vs loop", ok=True, compared=compared)
+
+
+def diff_serial_vs_parallel(scenario, trials: int = 3, workers: int = 2) -> DiffOutcome:
+    """Serial campaign vs ``REPRO_WORKERS=N``, bitwise on the fig2a series.
+
+    Runs the same Figure-2a campaign twice over one scenario — once with
+    the executor forced serial, once with ``workers`` processes — and
+    compares every per-size trial series float for float.
+    """
+    from repro.exec.pool import _fork_context
+    from repro.experiments import fig2
+
+    def run_with_workers(value: Optional[str]) -> Dict[str, object]:
+        saved = os.environ.get("REPRO_WORKERS")
+        try:
+            if value is None:
+                os.environ.pop("REPRO_WORKERS", None)
+            else:
+                os.environ["REPRO_WORKERS"] = value
+            return fig2.run_fig2a(scenario, trials=trials).series
+        finally:
+            if saved is None:
+                os.environ.pop("REPRO_WORKERS", None)
+            else:
+                os.environ["REPRO_WORKERS"] = saved
+
+    serial = run_with_workers(None)
+    parallel = run_with_workers(str(workers))
+    degenerate = "" if _fork_context() is not None else " (fork unavailable: both serial)"
+    if sorted(serial) != sorted(parallel):
+        return DiffOutcome(
+            "exec: serial vs parallel",
+            ok=False,
+            compared=len(serial),
+            detail=f"size keys differ: {sorted(serial)} vs {sorted(parallel)}",
+        )
+    for size_key in sorted(serial):
+        if list(serial[size_key]) != list(parallel[size_key]):
+            return DiffOutcome(
+                "exec: serial vs parallel",
+                ok=False,
+                compared=len(serial),
+                detail=f"trial series for {size_key} VPs diverges: "
+                f"{serial[size_key]} vs {parallel[size_key]}",
+            )
+    return DiffOutcome(
+        "exec: serial vs parallel",
+        ok=True,
+        compared=len(serial),
+        detail=f"fig2a x{trials} trials, {workers} workers{degenerate}",
+    )
+
+
+def diff_cold_vs_warm_cache(
+    config: WorldConfig, cache_root: Optional[str] = None
+) -> DiffOutcome:
+    """Cold scenario build vs a warm cache replay, bitwise.
+
+    Builds the scenario twice against the same artifact-cache root — the
+    first populates it, the second must replay from disk — and compares
+    the sanitized id sets, the anchor mesh, and the campaign RTT matrix.
+    A warm rebuild that never hits the cache is reported as a failure:
+    the comparison would be vacuous.
+    """
+    from repro.cache.artifacts import ArtifactCache
+    from repro.experiments.scenario import Scenario
+    from repro.obs import Observer
+
+    def build(root: str):
+        obs = Observer()
+        scenario = Scenario.build(config, obs=obs, cache=ArtifactCache(root, obs=obs))
+        artifacts = {
+            "vp_ids": scenario.vp_ids,
+            "target_ids": np.asarray(scenario.target_ids, dtype=np.int64),
+            "removed_anchors": np.asarray(scenario.removed_anchor_ids, dtype=np.int64),
+            "removed_probes": np.asarray(scenario.removed_probe_ids, dtype=np.int64),
+            "mesh": scenario.mesh()[1],
+            "rtt_matrix": scenario.rtt_matrix(),
+        }
+        return artifacts, int(obs.metrics.counter("cache.hit"))
+
+    owned = None
+    if cache_root is None:
+        owned = tempfile.TemporaryDirectory(prefix="repro-selfcheck-cache-")
+        cache_root = owned.name
+    try:
+        cold, _cold_hits = build(cache_root)
+        warm, warm_hits = build(cache_root)
+    finally:
+        if owned is not None:
+            owned.cleanup()
+    if warm_hits == 0:
+        return DiffOutcome(
+            "cache: cold vs warm",
+            ok=False,
+            compared=0,
+            detail="warm rebuild never hit the cache (comparison vacuous)",
+        )
+    for name in cold:
+        if not _arrays_equal(cold[name], warm[name]):
+            return DiffOutcome(
+                "cache: cold vs warm",
+                ok=False,
+                compared=len(cold),
+                detail=f"artifact {name!r} differs between cold build and "
+                "warm replay",
+            )
+    return DiffOutcome(
+        "cache: cold vs warm",
+        ok=True,
+        compared=len(cold),
+        detail=f"{warm_hits} cache hits on the warm rebuild",
+    )
+
+
+def run_selfcheck(
+    preset: str = "quick",
+    seed: Optional[int] = None,
+    trials: int = 3,
+    workers: int = 2,
+) -> SelfCheckReport:
+    """Run all three paired-path comparisons over one preset world."""
+    from repro.experiments.scenario import Scenario, config_for_preset
+
+    config = config_for_preset(preset, seed)
+    scenario = Scenario.build(config)
+    report = SelfCheckReport()
+    report.outcomes.append(diff_batch_vs_loop(scenario))
+    report.outcomes.append(
+        diff_serial_vs_parallel(scenario, trials=trials, workers=workers)
+    )
+    report.outcomes.append(diff_cold_vs_warm_cache(config))
+    return report

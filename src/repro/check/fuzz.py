@@ -1,0 +1,111 @@
+"""Seeded mini-world fuzzer for the property/invariant test suites.
+
+:func:`fuzz_config` deterministically maps an index to a small random —
+but always *valid* — :class:`~repro.world.config.WorldConfig`: a world
+with a handful of anchors and a couple hundred probes that builds in tens
+of milliseconds, yet spans the same latency, sanitization, and topology
+machinery as the paper preset. The property suite runs every registered
+invariant (:data:`repro.check.INVARIANTS`) over dozens of such worlds
+across the three geolocation algorithms.
+
+Two constraints keep the fuzzed space inside the invariants' premises:
+
+* ``fiber_factor_min >= 1.0`` — the ``rtt.soi_bound`` and
+  ``cbg.containment`` invariants are theorems of the latency model *only*
+  when fibre never beats 2/3 c;
+* mislocated hosts stay >= 4000 km off so the §4.3 sanitization provably
+  removes them (same calibration argument as the paper preset).
+
+:func:`scaled_config` supports the metamorphic delay test: every draw in
+the latency model is keyed by counters, never by parameter values, so
+scaling all delay *means* by ``k`` scales every RTT by exactly ``k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List
+
+import numpy as np
+
+from repro.world.config import WorldConfig
+
+#: Continents every world covers (keys of the per-continent mappings).
+CONTINENTS = ("EU", "NA", "AS", "SA", "OC", "AF")
+
+#: Config fields that are pure delay means/bounds: scaling them all by k
+#: scales every simulated RTT component by k (propagation via the fibre
+#: factor range, access links, queueing) — the metamorphic scaling law.
+DELAY_FIELDS = (
+    "anchor_last_mile_mean_ms",
+    "probe_last_mile_floor_ms",
+    "probe_last_mile_mean_ms",
+    "probe_bad_last_mile_extra_ms",
+    "city_congestion_extra_ms",
+    "jitter_mean_ms",
+    "webserver_last_mile_mean_ms",
+)
+
+
+def fuzz_config(index: int, base_seed: int = 20260806) -> WorldConfig:
+    """The ``index``-th fuzzed mini-world configuration (deterministic)."""
+    rng = np.random.default_rng([base_seed, index])
+
+    def pick(low: int, high: int) -> int:
+        return int(rng.integers(low, high + 1))
+
+    def span(low: float, high: float) -> float:
+        return float(rng.uniform(low, high))
+
+    shares = rng.uniform(0.5, 2.0, size=len(CONTINENTS))
+    shares /= shares.sum()
+    fiber_min = span(1.0, 1.12)
+    return WorldConfig(
+        seed=base_seed + index,
+        cities_per_continent={c: pick(4, 10) for c in CONTINENTS},
+        countries_per_continent={c: pick(2, 4) for c in CONTINENTS},
+        hubs_per_continent=pick(1, 3),
+        anchor_quotas={c: pick(1, 4) for c in CONTINENTS},
+        bad_anchors=pick(0, 2),
+        probes_total=pick(120, 260),
+        probe_shares={c: float(s) for c, s in zip(CONTINENTS, shares)},
+        bad_probes=pick(0, 5),
+        probe_metadata_jitter_share=span(0.0, 0.4),
+        probe_metadata_jitter_min_km=4.0,
+        probe_metadata_jitter_max_km=span(20.0, 60.0),
+        city_congested_share=span(0.0, 0.4),
+        city_congestion_extra_ms=span(2.0, 12.0),
+        underpopulated_prefixes=pick(0, 2),
+        total_ases=pick(60, 160),
+        fiber_factor_min=fiber_min,
+        fiber_factor_max=fiber_min + span(0.05, 0.25),
+        jitter_mean_ms=span(0.05, 0.6),
+        packet_loss_rate=span(0.0, 0.04),
+        hop_spike_probability=span(0.0, 0.08),
+        hop_spike_mean_ms=span(0.5, 4.0),
+        hop_noise_std_ms=span(0.05, 0.5),
+        pois_per_10k_population=span(2.0, 8.0),
+        poi_max_per_city=pick(40, 120),
+    )
+
+
+def fuzz_configs(count: int, base_seed: int = 20260806) -> List[WorldConfig]:
+    """The first ``count`` fuzzed configurations."""
+    return [fuzz_config(index, base_seed) for index in range(count)]
+
+
+def scaled_config(config: WorldConfig, factor: float) -> WorldConfig:
+    """``config`` with every delay component scaled by ``factor``.
+
+    Scales the fibre factor range and all delay means/floors/extras in
+    :data:`DELAY_FIELDS`. Because randomness is counter-keyed (draws do
+    not depend on parameter values), the resulting world observes RTTs
+    exactly ``factor`` times the original's — the metamorphic law
+    ``tests/test_check_properties.py`` asserts.
+    """
+    if factor <= 0:
+        raise ValueError(f"scale factor must be positive, got {factor}")
+    changes = {name: getattr(config, name) * factor for name in DELAY_FIELDS}
+    changes["fiber_factor_min"] = config.fiber_factor_min * factor
+    changes["fiber_factor_max"] = config.fiber_factor_max * factor
+    return replace(config, **changes)

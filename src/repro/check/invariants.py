@@ -1,0 +1,466 @@
+"""Runtime invariant checking for the measurement substrate.
+
+The substrate has three fast paths (batched CBG kernel, parallel executor,
+artifact cache) whose correctness is pinned by golden tests — but golden
+tests only run when the test suite does. This module adds *runtime*
+verification: a registry of physics and accounting invariants that hold by
+construction in this simulator, enforced at the sites that produce the
+numbers. Any violation means code drift (a kernel, cache, or accounting
+bug), never bad luck:
+
+* ``rtt.soi_bound`` — every observed RTT is at least the round-trip time
+  light in fibre (2/3 c) needs over the *true* great-circle distance. The
+  latency model guarantees it (routed path >= direct, fibre factor >= 1).
+* ``trace.hop_delta`` — consecutive traceroute hop RTTs never decrease by
+  more than the noise model allows (ICMP slow-path spikes are capped by
+  the clamped uniform draw; Gaussian interface noise by a 12-sigma margin).
+* ``credits.conservation`` — the ledger's total equals the sum of its
+  per-kind charges and never exceeds the budget.
+* ``cbg.containment`` — at 2/3 c every CBG constraint disk contains the
+  ground-truth target, up to the registered-vs-true metadata jitter the
+  §4.3 sanitization provably cannot catch. (Street-level tier 1 runs at
+  4/9 c, where exclusion is legitimate — the check skips sub-2/3 c calls.)
+* ``cache.digest`` — artifacts read back from the cache match their
+  embedded content digest; stores verify their own roundtrip.
+* ``exec.item_parity`` — a parallel map's first item, re-run serially in
+  the parent, is equal to what the worker returned.
+
+Checking is **off by default**: every instrumented call site holds a
+:data:`NULL_CHECKER` whose ``enabled`` flag is ``False`` and guards the
+work behind it, mirroring the :data:`~repro.obs.observer.NULL_OBSERVER`
+pattern — the overhead bench pins the disabled cost at <2%. Set
+``REPRO_CHECK=1`` (or pass ``--check`` to ``experiments/run.py``) to arm
+a real :class:`InvariantChecker`. Violations emit an
+``invariant-violation`` event plus ``check.*`` counters on the campaign
+observer and then raise :class:`~repro.errors.InvariantViolation` (raise
+mode, the default) or accumulate on ``checker.violations`` (record mode).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.constants import SOI_FRACTION_CBG, SPEED_OF_LIGHT_KM_S
+from repro.errors import InvariantViolation
+from repro.obs import events as _ev
+from repro.obs.observer import NULL_OBSERVER
+
+#: The closed invariant registry: name -> what must hold. Checker methods
+#: report under exactly these names; the registry-completeness test pins
+#: that every entry is exercised by the property suite.
+INVARIANTS: Dict[str, str] = {
+    "rtt.soi_bound": (
+        "observed RTT >= 2 * true_distance / (2/3 c): the latency model "
+        "routes over a path >= the great circle with a fibre factor >= 1"
+    ),
+    "trace.hop_delta": (
+        "consecutive traceroute hop RTTs decrease by at most the spike cap "
+        "plus a 12-sigma interface-noise margin"
+    ),
+    "credits.conservation": (
+        "ledger total == sum of per-kind charges, and never above budget"
+    ),
+    "cbg.containment": (
+        "at >= 2/3 c, every constraint disk contains the true target up to "
+        "the registered-location metadata jitter"
+    ),
+    "cache.digest": (
+        "cached artifact payloads match their embedded SHA-256 digest, on "
+        "load and on store-roundtrip"
+    ),
+    "exec.item_parity": (
+        "parallel_map's first item, recomputed serially in the parent, "
+        "equals the worker's result"
+    ),
+}
+
+#: Absolute slack (ms) absorbing float rounding in the SOI comparison.
+SOI_TOLERANCE_MS = 1e-6
+
+#: ``rand.uniform`` draws are clamped at 1e-12 before the log, so every
+#: exponential spike/jitter term is capped at ``mean * ln(1e12)``.
+EXPONENTIAL_CAP_FACTOR = math.log(1e12)
+
+
+def check_enabled() -> bool:
+    """Whether ``REPRO_CHECK`` arms invariant checking.
+
+    Accepts ``1/true/yes/on`` (armed) and ``''/0/false/no/off`` (off),
+    case-insensitively; anything else raises — a silently ignored typo
+    would defeat the point of a correctness knob.
+    """
+    raw = os.environ.get("REPRO_CHECK", "").strip().lower()
+    if raw in ("", "0", "false", "no", "off"):
+        return False
+    if raw in ("1", "true", "yes", "on"):
+        return True
+    raise ValueError(f"unintelligible REPRO_CHECK value: {raw!r}")
+
+
+class InvariantChecker:
+    """Enforces the :data:`INVARIANTS` registry at instrumented sites.
+
+    Args:
+        obs: campaign observer; violations emit an ``invariant-violation``
+            event and ``check.*`` counters through it, passes bump
+            ``check.<name>.pass`` (so a run manifest can prove which
+            checks were live).
+        raise_on_violation: raise :class:`InvariantViolation` on the first
+            failure (default — a checked campaign should stop on drift);
+            ``False`` records violations on :attr:`violations` instead,
+            which the differential/fuzz harnesses use to collect all of
+            them.
+        hop_delta_tolerance_ms: largest legitimate *decrease* between
+            consecutive traceroute hop RTTs. Derive it from the world
+            config via :meth:`for_config`; the default covers the paper
+            presets' noise parameters.
+        cbg_slack_km: containment slack absorbing the registered-vs-true
+            location jitter of sanitization-surviving vantage points
+            (``probe_metadata_jitter_max_km`` plus rounding).
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        obs=NULL_OBSERVER,
+        raise_on_violation: bool = True,
+        hop_delta_tolerance_ms: float = 2.5 * EXPONENTIAL_CAP_FACTOR + 12.0 * 0.25,
+        cbg_slack_km: float = 41.0,
+    ) -> None:
+        self.obs = obs
+        self.raise_on_violation = raise_on_violation
+        self.hop_delta_tolerance_ms = hop_delta_tolerance_ms
+        self.cbg_slack_km = cbg_slack_km
+        self.passes: Dict[str, int] = {}
+        self.violations: List[Dict[str, object]] = []
+
+    @classmethod
+    def for_config(
+        cls, config, obs=NULL_OBSERVER, raise_on_violation: bool = True
+    ) -> "InvariantChecker":
+        """A checker whose tolerances are derived from a world config.
+
+        The hop-delta tolerance is the exponential spike cap
+        (``hop_spike_mean_ms * ln(1e12)``) plus a 12-sigma margin on the
+        difference of two interface-noise draws; the containment slack is
+        the config's maximum metadata-jitter displacement.
+        """
+        return cls(
+            obs=obs,
+            raise_on_violation=raise_on_violation,
+            hop_delta_tolerance_ms=config.hop_spike_mean_ms * EXPONENTIAL_CAP_FACTOR
+            + 12.0 * config.hop_noise_std_ms
+            + 1e-3,
+            cbg_slack_km=config.probe_metadata_jitter_max_km + 1.0,
+        )
+
+    # --- accounting -------------------------------------------------------------
+
+    def _pass(self, name: str, count: int = 1) -> None:
+        self.passes[name] = self.passes.get(name, 0) + count
+        if self.obs.enabled:
+            self.obs.count(f"check.{name}.pass", count)
+
+    def violation(self, name: str, detail: str, **fields: object) -> None:
+        """Record (and, in raise mode, raise) one invariant violation.
+
+        Always lands on the observer first — the event stream and counters
+        document the failure even when the exception then aborts the run.
+        """
+        if name not in INVARIANTS:
+            raise ValueError(f"unknown invariant: {name!r}")
+        record: Dict[str, object] = {"invariant": name, "detail": detail}
+        record.update(fields)
+        self.violations.append(record)
+        if self.obs.enabled:
+            self.obs.count("check.violations")
+            self.obs.count(f"check.{name}.violation")
+            self.obs.event(
+                _ev.INVARIANT_VIOLATION, invariant=name, detail=detail, **fields
+            )
+        if self.raise_on_violation:
+            raise InvariantViolation(f"{name}: {detail}")
+
+    def summary(self) -> Dict[str, object]:
+        """Pass/violation totals, for reports and assertions."""
+        return {
+            "mode": "raise" if self.raise_on_violation else "record",
+            "passes": dict(self.passes),
+            "violations": list(self.violations),
+        }
+
+    # --- physics ----------------------------------------------------------------
+
+    def check_soi_bound(self, rtts_ms, true_distances_km, context: str) -> None:
+        """``rtt.soi_bound``: RTTs respect the 2/3 c physics floor.
+
+        Args:
+            rtts_ms: observed RTTs (scalar or array); NaN entries (lost /
+                unanswered) are skipped.
+            true_distances_km: ground-truth great-circle distances,
+                broadcastable against ``rtts_ms``.
+            context: where the measurement came from, for the report.
+        """
+        rtts = np.asarray(rtts_ms, dtype=np.float64)
+        bounds = (
+            2.0
+            * np.asarray(true_distances_km, dtype=np.float64)
+            / (SOI_FRACTION_CBG * SPEED_OF_LIGHT_KM_S)
+            * 1000.0
+        )
+        rtts, bounds = np.broadcast_arrays(rtts, bounds)
+        with np.errstate(invalid="ignore"):
+            bad = rtts < bounds - SOI_TOLERANCE_MS
+        bad &= ~np.isnan(rtts)
+        checked = int((~np.isnan(rtts)).sum())
+        if bad.any():
+            worst = int(np.argmax(np.where(bad, bounds - rtts, -np.inf)))
+            self.violation(
+                "rtt.soi_bound",
+                f"{context}: rtt {rtts.flat[worst]:.6f} ms below physical "
+                f"minimum {bounds.flat[worst]:.6f} ms "
+                f"({int(bad.sum())}/{checked} measurements)",
+                rtt_ms=float(rtts.flat[worst]),
+                floor_ms=float(bounds.flat[worst]),
+                count=int(bad.sum()),
+            )
+        elif checked:
+            self._pass("rtt.soi_bound", checked)
+
+    def check_trace_hops(
+        self, hop_rtts_ms, context: str, tolerance_ms: Optional[float] = None
+    ) -> None:
+        """``trace.hop_delta``: hop RTTs are positive and near-monotone."""
+        rtts = np.asarray(hop_rtts_ms, dtype=np.float64)
+        if rtts.size == 0:
+            return
+        if tolerance_ms is None:
+            tolerance_ms = self.hop_delta_tolerance_ms
+        if (rtts <= 0.0).any():
+            worst = int(np.argmin(rtts))
+            self.violation(
+                "trace.hop_delta",
+                f"{context}: non-positive hop RTT {rtts[worst]:.6f} ms at "
+                f"hop {worst}",
+                hop=worst,
+                rtt_ms=float(rtts[worst]),
+            )
+            return
+        deltas = np.diff(rtts)
+        bad = deltas < -tolerance_ms
+        if bad.any():
+            worst = int(np.argmin(deltas))
+            self.violation(
+                "trace.hop_delta",
+                f"{context}: hop {worst + 1} RTT drops {-deltas[worst]:.6f} ms "
+                f"(tolerance {tolerance_ms:.3f} ms)",
+                hop=worst + 1,
+                drop_ms=float(-deltas[worst]),
+                tolerance_ms=float(tolerance_ms),
+            )
+        else:
+            self._pass("trace.hop_delta")
+
+    # --- accounting invariants ----------------------------------------------------
+
+    def check_ledger(
+        self,
+        spent: int,
+        per_kind_total: int,
+        budget: Optional[int],
+        context: str,
+    ) -> None:
+        """``credits.conservation``: the ledger books balance."""
+        if spent != per_kind_total:
+            self.violation(
+                "credits.conservation",
+                f"{context}: spent total {spent} != per-kind sum {per_kind_total}",
+                spent=int(spent),
+                per_kind_total=int(per_kind_total),
+            )
+            return
+        if spent < 0 or (budget is not None and spent > budget):
+            self.violation(
+                "credits.conservation",
+                f"{context}: spent {spent} outside [0, {budget}]",
+                spent=int(spent),
+                budget=budget,
+            )
+            return
+        self._pass("credits.conservation")
+
+    # --- geolocation ---------------------------------------------------------------
+
+    def check_cbg_containment(
+        self,
+        vp_lats: np.ndarray,
+        vp_lons: np.ndarray,
+        rtt_matrix: np.ndarray,
+        target_true_lats: np.ndarray,
+        target_true_lons: np.ndarray,
+        soi_fraction: float,
+        context: str,
+    ) -> None:
+        """``cbg.containment``: every 2/3 c constraint disk holds the truth.
+
+        Args:
+            vp_lats: registered latitudes of the vantage points in play.
+            vp_lons: registered longitudes, aligned.
+            rtt_matrix: min-RTT matrix (VPs x targets); NaN = no answer,
+                and NaN entries constrain nothing.
+            target_true_lats: ground-truth target latitudes.
+            target_true_lons: ground-truth target longitudes.
+            soi_fraction: the conversion speed the caller used. Below
+                2/3 c (street-level tier 1) exclusion of the truth is
+                legitimate — the paper's fallback exists precisely for it —
+                so the check silently skips those calls.
+            context: calling campaign, for the report.
+        """
+        if soi_fraction < SOI_FRACTION_CBG - 1e-9:
+            return
+        rtts = np.asarray(rtt_matrix, dtype=np.float64)
+        if rtts.size == 0:
+            return
+        radii = (rtts / 2000.0) * soi_fraction * SPEED_OF_LIGHT_KM_S
+        # Broadcast haversine: registered VP positions vs true targets.
+        phi1 = np.radians(np.asarray(vp_lats, dtype=np.float64))[:, None]
+        phi2 = np.radians(np.asarray(target_true_lats, dtype=np.float64))[None, :]
+        dphi = phi2 - phi1
+        dlambda = np.radians(
+            np.asarray(target_true_lons, dtype=np.float64)[None, :]
+            - np.asarray(vp_lons, dtype=np.float64)[:, None]
+        )
+        a = (
+            np.sin(dphi / 2.0) ** 2
+            + np.cos(phi1) * np.cos(phi2) * np.sin(dlambda / 2.0) ** 2
+        )
+        from repro.constants import EARTH_RADIUS_KM
+
+        distances = 2.0 * EARTH_RADIUS_KM * np.arcsin(
+            np.sqrt(np.clip(a, 0.0, 1.0))
+        )
+        with np.errstate(invalid="ignore"):
+            bad = distances > radii + self.cbg_slack_km
+        bad &= ~np.isnan(rtts)
+        checked = int((~np.isnan(rtts)).sum())
+        if bad.any():
+            excess = np.where(bad, distances - radii, -np.inf)
+            vp_row, target_col = np.unravel_index(int(np.argmax(excess)), bad.shape)
+            self.violation(
+                "cbg.containment",
+                f"{context}: disk of VP {int(vp_row)} excludes target "
+                f"{int(target_col)} by "
+                f"{distances[vp_row, target_col] - radii[vp_row, target_col]:.3f} km "
+                f"(slack {self.cbg_slack_km:.1f} km, "
+                f"{int(bad.sum())}/{checked} constraints)",
+                vp=int(vp_row),
+                target=int(target_col),
+                excess_km=float(distances[vp_row, target_col] - radii[vp_row, target_col]),
+                count=int(bad.sum()),
+            )
+        elif checked:
+            self._pass("cbg.containment", checked)
+
+    # --- infrastructure -------------------------------------------------------------
+
+    def check_cache_digest(self, ok: bool, name: str, context: str) -> None:
+        """``cache.digest``: a cache payload matched its embedded digest."""
+        if ok:
+            self._pass("cache.digest")
+        else:
+            self.violation(
+                "cache.digest",
+                f"{context}: artifact {name!r} payload does not match its "
+                "embedded digest",
+                artifact=name,
+            )
+
+    def check_exec_parity(self, ok: bool, context: str) -> None:
+        """``exec.item_parity``: parallel and serial item results agree."""
+        if ok:
+            self._pass("exec.item_parity")
+        else:
+            self.violation(
+                "exec.item_parity",
+                f"{context}: worker result differs from a serial re-run of "
+                "the same item",
+            )
+
+
+class NullChecker:
+    """The default checker: every check is a no-op, ``enabled`` is False.
+
+    Hot paths guard checker work behind ``if checker.enabled:`` exactly as
+    they guard observability behind ``obs.enabled`` — with the shared
+    :data:`NULL_CHECKER` the cost of an armed-but-off call site is one
+    attribute read.
+    """
+
+    enabled = False
+    raise_on_violation = False
+
+    def _pass(self, name: str, count: int = 1) -> None:
+        return None
+
+    def violation(self, name: str, detail: str, **fields: object) -> None:
+        return None
+
+    def summary(self) -> Dict[str, object]:
+        return {"mode": "off", "passes": {}, "violations": []}
+
+    def check_soi_bound(self, rtts_ms, true_distances_km, context: str) -> None:
+        return None
+
+    def check_trace_hops(
+        self, hop_rtts_ms, context: str, tolerance_ms: Optional[float] = None
+    ) -> None:
+        return None
+
+    def check_ledger(self, spent, per_kind_total, budget, context: str) -> None:
+        return None
+
+    def check_cbg_containment(
+        self,
+        vp_lats,
+        vp_lons,
+        rtt_matrix,
+        target_true_lats,
+        target_true_lons,
+        soi_fraction,
+        context: str,
+    ) -> None:
+        return None
+
+    def check_cache_digest(self, ok: bool, name: str, context: str) -> None:
+        return None
+
+    def check_exec_parity(self, ok: bool, context: str) -> None:
+        return None
+
+
+#: The shared no-op checker every instrumented site defaults to.
+NULL_CHECKER = NullChecker()
+
+
+def checker_from_env(obs=NULL_OBSERVER, config=None):
+    """The process-wide checker policy: a live checker iff ``REPRO_CHECK``.
+
+    Args:
+        obs: campaign observer for the live checker's emissions.
+        config: optional :class:`~repro.world.config.WorldConfig`; when
+            given, tolerances are derived from it (:meth:`for_config`).
+
+    Returns:
+        :data:`NULL_CHECKER` when checking is off; otherwise a fresh
+        raise-mode :class:`InvariantChecker`.
+    """
+    if not check_enabled():
+        return NULL_CHECKER
+    if config is not None:
+        return InvariantChecker.for_config(config, obs=obs)
+    return InvariantChecker(obs=obs)

@@ -244,6 +244,7 @@ def cbg_errors_for_subsets(
     soi_fraction: float = SOI_FRACTION_CBG,
     min_vps: int = 1,
     obs=NULL_OBSERVER,
+    checker=None,
 ) -> np.ndarray:
     """Per-target CBG error using only the vantage points in ``subset``.
 
@@ -258,6 +259,8 @@ def cbg_errors_for_subsets(
         min_vps: minimum answering vantage points per target (see
             :func:`cbg_centroid_fast`).
         obs: campaign observer, forwarded to :func:`cbg_centroid_fast`.
+        checker: optional :class:`~repro.check.InvariantChecker`, forwarded
+            to the batched kernel (``cbg.containment`` verification).
 
     Returns:
         Array of error distances (km), NaN where CBG had no usable answer.
@@ -269,6 +272,7 @@ def cbg_errors_for_subsets(
     :func:`repro.core.cbg_batch.cbg_errors_for_subsets_loop` and pinned by
     the parity suite).
     """
+    from repro.check.invariants import NULL_CHECKER
     from repro.core.cbg_batch import cbg_errors_batch
 
     return cbg_errors_batch(
@@ -281,4 +285,5 @@ def cbg_errors_for_subsets(
         soi_fraction,
         min_vps=min_vps,
         obs=obs,
+        checker=checker if checker is not None else NULL_CHECKER,
     )

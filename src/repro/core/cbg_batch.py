@@ -85,6 +85,7 @@ from typing import Callable, Optional, Tuple
 
 import numpy as np
 
+from repro.check.invariants import NULL_CHECKER
 from repro.constants import EARTH_RADIUS_KM, MAX_GREAT_CIRCLE_KM, SOI_FRACTION_CBG
 from repro.core.cbg import _GRID_BEARINGS, _GRID_FRACTIONS, cbg_centroid_fast
 from repro.obs.observer import NULL_OBSERVER
@@ -742,6 +743,7 @@ def cbg_errors_batch(
     soi_fraction: float = SOI_FRACTION_CBG,
     min_vps: int = 1,
     obs=NULL_OBSERVER,
+    checker=NULL_CHECKER,
 ) -> np.ndarray:
     """Batched equivalent of the per-target campaign error loop.
 
@@ -749,9 +751,26 @@ def cbg_errors_batch(
     great-circle error against the ground truth, using the same scalar
     haversine as the reference loop (bitwise-equal error values).
 
+    An armed ``checker`` verifies ``cbg.containment`` here — this is the
+    one site with both the constraint inputs and the ground truth in hand:
+    every answered constraint disk (at >= 2/3 c) must contain the true
+    target, up to the registered-location jitter slack.
+
     Returns:
         Array of error distances (km), NaN where CBG had no usable answer.
     """
+    if checker.enabled:
+        sub = np.arange(np.asarray(vp_lats).shape[0]) if subset is None else subset
+        checker.check_cbg_containment(
+            np.asarray(vp_lats)[sub],
+            np.asarray(vp_lons)[sub],
+            np.asarray(rtt_matrix)[sub],
+            target_lats,
+            target_lons,
+            soi_fraction,
+            f"cbg_errors_batch ({np.asarray(sub).size} VPs, "
+            f"{np.asarray(rtt_matrix).shape[1]} targets)",
+        )
     est_lats, est_lons = cbg_centroids_batch(
         vp_lats,
         vp_lons,

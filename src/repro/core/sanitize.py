@@ -60,9 +60,18 @@ def sanitize_anchors(
     """
     if mesh_rtt_ms.shape != (len(anchor_ids), len(anchor_ids)):
         raise ValueError("mesh matrix shape does not match anchor list")
+    if len(anchor_ids) == 0:
+        # An empty mesh sanitizes to an empty anchor set (the argmax-based
+        # removal loop below would raise on a zero-length count vector).
+        return [], []
     minimum = _pairwise_min_rtt_ms(locations)
     with np.errstate(invalid="ignore"):
-        violations = mesh_rtt_ms < (minimum - VIOLATION_TOLERANCE_MS)
+        # A negative RTT is impossible regardless of geometry: flag it even
+        # between co-located hosts, where minimum - tolerance is negative
+        # and the distance test alone would let small negative values pass.
+        violations = (mesh_rtt_ms < (minimum - VIOLATION_TOLERANCE_MS)) | (
+            mesh_rtt_ms < 0.0
+        )
     violations &= ~np.isnan(mesh_rtt_ms)
     np.fill_diagonal(violations, False)
 
@@ -113,7 +122,9 @@ def sanitize_probes(
         minimum = distances * (2.0 / (SOI_FRACTION_CBG * 299_792.458) * 1000.0)
         rtts = probe_to_anchor_rtt_ms[row, :]
         with np.errstate(invalid="ignore"):
-            violation = (rtts < (minimum - VIOLATION_TOLERANCE_MS)) & ~np.isnan(rtts)
+            violation = (
+                (rtts < (minimum - VIOLATION_TOLERANCE_MS)) | (rtts < 0.0)
+            ) & ~np.isnan(rtts)
         if violation.any():
             removed.append(probe_id)
         else:

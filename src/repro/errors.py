@@ -15,6 +15,19 @@ class ConfigurationError(ReproError):
     """A world, platform, or algorithm was configured with invalid values."""
 
 
+class InvariantViolation(ReproError):
+    """A runtime correctness invariant failed (see :mod:`repro.check`).
+
+    Raised by an :class:`repro.check.InvariantChecker` in raise mode when a
+    registered physics/accounting invariant — RTT above the speed-of-
+    Internet floor, monotone traceroute hops, credit conservation, CBG
+    containment of the ground truth, cache digest integrity, executor
+    parity — does not hold. The violation has already been recorded on the
+    campaign observer (an ``invariant-violation`` event plus ``check.*``
+    counters) by the time this propagates.
+    """
+
+
 class MeasurementError(ReproError):
     """A measurement could not be scheduled or executed."""
 

@@ -112,6 +112,7 @@ def parallel_map(
     workers: Optional[int] = None,
     chunksize: Optional[int] = None,
     obs=None,
+    checker=None,
 ) -> List[R]:
     """Map ``fn`` over ``items``, preserving order.
 
@@ -128,6 +129,13 @@ def parallel_map(
             the merged snapshot is absorbed into this observer after the
             map — the serial path records on it live, as always. A
             :class:`~repro.obs.NullObserver` (or ``None``) costs nothing.
+        checker: optional :class:`~repro.check.InvariantChecker`. When
+            armed and the run actually forked, the first item is re-run
+            serially in the parent afterwards and compared against the
+            worker's result (``exec.item_parity``) — a spot check that the
+            fork inherited identical campaign state. The re-run's
+            observability is captured and discarded so the live streams
+            stay byte-identical to an unchecked run.
 
     Returns:
         ``[fn(item) for item in items]`` — by construction in the serial
@@ -146,7 +154,9 @@ def parallel_map(
         chunksize = default_chunksize(len(work), workers)
     if obs is None or not getattr(obs, "enabled", False):
         with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
-            return list(pool.map(fn, work, chunksize=chunksize))
+            results = list(pool.map(fn, work, chunksize=chunksize))
+        _check_item_parity(fn, work, results, obs, checker)
+        return results
 
     from repro.obs.snapshot import merge_snapshots
 
@@ -160,4 +170,68 @@ def parallel_map(
     finally:
         _OBSERVED_CTX.clear()
     obs.absorb(merge_snapshots(*(snapshot for _result, snapshot in pairs)))
-    return [result for result, _snapshot in pairs]
+    results = [result for result, _snapshot in pairs]
+    _check_item_parity(fn, work, results, obs, checker)
+    return results
+
+
+def _results_agree(a, b) -> bool:
+    """Structural equality that treats NaNs as equal (numpy-aware).
+
+    Work items legitimately return NaN for "no estimate" — a plain ``==``
+    on those would flag byte-identical results as divergent.
+    """
+    import dataclasses
+
+    import numpy as np
+
+    if (
+        dataclasses.is_dataclass(a)
+        and not isinstance(a, type)
+        and dataclasses.is_dataclass(b)
+        and not isinstance(b, type)
+    ):
+        return type(a) is type(b) and all(
+            _results_agree(getattr(a, f.name), getattr(b, f.name))
+            for f in dataclasses.fields(a)
+        )
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        a_arr, b_arr = np.asarray(a), np.asarray(b)
+        return a_arr.shape == b_arr.shape and bool(
+            np.array_equal(a_arr, b_arr, equal_nan=True)
+        )
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return type(a) is type(b) and len(a) == len(b) and all(
+            _results_agree(x, y) for x, y in zip(a, b)
+        )
+    if isinstance(a, dict) and isinstance(b, dict):
+        return a.keys() == b.keys() and all(
+            _results_agree(a[key], b[key]) for key in a
+        )
+    if isinstance(a, float) and isinstance(b, float):
+        return a == b or (a != a and b != b)
+    return a == b
+
+
+def _check_item_parity(fn, work, results, obs, checker) -> None:
+    """``exec.item_parity``: re-run item 0 in the parent, compare bytes.
+
+    Only meaningful after an actual fork (the serial path *is* the
+    reference). When the campaign is observed, the re-run happens inside a
+    throwaway :class:`~repro.obs.snapshot.CaptureScope` whose snapshot is
+    discarded, so the live metrics/event/span streams are untouched.
+    """
+    if checker is None or not checker.enabled or not work:
+        return
+    if obs is not None and getattr(obs, "enabled", False):
+        from repro.obs.snapshot import CaptureScope
+
+        with CaptureScope(obs, 0):
+            replay = fn(work[0])
+    else:
+        replay = fn(work[0])
+    label = getattr(fn, "__name__", repr(fn))
+    checker.check_exec_parity(
+        _results_agree(replay, results[0]),
+        f"parallel_map({label}) item 0 of {len(work)}",
+    )

@@ -61,6 +61,7 @@ def _trial_median(trial: int) -> Optional[float]:
         ctx["target_lons"],
         np.sort(subset),
         obs=ctx["obs"],
+        checker=ctx["checker"],
     )
     defined = errors[~np.isnan(errors)]
     if defined.size:
@@ -86,10 +87,13 @@ def _subset_median_errors(
         target_lats=scenario.target_true_lats,
         target_lons=scenario.target_true_lons,
         obs=scenario.obs,
+        checker=scenario.checker,
     )
     # Observed trials fan out like unobserved ones: worker-side capture +
     # deterministic merge keeps the campaign counters complete either way.
-    results = parallel_map(_trial_median, range(trials), obs=scenario.obs)
+    results = parallel_map(
+        _trial_median, range(trials), obs=scenario.obs, checker=scenario.checker
+    )
     return [result for result in results if result is not None]
 
 
@@ -212,6 +216,7 @@ def run_fig2c(
             scenario.target_true_lats,
             scenario.target_true_lons,
             np.arange(len(scenario.vps)),
+            checker=scenario.checker,
         )
 
     rows = []

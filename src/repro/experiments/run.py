@@ -24,6 +24,13 @@ uses the zero-cost :class:`~repro.obs.NullObserver` and behaves exactly as
 before. Observed runs fan out across ``REPRO_WORKERS`` like unobserved
 ones: worker-side capture plus a deterministic merge keeps the streams
 byte-identical to a serial run.
+
+``--check`` arms the :mod:`repro.check` invariant checker (equivalent to
+``REPRO_CHECK=1``): physics and accounting invariants are verified inline
+and any violation aborts the run. ``--selfcheck`` runs the differential
+self-verification harness — batched vs per-target CBG, serial vs parallel
+execution, cold vs warm artifact cache — and exits non-zero if any pair
+of paths diverges (see ``docs/CORRECTNESS.md``).
 """
 
 from __future__ import annotations
@@ -107,12 +114,14 @@ def main(argv: Optional[list] = None) -> int:
     )
     parser.add_argument(
         "experiment",
+        nargs="?",
         choices=sorted(registry) + ["all"],
-        help="experiment id, or 'all' to run everything",
+        help="experiment id, or 'all' to run everything "
+        "(optional with --selfcheck)",
     )
     parser.add_argument(
         "--preset",
-        choices=["paper", "small"],
+        choices=["paper", "small", "quick"],
         default="paper",
         help="world scale (default: paper)",
     )
@@ -170,7 +179,22 @@ def main(argv: Optional[list] = None) -> int:
         action="store_true",
         help="ignore REPRO_CACHE_DIR and rebuild everything",
     )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="arm the repro.check invariant checker for this run "
+        "(equivalent to REPRO_CHECK=1)",
+    )
+    parser.add_argument(
+        "--selfcheck",
+        action="store_true",
+        help="run the differential self-verification harness (batched vs "
+        "per-target CBG, serial vs parallel, cold vs warm cache) and exit "
+        "non-zero on any divergence",
+    )
     args = parser.parse_args(argv)
+    if args.experiment is None and not args.selfcheck:
+        parser.error("an experiment id is required unless --selfcheck is given")
 
     # The artifact cache is wired through the environment variable so the
     # flags and REPRO_CACHE_DIR behave identically downstream.
@@ -180,6 +204,18 @@ def main(argv: Optional[list] = None) -> int:
         os.environ.pop("REPRO_CACHE_DIR", None)
     elif args.cache_dir is not None:
         os.environ["REPRO_CACHE_DIR"] = args.cache_dir
+    if args.check:
+        os.environ["REPRO_CHECK"] = "1"
+
+    if args.selfcheck:
+        from repro.check.diff import run_selfcheck
+
+        report = run_selfcheck(preset=args.preset, seed=args.seed)
+        print(report.render())
+        if args.experiment is None:
+            return 0 if report.ok else 1
+        if not report.ok:
+            return 1
 
     observer = None
     if (
@@ -253,6 +289,7 @@ def _write_run_dir(args, scenario, observer, names, started, outcome):
     import time
     from pathlib import Path
 
+    from repro.check.invariants import check_enabled
     from repro.exec import worker_count
     from repro.obs.rundir import RunManifest, write_run_dir
 
@@ -264,6 +301,7 @@ def _write_run_dir(args, scenario, observer, names, started, outcome):
         cache_dir=os.environ.get("REPRO_CACHE_DIR") or None,
         wall_s=time.perf_counter() - started,
         outcome=outcome,
+        check_mode="on" if check_enabled() else "off",
     )
     return write_run_dir(Path(args.run_dir), observer, manifest)
 

@@ -25,6 +25,7 @@ import numpy as np
 from repro.atlas.client import AtlasClient
 from repro.atlas.platform import AtlasPlatform, ProbeInfo
 from repro.atlas.resilient import ResilientClient, RetryPolicy
+from repro.check.invariants import NULL_CHECKER, check_enabled, checker_from_env
 from repro.core.million_scale import representative_rtt_matrix
 from repro.core.sanitize import sanitize_anchors, sanitize_probes
 from repro.faults import FaultInjector, FaultPlan
@@ -51,6 +52,8 @@ class Scenario:
     removed_probe_ids: List[int] = field(default_factory=list)
     #: campaign observer (the platform's; :data:`NULL_OBSERVER` by default).
     obs: object = field(default=NULL_OBSERVER, repr=False, compare=False)
+    #: invariant checker (the platform's; :data:`NULL_CHECKER` by default).
+    checker: object = field(default=NULL_CHECKER, repr=False, compare=False)
     #: artifact cache and this scenario's content address (``None`` → off).
     cache: Optional[object] = field(default=None, repr=False, compare=False)
     cache_key: Optional[str] = field(default=None, repr=False, compare=False)
@@ -262,10 +265,13 @@ class Scenario:
         fault sets of :meth:`FaultPlan.at_rate` plans are nested across
         rates — coverage can only shrink as the rate grows.
 
-        The scenario's observer is threaded through, so fault injections
-        and retries on the faulty view land in the same campaign stream.
+        The scenario's observer and invariant checker are threaded through,
+        so fault injections, retries, and physics checks on the faulty view
+        land in the same campaign stream.
         """
-        platform = AtlasPlatform(self.world, faults=FaultInjector(plan), obs=self.obs)
+        platform = AtlasPlatform(
+            self.world, faults=FaultInjector(plan), obs=self.obs, checker=self.checker
+        )
         return ResilientClient(AtlasClient(platform), policy=policy)
 
     # --- construction -------------------------------------------------------------
@@ -277,6 +283,7 @@ class Scenario:
         faults: Optional[FaultInjector] = None,
         obs=NULL_OBSERVER,
         cache=None,
+        checker=None,
     ) -> "Scenario":
         """Run the full §4 dataset pipeline for a world configuration.
 
@@ -294,17 +301,27 @@ class Scenario:
                 written to) disk, and the lazy campaign matrices are cached
                 too. Fault-injected builds bypass it — their measurements
                 depend on the weather, not just the config.
+            checker: optional :class:`~repro.check.InvariantChecker`.
+                ``None`` resolves from the ``REPRO_CHECK`` environment knob
+                (:func:`~repro.check.checker_from_env`, with tolerances
+                derived from this config); the resolved checker is threaded
+                into the platform, ledger, cache, and every campaign run
+                against the scenario.
         """
+        if checker is None:
+            checker = checker_from_env(obs=obs, config=config)
         if faults is not None:
             cache = None
         cache_key = None
         if cache is not None:
             from repro.cache.artifacts import config_key
 
+            if checker.enabled:
+                cache.checker = checker
             cache_key = config_key(config)
 
         world = build_world(config)
-        platform = AtlasPlatform(world, faults=faults, obs=obs)
+        platform = AtlasPlatform(world, faults=faults, obs=obs, checker=checker)
         client = AtlasClient(platform) if faults is None else ResilientClient(AtlasClient(platform))
 
         cached = cache.load("sanitize", cache_key) if cache is not None else None
@@ -371,24 +388,50 @@ class Scenario:
             removed_anchor_ids=removed_anchor_ids,
             removed_probe_ids=removed_probe_ids,
             obs=obs,
+            checker=checker,
             cache=cache,
             cache_key=cache_key,
         )
 
 
-_SCENARIO_CACHE: Dict[Tuple[str, int], Scenario] = {}
+def config_for_preset(preset: str, seed: Optional[int] = None) -> WorldConfig:
+    """The :class:`WorldConfig` behind a scenario preset name.
+
+    Args:
+        preset: ``"paper"``, ``"small"``, or ``"quick"``.
+        seed: override the preset's default seed.
+
+    Raises:
+        ValueError: for unknown presets.
+    """
+    factories = {
+        "paper": WorldConfig.paper,
+        "small": WorldConfig.small,
+        "quick": WorldConfig.quick,
+    }
+    factory = factories.get(preset)
+    if factory is None:
+        raise ValueError(f"unknown scenario preset: {preset!r}")
+    return factory() if seed is None else factory(seed)
+
+
+_SCENARIO_CACHE: Dict[Tuple[str, int, bool], Scenario] = {}
 
 
 def get_scenario(
     preset: str = "paper", seed: Optional[int] = None, obs=None
 ) -> Scenario:
-    """A cached scenario for a preset ("paper" or "small").
+    """A cached scenario for a preset ("paper", "small", or "quick").
 
     When ``REPRO_CACHE_DIR`` is set, builds go through the persistent
     :class:`~repro.cache.ArtifactCache` rooted there: measurement artifacts
     (anchor mesh, sanitized id sets, campaign matrices) are replayed from
     disk on warm starts and written on cold ones — byte-identical either
-    way. The in-memory per-(preset, seed) memo is independent of it.
+    way. The in-memory per-(preset, seed, check-mode) memo is independent
+    of it; the check mode is part of the key so that a ``REPRO_CHECK=1``
+    run never reuses a scenario whose build skipped the invariant checks
+    (and vice versa — a checked scenario keeps checking campaigns run
+    against it).
 
     Args:
         preset: which :class:`WorldConfig` factory to use.
@@ -403,15 +446,10 @@ def get_scenario(
     """
     from repro.cache import cache_from_env
 
-    if preset == "paper":
-        config = WorldConfig.paper() if seed is None else WorldConfig.paper(seed)
-    elif preset == "small":
-        config = WorldConfig.small() if seed is None else WorldConfig.small(seed)
-    else:
-        raise ValueError(f"unknown scenario preset: {preset!r}")
+    config = config_for_preset(preset, seed)
     if obs is not None:
         return Scenario.build(config, obs=obs, cache=cache_from_env(obs))
-    key = (preset, config.seed)
+    key = (preset, config.seed, check_enabled())
     scenario = _SCENARIO_CACHE.get(key)
     if scenario is None:
         scenario = Scenario.build(config, cache=cache_from_env())

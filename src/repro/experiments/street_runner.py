@@ -131,7 +131,9 @@ def street_level_records(
     # Observed campaigns fan out too: workers capture per-target
     # counters/events/spans and the executor folds them back into the
     # live observer, byte-identical to a serial observed run.
-    records = parallel_map(_street_target, range(len(targets)), obs=pipeline.obs)
+    records = parallel_map(
+        _street_target, range(len(targets)), obs=pipeline.obs, checker=scenario.checker
+    )
 
     if config is None:
         _CACHE[key] = records

@@ -23,8 +23,7 @@ from typing import Callable, Dict, List, Sequence
 
 from repro.analysis import format_table
 from repro.experiments.base import ExperimentOutput
-from repro.experiments.scenario import Scenario
-from repro.world.config import WorldConfig
+from repro.experiments.scenario import Scenario, config_for_preset
 
 
 @dataclass
@@ -116,12 +115,8 @@ def seed_sweep(
     Returns:
         A :class:`SweepSummary` aggregating every measured statistic.
     """
-    if preset == "paper":
-        configs = [WorldConfig.paper(seed) for seed in seeds]
-    elif preset == "small":
-        configs = [WorldConfig.small(seed) for seed in seeds]
-    else:
-        raise ValueError(f"unknown preset {preset!r}")
+    config_for_preset(preset)  # reject unknown presets even for empty sweeps
+    configs = [config_for_preset(preset, seed) for seed in seeds]
 
     summary = SweepSummary(experiment_id="?", seeds=list(seeds))
     for config in configs:

@@ -33,6 +33,8 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro import rand
+from repro.check.invariants import NULL_CHECKER
+from repro.geo.coords import bulk_haversine_km
 from repro.latency.speed import SOI_KM_PER_MS
 from repro.topology.graph import HostNetParams, Topology
 from repro.topology.routing import build_route
@@ -96,11 +98,25 @@ class TraceObservation:
 
 
 class LatencyModel:
-    """Computes what measurements between world hosts observe."""
+    """Computes what measurements between world hosts observe.
 
-    def __init__(self, world: World, topology: Topology) -> None:
+    Args:
+        world: the simulated world.
+        topology: the routing topology over it.
+        checker: optional :class:`~repro.check.InvariantChecker`. When
+            armed, every produced measurement is verified against the
+            physics invariants (``rtt.soi_bound`` on ping paths,
+            ``trace.hop_delta`` plus the destination SOI bound on
+            traceroutes). The default :data:`~repro.check.NULL_CHECKER`
+            costs one attribute read per call.
+    """
+
+    def __init__(
+        self, world: World, topology: Topology, checker=NULL_CHECKER
+    ) -> None:
         self.world = world
         self.topology = topology
+        self.checker = checker
         config = world.config
         self._fiber_min = config.fiber_factor_min
         self._fiber_span = config.fiber_factor_max - config.fiber_factor_min
@@ -160,6 +176,12 @@ class LatencyModel:
             )
             rtts.append(base + jitter)
         received = [rtt for rtt in rtts if rtt is not None]
+        if self.checker.enabled and received:
+            self.checker.check_soi_bound(
+                received,
+                src.true_location.distance_km(dst.true_location),
+                f"ping {src.ip}->{dst.ip} seq={seq}",
+            )
         return PingObservation(
             src.ip, dst.ip, tuple(rtts), min(received) if received else None
         )
@@ -209,6 +231,17 @@ class LatencyModel:
             )
             rtt = np.where(lost, np.nan, base + jitter)
             best = np.fmin(best, rtt)
+        if self.checker.enabled:
+            self.checker.check_soi_bound(
+                best,
+                bulk_haversine_km(
+                    self.world.host_true_lats[src_ids],
+                    self.world.host_true_lons[src_ids],
+                    dst.true_location.lat,
+                    dst.true_location.lon,
+                ),
+                f"bulk_min_rtt dst={dst.ip} seq={seq}",
+            )
         return best
 
     # --- traceroute -----------------------------------------------------------
@@ -234,6 +267,7 @@ class LatencyModel:
             propagation = 2.0 * hop.cumulative_km * fiber / SOI_KM_PER_MS
             if is_destination:
                 if not dst.responsive:
+                    self._check_trace(src, dst, seq, hops, destination_rtt=None)
                     return TraceObservation(src.ip, dst.ip, tuple(hops), reached=False)
                 jitter = -self._jitter_mean * math.log(
                     max(rand.uniform(("jit", seq, 0, pk)), 1e-12)
@@ -252,7 +286,32 @@ class LatencyModel:
                     propagation + src_params.last_mile_ms + noise + spike, 0.01
                 )
             hops.append(TraceHop(hop.ip, rtt))
+        self._check_trace(
+            src, dst, seq, hops, destination_rtt=hops[-1].rtt_ms if hops else None
+        )
         return TraceObservation(src.ip, dst.ip, tuple(hops), reached=True)
+
+    def _check_trace(
+        self,
+        src: Host,
+        dst: Host,
+        seq: int,
+        hops: List[TraceHop],
+        destination_rtt: Optional[float],
+    ) -> None:
+        """Armed-checker verification of one traceroute's hop sequence."""
+        if not self.checker.enabled or not hops:
+            return
+        context = f"traceroute {src.ip}->{dst.ip} seq={seq}"
+        self.checker.check_trace_hops([hop.rtt_ms for hop in hops], context)
+        if destination_rtt is not None:
+            # The destination hop is a full round trip and must respect
+            # the same physics floor as a ping.
+            self.checker.check_soi_bound(
+                destination_rtt,
+                src.true_location.distance_km(dst.true_location),
+                context,
+            )
 
     # --- convenience -----------------------------------------------------------
 

@@ -39,6 +39,8 @@ CACHE_HIT = "cache-hit"
 CACHE_MISS = "cache-miss"
 #: A rate limiter made a caller wait (or fail) for a slot.
 RATE_LIMIT_WAIT = "rate-limit-wait"
+#: A runtime correctness invariant failed (see :mod:`repro.check`).
+INVARIANT_VIOLATION = "invariant-violation"
 
 #: The closed event taxonomy (see docs/OBSERVABILITY.md).
 EVENT_TYPES = frozenset(
@@ -53,6 +55,7 @@ EVENT_TYPES = frozenset(
         CACHE_HIT,
         CACHE_MISS,
         RATE_LIMIT_WAIT,
+        INVARIANT_VIOLATION,
     }
 )
 

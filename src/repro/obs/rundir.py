@@ -87,6 +87,11 @@ class RunManifest:
         wall_s: real elapsed seconds for the run.
         sim_s: simulated seconds on the campaign clock.
         outcome: ``"ok"``, or ``"error: ..."`` when the run aborted.
+        check_mode: ``"on"`` when the run executed under the
+            :mod:`repro.check` invariant checker (``REPRO_CHECK``/
+            ``--check``), else ``"off"`` — results produced under an armed
+            checker carry a stronger correctness claim, and an aborted
+            checked run points at an invariant violation.
         started_at: UTC ISO-8601 wall timestamp (provenance only — never
             part of any byte-identical artifact).
     """
@@ -100,6 +105,7 @@ class RunManifest:
     wall_s: float
     sim_s: float
     outcome: str
+    check_mode: str = "off"
     versions: Dict[str, str] = field(default_factory=package_versions)
     git_rev: Optional[str] = field(default_factory=git_revision)
     started_at: str = field(
@@ -116,6 +122,7 @@ class RunManifest:
         cache_dir: Optional[str],
         wall_s: float,
         outcome: str,
+        check_mode: str = "off",
     ) -> "RunManifest":
         """Build a manifest from a scenario's config, clock, and knobs."""
         from repro.cache.artifacts import config_key
@@ -131,6 +138,7 @@ class RunManifest:
             wall_s=wall_s,
             sim_s=float(clock.now_s) if clock is not None else 0.0,
             outcome=outcome,
+            check_mode=check_mode,
         )
 
     def to_dict(self) -> Dict[str, object]:

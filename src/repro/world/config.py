@@ -251,3 +251,25 @@ class WorldConfig:
             underpopulated_prefixes=2,
             total_ases=220,
         )
+
+    @classmethod
+    def quick(cls, seed: int = 11) -> "WorldConfig":
+        """A tiny world for self-checks: ~20 anchors, ~220 probes.
+
+        Small enough that a fully *checked* campaign (``REPRO_CHECK=1``)
+        plus the differential harness finishes in CI seconds, while still
+        exercising every continent, mis-geolocated hosts, and an
+        underpopulated prefix.
+        """
+        return cls(
+            seed=seed,
+            cities_per_continent={"EU": 16, "NA": 10, "AS": 10, "SA": 6, "OC": 4, "AF": 6},
+            countries_per_continent={"EU": 4, "NA": 3, "AS": 3, "SA": 2, "OC": 2, "AF": 2},
+            hubs_per_continent=2,
+            anchor_quotas={"EU": 8, "NA": 4, "AS": 4, "SA": 2, "OC": 1, "AF": 1},
+            bad_anchors=1,
+            probes_total=220,
+            bad_probes=4,
+            underpopulated_prefixes=1,
+            total_ases=120,
+        )

@@ -38,3 +38,15 @@ def small_client(small_platform: AtlasPlatform) -> AtlasClient:
 def small_scenario() -> Scenario:
     """The sanitized small scenario (cached by the experiments layer)."""
     return get_scenario("small")
+
+
+@pytest.fixture(scope="session")
+def selfcheck_report():
+    """One differential self-check run over the quick preset.
+
+    Session-scoped because the harness builds (and caches twice) a quick
+    scenario; tests assert on the report rather than re-running pairs.
+    """
+    from repro.check.diff import run_selfcheck
+
+    return run_selfcheck(preset="quick", trials=2)

@@ -1,0 +1,49 @@
+"""Tests for the appendix B D1+D2 estimate-vs-truth experiment."""
+
+import math
+
+import pytest
+
+from repro.experiments.appendix_b import EXPECTED, run_appendix_b
+
+
+@pytest.fixture(scope="module")
+def output(small_scenario):
+    # Tiny parameters: enough triples to exercise every code path without
+    # tracerouting the whole anchor set.
+    return run_appendix_b(
+        small_scenario, targets=6, landmarks_per_target=4, vps_per_pair=3
+    )
+
+
+class TestRunAppendixB:
+    def test_measured_keys_match_expected(self, output):
+        assert output.experiment_id == "appendixb"
+        assert set(output.measured) == set(EXPECTED)
+
+    def test_statistics_are_finite_and_sane(self, output):
+        negative_fraction = output.measured["negative_fraction_below"]
+        assert 0.0 <= negative_fraction <= 1.0
+        ratio = output.measured["median_abs_log_ratio_above"]
+        assert math.isfinite(ratio)
+        assert ratio >= 0.0
+
+    def test_series_aligned(self, output):
+        estimates = output.series["estimate_ms"]
+        truths = output.series["truth_ms"]
+        assert len(estimates) == len(truths)
+        assert len(estimates) > 0
+        # Usable estimates are positive by definition; truths are RTTs.
+        assert all(value > 0 for value in truths)
+
+    def test_report_renders(self, output):
+        text = output.render()
+        assert "negative (unusable) fraction" in text
+        assert "D1+D2" in text
+
+    def test_deterministic_across_invocations(self, small_scenario, output):
+        again = run_appendix_b(
+            small_scenario, targets=6, landmarks_per_target=4, vps_per_pair=3
+        )
+        assert again.series["estimate_ms"] == output.series["estimate_ms"]
+        assert again.measured == output.measured

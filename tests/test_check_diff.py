@@ -1,0 +1,183 @@
+"""Differential harness tests: agreement on healthy paths, failure on broken ones.
+
+Two halves:
+
+* the harness *passes* on the real substrate — all three paired paths
+  (batched vs loop CBG, serial vs parallel execution, cold vs warm cache)
+  agree bitwise, the CLI ``--selfcheck`` exits 0;
+* the harness *fails* when a path is deliberately broken — each pair is
+  monkeypatched with a divergent implementation and must report the
+  divergence (a self-check that cannot fail proves nothing).
+
+Plus the end-to-end injected-violation test: with ``REPRO_CHECK=1`` and a
+latency model patched to return impossible RTTs, a quick campaign must
+abort with :class:`~repro.errors.InvariantViolation`, surface the
+violation in the event stream, and record the aborted checked run in the
+run-dir manifest.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.check.diff import (
+    diff_batch_vs_loop,
+    diff_cold_vs_warm_cache,
+    diff_serial_vs_parallel,
+)
+from repro.errors import InvariantViolation
+from repro.experiments import run as run_cli
+from repro.experiments.scenario import Scenario, config_for_preset
+
+
+@pytest.fixture(scope="module")
+def quick_scenario():
+    return Scenario.build(config_for_preset("quick"))
+
+
+class TestHealthyPaths:
+    def test_selfcheck_report_all_ok(self, selfcheck_report):
+        assert selfcheck_report.ok
+        assert len(selfcheck_report.outcomes) == 3
+        assert {o.pair for o in selfcheck_report.outcomes} == {
+            "cbg: batch vs loop",
+            "exec: serial vs parallel",
+            "cache: cold vs warm",
+        }
+        for outcome in selfcheck_report.outcomes:
+            assert outcome.compared > 0
+
+    def test_report_renders_verdict(self, selfcheck_report):
+        text = selfcheck_report.render()
+        assert "all paths agree" in text
+        assert "DIVERGED" not in text
+
+    def test_cli_selfcheck_exits_zero(self, capsys):
+        assert run_cli.main(["--selfcheck", "--preset", "quick"]) == 0
+        assert "all paths agree" in capsys.readouterr().out
+
+    def test_cli_requires_experiment_or_selfcheck(self, capsys):
+        with pytest.raises(SystemExit):
+            run_cli.main(["--preset", "quick"])
+        assert "--selfcheck" in capsys.readouterr().err
+
+
+def _perturbed_batch(original):
+    def broken(*args, **kwargs):
+        return original(*args, **kwargs) + 1.0
+
+    return broken
+
+
+def _env_dependent_trial(trial):
+    """Stands in for ``fig2._trial_median``: diverges only under workers.
+
+    Module-level so forked pool workers can unpickle it by reference. The
+    serial leg of the diff runs with ``REPRO_WORKERS`` unset and sees the
+    clean value; the parallel leg sets it and sees the perturbed one.
+    """
+    from repro.experiments import fig2
+
+    value = fig2._TRIAL_CTX["size"] * 10.0 + trial
+    if os.environ.get("REPRO_WORKERS"):
+        value += 0.125
+    return value
+
+
+class TestBrokenPaths:
+    def test_broken_batch_kernel_is_caught(self, quick_scenario, monkeypatch):
+        from repro.core import cbg_batch
+
+        monkeypatch.setattr(
+            cbg_batch,
+            "cbg_errors_batch",
+            _perturbed_batch(cbg_batch.cbg_errors_batch),
+        )
+        outcome = diff_batch_vs_loop(quick_scenario)
+        assert not outcome.ok
+        assert "diverges" in outcome.detail
+
+    def test_broken_parallel_path_is_caught(self, quick_scenario, monkeypatch):
+        from repro.experiments import fig2
+
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        monkeypatch.setattr(fig2, "_trial_median", _env_dependent_trial)
+        outcome = diff_serial_vs_parallel(quick_scenario, trials=2, workers=2)
+        assert not outcome.ok
+        assert "diverges" in outcome.detail
+
+    def test_broken_cache_is_caught(self, monkeypatch):
+        from repro.cache.artifacts import ArtifactCache
+
+        monkeypatch.setattr(ArtifactCache, "load", lambda self, kind, key: None)
+        outcome = diff_cold_vs_warm_cache(config_for_preset("quick"))
+        assert not outcome.ok
+        assert "never hit the cache" in outcome.detail
+
+    def test_cli_selfcheck_exits_nonzero_on_divergence(self, monkeypatch, capsys):
+        from repro.core import cbg_batch
+
+        monkeypatch.setattr(
+            cbg_batch,
+            "cbg_errors_batch",
+            _perturbed_batch(cbg_batch.cbg_errors_batch),
+        )
+        assert run_cli.main(["--selfcheck", "--preset", "quick"]) == 1
+        out = capsys.readouterr().out
+        assert "DIVERGED" in out
+        assert "DIVERGENCE" in out
+
+
+def _rtt_scaling_patch(monkeypatch, factor=0.1):
+    """Scale campaign RTTs (seq 0) to physically impossible values.
+
+    The anchor mesh (seq 999) and probe sanitization (seq 7) stay intact,
+    so the scenario builds cleanly; only the experiment campaign violates
+    the speed of Internet. The in-model SOI check runs on the unscaled
+    values, so the violation surfaces downstream — in CBG containment.
+    """
+    from repro.latency.model import LatencyModel
+
+    original = LatencyModel.bulk_min_rtt
+
+    def broken(self, src_host_ids, dst, packets=3, seq=0):
+        result = original(self, src_host_ids, dst, packets=packets, seq=seq)
+        return result * factor if seq == 0 else result
+
+    monkeypatch.setattr(LatencyModel, "bulk_min_rtt", broken)
+
+
+class TestInjectedViolation:
+    def test_checked_campaign_aborts_and_documents(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CHECK", "1")
+        _rtt_scaling_patch(monkeypatch)
+        run_dir = tmp_path / "run"
+        with pytest.raises(InvariantViolation) as excinfo:
+            run_cli.main(
+                [
+                    "fig2a",
+                    "--preset",
+                    "quick",
+                    "--trials",
+                    "1",
+                    "--run-dir",
+                    str(run_dir),
+                ]
+            )
+        assert "cbg.containment" in str(excinfo.value)
+
+        manifest = json.loads((run_dir / "manifest.json").read_text())
+        assert manifest["check_mode"] == "on"
+        assert manifest["outcome"].startswith("error: InvariantViolation")
+        events = (run_dir / "events.jsonl").read_text()
+        assert "invariant-violation" in events
+        assert manifest["events"]["by_type"].get("invariant-violation", 0) >= 1
+
+    def test_clean_checked_campaign_passes(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CHECK", "1")
+        assert (
+            run_cli.main(["fig2a", "--preset", "quick", "--trials", "2"]) == 0
+        )
+        assert "CBG median error" in capsys.readouterr().out

@@ -1,0 +1,347 @@
+"""Unit tests for the repro.check invariant checker itself."""
+
+import numpy as np
+import pytest
+
+from repro.check import (
+    INVARIANTS,
+    NULL_CHECKER,
+    InvariantChecker,
+    NullChecker,
+    check_enabled,
+    checker_from_env,
+)
+from repro.check.invariants import EXPONENTIAL_CAP_FACTOR
+from repro.errors import InvariantViolation
+from repro.obs import Observer
+from repro.obs.events import EVENT_TYPES, INVARIANT_VIOLATION
+from repro.world.config import WorldConfig
+
+
+class TestCheckEnabled:
+    @pytest.mark.parametrize("value", ["1", "true", "YES", " on "])
+    def test_armed_values(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_CHECK", value)
+        assert check_enabled() is True
+
+    @pytest.mark.parametrize("value", ["", "0", "false", "No", "off"])
+    def test_off_values(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_CHECK", value)
+        assert check_enabled() is False
+
+    def test_unset_is_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHECK", raising=False)
+        assert check_enabled() is False
+
+    def test_garbage_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECK", "maybe")
+        with pytest.raises(ValueError):
+            check_enabled()
+
+
+class TestCheckerFromEnv:
+    def test_off_returns_the_shared_null_checker(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHECK", raising=False)
+        assert checker_from_env() is NULL_CHECKER
+
+    def test_armed_returns_raise_mode_checker(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECK", "1")
+        checker = checker_from_env()
+        assert isinstance(checker, InvariantChecker)
+        assert checker.enabled and checker.raise_on_violation
+
+    def test_config_derives_tolerances(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECK", "1")
+        config = WorldConfig.small()
+        checker = checker_from_env(config=config)
+        expected = (
+            config.hop_spike_mean_ms * EXPONENTIAL_CAP_FACTOR
+            + 12.0 * config.hop_noise_std_ms
+            + 1e-3
+        )
+        assert checker.hop_delta_tolerance_ms == pytest.approx(expected)
+        assert checker.cbg_slack_km == pytest.approx(
+            config.probe_metadata_jitter_max_km + 1.0
+        )
+
+
+class TestViolationPlumbing:
+    def test_raise_mode_raises_after_recording(self):
+        obs = Observer()
+        checker = InvariantChecker(obs=obs)
+        with pytest.raises(InvariantViolation, match="cache.digest"):
+            checker.violation("cache.digest", "boom", artifact="mesh")
+        assert len(checker.violations) == 1
+        assert obs.metrics.counter("check.violations") == 1
+        assert obs.metrics.counter("check.cache.digest.violation") == 1
+        events = [e for e in obs.events if e.etype == INVARIANT_VIOLATION]
+        assert len(events) == 1
+        assert dict(events[0].fields)["invariant"] == "cache.digest"
+
+    def test_record_mode_accumulates(self):
+        checker = InvariantChecker(raise_on_violation=False)
+        checker.violation("cache.digest", "one")
+        checker.violation("exec.item_parity", "two")
+        assert [v["invariant"] for v in checker.violations] == [
+            "cache.digest",
+            "exec.item_parity",
+        ]
+        assert checker.summary()["mode"] == "record"
+
+    def test_unknown_invariant_name_rejected(self):
+        checker = InvariantChecker(raise_on_violation=False)
+        with pytest.raises(ValueError):
+            checker.violation("made.up", "nope")
+
+    def test_event_type_is_registered(self):
+        assert INVARIANT_VIOLATION in EVENT_TYPES
+
+    def test_registry_names_match_checker_reports(self):
+        assert set(INVARIANTS) == {
+            "rtt.soi_bound",
+            "trace.hop_delta",
+            "credits.conservation",
+            "cbg.containment",
+            "cache.digest",
+            "exec.item_parity",
+        }
+
+
+class TestSoiBound:
+    def test_physical_rtts_pass(self):
+        checker = InvariantChecker(raise_on_violation=False)
+        # 1000 km needs >= ~10 ms round trip at 2/3 c.
+        checker.check_soi_bound([12.0, 50.0], [1000.0, 1000.0], "unit")
+        assert checker.passes["rtt.soi_bound"] == 2
+        assert not checker.violations
+
+    def test_nan_skipped(self):
+        checker = InvariantChecker(raise_on_violation=False)
+        checker.check_soi_bound([np.nan, 15.0], [1000.0, 1000.0], "unit")
+        assert checker.passes["rtt.soi_bound"] == 1
+
+    def test_faster_than_light_flagged(self):
+        checker = InvariantChecker(raise_on_violation=False)
+        checker.check_soi_bound([1.0], [1000.0], "unit")
+        assert len(checker.violations) == 1
+        record = checker.violations[0]
+        assert record["invariant"] == "rtt.soi_bound"
+        assert record["rtt_ms"] == 1.0
+
+    def test_scalar_broadcast(self):
+        checker = InvariantChecker(raise_on_violation=False)
+        checker.check_soi_bound(20.0, 1000.0, "unit")
+        assert checker.passes["rtt.soi_bound"] == 1
+
+
+class TestTraceHops:
+    def test_monotone_hops_pass(self):
+        checker = InvariantChecker(raise_on_violation=False)
+        checker.check_trace_hops([1.0, 2.0, 3.0], "unit")
+        assert checker.passes["trace.hop_delta"] == 1
+
+    def test_small_decrease_within_tolerance(self):
+        checker = InvariantChecker(raise_on_violation=False, hop_delta_tolerance_ms=5.0)
+        checker.check_trace_hops([10.0, 6.0, 8.0], "unit")
+        assert not checker.violations
+
+    def test_large_decrease_flagged(self):
+        checker = InvariantChecker(raise_on_violation=False, hop_delta_tolerance_ms=5.0)
+        checker.check_trace_hops([50.0, 10.0], "unit")
+        assert checker.violations[0]["invariant"] == "trace.hop_delta"
+        assert checker.violations[0]["drop_ms"] == pytest.approx(40.0)
+
+    def test_non_positive_hop_flagged(self):
+        checker = InvariantChecker(raise_on_violation=False)
+        checker.check_trace_hops([1.0, -0.5, 2.0], "unit")
+        assert checker.violations[0]["hop"] == 1
+
+    def test_empty_trace_is_noop(self):
+        checker = InvariantChecker(raise_on_violation=False)
+        checker.check_trace_hops([], "unit")
+        assert not checker.passes and not checker.violations
+
+
+class TestLedgerConservation:
+    def test_balanced_books_pass(self):
+        checker = InvariantChecker(raise_on_violation=False)
+        checker.check_ledger(30, 30, 100, "unit")
+        assert checker.passes["credits.conservation"] == 1
+
+    def test_mismatch_flagged(self):
+        checker = InvariantChecker(raise_on_violation=False)
+        checker.check_ledger(30, 25, 100, "unit")
+        assert checker.violations[0]["invariant"] == "credits.conservation"
+
+    def test_over_budget_flagged(self):
+        checker = InvariantChecker(raise_on_violation=False)
+        checker.check_ledger(150, 150, 100, "unit")
+        assert checker.violations
+
+    def test_no_budget_means_unbounded(self):
+        checker = InvariantChecker(raise_on_violation=False)
+        checker.check_ledger(10**9, 10**9, None, "unit")
+        assert not checker.violations
+
+    def test_ledger_tamper_caught_end_to_end(self):
+        from repro.atlas.credits import CreditLedger
+
+        checker = InvariantChecker(raise_on_violation=False)
+        ledger = CreditLedger(checker=checker)
+        ledger.charge(3, "ping")
+        assert not checker.violations
+        # Tamper with the books between charges: the shadow per-kind total
+        # no longer matches the headline counter.
+        ledger._spent += 7
+        ledger.charge(3, "ping")
+        assert checker.violations
+        assert checker.violations[0]["invariant"] == "credits.conservation"
+
+
+class TestCbgContainment:
+    def test_consistent_disks_pass(self):
+        checker = InvariantChecker(raise_on_violation=False, cbg_slack_km=1.0)
+        # VP at origin, target ~111 km north, RTT generously above 2D/(2/3c).
+        checker.check_cbg_containment(
+            np.array([0.0]),
+            np.array([0.0]),
+            np.array([[5.0]]),
+            np.array([1.0]),
+            np.array([0.0]),
+            soi_fraction=2.0 / 3.0,
+            context="unit",
+        )
+        assert checker.passes["cbg.containment"] == 1
+
+    def test_excluding_disk_flagged(self):
+        checker = InvariantChecker(raise_on_violation=False, cbg_slack_km=1.0)
+        # RTT of 0.2 ms -> ~20 km disk, but the target is ~111 km away.
+        checker.check_cbg_containment(
+            np.array([0.0]),
+            np.array([0.0]),
+            np.array([[0.2]]),
+            np.array([1.0]),
+            np.array([0.0]),
+            soi_fraction=2.0 / 3.0,
+            context="unit",
+        )
+        assert checker.violations[0]["invariant"] == "cbg.containment"
+        assert checker.violations[0]["excess_km"] > 0
+
+    def test_street_level_speed_skipped(self):
+        checker = InvariantChecker(raise_on_violation=False, cbg_slack_km=1.0)
+        checker.check_cbg_containment(
+            np.array([0.0]),
+            np.array([0.0]),
+            np.array([[0.2]]),
+            np.array([1.0]),
+            np.array([0.0]),
+            soi_fraction=4.0 / 9.0,
+            context="unit",
+        )
+        assert not checker.violations and not checker.passes
+
+    def test_nan_rtts_constrain_nothing(self):
+        checker = InvariantChecker(raise_on_violation=False, cbg_slack_km=1.0)
+        checker.check_cbg_containment(
+            np.array([0.0]),
+            np.array([0.0]),
+            np.array([[np.nan]]),
+            np.array([1.0]),
+            np.array([0.0]),
+            soi_fraction=2.0 / 3.0,
+            context="unit",
+        )
+        assert not checker.violations and not checker.passes
+
+
+class TestInfrastructureChecks:
+    def test_cache_digest_pass_and_fail(self):
+        checker = InvariantChecker(raise_on_violation=False)
+        checker.check_cache_digest(True, "mesh", "unit")
+        checker.check_cache_digest(False, "mesh", "unit")
+        assert checker.passes["cache.digest"] == 1
+        assert checker.violations[0]["artifact"] == "mesh"
+
+    def test_exec_parity_pass_and_fail(self):
+        checker = InvariantChecker(raise_on_violation=False)
+        checker.check_exec_parity(True, "unit")
+        checker.check_exec_parity(False, "unit")
+        assert checker.passes["exec.item_parity"] == 1
+        assert checker.violations[0]["invariant"] == "exec.item_parity"
+
+    def test_cache_load_digest_mismatch_is_violation(self, tmp_path):
+        from repro.cache.artifacts import ArtifactCache
+
+        checker = InvariantChecker(raise_on_violation=False)
+        cache = ArtifactCache(tmp_path, checker=checker)
+        cache.store("mesh", "a" * 64, {"matrix": np.arange(6.0).reshape(2, 3)})
+        assert checker.passes["cache.digest"] == 1  # store roundtrip
+        assert cache.load("mesh", "a" * 64) is not None
+        assert checker.passes["cache.digest"] == 2  # verified load
+
+        # Flip payload bytes inside the archive: digest no longer matches.
+        import zipfile
+
+        path = cache.path("mesh", "a" * 64)
+        with np.load(path) as data:
+            arrays = {name: data[name] for name in data.files}
+        arrays["matrix"] = arrays["matrix"] + 1.0
+        with zipfile.ZipFile(path, "w") as archive:
+            import io
+
+            for name, array in arrays.items():
+                buffer = io.BytesIO()
+                np.save(buffer, array)
+                archive.writestr(f"{name}.npy", buffer.getvalue())
+        assert cache.load("mesh", "a" * 64) is None
+        assert checker.violations
+        assert checker.violations[0]["invariant"] == "cache.digest"
+
+
+class TestNullChecker:
+    def test_disabled_and_silent(self):
+        checker = NullChecker()
+        assert checker.enabled is False
+        checker.check_soi_bound([0.0], [10000.0], "unit")
+        checker.check_trace_hops([5.0, 0.0], "unit")
+        checker.check_ledger(1, 2, 0, "unit")
+        checker.check_cbg_containment(
+            np.array([0.0]), np.array([0.0]), np.array([[0.0]]),
+            np.array([50.0]), np.array([0.0]), 2.0 / 3.0, "unit",
+        )
+        checker.check_cache_digest(False, "mesh", "unit")
+        checker.check_exec_parity(False, "unit")
+        checker.violation("cache.digest", "ignored")
+        assert checker.summary() == {"mode": "off", "passes": {}, "violations": []}
+
+    def test_shared_instance_is_null(self):
+        assert isinstance(NULL_CHECKER, NullChecker)
+
+
+class TestResultsAgree:
+    def test_nan_aware_structures(self):
+        from repro.exec.pool import _results_agree
+
+        assert _results_agree(float("nan"), float("nan"))
+        assert _results_agree([1.0, float("nan")], [1.0, float("nan")])
+        assert _results_agree(
+            np.array([1.0, np.nan]), np.array([1.0, np.nan])
+        )
+        assert _results_agree({"a": np.array([np.nan])}, {"a": np.array([np.nan])})
+        assert not _results_agree([1.0], [2.0])
+        assert not _results_agree({"a": 1}, {"b": 1})
+        assert not _results_agree(np.array([1.0]), np.array([1.0, 2.0]))
+
+    def test_dataclasses_with_nan_fields(self):
+        from dataclasses import dataclass
+
+        from repro.exec.pool import _results_agree
+
+        @dataclass
+        class Record:
+            value: float
+            tag: str
+
+        assert _results_agree(Record(float("nan"), "x"), Record(float("nan"), "x"))
+        assert not _results_agree(Record(1.0, "x"), Record(2.0, "x"))

@@ -1,0 +1,256 @@
+"""Property suite: every registered invariant over fuzzed mini-worlds.
+
+Runs the :data:`repro.check.INVARIANTS` registry against
+:func:`repro.check.fuzz.fuzz_config` worlds — dozens of small random (but
+always valid) configurations spanning the latency, sanitization, CBG,
+million-scale, and street-level machinery — plus two metamorphic laws of
+the counter-keyed randomness substrate:
+
+* scaling every delay parameter by ``k`` scales every observed RTT by
+  exactly ``k`` (loss patterns unchanged);
+* permuting the probe order permutes the RTT rows bitwise — measurement
+  draws are keyed per (host, target, seq), never by position.
+
+The final test pins registry completeness: every invariant name must have
+been exercised (with a pass) somewhere in this module, so adding an
+invariant without property coverage fails the suite. Run the module as a
+whole — the completeness test aggregates what the earlier tests did.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import rand
+from repro.atlas.platform import AtlasPlatform
+from repro.check import INVARIANTS, InvariantChecker, fuzz_configs, scaled_config
+from repro.check.fuzz import fuzz_config
+from repro.core import cbg_batch
+from repro.exec.pool import _fork_context, parallel_map
+from repro.experiments.scenario import Scenario
+from repro.world.builder import build_world
+
+#: Mini-worlds the fixture builds; every world runs the build-time checks
+#: (SOI bound on every campaign ping, ledger conservation on every charge).
+N_WORLDS = 25
+
+#: Invariant names exercised (with at least one recorded pass) by the
+#: tests in this module; the completeness test asserts full coverage.
+EXERCISED = set()
+
+
+def _record_checker(config):
+    return InvariantChecker.for_config(config, raise_on_violation=False)
+
+
+@pytest.fixture(scope="module")
+def fuzz_worlds():
+    """(config, scenario, checker) for every fuzzed mini-world.
+
+    Each scenario is built with a record-mode checker derived from its own
+    config, and the campaign RTT matrix is materialised — so the fixture
+    itself runs thousands of SOI-bound and ledger-conservation checks.
+    """
+    worlds = []
+    for config in fuzz_configs(N_WORLDS):
+        checker = _record_checker(config)
+        scenario = Scenario.build(config, checker=checker)
+        scenario.rtt_matrix()
+        worlds.append((config, scenario, checker))
+    return worlds
+
+
+def _note_passes(checker):
+    EXERCISED.update(name for name, count in checker.passes.items() if count > 0)
+
+
+class TestBuildInvariants:
+    def test_soi_and_ledger_hold_in_every_world(self, fuzz_worlds):
+        assert len(fuzz_worlds) >= 25
+        for _config, _scenario, checker in fuzz_worlds:
+            assert checker.violations == [], checker.violations[:3]
+            assert checker.passes.get("rtt.soi_bound", 0) > 0
+            assert checker.passes.get("credits.conservation", 0) > 0
+            _note_passes(checker)
+
+    def test_sanitization_keeps_only_checkable_worlds(self, fuzz_worlds):
+        # The fuzzer plants mislocated hosts >= 4000 km off; sanitization
+        # must catch every one (that is the premise under which the
+        # containment slack is sound).
+        for _config, scenario, _checker in fuzz_worlds:
+            planted = {h.host_id for h in scenario.world.anchors if h.mislocated}
+            assert planted <= set(scenario.removed_anchor_ids)
+
+
+class TestCbgContainment:
+    def test_holds_in_every_world(self, fuzz_worlds):
+        for config, scenario, checker in fuzz_worlds:
+            before = len(checker.violations)
+            matrix = scenario.rtt_matrix()
+            vp_count = len(scenario.vps)
+            rng = rand.generator((config.seed, "prop-containment"))
+            subset = np.sort(
+                rng.choice(vp_count, size=min(24, vp_count), replace=False)
+            )
+            cbg_batch.cbg_errors_batch(
+                scenario.vp_lats,
+                scenario.vp_lons,
+                matrix,
+                scenario.target_true_lats,
+                scenario.target_true_lons,
+                subset,
+                checker=checker,
+            )
+            assert checker.violations[before:] == []
+            assert checker.passes.get("cbg.containment", 0) > 0
+            _note_passes(checker)
+
+
+class TestTraceInvariants:
+    def test_traceroute_hop_deltas_within_model_bounds(self, fuzz_worlds):
+        for config, scenario, checker in fuzz_worlds[:8]:
+            before = len(checker.violations)
+            client = scenario.client
+            vps = scenario.vps
+            for target in scenario.targets[:3]:
+                for vp in vps[:: max(1, len(vps) // 5)][:5]:
+                    if vp.probe_id == target.host_id:
+                        continue
+                    client.traceroute_from(vp.probe_id, target.ip, seq=31)
+            assert checker.violations[before:] == []
+            assert checker.passes.get("trace.hop_delta", 0) > 0
+            _note_passes(checker)
+
+
+class TestMillionScaleInvariants:
+    def test_representative_campaign_checked(self, fuzz_worlds):
+        for _config, scenario, checker in fuzz_worlds[:3]:
+            before_passes = checker.passes.get("rtt.soi_bound", 0)
+            min_matrix, median_matrix, reps = scenario.representative_matrices()
+            assert min_matrix.shape == median_matrix.shape
+            assert set(reps) == set(scenario.target_ips)
+            # The representative pings ran under the scenario's checker.
+            assert checker.passes.get("rtt.soi_bound", 0) > before_passes
+            assert checker.violations == []
+            _note_passes(checker)
+
+
+class TestStreetLevelInvariants:
+    def test_street_pipeline_checked(self, fuzz_worlds):
+        from repro.experiments.street_runner import street_level_records
+
+        _config, scenario, checker = fuzz_worlds[0]
+        before = len(checker.violations)
+        records = street_level_records(scenario, max_targets=2)
+        assert len(records) == 2
+        assert checker.violations[before:] == []
+        # Street-level traceroutes route through the checked latency model.
+        assert checker.passes.get("trace.hop_delta", 0) > 0
+        _note_passes(checker)
+
+
+class TestCacheDigestFuzz:
+    def test_roundtrip_over_fuzzed_payloads(self, tmp_path):
+        from repro.cache.artifacts import ArtifactCache
+
+        checker = InvariantChecker(raise_on_violation=False)
+        cache = ArtifactCache(tmp_path, checker=checker)
+        for index in range(15):
+            rng = rand.generator(("cache-fuzz", index))
+            arrays = {
+                "a": rng.normal(size=(rng.integers(1, 8), rng.integers(1, 8))),
+                "b": rng.integers(0, 1000, size=rng.integers(1, 30)),
+            }
+            key = f"{index:064x}"
+            cache.store("fuzz", key, arrays)
+            loaded = cache.load("fuzz", key)
+            assert loaded is not None
+            for name in arrays:
+                assert np.array_equal(loaded[name], np.asarray(arrays[name]))
+        # One store-roundtrip pass and one load pass per artifact.
+        assert checker.passes["cache.digest"] == 30
+        assert checker.violations == []
+        _note_passes(checker)
+
+
+def _parity_item(value: int) -> float:
+    """Module-level work item (picklable by reference) for the parity test."""
+    return float(value) * 0.5
+
+
+class TestExecParity:
+    def test_parallel_map_item_parity(self, monkeypatch):
+        if _fork_context() is None:  # pragma: no cover - non-POSIX platforms
+            pytest.skip("fork start method unavailable")
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        checker = InvariantChecker(raise_on_violation=False)
+        results = parallel_map(_parity_item, range(8), checker=checker)
+        assert results == [_parity_item(i) for i in range(8)]
+        assert checker.passes.get("exec.item_parity", 0) == 1
+        assert checker.violations == []
+        _note_passes(checker)
+
+    def test_serial_path_skips_parity(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        checker = InvariantChecker(raise_on_violation=False)
+        parallel_map(_parity_item, range(4), checker=checker)
+        assert "exec.item_parity" not in checker.passes
+
+
+class TestMetamorphicScaling:
+    @pytest.mark.parametrize("index,factor", [(0, 3.0), (1, 0.5), (2, 7.0)])
+    def test_scaling_delays_scales_rtts(self, index, factor):
+        config = fuzz_config(index)
+        scaled = scaled_config(config, factor)
+        base_platform = AtlasPlatform(build_world(config))
+        scaled_platform = AtlasPlatform(build_world(scaled))
+
+        probe_ids = [p.host_id for p in base_platform.world.probes[:40]]
+        target_ips = [a.ip for a in base_platform.world.anchors[:5]]
+        base = base_platform.ping_matrix(probe_ids, target_ips, seq=13)
+        scaled_matrix = scaled_platform.ping_matrix(probe_ids, target_ips, seq=13)
+
+        # Loss draws are value-independent: the NaN pattern is identical.
+        assert np.array_equal(np.isnan(base), np.isnan(scaled_matrix))
+        answered = ~np.isnan(base)
+        assert answered.any()
+        np.testing.assert_allclose(
+            scaled_matrix[answered], base[answered] * factor, rtol=1e-9
+        )
+
+    def test_scaled_config_rejects_nonpositive_factor(self):
+        with pytest.raises(ValueError):
+            scaled_config(fuzz_config(0), 0.0)
+
+
+class TestPermutationInvariance:
+    def test_probe_order_does_not_change_measurements(self):
+        config = fuzz_config(3)
+        platform = AtlasPlatform(build_world(config))
+        probe_ids = [p.host_id for p in platform.world.probes[:60]]
+        target_ips = [a.ip for a in platform.world.anchors[:4]]
+        forward = platform.ping_matrix(probe_ids, target_ips, seq=17)
+
+        rng = rand.generator((config.seed, "prop-permutation"))
+        order = rng.permutation(len(probe_ids))
+        permuted_ids = [probe_ids[i] for i in order]
+        permuted = platform.ping_matrix(permuted_ids, target_ips, seq=17)
+
+        # Undo the permutation: rows must match bitwise, NaNs included —
+        # every draw is keyed by (host, target, seq), never by position.
+        restored = np.empty_like(permuted)
+        restored[order] = permuted
+        assert np.array_equal(forward, restored, equal_nan=True)
+
+
+class TestRegistryCompleteness:
+    def test_every_invariant_exercised(self):
+        expected = set(INVARIANTS)
+        if _fork_context() is None:  # pragma: no cover - non-POSIX platforms
+            expected.discard("exec.item_parity")
+        missing = expected - EXERCISED
+        assert not missing, (
+            f"invariants never exercised with a pass in this module: "
+            f"{sorted(missing)} (run the whole module, not a single test)"
+        )

@@ -105,3 +105,67 @@ class TestEndToEndSanitization:
         for target in small_scenario.targets:
             assert not target.mislocated
             assert target.geolocation_error_km < 1.0
+
+
+class TestDegenerateInputs:
+    """Regression pins for the zero/negative-RTT and empty-input edge cases."""
+
+    def test_empty_anchor_set(self):
+        # Used to raise: argmax over a zero-length violation-count vector.
+        kept, removed = sanitize_anchors([], np.zeros((0, 0)), [])
+        assert kept == []
+        assert removed == []
+
+    def test_single_anchor_kept(self):
+        kept, removed = sanitize_anchors(
+            [42], np.array([[np.nan]]), [GeoPoint(10, 10)]
+        )
+        assert kept == [42]
+        assert removed == []
+
+    def test_single_probe_clean(self):
+        anchors = [GeoPoint(0, 0)]
+        probe = GeoPoint(1, 1)
+        rtt = distance_to_min_rtt_ms(probe.distance_km(anchors[0])) * 1.3 + 0.5
+        kept, removed = sanitize_probes([9], [probe], anchors, np.array([[rtt]]))
+        assert kept == [9]
+        assert removed == []
+
+    def test_probes_against_zero_anchors_vacuously_kept(self):
+        kept, removed = sanitize_probes(
+            [1, 2], [GeoPoint(0, 0), GeoPoint(5, 5)], [], np.zeros((2, 0))
+        )
+        assert kept == [1, 2]
+        assert removed == []
+
+    def test_zero_rtt_at_distance_is_violation(self):
+        # 0 ms over ~1570 km is impossible; the distance test catches it.
+        locations = [GeoPoint(0, 0), GeoPoint(10, 10)]
+        mesh = np.array([[np.nan, 0.0], [0.0, np.nan]])
+        kept, removed = sanitize_anchors([1, 2], mesh, locations)
+        assert len(removed) >= 1
+
+    def test_zero_rtt_between_colocated_hosts_allowed(self):
+        # Co-located hosts may legitimately measure ~0 ms.
+        locations = [GeoPoint(0, 0), GeoPoint(0, 0)]
+        mesh = np.array([[np.nan, 0.0], [0.0, np.nan]])
+        kept, removed = sanitize_anchors([1, 2], mesh, locations)
+        assert kept == [1, 2]
+        assert removed == []
+
+    def test_negative_rtt_is_violation_even_colocated(self):
+        # Negative RTTs are impossible regardless of geometry — the
+        # distance bound alone would pass small negatives between
+        # co-located hosts (minimum - tolerance < 0).
+        locations = [GeoPoint(0, 0), GeoPoint(0, 0)]
+        mesh = np.array([[np.nan, -0.01], [-0.01, np.nan]])
+        kept, removed = sanitize_anchors([1, 2], mesh, locations)
+        assert len(removed) >= 1
+
+    def test_negative_rtt_probe_removed_even_colocated(self):
+        anchors = [GeoPoint(3, 3)]
+        kept, removed = sanitize_probes(
+            [8], [GeoPoint(3, 3)], anchors, np.array([[-0.5]])
+        )
+        assert removed == [8]
+        assert kept == []

@@ -1,6 +1,7 @@
 """Tests for the GeoJSON export helpers."""
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -83,3 +84,43 @@ class TestSerialisation:
         loaded = json.loads(path.read_text())
         assert loaded["type"] == "FeatureCollection"
         assert loaded["features"]
+
+
+class TestEdgeCases:
+    def test_no_kinds_yields_no_features(self, small_world):
+        assert world_features(small_world, kinds=()) == []
+
+    def test_max_hosts_zero(self, small_world):
+        assert world_features(small_world, kinds=(HostKind.ANCHOR,), max_hosts=0) == []
+
+    def test_unlisted_kind_gets_fallback_colour(self, small_world):
+        features = world_features(
+            small_world, kinds=(HostKind.WEBSERVER,), max_hosts=3
+        )
+        for feature in features:
+            if feature["geometry"]["type"] == "Point":
+                assert feature["properties"]["marker-color"].startswith("#")
+
+    def test_region_max_circles_zero_keeps_centroid(self):
+        region = cbg_region([Circle(GeoPoint(0, 0), 500.0)])
+        features = region_feature(region, max_circles=0)
+        assert len(features) == 1
+        assert features[0]["properties"]["role"] == "cbg-centroid"
+
+    def test_dump_accepts_str_path(self, tmp_path):
+        path = str(tmp_path / "empty.geojson")
+        dump([], path)
+        assert json.loads(Path(path).read_text()) == {
+            "type": "FeatureCollection",
+            "features": [],
+        }
+
+    def test_dataset_features_skip_missing_estimates(self, small_scenario):
+        from repro.dataset import build_dataset_from_scenario
+
+        dataset = build_dataset_from_scenario(small_scenario, max_targets=3)
+        features = dataset_features(dataset)
+        # Every feature corresponds to a concrete (lat, lon) estimate.
+        for feature in features:
+            lon, lat = feature["geometry"]["coordinates"]
+            assert -180 <= lon < 180 and -90 <= lat <= 90

@@ -99,7 +99,8 @@ class TestEventLog:
         log = EventLog()
         with pytest.raises(ValueError):
             log.emit("totally-new-event")
-        assert "retry" in EVENT_TYPES and len(EVENT_TYPES) == 10
+        assert "retry" in EVENT_TYPES and "invariant-violation" in EVENT_TYPES
+        assert len(EVENT_TYPES) == 11
 
     def test_capacity_drops_but_counts(self):
         log = EventLog(capacity=2)

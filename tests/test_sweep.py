@@ -56,3 +56,27 @@ class TestSeedSweep:
     def test_unknown_preset(self):
         with pytest.raises(ValueError):
             seed_sweep(lambda s: None, preset="galaxy")
+
+    def test_empty_sweep_grid(self):
+        """Zero seeds is a legal (vacuous) sweep, not a crash."""
+        summary = seed_sweep(lambda s: None, preset="small", seeds=())
+        assert summary.seeds == []
+        assert summary.stats == {}
+        assert summary.experiment_id == "?"
+        assert isinstance(summary.render(), str)
+
+    def test_empty_sweep_still_rejects_unknown_preset(self):
+        with pytest.raises(ValueError):
+            seed_sweep(lambda s: None, preset="galaxy", seeds=())
+
+    def test_single_point_sweep(self):
+        """One seed: spread collapses to zero, relative spread to zero."""
+        from repro.experiments.tables import run_table2
+
+        summary = seed_sweep(run_table2, preset="quick", seeds=(11,))
+        assert summary.seeds == [11]
+        access = summary.stats["combined_access_share"]
+        assert len(access.values) == 1
+        assert access.spread == 0.0
+        assert access.relative_spread == 0.0
+        assert summary.robust("combined_access_share", max_relative_spread=0.0)
