@@ -1,0 +1,146 @@
+"""Load benchmark: the resident serving engine under a query stream.
+
+Serves a multi-pass, multi-tenant query stream through a
+:class:`~repro.serve.ServeEngine` over the shared benchmark scenario and
+records one JSON point (``BENCH_serve.json``): engine load time, sustained
+throughput (queries/sec over the whole submit+solve loop), and the
+per-request latency distribution (p50/p99, submission to answered batch).
+The ROADMAP target is 10k+ queries/sec at paper scale (723 targets,
+~10K VPs); the assertion is armed only on the paper preset so the CI
+bench-smoke run (``REPRO_BENCH_PRESET=small``) stays a smoke test.
+
+As with the campaign bench, the speed number is only meaningful if the
+answers are right: the served results are compared bitwise against one
+``cbg_centroids_batch`` pass before anything is recorded, and the
+benchmark fails loudly on any divergence.
+"""
+
+from __future__ import annotations
+
+import json
+import platform as platform_mod
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import cbg_batch
+from repro.serve import STATUS_OK, ServeEngine, TenantConfig
+
+from conftest import PRESET
+
+#: Full permuted passes over the target set per measured run.
+_PASSES = 15
+
+#: Coalescing width of the benched engine.
+_MAX_BATCH = 256
+
+_TENANTS = ("alpha", "beta", "gamma")
+
+
+def _build_engine(scenario) -> tuple[ServeEngine, float]:
+    started = time.perf_counter()
+    engine = ServeEngine.from_scenario(scenario, max_batch=_MAX_BATCH)
+    load_s = time.perf_counter() - started
+    for name in _TENANTS:
+        engine.register_tenant(TenantConfig(name=name))
+    return engine, load_s
+
+
+def _workload(n_targets: int) -> np.ndarray:
+    """Column indices of the query stream: _PASSES permuted passes."""
+    rng = np.random.default_rng(20260808)
+    return np.concatenate(
+        [rng.permutation(n_targets) for _ in range(_PASSES)]
+    )
+
+
+def _serve_stream(engine: ServeEngine, columns: np.ndarray) -> float:
+    """Run the serve loop over a prepared stream; returns elapsed seconds.
+
+    Mimics a server's steady state: submissions pour in, and a full intake
+    queue triggers a coalesced batch; a final drain flushes the tail.
+    """
+    ips = engine.state.target_ips
+    submit = engine.submit
+    process = engine.process_one_batch
+    max_batch = engine.max_batch
+    started = time.perf_counter()
+    for position, column in enumerate(columns):
+        submit(_TENANTS[position % 3], ips[column])
+        if engine.queue_depth >= max_batch:
+            process()
+    engine.drain()
+    return time.perf_counter() - started
+
+
+def _check_parity(engine: ServeEngine, columns: np.ndarray) -> bool:
+    """Every served answer equals the batch campaign answer, bitwise."""
+    expected_lats, expected_lons = cbg_batch.cbg_centroids_batch(
+        engine.state.vp_lats, engine.state.vp_lons, engine.state.rtt_matrix
+    )
+    ips = engine.state.target_ips
+    for request_id, column in enumerate(columns):
+        result = engine.result(request_id)
+        if result.status == STATUS_OK:
+            ok = (
+                result.lat == expected_lats[column]
+                and result.lon == expected_lons[column]
+            )
+        else:
+            ok = np.isnan(expected_lats[column])
+        if not ok:
+            return False
+    return True
+
+
+def test_bench_serve_load(benchmark, scenario):
+    columns = _workload(len(scenario.target_ips))
+
+    def run() -> dict:
+        engine, load_s = _build_engine(scenario)
+        elapsed_s = _serve_stream(engine, columns)
+        return {"engine": engine, "load_s": load_s, "elapsed_s": elapsed_s}
+
+    measured = benchmark.pedantic(run, rounds=3, iterations=1)
+    engine = measured["engine"]
+
+    assert _check_parity(engine, columns), "served answers diverge from batch"
+
+    latencies_ms = np.asarray(engine.wall_latencies_s) * 1000.0
+    requests = int(columns.size)
+    qps = requests / measured["elapsed_s"]
+    stats = engine.stats()
+    point = {
+        "schema": "bench-serve-v1",
+        "recorded_at": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "preset": PRESET,
+        "vps": engine.state.n_vps,
+        "targets": engine.state.n_targets,
+        "python": platform_mod.python_version(),
+        "numpy": np.__version__,
+        "load": {"engine_load_s": round(measured["load_s"], 4)},
+        "serve": {
+            "requests": requests,
+            "batches": int(stats["batches"]),
+            "column_cache_hits": int(stats["column_cache_hits"]),
+            "max_batch": _MAX_BATCH,
+            "elapsed_s": round(measured["elapsed_s"], 4),
+            "qps": round(qps, 1),
+            "p50_ms": round(float(np.percentile(latencies_ms, 50)), 4),
+            "p99_ms": round(float(np.percentile(latencies_ms, 99)), 4),
+            "identical_to_batch": True,
+        },
+    }
+    out = Path(__file__).resolve().parents[1] / "BENCH_serve.json"
+    out.write_text(json.dumps(point, indent=1) + "\n")
+    print()
+    print(
+        f"serve load: {requests} requests in {measured['elapsed_s']:.3f}s "
+        f"= {qps:,.0f} qps (p50 {point['serve']['p50_ms']:.2f} ms, "
+        f"p99 {point['serve']['p99_ms']:.2f} ms) -> {out.name}"
+    )
+
+    if PRESET == "paper":
+        assert qps >= 10_000, f"paper-scale serving below 10k qps: {qps:,.0f}"

@@ -10,8 +10,9 @@ Three layers of runtime correctness tooling for the measurement substrate
   / ``--check``, free when off (:data:`NULL_CHECKER`).
 * :mod:`repro.check.diff` — a differential harness running campaigns
   through paired paths (batched vs loop CBG, serial vs parallel, cold vs
-  warm cache) and asserting bitwise equality; exposed as
-  ``experiments/run.py --selfcheck`` and a pytest fixture.
+  warm cache, serving engine vs batch campaign) and asserting bitwise
+  equality; exposed as ``experiments/run.py --selfcheck`` and a pytest
+  fixture.
 * :mod:`repro.check.fuzz` — a seeded mini-world fuzzer feeding the
   property suite random-but-valid :class:`~repro.world.config.WorldConfig`
   instances.
@@ -23,6 +24,7 @@ from repro.check.diff import (
     diff_batch_vs_loop,
     diff_cold_vs_warm_cache,
     diff_serial_vs_parallel,
+    diff_serve_vs_batch,
     run_selfcheck,
 )
 from repro.check.fuzz import fuzz_config, fuzz_configs, scaled_config
@@ -49,6 +51,7 @@ __all__ = [
     "diff_batch_vs_loop",
     "diff_cold_vs_warm_cache",
     "diff_serial_vs_parallel",
+    "diff_serve_vs_batch",
     "fuzz_config",
     "fuzz_configs",
     "run_selfcheck",

@@ -1,18 +1,21 @@
 """Differential self-verification: run paired paths, assert equal bytes.
 
-The substrate promises three expensive equivalences:
+The substrate promises four expensive equivalences:
 
 * the batched CBG kernel computes exactly what the per-target reference
   loop computes (``repro.core.cbg_batch``);
 * a parallel campaign (``REPRO_WORKERS=N``) produces byte-identical
   results to the serial path (``repro.exec``);
 * a warm artifact-cache rebuild replays byte-identical measurements to a
-  cold build (``repro.cache``).
+  cold build (``repro.cache``);
+* the resident serving engine answers exactly what the one-shot batch
+  campaign computes, regardless of request order or batching
+  (``repro.serve``).
 
 Each promise is pinned by golden tests, but those only run under pytest.
 This module packages the same comparisons as a *runtime* harness: each
 ``diff_*`` function runs one campaign through both sides of a pair and
-compares outputs bitwise, and :func:`run_selfcheck` bundles all three into
+compares outputs bitwise, and :func:`run_selfcheck` bundles all four into
 the :class:`SelfCheckReport` behind ``experiments/run.py --selfcheck``
 (exit 0 iff every pair agrees) and the ``selfcheck_report`` pytest
 fixture. The paired computations are invoked through their *modules*, so
@@ -244,13 +247,73 @@ def diff_cold_vs_warm_cache(
     )
 
 
+def diff_serve_vs_batch(scenario, batch_sizes=(1, 7, 64)) -> DiffOutcome:
+    """Resident serving engine vs the one-shot batch campaign, bitwise.
+
+    Loads the scenario into a :class:`~repro.serve.ServeEngine` and serves
+    every target through the intake queue — in a seeded *permuted* order,
+    once per coalescing batch size — then compares each answer float for
+    float against one ``cbg_centroids_batch`` pass over the full matrix.
+    The engine is invoked through :mod:`repro.serve` and the campaign path
+    through :mod:`repro.core.cbg_batch`, so a patched engine (or solver)
+    diverges visibly.
+    """
+    from repro.core import cbg_batch
+    from repro.serve import STATUS_OK, ServeEngine, TenantConfig
+
+    matrix = scenario.rtt_matrix()
+    expected_lats, expected_lons = cbg_batch.cbg_centroids_batch(
+        scenario.vp_lats, scenario.vp_lons, matrix
+    )
+    ips = scenario.target_ips
+    seed = scenario.world.config.seed
+    compared = 0
+    for batch_size in batch_sizes:
+        engine = ServeEngine.from_scenario(scenario, max_batch=batch_size)
+        engine.register_tenant(TenantConfig(name="selfcheck"))
+        order = rand.generator((seed, "selfcheck-serve", batch_size)).permutation(
+            len(ips)
+        )
+        served = engine.geolocate("selfcheck", [ips[column] for column in order])
+        got_lats = np.full(len(ips), np.nan)
+        got_lons = np.full(len(ips), np.nan)
+        for column, result in zip(order, served):
+            if result.status == STATUS_OK:
+                got_lats[column] = result.lat
+                got_lons[column] = result.lon
+        compared += 2
+        if not (
+            _arrays_equal(got_lats, expected_lats)
+            and _arrays_equal(got_lons, expected_lons)
+        ):
+            close = np.isclose(got_lats, expected_lats, equal_nan=True) & np.isclose(
+                got_lons, expected_lons, equal_nan=True
+            )
+            mismatch = int(np.argmax(~close))
+            return DiffOutcome(
+                "serve: engine vs batch",
+                ok=False,
+                compared=compared,
+                detail=f"max_batch={batch_size} diverges at target {mismatch}: "
+                f"served=({got_lats[mismatch]!r}, {got_lons[mismatch]!r}) "
+                f"batch=({expected_lats[mismatch]!r}, {expected_lons[mismatch]!r})",
+            )
+    return DiffOutcome(
+        "serve: engine vs batch",
+        ok=True,
+        compared=compared,
+        detail=f"{len(ips)} targets served in permuted order at "
+        f"{len(batch_sizes)} batch sizes",
+    )
+
+
 def run_selfcheck(
     preset: str = "quick",
     seed: Optional[int] = None,
     trials: int = 3,
     workers: int = 2,
 ) -> SelfCheckReport:
-    """Run all three paired-path comparisons over one preset world."""
+    """Run all four paired-path comparisons over one preset world."""
     from repro.experiments.scenario import Scenario, config_for_preset
 
     config = config_for_preset(preset, seed)
@@ -261,4 +324,5 @@ def run_selfcheck(
         diff_serial_vs_parallel(scenario, trials=trials, workers=workers)
     )
     report.outcomes.append(diff_cold_vs_warm_cache(config))
+    report.outcomes.append(diff_serve_vs_batch(scenario))
     return report

@@ -733,6 +733,153 @@ def _centroid_block(
     return starved, int(fallback_cols.size)
 
 
+class CbgBatchSolver:
+    """A resident CBG solver: derive once, answer column queries forever.
+
+    The campaign entry point :func:`cbg_centroids_batch` is built for
+    one-shot passes — every call re-derives (or cache-probes) the
+    per-matrix arrays and always solves *all* target columns. A serving
+    engine has the opposite profile: one fixed ``(vp_lats, vp_lons,
+    rtt_matrix)`` world loaded at startup, then an endless stream of small
+    batches asking for *specific* columns. This class front-loads every
+    matrix-dependent derivation exactly once — the targets-major
+    constraint radii and float32 radius trig (:func:`_compute_derived`),
+    the per-target stats (:func:`_target_stats`), and the VP unit vectors
+    — and :meth:`centroids` then solves an arbitrary column subset by
+    gathering rows of those arrays into :func:`_centroid_block`.
+
+    Results are bitwise identical to :func:`cbg_centroids_batch` over the
+    full matrix (and hence to the per-target reference loop): each target
+    column's answer depends only on that column's constraints and the
+    shared VP geometry, never on which other columns share the call, so a
+    gathered block computes exactly the bytes the full-matrix block
+    containing that column computes. ``tests/test_serve.py`` and the
+    ``serve: engine vs batch`` leg of the :mod:`repro.check.diff` harness
+    pin this.
+
+    Columns may be requested repeatedly and in any order; duplicates in
+    one call are solved once per occurrence (callers that care dedupe —
+    the serving engine does).
+    """
+
+    def __init__(
+        self,
+        vp_lats: np.ndarray,
+        vp_lons: np.ndarray,
+        rtt_matrix: np.ndarray,
+        soi_fraction: float = SOI_FRACTION_CBG,
+        max_active: int = 64,
+        min_vps: int = 1,
+    ) -> None:
+        self.matrix = np.asarray(rtt_matrix, dtype=np.float64)
+        if self.matrix.ndim != 2:
+            raise ValueError(
+                f"rtt_matrix must be 2-D, got shape {self.matrix.shape}"
+            )
+        self.vp_lats = np.asarray(vp_lats, dtype=np.float64)
+        self.vp_lons = np.asarray(vp_lons, dtype=np.float64)
+        if self.vp_lats.shape[0] != self.matrix.shape[0]:
+            raise ValueError(
+                f"{self.vp_lats.shape[0]} vantage points vs "
+                f"{self.matrix.shape[0]} matrix rows"
+            )
+        self.soi_fraction = soi_fraction
+        self.max_active = max_active
+        self.min_vps = min_vps
+        self._radii_t, self._trig_t = _compute_derived(
+            np.ascontiguousarray(self.matrix.T), soi_fraction
+        )
+        self._counts, self._r_min, self._tightest = _target_stats(self._radii_t)
+        self._uvec = _unit_vectors(self.vp_lats, self.vp_lons)
+        self._u32 = self._uvec.astype(np.float32)
+
+    @property
+    def n_targets(self) -> int:
+        """Number of target columns the resident matrix holds."""
+        return self._radii_t.shape[0]
+
+    def centroids(
+        self,
+        columns: Optional[np.ndarray] = None,
+        obs=NULL_OBSERVER,
+        chunk_targets: Optional[int] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """CBG centroids for the requested target columns.
+
+        Args:
+            columns: indices into the target axis; ``None`` solves every
+                column (the full-matrix campaign answer).
+            obs: observer for the ``cbg.*`` kernel counters, bumped
+                exactly as the campaign entry point bumps them.
+            chunk_targets: targets per broadcast block (memory knob; any
+                value produces identical results).
+
+        Returns:
+            ``(lats, lons)`` aligned with ``columns``; NaN where CBG has
+            no usable answer. Bitwise identical to the corresponding
+            entries of :func:`cbg_centroids_batch` over the full matrix.
+
+        Raises:
+            IndexError: for column indices outside the target axis.
+        """
+        if columns is None:
+            cols = np.arange(self.n_targets)
+        else:
+            cols = np.asarray(columns, dtype=np.intp).reshape(-1)
+            if cols.size and (
+                cols.min() < 0 or cols.max() >= self.n_targets
+            ):
+                raise IndexError(
+                    f"column indices must be in [0, {self.n_targets}), "
+                    f"got range [{cols.min()}, {cols.max()}]"
+                )
+        total = cols.shape[0]
+        out_lats = np.full(total, np.nan)
+        out_lons = np.full(total, np.nan)
+        if total == 0:
+            return out_lats, out_lons
+        width = self.vp_lats.shape[0]
+        if chunk_targets is None:
+            chunk = _adaptive_chunk(width)
+        else:
+            chunk = max(1, int(chunk_targets))
+        matrix = self.matrix
+
+        def rtt_col(i: int) -> np.ndarray:
+            return matrix[:, int(cols[i])]
+
+        no_estimate = 0
+        fallbacks = 0
+        for start in range(0, total, chunk):
+            stop = min(start + chunk, total)
+            sel = cols[start:stop]
+            starved, exact = _centroid_block(
+                self.vp_lats,
+                self.vp_lons,
+                self._uvec,
+                self._u32,
+                self._radii_t[sel],
+                self._trig_t[sel],
+                rtt_col,
+                start,
+                self.soi_fraction,
+                self.max_active,
+                self.min_vps,
+                out_lats[start:stop],
+                out_lons[start:stop],
+                stats=(self._counts[sel], self._r_min[sel], self._tightest[sel]),
+            )
+            no_estimate += starved
+            fallbacks += exact
+        if obs.enabled:
+            obs.count("cbg.fast_calls", total)
+            if no_estimate:
+                obs.count("cbg.fast_no_estimate", no_estimate)
+            if fallbacks:
+                obs.count("cbg.batch_exact_fallback", fallbacks)
+        return out_lats, out_lons
+
+
 def cbg_errors_batch(
     vp_lats: np.ndarray,
     vp_lons: np.ndarray,

@@ -29,8 +29,9 @@ byte-identical to a serial run.
 ``REPRO_CHECK=1``): physics and accounting invariants are verified inline
 and any violation aborts the run. ``--selfcheck`` runs the differential
 self-verification harness — batched vs per-target CBG, serial vs parallel
-execution, cold vs warm artifact cache — and exits non-zero if any pair
-of paths diverges (see ``docs/CORRECTNESS.md``).
+execution, cold vs warm artifact cache, serving engine vs batch campaign —
+and exits non-zero if any pair of paths diverges (see
+``docs/CORRECTNESS.md``).
 """
 
 from __future__ import annotations
@@ -78,6 +79,7 @@ def _registry() -> Dict[str, Callable[[Scenario, argparse.Namespace], Experiment
         fig8,
         parity,
         robustness,
+        serve,
         tables,
     )
 
@@ -85,6 +87,7 @@ def _registry() -> Dict[str, Callable[[Scenario, argparse.Namespace], Experiment
         "baseline": lambda s, a: baseline.run_baseline(s, _street_max_targets(a)),
         "parity": lambda s, a: parity.run_parity(s),
         "robustness": lambda s, a: robustness.run_robustness(s),
+        "serve": lambda s, a: serve.run_serve(s),
         "calibration": lambda s, a: _calibration_output(s),
         "appendixb": lambda s, a: _appendix_b(s),
         "table1": lambda s, a: tables.run_table1(s),
@@ -189,8 +192,8 @@ def main(argv: Optional[list] = None) -> int:
         "--selfcheck",
         action="store_true",
         help="run the differential self-verification harness (batched vs "
-        "per-target CBG, serial vs parallel, cold vs warm cache) and exit "
-        "non-zero on any divergence",
+        "per-target CBG, serial vs parallel, cold vs warm cache, serve vs "
+        "batch) and exit non-zero on any divergence",
     )
     args = parser.parse_args(argv)
     if args.experiment is None and not args.selfcheck:

@@ -248,6 +248,17 @@ class Scenario:
         matches = np.where(self.vp_ids == target.host_id)[0]
         return int(matches[0]) if matches.size else None
 
+    def query_state(self):
+        """The query-time half of this scenario (see :mod:`repro.serve`).
+
+        Forces the RTT campaign (replayed from the artifact cache on warm
+        starts) and packages the arrays a resident serving engine reads —
+        the build-time state (world, platform, client) stays behind.
+        """
+        from repro.serve.state import QueryState
+
+        return QueryState.from_scenario(self)
+
     # --- fault-injected views ------------------------------------------------------
 
     def faulty_client(

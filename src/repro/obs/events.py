@@ -41,6 +41,12 @@ CACHE_MISS = "cache-miss"
 RATE_LIMIT_WAIT = "rate-limit-wait"
 #: A runtime correctness invariant failed (see :mod:`repro.check`).
 INVARIANT_VIOLATION = "invariant-violation"
+#: The serving engine admitted a geolocate request into its intake queue.
+SERVE_REQUEST = "serve-request"
+#: The serving engine refused a geolocate request (typed reason).
+SERVE_REJECT = "serve-reject"
+#: The serving engine solved one coalesced batch of admitted requests.
+SERVE_BATCH = "serve-batch"
 
 #: The closed event taxonomy (see docs/OBSERVABILITY.md).
 EVENT_TYPES = frozenset(
@@ -56,6 +62,9 @@ EVENT_TYPES = frozenset(
         CACHE_MISS,
         RATE_LIMIT_WAIT,
         INVARIANT_VIOLATION,
+        SERVE_REQUEST,
+        SERVE_REJECT,
+        SERVE_BATCH,
     }
 )
 

@@ -1,0 +1,44 @@
+"""Resident geolocation serving (see ``docs/SERVING.md``).
+
+The batch reproduction answers "re-run the campaign"; this package answers
+"keep the world loaded and serve queries": a :class:`QueryState` (the
+query-time half of a scenario), per-tenant admission control
+(:class:`TenantConfig` / :class:`TenantAccount`), and the
+:class:`ServeEngine` that coalesces admitted requests into vectorised
+kernel batches. Served answers are bitwise identical to the batch campaign
+path — pinned by ``tests/test_serve.py`` and the ``serve: engine vs
+batch`` leg of the differential self-check.
+"""
+
+from repro.serve.engine import (
+    REJECT_OVER_BUDGET,
+    REJECT_OVER_RATE,
+    REJECT_SHED,
+    REJECT_UNKNOWN_TARGET,
+    REJECT_UNKNOWN_TENANT,
+    REJECTIONS,
+    STATUS_NO_ESTIMATE,
+    STATUS_OK,
+    ServeEngine,
+    ServeRequest,
+    ServeResult,
+)
+from repro.serve.state import QueryState
+from repro.serve.tenancy import TenantAccount, TenantConfig
+
+__all__ = [
+    "QueryState",
+    "TenantConfig",
+    "TenantAccount",
+    "ServeEngine",
+    "ServeRequest",
+    "ServeResult",
+    "STATUS_OK",
+    "STATUS_NO_ESTIMATE",
+    "REJECT_UNKNOWN_TENANT",
+    "REJECT_UNKNOWN_TARGET",
+    "REJECT_SHED",
+    "REJECT_OVER_RATE",
+    "REJECT_OVER_BUDGET",
+    "REJECTIONS",
+]

@@ -1,0 +1,462 @@
+"""The resident geolocation serving engine.
+
+A :class:`ServeEngine` turns the batch-oriented reproduction into a
+long-lived query service: load a measured world once (a
+:class:`~repro.serve.state.QueryState`, typically extracted from a
+scenario whose campaigns replay from the content-addressed artifact
+cache), derive the CBG kernel arrays once (a resident
+:class:`~repro.core.cbg_batch.CbgBatchSolver`), then answer a stream of
+geolocate requests:
+
+1. **Admission** (:meth:`ServeEngine.submit`) — every request passes
+   typed admission control *before any kernel work*: unknown tenants and
+   unknown target prefixes are refused outright; under fault injection a
+   counter-keyed draw sheds requests the way the Atlas API sheds calls;
+   a full rate window refuses with ``over-rate`` instead of blocking;
+   an unaffordable query refuses with ``over-budget`` before anything is
+   charged. Admitted requests charge their tenant's ledger and join the
+   intake queue.
+2. **Coalescing** (:meth:`ServeEngine.process_one_batch`) — queued
+   requests are drained in FIFO batches of at most ``max_batch``,
+   deduplicated to unique target columns, and solved in one vectorised
+   pass of the resident kernel; because the loaded world is immutable,
+   answers are memoized per column and repeat queries never touch the
+   kernel again. Per-request answers are bitwise identical to the batch
+   campaign path no matter how requests are batched or ordered — pinned
+   by ``tests/test_serve.py`` and the ``serve: engine vs batch``
+   differential leg.
+3. **Observability** — admissions, refusals, and batches are typed
+   events in the closed taxonomy (``serve-request`` / ``serve-reject`` /
+   ``serve-batch``), counters live under ``serve.*``, and each batch
+   solve runs inside a ``serve:batch`` span. Everything emitted is a
+   deterministic function of the submission sequence (wall-clock
+   latencies are kept off the observer, on
+   :attr:`ServeEngine.wall_latencies_s`, so same-seed event streams stay
+   byte-identical).
+
+The engine is deliberately synchronous and in-process: determinism is the
+product being served, and the vectorised kernel already exploits the
+hardware within a batch. Throughput comes from coalescing, not from
+threads — the load benchmark (``benchmarks/test_bench_serve.py``)
+sustains well over the 10k queries/sec target this way.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.atlas.clock import SimClock
+from repro.check.invariants import NULL_CHECKER
+from repro.core.cbg_batch import CbgBatchSolver
+from repro.errors import ConfigurationError
+from repro.obs import events as _ev
+from repro.obs.observer import NULL_OBSERVER
+from repro.serve.state import QueryState
+from repro.serve.tenancy import TenantAccount, TenantConfig
+
+#: The request was answered with a centroid estimate.
+STATUS_OK = "ok"
+#: The request was admitted and solved, but CBG had no usable answer.
+STATUS_NO_ESTIMATE = "no-estimate"
+#: Refused: the tenant is not registered with the engine.
+REJECT_UNKNOWN_TENANT = "unknown-tenant"
+#: Refused: the target address is outside the loaded world's prefixes.
+REJECT_UNKNOWN_TARGET = "unknown-target"
+#: Refused: the fault layer shed the request (injected API weather).
+REJECT_SHED = "shedding"
+#: Refused: the tenant's sliding rate window is full.
+REJECT_OVER_RATE = "over-rate"
+#: Refused: the query cost does not fit the tenant's remaining budget.
+REJECT_OVER_BUDGET = "over-budget"
+
+#: Every typed refusal reason (:attr:`ServeResult.rejected` is membership).
+REJECTIONS = frozenset(
+    {
+        REJECT_UNKNOWN_TENANT,
+        REJECT_UNKNOWN_TARGET,
+        REJECT_SHED,
+        REJECT_OVER_RATE,
+        REJECT_OVER_BUDGET,
+    }
+)
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One admitted geolocate request waiting in the intake queue."""
+
+    request_id: int
+    tenant: str
+    ip: str
+    column: int
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """The typed outcome of one geolocate request.
+
+    Attributes:
+        request_id: the id :meth:`ServeEngine.submit` returned.
+        tenant: requesting tenant.
+        ip: requested target address.
+        status: :data:`STATUS_OK`, :data:`STATUS_NO_ESTIMATE`, or one of
+            :data:`REJECTIONS`.
+        lat: estimated latitude (``None`` unless status is ``ok``).
+        lon: estimated longitude (``None`` unless status is ``ok``).
+        batch: sequence number of the batch that solved the request
+            (``None`` for refusals, which never reach a batch).
+        detail: human-readable refusal context (e.g. the injected fault
+            type, or the rate-window wait).
+    """
+
+    request_id: int
+    tenant: str
+    ip: str
+    status: str
+    lat: Optional[float] = None
+    lon: Optional[float] = None
+    batch: Optional[int] = None
+    detail: str = ""
+
+    @property
+    def rejected(self) -> bool:
+        """Whether the request was refused by admission control."""
+        return self.status in REJECTIONS
+
+
+class ServeEngine:
+    """A resident engine answering geolocate queries over one world."""
+
+    def __init__(
+        self,
+        state: QueryState,
+        clock: Optional[SimClock] = None,
+        obs=NULL_OBSERVER,
+        checker=NULL_CHECKER,
+        faults=None,
+        max_batch: int = 256,
+        min_vps: int = 1,
+    ) -> None:
+        """Load the world and derive the resident kernel arrays.
+
+        Args:
+            state: the query-time world (see :class:`QueryState`).
+            clock: simulated clock for rate windows and event timestamps;
+                a fresh one by default. The engine never advances it —
+                time passes when the caller says it does, which keeps
+                admission decisions deterministic.
+            obs: campaign observer; serve events, counters, and spans are
+                emitted through it.
+            checker: optional invariant checker. When armed, every ledger
+                charge is conservation-checked and every solved batch is
+                containment-checked against the ground truth (when the
+                state carries it).
+            faults: optional :class:`~repro.faults.FaultInjector`; when
+                its plan injects API faults, the corresponding admission
+                draws shed requests with the :data:`REJECT_SHED` reason.
+            max_batch: most requests one batch may coalesce (>= 1).
+            min_vps: minimum answering vantage points per target (kernel
+                knob, as in the campaign path).
+        """
+        if max_batch < 1:
+            raise ConfigurationError(f"max_batch must be >= 1: {max_batch}")
+        self.state = state
+        self.clock = clock if clock is not None else SimClock()
+        self.obs = obs
+        self.checker = checker
+        self.faults = faults
+        self.max_batch = int(max_batch)
+        self.solver = CbgBatchSolver(
+            state.vp_lats,
+            state.vp_lons,
+            state.rtt_matrix,
+            soi_fraction=state.soi_fraction,
+            min_vps=min_vps,
+        )
+        self._tenants: Dict[str, TenantAccount] = {}
+        self._queue: Deque[ServeRequest] = deque()
+        self._results: Dict[int, ServeResult] = {}
+        self._next_id = 0
+        self.batches_processed = 0
+        # The loaded world is immutable, so a column's centroid never
+        # changes: answers are memoized after their first solve and the
+        # kernel runs only on cold columns. Repeat queries — the common
+        # case for a resident server — cost an array gather, which is
+        # what carries paper-scale throughput past the 10k qps target.
+        self._answer_lats = np.full(state.n_targets, np.nan)
+        self._answer_lons = np.full(state.n_targets, np.nan)
+        self._solved = np.zeros(state.n_targets, dtype=bool)
+        self.column_cache_hits = 0
+        #: wall-clock seconds from admission to answer, per answered
+        #: request (load-benchmark material; never emitted on the
+        #: observer, which must stay deterministic).
+        self.wall_latencies_s: List[float] = []
+        self._admitted_wall: Dict[int, float] = {}
+
+    # --- construction ------------------------------------------------------------
+
+    @classmethod
+    def from_scenario(cls, scenario, **kwargs) -> "ServeEngine":
+        """An engine over a built scenario's query-time state.
+
+        The scenario's observer and checker are adopted unless overridden
+        in ``kwargs``.
+        """
+        kwargs.setdefault("obs", scenario.obs)
+        kwargs.setdefault("checker", scenario.checker)
+        return cls(QueryState.from_scenario(scenario), **kwargs)
+
+    @classmethod
+    def for_preset(cls, preset: str, seed: Optional[int] = None, **kwargs) -> "ServeEngine":
+        """An engine over a preset world ("paper", "small", or "quick").
+
+        Goes through :func:`~repro.experiments.scenario.get_scenario`, so
+        with ``REPRO_CACHE_DIR`` set the heavyweight measurement
+        campaigns replay from the content-addressed artifact cache and
+        engine startup costs one disk read per artifact.
+        """
+        from repro.experiments.scenario import get_scenario
+
+        return cls.from_scenario(get_scenario(preset, seed), **kwargs)
+
+    # --- tenancy -----------------------------------------------------------------
+
+    def register_tenant(self, config: TenantConfig) -> TenantAccount:
+        """Create (or replace) a tenant account under the engine's clock."""
+        account = TenantAccount(
+            config, self.clock, obs=self.obs, checker=self.checker
+        )
+        self._tenants[config.name] = account
+        return account
+
+    def tenant(self, name: str) -> Optional[TenantAccount]:
+        """The named tenant's live account, if registered."""
+        return self._tenants.get(name)
+
+    # --- admission ---------------------------------------------------------------
+
+    def submit(self, tenant: str, ip: str) -> int:
+        """Admit one geolocate request (or refuse it with a typed reason).
+
+        Returns the request id in either case; refused requests have
+        their :class:`ServeResult` available immediately via
+        :meth:`result`, admitted ones after the batch that solves them.
+        Admission order is part of the contract: target resolution, then
+        fault shedding, then the rate window, then the budget — so a
+        zero-credit tenant is refused *before any kernel work*, and an
+        unknown prefix consumes neither a rate slot nor credits.
+        """
+        request_id = self._next_id
+        self._next_id += 1
+        account = self._tenants.get(tenant)
+        if account is None:
+            return self._refuse(request_id, tenant, ip, REJECT_UNKNOWN_TENANT)
+        column = self.state.column_of(ip)
+        if column is None:
+            return self._refuse(request_id, tenant, ip, REJECT_UNKNOWN_TARGET)
+        if self.faults is not None:
+            error = self.faults.api_error("serve", self.faults.next_call())
+            if error is not None:
+                return self._refuse(
+                    request_id,
+                    tenant,
+                    ip,
+                    REJECT_SHED,
+                    detail=type(error).__name__,
+                )
+        wait_s = account.rate_wait_s()
+        if wait_s > 0.0:
+            return self._refuse(
+                request_id,
+                tenant,
+                ip,
+                REJECT_OVER_RATE,
+                detail=f"retry in {wait_s:.3f}s",
+            )
+        if not account.can_afford_query():
+            return self._refuse(
+                request_id,
+                tenant,
+                ip,
+                REJECT_OVER_BUDGET,
+                detail=f"cost {account.config.cost_per_query} exceeds "
+                f"remaining {account.ledger.remaining}",
+            )
+        account.charge_query()
+        self._queue.append(ServeRequest(request_id, tenant, ip, column))
+        self._admitted_wall[request_id] = time.perf_counter()
+        if self.obs.enabled:
+            self.obs.event(
+                _ev.SERVE_REQUEST,
+                t_s=self.clock.now_s,
+                request=request_id,
+                tenant=tenant,
+                ip=ip,
+            )
+            self.obs.count("serve.requests")
+            self.obs.count("serve.admitted")
+            self.obs.gauge("serve.queue_depth", len(self._queue))
+        return request_id
+
+    def _refuse(
+        self, request_id: int, tenant: str, ip: str, reason: str, detail: str = ""
+    ) -> int:
+        self._results[request_id] = ServeResult(
+            request_id, tenant, ip, reason, detail=detail
+        )
+        if self.obs.enabled:
+            self.obs.event(
+                _ev.SERVE_REJECT,
+                t_s=self.clock.now_s,
+                request=request_id,
+                tenant=tenant,
+                ip=ip,
+                reason=reason,
+            )
+            self.obs.count("serve.requests")
+            self.obs.count("serve.rejected")
+            self.obs.count(f"serve.rejected.{reason}")
+        return request_id
+
+    # --- batching ----------------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests admitted but not yet solved."""
+        return len(self._queue)
+
+    def process_one_batch(self) -> int:
+        """Coalesce and solve at most ``max_batch`` queued requests.
+
+        Requests are deduplicated to unique target columns, and columns
+        already solved in an earlier batch are answered from the memo —
+        the kernel runs only on cold columns. Returns the number of
+        requests answered (0 on an empty queue — draining a queue shorter
+        than ``max_batch`` solves a partial batch, which the coalescing
+        boundary tests pin).
+        """
+        if not self._queue:
+            return 0
+        size = min(self.max_batch, len(self._queue))
+        batch = [self._queue.popleft() for _ in range(size)]
+        self.batches_processed += 1
+        seq = self.batches_processed
+        columns = np.array([request.column for request in batch], dtype=np.intp)
+        unique_columns, inverse = np.unique(columns, return_inverse=True)
+        fresh = unique_columns[~self._solved[unique_columns]]
+        cached = int(unique_columns.size - fresh.size)
+        self.column_cache_hits += cached
+        if fresh.size and self.checker.enabled and self.state.target_true_lats is not None:
+            self.checker.check_cbg_containment(
+                self.state.vp_lats,
+                self.state.vp_lons,
+                self.state.rtt_matrix[:, fresh],
+                self.state.target_true_lats[fresh],
+                self.state.target_true_lons[fresh],
+                self.state.soi_fraction,
+                f"serve batch #{seq} ({fresh.size} columns)",
+            )
+        with self.obs.span(
+            "serve:batch",
+            clock=self.clock,
+            batch=seq,
+            size=size,
+            columns=int(fresh.size),
+            cached=cached,
+        ):
+            if fresh.size:
+                fresh_lats, fresh_lons = self.solver.centroids(fresh, obs=self.obs)
+                self._answer_lats[fresh] = fresh_lats
+                self._answer_lons[fresh] = fresh_lons
+                self._solved[fresh] = True
+        lats = self._answer_lats[unique_columns]
+        lons = self._answer_lons[unique_columns]
+        done_wall = time.perf_counter()
+        answered = 0
+        for position, request in enumerate(batch):
+            lat = lats[inverse[position]]
+            if np.isnan(lat):
+                result = ServeResult(
+                    request.request_id,
+                    request.tenant,
+                    request.ip,
+                    STATUS_NO_ESTIMATE,
+                    batch=seq,
+                )
+            else:
+                answered += 1
+                result = ServeResult(
+                    request.request_id,
+                    request.tenant,
+                    request.ip,
+                    STATUS_OK,
+                    lat=float(lat),
+                    lon=float(lons[inverse[position]]),
+                    batch=seq,
+                )
+            self._results[request.request_id] = result
+            submitted = self._admitted_wall.pop(request.request_id, None)
+            if submitted is not None:
+                self.wall_latencies_s.append(done_wall - submitted)
+        if self.obs.enabled:
+            self.obs.event(
+                _ev.SERVE_BATCH,
+                t_s=self.clock.now_s,
+                batch=seq,
+                size=size,
+                columns=int(fresh.size),
+                cached=cached,
+                answered=answered,
+            )
+            if cached:
+                self.obs.count("serve.column_cache_hits", cached)
+            self.obs.count("serve.batches")
+            self.obs.count("serve.answered", answered)
+            if answered < size:
+                self.obs.count("serve.no_estimate", size - answered)
+            self.obs.observe("serve.batch_size", size)
+            self.obs.gauge("serve.queue_depth", len(self._queue))
+        return size
+
+    def drain(self) -> int:
+        """Solve every queued request; returns how many were answered."""
+        total = 0
+        while self._queue:
+            total += self.process_one_batch()
+        return total
+
+    # --- results -----------------------------------------------------------------
+
+    def result(self, request_id: int) -> Optional[ServeResult]:
+        """The result for a request id, or ``None`` while still queued."""
+        return self._results.get(request_id)
+
+    def geolocate(
+        self, tenant: str, ips: Sequence[str]
+    ) -> List[ServeResult]:
+        """Submit a list of addresses and drain; results in request order.
+
+        The synchronous convenience wrapper: an empty list is a valid
+        query and returns an empty list (no kernel work, no events).
+        """
+        request_ids = [self.submit(tenant, ip) for ip in ips]
+        self.drain()
+        return [self._results[request_id] for request_id in request_ids]
+
+    def stats(self) -> Dict[str, Union[int, float]]:
+        """Engine-lifetime admission and batch totals (plain dict)."""
+        by_status: Dict[str, int] = {}
+        for result in self._results.values():
+            by_status[result.status] = by_status.get(result.status, 0) + 1
+        return {
+            "requests": self._next_id,
+            "queued": len(self._queue),
+            "batches": self.batches_processed,
+            "column_cache_hits": self.column_cache_hits,
+            **{f"status.{status}": count for status, count in sorted(by_status.items())},
+        }

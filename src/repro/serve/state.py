@@ -1,0 +1,104 @@
+"""Query-time state: the serving half of a :class:`Scenario`.
+
+A :class:`~repro.experiments.scenario.Scenario` bundles two very different
+lifetimes. *Build-time* state — the world generator, the platform, the
+measurement client, the sanitization bookkeeping — exists to run campaigns
+and is only needed while measurements happen. *Query-time* state — the
+registered VP coordinates, the min-RTT matrix, and the target address
+index — is everything a geolocate query needs, and it is immutable once
+the campaigns are done.
+
+:class:`QueryState` is that second half, split out so a resident serving
+engine (:mod:`repro.serve.engine`) can hold only the arrays it reads:
+loading one through :meth:`QueryState.from_scenario` forces the RTT
+campaign exactly once (replayed from the content-addressed artifact cache
+on warm starts), after which the world, platform, and client are free to
+be dropped. Ground-truth target coordinates ride along for evaluation and
+for the armed ``cbg.containment`` invariant check; a real deployment
+would not have them, and nothing in the serving path requires them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.constants import SOI_FRACTION_CBG
+
+
+@dataclass
+class QueryState:
+    """Everything a geolocate query reads, frozen at load time.
+
+    Attributes:
+        vp_lats: registered vantage-point latitudes (degrees).
+        vp_lons: registered vantage-point longitudes, aligned.
+        rtt_matrix: min-RTT matrix, shape (VPs, targets); NaN = no answer.
+        target_ips: target addresses, aligned with the matrix columns.
+        soi_fraction: RTT-to-distance conversion speed for CBG.
+        target_true_lats: optional ground-truth latitudes (evaluation and
+            armed containment checks only).
+        target_true_lons: optional ground-truth longitudes, aligned.
+        seed: the world seed the state was measured under (provenance).
+    """
+
+    vp_lats: np.ndarray
+    vp_lons: np.ndarray
+    rtt_matrix: np.ndarray
+    target_ips: Tuple[str, ...]
+    soi_fraction: float = SOI_FRACTION_CBG
+    target_true_lats: Optional[np.ndarray] = None
+    target_true_lons: Optional[np.ndarray] = None
+    seed: Optional[int] = None
+    _column_by_ip: Dict[str, int] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        self.rtt_matrix = np.asarray(self.rtt_matrix, dtype=np.float64)
+        if self.rtt_matrix.ndim != 2:
+            raise ValueError(
+                f"rtt_matrix must be 2-D, got shape {self.rtt_matrix.shape}"
+            )
+        if len(self.target_ips) != self.rtt_matrix.shape[1]:
+            raise ValueError(
+                f"{len(self.target_ips)} target ips vs "
+                f"{self.rtt_matrix.shape[1]} matrix columns"
+            )
+        self._column_by_ip = {
+            ip: column for column, ip in enumerate(self.target_ips)
+        }
+
+    @property
+    def n_targets(self) -> int:
+        """Number of addressable targets."""
+        return len(self.target_ips)
+
+    @property
+    def n_vps(self) -> int:
+        """Number of vantage points."""
+        return self.rtt_matrix.shape[0]
+
+    def column_of(self, ip: str) -> Optional[int]:
+        """Matrix column of a target address, or ``None`` when unknown."""
+        return self._column_by_ip.get(ip)
+
+    @classmethod
+    def from_scenario(cls, scenario) -> "QueryState":
+        """Extract the query-time half of a built scenario.
+
+        Forces the VP-to-target RTT campaign (cached across calls on the
+        scenario, and replayed from the artifact cache when one is
+        wired), then copies out only the arrays a query reads.
+        """
+        return cls(
+            vp_lats=scenario.vp_lats,
+            vp_lons=scenario.vp_lons,
+            rtt_matrix=scenario.rtt_matrix(),
+            target_ips=tuple(scenario.target_ips),
+            target_true_lats=scenario.target_true_lats,
+            target_true_lons=scenario.target_true_lons,
+            seed=scenario.world.config.seed,
+        )

@@ -1,0 +1,112 @@
+"""Per-tenant accounting for the serving engine.
+
+The paper's measurement platform already has both halves of multi-tenant
+admission control — :class:`~repro.atlas.credits.CreditLedger` (budgeted
+spend with the ``credits.conservation`` invariant) and
+:class:`~repro.atlas.ratelimit.SlidingWindowRateLimiter` (windowed request
+caps over a simulated clock). Serving generalizes them from "one platform
+account" to "one account per tenant": every tenant of a
+:class:`~repro.serve.engine.ServeEngine` owns a ledger and, optionally, a
+limiter, both threaded onto the engine's observer and invariant checker so
+interleaved tenants share one deterministic event stream and every charge
+is conservation-checked.
+
+Admission is *non-blocking*: a request that would have to wait for a rate
+slot or would overdraw the budget is refused with a typed reason instead
+of charging the clock — the serving analogue of
+:meth:`~repro.atlas.ratelimit.SlidingWindowRateLimiter.acquire_or_raise`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.atlas.clock import SimClock
+from repro.atlas.credits import CreditLedger
+from repro.atlas.ratelimit import SlidingWindowRateLimiter
+from repro.check.invariants import NULL_CHECKER
+from repro.errors import ConfigurationError
+from repro.obs.observer import NULL_OBSERVER
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """Admission-control knobs for one serving tenant.
+
+    Attributes:
+        name: tenant identifier (non-empty; appears in events and the
+            per-kind ledger key ``serve:<name>``).
+        credit_budget: maximum credits the tenant may spend; ``None`` is
+            unlimited. A zero budget admits nothing — the degenerate case
+            the ledger edge-case tests pin.
+        cost_per_query: credits one admitted query charges (>= 0).
+        max_requests_per_window: rate cap per sliding window; ``None``
+            disables rate limiting for the tenant.
+        window_s: sliding-window length in simulated seconds.
+    """
+
+    name: str
+    credit_budget: Optional[int] = None
+    cost_per_query: int = 1
+    max_requests_per_window: Optional[int] = None
+    window_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("tenant name must be non-empty")
+        if self.cost_per_query < 0:
+            raise ConfigurationError(
+                f"cost_per_query must be non-negative: {self.cost_per_query}"
+            )
+        if self.credit_budget is not None and self.credit_budget < 0:
+            raise ConfigurationError(
+                f"credit_budget must be non-negative: {self.credit_budget}"
+            )
+
+
+class TenantAccount:
+    """Live admission state for one tenant: ledger plus optional limiter."""
+
+    def __init__(
+        self,
+        config: TenantConfig,
+        clock: SimClock,
+        obs=NULL_OBSERVER,
+        checker=NULL_CHECKER,
+    ) -> None:
+        self.config = config
+        self.ledger = CreditLedger(
+            budget=config.credit_budget, observer=obs, checker=checker
+        )
+        self.limiter: Optional[SlidingWindowRateLimiter] = None
+        if config.max_requests_per_window is not None:
+            self.limiter = SlidingWindowRateLimiter(
+                clock,
+                config.max_requests_per_window,
+                config.window_s,
+                obs=obs,
+            )
+
+    def rate_wait_s(self) -> float:
+        """Seconds until a rate slot frees up (0 = admit now)."""
+        if self.limiter is None:
+            return 0.0
+        return self.limiter.would_wait()
+
+    def can_afford_query(self) -> bool:
+        """Whether one query's cost fits the remaining budget."""
+        return self.ledger.can_afford(self.config.cost_per_query)
+
+    def charge_query(self) -> None:
+        """Consume one admitted query: rate slot plus credits.
+
+        Call only after :meth:`rate_wait_s` returned 0 and
+        :meth:`can_afford_query` returned True — the slot acquisition is
+        then free (no clock charge) and the ledger charge cannot raise.
+        """
+        if self.limiter is not None:
+            self.limiter.acquire("serve")
+        self.ledger.charge(
+            self.config.cost_per_query, kind=f"serve:{self.config.name}"
+        )

@@ -2,9 +2,10 @@
 
 Two halves:
 
-* the harness *passes* on the real substrate — all three paired paths
-  (batched vs loop CBG, serial vs parallel execution, cold vs warm cache)
-  agree bitwise, the CLI ``--selfcheck`` exits 0;
+* the harness *passes* on the real substrate — all four paired paths
+  (batched vs loop CBG, serial vs parallel execution, cold vs warm cache,
+  serving engine vs batch campaign) agree bitwise, the CLI ``--selfcheck``
+  exits 0;
 * the harness *fails* when a path is deliberately broken — each pair is
   monkeypatched with a divergent implementation and must report the
   divergence (a self-check that cannot fail proves nothing).
@@ -26,6 +27,7 @@ from repro.check.diff import (
     diff_batch_vs_loop,
     diff_cold_vs_warm_cache,
     diff_serial_vs_parallel,
+    diff_serve_vs_batch,
 )
 from repro.errors import InvariantViolation
 from repro.experiments import run as run_cli
@@ -40,11 +42,12 @@ def quick_scenario():
 class TestHealthyPaths:
     def test_selfcheck_report_all_ok(self, selfcheck_report):
         assert selfcheck_report.ok
-        assert len(selfcheck_report.outcomes) == 3
+        assert len(selfcheck_report.outcomes) == 4
         assert {o.pair for o in selfcheck_report.outcomes} == {
             "cbg: batch vs loop",
             "exec: serial vs parallel",
             "cache: cold vs warm",
+            "serve: engine vs batch",
         }
         for outcome in selfcheck_report.outcomes:
             assert outcome.compared > 0
@@ -105,6 +108,19 @@ class TestBrokenPaths:
         monkeypatch.delenv("REPRO_WORKERS", raising=False)
         monkeypatch.setattr(fig2, "_trial_median", _env_dependent_trial)
         outcome = diff_serial_vs_parallel(quick_scenario, trials=2, workers=2)
+        assert not outcome.ok
+        assert "diverges" in outcome.detail
+
+    def test_broken_serve_engine_is_caught(self, quick_scenario, monkeypatch):
+        from repro.serve import engine as serve_engine
+
+        original = serve_engine.CbgBatchSolver.centroids
+
+        def broken(self, columns=None, obs=None, chunk_targets=None):
+            lats, lons = original(self, columns=columns)
+            return lats + 0.5, lons
+        monkeypatch.setattr(serve_engine.CbgBatchSolver, "centroids", broken)
+        outcome = diff_serve_vs_batch(quick_scenario)
         assert not outcome.ok
         assert "diverges" in outcome.detail
 

@@ -100,7 +100,8 @@ class TestEventLog:
         with pytest.raises(ValueError):
             log.emit("totally-new-event")
         assert "retry" in EVENT_TYPES and "invariant-violation" in EVENT_TYPES
-        assert len(EVENT_TYPES) == 11
+        assert "serve-batch" in EVENT_TYPES
+        assert len(EVENT_TYPES) == 14
 
     def test_capacity_drops_but_counts(self):
         log = EventLog(capacity=2)
