@@ -1,0 +1,104 @@
+"""Trie throughput benchmark: rDNS hint mining at paper scale.
+
+Streams a few hundred thousand PTR names (the world's real reverse zone,
+cycled) through the location-code trie and records one JSON point
+(``BENCH_hints.json``): corpus size, scan throughput (names/sec), and the
+match yield. The ROADMAP positions hint mining as an Internet-scale
+pass — millions of names per CPU-hour — so the floor assert (armed only
+on the paper preset) demands at least 100k names/sec from the pure-Python
+trie.
+
+Numbers only count if the scan is right: before recording, the batch
+``find_hints`` path is compared entry by entry against a direct per-name
+trie walk, and the benchmark fails loudly on any divergence.
+"""
+
+from __future__ import annotations
+
+import json
+import platform as platform_mod
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+from repro.hints import CodeCorpus, find_hints
+
+from conftest import PRESET
+
+#: Names per measured scan (the paper's hitlist is ~3.1M; this keeps the
+#: bench seconds-long while staying far above cache-toy sizes).
+_SCAN_SIZE = 200_000 if PRESET == "paper" else 40_000
+
+
+def _reverse_zone(world) -> list:
+    """Every PTR name of the world, with its address, in host-id order."""
+    return [(host.ip, host.rdns) for host in world.hosts if host.rdns]
+
+
+def _workload(zone, size: int) -> list:
+    """``size`` (ip, name) pairs cycling the real reverse zone."""
+    return [zone[index % len(zone)] for index in range(size)]
+
+
+def test_bench_hints_trie(benchmark, scenario):
+    corpus = CodeCorpus.from_world(scenario.world)
+    trie = corpus.trie()
+    zone = _reverse_zone(scenario.world)
+    assert zone, "world has no reverse zone to mine"
+    names = _workload(zone, _SCAN_SIZE)
+
+    def run() -> dict:
+        started = time.perf_counter()
+        matches = [trie.find(hostname) for _, hostname in names]
+        return {"elapsed_s": time.perf_counter() - started, "matches": matches}
+
+    measured = benchmark.pedantic(run, rounds=3, iterations=1)
+
+    # Parity gate: the batch scan agrees with the direct walk, per entry.
+    batch = find_hints(names[: len(zone)], trie)
+    for index, match in enumerate(batch):
+        direct = measured["matches"][index]
+        if match is None:
+            assert direct is None, f"batch miss but direct hit at {index}"
+        else:
+            assert direct is not None and (match.code, match.city_id) == direct[:2], (
+                f"batch/direct disagree at {index}"
+            )
+
+    matched = sum(1 for found in measured["matches"] if found is not None)
+    names_per_sec = len(names) / measured["elapsed_s"]
+    point = {
+        "schema": "bench-hints-v1",
+        "recorded_at": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "preset": PRESET,
+        "python": platform_mod.python_version(),
+        "numpy": np.__version__,
+        "corpus": {
+            "cities": len(scenario.world.cities),
+            "codes": len(corpus),
+            "reverse_zone": len(zone),
+        },
+        "scan": {
+            "names": len(names),
+            "matches": matched,
+            "match_rate": round(matched / len(names), 4),
+            "elapsed_s": round(measured["elapsed_s"], 4),
+            "names_per_sec": round(names_per_sec, 1),
+            "identical_to_batch": True,
+        },
+    }
+    out = Path(__file__).resolve().parents[1] / "BENCH_hints.json"
+    out.write_text(json.dumps(point, indent=1) + "\n")
+    print()
+    print(
+        f"hint mining: {len(names):,} names in {measured['elapsed_s']:.3f}s "
+        f"= {names_per_sec:,.0f} names/sec "
+        f"({matched:,} matches, {len(corpus)} codes) -> {out.name}"
+    )
+
+    if PRESET == "paper":
+        assert names_per_sec >= 100_000, (
+            f"paper-scale trie scan below 100k names/sec: {names_per_sec:,.0f}"
+        )

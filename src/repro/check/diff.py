@@ -1,6 +1,6 @@
 """Differential self-verification: run paired paths, assert equal bytes.
 
-The substrate promises four expensive equivalences:
+The substrate promises five expensive equivalences:
 
 * the batched CBG kernel computes exactly what the per-target reference
   loop computes (``repro.core.cbg_batch``);
@@ -10,12 +10,15 @@ The substrate promises four expensive equivalences:
   cold build (``repro.cache``);
 * the resident serving engine answers exactly what the one-shot batch
   campaign computes, regardless of request order or batching
-  (``repro.serve``).
+  (``repro.serve``);
+* the hint pipeline mines and verifies identically serial and parallel,
+  and no confirmed hint contradicts the CBG containment physics
+  (``repro.hints``).
 
 Each promise is pinned by golden tests, but those only run under pytest.
 This module packages the same comparisons as a *runtime* harness: each
 ``diff_*`` function runs one campaign through both sides of a pair and
-compares outputs bitwise, and :func:`run_selfcheck` bundles all four into
+compares outputs bitwise, and :func:`run_selfcheck` bundles all five into
 the :class:`SelfCheckReport` behind ``experiments/run.py --selfcheck``
 (exit 0 iff every pair agrees) and the ``selfcheck_report`` pytest
 fixture. The paired computations are invoked through their *modules*, so
@@ -307,13 +310,98 @@ def diff_serve_vs_batch(scenario, batch_sizes=(1, 7, 64)) -> DiffOutcome:
     )
 
 
+def diff_hints(scenario, workers: int = 2) -> DiffOutcome:
+    """Hint pipeline serial vs parallel, bitwise — plus hint physics.
+
+    Mines and verifies the scenario's targets twice through
+    :mod:`repro.hints` — once forced serial, once with ``workers``
+    processes — each under a fresh observer, and compares the match list,
+    the verdicts, the ``hint-*`` event stream, and the metrics report
+    byte for byte. Then replays every confirmed hint through the
+    ``cbg.containment`` invariant with the hinted city centre standing in
+    for the truth (slack widened by that city's radius): a confirmed hint
+    must be a feasible location under every answering VP's disk. The
+    pipeline is invoked through the module, so a patched finder or
+    verifier diverges visibly.
+    """
+    from repro import hints as hints_mod
+    from repro.check.invariants import InvariantChecker
+    from repro.exec.pool import _fork_context
+    from repro.obs import Observer
+
+    def run_with_workers(value: Optional[str]):
+        saved = os.environ.get("REPRO_WORKERS")
+        try:
+            if value is None:
+                os.environ.pop("REPRO_WORKERS", None)
+            else:
+                os.environ["REPRO_WORKERS"] = value
+            obs = Observer()
+            matches, verified = hints_mod.mine_hints(scenario, obs=obs)
+            return matches, verified, obs.events.to_jsonl(), obs.metrics_report()
+        finally:
+            if saved is None:
+                os.environ.pop("REPRO_WORKERS", None)
+            else:
+                os.environ["REPRO_WORKERS"] = saved
+
+    serial = run_with_workers(None)
+    parallel = run_with_workers(str(workers))
+    pair = "hints: serial vs parallel"
+    compared = 0
+    for name, index in (("matches", 0), ("verdicts", 1), ("events", 2), ("metrics", 3)):
+        compared += 1
+        if serial[index] != parallel[index]:
+            return DiffOutcome(
+                pair,
+                ok=False,
+                compared=compared,
+                detail=f"{name} diverge between serial and {workers}-worker runs",
+            )
+
+    # Physics: every confirmed hint survives cbg.containment with the
+    # hinted centre as the location claim.
+    matrix = scenario.rtt_matrix()
+    confirmed = hints_mod.confirmed_hints(serial[1])
+    for hint in confirmed:
+        checker = InvariantChecker(
+            raise_on_violation=False, cbg_slack_km=hint.slack_km
+        )
+        checker.check_cbg_containment(
+            scenario.vp_lats,
+            scenario.vp_lons,
+            matrix[:, [hint.column]],
+            np.array([hint.lat]),
+            np.array([hint.lon]),
+            soi_fraction=2.0 / 3.0,
+            context=f"selfcheck hints target {hint.column}",
+        )
+        compared += 1
+        if checker.violations:
+            return DiffOutcome(
+                pair,
+                ok=False,
+                compared=compared,
+                detail=f"confirmed hint at target {hint.column} "
+                f"({hint.match.code!r}) violates cbg.containment",
+            )
+    degenerate = "" if _fork_context() is not None else " (fork unavailable: both serial)"
+    return DiffOutcome(
+        pair,
+        ok=True,
+        compared=compared,
+        detail=f"{len(confirmed)} confirmed hints contained, "
+        f"{workers} workers{degenerate}",
+    )
+
+
 def run_selfcheck(
     preset: str = "quick",
     seed: Optional[int] = None,
     trials: int = 3,
     workers: int = 2,
 ) -> SelfCheckReport:
-    """Run all four paired-path comparisons over one preset world."""
+    """Run all five paired-path comparisons over one preset world."""
     from repro.experiments.scenario import Scenario, config_for_preset
 
     config = config_for_preset(preset, seed)
@@ -325,4 +413,5 @@ def run_selfcheck(
     )
     report.outcomes.append(diff_cold_vs_warm_cache(config))
     report.outcomes.append(diff_serve_vs_batch(scenario))
+    report.outcomes.append(diff_hints(scenario, workers=workers))
     return report

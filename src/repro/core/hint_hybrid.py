@@ -1,0 +1,112 @@
+"""Hint+CBG hybrid geolocation: trust a confirmed hint when it is tighter.
+
+Pure CBG answers with the centroid of the feasible intersection region;
+its error scales with the region's size. A *confirmed* rDNS hint names a
+specific city whose metro disk the latency evidence could not refute. The
+hybrid rule is deliberately observable-only (no ground truth leaks in):
+
+* where CBG produced no estimate at all (too few answering VPs), a
+  confirmed hint fills the hole — pure coverage gain;
+* where both exist, the hint's city centre replaces the CBG centroid
+  **iff the city disk is tighter than the tightest feasible disk** any
+  single VP provides (``city_radius_km < tightest_disk_km``). When even
+  the best measurement only pins the target to, say, a 900 km disk but
+  the hinted city spans 40 km, the hint is the better estimator; when
+  measurements are tight, CBG keeps the column.
+
+Refuted and unverifiable hints never touch the estimate.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.constants import SOI_FRACTION_CBG
+from repro.core.cbg_batch import cbg_centroids_batch
+from repro.geo.coords import pairwise_haversine_km
+from repro.hints.verify import VERDICT_CONFIRMED, VerifiedHint
+from repro.obs.observer import NULL_OBSERVER
+
+
+def hint_hybrid_centroids(
+    vp_lats: np.ndarray,
+    vp_lons: np.ndarray,
+    rtt_matrix: np.ndarray,
+    verified: Sequence[VerifiedHint],
+    soi_fraction: float = SOI_FRACTION_CBG,
+    obs=NULL_OBSERVER,
+) -> Tuple[np.ndarray, np.ndarray, List[int]]:
+    """Per-target hybrid estimates: CBG centroids with hint overrides.
+
+    Args:
+        vp_lats: registered VP latitudes.
+        vp_lons: registered VP longitudes.
+        rtt_matrix: the VPs x targets min-RTT campaign matrix.
+        verified: output of :func:`repro.hints.verify_hints`; only
+            confirmed entries are used.
+        soi_fraction: speed-of-Internet fraction for the CBG pass.
+        obs: observer (``hints.hybrid_overrides`` / ``hints.hybrid_fills``
+            counters).
+
+    Returns:
+        ``(lats, lons, hinted_columns)`` — estimate arrays over target
+        columns (NaN where neither CBG nor a hint answers) and the sorted
+        columns where the hint supplied the estimate.
+    """
+    lats, lons = cbg_centroids_batch(
+        vp_lats, vp_lons, rtt_matrix, soi_fraction=soi_fraction, obs=obs
+    )
+    lats = lats.copy()
+    lons = lons.copy()
+    hinted: List[int] = []
+    overrides = 0
+    fills = 0
+    for hint in verified:
+        if hint.verdict != VERDICT_CONFIRMED:
+            continue
+        column = hint.column
+        if np.isnan(lats[column]):
+            fills += 1
+        elif hint.city_radius_km < hint.tightest_disk_km:
+            overrides += 1
+        else:
+            continue
+        lats[column] = hint.lat
+        lons[column] = hint.lon
+        hinted.append(column)
+    if obs.enabled:
+        obs.count("hints.hybrid_overrides", overrides)
+        obs.count("hints.hybrid_fills", fills)
+    return lats, lons, sorted(hinted)
+
+
+def hint_hybrid_errors(
+    vp_lats: np.ndarray,
+    vp_lons: np.ndarray,
+    rtt_matrix: np.ndarray,
+    verified: Sequence[VerifiedHint],
+    target_true_lats: np.ndarray,
+    target_true_lons: np.ndarray,
+    soi_fraction: float = SOI_FRACTION_CBG,
+    obs=NULL_OBSERVER,
+) -> np.ndarray:
+    """Great-circle error per target column for the hybrid estimator.
+
+    NaN where the hybrid produced no estimate. Evaluation-only: ground
+    truth enters here, never in :func:`hint_hybrid_centroids`.
+    """
+    lats, lons, _ = hint_hybrid_centroids(
+        vp_lats, vp_lons, rtt_matrix, verified, soi_fraction=soi_fraction, obs=obs
+    )
+    errors = np.full(lats.shape, np.nan)
+    defined = ~np.isnan(lats)
+    if defined.any():
+        errors[defined] = pairwise_haversine_km(
+            lats[defined],
+            lons[defined],
+            np.asarray(target_true_lats, dtype=np.float64)[defined],
+            np.asarray(target_true_lons, dtype=np.float64)[defined],
+        )
+    return errors

@@ -1,0 +1,215 @@
+"""The hints experiment family: rDNS hints as a fourth technique.
+
+``hints`` is the coverage-vs-accuracy table: how many targets carry a PTR
+name, how many names yield a location code, how verification splits the
+matches, and how accurate each slice is against ground truth. It is the
+quantitative version of the paper's §6 observation that commercial
+databases get their edge from exactly this kind of public hint mining.
+
+``hintscdf`` is the Figure-7-style overlay: error CDFs of pure CBG (all
+VPs), the hint+CBG hybrid, and the two database emulations on the same
+targets — the hybrid should dominate pure CBG wherever hint coverage is
+substantial, because a confirmed city hint is tighter than a wide
+feasible region.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core.cbg_batch import cbg_errors_batch
+from repro.core.hint_hybrid import hint_hybrid_centroids, hint_hybrid_errors
+from repro.experiments.base import ExperimentOutput
+from repro.experiments.scenario import Scenario
+from repro.geo.coords import haversine_km
+from repro.geodb import build_ipinfo, build_maxmind_free
+from repro.hints import (
+    VERDICT_CONFIRMED,
+    VERDICT_REFUTED,
+    VERDICT_UNVERIFIABLE,
+    mine_hints,
+    target_names,
+)
+
+#: What a sound pipeline must deliver (not paper numbers — the paper never
+#: built this technique; these are the design's own acceptance targets).
+EXPECTED_HINTS = {
+    "confirmed_precision": 1.0,
+    "refuted_true_city": 0.0,
+}
+
+
+def _errors_of(verified, targets, verdict: str) -> np.ndarray:
+    """Distance from hinted city centre to the true target position, for
+    one verdict slice."""
+    values = [
+        haversine_km(
+            hint.lat,
+            hint.lon,
+            targets[hint.column].true_location.lat,
+            targets[hint.column].true_location.lon,
+        )
+        for hint in verified
+        if hint.verdict == verdict
+    ]
+    return np.asarray(values, dtype=np.float64)
+
+
+def run_hints(scenario: Scenario) -> ExperimentOutput:
+    """Coverage vs accuracy through the find/verify pipeline."""
+    names = target_names(scenario)
+    matches, verified = mine_hints(scenario)
+    targets = scenario.targets
+    total = len(targets)
+    named = sum(1 for _, hostname in names if hostname)
+    matched = sum(1 for match in matches if match is not None)
+
+    rows: List[List[object]] = [
+        ["targets", total, "100%", "n/a"],
+        ["with PTR name", named, f"{named / total:.0%}", "n/a"],
+        ["with location code", matched, f"{matched / total:.0%}", "n/a"],
+    ]
+    slice_stats: Dict[str, Dict[str, float]] = {}
+    for verdict in (VERDICT_CONFIRMED, VERDICT_UNVERIFIABLE, VERDICT_REFUTED):
+        subset = [hint for hint in verified if hint.verdict == verdict]
+        errors = _errors_of(verified, targets, verdict)
+        true_city = sum(
+            1
+            for hint in subset
+            if targets[hint.column].city_id == hint.match.city_id
+        )
+        median = float(np.median(errors)) if errors.size else float("nan")
+        rows.append(
+            [
+                verdict,
+                len(subset),
+                f"{len(subset) / total:.0%}",
+                f"{median:.1f} km" if errors.size else "n/a",
+            ]
+        )
+        slice_stats[verdict] = {
+            "count": len(subset),
+            "true_city": true_city,
+            "median_km": median,
+        }
+
+    confirmed = slice_stats[VERDICT_CONFIRMED]
+    refuted = slice_stats[VERDICT_REFUTED]
+    measured = {
+        "confirmed_precision": (
+            confirmed["true_city"] / confirmed["count"]
+            if confirmed["count"]
+            else float("nan")
+        ),
+        "refuted_true_city": (
+            refuted["true_city"] / refuted["count"] if refuted["count"] else 0.0
+        ),
+        "name_coverage": named / total,
+        "match_coverage": matched / total,
+        "confirmed_coverage": confirmed["count"] / total,
+        "confirmed_median_km": confirmed["median_km"],
+    }
+    table = format_table(["stage", "targets", "coverage", "median error"], rows)
+    return ExperimentOutput(
+        "hints",
+        "rDNS hint pipeline: coverage vs accuracy",
+        table,
+        measured=measured,
+        expected=dict(EXPECTED_HINTS),
+        series={
+            "verdicts": {name: stats["count"] for name, stats in slice_stats.items()},
+            "confirmed_errors": _errors_of(
+                verified, targets, VERDICT_CONFIRMED
+            ).tolist(),
+        },
+    )
+
+
+def run_hints_cdf(scenario: Scenario) -> ExperimentOutput:
+    """Error CDFs: pure CBG vs hint+CBG hybrid vs database emulations."""
+    matrix = scenario.rtt_matrix()
+    _, verified = mine_hints(scenario)
+    cbg_errors = cbg_errors_batch(
+        scenario.vp_lats,
+        scenario.vp_lons,
+        matrix,
+        scenario.target_true_lats,
+        scenario.target_true_lons,
+        obs=scenario.obs,
+        checker=scenario.checker,
+    )
+    hybrid_errors = hint_hybrid_errors(
+        scenario.vp_lats,
+        scenario.vp_lons,
+        matrix,
+        verified,
+        scenario.target_true_lats,
+        scenario.target_true_lons,
+        obs=scenario.obs,
+    )
+    _, _, hinted_columns = hint_hybrid_centroids(
+        scenario.vp_lats, scenario.vp_lons, matrix, verified
+    )
+
+    series: Dict[str, object] = {
+        "cbg": cbg_errors.tolist(),
+        "hint-hybrid": hybrid_errors.tolist(),
+    }
+    rows = [
+        _row("All VPs (CBG)", cbg_errors),
+        _row("Hint+CBG hybrid", hybrid_errors),
+    ]
+    for database in (build_maxmind_free(scenario.world), build_ipinfo(scenario.world)):
+        errors = np.full(len(scenario.targets), np.nan)
+        for column, target in enumerate(scenario.targets):
+            location = database.lookup(target.ip)
+            if location is not None:
+                errors[column] = location.distance_km(target.true_location)
+        series[database.name] = errors.tolist()
+        rows.append(_row(database.name, errors))
+
+    from repro.analysis.ascii_plots import ascii_cdf
+
+    both = ~np.isnan(cbg_errors) & ~np.isnan(hybrid_errors)
+    confirmed_count = sum(
+        1 for hint in verified if hint.verdict == VERDICT_CONFIRMED
+    )
+    measured = {
+        "cbg_median_km": float(np.nanmedian(cbg_errors)),
+        "hybrid_median_km": float(np.nanmedian(hybrid_errors)),
+        "hybrid_city_fraction": float(np.nanmean(hybrid_errors <= 40.0)),
+        "cbg_city_fraction": float(np.nanmean(cbg_errors <= 40.0)),
+        "hint_coverage": confirmed_count / len(scenario.targets),
+        "hinted_columns": float(len(hinted_columns)),
+        "hybrid_median_le_cbg": float(
+            np.nanmedian(hybrid_errors[both]) <= np.nanmedian(cbg_errors[both])
+        ),
+    }
+    table = (
+        format_table(["source", "median km", "<=40km", "<=137km"], rows)
+        + "\n\n"
+        + ascii_cdf(series, x_label="error km")
+    )
+    return ExperimentOutput(
+        "hintscdf",
+        "Hint+CBG hybrid vs pure CBG vs databases",
+        table,
+        measured=measured,
+        expected={"hybrid_median_le_cbg": 1.0},
+        series=series,
+    )
+
+
+def _row(label: str, errors: np.ndarray) -> List[object]:
+    defined = errors[~np.isnan(errors)]
+    if defined.size == 0:
+        return [label, "n/a", "n/a", "n/a"]
+    return [
+        label,
+        f"{np.median(defined):.1f}",
+        f"{(defined <= 40).mean():.0%}",
+        f"{(defined <= 137).mean():.0%}",
+    ]

@@ -29,7 +29,8 @@ byte-identical to a serial run.
 ``REPRO_CHECK=1``): physics and accounting invariants are verified inline
 and any violation aborts the run. ``--selfcheck`` runs the differential
 self-verification harness — batched vs per-target CBG, serial vs parallel
-execution, cold vs warm artifact cache, serving engine vs batch campaign —
+execution, cold vs warm artifact cache, serving engine vs batch campaign,
+serial vs parallel hint mining —
 and exits non-zero if any pair of paths diverges (see
 ``docs/CORRECTNESS.md``).
 """
@@ -77,13 +78,14 @@ def _registry() -> Dict[str, Callable[[Scenario, argparse.Namespace], Experiment
         fig6,
         fig7,
         fig8,
+        hints,
         parity,
         robustness,
         serve,
         tables,
     )
 
-    return {
+    entries = {
         "baseline": lambda s, a: baseline.run_baseline(s, _street_max_targets(a)),
         "parity": lambda s, a: parity.run_parity(s),
         "robustness": lambda s, a: robustness.run_robustness(s),
@@ -106,7 +108,12 @@ def _registry() -> Dict[str, Callable[[Scenario, argparse.Namespace], Experiment
         "fig6c": lambda s, a: fig6.run_fig6c(s, _street_max_targets(a)),
         "fig7": lambda s, a: fig7.run_fig7(s),
         "fig8": lambda s, a: fig8.run_fig8(s),
+        "hints": lambda s, a: hints.run_hints(s),
+        "hintscdf": lambda s, a: hints.run_hints_cdf(s),
     }
+    # Sorted construction so iteration order (``--list``, ``all`` runs,
+    # help text) is the lexicographic id order, not insertion history.
+    return dict(sorted(entries.items()))
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -121,6 +128,11 @@ def main(argv: Optional[list] = None) -> int:
         choices=sorted(registry) + ["all"],
         help="experiment id, or 'all' to run everything "
         "(optional with --selfcheck)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="print the available experiment ids (sorted) and exit",
     )
     parser.add_argument(
         "--preset",
@@ -193,9 +205,14 @@ def main(argv: Optional[list] = None) -> int:
         action="store_true",
         help="run the differential self-verification harness (batched vs "
         "per-target CBG, serial vs parallel, cold vs warm cache, serve vs "
-        "batch) and exit non-zero on any divergence",
+        "batch, hint mining serial vs parallel) and exit non-zero on any "
+        "divergence",
     )
     args = parser.parse_args(argv)
+    if args.list:
+        for name in registry:
+            print(name)
+        return 0
     if args.experiment is None and not args.selfcheck:
         parser.error("an experiment id is required unless --selfcheck is given")
 

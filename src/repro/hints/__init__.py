@@ -1,0 +1,90 @@
+"""Hint-based geolocation: rDNS hostnames as a fourth technique.
+
+The paper's three techniques (CBG, street level, million scale) are all
+latency-driven. Operators leak a fourth signal for free: *location codes
+embedded in reverse-DNS hostnames* (``xe-2-1-0.core3.fra03.as65010.
+example.net`` says Frankfurt), the signal HLOC and DRoP mine at Internet
+scale. This package turns that signal into verified locations in three
+stages:
+
+1. **corpus** (:mod:`repro.hints.codes`) — the world's city location
+   codes, shared with the PTR emitter in :mod:`repro.world.hostnames`;
+2. **find** (:mod:`repro.hints.trie`) — tokenize PTR names and match
+   codes through a trie, batch-parallel via :mod:`repro.exec`;
+3. **verify** (:mod:`repro.hints.verify`) — classify each hint as
+   confirmed / refuted / unverifiable against the ping campaign's
+   speed-of-Internet geometry.
+
+Confirmed hints feed the hint+CBG hybrid estimator in
+:mod:`repro.core.hint_hybrid`. Every stage is seeded-deterministic and
+observable (``hint-find`` / ``hint-verify`` / ``hint-refute`` events,
+``hints.*`` metrics); the ``diff_hints`` selfcheck leg pins serial vs
+parallel byte-equality end to end.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.hints.codes import CodeCorpus
+from repro.hints.trie import CodeTrie, HintMatch, find_hints, tokenize
+from repro.hints.verify import (
+    CONFIRM_RADIUS_KM,
+    VERDICT_CONFIRMED,
+    VERDICT_REFUTED,
+    VERDICT_UNVERIFIABLE,
+    VerifiedHint,
+    confirmed_hints,
+    hint_slack_km,
+    verify_hints,
+)
+
+__all__ = [
+    "CodeCorpus",
+    "CodeTrie",
+    "HintMatch",
+    "VerifiedHint",
+    "CONFIRM_RADIUS_KM",
+    "VERDICT_CONFIRMED",
+    "VERDICT_REFUTED",
+    "VERDICT_UNVERIFIABLE",
+    "confirmed_hints",
+    "find_hints",
+    "hint_slack_km",
+    "mine_hints",
+    "target_names",
+    "tokenize",
+    "verify_hints",
+]
+
+
+def target_names(scenario) -> List[Tuple[str, Optional[str]]]:
+    """``(ip, PTR name or None)`` per target, in target-column order."""
+    world = scenario.world
+    return [(ip, world.rdns_of(ip)) for ip in scenario.target_ips]
+
+
+def mine_hints(
+    scenario,
+    confirm_radius_km: float = CONFIRM_RADIUS_KM,
+    obs=None,
+    checker=None,
+) -> Tuple[List[Optional[HintMatch]], List[VerifiedHint]]:
+    """The full pipeline over a scenario's targets: find, then verify.
+
+    Returns ``(matches, verified)`` — matches index-aligned with the
+    target columns, verdicts in match order. Uses the scenario's observer
+    and checker unless overridden.
+    """
+    obs = scenario.obs if obs is None else obs
+    checker = scenario.checker if checker is None else checker
+    trie = CodeCorpus.from_world(scenario.world).trie()
+    matches = find_hints(target_names(scenario), trie, obs=obs, checker=checker)
+    verified = verify_hints(
+        scenario,
+        matches,
+        confirm_radius_km=confirm_radius_km,
+        obs=obs,
+        checker=checker,
+    )
+    return matches, verified

@@ -1,0 +1,92 @@
+"""The location-code corpus: from a world's cities to a match trie.
+
+The corpus is the ground-truth side of the hint pipeline: which
+lowercase-letter codes exist, which city each belongs to, and which
+tokens are blacklisted. It is derived from the same
+:func:`repro.world.hostnames.assign_codes` assignment the world builder
+used to emit PTR names, so the finder and the namer agree by
+construction — there is no second source of truth to drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence, Tuple
+
+from repro.world.cities import City
+from repro.world.config import WorldConfig
+from repro.world.hostnames import NOISE_VOCABULARY, HostnameScheme, assign_codes
+
+from repro.hints.trie import CodeTrie
+
+
+@dataclass(frozen=True)
+class CodeCorpus:
+    """All location codes of one world, plus the token blacklist.
+
+    Attributes:
+        city_by_code: code → owning city id (codes are globally unique).
+        blacklist: tokens the find stage must never match.
+    """
+
+    city_by_code: Dict[str, int]
+    blacklist: frozenset
+
+    def __len__(self) -> int:
+        return len(self.city_by_code)
+
+    @property
+    def codes(self) -> Tuple[str, ...]:
+        """All codes, sorted (deterministic iteration order)."""
+        return tuple(sorted(self.city_by_code))
+
+    def trie(self) -> CodeTrie:
+        """A fresh :class:`~repro.hints.trie.CodeTrie` over this corpus.
+
+        Blacklisted codes are skipped, not inserted — an operator-supplied
+        extra blacklist silences a troublesome code without touching the
+        corpus itself.
+        """
+        trie = CodeTrie(blacklist=self.blacklist)
+        for code in self.codes:
+            if code not in self.blacklist:
+                trie.insert(code, self.city_by_code[code])
+        return trie
+
+    @classmethod
+    def from_cities(
+        cls,
+        config: WorldConfig,
+        cities: Sequence[City],
+        extra_blacklist: Iterable[str] = (),
+    ) -> "CodeCorpus":
+        """Build the corpus by re-running the deterministic code assignment."""
+        assigned = assign_codes(config, cities)
+        city_by_code: Dict[str, int] = {}
+        for city_id in sorted(assigned):
+            for code in assigned[city_id].codes:
+                city_by_code[code] = city_id
+        blacklist = frozenset(NOISE_VOCABULARY) | frozenset(
+            token.lower() for token in extra_blacklist
+        )
+        return cls(city_by_code=city_by_code, blacklist=blacklist)
+
+    @classmethod
+    def from_world(cls, world, extra_blacklist: Iterable[str] = ()) -> "CodeCorpus":
+        """The corpus of a built world.
+
+        Reuses the builder's :class:`~repro.world.hostnames.HostnameScheme`
+        when present (no re-draw), falling back to
+        :meth:`from_cities` for hand-assembled worlds.
+        """
+        scheme = getattr(world, "hostname_scheme", None)
+        if not isinstance(scheme, HostnameScheme):
+            return cls.from_cities(world.config, world.cities, extra_blacklist)
+        city_by_code: Dict[str, int] = {}
+        for city_id in sorted(scheme.codes_by_city):
+            for code in scheme.codes_by_city[city_id].codes:
+                city_by_code[code] = city_id
+        blacklist = frozenset(NOISE_VOCABULARY) | frozenset(
+            token.lower() for token in extra_blacklist
+        )
+        return cls(city_by_code=city_by_code, blacklist=blacklist)

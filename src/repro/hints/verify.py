@@ -1,0 +1,198 @@
+"""Latency verification of location hints (the fourth-technique core).
+
+A hostname hint is a *claim* — operators misname routers, templates go
+stale, and false friends embed another city's code. Before a hint may
+drive geolocation it is checked against the same ping campaign CBG uses:
+every answering vantage point's RTT bounds how far the target can be
+(speed-of-Internet, 2/3 c), so each VP defines a feasible disk around its
+registered position. The classifier is purely geometric:
+
+* **refuted** — some VP's disk provably excludes the hinted city: the
+  distance from the VP to the city centre exceeds the disk radius by more
+  than the slack (VP metadata jitter + the city's own radius + 1 km).
+  Keeping a refuted hint would violate ``rtt.soi_bound``.
+* **confirmed** — no VP excludes the city *and* at least one VP pins the
+  target down tightly: its disk radius is at most ``confirm_radius_km``.
+  A confirmed hint therefore sits inside a small feasible region, which
+  is what lets the hybrid estimator trust it.
+* **unverifiable** — everything else (no answering VPs, or only loose
+  disks that neither refute nor meaningfully confirm).
+
+Verdicts are a pure function of the scenario's RTT matrix and the match
+list, so a seeded run classifies identically every time; ``hint-verify``
+and ``hint-refute`` events record each decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.constants import SOI_FRACTION_CBG, SPEED_OF_LIGHT_KM_S
+from repro.geo.coords import bulk_haversine_km
+from repro.obs import events
+
+from repro.hints.trie import HintMatch
+
+#: A hint the RTT evidence is consistent with, tightly.
+VERDICT_CONFIRMED = "confirmed"
+#: A hint the RTT evidence provably excludes.
+VERDICT_REFUTED = "refuted"
+#: A hint the RTT evidence can neither confirm nor refute.
+VERDICT_UNVERIFIABLE = "unverifiable"
+
+#: Default tightness bar: some VP must place the target within this many
+#: kilometres before a compatible hint counts as confirmed.
+CONFIRM_RADIUS_KM = 250.0
+
+
+@dataclass(frozen=True)
+class VerifiedHint:
+    """One hint with its latency verdict and the geometry behind it.
+
+    Attributes:
+        match: the mined hint.
+        column: the target's column in the scenario's RTT matrix.
+        verdict: one of the three ``VERDICT_*`` strings.
+        lat: hinted city centre latitude (the hint's location estimate).
+        lon: hinted city centre longitude.
+        city_radius_km: the hinted city's metro radius.
+        slack_km: tolerance used when testing disks against the centre.
+        tightest_disk_km: smallest feasible-disk radius among answering
+            VPs (``inf`` when nothing answered).
+        worst_excess_km: largest ``distance - radius`` over answering VPs
+            (how close the hint came to refutation; ``0`` when nothing
+            answered).
+    """
+
+    match: HintMatch
+    column: int
+    verdict: str
+    lat: float
+    lon: float
+    city_radius_km: float
+    slack_km: float
+    tightest_disk_km: float
+    worst_excess_km: float
+
+
+def hint_slack_km(config, city) -> float:
+    """Refutation slack for one hinted city.
+
+    VP positions are registered (jittered) ones, and "the city" is a disk,
+    not a point — so a disk only *refutes* the hint when it misses the
+    centre by more than jitter + city radius (+1 km of numerical margin).
+    """
+    return config.probe_metadata_jitter_max_km + city.radius_km + 1.0
+
+
+def verify_hints(
+    scenario,
+    matches: Sequence[Optional[HintMatch]],
+    confirm_radius_km: float = CONFIRM_RADIUS_KM,
+    obs=None,
+    checker=None,
+) -> List[VerifiedHint]:
+    """Classify every mined hint against the scenario's ping campaign.
+
+    Args:
+        scenario: a built :class:`~repro.experiments.scenario.Scenario`;
+            ``match.index`` must be a target column of its RTT matrix.
+        matches: index-aligned output of
+            :func:`~repro.hints.trie.find_hints` (``None`` entries are
+            skipped).
+        confirm_radius_km: tightness bar for confirmation.
+        obs: observer; defaults to the scenario's.
+        checker: invariant checker; defaults to the scenario's. Every
+            confirmed hint is pushed through ``rtt.soi_bound`` with the
+            hinted distances, proving confirmation never contradicts the
+            physics floor.
+
+    Returns:
+        One :class:`VerifiedHint` per non-``None`` match, in match order.
+    """
+    obs = scenario.obs if obs is None else obs
+    checker = scenario.checker if checker is None else checker
+    matrix = scenario.rtt_matrix()
+    vp_lats = scenario.vp_lats
+    vp_lons = scenario.vp_lons
+    config = scenario.world.config
+    verified: List[VerifiedHint] = []
+    for match in matches:
+        if match is None:
+            continue
+        column = match.index
+        city = scenario.world.city(match.city_id)
+        center = city.location
+        slack = hint_slack_km(config, city)
+        rtts = matrix[:, column]
+        answered = ~np.isnan(rtts)
+        if not answered.any():
+            verdict = VERDICT_UNVERIFIABLE
+            tightest = float("inf")
+            worst = 0.0
+        else:
+            radii = rtts[answered] * (
+                SOI_FRACTION_CBG * SPEED_OF_LIGHT_KM_S / 2000.0
+            )
+            distances = bulk_haversine_km(
+                vp_lats[answered], vp_lons[answered], center.lat, center.lon
+            )
+            tightest = float(radii.min())
+            worst = float((distances - radii).max())
+            if worst > slack:
+                verdict = VERDICT_REFUTED
+            elif tightest <= confirm_radius_km:
+                verdict = VERDICT_CONFIRMED
+            else:
+                verdict = VERDICT_UNVERIFIABLE
+            if verdict == VERDICT_CONFIRMED and checker.enabled:
+                # A confirmed hint must satisfy the SOI bound when the
+                # target is assumed to sit anywhere in the hinted city:
+                # the most favourable consistent distance per VP.
+                checker.check_soi_bound(
+                    rtts[answered],
+                    np.maximum(distances - slack, 0.0),
+                    f"hints.verify target {column} ({match.code})",
+                )
+        verified.append(
+            VerifiedHint(
+                match=match,
+                column=column,
+                verdict=verdict,
+                lat=center.lat,
+                lon=center.lon,
+                city_radius_km=city.radius_km,
+                slack_km=slack,
+                tightest_disk_km=tightest,
+                worst_excess_km=worst,
+            )
+        )
+        if obs.enabled:
+            obs.count(f"hints.{verdict}")
+            if verdict == VERDICT_REFUTED:
+                obs.event(
+                    events.HINT_REFUTE,
+                    index=column,
+                    ip=match.ip,
+                    code=match.code,
+                    city=match.city_id,
+                    excess_km=round(worst, 3),
+                )
+            else:
+                obs.event(
+                    events.HINT_VERIFY,
+                    index=column,
+                    ip=match.ip,
+                    code=match.code,
+                    city=match.city_id,
+                    verdict=verdict,
+                )
+    return verified
+
+
+def confirmed_hints(verified: Sequence[VerifiedHint]) -> List[VerifiedHint]:
+    """Just the confirmed subset, in order."""
+    return [hint for hint in verified if hint.verdict == VERDICT_CONFIRMED]

@@ -58,14 +58,33 @@ class DnsRecord:
 
 
 class DnsResolver:
-    """In-memory resolver populated by the world builder."""
+    """In-memory resolver populated by the world builder.
+
+    Serves both the forward zone (website hostnames → A records, for the
+    street-level hosting checks) and the reverse zone (addresses → PTR
+    names, mined by the :mod:`repro.hints` pipeline).
+    """
 
     def __init__(self) -> None:
         self._records: Dict[str, DnsRecord] = {}
+        self._reverse: Dict[str, str] = {}
 
     def register(self, record: DnsRecord) -> None:
         """Install a record; later registrations replace earlier ones."""
         self._records[record.hostname] = record
+
+    def register_reverse(self, ip: str, hostname: str) -> None:
+        """Install a PTR record for an address."""
+        self._reverse[ip] = hostname
+
+    def reverse_lookup(self, ip: str) -> Optional[str]:
+        """The PTR name of an address, or ``None`` (no reverse record)."""
+        return self._reverse.get(ip)
+
+    @property
+    def reverse_count(self) -> int:
+        """How many addresses have PTR records."""
+        return len(self._reverse)
 
     def __len__(self) -> int:
         return len(self._records)

@@ -47,6 +47,12 @@ SERVE_REQUEST = "serve-request"
 SERVE_REJECT = "serve-reject"
 #: The serving engine solved one coalesced batch of admitted requests.
 SERVE_BATCH = "serve-batch"
+#: The hint finder matched a location code in an rDNS hostname.
+HINT_FIND = "hint-find"
+#: Latency verification classified a hint (confirmed or unverifiable).
+HINT_VERIFY = "hint-verify"
+#: Latency verification refuted a hint (SOI-infeasible location).
+HINT_REFUTE = "hint-refute"
 
 #: The closed event taxonomy (see docs/OBSERVABILITY.md).
 EVENT_TYPES = frozenset(
@@ -65,6 +71,9 @@ EVENT_TYPES = frozenset(
         SERVE_REQUEST,
         SERVE_REJECT,
         SERVE_BATCH,
+        HINT_FIND,
+        HINT_VERIFY,
+        HINT_REFUTE,
     }
 )
 

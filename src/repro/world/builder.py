@@ -30,6 +30,7 @@ from repro.net.dns import DnsRecord, DnsResolver
 from repro.net.hitlist import Hitlist
 from repro.world.cities import City, generate_cities, generate_countries
 from repro.world.config import WorldConfig
+from repro.world.hostnames import HostnameScheme
 from repro.world.hosts import Host, HostKind
 from repro.world.pois import AMENITY_CATEGORIES, HostingKind, PointOfInterest, Website
 from repro.world.world import World
@@ -130,6 +131,7 @@ class _Wiring:
     hub_by_continent: Dict[str, List[int]] = field(default_factory=dict)
     next_poi_id: int = 0
     chain_websites: Dict[str, List[Website]] = field(default_factory=dict)
+    hostnames: Optional[HostnameScheme] = None
 
     def space(self, asn: int) -> _ASAddressSpace:
         """The address space of an AS, created on first use."""
@@ -170,6 +172,7 @@ def build_world(config: WorldConfig) -> World:
         asns_by_type_continent=asns_by_type_continent,
         hub_city_ids=hub_city_ids,
         hub_by_continent=hub_by_continent,
+        hostnames=HostnameScheme(config, cities),
     )
 
     hitlist = Hitlist(seed=config.seed)
@@ -199,6 +202,7 @@ def build_world(config: WorldConfig) -> World:
         poi_factory=lambda w, city_id: _materialize_city_pois(w, city_id, wiring),
     )
     world.web_directory = directory
+    world.hostname_scheme = wiring.hostnames
     return world
 
 
@@ -479,6 +483,7 @@ def _build_anchors_and_representatives(
         recorded = (
             _mislocate((key, "mis"), true_location, config) if mislocated else true_location
         )
+        rdns = wiring.hostnames.hostname((key, "rdns"), city, record.asn, "anchor")
         anchor = Host(
             host_id=len(hosts),
             ip=anchor_ip,
@@ -489,8 +494,11 @@ def _build_anchors_and_representatives(
             asn=record.asn,
             last_mile_ms=rand.exponential((key, "lm"), config.anchor_last_mile_mean_ms),
             mislocated=mislocated,
+            rdns=rdns,
         )
         hosts.append(anchor)
+        if rdns is not None:
+            wiring.dns.register_reverse(anchor_ip, rdns)
 
         rep_count = rand.randint(
             (key, "repcount"),
@@ -599,6 +607,7 @@ def _build_probes(
                 last_mile += config.city_congestion_extra_ms * (
                     0.5 + rand.uniform((key, "cong-mag"))
                 )
+            rdns = wiring.hostnames.hostname((key, "rdns"), city, record.asn, "probe")
             hosts.append(
                 Host(
                     host_id=len(hosts),
@@ -610,8 +619,11 @@ def _build_probes(
                     asn=record.asn,
                     last_mile_ms=last_mile,
                     mislocated=mislocated,
+                    rdns=rdns,
                 )
             )
+            if rdns is not None:
+                wiring.dns.register_reverse(ip, rdns)
             probe_index += 1
 
 

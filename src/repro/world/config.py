@@ -203,6 +203,20 @@ class WorldConfig:
     #: side of the square cells that partition a city into zip codes, km.
     zipcode_cell_km: float = 2.5
 
+    # --- reverse DNS (see repro.world.hostnames and repro.hints) -------------
+    #: share of anchors/probes whose address has a PTR record at all.
+    #: CALIBRATED loosely against HLOC-style studies: most router/anchor
+    #: addresses reverse-resolve, many access-network probes do too.
+    rdns_coverage: float = 0.85
+    #: of the named hosts, the share whose hostname embeds the host's own
+    #: city's location code (a *true* hint the find stage can mine).
+    rdns_hint_share: float = 0.70
+    #: of the named hosts, the share whose hostname embeds a *different*
+    #: city's code — misleading names (off-site naming, stale templates)
+    #: that only latency verification can refute.
+    rdns_false_friend_share: float = 0.06
+    # (remaining named hosts carry pure infrastructure noise labels)
+
     def __post_init__(self) -> None:
         self.validate()
 
@@ -225,6 +239,12 @@ class WorldConfig:
             raise ConfigurationError("bad host counts must be non-negative")
         if self.mislocation_min_km > self.mislocation_max_km:
             raise ConfigurationError("mislocation range is inverted")
+        for share_name in ("rdns_coverage", "rdns_hint_share", "rdns_false_friend_share"):
+            value = getattr(self, share_name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{share_name} must be in [0, 1], got {value}")
+        if self.rdns_hint_share + self.rdns_false_friend_share > 1.0:
+            raise ConfigurationError("rdns hint + false-friend shares exceed 1")
 
     @property
     def total_anchors(self) -> int:

@@ -1,0 +1,206 @@
+"""Deterministic rDNS hostname schemes for the world's hosts.
+
+Real operators encode *location codes* into router and server hostnames —
+IATA airport codes (``fra``, ``syd``), CLLI-style facility codes
+(``nycmny``), and ad-hoc city abbreviations — next to interface and role
+labels (``xe-2-1-0``, ``core3``). HLOC (Scheitle et al.) mines exactly
+those names. This module gives every synthetic city a small set of
+globally unique location codes and emits realistic PTR names for anchors
+and probes, seeded entirely from counter-keyed draws so a rebuild is
+byte-identical.
+
+Three name classes (shares from :class:`~repro.world.config.WorldConfig`):
+
+* **true hints** — the name embeds one of the host's own city's codes;
+* **false friends** — the name embeds a *different* city's code
+  (off-site naming conventions, stale templates); only latency
+  verification (:mod:`repro.hints.verify`) can refute these;
+* **noise** — infrastructure vocabulary only, no location code at all.
+
+The guarantees the hint pipeline's property tests lean on:
+
+* every code is a pure lowercase-letter string, globally unique across
+  cities and code kinds, and never a :data:`NOISE_VOCABULARY` word;
+* noise labels are always ``<vocabulary word>[digits]``. Because matching
+  (:mod:`repro.hints.trie`) accepts a token for a code only when the
+  token *is* the code or the code plus a digit tail, a noise token can
+  match a code only if the vocabulary word equals the code — which code
+  assignment excludes. Noise provably never matches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import rand
+from repro.world.cities import City
+from repro.world.config import WorldConfig
+
+#: Infrastructure words that appear in hostnames but are *not* location
+#: codes. Doubles as the code-assignment blacklist and the find stage's
+#: label blacklist; includes interface prefixes and the reserved suffix
+#: labels so every non-code token of a generated name is covered.
+NOISE_VOCABULARY: Tuple[str, ...] = (
+    # roles
+    "core", "edge", "agg", "border", "peer", "spine", "leaf", "gw", "rtr",
+    # access-network boilerplate
+    "static", "dynamic", "dyn", "pool", "dsl", "cable", "fiber", "ftth",
+    "dialup", "cust", "host", "ip", "nat", "wan", "lan",
+    # interface prefixes
+    "xe", "ge", "te", "et", "ae", "eth", "lo", "vlan",
+    # reserved suffix labels of the synthetic zone
+    "as", "net", "example", "rev", "in", "addr",
+)
+
+#: Interface-name prefixes used by the first label (all in the vocabulary).
+_INTERFACE_PREFIXES: Tuple[str, ...] = ("xe", "ge", "te", "et", "ae")
+
+#: Role words used by the second label (all in the vocabulary).
+_ROLE_WORDS: Tuple[str, ...] = ("core", "edge", "agg", "border", "gw", "rtr")
+
+#: Access-style words for probe names (all in the vocabulary).
+_ACCESS_WORDS: Tuple[str, ...] = ("static", "dyn", "pool", "dsl", "cable", "cust")
+
+_LETTERS = "abcdefghijklmnopqrstuvwxyz"
+
+
+@dataclass(frozen=True)
+class CityCodes:
+    """The location codes assigned to one city.
+
+    Attributes:
+        city_id: the city.
+        codes: globally unique pure-letter codes — an IATA-style 3-letter
+            code, a 5-letter abbreviation, and a 6-letter CLLI-style code
+            ending in the country's letters.
+    """
+
+    city_id: int
+    codes: Tuple[str, ...]
+
+
+def _letter_string(key: rand.Key, length: int) -> str:
+    return "".join(
+        _LETTERS[rand.randint((key, position), 0, len(_LETTERS))]
+        for position in range(length)
+    )
+
+
+def _country_letters(country_code: str) -> str:
+    """The alphabetic part of a synthetic country code, lowercased."""
+    letters = "".join(ch for ch in country_code.lower() if ch.isalpha())
+    return (letters + "xx")[:2]
+
+
+def assign_codes(config: WorldConfig, cities: Sequence[City]) -> Dict[int, CityCodes]:
+    """Assign every city its location codes, deterministically.
+
+    Codes are drawn keyed by ``(seed, "citycode", city_id, kind, attempt)``
+    and re-drawn until unique: no two cities share a code, and no code is a
+    :data:`NOISE_VOCABULARY` word. Visiting cities in id order makes the
+    result a pure function of (config, cities).
+    """
+    taken = set(NOISE_VOCABULARY)
+    assigned: Dict[int, CityCodes] = {}
+    for city in cities:
+        codes: List[str] = []
+        for kind, length, suffix in (
+            ("iata", 3, ""),
+            ("abbr", 5, ""),
+            ("clli", 4, _country_letters(city.country)),
+        ):
+            attempt = 0
+            while True:
+                candidate = (
+                    _letter_string(
+                        (config.seed, "citycode", city.city_id, kind, attempt), length
+                    )
+                    + suffix
+                )
+                if candidate not in taken:
+                    break
+                attempt += 1
+            taken.add(candidate)
+            codes.append(candidate)
+        assigned[city.city_id] = CityCodes(city_id=city.city_id, codes=tuple(codes))
+    return assigned
+
+
+class HostnameScheme:
+    """Emits PTR names for the world's hosts from the city code corpus."""
+
+    def __init__(self, config: WorldConfig, cities: Sequence[City]) -> None:
+        self.config = config
+        self.cities = list(cities)
+        self.codes_by_city = assign_codes(config, cities)
+
+    def _code_label(self, key: rand.Key, city_id: int) -> str:
+        """A location-code token, optionally with a numeric site suffix."""
+        codes = self.codes_by_city[city_id].codes
+        code = codes[rand.randint((key, "pick"), 0, len(codes))]
+        if rand.chance((key, "site"), 0.6):
+            return f"{code}{rand.randint((key, 'siteno'), 1, 100):02d}"
+        return code
+
+    def _noise_label(self, key: rand.Key) -> str:
+        word = NOISE_VOCABULARY[rand.randint((key, "word"), 0, len(NOISE_VOCABULARY))]
+        if rand.chance((key, "digits"), 0.7):
+            return f"{word}{rand.randint((key, 'no'), 0, 1000)}"
+        return word
+
+    def _false_friend_city(self, key: rand.Key, city: City) -> Optional[City]:
+        if len(self.cities) < 2:
+            return None
+        pick = rand.randint((key, "ffcity"), 0, len(self.cities))
+        if self.cities[pick].city_id == city.city_id:
+            pick = (pick + 1) % len(self.cities)
+        return self.cities[pick]
+
+    def hostname(self, key: rand.Key, city: City, asn: int, kind: str) -> Optional[str]:
+        """The PTR name for one host, or ``None`` when uncovered.
+
+        Args:
+            key: the host's draw key; all randomness hangs off it.
+            city: the city the host physically sits in.
+            asn: the host's AS (becomes the operator label).
+            kind: ``"anchor"`` (router-style names) or ``"probe"``
+                (access-network-style names).
+        """
+        config = self.config
+        if not rand.chance((key, "named"), config.rdns_coverage):
+            return None
+        draw = rand.uniform((key, "class"))
+        if draw < config.rdns_hint_share:
+            code_city: Optional[City] = city
+        elif draw < config.rdns_hint_share + config.rdns_false_friend_share:
+            code_city = self._false_friend_city(key, city)
+        else:
+            code_city = None
+
+        labels: List[str] = []
+        if kind == "anchor":
+            prefix = _INTERFACE_PREFIXES[
+                rand.randint((key, "iface"), 0, len(_INTERFACE_PREFIXES))
+            ]
+            labels.append(
+                f"{prefix}-{rand.randint((key, 'slot'), 0, 8)}"
+                f"-{rand.randint((key, 'port'), 0, 4)}"
+                f"-{rand.randint((key, 'chan'), 0, 64)}"
+            )
+            role = _ROLE_WORDS[rand.randint((key, "role"), 0, len(_ROLE_WORDS))]
+            labels.append(f"{role}{rand.randint((key, 'roleno'), 1, 10)}")
+        else:
+            word = _ACCESS_WORDS[rand.randint((key, "acc"), 0, len(_ACCESS_WORDS))]
+            labels.append(f"{word}-{rand.randint((key, 'accno'), 0, 255)}")
+
+        if code_city is not None:
+            labels.append(self._code_label((key, "code"), code_city.city_id))
+        else:
+            labels.append(self._noise_label((key, "noise")))
+        if rand.chance((key, "extra"), 0.4):
+            labels.append(self._noise_label((key, "extra-noise")))
+        labels.append(f"as{asn}")
+        labels.append("example")
+        labels.append("net")
+        return ".".join(labels)

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Optional
+
 from repro.geo.coords import GeoPoint
 
 
@@ -48,6 +50,8 @@ class Host:
         last_mile_ms: round-trip delay contributed by the host's access link.
         responsive: whether the host answers pings at all.
         mislocated: whether recorded and true locations deliberately differ.
+        rdns: the address's PTR name, or ``None`` when the address does
+            not reverse-resolve (see :mod:`repro.world.hostnames`).
     """
 
     host_id: int
@@ -60,6 +64,7 @@ class Host:
     last_mile_ms: float
     responsive: bool = True
     mislocated: bool = False
+    rdns: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.last_mile_ms < 0:

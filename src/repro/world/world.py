@@ -64,6 +64,9 @@ class World:
         #: Filled by the builder: the global website/zip-code directory used
         #: by the street level multi-zipcode test.
         self.web_directory = None
+        #: Filled by the builder: the rDNS naming scheme (city location
+        #: codes + PTR emission), the corpus behind :mod:`repro.hints`.
+        self.hostname_scheme = None
 
         self._hosts: List[Host] = list(hosts)
         self._static_host_count = len(hosts)
@@ -161,6 +164,10 @@ class World:
     def continent_of_ip(self, ip: str) -> str:
         """Continent code of the host owning an address."""
         return self.city_of_host(self.host(ip)).continent
+
+    def rdns_of(self, ip: str) -> Optional[str]:
+        """PTR name of an address, or ``None`` (no reverse record)."""
+        return self.dns.reverse_lookup(ip)
 
     # --- autonomous systems ----------------------------------------------------
 

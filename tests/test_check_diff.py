@@ -2,10 +2,10 @@
 
 Two halves:
 
-* the harness *passes* on the real substrate — all four paired paths
+* the harness *passes* on the real substrate — all five paired paths
   (batched vs loop CBG, serial vs parallel execution, cold vs warm cache,
-  serving engine vs batch campaign) agree bitwise, the CLI ``--selfcheck``
-  exits 0;
+  serving engine vs batch campaign, serial vs parallel hint mining)
+  agree bitwise, the CLI ``--selfcheck`` exits 0;
 * the harness *fails* when a path is deliberately broken — each pair is
   monkeypatched with a divergent implementation and must report the
   divergence (a self-check that cannot fail proves nothing).
@@ -26,6 +26,7 @@ import pytest
 from repro.check.diff import (
     diff_batch_vs_loop,
     diff_cold_vs_warm_cache,
+    diff_hints,
     diff_serial_vs_parallel,
     diff_serve_vs_batch,
 )
@@ -42,12 +43,13 @@ def quick_scenario():
 class TestHealthyPaths:
     def test_selfcheck_report_all_ok(self, selfcheck_report):
         assert selfcheck_report.ok
-        assert len(selfcheck_report.outcomes) == 4
+        assert len(selfcheck_report.outcomes) == 5
         assert {o.pair for o in selfcheck_report.outcomes} == {
             "cbg: batch vs loop",
             "exec: serial vs parallel",
             "cache: cold vs warm",
             "serve: engine vs batch",
+            "hints: serial vs parallel",
         }
         for outcome in selfcheck_report.outcomes:
             assert outcome.compared > 0
@@ -89,6 +91,22 @@ def _env_dependent_trial(trial):
     return value
 
 
+from repro.hints.trie import _find_one as _real_find_one
+
+
+def _env_dependent_find(index):
+    """Stands in for ``hints.trie._find_one``: diverges only under workers.
+
+    Module-level so forked pool workers resolve it by reference; the
+    serial leg sees real matches, the parallel leg (``REPRO_WORKERS``
+    set) sees none.
+    """
+    result = _real_find_one(index)
+    if os.environ.get("REPRO_WORKERS"):
+        return None
+    return result
+
+
 class TestBrokenPaths:
     def test_broken_batch_kernel_is_caught(self, quick_scenario, monkeypatch):
         from repro.core import cbg_batch
@@ -123,6 +141,34 @@ class TestBrokenPaths:
         outcome = diff_serve_vs_batch(quick_scenario)
         assert not outcome.ok
         assert "diverges" in outcome.detail
+
+    def test_broken_hint_finder_is_caught(self, quick_scenario, monkeypatch):
+        from repro.hints import trie as hints_trie
+
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        monkeypatch.setattr(hints_trie, "_find_one", _env_dependent_find)
+        outcome = diff_hints(quick_scenario, workers=2)
+        assert not outcome.ok
+        assert "matches diverge" in outcome.detail
+
+    def test_unsound_verifier_is_caught(self, quick_scenario, monkeypatch):
+        """A verifier that confirms everything must trip cbg.containment."""
+        import dataclasses
+
+        import repro.hints as hints_pkg
+        from repro.hints.verify import verify_hints as real_verify
+
+        def confirm_everything(scenario, matches, confirm_radius_km=None, obs=None, checker=None):
+            verified = real_verify(scenario, matches, obs=obs, checker=checker)
+            return [
+                dataclasses.replace(hint, verdict="confirmed") for hint in verified
+            ]
+
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        monkeypatch.setattr(hints_pkg, "verify_hints", confirm_everything)
+        outcome = diff_hints(quick_scenario, workers=2)
+        assert not outcome.ok
+        assert "cbg.containment" in outcome.detail
 
     def test_broken_cache_is_caught(self, monkeypatch):
         from repro.cache.artifacts import ArtifactCache

@@ -1,0 +1,293 @@
+"""Hint-based geolocation: scheme, trie, pipeline, hybrid, determinism.
+
+The acceptance criteria this file pins:
+
+* hint finding is byte-identical serial vs ``REPRO_WORKERS=2``, including
+  the golden ``hint-*`` event stream and the metrics report;
+* every confirmed hint passes ``rtt.soi_bound`` feasibility (a raising
+  checker stays silent on the hinted distances);
+* the hint+CBG hybrid's median error is no worse than pure CBG's on
+  worlds with >= 50% hint coverage;
+* the experiment registry lists families deterministically (sorted), and
+  ``--list`` prints them.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.check.invariants import InvariantChecker
+from repro.core.cbg_batch import cbg_errors_batch
+from repro.core.hint_hybrid import hint_hybrid_centroids, hint_hybrid_errors
+from repro.experiments import run as run_cli
+from repro.experiments.hints import run_hints, run_hints_cdf
+from repro.experiments.scenario import get_scenario
+from repro.geo.coords import bulk_haversine_km
+from repro.hints import (
+    CodeCorpus,
+    CodeTrie,
+    VERDICT_CONFIRMED,
+    VERDICT_REFUTED,
+    VERDICT_UNVERIFIABLE,
+    confirmed_hints,
+    find_hints,
+    mine_hints,
+    target_names,
+    tokenize,
+    verify_hints,
+)
+from repro.obs import Observer
+from repro.world.hostnames import NOISE_VOCABULARY, assign_codes
+
+
+class TestHostnameScheme:
+    def test_world_emits_reverse_zone(self, small_world):
+        named = [host for host in small_world.hosts if host.rdns]
+        assert named, "no host got a PTR name"
+        assert small_world.dns.reverse_count == len(named)
+        for host in named:
+            assert small_world.rdns_of(host.ip) == host.rdns
+            assert host.rdns.endswith(".example.net")
+
+    def test_coverage_tracks_config(self, small_world):
+        hosts = [h for h in small_world.hosts if h.kind.value in ("anchor", "probe")]
+        named = sum(1 for h in hosts if h.rdns)
+        coverage = named / len(hosts)
+        assert abs(coverage - small_world.config.rdns_coverage) < 0.15
+
+    def test_codes_globally_unique_and_clean(self, small_world):
+        scheme = small_world.hostname_scheme
+        seen = set()
+        for city_codes in scheme.codes_by_city.values():
+            for code in city_codes.codes:
+                assert code not in seen, f"code {code!r} assigned twice"
+                assert code not in NOISE_VOCABULARY
+                assert code.isalpha() and code.islower()
+                seen.add(code)
+
+    def test_assignment_is_deterministic(self, small_world):
+        again = assign_codes(small_world.config, small_world.cities)
+        assert again == small_world.hostname_scheme.codes_by_city
+
+
+class TestTokenizerAndTrie:
+    def test_tokenize(self):
+        assert tokenize("xe-2-1-0.core3.fra03.as65010.example.net") == [
+            "xe", "2", "1", "0", "core3", "fra03", "as65010", "example", "net",
+        ]
+        assert tokenize("a_b-c.d") == ["a", "b", "c", "d"]
+        assert tokenize("") == []
+        assert tokenize("...") == []
+
+    def _trie(self):
+        trie = CodeTrie(blacklist=NOISE_VOCABULARY)
+        trie.insert("fra", 1)
+        trie.insert("frankf", 2)
+        trie.insert("syd", 3)
+        return trie
+
+    def test_exact_and_digit_tail_match(self):
+        trie = self._trie()
+        assert trie.match_token("fra") == ("fra", 1)
+        assert trie.match_token("fra03") == ("fra", 1)
+        assert trie.match_token("frankf01") == ("frankf", 2)
+
+    def test_word_tails_do_not_match(self):
+        trie = self._trie()
+        assert trie.match_token("frankfurt") is None
+        assert trie.match_token("fra3x") is None
+        assert trie.match_token("sydney") is None
+
+    def test_longest_code_wins(self):
+        trie = self._trie()
+        assert trie.find("core1.frankf7.example.net") == ("frankf", 2, 1)
+        # fra03 and syd1 both present: longest equal, leftmost wins.
+        assert trie.find("fra03.syd1.example.net")[0] == "fra"
+
+    def test_blacklisted_tokens_never_match(self):
+        trie = CodeTrie(blacklist=("core",))
+        with pytest.raises(ValueError):
+            trie.insert("core", 9)
+        trie.insert("cor", 4)
+        assert trie.match_token("core") is None  # blacklisted as a token
+        assert trie.match_token("cor7") == ("cor", 4)
+
+    def test_insert_rejects_non_letter_codes(self):
+        trie = CodeTrie()
+        for bad in ("", "FRA", "fra3", "fr-a"):
+            with pytest.raises(ValueError):
+                trie.insert(bad, 1)
+
+    def test_duplicate_code_different_city_rejected(self):
+        trie = CodeTrie()
+        trie.insert("fra", 1)
+        trie.insert("fra", 1)  # same city: idempotent
+        with pytest.raises(ValueError):
+            trie.insert("fra", 2)
+
+
+class TestPipeline:
+    def test_find_is_index_aligned(self, small_scenario):
+        names = target_names(small_scenario)
+        trie = CodeCorpus.from_world(small_scenario.world).trie()
+        matches = find_hints(names, trie)
+        assert len(matches) == len(names)
+        for index, match in enumerate(matches):
+            if match is None:
+                continue
+            assert match.index == index
+            assert match.ip == names[index][0]
+            assert match.code in CodeCorpus.from_world(small_scenario.world).codes
+
+    def test_verdicts_partition_matches(self, small_scenario):
+        matches, verified = mine_hints(small_scenario)
+        assert len(verified) == sum(1 for m in matches if m is not None)
+        for hint in verified:
+            assert hint.verdict in (
+                VERDICT_CONFIRMED,
+                VERDICT_REFUTED,
+                VERDICT_UNVERIFIABLE,
+            )
+
+    def test_confirmed_hints_pass_soi_bound(self, small_scenario):
+        """Acceptance: confirmed hints are speed-of-Internet feasible."""
+        _, verified = mine_hints(small_scenario)
+        confirmed = confirmed_hints(verified)
+        assert confirmed, "no confirmed hints on the small preset"
+        matrix = small_scenario.rtt_matrix()
+        checker = InvariantChecker(raise_on_violation=True)
+        for hint in confirmed:
+            rtts = matrix[:, hint.column]
+            answered = ~np.isnan(rtts)
+            distances = bulk_haversine_km(
+                small_scenario.vp_lats[answered],
+                small_scenario.vp_lons[answered],
+                hint.lat,
+                hint.lon,
+            )
+            # Hinted distance, most favourable within the slack disk.
+            checker.check_soi_bound(
+                rtts[answered],
+                np.maximum(distances - hint.slack_km, 0.0),
+                f"test target {hint.column}",
+            )
+        assert checker.violations == []
+
+    def test_refuted_hints_are_wrong_cities(self, small_scenario):
+        _, verified = mine_hints(small_scenario)
+        for hint in verified:
+            true_city = small_scenario.targets[hint.column].city_id
+            if hint.verdict == VERDICT_REFUTED:
+                assert hint.match.city_id != true_city
+            if hint.verdict == VERDICT_CONFIRMED:
+                # Not a guarantee in general, but on the calibrated small
+                # world confirmation implies the right city.
+                assert hint.match.city_id == true_city
+
+
+class TestParallelDeterminism:
+    def _mine(self, workers):
+        saved = os.environ.get("REPRO_WORKERS")
+        try:
+            if workers is None:
+                os.environ.pop("REPRO_WORKERS", None)
+            else:
+                os.environ["REPRO_WORKERS"] = workers
+            obs = Observer()
+            scenario = get_scenario("quick")
+            matches, verified = mine_hints(scenario, obs=obs)
+            return matches, verified, obs.events.to_jsonl(), obs.metrics_report()
+        finally:
+            if saved is None:
+                os.environ.pop("REPRO_WORKERS", None)
+            else:
+                os.environ["REPRO_WORKERS"] = saved
+
+    def test_serial_vs_two_workers_byte_identical(self):
+        """Acceptance: golden event streams hold across REPRO_WORKERS."""
+        serial = self._mine(None)
+        parallel = self._mine("2")
+        assert serial[0] == parallel[0]
+        assert serial[1] == parallel[1]
+        assert serial[2] == parallel[2], "hint event stream diverged"
+        assert serial[3] == parallel[3], "metrics report diverged"
+        assert "hint-find" in serial[2]
+
+
+class TestHybrid:
+    @pytest.mark.parametrize("preset", ["quick", "small"])
+    def test_hybrid_median_not_worse_than_cbg(self, preset, small_scenario):
+        """Acceptance: median error <= pure CBG at >= 50% hint coverage."""
+        scenario = small_scenario if preset == "small" else get_scenario("quick")
+        matches, verified = mine_hints(scenario)
+        coverage = sum(1 for m in matches if m is not None) / len(scenario.targets)
+        assert coverage >= 0.5, "preset world lost its hint coverage"
+        matrix = scenario.rtt_matrix()
+        cbg = cbg_errors_batch(
+            scenario.vp_lats,
+            scenario.vp_lons,
+            matrix,
+            scenario.target_true_lats,
+            scenario.target_true_lons,
+        )
+        hybrid = hint_hybrid_errors(
+            scenario.vp_lats,
+            scenario.vp_lons,
+            matrix,
+            verified,
+            scenario.target_true_lats,
+            scenario.target_true_lons,
+        )
+        both = ~np.isnan(cbg) & ~np.isnan(hybrid)
+        assert both.any()
+        assert np.median(hybrid[both]) <= np.median(cbg[both])
+
+    def test_hybrid_only_touches_confirmed_columns(self, small_scenario):
+        _, verified = mine_hints(small_scenario)
+        matrix = small_scenario.rtt_matrix()
+        from repro.core.cbg_batch import cbg_centroids_batch
+
+        base_lats, base_lons = cbg_centroids_batch(
+            small_scenario.vp_lats, small_scenario.vp_lons, matrix
+        )
+        lats, lons, hinted = hint_hybrid_centroids(
+            small_scenario.vp_lats, small_scenario.vp_lons, matrix, verified
+        )
+        confirmed_columns = {
+            h.column for h in verified if h.verdict == VERDICT_CONFIRMED
+        }
+        assert set(hinted) <= confirmed_columns
+        untouched = np.ones(len(lats), dtype=bool)
+        untouched[list(hinted)] = False
+        assert np.array_equal(lats[untouched], base_lats[untouched], equal_nan=True)
+        assert np.array_equal(lons[untouched], base_lons[untouched], equal_nan=True)
+
+
+class TestExperiments:
+    def test_run_hints_output(self, small_scenario):
+        output = run_hints(small_scenario)
+        assert output.experiment_id == "hints"
+        assert output.measured["confirmed_precision"] == 1.0
+        assert output.measured["match_coverage"] > 0.0
+        assert "confirmed" in output.table
+
+    def test_run_hints_cdf_output(self, small_scenario):
+        output = run_hints_cdf(small_scenario)
+        assert output.experiment_id == "hintscdf"
+        assert output.measured["hybrid_median_le_cbg"] == 1.0
+        assert "hint-hybrid" in output.series
+        assert "error km" in output.table
+
+
+class TestRegistryListing:
+    def test_registry_is_sorted(self):
+        names = list(run_cli._registry())
+        assert names == sorted(names)
+        assert {"hints", "hintscdf", "serve"} <= set(names)
+
+    def test_cli_list_flag(self, capsys):
+        assert run_cli.main(["--list"]) == 0
+        lines = capsys.readouterr().out.split()
+        assert lines == sorted(lines)
+        assert "hints" in lines and "hintscdf" in lines

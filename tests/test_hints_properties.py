@@ -1,0 +1,152 @@
+"""Property tests for the hint pipeline over fuzzed worlds.
+
+Ten fuzzed configurations (:func:`repro.check.fuzz.fuzz_config`) each
+yield a different city set, code corpus, and hostname population; the
+properties must hold on every one:
+
+* **permutation invariance** — a name's match depends only on the name:
+  scanning a shuffled name list and unshuffling gives the identical
+  match per name;
+* **noise never matches** — no vocabulary word, with or without a digit
+  tail, ever matches a code (the corpus construction guarantees this);
+* **blacklisted codes are excluded** — an extra-blacklisted code stops
+  matching without disturbing other codes;
+* **degenerate inputs never raise** — empty hostnames, unicode, bare
+  digits, single labels all pass through find/tokenize safely.
+"""
+
+import numpy as np
+import pytest
+
+from repro.check.fuzz import fuzz_config
+from repro.hints import CodeCorpus, find_hints, tokenize
+from repro.world.cities import generate_cities, generate_countries
+from repro.world.hostnames import NOISE_VOCABULARY, HostnameScheme
+
+FUZZ_COUNT = 10
+
+
+def _scheme(index: int):
+    config = fuzz_config(index)
+    cities = generate_cities(config, generate_countries(config))
+    return config, cities, HostnameScheme(config, cities)
+
+
+def _sample_names(config, cities, scheme, count=120):
+    """A deterministic population of PTR names across the fuzzed world."""
+    names = []
+    for i in range(count):
+        city = cities[i % len(cities)]
+        kind = "anchor" if i % 3 == 0 else "probe"
+        hostname = scheme.hostname(
+            (config.seed, "fuzz-host", i, "rdns"), city, 64500 + i % 7, kind
+        )
+        names.append((f"198.51.{i // 250}.{i % 250}", hostname))
+    return names
+
+
+@pytest.fixture(scope="module", params=range(FUZZ_COUNT))
+def fuzz_world(request):
+    config, cities, scheme = _scheme(request.param)
+    corpus = CodeCorpus.from_cities(config, cities)
+    return config, cities, scheme, corpus
+
+
+class TestPermutationInvariance:
+    def test_shuffled_scan_matches_direct_scan(self, fuzz_world):
+        config, cities, scheme, corpus = fuzz_world
+        names = _sample_names(config, cities, scheme)
+        trie = corpus.trie()
+        direct = find_hints(names, trie)
+        order = np.random.default_rng(config.seed).permutation(len(names))
+        shuffled = find_hints([names[i] for i in order], trie)
+        for new_index, old_index in enumerate(order):
+            a, b = direct[old_index], shuffled[new_index]
+            if a is None:
+                assert b is None
+            else:
+                assert b is not None
+                assert (a.code, a.city_id, a.hostname) == (b.code, b.city_id, b.hostname)
+
+
+class TestNoiseNeverMatches:
+    def test_vocabulary_words_never_match(self, fuzz_world):
+        _, _, _, corpus = fuzz_world
+        trie = corpus.trie()
+        for word in NOISE_VOCABULARY:
+            for tail in ("", "1", "42", "007"):
+                assert trie.match_token(f"{word}{tail}") is None, (
+                    f"noise token {word}{tail!r} matched a code"
+                )
+
+    def test_noise_only_hostnames_never_match(self, fuzz_world):
+        config, _, scheme, corpus = fuzz_world
+        trie = corpus.trie()
+        for i in range(50):
+            labels = [
+                scheme._noise_label((config.seed, "fuzz-noise", i, j)) for j in range(3)
+            ]
+            hostname = ".".join(labels) + f".as{64500 + i}.example.net"
+            assert trie.find(hostname) is None, f"noise name {hostname!r} matched"
+
+    def test_matches_are_real_codes(self, fuzz_world):
+        config, cities, scheme, corpus = fuzz_world
+        names = _sample_names(config, cities, scheme)
+        for match in find_hints(names, corpus.trie()):
+            if match is None:
+                continue
+            assert corpus.city_by_code[match.code] == match.city_id
+            assert any(
+                token == match.code
+                or (token.startswith(match.code) and token[len(match.code):].isdigit())
+                for token in tokenize(match.hostname)
+            )
+
+
+class TestBlacklist:
+    def test_blacklisted_code_is_excluded(self, fuzz_world):
+        config, cities, scheme, corpus = fuzz_world
+        victim = corpus.codes[0]
+        filtered = CodeCorpus.from_cities(config, cities, extra_blacklist=[victim])
+        trie = filtered.trie()
+        assert trie.match_token(victim) is None
+        assert trie.match_token(f"{victim}03") is None
+        survivor = next(code for code in corpus.codes if code != victim)
+        assert trie.match_token(survivor) == (
+            survivor,
+            corpus.city_by_code[survivor],
+        )
+
+
+class TestDegenerateInputs:
+    DEGENERATE = [
+        "",
+        None,
+        "fra",
+        "fra03",
+        "...",
+        "---",
+        "___",
+        "a" * 300,
+        "12345",
+        "xn--frühstück-r5a.example.net",
+        "Ｆｒａ０３.example.net",
+        "nét.example",
+        "\tweird space",
+        ".leading.dot",
+        "trailing.dot.",
+    ]
+
+    def test_find_never_raises(self, fuzz_world):
+        _, _, _, corpus = fuzz_world
+        trie = corpus.trie()
+        for hostname in self.DEGENERATE:
+            trie.find(hostname)  # must not raise
+            tokenize(hostname or "")  # must not raise
+
+    def test_degenerate_batch_scan(self, fuzz_world):
+        _, _, _, corpus = fuzz_world
+        names = [(f"203.0.113.{i}", host) for i, host in enumerate(self.DEGENERATE)]
+        matches = find_hints(names, corpus.trie())
+        assert len(matches) == len(names)
+        assert matches[0] is None and matches[1] is None

@@ -101,7 +101,8 @@ class TestEventLog:
             log.emit("totally-new-event")
         assert "retry" in EVENT_TYPES and "invariant-violation" in EVENT_TYPES
         assert "serve-batch" in EVENT_TYPES
-        assert len(EVENT_TYPES) == 14
+        assert "hint-find" in EVENT_TYPES and "hint-refute" in EVENT_TYPES
+        assert len(EVENT_TYPES) == 17
 
     def test_capacity_drops_but_counts(self):
         log = EventLog(capacity=2)
