@@ -1,0 +1,278 @@
+"""Topology engine benchmark: CSR kernel, shared arena, million scale.
+
+Records one JSON point (``BENCH_topology.json``) with four sections:
+
+* ``graph`` — topology + CSR build seconds over the preset world;
+* ``routes`` — routes/sec of the scalar ``path_km`` loop vs the CSR
+  bucketed column kernel over the same host sample, with bitwise parity
+  checked before anything is recorded (ROADMAP item 3 asks for >=5x; the
+  assertion is armed on the paper preset);
+* ``arena_rss`` — per-worker private-dirty delta (``/proc/self/
+  smaps_rollup``; plain RSS cannot see copy-on-write copies because the
+  inherited pages were already resident) of a forked worker that touches
+  the inherited Python host objects vs one that reads the same state
+  through a shared-memory arena (armed: the arena delta must be below
+  the COW baseline);
+* ``million`` — the ``million`` scale preset built end to end (1M+ hosts,
+  100k+ metro/hub routers): synthesis + CSR seconds under a wall-clock
+  budget, a paper-scale campaign slice (~10k sources x 723 targets)
+  through the kernel, and the arena footprint.
+
+``REPRO_BENCH_PRESET=small|quick`` keeps CI smoke runs light: the small
+world, a scaled-down slice, and no million section.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform as platform_mod
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+from repro.exec.pool import _fork_context
+from repro.topology import CsrRouterGraph, Topology
+from repro.world import WorldConfig, build_world
+from repro.world.arrays import WorldArrays, arena_supported
+from repro.world.scale import scale_config, synthesize_scale_world
+
+from conftest import PRESET
+
+#: Assertions (speedup floor, RSS ordering, million budget) arm only at
+#: paper scale; smoke presets record numbers without judging them.
+ARMED = PRESET == "paper"
+
+#: Wall-clock budget for the million world: synthesis + CSR assembly.
+_MILLION_BUDGET_S = 60.0
+
+#: (src, dst) sample sizes for the routes section, per preset.
+_ROUTE_SAMPLE = {"paper": (2000, 200), "small": (400, 80), "quick": (200, 40)}
+
+_RESULTS: dict = {}
+
+#: Parent-side state the forked RSS workers inherit.
+_BENCH_CTX: dict = {}
+
+
+def _world_config() -> WorldConfig:
+    if PRESET == "small":
+        return WorldConfig.small()
+    if PRESET == "quick":
+        return WorldConfig.quick()
+    return WorldConfig.paper()
+
+
+def _private_dirty_bytes() -> int:
+    """Bytes of this process's pages that are private and dirty.
+
+    This is what a worker genuinely *adds* to system memory: COW copies
+    made by refcount writes land here, while resident shared-memory pages
+    do not (and plain RSS counts inherited pages either way).
+    """
+    with open("/proc/self/smaps_rollup") as handle:
+        for line in handle:
+            if line.startswith("Private_Dirty:"):
+                return int(line.split()[1]) * 1024
+    return 0
+
+
+def test_topology_benchmark():
+    world_started = time.perf_counter()
+    world = build_world(_world_config())
+    world_build_s = time.perf_counter() - world_started
+
+    # --- graph build --------------------------------------------------------
+    started = time.perf_counter()
+    topology = Topology(world)
+    topology_build_s = time.perf_counter() - started
+    started = time.perf_counter()
+    graph = CsrRouterGraph.from_topology(topology)
+    csr_build_s = time.perf_counter() - started
+    graph.validate()
+    _RESULTS["graph"] = {
+        "world_build_s": round(world_build_s, 4),
+        "topology_build_s": round(topology_build_s, 4),
+        "csr_build_s": round(csr_build_s, 4),
+        "nodes": graph.n_nodes,
+        "edges": graph.n_edges,
+        "hubs": graph.hub_count,
+        "metros": graph.city_count,
+        "gateways": graph.host_count,
+    }
+
+    # --- routes/sec: scalar loop vs bucketed kernel -------------------------
+    n_src, n_dst = _ROUTE_SAMPLE.get(PRESET, _ROUTE_SAMPLE["quick"])
+    count = world.static_host_count
+    rng = np.random.default_rng(20260808)
+    src = rng.choice(count, size=min(n_src, count), replace=False)
+    dst = rng.choice(count, size=min(n_dst, count), replace=False)
+    params = {
+        int(h): topology.params_for(world.host_by_id(int(h)))
+        for h in np.union1d(src, dst)
+    }
+
+    started = time.perf_counter()
+    scalar = np.empty((len(src), len(dst)))
+    path_km = topology.path_km
+    for row, s in enumerate(src):
+        sp = params[int(s)]
+        scalar[row, :] = [path_km(sp, params[int(d)]) for d in dst]
+    scalar_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    kernel = graph.path_km_matrix(src, dst)
+    kernel_s = time.perf_counter() - started
+
+    identical = bool(np.array_equal(scalar, kernel))
+    assert identical, "CSR kernel diverged from the scalar path — not recording"
+    pairs = scalar.size
+    scalar_rps = pairs / scalar_s
+    kernel_rps = pairs / kernel_s
+    speedup = kernel_rps / scalar_rps
+    _RESULTS["routes"] = {
+        "pairs": int(pairs),
+        "scalar_s": round(scalar_s, 4),
+        "kernel_s": round(kernel_s, 6),
+        "scalar_routes_per_s": round(scalar_rps),
+        "kernel_routes_per_s": round(kernel_rps),
+        "speedup": round(speedup, 1),
+        "identical_to_scalar": identical,
+    }
+    if ARMED:
+        assert speedup >= 5.0, f"CSR kernel speedup {speedup:.1f}x below 5x floor"
+
+    # --- per-worker RSS: COW inheritance vs arena attach --------------------
+    context = _fork_context()
+    if (
+        context is not None
+        and arena_supported()
+        and os.path.exists("/proc/self/smaps_rollup")
+    ):
+        arrays = WorldArrays.from_topology(topology)
+        arena = arrays.share()
+        _BENCH_CTX["world"] = world
+        _BENCH_CTX["token"] = arena.token
+        try:
+            cow_delta = _forked_delta(context, _touch_cow_hosts)
+            arena_delta = _forked_delta(context, _touch_arena_arrays)
+        finally:
+            _BENCH_CTX.clear()
+            arena.close()
+        _RESULTS["arena_rss"] = {
+            "hosts": world.static_host_count,
+            "arena_bytes": arrays.nbytes(),
+            "cow_private_dirty_delta_bytes": cow_delta,
+            "arena_private_dirty_delta_bytes": arena_delta,
+            "arena_below_cow": bool(arena_delta < cow_delta),
+        }
+        if ARMED:
+            assert arena_delta < cow_delta, (
+                f"arena worker dirtied {arena_delta} bytes, COW baseline "
+                f"{cow_delta} — arena should be flatter"
+            )
+    else:  # pragma: no cover - non-POSIX platforms
+        _RESULTS["arena_rss"] = {"skipped": "fork or shared memory unavailable"}
+
+    # --- the million preset, end to end -------------------------------------
+    if ARMED:
+        preset = scale_config("million")
+        started = time.perf_counter()
+        scale_arrays = synthesize_scale_world(preset)
+        million_build_s = time.perf_counter() - started
+        scale_graph = scale_arrays.router_graph()
+        scale_graph.validate()
+
+        slice_rng = np.random.default_rng(20260809)
+        slice_src = slice_rng.choice(preset.hosts, size=9379, replace=False)
+        slice_dst = slice_rng.choice(preset.hosts, size=723, replace=False)
+        started = time.perf_counter()
+        chunk = 1024
+        for begin in range(0, len(slice_src), chunk):
+            scale_graph.path_km_matrix(
+                slice_src[begin : begin + chunk], slice_dst
+            )
+        slice_s = time.perf_counter() - started
+        slice_routes = len(slice_src) * len(slice_dst)
+
+        sample = slice_rng.choice(preset.hosts, size=64, replace=False)
+        sample_matrix = scale_graph.path_km_matrix(sample[:32], sample[32:])
+        for row in range(4):
+            for column in range(4):
+                assert sample_matrix[row, column] == scale_graph.path_km_scalar(
+                    int(sample[row]), int(sample[32 + column])
+                )
+
+        _RESULTS["million"] = {
+            "hosts": preset.hosts,
+            "metro_hub_routers": preset.router_count,
+            "nodes": scale_graph.n_nodes,
+            "edges": scale_graph.n_edges,
+            "build_s": round(million_build_s, 2),
+            "budget_s": _MILLION_BUDGET_S,
+            "arena_bytes": scale_arrays.nbytes(),
+            "campaign_slice": {
+                "sources": len(slice_src),
+                "targets": len(slice_dst),
+                "routes": slice_routes,
+                "elapsed_s": round(slice_s, 3),
+                "routes_per_s": round(slice_routes / slice_s),
+            },
+        }
+        assert million_build_s < _MILLION_BUDGET_S, (
+            f"million world took {million_build_s:.1f}s "
+            f"(budget {_MILLION_BUDGET_S}s)"
+        )
+
+    _write_results()
+
+
+def _forked_delta(context, target) -> int:
+    """Fork a worker, run ``target``, return its touched-RSS delta (bytes)."""
+    parent_conn, child_conn = context.Pipe(duplex=False)
+    process = context.Process(target=target, args=(child_conn,))
+    process.start()
+    child_conn.close()
+    delta = parent_conn.recv()
+    process.join()
+    parent_conn.close()
+    return int(delta)
+
+
+def _touch_cow_hosts(conn) -> None:
+    """Worker: read every inherited Host object (dirties COW pages)."""
+    world = _BENCH_CTX["world"]
+    before = _private_dirty_bytes()
+    total = 0.0
+    for host in world.hosts:
+        total += host.true_location.lat + host.last_mile_ms
+    conn.send(_private_dirty_bytes() - before + int(total * 0))
+    conn.close()
+
+
+def _touch_arena_arrays(conn) -> None:
+    """Worker: read the same state through the shared arena."""
+    arrays, arena = WorldArrays.attach(_BENCH_CTX["token"])
+    before = _private_dirty_bytes()
+    total = float(arrays.host_true_lats.sum() + arrays.host_last_mile.sum())
+    delta = _private_dirty_bytes() - before + int(total * 0)
+    arena.close()
+    conn.send(delta)
+    conn.close()
+
+
+def _write_results() -> None:
+    payload = {
+        "schema": "bench-topology-v1",
+        "recorded_at": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "preset": PRESET,
+        "python": platform_mod.python_version(),
+        "numpy": np.__version__,
+        **_RESULTS,
+    }
+    path = Path(__file__).resolve().parent.parent / "BENCH_topology.json"
+    path.write_text(json.dumps(payload, indent=1) + "\n")
+    print()
+    print(json.dumps(payload, indent=1))

@@ -25,6 +25,7 @@ from repro.check.diff import (
     diff_cold_vs_warm_cache,
     diff_serial_vs_parallel,
     diff_serve_vs_batch,
+    diff_topology,
     run_selfcheck,
 )
 from repro.check.fuzz import fuzz_config, fuzz_configs, scaled_config
@@ -52,6 +53,7 @@ __all__ = [
     "diff_cold_vs_warm_cache",
     "diff_serial_vs_parallel",
     "diff_serve_vs_batch",
+    "diff_topology",
     "fuzz_config",
     "fuzz_configs",
     "run_selfcheck",

@@ -1,9 +1,12 @@
 """Differential self-verification: run paired paths, assert equal bytes.
 
-The substrate promises five expensive equivalences:
+The substrate promises six expensive equivalences:
 
 * the batched CBG kernel computes exactly what the per-target reference
   loop computes (``repro.core.cbg_batch``);
+* the flat-array CSR router graph resolves whole target columns to
+  exactly the per-pair scalar waypoint path, and its explicit node walks
+  are the routes traceroute sees (``repro.topology.csr``);
 * a parallel campaign (``REPRO_WORKERS=N``) produces byte-identical
   results to the serial path (``repro.exec``);
 * a warm artifact-cache rebuild replays byte-identical measurements to a
@@ -18,7 +21,7 @@ The substrate promises five expensive equivalences:
 Each promise is pinned by golden tests, but those only run under pytest.
 This module packages the same comparisons as a *runtime* harness: each
 ``diff_*`` function runs one campaign through both sides of a pair and
-compares outputs bitwise, and :func:`run_selfcheck` bundles all five into
+compares outputs bitwise, and :func:`run_selfcheck` bundles all six into
 the :class:`SelfCheckReport` behind ``experiments/run.py --selfcheck``
 (exit 0 iff every pair agrees) and the ``selfcheck_report`` pytest
 fixture. The paired computations are invoked through their *modules*, so
@@ -135,6 +138,110 @@ def diff_batch_vs_loop(
                 f"{mismatch}: batch={batch[mismatch]!r} loop={loop[mismatch]!r}",
             )
     return DiffOutcome("cbg: batch vs loop", ok=True, compared=compared)
+
+
+def diff_topology(scenario, sample: int = 24) -> DiffOutcome:
+    """CSR bucketed kernel vs the scalar waypoint path, bitwise.
+
+    Builds the flat-array router graph over the scenario's world and
+    resolves a seeded sample of (source, destination) host pairs three
+    ways — the batched column kernel, the vectorised ``bulk_path_km``,
+    and the per-pair scalar ``path_km`` — requiring bitwise agreement.
+    The sample is augmented with hosts of the most crowded city so the
+    same-city peering and trombone policies are always exercised. A few
+    pairs are additionally walked hop by hop: the CSR node sequence must
+    map exactly onto :func:`~repro.topology.routing.build_route`'s router
+    hops, and the route's total length onto the kernel's entry. The graph
+    is built through :mod:`repro.topology.csr`, so a patched kernel
+    diverges visibly.
+    """
+    from repro.topology import csr as csr_mod
+    from repro.topology.graph import Topology
+    from repro.topology.routing import build_route
+
+    world = scenario.world
+    topology = Topology(world)
+    graph = csr_mod.CsrRouterGraph.from_topology(topology)
+    graph.validate()
+    count = world.static_host_count
+    seed = world.config.seed
+    rng = rand.generator((seed, "selfcheck-topology"))
+    size = min(sample, count)
+    values, crowd = np.unique(world.host_city_ids, return_counts=True)
+    crowded = np.flatnonzero(world.host_city_ids == values[np.argmax(crowd)])[:3]
+    src = np.unique(
+        np.concatenate([rng.choice(count, size=size, replace=False), crowded])
+    )
+    dst = np.unique(
+        np.concatenate([rng.choice(count, size=size, replace=False), crowded])
+    )
+    matrix = graph.path_km_matrix(src, dst)
+    params = {
+        int(h): topology.params_for(world.host_by_id(int(h)))
+        for h in np.union1d(src, dst)
+    }
+    pair = "topology: csr vs scalar"
+    compared = 0
+    src_tail = topology.host_tail_km[src]
+    src_uplink = topology.host_uplink_km[src]
+    src_hub = topology.host_hub_index[src]
+    src_city = world.host_city_ids[src]
+    src_asn = world.host_asns[src]
+    for column, d in enumerate(dst):
+        bulk = topology.bulk_path_km(
+            src_tail, src_uplink, src_hub, src_city, src_asn, params[int(d)]
+        )
+        compared += 1
+        if not _arrays_equal(bulk, matrix[:, column]):
+            row = int(np.argmax(bulk != matrix[:, column]))
+            return DiffOutcome(
+                pair,
+                ok=False,
+                compared=compared,
+                detail=f"column {column} diverges from bulk_path_km at row "
+                f"{row}: csr={matrix[row, column]!r} bulk={bulk[row]!r}",
+            )
+        for row, s in enumerate(src):
+            scalar = topology.path_km(params[int(s)], params[int(d)])
+            compared += 1
+            if scalar != matrix[row, column]:
+                return DiffOutcome(
+                    pair,
+                    ok=False,
+                    compared=compared,
+                    detail=f"pair ({int(s)}, {int(d)}) diverges: "
+                    f"csr={matrix[row, column]!r} scalar={scalar!r}",
+                )
+    for s in src[:4]:
+        for d in dst[:4]:
+            if s == d:
+                continue
+            route = build_route(
+                topology,
+                params[int(s)],
+                params[int(d)],
+                world.host_by_id(int(s)).ip,
+                world.host_by_id(int(d)).ip,
+            )
+            walked = [graph.node_ip(node) for node in graph.route_nodes(int(s), int(d))]
+            expected = [hop.ip for hop in route.hops[:-1]]
+            compared += 1
+            if walked != expected or route.total_km != graph.path_km_scalar(
+                int(s), int(d)
+            ):
+                return DiffOutcome(
+                    pair,
+                    ok=False,
+                    compared=compared,
+                    detail=f"route ({int(s)}, {int(d)}) diverges: "
+                    f"csr walk {walked} vs build_route {expected}",
+                )
+    return DiffOutcome(
+        pair,
+        ok=True,
+        compared=compared,
+        detail=f"{len(src)}x{len(dst)} pairs, 3 paths, routes walked",
+    )
 
 
 def diff_serial_vs_parallel(scenario, trials: int = 3, workers: int = 2) -> DiffOutcome:
@@ -401,13 +508,14 @@ def run_selfcheck(
     trials: int = 3,
     workers: int = 2,
 ) -> SelfCheckReport:
-    """Run all five paired-path comparisons over one preset world."""
+    """Run all six paired-path comparisons over one preset world."""
     from repro.experiments.scenario import Scenario, config_for_preset
 
     config = config_for_preset(preset, seed)
     scenario = Scenario.build(config)
     report = SelfCheckReport()
     report.outcomes.append(diff_batch_vs_loop(scenario))
+    report.outcomes.append(diff_topology(scenario))
     report.outcomes.append(
         diff_serial_vs_parallel(scenario, trials=trials, workers=workers)
     )

@@ -90,6 +90,72 @@ def default_chunksize(n_items: int, workers: int) -> int:
 #: parent immediately before the pool forks, so workers inherit it.
 _OBSERVED_CTX: Dict[str, object] = {}
 
+#: Arena token pinned by :func:`arena_context` in the parent immediately
+#: before a pool forks; forked workers inherit the (tiny) token and attach
+#: to the shared segment on first use instead of COW-inheriting the hot
+#: world arrays through dirty pages.
+_ARENA_TOKEN: Optional[object] = None
+
+#: Worker-side attachment cache: one mapping per segment per process.
+_ATTACHED_ARENAS: Dict[str, Tuple[object, object]] = {}
+
+
+class arena_context:
+    """Pin a shared-memory arena token for the next ``parallel_map``.
+
+    Usage (parent side)::
+
+        arrays = WorldArrays.from_topology(topology)
+        with arrays.share() as arena, arena_context(arena.token):
+            parallel_map(fn, items)
+
+    Work functions call :func:`attached_world_arrays` to get the published
+    :class:`~repro.world.arrays.WorldArrays` — in a forked worker that
+    attaches the shared segment (no copies, reads never dirty a page); in
+    the serial path it attaches the very same segment in-process, so both
+    paths read identical bytes. Re-entrant tokens nest (the previous token
+    is restored on exit).
+    """
+
+    def __init__(self, token) -> None:
+        self._token = token
+        self._previous: Optional[object] = None
+
+    def __enter__(self) -> "arena_context":
+        global _ARENA_TOKEN
+        self._previous = _ARENA_TOKEN
+        _ARENA_TOKEN = self._token
+        return self
+
+    def __exit__(self, *exc) -> None:
+        global _ARENA_TOKEN
+        _ARENA_TOKEN = self._previous
+
+
+def attached_world_arrays():
+    """The :class:`~repro.world.arrays.WorldArrays` behind the pinned token.
+
+    Returns ``None`` when no token is pinned or the platform has no shared
+    memory (callers fall back to their in-process arrays — the serial
+    degrade computes the same bytes). Attachment is cached per process:
+    the first call in a worker maps the segment, later calls are free.
+    """
+    if _ARENA_TOKEN is None:
+        return None
+    cached = _ATTACHED_ARENAS.get(_ARENA_TOKEN.segment)
+    if cached is None:
+        from repro.world.arrays import WorldArrays, arena_supported
+
+        if not arena_supported():  # pragma: no cover - POSIX containers
+            return None
+        try:
+            arrays, arena = WorldArrays.attach(_ARENA_TOKEN)
+        except FileNotFoundError:
+            return None
+        cached = (arrays, arena)
+        _ATTACHED_ARENAS[_ARENA_TOKEN.segment] = cached
+    return cached[0]
+
 
 def _observed_item(pair: Tuple[int, T]):
     """Run one work item under worker-side capture.

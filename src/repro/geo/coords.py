@@ -81,6 +81,35 @@ def bulk_haversine_km(
     return 2.0 * EARTH_RADIUS_KM * np.arcsin(np.sqrt(a))
 
 
+def matrix_haversine_km(
+    lats1: np.ndarray, lons1: np.ndarray, lats2: np.ndarray, lons2: np.ndarray
+) -> np.ndarray:
+    """All-pairs haversine matrix: ``result[i, j]`` is the distance from
+    point ``j`` of the first set to point ``i`` of the second, in km.
+
+    Row ``i`` is bitwise-identical to
+    ``bulk_haversine_km(lats1, lons1, float(lats2[i]), float(lons2[i]))``:
+    the second set's trigonometry goes through ``math.radians``/``math.cos``
+    exactly as the scalar destination of the bulk call does, and every
+    operand is combined in the same order. The topology relies on this to
+    vectorise its hub mesh and city homing without perturbing a single
+    routed path (pinned by the regression suite).
+    """
+    lats2 = np.asarray(lats2, dtype=np.float64)
+    lons2 = np.asarray(lons2, dtype=np.float64)
+    phi1 = np.radians(np.asarray(lats1, dtype=np.float64))
+    phi2 = np.array([math.radians(float(lat)) for lat in lats2])
+    cos_phi2 = np.array([math.cos(p) for p in phi2])
+    dphi = phi2[:, None] - phi1[None, :]
+    dlambda = np.radians(lons2[:, None] - np.asarray(lons1, dtype=np.float64)[None, :])
+    a = (
+        np.sin(dphi / 2.0) ** 2
+        + np.cos(phi1)[None, :] * cos_phi2[:, None] * np.sin(dlambda / 2.0) ** 2
+    )
+    a = np.clip(a, 0.0, 1.0)
+    return 2.0 * EARTH_RADIUS_KM * np.arcsin(np.sqrt(a))
+
+
 def pairwise_haversine_km(
     lats1: np.ndarray, lons1: np.ndarray, lats2: np.ndarray, lons2: np.ndarray
 ) -> np.ndarray:

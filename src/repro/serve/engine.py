@@ -212,6 +212,22 @@ class ServeEngine:
         return cls(QueryState.from_scenario(scenario), **kwargs)
 
     @classmethod
+    def from_arena(cls, token, **kwargs) -> "ServeEngine":
+        """An engine over a shared-memory query state published elsewhere.
+
+        Attaches to the arena behind ``token``
+        (:meth:`QueryState.share` in the publishing process) and serves
+        straight off the shared pages: a fleet of worker engines holds
+        one physical copy of the RTT matrix between them. The arena
+        handle is pinned on the engine (``_arena``) so the views outlive
+        construction.
+        """
+        state, arena = QueryState.attach(token)
+        engine = cls(state, **kwargs)
+        engine._arena = arena
+        return engine
+
+    @classmethod
     def for_preset(cls, preset: str, seed: Optional[int] = None, **kwargs) -> "ServeEngine":
         """An engine over a preset world ("paper", "small", or "quick").
 

@@ -102,3 +102,70 @@ class QueryState:
             target_true_lons=scenario.target_true_lons,
             seed=scenario.world.config.seed,
         )
+
+    # --- shared-memory arena -----------------------------------------------
+
+    def share(self):
+        """Publish the query state into a shared-memory arena.
+
+        Every array a query reads — VP coordinates, the RTT matrix, the
+        target address table (as fixed-width bytes), optional ground
+        truth — goes into one read-only segment, so a fleet of serving
+        workers holds a single physical copy of the matrix instead of one
+        per fork. Returns the owning
+        :class:`~repro.world.arrays.SharedArena`; pass its ``token`` to
+        :meth:`attach` in the workers. Gate with
+        :func:`~repro.world.arrays.arena_supported`.
+        """
+        from repro.world.arrays import SharedArena
+
+        payload = {
+            "vp_lats": np.asarray(self.vp_lats, dtype=np.float64),
+            "vp_lons": np.asarray(self.vp_lons, dtype=np.float64),
+            "rtt_matrix": self.rtt_matrix,
+            "target_ips": np.array(self.target_ips, dtype="S"),
+            "meta": np.array(
+                [
+                    -1 if self.seed is None else int(self.seed),
+                    0 if self.target_true_lats is None else 1,
+                ],
+                dtype=np.int64,
+            ),
+            "soi": np.array([self.soi_fraction], dtype=np.float64),
+        }
+        if self.target_true_lats is not None:
+            payload["target_true_lats"] = np.asarray(
+                self.target_true_lats, dtype=np.float64
+            )
+            payload["target_true_lons"] = np.asarray(
+                self.target_true_lons, dtype=np.float64
+            )
+        return SharedArena.create(payload)
+
+    @classmethod
+    def attach(cls, token) -> Tuple["QueryState", object]:
+        """Rebuild a query state over an arena's read-only views.
+
+        Returns ``(state, arena)``; the caller keeps the arena handle
+        alive while the state is in use. The arrays are zero-copy views
+        into the shared segment — byte-identical to the published state
+        (pinned by the serve tests).
+        """
+        from repro.world.arrays import SharedArena
+
+        arena = SharedArena.attach(token)
+        meta = arena.array("meta")
+        has_truth = bool(meta[1])
+        state = cls(
+            vp_lats=arena.array("vp_lats"),
+            vp_lons=arena.array("vp_lons"),
+            rtt_matrix=arena.array("rtt_matrix"),
+            target_ips=tuple(
+                ip.decode("ascii") for ip in arena.array("target_ips")
+            ),
+            soi_fraction=float(arena.array("soi")[0]),
+            target_true_lats=arena.array("target_true_lats") if has_truth else None,
+            target_true_lons=arena.array("target_true_lons") if has_truth else None,
+            seed=None if int(meta[0]) < 0 else int(meta[0]),
+        )
+        return state, arena

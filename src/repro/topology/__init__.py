@@ -10,6 +10,7 @@ are mutually consistent by construction.
 
 from repro.topology.routers import RouterRole, router_ip, parse_router_ip
 from repro.topology.graph import Topology, HostNetParams
+from repro.topology.csr import CsrRouterGraph, build_csr_arrays
 from repro.topology.routing import RoutePath, RouteHop
 
 __all__ = [
@@ -17,6 +18,8 @@ __all__ = [
     "router_ip",
     "parse_router_ip",
     "Topology",
+    "CsrRouterGraph",
+    "build_csr_arrays",
     "HostNetParams",
     "RoutePath",
     "RouteHop",

@@ -1,0 +1,436 @@
+"""Flat-array CSR router graph: the topology as dense integer nodes.
+
+:class:`CsrRouterGraph` re-expresses the routing geometry of a
+:class:`~repro.topology.graph.Topology` as an explicit graph in compressed
+sparse row form — three numpy arrays (``indptr``, ``indices``,
+``weight_km``) over dense integer node ids — instead of the implicit
+waypoint formulas. The node layout is fixed:
+
+* hubs occupy nodes ``[0, hub_count)`` (node id == hub index);
+* metros occupy nodes ``[hub_count, hub_count + city_count)`` (one per
+  city, offset by city id);
+* gateways occupy nodes ``[hub_count + city_count, ...)`` (one per static
+  host, offset by host id).
+
+Edge ordering inside each row is part of the contract, because the path
+kernel reads parameters straight out of the arrays:
+
+* a **gateway** row has exactly one edge — to its metro — whose weight is
+  the host's tail distance;
+* a **metro** row's *first* edge is the hub uplink (weight = uplink km),
+  followed by one edge per hosted gateway in host-id order;
+* a **hub** row lists every other hub in ascending hub order (self
+  skipped), so the backbone distance from hub ``i`` to hub ``j`` sits at
+  ``indptr[i] + j - (j > i)``.
+
+The bucketed kernel (:meth:`path_km_matrix`) resolves whole target
+columns at once — the batched analogue of
+:meth:`~repro.topology.graph.Topology.path_km` — by sweeping the three
+layers (gateway tails up, backbone row gather, uplinks + tails down) as
+flat array gathers, then overlaying the same-city peering policy with the
+exact keyed draws the scalar path makes. Every sum is performed in the
+scalar path's operand order, so the result is **bitwise identical** to
+``path_km`` (pinned by the ``topology: csr vs scalar`` selfcheck leg and
+the fuzzed property suite). The graph can also be rebuilt from a bare
+:class:`~repro.world.arrays.WorldArrays` bundle — no ``World`` object
+needed — which is how shared-memory arena consumers route at million-host
+scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import rand
+from repro.topology.routers import RouterRole, router_ip
+
+
+def build_csr_arrays(
+    hub_distance_km: np.ndarray,
+    city_hub_index: np.ndarray,
+    city_uplink_km: np.ndarray,
+    host_city_ids: np.ndarray,
+    host_tail_km: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Assemble ``(indptr, indices, weight_km)`` from flat per-layer arrays.
+
+    Pure array construction (no Python loop over hosts or cities), shared
+    by :meth:`CsrRouterGraph.from_topology` and the million-scale world
+    synthesizer. Weights are *gathered*, never recomputed, so the CSR
+    arrays are bitwise the same distances the formula path uses.
+    """
+    hub_count = int(hub_distance_km.shape[0])
+    city_count = int(city_hub_index.shape[0])
+    host_count = int(host_city_ids.shape[0])
+    gateway_base = hub_count + city_count
+    n_nodes = gateway_base + host_count
+
+    city_ids = np.asarray(host_city_ids, dtype=np.int64)
+    per_city = np.bincount(city_ids, minlength=city_count)
+
+    degrees = np.empty(n_nodes, dtype=np.int64)
+    degrees[:hub_count] = max(hub_count - 1, 0)
+    degrees[hub_count:gateway_base] = 1 + per_city
+    degrees[gateway_base:] = 1
+    indptr = np.zeros(n_nodes + 1, dtype=np.int64)
+    np.cumsum(degrees, out=indptr[1:])
+
+    n_edges = int(indptr[-1])
+    indices = np.empty(n_edges, dtype=np.int64)
+    weight_km = np.empty(n_edges, dtype=np.float64)
+
+    # Hub mesh rows: every other hub in ascending order, self skipped.
+    if hub_count > 1:
+        off_diag = ~np.eye(hub_count, dtype=bool)
+        mesh_end = hub_count * (hub_count - 1)
+        indices[:mesh_end] = np.broadcast_to(
+            np.arange(hub_count), (hub_count, hub_count)
+        )[off_diag]
+        weight_km[:mesh_end] = np.asarray(hub_distance_km, dtype=np.float64)[off_diag]
+
+    # Metro rows: uplink edge first...
+    metro_starts = indptr[hub_count:gateway_base]
+    indices[metro_starts] = np.asarray(city_hub_index, dtype=np.int64)
+    weight_km[metro_starts] = np.asarray(city_uplink_km, dtype=np.float64)
+    # ...then hosted gateways in host-id order (stable grouping by city).
+    if host_count:
+        order = np.argsort(city_ids, kind="stable")
+        group_starts = np.zeros(city_count, dtype=np.int64)
+        np.cumsum(per_city[:-1], out=group_starts[1:])
+        within = np.arange(host_count, dtype=np.int64) - np.repeat(
+            group_starts, per_city
+        )
+        slots = metro_starts[city_ids[order]] + 1 + within
+        indices[slots] = gateway_base + order
+        weight_km[slots] = np.asarray(host_tail_km, dtype=np.float64)[order]
+
+    # Gateway rows: the single tail edge back to the metro.
+    gateway_starts = indptr[gateway_base:-1]
+    indices[gateway_starts] = hub_count + city_ids
+    weight_km[gateway_starts] = np.asarray(host_tail_km, dtype=np.float64)
+
+    return indptr, indices, weight_km
+
+
+@dataclass
+class CsrRouterGraph:
+    """The router graph in CSR form, plus the policy scalars the kernel needs.
+
+    Attributes:
+        indptr: row pointers, one row per node, ``len == n_nodes + 1``.
+        indices: concatenated adjacency targets (dense node ids).
+        weight_km: per-edge great-circle length, aligned with ``indices``.
+        hub_count: number of hub nodes (node ids ``[0, hub_count)``).
+        city_count: number of metro nodes.
+        host_count: number of gateway nodes (static hosts).
+        host_asns: per-host AS numbers (drives same-city peering).
+        seed: the world seed (keys the peering draws).
+        peering_probability: same-city local-peering probability.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    weight_km: np.ndarray
+    hub_count: int
+    city_count: int
+    host_count: int
+    host_asns: np.ndarray
+    seed: int
+    peering_probability: float
+
+    @property
+    def n_nodes(self) -> int:
+        """Total node count: hubs + metros + gateways."""
+        return len(self.indptr) - 1
+
+    @property
+    def n_edges(self) -> int:
+        """Total directed edge count."""
+        return len(self.indices)
+
+    @property
+    def gateway_base(self) -> int:
+        """Node id of host 0's gateway."""
+        return self.hub_count + self.city_count
+
+    @classmethod
+    def from_topology(cls, topology) -> "CsrRouterGraph":
+        """Build the CSR graph from a :class:`~repro.topology.graph.Topology`.
+
+        Covers the static hosts (lazily created web servers keep using the
+        formula path, exactly as :meth:`Topology.params_for` does).
+        """
+        world = topology.world
+        indptr, indices, weight_km = build_csr_arrays(
+            topology.hub_distance_km,
+            topology.city_hub_index,
+            topology.city_uplink_km,
+            world.host_city_ids,
+            topology.host_tail_km,
+        )
+        return cls(
+            indptr=indptr,
+            indices=indices,
+            weight_km=weight_km,
+            hub_count=topology.hub_count,
+            city_count=len(world.cities),
+            host_count=world.static_host_count,
+            host_asns=world.host_asns,
+            seed=world.config.seed,
+            peering_probability=world.config.local_peering_probability,
+        )
+
+    @classmethod
+    def from_arrays(cls, arrays) -> "CsrRouterGraph":
+        """Rebuild the graph from a :class:`~repro.world.arrays.WorldArrays`.
+
+        The arrays bundle already carries the CSR triple (typically as
+        read-only shared-memory views), so this is wiring, not a rebuild —
+        an arena-attached worker gets a routing-capable graph without ever
+        touching a ``World``.
+        """
+        return cls(
+            indptr=arrays.csr_indptr,
+            indices=arrays.csr_indices,
+            weight_km=arrays.csr_weight_km,
+            hub_count=int(arrays.hub_count),
+            city_count=int(arrays.city_count),
+            host_count=int(arrays.static_host_count),
+            host_asns=arrays.host_asns,
+            seed=int(arrays.seed),
+            peering_probability=float(arrays.peering_probability),
+        )
+
+    # --- array reads (the CSR arrays are the single source of truth) --------
+
+    def _check_hosts(self, host_ids: np.ndarray) -> np.ndarray:
+        host_ids = np.asarray(host_ids, dtype=np.int64)
+        if host_ids.size and (
+            host_ids.min() < 0 or host_ids.max() >= self.host_count
+        ):
+            raise IndexError(
+                f"host ids out of range [0, {self.host_count}): "
+                f"[{host_ids.min()}, {host_ids.max()}]"
+            )
+        return host_ids
+
+    def host_params(
+        self, host_ids: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Per-host ``(tail_km, uplink_km, hub, city)`` read from the arrays.
+
+        The gateway row yields the tail and the metro node; the metro row's
+        first edge yields the uplink and the hub node.
+        """
+        host_ids = self._check_hosts(host_ids)
+        gateway_rows = self.indptr[self.gateway_base + host_ids]
+        tail = self.weight_km[gateway_rows]
+        metro_nodes = self.indices[gateway_rows]
+        metro_rows = self.indptr[metro_nodes]
+        uplink = self.weight_km[metro_rows]
+        hubs = self.indices[metro_rows]
+        cities = metro_nodes - self.hub_count
+        return tail, uplink, hubs, cities
+
+    def backbone_km(self, src_hubs: np.ndarray, dst_hubs: np.ndarray) -> np.ndarray:
+        """Hub-to-hub distances gathered from the mesh rows (broadcasting).
+
+        For a hub row ``i``, hub ``j``'s edge sits at position
+        ``j - (j > i)`` (the self entry is skipped); the diagonal comes
+        back as 0.0 without touching the arrays.
+        """
+        i = np.asarray(src_hubs, dtype=np.int64)
+        j = np.asarray(dst_hubs, dtype=np.int64)
+        slot = self.indptr[i] + j - (j > i)
+        # The diagonal's slot is harmless (it aliases a real edge) — the
+        # where() discards the gathered value there.
+        return np.where(i == j, 0.0, self.weight_km[slot])
+
+    # --- the bucketed multi-source kernel -----------------------------------
+
+    def path_km_matrix(
+        self, src_host_ids: np.ndarray, dst_host_ids: np.ndarray
+    ) -> np.ndarray:
+        """Routed one-way path lengths for all (src, dst) pairs at once.
+
+        Returns a ``(len(src), len(dst))`` matrix; entry ``[s, d]`` is
+        bitwise-equal to ``Topology.path_km(params(src_s), params(dst_d))``.
+        The kernel is a three-layer bucketed sweep over the CSR arrays:
+
+        1. *up*: gateway tails and metro uplinks for both host sets, four
+           flat gathers;
+        2. *across*: the backbone block, one broadcast gather into the hub
+           mesh rows (same-hub pairs contribute ``+0.0``, which is exact
+           for non-negative distances);
+        3. *down*: destination uplinks and tails broadcast over columns,
+           summed in the scalar path's operand order;
+        4. *policy*: same-city columns are overlaid with the keyed peering
+           draw — local metro hairpin when peered, hub trombone when not —
+           using the very same ``("peer", seed, city, pair_key)`` keys the
+           scalar path hashes.
+        """
+        tail_s, up_s, hub_s, city_s = self.host_params(src_host_ids)
+        tail_d, up_d, hub_d, city_d = self.host_params(dst_host_ids)
+
+        backbone = self.backbone_km(hub_s[:, None], hub_d[None, :])
+        # Operand order matches path_km: ((((t_s + u_s) + bb) + u_d) + t_d).
+        # Same-hub pairs ride the same expression with bb == +0.0, which is
+        # bitwise-neutral for the non-negative partial sums involved.
+        path = (((tail_s[:, None] + up_s[:, None]) + backbone) + up_d[None, :]) + tail_d[
+            None, :
+        ]
+
+        same_city = city_s[:, None] == city_d[None, :]
+        if same_city.any():
+            src_ids = np.asarray(src_host_ids, dtype=np.int64)
+            dst_ids = np.asarray(dst_host_ids, dtype=np.int64)
+            asn_s = np.asarray(self.host_asns, dtype=np.int64)[src_ids]
+            asn_d = np.asarray(self.host_asns, dtype=np.int64)[dst_ids]
+            local = tail_s[:, None] + tail_d[None, :]
+            trombone = (tail_s + 2.0 * up_s)[:, None] + tail_d[None, :]
+            for column in np.flatnonzero(same_city.any(axis=0)):
+                rows = np.flatnonzero(same_city[:, column])
+                dst_asn = int(asn_d[column])
+                low = np.minimum(asn_s[rows], dst_asn).astype(np.uint64)
+                high = np.maximum(asn_s[rows], dst_asn).astype(np.uint64)
+                draws = rand.bulk_uniform(
+                    ("peer", self.seed, int(city_d[column])),
+                    rand.bulk_pair_key(low, high),
+                )
+                peered = (asn_s[rows] == dst_asn) | (
+                    draws < self.peering_probability
+                )
+                path[rows, column] = np.where(
+                    peered, local[rows, column], trombone[rows, column]
+                )
+        return path
+
+    def path_km_scalar(self, src_host_id: int, dst_host_id: int) -> float:
+        """One pair through the CSR arrays, one gather at a time.
+
+        The per-pair Python reference the benchmark clocks the bucketed
+        kernel against; computes the exact scalar expression
+        :meth:`~repro.topology.graph.Topology.path_km` computes.
+        """
+        gateway_base = self.gateway_base
+        src_row = self.indptr[gateway_base + src_host_id]
+        dst_row = self.indptr[gateway_base + dst_host_id]
+        tail_s = float(self.weight_km[src_row])
+        tail_d = float(self.weight_km[dst_row])
+        metro_s = int(self.indices[src_row])
+        metro_d = int(self.indices[dst_row])
+        up_s = float(self.weight_km[self.indptr[metro_s]])
+        if metro_s == metro_d:
+            city = metro_s - self.hub_count
+            asn_s = int(self.host_asns[src_host_id])
+            asn_d = int(self.host_asns[dst_host_id])
+            if asn_s == asn_d:
+                return tail_s + tail_d
+            low, high = (asn_s, asn_d) if asn_s <= asn_d else (asn_d, asn_s)
+            draw = rand.uniform(
+                ("peer", self.seed, city, rand.pair_key(low, high))
+            )
+            if draw < self.peering_probability:
+                return tail_s + tail_d
+            return tail_s + 2.0 * up_s + tail_d
+        up_d = float(self.weight_km[self.indptr[metro_d]])
+        hub_s = int(self.indices[self.indptr[metro_s]])
+        hub_d = int(self.indices[self.indptr[metro_d]])
+        if hub_s == hub_d:
+            return tail_s + up_s + up_d + tail_d
+        backbone = float(
+            self.weight_km[self.indptr[hub_s] + hub_d - (hub_d > hub_s)]
+        )
+        return tail_s + up_s + backbone + up_d + tail_d
+
+    # --- explicit routes (the graph walk behind build_route) ----------------
+
+    def route_nodes(self, src_host_id: int, dst_host_id: int) -> List[int]:
+        """The forwarding node sequence from one host's gateway to another's.
+
+        Walks the explicit graph: gateway → metro [→ hub [→ hub] → metro]
+        → gateway, with the same-city trombone visiting the hub and
+        returning. Maps 1:1 (via :meth:`node_ip`) onto the router hops of
+        :func:`~repro.topology.routing.build_route` — pinned by the fuzz
+        suite — so traceroute semantics and the CSR arrays cannot drift
+        apart.
+        """
+        gateway_base = self.gateway_base
+        src_row = self.indptr[gateway_base + src_host_id]
+        dst_row = self.indptr[gateway_base + dst_host_id]
+        metro_s = int(self.indices[src_row])
+        metro_d = int(self.indices[dst_row])
+        nodes = [gateway_base + src_host_id, metro_s]
+        if metro_s == metro_d:
+            asn_s = int(self.host_asns[src_host_id])
+            asn_d = int(self.host_asns[dst_host_id])
+            peered = asn_s == asn_d
+            if not peered:
+                low, high = (asn_s, asn_d) if asn_s <= asn_d else (asn_d, asn_s)
+                draw = rand.uniform(
+                    (
+                        "peer",
+                        self.seed,
+                        metro_s - self.hub_count,
+                        rand.pair_key(low, high),
+                    )
+                )
+                peered = draw < self.peering_probability
+            if not peered:
+                hub = int(self.indices[self.indptr[metro_s]])
+                nodes.extend([hub, metro_s])
+        else:
+            hub_s = int(self.indices[self.indptr[metro_s]])
+            hub_d = int(self.indices[self.indptr[metro_d]])
+            nodes.append(hub_s)
+            if hub_d != hub_s:
+                nodes.append(hub_d)
+            nodes.append(metro_d)
+        nodes.append(gateway_base + dst_host_id)
+        return nodes
+
+    def node_ip(self, node: int) -> str:
+        """The router address of a dense node id."""
+        if node < 0 or node >= self.n_nodes:
+            raise IndexError(f"node id out of range: {node}")
+        if node < self.hub_count:
+            return router_ip(RouterRole.HUB, node)
+        if node < self.gateway_base:
+            return router_ip(RouterRole.METRO, node - self.hub_count)
+        return router_ip(RouterRole.GATEWAY, node - self.gateway_base)
+
+    def validate(self) -> None:
+        """Structural sanity of the CSR arrays (used by tests and checks).
+
+        Raises:
+            ValueError: if row pointers are not monotone, an index is out
+                of node range, a weight is negative, or a layer's degree
+                contract is broken.
+        """
+        if len(self.indptr) != self.n_nodes + 1 or self.indptr[0] != 0:
+            raise ValueError("indptr does not frame the node set")
+        if (np.diff(self.indptr) < 0).any():
+            raise ValueError("indptr is not monotone")
+        if int(self.indptr[-1]) != self.n_edges:
+            raise ValueError("indptr does not close over the edge set")
+        if self.n_edges and (
+            self.indices.min() < 0 or self.indices.max() >= self.n_nodes
+        ):
+            raise ValueError("edge index out of node range")
+        if self.n_edges and self.weight_km.min() < 0.0:
+            raise ValueError("negative edge weight")
+        degrees = np.diff(self.indptr)
+        if self.hub_count and not (
+            degrees[: self.hub_count] == max(self.hub_count - 1, 0)
+        ).all():
+            raise ValueError("hub row degree mismatch")
+        if not (degrees[self.gateway_base :] == 1).all():
+            raise ValueError("gateway rows must have exactly one edge")
+        metro_rows = self.indptr[self.hub_count : self.gateway_base]
+        if metro_rows.size and not (
+            self.indices[metro_rows] < self.hub_count
+        ).all():
+            raise ValueError("metro rows must lead with the hub uplink")

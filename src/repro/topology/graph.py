@@ -10,8 +10,9 @@ on demand from the same formulas.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -19,6 +20,15 @@ from repro import rand
 from repro.geo.coords import GeoPoint
 from repro.world.hosts import Host
 from repro.world.world import World
+
+#: Largest number of lazily created web-server parameter entries kept per
+#: :class:`Topology`. Under the resident serving engine a long-lived
+#: process can touch an unbounded stream of lazily materialised web
+#: servers; an unbounded per-host dict would then grow (and, worse, be
+#: duplicated per fork worker). The entries are pure functions of the
+#: shared city arrays plus two cheap haversines, so evicting and
+#: recomputing is safe — the bound only caps resident memory.
+LAZY_PARAMS_CAPACITY = 4096
 
 
 @dataclass(frozen=True)
@@ -59,49 +69,50 @@ class Topology:
             city_id: index for index, city_id in enumerate(self.hub_city_ids)
         }
 
-        hub_lats = np.array([world.city(cid).location.lat for cid in self.hub_city_ids])
-        hub_lons = np.array([world.city(cid).location.lon for cid in self.hub_city_ids])
+        from repro.geo.coords import matrix_haversine_km, pairwise_haversine_km
+
+        city_lats = np.array([city.location.lat for city in world.cities])
+        city_lons = np.array([city.location.lon for city in world.cities])
+        hub_cids = np.asarray(self.hub_city_ids, dtype=np.int64)
+        hub_lats = city_lats[hub_cids]
+        hub_lons = city_lons[hub_cids]
         self._hub_lats = hub_lats
         self._hub_lons = hub_lons
 
-        # Hub-to-hub great-circle distance matrix (the backbone mesh).
+        # Hub-to-hub great-circle distance matrix (the backbone mesh), one
+        # broadcasted call; row i is bitwise what the per-row
+        # ``bulk_haversine_km(..., float(hub_lats[i]), ...)`` loop computed.
         count = len(self.hub_city_ids)
-        self.hub_distance_km = np.zeros((count, count))
-        for i in range(count):
-            from repro.geo.coords import bulk_haversine_km
-
-            self.hub_distance_km[i, :] = bulk_haversine_km(
-                hub_lats, hub_lons, float(hub_lats[i]), float(hub_lons[i])
-            )
+        self.hub_distance_km = matrix_haversine_km(hub_lats, hub_lons, hub_lats, hub_lons)
 
         # Per-city uplink: nearest hub, same-continent hubs preferred.
-        self.city_hub_index = np.zeros(len(world.cities), dtype=np.int64)
-        self.city_uplink_km = np.zeros(len(world.cities))
-        hub_continents = [world.city(cid).continent for cid in self.hub_city_ids]
-        for city in world.cities:
-            distances = _distances_to_hubs(city.location, hub_lats, hub_lons)
-            # Penalise cross-continent homing: border cities may still cross.
-            penalised = distances + np.array(
-                [0.0 if cont == city.continent else 1500.0 for cont in hub_continents]
-            )
-            hub_index = int(np.argmin(penalised))
-            self.city_hub_index[city.city_id] = hub_index
-            self.city_uplink_km[city.city_id] = float(distances[hub_index])
+        # One cities x hubs distance matrix plus a continent-mismatch
+        # penalty matrix replaces the per-city argmin loop (penalising
+        # cross-continent homing; border cities may still cross).
+        city_continents = np.array([city.continent for city in world.cities])
+        hub_continents = city_continents[hub_cids]
+        city_hub_km = matrix_haversine_km(hub_lats, hub_lons, city_lats, city_lons)
+        penalised = city_hub_km + np.where(
+            city_continents[:, None] == hub_continents[None, :], 0.0, 1500.0
+        )
+        self.city_hub_index = np.argmin(penalised, axis=1)
+        self.city_uplink_km = city_hub_km[
+            np.arange(len(world.cities)), self.city_hub_index
+        ]
 
         # Static-host parameter arrays (aligned with world host arrays).
         static = world.static_host_count
         city_ids = world.host_city_ids
-        metro_lats = np.array([world.city(int(cid)).location.lat for cid in city_ids])
-        metro_lons = np.array([world.city(int(cid)).location.lon for cid in city_ids])
-        from repro.geo.coords import pairwise_haversine_km
-
+        metro_lats = city_lats[city_ids]
+        metro_lons = city_lons[city_ids]
         self.host_tail_km = pairwise_haversine_km(
             world.host_true_lats, world.host_true_lons, metro_lats, metro_lons
         )
         self.host_hub_index = self.city_hub_index[city_ids]
         self.host_uplink_km = self.city_uplink_km[city_ids]
-        self._lazy_params: Dict[int, HostNetParams] = {}
+        self._lazy_params: "OrderedDict[int, HostNetParams]" = OrderedDict()
         self._static_count = static
+        self._csr: Optional[object] = None
         # Keep a handle for docstring-visible sizes.
         self.hub_count = count
 
@@ -135,7 +146,27 @@ class Topology:
                 last_mile_ms=host.last_mile_ms,
             )
             self._lazy_params[host.host_id] = cached
+            if len(self._lazy_params) > LAZY_PARAMS_CAPACITY:
+                self._lazy_params.popitem(last=False)
+        else:
+            self._lazy_params.move_to_end(host.host_id)
         return cached
+
+    def csr(self) -> "object":
+        """The flat-array CSR router graph over this topology (memoised).
+
+        The returned :class:`~repro.topology.csr.CsrRouterGraph` is the
+        single routing truth re-expressed as dense integer nodes with
+        ``indptr``/``indices``/``weight_km`` arrays; its bucketed kernel
+        resolves whole target columns at once, bitwise-equal to
+        :meth:`path_km` (pinned by the ``topology: csr vs scalar``
+        selfcheck leg).
+        """
+        if self._csr is None:
+            from repro.topology.csr import CsrRouterGraph
+
+            self._csr = CsrRouterGraph.from_topology(self)
+        return self._csr
 
     def locally_peered(self, city_id: int, asn_a: int, asn_b: int) -> bool:
         """Whether two ASes exchange same-city traffic at the metro.

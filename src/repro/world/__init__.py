@@ -11,6 +11,12 @@ from repro.world.hosts import Host, HostKind
 from repro.world.pois import PointOfInterest, Website
 from repro.world.world import World
 from repro.world.builder import build_world
+from repro.world.arrays import (
+    ArenaToken,
+    SharedArena,
+    WorldArrays,
+    arena_supported,
+)
 
 __all__ = [
     "WorldConfig",
@@ -24,4 +30,8 @@ __all__ = [
     "Website",
     "World",
     "build_world",
+    "ArenaToken",
+    "SharedArena",
+    "WorldArrays",
+    "arena_supported",
 ]

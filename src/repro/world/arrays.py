@@ -1,0 +1,363 @@
+"""Structure-of-arrays world state and the shared-memory arena.
+
+A fork worker that touches a million ``Host`` dataclasses dirties every
+copy-on-write page they live on — Python refcounting writes to the object
+headers even for pure reads — so the "shared" world costs a full private
+copy per worker. This module flips the layout: everything the hot routing
+and serving paths read is packed into flat numpy arrays
+(:class:`WorldArrays`), and those arrays can be published once into a
+single read-only :mod:`multiprocessing.shared_memory` segment
+(:class:`SharedArena`) that workers *attach* to by name. Attaching maps
+the same physical pages into the worker — no pickling, no COW copies, and
+reads never dirty a page because there are no per-element Python objects.
+
+The arena is deliberately dumb: a byte buffer plus a manifest of
+``(name, dtype, shape, offset)`` records. :class:`ArenaToken` — the
+manifest plus the segment name — is tiny and picklable, so it travels to
+workers through fork inheritance or over any IPC for the spawn case.
+Platforms without POSIX shared memory (or without ``fork``) simply keep
+using the in-process arrays: :func:`arena_supported` gates every consumer,
+and the serial path computes identical bytes.
+"""
+
+from __future__ import annotations
+
+import atexit
+from dataclasses import dataclass
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+import numpy as np
+
+try:  # pragma: no cover - import guard for exotic builds
+    from multiprocessing import shared_memory as _shm
+except ImportError:  # pragma: no cover
+    _shm = None
+
+#: Byte alignment of each array inside the segment (cache-line friendly).
+_ALIGN = 64
+
+#: Arenas created by this process that still own their segment; unlinked
+#: at interpreter exit so an abandoned parent never leaks /dev/shm space.
+_LIVE_OWNED: Dict[str, "SharedArena"] = {}
+
+
+def arena_supported() -> bool:
+    """Whether this platform can publish shared-memory arenas."""
+    return _shm is not None
+
+
+def _cleanup_live_arenas() -> None:  # pragma: no cover - exit hook
+    for arena in list(_LIVE_OWNED.values()):
+        try:
+            arena.close()
+        except Exception:
+            pass
+
+
+atexit.register(_cleanup_live_arenas)
+
+
+@dataclass(frozen=True)
+class ArenaField:
+    """Manifest record of one array inside the segment."""
+
+    name: str
+    dtype: str
+    shape: Tuple[int, ...]
+    offset: int
+
+
+@dataclass(frozen=True)
+class ArenaToken:
+    """Everything needed to attach to an arena from another process.
+
+    Picklable and small (the manifest, not the data): pass it to workers
+    through fork globals or over a pipe.
+    """
+
+    segment: str
+    fields: Tuple[ArenaField, ...]
+    nbytes: int
+
+
+def _attach_segment(name: str):
+    """Attach to an existing segment without adopting its lifetime.
+
+    Python < 3.13 registers *attached* segments with the resource tracker
+    as if this process owned them, which makes the tracker unlink the
+    arena when a short-lived worker exits. Unregistering afterwards is
+    not enough: forked workers share the parent's tracker, whose cache is
+    a set, so the worker's unregister would erase the *owner's* legit
+    registration too. Instead, suppress ``register`` for the duration of
+    the attach — the creating process owns cleanup (and its exit hook
+    guarantees it).
+    """
+    try:
+        return _shm.SharedMemory(name=name, create=False, track=False)
+    except TypeError:  # pragma: no cover - Python < 3.13 fallback below
+        pass
+    try:
+        from multiprocessing import resource_tracker
+    except Exception:  # pragma: no cover - absent on some platforms
+        return _shm.SharedMemory(name=name, create=False)
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return _shm.SharedMemory(name=name, create=False)
+    finally:
+        resource_tracker.register = original
+
+
+class SharedArena:
+    """A named bundle of read-only numpy arrays in one shared segment.
+
+    Create with :meth:`create` (the owner), attach elsewhere with
+    :meth:`attach`. All views handed out are non-writable regardless of
+    role: the arena is a publication, not a blackboard.
+    """
+
+    def __init__(self, shm, token: ArenaToken, owner: bool) -> None:
+        self._shm = shm
+        self.token = token
+        self.owner = owner
+        self._views: Dict[str, np.ndarray] = {}
+
+    @classmethod
+    def create(cls, arrays: Mapping[str, np.ndarray]) -> "SharedArena":
+        """Publish arrays into a fresh segment; the caller owns its lifetime.
+
+        Raises:
+            RuntimeError: when the platform has no shared memory
+                (gate with :func:`arena_supported`).
+            ValueError: on an empty bundle.
+        """
+        if not arena_supported():  # pragma: no cover - POSIX containers
+            raise RuntimeError("shared memory is unavailable on this platform")
+        if not arrays:
+            raise ValueError("cannot publish an empty arena")
+        fields = []
+        offset = 0
+        contiguous = {}
+        for name, array in arrays.items():
+            array = np.ascontiguousarray(array)
+            contiguous[name] = array
+            offset = -(-offset // _ALIGN) * _ALIGN
+            fields.append(
+                ArenaField(
+                    name=name,
+                    dtype=array.dtype.str,
+                    shape=tuple(int(side) for side in array.shape),
+                    offset=offset,
+                )
+            )
+            offset += array.nbytes
+        shm = _shm.SharedMemory(create=True, size=max(offset, 1))
+        token = ArenaToken(
+            segment=shm.name, fields=tuple(fields), nbytes=max(offset, 1)
+        )
+        for field, array in zip(fields, contiguous.values()):
+            view = np.ndarray(
+                field.shape, dtype=np.dtype(field.dtype), buffer=shm.buf,
+                offset=field.offset,
+            )
+            view[...] = array
+        arena = cls(shm, token, owner=True)
+        _LIVE_OWNED[token.segment] = arena
+        return arena
+
+    @classmethod
+    def attach(cls, token: ArenaToken) -> "SharedArena":
+        """Map an existing arena by token (read-only, not owning).
+
+        Raises:
+            RuntimeError: when shared memory is unavailable.
+            FileNotFoundError: when the owner already unlinked the segment.
+        """
+        if not arena_supported():  # pragma: no cover - POSIX containers
+            raise RuntimeError("shared memory is unavailable on this platform")
+        return cls(_attach_segment(token.segment), token, owner=False)
+
+    def array(self, name: str) -> np.ndarray:
+        """The named array as a read-only view into the segment."""
+        view = self._views.get(name)
+        if view is None:
+            for field in self.token.fields:
+                if field.name == name:
+                    break
+            else:
+                raise KeyError(f"no array {name!r} in arena")
+            view = np.ndarray(
+                field.shape, dtype=np.dtype(field.dtype), buffer=self._shm.buf,
+                offset=field.offset,
+            )
+            view.flags.writeable = False
+            self._views[name] = view
+        return view
+
+    def names(self) -> Iterator[str]:
+        """The published array names, in manifest order."""
+        return (field.name for field in self.token.fields)
+
+    def arrays(self) -> Dict[str, np.ndarray]:
+        """All arrays as read-only views."""
+        return {name: self.array(name) for name in self.names()}
+
+    def close(self) -> None:
+        """Drop the mapping; the owner also unlinks the segment.
+
+        Idempotent. Numpy views handed out become invalid — callers that
+        outlive the arena must copy first.
+        """
+        if self._shm is None:
+            return
+        self._views.clear()
+        try:
+            self._shm.close()
+        finally:
+            if self.owner:
+                _LIVE_OWNED.pop(self.token.segment, None)
+                try:
+                    self._shm.unlink()
+                except FileNotFoundError:  # pragma: no cover - already gone
+                    pass
+            self._shm = None
+
+    def __enter__(self) -> "SharedArena":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+#: The manifest field names of a :class:`WorldArrays` bundle, in the order
+#: they are published. Scalar metadata rides in two tiny arrays.
+WORLD_ARRAY_FIELDS = (
+    "host_true_lats",
+    "host_true_lons",
+    "host_last_mile",
+    "host_responsive",
+    "host_city_ids",
+    "host_asns",
+    "host_tail_km",
+    "host_uplink_km",
+    "host_hub_index",
+    "city_hub_index",
+    "city_uplink_km",
+    "hub_distance_km",
+    "csr_indptr",
+    "csr_indices",
+    "csr_weight_km",
+)
+
+
+@dataclass
+class WorldArrays:
+    """The hot per-host/per-city/per-router state as flat arrays.
+
+    Everything the routing kernel, the latency engine, and the serving
+    path read about static hosts — nothing else. Build one with
+    :meth:`from_topology` (real worlds) or the million-scale synthesizer
+    (:mod:`repro.world.scale`); publish with :meth:`share`; reattach with
+    :meth:`attach`.
+    """
+
+    host_true_lats: np.ndarray
+    host_true_lons: np.ndarray
+    host_last_mile: np.ndarray
+    host_responsive: np.ndarray
+    host_city_ids: np.ndarray
+    host_asns: np.ndarray
+    host_tail_km: np.ndarray
+    host_uplink_km: np.ndarray
+    host_hub_index: np.ndarray
+    city_hub_index: np.ndarray
+    city_uplink_km: np.ndarray
+    hub_distance_km: np.ndarray
+    csr_indptr: np.ndarray
+    csr_indices: np.ndarray
+    csr_weight_km: np.ndarray
+    hub_count: int
+    city_count: int
+    static_host_count: int
+    seed: int
+    peering_probability: float
+
+    @classmethod
+    def from_topology(cls, topology) -> "WorldArrays":
+        """Collect the hot arrays of a built world + topology (zero-copy)."""
+        world = topology.world
+        csr = topology.csr()
+        return cls(
+            host_true_lats=world.host_true_lats,
+            host_true_lons=world.host_true_lons,
+            host_last_mile=world.host_last_mile,
+            host_responsive=world.host_responsive,
+            host_city_ids=world.host_city_ids,
+            host_asns=world.host_asns,
+            host_tail_km=topology.host_tail_km,
+            host_uplink_km=topology.host_uplink_km,
+            host_hub_index=topology.host_hub_index,
+            city_hub_index=topology.city_hub_index,
+            city_uplink_km=topology.city_uplink_km,
+            hub_distance_km=topology.hub_distance_km,
+            csr_indptr=csr.indptr,
+            csr_indices=csr.indices,
+            csr_weight_km=csr.weight_km,
+            hub_count=csr.hub_count,
+            city_count=csr.city_count,
+            static_host_count=csr.host_count,
+            seed=csr.seed,
+            peering_probability=csr.peering_probability,
+        )
+
+    def _meta_arrays(self) -> Dict[str, np.ndarray]:
+        return {
+            "meta_ints": np.array(
+                [self.hub_count, self.city_count, self.static_host_count, self.seed],
+                dtype=np.int64,
+            ),
+            "meta_floats": np.array([self.peering_probability], dtype=np.float64),
+        }
+
+    def share(self) -> SharedArena:
+        """Publish the bundle into a fresh shared arena (caller owns it)."""
+        payload = {name: getattr(self, name) for name in WORLD_ARRAY_FIELDS}
+        payload.update(self._meta_arrays())
+        return SharedArena.create(payload)
+
+    @classmethod
+    def from_arena(cls, arena: SharedArena) -> "WorldArrays":
+        """Rebuild the bundle over an arena's read-only views (zero-copy)."""
+        meta_ints = arena.array("meta_ints")
+        meta_floats = arena.array("meta_floats")
+        return cls(
+            **{name: arena.array(name) for name in WORLD_ARRAY_FIELDS},
+            hub_count=int(meta_ints[0]),
+            city_count=int(meta_ints[1]),
+            static_host_count=int(meta_ints[2]),
+            seed=int(meta_ints[3]),
+            peering_probability=float(meta_floats[0]),
+        )
+
+    @classmethod
+    def attach(cls, token: ArenaToken) -> Tuple["WorldArrays", SharedArena]:
+        """Attach to a published bundle; returns (arrays, arena handle).
+
+        The caller keeps the arena handle alive for as long as the arrays
+        are in use and closes it afterwards.
+        """
+        arena = SharedArena.attach(token)
+        return cls.from_arena(arena), arena
+
+    def router_graph(self):
+        """A routing-capable CSR graph over these arrays (no ``World``)."""
+        from repro.topology.csr import CsrRouterGraph
+
+        return CsrRouterGraph.from_arrays(self)
+
+    def nbytes(self) -> int:
+        """Total payload bytes across the published arrays."""
+        total = 0
+        for name in WORLD_ARRAY_FIELDS:
+            total += np.asarray(getattr(self, name)).nbytes
+        return total

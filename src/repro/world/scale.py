@@ -1,0 +1,237 @@
+"""Million-scale world synthesis, straight into flat arrays.
+
+:func:`repro.world.builder.build_world` creates one Python ``Host``
+dataclass per host — perfect for paper-scale worlds (~10k hosts) where
+campaigns inspect individual hosts, hopeless at the paper's titular
+"million scale": a million dataclasses cost gigabytes of object headers
+and minutes of allocator time before a single route is computed. This
+module synthesizes the *array* form directly: city, router, and host
+state are drawn with vectorized numpy generators and assembled into a
+:class:`~repro.world.arrays.WorldArrays` bundle (including the CSR router
+graph), without ever materialising a host object.
+
+Scale worlds are for capacity work — topology benchmarks, arena RSS
+measurements, churn rehearsals — not for replication experiments: their
+randomness is generator-seeded per stage (documented here), not
+counter-keyed per measurement like :mod:`repro.rand`, so they sit outside
+the bitwise-replay guarantees of the campaign worlds. Routing over them
+is still exact: the CSR arrays obey the same layout contract as
+``Topology``-derived graphs, and the kernel parity suite runs on both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+from repro.geo.coords import matrix_haversine_km, pairwise_haversine_km
+from repro.topology.csr import build_csr_arrays
+from repro.world.arrays import WorldArrays
+from repro.world.cities import CONTINENTS
+
+#: Cross-continent homing penalty, km — same constant the Topology uses.
+_CONTINENT_PENALTY_KM = 1500.0
+
+#: Cities per homing chunk: bounds the cities x hubs distance block to a
+#: few megabytes regardless of world size.
+_HOMING_CHUNK = 8192
+
+
+@dataclass(frozen=True)
+class ScaleConfig:
+    """Knobs of the synthetic scale world (array form only)."""
+
+    seed: int = 2023
+    hosts: int = 1_000_000
+    cities_per_continent: Mapping[str, int] = field(
+        default_factory=lambda: {
+            "EU": 30_000,
+            "NA": 20_000,
+            "AS": 25_000,
+            "SA": 9_000,
+            "OC": 4_000,
+            "AF": 12_000,
+        }
+    )
+    hubs_per_continent: int = 40
+    total_ases: int = 65_000
+    local_peering_probability: float = 0.7
+    #: std-dev of the host scatter around its city centre, degrees.
+    host_scatter_deg: float = 0.08
+    last_mile_mean_ms: float = 1.8
+    last_mile_floor_ms: float = 0.3
+
+    @property
+    def city_count(self) -> int:
+        return sum(self.cities_per_continent.values())
+
+    @property
+    def router_count(self) -> int:
+        """Metro + hub routers (gateways are per-host on top)."""
+        return self.city_count + self.hubs_per_continent * len(
+            self.cities_per_continent
+        )
+
+
+#: Named presets for the topology benchmark ladder. ``million`` is the
+#: headline configuration from ROADMAP item 3: 1M+ hosts and 100k+
+#: metro/hub routers.
+SCALE_PRESETS: Dict[str, ScaleConfig] = {
+    "quick": ScaleConfig(
+        hosts=20_000,
+        cities_per_continent={
+            "EU": 600, "NA": 400, "AS": 500, "SA": 180, "OC": 80, "AF": 240,
+        },
+        hubs_per_continent=6,
+        total_ases=2_000,
+    ),
+    "small": ScaleConfig(
+        hosts=120_000,
+        cities_per_continent={
+            "EU": 3_600, "NA": 2_400, "AS": 3_000, "SA": 1_100, "OC": 500,
+            "AF": 1_400,
+        },
+        hubs_per_continent=12,
+        total_ases=8_000,
+    ),
+    "million": ScaleConfig(),
+}
+
+
+def scale_config(preset: str) -> ScaleConfig:
+    """The named scale preset.
+
+    Raises:
+        KeyError: for unknown preset names.
+    """
+    if preset not in SCALE_PRESETS:
+        raise KeyError(
+            f"unknown scale preset {preset!r}; expected one of "
+            f"{sorted(SCALE_PRESETS)}"
+        )
+    return SCALE_PRESETS[preset]
+
+
+def synthesize_scale_world(config: ScaleConfig) -> WorldArrays:
+    """Synthesize a scale world as a :class:`WorldArrays` bundle.
+
+    Stages (each with its own seeded generator, all vectorized):
+
+    1. cities: uniform in each continent's bounding box, log-normal
+       populations;
+    2. hubs: the most populous ``hubs_per_continent`` cities per
+       continent, mesh distances in one broadcast;
+    3. homing: every city to its nearest hub under the same
+       cross-continent penalty the ``Topology`` applies, in bounded
+       chunks;
+    4. hosts: city assignment proportional to population, Gaussian
+       scatter around the city centre, exponential last-mile delays,
+       uniform AS numbers;
+    5. the CSR router graph over all of it
+       (:func:`~repro.topology.csr.build_csr_arrays`).
+    """
+    codes = sorted(config.cities_per_continent)
+    city_count = config.city_count
+
+    # 1. Cities.
+    rng = np.random.default_rng([config.seed, 0xC17135])
+    city_lats = np.empty(city_count)
+    city_lons = np.empty(city_count)
+    city_cont = np.empty(city_count, dtype=np.int64)
+    cursor = 0
+    for cont_idx, code in enumerate(codes):
+        box = CONTINENTS[code]
+        n = config.cities_per_continent[code]
+        city_lats[cursor : cursor + n] = rng.uniform(box.lat_min, box.lat_max, n)
+        city_lons[cursor : cursor + n] = rng.uniform(box.lon_min, box.lon_max, n)
+        city_cont[cursor : cursor + n] = cont_idx
+        cursor += n
+    population = np.exp(rng.normal(12.2, 1.1, city_count))
+
+    # 2. Hubs.
+    hub_cids = []
+    for cont_idx in range(len(codes)):
+        members = np.flatnonzero(city_cont == cont_idx)
+        top = members[np.argsort(population[members])[::-1][: config.hubs_per_continent]]
+        hub_cids.append(np.sort(top))
+    hub_cids = np.concatenate(hub_cids)
+    hub_lats = city_lats[hub_cids]
+    hub_lons = city_lons[hub_cids]
+    hub_cont = city_cont[hub_cids]
+    hub_distance_km = matrix_haversine_km(hub_lats, hub_lons, hub_lats, hub_lons)
+
+    # 3. Homing, chunked so the distance block stays small.
+    city_hub_index = np.empty(city_count, dtype=np.int64)
+    city_uplink_km = np.empty(city_count)
+    for start in range(0, city_count, _HOMING_CHUNK):
+        stop = min(start + _HOMING_CHUNK, city_count)
+        block = matrix_haversine_km(
+            hub_lats, hub_lons, city_lats[start:stop], city_lons[start:stop]
+        )
+        penalised = block + np.where(
+            city_cont[start:stop, None] == hub_cont[None, :],
+            0.0,
+            _CONTINENT_PENALTY_KM,
+        )
+        nearest = np.argmin(penalised, axis=1)
+        city_hub_index[start:stop] = nearest
+        city_uplink_km[start:stop] = block[np.arange(stop - start), nearest]
+
+    # 4. Hosts.
+    rng = np.random.default_rng([config.seed, 0x4057])
+    weights = population / population.sum()
+    host_city_ids = np.searchsorted(
+        np.cumsum(weights), rng.random(config.hosts)
+    ).astype(np.int64)
+    np.clip(host_city_ids, 0, city_count - 1, out=host_city_ids)
+    host_lats = np.clip(
+        city_lats[host_city_ids] + rng.normal(0.0, config.host_scatter_deg, config.hosts),
+        -90.0,
+        90.0,
+    )
+    host_lons = (
+        city_lons[host_city_ids]
+        + rng.normal(0.0, config.host_scatter_deg, config.hosts)
+        + 180.0
+    ) % 360.0 - 180.0
+    host_tail_km = pairwise_haversine_km(
+        host_lats, host_lons, city_lats[host_city_ids], city_lons[host_city_ids]
+    )
+    host_last_mile = config.last_mile_floor_ms + rng.exponential(
+        config.last_mile_mean_ms, config.hosts
+    )
+    host_asns = rng.integers(1, config.total_ases + 1, config.hosts, dtype=np.int64)
+
+    # 5. The CSR router graph.
+    indptr, indices, weight_km = build_csr_arrays(
+        hub_distance_km,
+        city_hub_index,
+        city_uplink_km,
+        host_city_ids,
+        host_tail_km,
+    )
+
+    return WorldArrays(
+        host_true_lats=host_lats,
+        host_true_lons=host_lons,
+        host_last_mile=host_last_mile,
+        host_responsive=np.ones(config.hosts, dtype=bool),
+        host_city_ids=host_city_ids,
+        host_asns=host_asns,
+        host_tail_km=host_tail_km,
+        host_uplink_km=city_uplink_km[host_city_ids],
+        host_hub_index=city_hub_index[host_city_ids],
+        city_hub_index=city_hub_index,
+        city_uplink_km=city_uplink_km,
+        hub_distance_km=hub_distance_km,
+        csr_indptr=indptr,
+        csr_indices=indices,
+        csr_weight_km=weight_km,
+        hub_count=len(hub_cids),
+        city_count=city_count,
+        static_host_count=config.hosts,
+        seed=config.seed,
+        peering_probability=config.local_peering_probability,
+    )

@@ -69,6 +69,7 @@ class World:
         self.hostname_scheme = None
 
         self._hosts: List[Host] = list(hosts)
+        self._hosts_tuple: Optional[tuple] = None
         self._static_host_count = len(hosts)
         self._host_by_ip: Dict[str, Host] = {host.ip: host for host in hosts}
         if len(self._host_by_ip) != len(hosts):
@@ -91,8 +92,15 @@ class World:
 
     @property
     def hosts(self) -> Sequence[Host]:
-        """All hosts created so far (static + lazily built web servers)."""
-        return tuple(self._hosts)
+        """All hosts created so far (static + lazily built web servers).
+
+        The tuple is cached and invalidated on lazy host registration —
+        rebuilding it per access is O(n), which a million-host world
+        cannot afford on a hot property.
+        """
+        if self._hosts_tuple is None or len(self._hosts_tuple) != len(self._hosts):
+            self._hosts_tuple = tuple(self._hosts)
+        return self._hosts_tuple
 
     @property
     def static_host_count(self) -> int:
@@ -131,6 +139,7 @@ class World:
                 f"host_id {host.host_id} out of sequence (expected {len(self._hosts)})"
             )
         self._hosts.append(host)
+        self._hosts_tuple = None
         self._host_by_ip[host.ip] = host
 
     def next_host_id(self) -> int:

@@ -2,10 +2,11 @@
 
 Two halves:
 
-* the harness *passes* on the real substrate — all five paired paths
-  (batched vs loop CBG, serial vs parallel execution, cold vs warm cache,
-  serving engine vs batch campaign, serial vs parallel hint mining)
-  agree bitwise, the CLI ``--selfcheck`` exits 0;
+* the harness *passes* on the real substrate — all six paired paths
+  (batched vs loop CBG, CSR topology kernel vs scalar path, serial vs
+  parallel execution, cold vs warm cache, serving engine vs batch
+  campaign, serial vs parallel hint mining) agree bitwise, the CLI
+  ``--selfcheck`` exits 0;
 * the harness *fails* when a path is deliberately broken — each pair is
   monkeypatched with a divergent implementation and must report the
   divergence (a self-check that cannot fail proves nothing).
@@ -29,6 +30,7 @@ from repro.check.diff import (
     diff_hints,
     diff_serial_vs_parallel,
     diff_serve_vs_batch,
+    diff_topology,
 )
 from repro.errors import InvariantViolation
 from repro.experiments import run as run_cli
@@ -43,9 +45,10 @@ def quick_scenario():
 class TestHealthyPaths:
     def test_selfcheck_report_all_ok(self, selfcheck_report):
         assert selfcheck_report.ok
-        assert len(selfcheck_report.outcomes) == 5
+        assert len(selfcheck_report.outcomes) == 6
         assert {o.pair for o in selfcheck_report.outcomes} == {
             "cbg: batch vs loop",
+            "topology: csr vs scalar",
             "exec: serial vs parallel",
             "cache: cold vs warm",
             "serve: engine vs batch",
@@ -117,6 +120,19 @@ class TestBrokenPaths:
             _perturbed_batch(cbg_batch.cbg_errors_batch),
         )
         outcome = diff_batch_vs_loop(quick_scenario)
+        assert not outcome.ok
+        assert "diverges" in outcome.detail
+
+    def test_broken_csr_kernel_is_caught(self, quick_scenario, monkeypatch):
+        from repro.topology.csr import CsrRouterGraph
+
+        original = CsrRouterGraph.path_km_matrix
+
+        def broken(self, src_host_ids, dst_host_ids):
+            return original(self, src_host_ids, dst_host_ids) + 1.0
+
+        monkeypatch.setattr(CsrRouterGraph, "path_km_matrix", broken)
+        outcome = diff_topology(quick_scenario)
         assert not outcome.ok
         assert "diverges" in outcome.detail
 

@@ -1,0 +1,308 @@
+"""CSR router graph parity + vectorized Topology regression suite.
+
+Three pillars:
+
+* **kernel parity** — over ≥10 fuzzed mini-worlds, the scalar
+  ``path_km``, the vectorised ``bulk_path_km``, and the CSR bucketed
+  column kernel agree *bitwise* on seeded host samples (same-city pairs
+  force-included so the peering/trombone policies are always exercised);
+* **route invariants** — ``build_route`` hops have non-decreasing
+  cumulative distances ending exactly at ``path_km``; two routes from one
+  source share their hop prefix while their waypoints coincide; and the
+  CSR graph's explicit node walk maps 1:1 onto the route's router hops;
+* **init vectorization regression** — the broadcasted hub mesh, the
+  penalty-matrix city homing, and the gathered host tails are bitwise
+  what the original per-row/per-city Python loops computed (the loops are
+  re-implemented here as the reference).
+"""
+
+import numpy as np
+import pytest
+
+from repro.check.fuzz import fuzz_configs
+from repro.geo.coords import GeoPoint, bulk_haversine_km, pairwise_haversine_km
+from repro.topology import CsrRouterGraph, Topology
+from repro.topology.graph import LAZY_PARAMS_CAPACITY
+from repro.topology.routing import build_route
+from repro.world import WorldConfig, build_world
+from repro.world.hosts import Host, HostKind
+
+N_FUZZ_WORLDS = 10
+
+
+@pytest.fixture(scope="module")
+def fuzz_worlds():
+    pairs = []
+    for config in fuzz_configs(N_FUZZ_WORLDS):
+        world = build_world(config)
+        pairs.append((world, Topology(world)))
+    return pairs
+
+
+@pytest.fixture(scope="module")
+def small_world():
+    world = build_world(WorldConfig.small())
+    return world, Topology(world)
+
+
+def _sample_hosts(world, seed, size=20):
+    """A seeded host sample padded with same-city hosts (policy coverage)."""
+    rng = np.random.default_rng(seed)
+    count = world.static_host_count
+    values, crowd = np.unique(world.host_city_ids, return_counts=True)
+    crowded = np.flatnonzero(world.host_city_ids == values[np.argmax(crowd)])[:3]
+    picked = rng.choice(count, size=min(size, count), replace=False)
+    return np.unique(np.concatenate([picked, crowded]))
+
+
+class TestCsrStructure:
+    def test_layout_and_validate(self, small_world):
+        world, topo = small_world
+        graph = topo.csr()
+        graph.validate()
+        assert graph.n_nodes == (
+            graph.hub_count + len(world.cities) + world.static_host_count
+        )
+        # Gateway rows carry the host tails, bitwise.
+        gateway_rows = graph.indptr[graph.gateway_base : -1]
+        assert np.array_equal(graph.weight_km[gateway_rows], topo.host_tail_km)
+        # Metro rows lead with the uplink, bitwise.
+        metro_rows = graph.indptr[graph.hub_count : graph.gateway_base]
+        assert np.array_equal(graph.weight_km[metro_rows], topo.city_uplink_km)
+        assert np.array_equal(graph.indices[metro_rows], topo.city_hub_index)
+        # The backbone gather reproduces the mesh, including the diagonal.
+        hubs = np.arange(graph.hub_count)
+        mesh = graph.backbone_km(hubs[:, None], hubs[None, :])
+        assert np.array_equal(mesh, topo.hub_distance_km)
+
+    def test_csr_is_memoised_on_topology(self, small_world):
+        _world, topo = small_world
+        assert topo.csr() is topo.csr()
+
+    def test_host_ids_out_of_range_raise(self, small_world):
+        world, topo = small_world
+        graph = topo.csr()
+        with pytest.raises(IndexError):
+            graph.path_km_matrix(np.array([0]), np.array([world.static_host_count]))
+        with pytest.raises(IndexError):
+            graph.node_ip(graph.n_nodes)
+
+
+class TestKernelParity:
+    def test_scalar_bulk_csr_bitwise_over_fuzz_worlds(self, fuzz_worlds):
+        for world, topo in fuzz_worlds:
+            graph = CsrRouterGraph.from_topology(topo)
+            graph.validate()
+            src = _sample_hosts(world, seed=world.config.seed)
+            dst = _sample_hosts(world, seed=world.config.seed + 1)
+            matrix = graph.path_km_matrix(src, dst)
+            params = {
+                int(h): topo.params_for(world.host_by_id(int(h)))
+                for h in np.union1d(src, dst)
+            }
+            src_tail = topo.host_tail_km[src]
+            src_uplink = topo.host_uplink_km[src]
+            src_hub = topo.host_hub_index[src]
+            src_city = world.host_city_ids[src]
+            src_asn = world.host_asns[src]
+            saw_same_city = False
+            for column, d in enumerate(dst):
+                bulk = topo.bulk_path_km(
+                    src_tail, src_uplink, src_hub, src_city, src_asn, params[int(d)]
+                )
+                assert np.array_equal(bulk, matrix[:, column])
+                for row, s in enumerate(src):
+                    scalar = topo.path_km(params[int(s)], params[int(d)])
+                    assert scalar == matrix[row, column]
+                    assert graph.path_km_scalar(int(s), int(d)) == matrix[row, column]
+                    if params[int(s)].city_id == params[int(d)].city_id:
+                        saw_same_city = True
+            assert saw_same_city, "sample never exercised the same-city policy"
+
+    def test_route_totals_and_monotonicity(self, fuzz_worlds):
+        for world, topo in fuzz_worlds:
+            src = _sample_hosts(world, seed=17)[:6]
+            dst = _sample_hosts(world, seed=18)[:6]
+            for s in src:
+                for d in dst:
+                    if s == d:
+                        continue
+                    sp = topo.params_for(world.host_by_id(int(s)))
+                    dp = topo.params_for(world.host_by_id(int(d)))
+                    route = build_route(
+                        topo, sp, dp, world.host_by_id(int(s)).ip,
+                        world.host_by_id(int(d)).ip,
+                    )
+                    assert route.total_km == topo.path_km(sp, dp)
+                    cumulative = [hop.cumulative_km for hop in route.hops]
+                    assert all(
+                        later >= earlier
+                        for earlier, later in zip(cumulative, cumulative[1:])
+                    )
+
+    def test_routes_from_one_source_share_hop_prefix(self, fuzz_worlds):
+        world, topo = fuzz_worlds[0]
+        src = int(_sample_hosts(world, seed=19)[0])
+        sp = topo.params_for(world.host_by_id(src))
+        routes = []
+        for d in _sample_hosts(world, seed=20)[:8]:
+            if int(d) == src:
+                continue
+            dp = topo.params_for(world.host_by_id(int(d)))
+            routes.append(
+                build_route(
+                    topo, sp, dp, world.host_by_id(src).ip, world.host_by_id(int(d)).ip
+                )
+            )
+        for a in routes:
+            for b in routes:
+                shared = 0
+                for hop_a, hop_b in zip(a.hops, b.hops):
+                    if hop_a.ip != hop_b.ip:
+                        break
+                    # While the waypoints coincide, so do the distances.
+                    assert hop_a.cumulative_km == hop_b.cumulative_km
+                    shared += 1
+                assert shared >= 2  # gateway + metro of the shared source
+
+    def test_csr_walk_matches_build_route(self, fuzz_worlds):
+        for world, topo in fuzz_worlds[:4]:
+            graph = CsrRouterGraph.from_topology(topo)
+            src = _sample_hosts(world, seed=21)[:5]
+            dst = _sample_hosts(world, seed=22)[:5]
+            for s in src:
+                for d in dst:
+                    if s == d:
+                        continue
+                    sp = topo.params_for(world.host_by_id(int(s)))
+                    dp = topo.params_for(world.host_by_id(int(d)))
+                    route = build_route(
+                        topo, sp, dp, world.host_by_id(int(s)).ip,
+                        world.host_by_id(int(d)).ip,
+                    )
+                    walked = [
+                        graph.node_ip(node)
+                        for node in graph.route_nodes(int(s), int(d))
+                    ]
+                    assert walked == [hop.ip for hop in route.hops[:-1]]
+
+
+class TestVectorizedInitRegression:
+    """The broadcasted __init__ is bitwise the old per-row/per-city loops."""
+
+    def test_hub_mesh_matches_row_loop(self, small_world):
+        world, topo = small_world
+        hub_lats = np.array([world.city(c).location.lat for c in topo.hub_city_ids])
+        hub_lons = np.array([world.city(c).location.lon for c in topo.hub_city_ids])
+        reference = np.zeros((len(topo.hub_city_ids),) * 2)
+        for i in range(len(topo.hub_city_ids)):
+            reference[i, :] = bulk_haversine_km(
+                hub_lats, hub_lons, float(hub_lats[i]), float(hub_lons[i])
+            )
+        assert np.array_equal(reference, topo.hub_distance_km)
+
+    def test_city_homing_matches_per_city_loop(self, small_world):
+        world, topo = small_world
+        hub_lats = np.array([world.city(c).location.lat for c in topo.hub_city_ids])
+        hub_lons = np.array([world.city(c).location.lon for c in topo.hub_city_ids])
+        hub_continents = [world.city(c).continent for c in topo.hub_city_ids]
+        for city in world.cities:
+            distances = bulk_haversine_km(
+                hub_lats, hub_lons, city.location.lat, city.location.lon
+            )
+            penalised = distances + np.array(
+                [0.0 if cont == city.continent else 1500.0 for cont in hub_continents]
+            )
+            hub_index = int(np.argmin(penalised))
+            assert hub_index == int(topo.city_hub_index[city.city_id])
+            assert float(distances[hub_index]) == float(
+                topo.city_uplink_km[city.city_id]
+            )
+
+    def test_host_tails_match_gathered_loop(self, small_world):
+        world, topo = small_world
+        metro_lats = np.array(
+            [world.city(int(c)).location.lat for c in world.host_city_ids]
+        )
+        metro_lons = np.array(
+            [world.city(int(c)).location.lon for c in world.host_city_ids]
+        )
+        reference = pairwise_haversine_km(
+            world.host_true_lats, world.host_true_lons, metro_lats, metro_lons
+        )
+        assert np.array_equal(reference, topo.host_tail_km)
+
+
+class TestLazyParamsBound:
+    def _fake_host(self, world, offset):
+        city = world.cities[offset % len(world.cities)]
+        return Host(
+            host_id=world.static_host_count + offset,
+            ip=f"250.0.{offset >> 8 & 0xFF}.{offset & 0xFF}",
+            kind=HostKind.WEBSERVER,
+            true_location=city.location,
+            recorded_location=city.location,
+            city_id=city.city_id,
+            asn=1,
+            last_mile_ms=0.5,
+        )
+
+    def test_capacity_is_enforced(self, small_world, monkeypatch):
+        world, _ = small_world
+        monkeypatch.setattr("repro.topology.graph.LAZY_PARAMS_CAPACITY", 8)
+        topo = Topology(world)
+        for offset in range(20):
+            topo.params_for(self._fake_host(world, offset))
+        assert len(topo._lazy_params) == 8
+
+    def test_eviction_recomputes_identically(self, small_world, monkeypatch):
+        world, _ = small_world
+        monkeypatch.setattr("repro.topology.graph.LAZY_PARAMS_CAPACITY", 4)
+        topo = Topology(world)
+        first = topo.params_for(self._fake_host(world, 0))
+        for offset in range(1, 10):  # evicts entry 0
+            topo.params_for(self._fake_host(world, offset))
+        assert first.host_id not in topo._lazy_params
+        assert topo.params_for(self._fake_host(world, 0)) == first
+
+    def test_recent_use_is_retained(self, small_world, monkeypatch):
+        world, _ = small_world
+        monkeypatch.setattr("repro.topology.graph.LAZY_PARAMS_CAPACITY", 4)
+        topo = Topology(world)
+        keep = self._fake_host(world, 0)
+        topo.params_for(keep)
+        for offset in range(1, 4):
+            topo.params_for(self._fake_host(world, offset))
+        topo.params_for(keep)  # refresh recency
+        topo.params_for(self._fake_host(world, 4))  # evicts offset 1, not 0
+        assert keep.host_id in topo._lazy_params
+
+    def test_default_capacity_is_generous(self):
+        assert LAZY_PARAMS_CAPACITY >= 1024
+
+
+class TestWorldHostsCache:
+    def test_hosts_tuple_is_cached(self, small_world):
+        world, _ = small_world
+        assert world.hosts is world.hosts
+
+    def test_lazy_registration_invalidates(self, small_world):
+        world, topo = small_world
+        before = world.hosts
+        city = world.cities[0]
+        host = Host(
+            host_id=world.next_host_id(),
+            ip="251.0.0.1",
+            kind=HostKind.WEBSERVER,
+            true_location=city.location,
+            recorded_location=city.location,
+            city_id=city.city_id,
+            asn=1,
+            last_mile_ms=0.5,
+        )
+        world.register_host(host)
+        after = world.hosts
+        assert after is not before
+        assert after[-1] is host
+        assert len(after) == len(before) + 1
+        assert world.hosts is after
