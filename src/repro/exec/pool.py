@@ -23,12 +23,22 @@ snapshot)`` over the pipe. The parent merges the snapshots
 index) and folds them into its live observer — metrics, event stream, and
 span tree come out byte-identical to a serial observed run (pinned by
 ``tests/test_obs_distributed.py``).
+
+The *operational* telemetry plane fans out the same way: pass a
+:class:`~repro.obs.live.LiveTelemetry` via ``live=`` and each item's
+wall-clock runtime is captured worker-side as a
+:class:`~repro.obs.live.LiveSnapshot` (an ``exec.item_s`` latency sketch
+plus an ``exec.items`` counter), merged associatively in the parent
+(:func:`~repro.obs.live.merge_live_snapshots`). Wall timings never touch
+``obs`` — the deterministic streams stay byte-identical with the live
+plane on or off (pinned by ``tests/test_serve_live.py``).
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
@@ -172,6 +182,34 @@ def _observed_item(pair: Tuple[int, T]):
     return result, scope.snapshot
 
 
+#: Shared inner callable for the live-item wrapper; populated next to
+#: :data:`_OBSERVED_CTX` before the pool forks.
+_LIVE_CTX: Dict[str, object] = {}
+
+
+def _live_item(pair: Tuple[int, T]):
+    """Run one work item under worker-side wall-clock capture.
+
+    Wraps either the plain work function or :func:`_observed_item`
+    (``_LIVE_CTX["observed"]`` picks the calling convention) and returns
+    ``(inner_result, live_snapshot)``: a one-item
+    :class:`~repro.obs.live.LiveSnapshot` carrying the item's runtime.
+    Snapshot merge is associative, so the parent's totals match a serial
+    run's regardless of chunking or completion order.
+    """
+    from repro.obs.live import LatencySketch, LiveSnapshot
+
+    inner = _LIVE_CTX["inner"]
+    started = time.perf_counter()
+    result = inner(pair) if _LIVE_CTX["observed"] else inner(pair[1])
+    elapsed = time.perf_counter() - started
+    sketch = LatencySketch()
+    sketch.add(elapsed)
+    return result, LiveSnapshot(
+        counters=(("exec.items", 1),), sketches=(("exec.item_s", sketch),)
+    )
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Iterable[T],
@@ -179,6 +217,7 @@ def parallel_map(
     chunksize: Optional[int] = None,
     obs=None,
     checker=None,
+    live=None,
 ) -> List[R]:
     """Map ``fn`` over ``items``, preserving order.
 
@@ -202,6 +241,11 @@ def parallel_map(
             fork inherited identical campaign state. The re-run's
             observability is captured and discarded so the live streams
             stay byte-identical to an unchecked run.
+        live: optional :class:`~repro.obs.live.LiveTelemetry`. When
+            enabled, every item's wall-clock runtime lands in the plane's
+            ``exec.item_s`` sketch (captured worker-side and merged for
+            parallel runs, timed inline for serial ones). Never touches
+            ``obs``.
 
     Returns:
         ``[fn(item) for item in items]`` — by construction in the serial
@@ -214,29 +258,59 @@ def parallel_map(
         workers = worker_count()
     workers = min(workers, len(work))
     context = _fork_context()
+    live_on = live is not None and getattr(live, "enabled", False)
     if workers <= 1 or context is None:
-        return [fn(item) for item in work]
+        if not live_on:
+            return [fn(item) for item in work]
+        results = []
+        for item in work:
+            started = time.perf_counter()
+            results.append(fn(item))
+            live.observe("exec.item_s", time.perf_counter() - started)
+        live.count("exec.items", len(work))
+        return results
+
     if chunksize is None:
         chunksize = default_chunksize(len(work), workers)
-    if obs is None or not getattr(obs, "enabled", False):
+    observed = obs is not None and getattr(obs, "enabled", False)
+    if not observed and not live_on:
         with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
             results = list(pool.map(fn, work, chunksize=chunksize))
         _check_item_parity(fn, work, results, obs, checker)
         return results
 
-    from repro.obs.snapshot import merge_snapshots
-
-    _OBSERVED_CTX["fn"] = fn
-    _OBSERVED_CTX["obs"] = obs
+    if observed:
+        _OBSERVED_CTX["fn"] = fn
+        _OBSERVED_CTX["obs"] = obs
+        mapped = _observed_item
+    else:
+        mapped = fn
+    if live_on:
+        _LIVE_CTX["inner"] = mapped
+        _LIVE_CTX["observed"] = observed
+        mapped = _live_item
     try:
         with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
             pairs = list(
-                pool.map(_observed_item, list(enumerate(work)), chunksize=chunksize)
+                pool.map(mapped, list(enumerate(work)), chunksize=chunksize)
             )
     finally:
         _OBSERVED_CTX.clear()
-    obs.absorb(merge_snapshots(*(snapshot for _result, snapshot in pairs)))
-    results = [result for result, _snapshot in pairs]
+        _LIVE_CTX.clear()
+    if live_on:
+        from repro.obs.live import merge_live_snapshots
+
+        live.absorb(
+            merge_live_snapshots(*(live_snap for _inner, live_snap in pairs))
+        )
+        pairs = [inner for inner, _live_snap in pairs]
+    if observed:
+        from repro.obs.snapshot import merge_snapshots
+
+        obs.absorb(merge_snapshots(*(snapshot for _result, snapshot in pairs)))
+        results = [result for result, _snapshot in pairs]
+    else:
+        results = list(pairs)
     _check_item_parity(fn, work, results, obs, checker)
     return results
 

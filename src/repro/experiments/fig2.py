@@ -92,7 +92,11 @@ def _subset_median_errors(
     # Observed trials fan out like unobserved ones: worker-side capture +
     # deterministic merge keeps the campaign counters complete either way.
     results = parallel_map(
-        _trial_median, range(trials), obs=scenario.obs, checker=scenario.checker
+        _trial_median,
+        range(trials),
+        obs=scenario.obs,
+        checker=scenario.checker,
+        live=getattr(scenario, "live", None),
     )
     return [result for result in results if result is not None]
 

@@ -25,6 +25,16 @@ before. Observed runs fan out across ``REPRO_WORKERS`` like unobserved
 ones: worker-side capture plus a deterministic merge keeps the streams
 byte-identical to a serial run.
 
+``--live`` attaches the *operational* telemetry plane
+(:mod:`repro.obs.live`): wall-clock latency sketches, rolling rates,
+gauges, SLO burn, and a flight recorder — explicitly non-deterministic
+and fully separate from the observer's byte-identical streams.
+``--watch`` prints the live text dashboard after each experiment, and
+``--prom-out PATH`` writes the final Prometheus text exposition; with
+``--run-dir`` the live artifacts (``live_scrape.json``,
+``live_scrapes.jsonl``, ``live.prom``, flight dumps) land beside the
+deterministic ones without changing a byte of them.
+
 ``--check`` arms the :mod:`repro.check` invariant checker (equivalent to
 ``REPRO_CHECK=1``): physics and accounting invariants are verified inline
 and any violation aborts the run. ``--selfcheck`` runs the differential
@@ -195,6 +205,27 @@ def main(argv: Optional[list] = None) -> int:
         help="ignore REPRO_CACHE_DIR and rebuild everything",
     )
     parser.add_argument(
+        "--live",
+        action="store_true",
+        help="attach the operational telemetry plane (wall-clock latency "
+        "sketches, rates, SLOs, flight recorder); with --run-dir the live "
+        "artifacts (scrape JSON/JSONL, Prometheus text, flight dump) land "
+        "beside the deterministic ones",
+    )
+    parser.add_argument(
+        "--watch",
+        action="store_true",
+        help="print the live text dashboard after each experiment "
+        "(implies --live)",
+    )
+    parser.add_argument(
+        "--prom-out",
+        metavar="PATH",
+        default=None,
+        help="write the final Prometheus text exposition to PATH "
+        "(implies --live)",
+    )
+    parser.add_argument(
         "--check",
         action="store_true",
         help="arm the repro.check invariant checker for this run "
@@ -251,15 +282,24 @@ def main(argv: Optional[list] = None) -> int:
     import time
     from pathlib import Path
 
+    live = None
+    if args.live or args.watch or args.prom_out is not None:
+        from repro.obs.live import LiveTelemetry
+
+        live = LiveTelemetry(
+            dump_dir=None if args.run_dir is None else Path(args.run_dir)
+        )
+
     # Observed scenarios are built fresh (never cached): the observer's
     # event stream must cover exactly this invocation, nothing earlier.
     started = time.perf_counter()
-    scenario = get_scenario(args.preset, args.seed, obs=observer)
+    scenario = get_scenario(args.preset, args.seed, obs=observer, live=live)
     obs = scenario.obs
     names = sorted(registry) if args.experiment == "all" else [args.experiment]
     outcome = "ok"
     try:
         for name in names:
+            wall_started = time.perf_counter()
             with obs.span(f"experiment:{name}", clock=scenario.client.clock):
                 output = registry[name](scenario, args)
             print(output.render())
@@ -268,12 +308,27 @@ def main(argv: Optional[list] = None) -> int:
                 directory = Path(args.save_json)
                 directory.mkdir(parents=True, exist_ok=True)
                 output.save_json(directory / f"{name}.json")
+            if live is not None:
+                live.observe("experiment.wall_s", time.perf_counter() - wall_started)
+                live.count("experiment.runs")
+                if args.run_dir is not None:
+                    # Periodic scrape: one JSONL line per experiment, a
+                    # wall-clock time series next to the deterministic
+                    # artifacts (never inside them).
+                    from repro.obs.prom import append_scrape
+
+                    append_scrape(live, Path(args.run_dir) / "live_scrapes.jsonl")
+                if args.watch:
+                    from repro.obs.prom import render_dashboard
+
+                    print(render_dashboard(live, title=f"live after {name}"))
+                    print()
     except Exception as error:
         # The run dir still documents an aborted campaign before the
         # error propagates — provenance matters most when things break.
         outcome = f"error: {type(error).__name__}: {error}"
         if observer is not None and args.run_dir is not None:
-            _write_run_dir(args, scenario, observer, names, started, outcome)
+            _write_run_dir(args, scenario, observer, names, started, outcome, live)
         raise
     if observer is not None:
         print(observer.summary())
@@ -298,12 +353,30 @@ def main(argv: Optional[list] = None) -> int:
             trace_path.write_text(chrome_trace_json(observer) + "\n")
             print(f"chrome trace written to {trace_path}")
         if args.run_dir is not None:
-            paths = _write_run_dir(args, scenario, observer, names, started, outcome)
+            paths = _write_run_dir(
+                args, scenario, observer, names, started, outcome, live
+            )
             print(f"run dir written to {paths['manifest'].parent}")
+    if live is not None:
+        if args.prom_out is not None:
+            from repro.obs.prom import prometheus_text
+
+            prom_path = Path(args.prom_out)
+            if prom_path.parent != Path("."):
+                prom_path.parent.mkdir(parents=True, exist_ok=True)
+            prom_path.write_text(prometheus_text(live))
+            print(f"prometheus exposition written to {prom_path}")
+        if observer is None and args.run_dir is not None:
+            # Live-only runs (no observer) still get their operational
+            # artifacts on disk.
+            from repro.obs.prom import write_live_dir
+
+            write_live_dir(live, Path(args.run_dir))
+            print(f"live telemetry written to {args.run_dir}")
     return 0
 
 
-def _write_run_dir(args, scenario, observer, names, started, outcome):
+def _write_run_dir(args, scenario, observer, names, started, outcome, live=None):
     """Write the provenance run directory for one CLI invocation."""
     import os
     import time
@@ -323,7 +396,7 @@ def _write_run_dir(args, scenario, observer, names, started, outcome):
         outcome=outcome,
         check_mode="on" if check_enabled() else "off",
     )
-    return write_run_dir(Path(args.run_dir), observer, manifest)
+    return write_run_dir(Path(args.run_dir), observer, manifest, live=live)
 
 
 if __name__ == "__main__":

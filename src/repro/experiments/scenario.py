@@ -29,6 +29,7 @@ from repro.check.invariants import NULL_CHECKER, check_enabled, checker_from_env
 from repro.core.million_scale import representative_rtt_matrix
 from repro.core.sanitize import sanitize_anchors, sanitize_probes
 from repro.faults import FaultInjector, FaultPlan
+from repro.obs.live import NULL_LIVE
 from repro.obs.observer import NULL_OBSERVER
 from repro.world.builder import build_world
 from repro.world.config import WorldConfig
@@ -54,6 +55,9 @@ class Scenario:
     obs: object = field(default=NULL_OBSERVER, repr=False, compare=False)
     #: invariant checker (the platform's; :data:`NULL_CHECKER` by default).
     checker: object = field(default=NULL_CHECKER, repr=False, compare=False)
+    #: operational telemetry plane (:data:`NULL_LIVE` by default) —
+    #: wall-clock only, never part of the deterministic streams.
+    live: object = field(default=NULL_LIVE, repr=False, compare=False)
     #: artifact cache and this scenario's content address (``None`` → off).
     cache: Optional[object] = field(default=None, repr=False, compare=False)
     cache_key: Optional[str] = field(default=None, repr=False, compare=False)
@@ -295,6 +299,7 @@ class Scenario:
         obs=NULL_OBSERVER,
         cache=None,
         checker=None,
+        live=NULL_LIVE,
     ) -> "Scenario":
         """Run the full §4 dataset pipeline for a world configuration.
 
@@ -318,6 +323,10 @@ class Scenario:
                 derived from this config); the resolved checker is threaded
                 into the platform, ledger, cache, and every campaign run
                 against the scenario.
+            live: operational telemetry plane
+                (:class:`~repro.obs.live.LiveTelemetry`), adopted by
+                experiments and serving engines built over the scenario;
+                :data:`~repro.obs.live.NULL_LIVE` (free) by default.
         """
         if checker is None:
             checker = checker_from_env(obs=obs, config=config)
@@ -400,6 +409,7 @@ class Scenario:
             removed_probe_ids=removed_probe_ids,
             obs=obs,
             checker=checker,
+            live=live,
             cache=cache,
             cache_key=cache_key,
         )
@@ -430,7 +440,7 @@ _SCENARIO_CACHE: Dict[Tuple[str, int, bool], Scenario] = {}
 
 
 def get_scenario(
-    preset: str = "paper", seed: Optional[int] = None, obs=None
+    preset: str = "paper", seed: Optional[int] = None, obs=None, live=None
 ) -> Scenario:
     """A cached scenario for a preset ("paper", "small", or "quick").
 
@@ -451,6 +461,8 @@ def get_scenario(
             fresh and **not** cached in memory — an observer accumulates
             state from every campaign run against its scenario, so sharing
             one across callers would mix unrelated event streams.
+        live: optional operational telemetry plane. Live scenarios are
+            built fresh and not cached, for the same accumulation reason.
 
     Raises:
         ValueError: for unknown presets.
@@ -458,8 +470,13 @@ def get_scenario(
     from repro.cache import cache_from_env
 
     config = config_for_preset(preset, seed)
-    if obs is not None:
-        return Scenario.build(config, obs=obs, cache=cache_from_env(obs))
+    if obs is not None or live is not None:
+        return Scenario.build(
+            config,
+            obs=obs if obs is not None else NULL_OBSERVER,
+            cache=cache_from_env(obs) if obs is not None else cache_from_env(),
+            live=live if live is not None else NULL_LIVE,
+        )
     key = (preset, config.seed, check_enabled())
     scenario = _SCENARIO_CACHE.get(key)
     if scenario is None:

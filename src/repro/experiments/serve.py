@@ -48,6 +48,13 @@ def run_serve(scenario, max_batch: int = 64) -> ExperimentOutput:
             name="bursty", max_requests_per_window=max(1, n // 4), window_s=1.0
         )
     )
+    if getattr(scenario, "live", None) is not None and scenario.live.enabled:
+        # Live campaigns (--live/--watch) track each demo tenant against a
+        # 50ms objective so the dashboard's SLO panel has burn to show.
+        from repro.obs.live import SloPolicy
+
+        for tenant_name in ("platform", "metered", "bursty"):
+            engine.set_slo(SloPolicy(tenant_name, latency_target_s=0.050))
 
     seed = scenario.world.config.seed
     ips = engine.state.target_ips

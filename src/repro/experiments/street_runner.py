@@ -132,7 +132,11 @@ def street_level_records(
     # counters/events/spans and the executor folds them back into the
     # live observer, byte-identical to a serial observed run.
     records = parallel_map(
-        _street_target, range(len(targets)), obs=pipeline.obs, checker=scenario.checker
+        _street_target,
+        range(len(targets)),
+        obs=pipeline.obs,
+        checker=scenario.checker,
+        live=getattr(scenario, "live", None),
     )
 
     if config is None:

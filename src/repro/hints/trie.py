@@ -194,6 +194,7 @@ def find_hints(
     trie: CodeTrie,
     obs=NULL_OBSERVER,
     checker=NULL_CHECKER,
+    live=None,
 ) -> List[Optional[HintMatch]]:
     """Scan ``(ip, hostname)`` pairs for location hints, index-aligned.
 
@@ -205,4 +206,6 @@ def find_hints(
     """
     names = list(names)
     _FIND_CTX.update(names=names, trie=trie, obs=obs)
-    return parallel_map(_find_one, range(len(names)), obs=obs, checker=checker)
+    return parallel_map(
+        _find_one, range(len(names)), obs=obs, checker=checker, live=live
+    )

@@ -19,6 +19,14 @@ instrumentation layer the rest of :mod:`repro` reports through:
 * :mod:`repro.obs.report` — the per-campaign text summary and the
   canonical JSON metrics report.
 
+Everything above is the **deterministic plane**: sim-clock time, seeded
+draws, byte-identical streams. :mod:`repro.obs.live` is the second,
+**operational plane** — wall-clock latency sketches, rolling rates,
+gauges, SLOs, and a flight recorder for running the serving engine —
+with :data:`NULL_LIVE` as its no-op default and :mod:`repro.obs.prom`
+as its exporters (Prometheus text, JSONL scrapes, text dashboard). The
+two planes never mix; see docs/OBSERVABILITY.md, "Two planes".
+
 See ``docs/OBSERVABILITY.md`` for the event taxonomy, metric naming
 conventions, and span semantics.
 """
@@ -26,8 +34,27 @@ conventions, and span semantics.
 from repro.obs import events
 from repro.obs.events import Event, EventLog, EVENT_TYPES
 from repro.obs.export import chrome_trace, chrome_trace_json, collapsed_stacks
+from repro.obs.live import (
+    NULL_LIVE,
+    FlightRecord,
+    FlightRecorder,
+    LatencySketch,
+    LiveSnapshot,
+    LiveTelemetry,
+    NullLive,
+    RollingCounter,
+    SloPolicy,
+    SloStatus,
+    merge_live_snapshots,
+)
 from repro.obs.metrics import DEFAULT_BUCKET_BOUNDS, Histogram, MetricsRegistry
 from repro.obs.observer import NULL_OBSERVER, NullObserver, Observer
+from repro.obs.prom import (
+    prometheus_text,
+    render_dashboard,
+    scrape_snapshot,
+    write_live_dir,
+)
 from repro.obs.rundir import RunManifest, write_run_dir
 from repro.obs.snapshot import (
     CaptureScope,
@@ -44,19 +71,34 @@ __all__ = [
     "EVENT_TYPES",
     "DEFAULT_BUCKET_BOUNDS",
     "CaptureScope",
+    "FlightRecord",
+    "FlightRecorder",
     "Histogram",
     "ItemCapture",
+    "LatencySketch",
+    "LiveSnapshot",
+    "LiveTelemetry",
     "MetricsRegistry",
+    "NULL_LIVE",
     "NULL_OBSERVER",
+    "NullLive",
     "NullObserver",
     "ObsSnapshot",
     "Observer",
+    "RollingCounter",
     "RunManifest",
+    "SloPolicy",
+    "SloStatus",
     "Span",
     "SpanTracer",
     "chrome_trace",
     "chrome_trace_json",
     "collapsed_stacks",
+    "merge_live_snapshots",
     "merge_snapshots",
+    "prometheus_text",
+    "render_dashboard",
+    "scrape_snapshot",
+    "write_live_dir",
     "write_run_dir",
 ]

@@ -13,6 +13,7 @@ Metric names are dotted lowercase paths (``atlas.pings``,
 from __future__ import annotations
 
 import bisect
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
@@ -61,6 +62,36 @@ class Histogram:
     def mean(self) -> float:
         """Arithmetic mean of the observations (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The value at quantile ``q`` in [0, 1], at bucket resolution.
+
+        Exact-rank over the fixed bucket counts: the answer is the upper
+        bound of the bucket holding the ``ceil(q * count)``-th observation,
+        clamped to the observed ``[min_value, max_value]`` so degenerate
+        single-bucket histograms still report sensible values. Overflow
+        observations report ``max_value``. NaN on an empty histogram.
+
+        Raises:
+            ValueError: when ``q`` is outside [0, 1].
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1]: {q}")
+        if self.count == 0:
+            return float("nan")
+        rank = max(1, min(self.count, math.ceil(q * self.count)))
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                if index >= len(self.bounds):  # overflow bucket
+                    return self.max_value
+                return min(max(self.bounds[index], self.min_value), self.max_value)
+        return self.max_value  # pragma: no cover - counts always sum to count
+
+    def percentile(self, p: float) -> float:
+        """:meth:`quantile` with ``p`` in [0, 100] (``percentile(99)`` = p99)."""
+        return self.quantile(p / 100.0)
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-ready representation (deterministic key order)."""

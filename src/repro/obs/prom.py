@@ -1,0 +1,241 @@
+"""Exporters for the operational telemetry plane.
+
+Three views over one :class:`~repro.obs.live.LiveTelemetry`:
+
+* :func:`prometheus_text` — Prometheus text exposition format 0.0.4
+  (counters as ``_total``, gauges, sketches as summaries with quantile
+  labels, SLO burn rates), the format a scrape endpoint would serve;
+* :func:`scrape_snapshot` / :func:`append_scrape` — a JSON snapshot of
+  the whole plane (``live-scrape-v1``), appended as one JSONL line per
+  periodic scrape so a run dir accumulates a wall-clock time series;
+* :func:`render_dashboard` — the ``--watch`` text dashboard: aligned
+  tables of latency quantiles, rates, gauges, and SLO burn.
+
+These read wall-clock state and are *not* byte-stable across runs — they
+live next to, never inside, the deterministic artifacts that
+:mod:`repro.obs.rundir` pins (see docs/OBSERVABILITY.md, "Two planes").
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro.analysis.tables import format_table
+
+#: Metric-name prefix for every exposed Prometheus series.
+PROM_PREFIX = "repro_"
+
+#: JSON scrape-snapshot schema identifier.
+SCRAPE_SCHEMA = "live-scrape-v1"
+
+_PROM_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+#: Quantiles exposed per sketch in both the prom and JSON views.
+SUMMARY_QUANTILES = (0.5, 0.9, 0.95, 0.99)
+
+
+def _prom_name(name: str, prefix: str = PROM_PREFIX) -> str:
+    """Map a dotted metric name onto the Prometheus grammar."""
+    return prefix + _PROM_NAME_RE.sub("_", name)
+
+
+def _fmt(value: float) -> str:
+    """Prometheus sample value: repr keeps full precision, NaN allowed."""
+    if value != value:  # NaN
+        return "NaN"
+    return repr(float(value))
+
+
+def prometheus_text(live, prefix: str = PROM_PREFIX) -> str:
+    """Render the live plane in Prometheus text exposition format.
+
+    Counters become ``<name>_total``, gauges stay plain, rolling rates
+    become ``<name>_rate`` gauges (events/sec over the plane's window),
+    each latency sketch becomes a summary (quantile-labelled samples plus
+    ``_sum``/``_count``), and registered SLOs expose burn-rate and
+    compliance gauges labelled by objective name.
+    """
+    lines: List[str] = []
+
+    for name, value in live.counters().items():
+        metric = _prom_name(name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value}")
+
+    for name, value in live.gauges().items():
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(value)}")
+
+    for name, value in live.rates().items():
+        metric = _prom_name(name) + "_rate"
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(value)}")
+
+    for name, sketch in live.sketches().items():
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} summary")
+        for q in SUMMARY_QUANTILES:
+            lines.append(f'{metric}{{quantile="{q}"}} {_fmt(sketch.quantile(q))}')
+        lines.append(f"{metric}_sum {_fmt(sketch.total)}")
+        lines.append(f"{metric}_count {sketch.count}")
+
+    for status in live.slo_statuses():
+        label = f'{{slo="{status.policy.name}"}}'
+        burn = _prom_name("slo.burn_rate")
+        compliant = _prom_name("slo.compliant")
+        lines.append(f"# TYPE {burn} gauge")
+        lines.append(f"{burn}{label} {_fmt(status.burn_rate)}")
+        lines.append(f"# TYPE {compliant} gauge")
+        lines.append(f"{compliant}{label} {1 if status.compliant else 0}")
+
+    return "\n".join(lines) + "\n"
+
+
+def scrape_snapshot(live) -> Dict[str, object]:
+    """One JSON-ready snapshot of the whole live plane."""
+    return {
+        "schema": SCRAPE_SCHEMA,
+        "scraped_at_wall": time.time(),
+        "counters": live.counters(),
+        "gauges": live.gauges(),
+        "rates": live.rates(),
+        "sketches": {
+            name: sketch.as_dict() for name, sketch in live.sketches().items()
+        },
+        "slos": [status.to_dict() for status in live.slo_statuses()],
+        "flight": {
+            "buffered": len(getattr(live, "flight", [])),
+            "recorded_total": getattr(
+                getattr(live, "flight", None), "recorded", 0
+            ),
+            "dumps": len(getattr(getattr(live, "flight", None), "dumps", ())),
+        },
+    }
+
+
+def append_scrape(live, path: Path) -> Dict[str, object]:
+    """Append one scrape snapshot as a JSONL line (periodic scraping)."""
+    snapshot = scrape_snapshot(live)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a") as handle:
+        handle.write(json.dumps(snapshot, sort_keys=True, default=float) + "\n")
+    return snapshot
+
+
+def _ms(seconds: float) -> str:
+    if seconds != seconds:  # NaN
+        return "-"
+    return f"{seconds * 1e3:.3f}"
+
+
+def render_dashboard(live, title: str = "live telemetry") -> str:
+    """The ``--watch`` text dashboard: one aligned panel per metric kind."""
+    sections: List[str] = [f"=== {title} ==="]
+
+    sketches = live.sketches()
+    if sketches:
+        rows = [
+            (
+                name,
+                sketch.count,
+                _ms(sketch.mean),
+                _ms(sketch.quantile(0.5)),
+                _ms(sketch.quantile(0.95)),
+                _ms(sketch.quantile(0.99)),
+                _ms(sketch.max_seen if sketch.count else float("nan")),
+            )
+            for name, sketch in sketches.items()
+        ]
+        sections.append("latency sketches (ms)")
+        sections.append(
+            format_table(
+                ("sketch", "count", "mean", "p50", "p95", "p99", "max"), rows
+            )
+        )
+
+    counters = live.counters()
+    if counters:
+        rates = live.rates()
+        rows = [
+            (name, value, f"{rates.get(name, 0.0):.1f}/s")
+            for name, value in counters.items()
+        ]
+        sections.append("counters (rolling rate over "
+                        f"{getattr(live, 'window_s', 0.0):g}s)")
+        sections.append(format_table(("counter", "total", "rate"), rows))
+
+    gauges = live.gauges()
+    if gauges:
+        rows = [(name, f"{value:g}") for name, value in gauges.items()]
+        sections.append("gauges")
+        sections.append(format_table(("gauge", "value"), rows))
+
+    statuses = live.slo_statuses()
+    if statuses:
+        rows = [
+            (
+                status.policy.name,
+                f"{status.policy.latency_target_s * 1e3:g}ms",
+                status.requests,
+                status.bad,
+                f"{status.bad_fraction:.4f}",
+                f"{status.burn_rate:.2f}x",
+                "OK" if status.compliant else "BURNING",
+            )
+            for status in statuses
+        ]
+        sections.append("SLOs")
+        sections.append(
+            format_table(
+                ("slo", "target", "requests", "bad", "bad_frac", "burn", "state"),
+                rows,
+            )
+        )
+
+    flight = getattr(live, "flight", None)
+    if flight is not None:
+        sections.append(
+            f"flight recorder: {len(flight)}/{flight.capacity} buffered, "
+            f"{flight.recorded} recorded, {len(flight.dumps)} dumps"
+        )
+
+    return "\n".join(sections)
+
+
+def write_live_dir(live, run_dir: Path) -> List[Path]:
+    """Write the plane's artifacts into a run directory.
+
+    Emits ``live_scrape.json`` (one snapshot), ``live.prom`` (Prometheus
+    exposition), and ``flight_recorder.json`` (a demand-triggered dump)
+    when anything was recorded. Returns the paths written.
+    """
+    run_dir = Path(run_dir)
+    run_dir.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+
+    scrape_path = run_dir / "live_scrape.json"
+    scrape_path.write_text(
+        json.dumps(scrape_snapshot(live), indent=1, sort_keys=True, default=float)
+        + "\n"
+    )
+    written.append(scrape_path)
+
+    prom_path = run_dir / "live.prom"
+    prom_path.write_text(prometheus_text(live))
+    written.append(prom_path)
+
+    document = live.dump_flight("run-dir")
+    if document is not None:
+        flight_path = run_dir / "flight_recorder.json"
+        flight_path.write_text(
+            json.dumps(document, indent=1, sort_keys=True, default=float) + "\n"
+        )
+        written.append(flight_path)
+
+    return written

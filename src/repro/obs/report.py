@@ -122,6 +122,28 @@ def render_summary(observer: "Observer") -> str:
             format_table(["span", "count", "sim s"], span_rows),
         ]
 
+    histograms = observer.metrics.as_dict()["histograms"]
+    if histograms:
+        # Quantiles come from Histogram.percentile() (bucket resolution),
+        # not ad-hoc re-derivation — the report and any other consumer now
+        # share one definition.
+        histogram_rows = [
+            [
+                name,
+                str(observer.metrics.histogram(name).count),
+                f"{observer.metrics.histogram(name).mean:.3g}",
+                f"{observer.metrics.histogram(name).percentile(50):.3g}",
+                f"{observer.metrics.histogram(name).percentile(95):.3g}",
+                f"{observer.metrics.histogram(name).percentile(99):.3g}",
+            ]
+            for name in sorted(histograms)
+        ]
+        sections += [
+            "",
+            "histogram quantiles (bucket resolution):",
+            format_table(["histogram", "count", "mean", "p50", "p95", "p99"], histogram_rows),
+        ]
+
     events_by_type = dict(sorted(observer.events.counts_by_type().items()))
     if events_by_type:
         event_rows = [[etype, str(count)] for etype, count in events_by_type.items()]

@@ -146,13 +146,19 @@ class RunManifest:
 
 
 def write_run_dir(
-    run_dir: Path, observer: "Observer", manifest: RunManifest
+    run_dir: Path, observer: "Observer", manifest: RunManifest, live=None
 ) -> Dict[str, Path]:
     """Write a run's manifest, reports, event stream, and span profiles.
 
     The manifest embeds the final metrics report and the event-stream
     summary (per-type counts, total, dropped) and names the sibling files
     holding the full streams. Returns the written paths by artifact name.
+
+    When a live telemetry plane is passed (and enabled), its operational
+    artifacts — ``live_scrape.json``, ``live.prom``, and a flight-recorder
+    dump — land beside the deterministic ones. They are wall-clock state
+    and are *never* embedded in the manifest, metrics, or event stream:
+    those stay byte-identical with the live plane on or off.
     """
     run_dir = Path(run_dir)
     run_dir.mkdir(parents=True, exist_ok=True)
@@ -182,4 +188,10 @@ def write_run_dir(
     paths["manifest"].write_text(
         json.dumps(document, indent=1, sort_keys=True, default=float) + "\n"
     )
+
+    if live is not None and getattr(live, "enabled", False):
+        from repro.obs.prom import write_live_dir
+
+        for written in write_live_dir(live, run_dir):
+            paths[written.stem.replace(".", "_")] = written
     return paths

@@ -33,6 +33,16 @@ geolocate requests:
    latencies are kept off the observer, on
    :attr:`ServeEngine.wall_latencies_s`, so same-seed event streams stay
    byte-identical).
+4. **Live telemetry** — passing a
+   :class:`~repro.obs.live.LiveTelemetry` as ``live`` arms the second,
+   *operational* plane: per-stage wall-clock attribution (queue wait /
+   coalesce / kernel / memo answering the p50-vs-p99 question), latency
+   sketches per tenant, rolling refusal rates, queue/occupancy/memo-hit
+   gauges, per-tenant SLO burn, and a flight-recorder ring of recent
+   requests dumped on refusal spikes or invariant violations. The
+   default :data:`~repro.obs.live.NULL_LIVE` keeps the uninstrumented
+   path at parity, and the live plane never writes to the deterministic
+   observer — ``tests/test_serve_live.py`` pins both properties.
 
 The engine is deliberately synchronous and in-process: determinism is the
 product being served, and the vectorised kernel already exploits the
@@ -43,6 +53,7 @@ sustains well over the 10k queries/sec target this way.
 
 from __future__ import annotations
 
+import array
 import time
 from collections import deque
 from dataclasses import dataclass
@@ -55,6 +66,7 @@ from repro.check.invariants import NULL_CHECKER
 from repro.core.cbg_batch import CbgBatchSolver
 from repro.errors import ConfigurationError
 from repro.obs import events as _ev
+from repro.obs.live import NULL_LIVE, FlightRecord, SloPolicy
 from repro.obs.observer import NULL_OBSERVER
 from repro.serve.state import QueryState
 from repro.serve.tenancy import TenantAccount, TenantConfig
@@ -141,6 +153,7 @@ class ServeEngine:
         faults=None,
         max_batch: int = 256,
         min_vps: int = 1,
+        live=NULL_LIVE,
     ) -> None:
         """Load the world and derive the resident kernel arrays.
 
@@ -162,6 +175,9 @@ class ServeEngine:
             max_batch: most requests one batch may coalesce (>= 1).
             min_vps: minimum answering vantage points per target (kernel
                 knob, as in the campaign path).
+            live: operational telemetry plane
+                (:class:`~repro.obs.live.LiveTelemetry`); the shared
+                :data:`~repro.obs.live.NULL_LIVE` no-op by default.
         """
         if max_batch < 1:
             raise ConfigurationError(f"max_batch must be >= 1: {max_batch}")
@@ -197,6 +213,28 @@ class ServeEngine:
         #: observer, which must stay deterministic).
         self.wall_latencies_s: List[float] = []
         self._admitted_wall: Dict[int, float] = {}
+        #: the operational plane (wall-clock sketches, rates, gauges,
+        #: SLOs, flight recorder). Never forwarded to ``obs``.
+        self.live = live
+        #: tenants with a registered SLO; only these pay for per-tenant
+        #: latency collection in the batch loop.
+        self._slo_tenants: set = set()
+        self._columns_seen = 0
+        self._violations_seen = len(getattr(checker, "violations", ()))
+        # Buffered admission timings: array('d') instead of a list so the
+        # per-batch flush converts to ndarray with a memcpy, not a boxed
+        # float walk (worth ~40us per 256-request batch).
+        self._pending_admission_s = array.array("d")
+        if live.enabled:
+            # Direct sketch handles keep registry lookups off the
+            # per-batch flush path (absorb() merges in place, so the
+            # handles never go stale).
+            self._sk_admission = live.sketch("serve.stage.admission_s")
+            self._sk_queue = live.sketch("serve.stage.queue_s")
+            self._sk_coalesce = live.sketch("serve.stage.coalesce_s")
+            self._sk_kernel = live.sketch("serve.stage.kernel_s")
+            self._sk_memo = live.sketch("serve.stage.memo_s")
+            self._sk_latency = live.sketch("serve.latency_s")
 
     # --- construction ------------------------------------------------------------
 
@@ -204,11 +242,12 @@ class ServeEngine:
     def from_scenario(cls, scenario, **kwargs) -> "ServeEngine":
         """An engine over a built scenario's query-time state.
 
-        The scenario's observer and checker are adopted unless overridden
-        in ``kwargs``.
+        The scenario's observer, checker, and live plane are adopted
+        unless overridden in ``kwargs``.
         """
         kwargs.setdefault("obs", scenario.obs)
         kwargs.setdefault("checker", scenario.checker)
+        kwargs.setdefault("live", getattr(scenario, "live", NULL_LIVE))
         return cls(QueryState.from_scenario(scenario), **kwargs)
 
     @classmethod
@@ -267,6 +306,24 @@ class ServeEngine:
         zero-credit tenant is refused *before any kernel work*, and an
         unknown prefix consumes neither a rate slot nor credits.
         """
+        if not self.live.enabled:
+            return self._admit(tenant, ip)
+        # Live plane attached: time the admission ladder. The admitted
+        # path is the hot one (tens of thousands per second), so it only
+        # buffers a float and an int here; the buffers are flushed into
+        # the plane vectorised at the next batch. A refusal has a result
+        # installed already, and pays for rich recording immediately.
+        t_start = time.perf_counter()
+        request_id = self._admit(tenant, ip)
+        admission_s = time.perf_counter() - t_start
+        if request_id in self._results:
+            self._record_refusal(request_id, tenant, ip, admission_s)
+        else:
+            self._pending_admission_s.append(admission_s)
+        return request_id
+
+    def _admit(self, tenant: str, ip: str) -> int:
+        """The admission ladder itself (identical with live on or off)."""
         request_id = self._next_id
         self._next_id += 1
         account = self._tenants.get(tenant)
@@ -339,6 +396,104 @@ class ServeEngine:
             self.obs.count(f"serve.rejected.{reason}")
         return request_id
 
+    # --- live telemetry ----------------------------------------------------------
+
+    def set_slo(self, policy: SloPolicy) -> None:
+        """Register a per-tenant SLO on the live plane.
+
+        ``policy.name`` names the tenant: the objective is evaluated from
+        that tenant's latency sketch plus its refusal counter (a refusal
+        is always budget-burning, however fast it was).
+        """
+        self.live.set_slo(
+            policy,
+            f"serve.tenant.{policy.name}.latency_s",
+            f"serve.tenant.{policy.name}.refusals",
+        )
+        self._slo_tenants.add(policy.name)
+
+    def _record_refusal(
+        self, request_id: int, tenant: str, ip: str, admission_s: float
+    ) -> None:
+        """Live-plane bookkeeping for one refused admission.
+
+        Refusals are rare and interesting, so (unlike the buffered
+        admitted path in :meth:`submit`) they pay for prompt counters, a
+        flight record, and the refusal-spike check immediately.
+        """
+        result = self._results[request_id]
+        live = self.live
+        live.count("serve.requests")
+        live.count("serve.refusals")
+        live.count(f"serve.refusals.{result.status}")
+        live.count(f"serve.tenant.{tenant}.refusals")
+        live.observe("serve.stage.admission_s", admission_s)
+        live.flight.record(
+            FlightRecord(
+                request_id=request_id,
+                tenant=tenant,
+                target=ip,
+                outcome=result.status,
+                detail=result.detail,
+                stages=(("admission", admission_s),),
+                t_wall=time.time(),
+            )
+        )
+        live.check_refusal_spike()
+
+    def _flush_live_batch(
+        self,
+        seq: int,
+        size: int,
+        answered: int,
+        unique_count: int,
+        coalesce_s: float,
+        kernel_s: float,
+        memo_s: float,
+        batch_span_s: float,
+        lat_start: int,
+        per_tenant: Dict[str, List[float]],
+    ) -> None:
+        """Fold one solved batch (and buffered admissions) into the plane."""
+        live = self.live
+        pending = self._pending_admission_s
+        if pending:
+            live.count("serve.requests", len(pending))
+            live.count("serve.admitted", len(pending))
+            self._sk_admission.add_many(np.frombuffer(pending, dtype=np.float64))
+            self._pending_admission_s = array.array("d")
+        live.count("serve.batches")
+        live.count("serve.answered", answered)
+        if answered < size:
+            live.count("serve.no_estimate", size - answered)
+        # Batch-shared stages carry per-request multiplicity so sketch
+        # sums keep the per-request identity queue+coalesce+kernel+memo
+        # == total (the serve_tail bench asserts it).
+        self._sk_coalesce.add(coalesce_s, size)
+        self._sk_kernel.add(kernel_s, size)
+        self._sk_memo.add(memo_s, size)
+        # total_i = done - submitted_i and the batch span is done -
+        # t_batch, so queue_i = t_batch - submitted_i = total_i - span:
+        # the per-request queue waits fall out of the totals the engine
+        # already collects, with no per-request work in the batch loop.
+        totals = np.asarray(self.wall_latencies_s[lat_start:], dtype=np.float64)
+        self._sk_queue.add_many(totals - batch_span_s)
+        self._sk_latency.add_many(totals)
+        for tenant, tenant_totals in per_tenant.items():
+            live.observe_many(f"serve.tenant.{tenant}.latency_s", tenant_totals)
+        live.gauge("serve.queue_depth", float(len(self._queue)))
+        live.gauge("serve.batch_occupancy", size / self.max_batch)
+        self._columns_seen += unique_count
+        live.gauge(
+            "serve.memo_hit_ratio", self.column_cache_hits / self._columns_seen
+        )
+        violations = len(getattr(self.checker, "violations", ()))
+        if violations > self._violations_seen:
+            # A record-mode checker accumulated new violations during
+            # this batch: freeze the recent-request ring for post-mortem.
+            self._violations_seen = violations
+            live.dump_flight("invariant-violation")
+
     # --- batching ----------------------------------------------------------------
 
     @property
@@ -358,6 +513,14 @@ class ServeEngine:
         """
         if not self._queue:
             return 0
+        live = self.live
+        live_on = live.enabled
+        # Stage attribution (live plane only): queue wait ends when the
+        # batch starts; coalesce covers drain + dedup + checks; kernel is
+        # the span; memo is the answer gather. The four sum exactly to
+        # the admission-to-answer total per request, which the serve_tail
+        # bench section asserts.
+        t_batch = time.perf_counter() if live_on else 0.0
         size = min(self.max_batch, len(self._queue))
         batch = [self._queue.popleft() for _ in range(size)]
         self.batches_processed += 1
@@ -377,6 +540,7 @@ class ServeEngine:
                 self.state.soi_fraction,
                 f"serve batch #{seq} ({fresh.size} columns)",
             )
+        t_solve = time.perf_counter() if live_on else 0.0
         with self.obs.span(
             "serve:batch",
             clock=self.clock,
@@ -390,9 +554,24 @@ class ServeEngine:
                 self._answer_lats[fresh] = fresh_lats
                 self._answer_lons[fresh] = fresh_lons
                 self._solved[fresh] = True
+        t_gather = time.perf_counter() if live_on else 0.0
         lats = self._answer_lats[unique_columns]
         lons = self._answer_lons[unique_columns]
         done_wall = time.perf_counter()
+        if live_on:
+            coalesce_s = t_solve - t_batch
+            kernel_s = t_gather - t_solve
+            memo_s = done_wall - t_gather
+            batch_span_s = done_wall - t_batch
+            batch_wall = time.time()
+            sample = live.flight_sample
+            slo_tenants = self._slo_tenants
+            # Per-request totals for this batch are exactly the slice of
+            # wall_latencies_s the loop below appends (already collected
+            # with the plane off), so the hot loop adds no bookkeeping;
+            # queue waits are derived vectorised in the flush.
+            lat_start = len(self.wall_latencies_s)
+            per_tenant: Dict[str, List[float]] = {}
         answered = 0
         for position, request in enumerate(batch):
             lat = lats[inverse[position]]
@@ -418,7 +597,38 @@ class ServeEngine:
             self._results[request.request_id] = result
             submitted = self._admitted_wall.pop(request.request_id, None)
             if submitted is not None:
-                self.wall_latencies_s.append(done_wall - submitted)
+                elapsed = done_wall - submitted
+                self.wall_latencies_s.append(elapsed)
+                if live_on:
+                    if slo_tenants and request.tenant in slo_tenants:
+                        per_tenant.setdefault(request.tenant, []).append(elapsed)
+                    # OK-request flights are sampled (1-in-flight_sample)
+                    # so the fixed ring spans more than a few
+                    # milliseconds of healthy traffic; anomalies
+                    # (no-estimate, and refusals at admission) are
+                    # always recorded.
+                    if result.status != STATUS_OK or request.request_id % sample == 0:
+                        live.flight.record(
+                            FlightRecord(
+                                request_id=request.request_id,
+                                tenant=request.tenant,
+                                target=request.ip,
+                                outcome=result.status,
+                                batch=seq,
+                                stages=(
+                                    ("queue", t_batch - submitted),
+                                    ("coalesce", coalesce_s),
+                                    ("kernel", kernel_s),
+                                    ("memo", memo_s),
+                                ),
+                                t_wall=batch_wall,
+                            )
+                        )
+        if live_on:
+            self._flush_live_batch(
+                seq, size, answered, unique_columns.size,
+                coalesce_s, kernel_s, memo_s, batch_span_s, lat_start, per_tenant,
+            )
         if self.obs.enabled:
             self.obs.event(
                 _ev.SERVE_BATCH,
