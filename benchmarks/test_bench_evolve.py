@@ -1,0 +1,201 @@
+"""Evolution benchmark: incremental re-geolocation vs full replay.
+
+Evolves the shared benchmark scenario's world through a Gouel-rate churn
+timeline (~5% of anchor blocks moving per revision) and records one JSON
+point (``BENCH_evolve.json``):
+
+* **full replay** — rebuild every revision's canonical matrix from
+  scratch (``VPs x targets`` simulated measurements per revision);
+* **incremental** — copy the previous revision and re-measure only the
+  moved columns, chained through the content-addressed
+  :class:`~repro.cache.deltas.SnapshotDeltaStore` (cold: measure moved
+  columns, store deltas; warm: splice from disk, zero measurements);
+* **snapshot-delta build rate** — revisions/sec and matrix cells/sec for
+  the cold delta build and the warm splice.
+
+As everywhere else, the speedup is only meaningful if the cheap path is
+right: every incremental matrix is compared bitwise against the full
+replay before anything is recorded, and the measurement counts are read
+off dedicated ``atlas.api_calls`` / ``atlas.ping.measurements`` counters
+so "incremental only re-measures moved prefixes" is asserted, not
+assumed. The speedup floor is armed on the paper preset only; the CI
+bench-smoke run (``REPRO_BENCH_PRESET=small``) stays a smoke test.
+"""
+
+from __future__ import annotations
+
+import json
+import platform as platform_mod
+import tempfile
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+from repro.cache.artifacts import ArtifactCache
+from repro.cache.deltas import SnapshotDeltaStore
+from repro.evolve import (
+    EvolutionConfig,
+    EvolutionTimeline,
+    incremental_matrix,
+    revision_matrix,
+)
+from repro.obs import Observer
+
+from conftest import PRESET
+
+#: Churned revisions after the base snapshot.
+_REVISIONS = 3
+
+#: Gouel et al.'s ~5%/revision block-move rate (the paper-accurate
+#: default); mini worlds get an elevated share so the smoke run still
+#: moves at least one prefix per run.
+_MOVE_SHARE = 0.05 if PRESET == "paper" else 0.30
+
+#: Paper-preset floor for the measurement-count speedup. At a 5% move
+#: share the expected ratio is ~1/0.05 = 20x per revision; 4x leaves
+#: headroom for unlucky draws on the ~250 anchor prefixes.
+_SPEEDUP_FLOOR = 4.0
+
+
+def _churn_config() -> EvolutionConfig:
+    return EvolutionConfig(
+        revisions=_REVISIONS,
+        prefix_move_share=_MOVE_SHARE,
+        migration_share=0.02,
+        probe_session_share=0.08,
+    )
+
+
+def _costs(obs: Observer) -> dict:
+    counters = obs.metrics.counters()
+    return {
+        "api_calls": int(counters.get("atlas.api_calls", 0)),
+        "measurements": int(counters.get("atlas.ping.measurements", 0)),
+    }
+
+
+def test_bench_evolve_incremental(benchmark, scenario):
+    config = _churn_config()
+    base = scenario.rtt_matrix()  # campaign built outside the timed region
+    cells = base.size
+
+    # --- full replay (the from-scratch baseline) --------------------------
+    full_obs = Observer()
+    full_tl = EvolutionTimeline(scenario.world, config, obs=full_obs)
+    started = time.perf_counter()
+    full_matrices = [base] + [
+        revision_matrix(full_tl, scenario, k) for k in range(1, _REVISIONS + 1)
+    ]
+    full_s = time.perf_counter() - started
+    full_cost = _costs(full_obs)
+
+    # --- incremental: one counted cost pass, then timed rounds ------------
+    # The cost pass gets its own observer so the counters describe exactly
+    # one revision chain; the benchmark rounds re-run the identical chain
+    # (counter-keyed draws) on a platform-warm timeline for the timing.
+    inc_obs = Observer()
+    inc_tl = EvolutionTimeline(scenario.world, config, obs=inc_obs)
+
+    def run_incremental() -> list:
+        matrices = [base]
+        for k in range(1, _REVISIONS + 1):
+            matrices.append(incremental_matrix(matrices[-1], inc_tl, scenario, k))
+        return matrices
+
+    inc_matrices = run_incremental()
+    inc_cost = _costs(inc_obs)
+    timed = benchmark.pedantic(run_incremental, rounds=3, iterations=1)
+    for cost_pass, timed_pass in zip(inc_matrices, timed):
+        assert np.array_equal(cost_pass, timed_pass, equal_nan=True)
+
+    # Parity gate: the cheap path must lose nothing, bitwise.
+    moved_columns = 0
+    for k, (full, incremental) in enumerate(zip(full_matrices, inc_matrices)):
+        assert np.array_equal(full, incremental, equal_nan=True), (
+            f"incremental revision {k} diverged from the full replay"
+        )
+        if k:
+            moved_columns += inc_tl.moved_target_columns(
+                k, scenario.target_ips
+            ).size
+    assert moved_columns > 0, "churn moved nothing; the bench measured a no-op"
+    assert inc_cost["measurements"] < full_cost["measurements"]
+
+    # --- snapshot-delta store: cold build + warm splice -------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        cold_obs = Observer()
+        cold_tl = EvolutionTimeline(scenario.world, config, obs=cold_obs)
+        cold_store = SnapshotDeltaStore(
+            ArtifactCache(Path(tmp), obs=cold_obs), cold_tl, scenario, obs=cold_obs
+        )
+        started = time.perf_counter()
+        for k in range(_REVISIONS + 1):
+            cold_store.matrix(k)
+        cold_s = time.perf_counter() - started
+
+        warm_obs = Observer()
+        warm_tl = EvolutionTimeline(scenario.world, config, obs=warm_obs)
+        warm_store = SnapshotDeltaStore(
+            ArtifactCache(Path(tmp), obs=warm_obs), warm_tl, scenario, obs=warm_obs
+        )
+        started = time.perf_counter()
+        for k in range(_REVISIONS + 1):
+            np.testing.assert_array_equal(
+                warm_store.matrix(k), full_matrices[k]
+            )
+        warm_s = time.perf_counter() - started
+        warm_cost = _costs(warm_obs)
+        assert warm_cost["api_calls"] == 0, "warm delta rebuild re-measured"
+
+    measurement_speedup = full_cost["measurements"] / max(
+        1, inc_cost["measurements"]
+    )
+    point = {
+        "schema": "bench-evolve-v1",
+        "recorded_at": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "preset": PRESET,
+        "python": platform_mod.python_version(),
+        "numpy": np.__version__,
+        "world": {
+            "vps": int(base.shape[0]),
+            "targets": int(base.shape[1]),
+            "revisions": _REVISIONS,
+            "prefix_move_share": _MOVE_SHARE,
+            "moved_columns": int(moved_columns),
+        },
+        "replay": {
+            "full_s": round(full_s, 4),
+            "full_measurements": full_cost["measurements"],
+            "full_api_calls": full_cost["api_calls"],
+            "incremental_measurements": inc_cost["measurements"],
+            "incremental_api_calls": inc_cost["api_calls"],
+            "measurement_speedup": round(measurement_speedup, 1),
+            "identical_to_full": True,
+        },
+        "delta_store": {
+            "cold_build_s": round(cold_s, 4),
+            "warm_splice_s": round(warm_s, 4),
+            "cold_revisions_per_s": round(_REVISIONS / cold_s, 2),
+            "warm_revisions_per_s": round(_REVISIONS / warm_s, 2),
+            "warm_cells_per_s": round(_REVISIONS * cells / warm_s, 0),
+            "warm_api_calls": warm_cost["api_calls"],
+        },
+    }
+    out = Path(__file__).resolve().parents[1] / "BENCH_evolve.json"
+    out.write_text(json.dumps(point, indent=1) + "\n")
+    print()
+    print(
+        f"evolve: {moved_columns} moved columns over {_REVISIONS} revisions; "
+        f"incremental {inc_cost['measurements']} vs full "
+        f"{full_cost['measurements']} measurements "
+        f"({measurement_speedup:.1f}x); warm delta splice "
+        f"{point['delta_store']['warm_revisions_per_s']:.1f} rev/s -> {out.name}"
+    )
+
+    if PRESET == "paper":
+        assert measurement_speedup >= _SPEEDUP_FLOOR, (
+            f"paper-preset incremental speedup {measurement_speedup:.1f}x "
+            f"below the {_SPEEDUP_FLOOR:.0f}x floor"
+        )

@@ -312,6 +312,9 @@ class AtlasPlatform:
                 results[probe_id] = None
                 continue
             source = self.world.host_by_id(probe_id)
+            if not source.responsive:
+                results[probe_id] = None  # disconnected probe: session is down
+                continue
             observation = self.latency.ping(source, target, packets=packets, seq=seq)
             results[probe_id] = observation.min_rtt_ms
         return results
@@ -398,6 +401,9 @@ class AtlasPlatform:
             down = self.faults.disconnected_mask(ids, window)
             if down.any():
                 matrix[down, :] = np.nan
+        offline = ~self.world.host_responsive[ids]
+        if offline.any():
+            matrix[offline, :] = np.nan  # disconnected probes answer nothing
         return matrix
 
     def traceroute(
@@ -442,6 +448,8 @@ class AtlasPlatform:
         if self._measurement_failed("traceroute", probe_id, target_ip, seq, window):
             return None
         source = self.world.host_by_id(probe_id)
+        if not source.responsive:
+            return None  # disconnected probe: session is down
         return self.latency.traceroute(source, target, seq=seq)
 
     def traceroute_batch(
@@ -514,6 +522,9 @@ class AtlasPlatform:
                     per_probe[probe_id] = None
                     continue
                 source = self.world.host_by_id(probe_id)
+                if not source.responsive:
+                    per_probe[probe_id] = None  # disconnected probe
+                    continue
                 per_probe[probe_id] = self.latency.traceroute(source, target, seq=seq)
             results[target_ip] = per_probe
         return results

@@ -1,4 +1,5 @@
-"""Persistent scenario artifact cache (see :mod:`repro.cache.artifacts`)."""
+"""Persistent scenario artifact cache (see :mod:`repro.cache.artifacts`)
+and content-addressed snapshot deltas (:mod:`repro.cache.deltas`)."""
 
 from repro.cache.artifacts import (
     CACHE_VERSION,

@@ -1,0 +1,153 @@
+"""Content-addressed snapshot deltas: persistent incremental re-measurement.
+
+A revision's canonical RTT matrix differs from its predecessor's in
+exactly the columns whose /24 block moved (:mod:`repro.evolve.measure`),
+so persisting the *delta* — the moved column indices plus their fresh
+sub-matrix — is enough to reconstruct revision ``k`` from revision
+``k-1`` without issuing a single simulated measurement. The
+:class:`SnapshotDeltaStore` chains those deltas on top of the scenario's
+own cached base matrix:
+
+* **cold** — nothing on disk: each revision is built incrementally
+  (measure only the moved columns — ``VPs x moved`` measurements, one
+  API call) and its delta is stored (``evolve.delta.incremental``);
+* **warm** — deltas on disk: each revision is spliced from the previous
+  matrix plus the stored delta — zero measurements, zero API calls
+  (``evolve.delta.hit``);
+* **corrupted** — a delta file whose bytes no longer match its embedded
+  digest is detected by :class:`~repro.cache.artifacts.ArtifactCache`
+  (``cache.corrupt``; the file is deleted) and the store falls back to a
+  full from-scratch replay of the revision
+  (``evolve.delta.full``), then re-stores the delta;
+* **foreign** — a structurally valid delta for a *different* timeline
+  (the stored snapshot digest disagrees with this timeline's) is
+  rebuilt incrementally and overwritten (``evolve.delta.mismatch``).
+
+Keys are content addresses over the world config *and* the evolution
+config, salted with :data:`DELTA_VERSION`, so changing any churn rate —
+or the delta format itself — changes every path and stale artifacts are
+simply never found. Each artifact additionally embeds the target
+snapshot's world digest, which ties the delta to the exact host state it
+measures: the digest is provenance the cache key cannot fake.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+from typing import Dict
+
+import numpy as np
+
+from repro.cache.artifacts import (
+    ArtifactCache,
+    json_payload_array,
+    json_payload_object,
+)
+from repro.evolve.measure import incremental_matrix, revision_matrix
+from repro.evolve.timeline import EvolutionTimeline
+
+#: Format-version salt for delta cache keys; bump on layout changes.
+DELTA_VERSION = "evolve-deltas-v1"
+
+
+def delta_key(world_config, evo_config) -> str:
+    """Content address of one (world config, evolution config) timeline."""
+    payload = json.dumps(
+        {"world": asdict(world_config), "evolve": asdict(evo_config)},
+        sort_keys=True,
+        separators=(",", ":"),
+        default=str,
+    )
+    return hashlib.sha256(
+        f"{DELTA_VERSION}\n{payload}".encode("utf-8")
+    ).hexdigest()
+
+
+class SnapshotDeltaStore:
+    """Chained snapshot deltas over one evolution timeline."""
+
+    def __init__(
+        self,
+        cache: ArtifactCache,
+        timeline: EvolutionTimeline,
+        scenario,
+        obs=None,
+    ) -> None:
+        self.cache = cache
+        self.timeline = timeline
+        self.scenario = scenario
+        self.obs = obs if obs is not None else timeline.obs
+        self.key = delta_key(scenario.world.config, timeline.config)
+        self._matrices: Dict[int, np.ndarray] = {}
+
+    def _name(self, revision: int) -> str:
+        return f"evolve-delta-rev{revision}"
+
+    def matrix(self, revision: int) -> np.ndarray:
+        """The canonical revision matrix, cheapest available path.
+
+        Revision 0 is the scenario's own (artifact-cached) campaign;
+        later revisions replay from stored deltas when possible and
+        measure only what they must otherwise (module docstring has the
+        full path taxonomy). Memoized per store instance.
+        """
+        if revision in self._matrices:
+            return self._matrices[revision]
+        if revision == 0:
+            matrix = self.scenario.rtt_matrix()
+            self._matrices[0] = matrix
+            return matrix
+        snapshot = self.timeline.snapshot(revision)
+        name = self._name(revision)
+        existed = self.cache.path(name, self.key).exists()
+        cached = self.cache.load(name, self.key)
+        if cached is not None:
+            meta = json_payload_object(cached["meta_json"])
+            if meta["digest"] == snapshot.digest:
+                matrix = np.array(self.matrix(revision - 1), copy=True)
+                columns = cached["columns"].astype(np.intp)
+                if columns.size:
+                    matrix[:, columns] = cached["values"]
+                self._count("evolve.delta.hit")
+                self._matrices[revision] = matrix
+                return matrix
+            # A well-formed delta for some other timeline: rebuild and
+            # overwrite below.
+            self._count("evolve.delta.mismatch")
+            cached = None
+        if existed and cached is None and not self.cache.path(name, self.key).exists():
+            # The file was there but failed its embedded digest — the
+            # cache deleted it (cache.corrupt). Trust nothing derived
+            # from it: rebuild this revision from scratch.
+            matrix = revision_matrix(self.timeline, self.scenario, revision)
+            self._count("evolve.delta.full")
+        else:
+            matrix = incremental_matrix(
+                self.matrix(revision - 1), self.timeline, self.scenario, revision
+            )
+            self._count("evolve.delta.incremental")
+        self._store(revision, snapshot.digest, matrix)
+        self._matrices[revision] = matrix
+        return matrix
+
+    def _store(self, revision: int, digest: str, matrix: np.ndarray) -> None:
+        columns = self.timeline.moved_target_columns(
+            revision, self.scenario.target_ips
+        )
+        self.cache.store(
+            self._name(revision),
+            self.key,
+            {
+                "columns": columns.astype(np.int64),
+                "values": matrix[:, columns],
+                "meta_json": json_payload_array(
+                    {"revision": revision, "digest": digest}
+                ),
+            },
+        )
+
+    def _count(self, name: str) -> None:
+        if self.obs.enabled:
+            self.obs.count(name)

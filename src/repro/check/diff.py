@@ -1,6 +1,6 @@
 """Differential self-verification: run paired paths, assert equal bytes.
 
-The substrate promises six expensive equivalences:
+The substrate promises seven expensive equivalences:
 
 * the batched CBG kernel computes exactly what the per-target reference
   loop computes (``repro.core.cbg_batch``);
@@ -16,12 +16,15 @@ The substrate promises six expensive equivalences:
   (``repro.serve``);
 * the hint pipeline mines and verifies identically serial and parallel,
   and no confirmed hint contradicts the CBG containment physics
-  (``repro.hints``).
+  (``repro.hints``);
+* the serving engine followed through epoch swaps over a churning world
+  answers exactly what a fresh batch run on each revision's snapshot
+  computes (``repro.evolve`` + ``repro.serve``).
 
 Each promise is pinned by golden tests, but those only run under pytest.
 This module packages the same comparisons as a *runtime* harness: each
 ``diff_*`` function runs one campaign through both sides of a pair and
-compares outputs bitwise, and :func:`run_selfcheck` bundles all six into
+compares outputs bitwise, and :func:`run_selfcheck` bundles all seven into
 the :class:`SelfCheckReport` behind ``experiments/run.py --selfcheck``
 (exit 0 iff every pair agrees) and the ``selfcheck_report`` pytest
 fixture. The paired computations are invoked through their *modules*, so
@@ -502,13 +505,100 @@ def diff_hints(scenario, workers: int = 2) -> DiffOutcome:
     )
 
 
+def diff_serve_under_churn(scenario, revisions: int = 3) -> DiffOutcome:
+    """Epoch-swapped serving engine vs fresh per-revision batch, bitwise.
+
+    Evolves the scenario's world through ``revisions`` churned revisions
+    (churn rates elevated above the Gouel defaults so even mini worlds
+    move real prefixes), then serves every target through *one* resident
+    engine that follows the world via
+    :meth:`~repro.serve.ServeEngine.install_epoch` — memo surviving
+    across swaps — and compares each revision's answers float for float
+    against a fresh ``cbg_centroids_batch`` pass over that revision's
+    canonical matrix. The engine is driven through :mod:`repro.serve`
+    and the matrices through :mod:`repro.evolve.measure`, so a patched
+    invalidation path (e.g. a memo entry surviving a moved column)
+    diverges visibly.
+    """
+    from repro.core import cbg_batch
+    from repro.evolve import (
+        EvolutionConfig,
+        EvolutionTimeline,
+        epoch_state,
+        incremental_matrix,
+    )
+    from repro.serve import STATUS_OK, ServeEngine, TenantConfig
+
+    pair = "serve: epochs vs batch"
+    config = EvolutionConfig(
+        revisions=revisions,
+        prefix_move_share=0.30,
+        migration_share=0.10,
+        probe_session_share=0.15,
+    )
+    timeline = EvolutionTimeline(scenario.world, config, checker=scenario.checker)
+    engine = ServeEngine.from_scenario(scenario, max_batch=16)
+    engine.register_tenant(TenantConfig(name="selfcheck"))
+    ips = scenario.target_ips
+    seed = scenario.world.config.seed
+    matrix = scenario.rtt_matrix()
+    compared = 0
+    for revision in range(revisions + 1):
+        if revision:
+            matrix = incremental_matrix(matrix, timeline, scenario, revision)
+            engine.install_epoch(
+                epoch_state(timeline, scenario, revision, matrix),
+                label=f"selfcheck-r{revision}",
+            )
+        expected_lats, expected_lons = cbg_batch.cbg_centroids_batch(
+            scenario.vp_lats, scenario.vp_lons, matrix
+        )
+        order = rand.generator((seed, "selfcheck-epoch", revision)).permutation(
+            len(ips)
+        )
+        served = engine.geolocate("selfcheck", [ips[column] for column in order])
+        got_lats = np.full(len(ips), np.nan)
+        got_lons = np.full(len(ips), np.nan)
+        for column, result in zip(order, served):
+            if result.status == STATUS_OK:
+                got_lats[column] = result.lat
+                got_lons[column] = result.lon
+        compared += 2
+        if not (
+            _arrays_equal(got_lats, expected_lats)
+            and _arrays_equal(got_lons, expected_lons)
+        ):
+            close = np.isclose(got_lats, expected_lats, equal_nan=True) & np.isclose(
+                got_lons, expected_lons, equal_nan=True
+            )
+            mismatch = int(np.argmax(~close))
+            return DiffOutcome(
+                pair,
+                ok=False,
+                compared=compared,
+                detail=f"epoch {revision} diverges at target {mismatch}: "
+                f"served=({got_lats[mismatch]!r}, {got_lons[mismatch]!r}) "
+                f"batch=({expected_lats[mismatch]!r}, {expected_lons[mismatch]!r})",
+            )
+    moved_total = sum(
+        timeline.moved_target_columns(k, ips).size for k in range(1, revisions + 1)
+    )
+    return DiffOutcome(
+        pair,
+        ok=True,
+        compared=compared,
+        detail=f"{len(ips)} targets served across {revisions} epoch swaps "
+        f"({moved_total} moved columns, memo retained between swaps)",
+    )
+
+
 def run_selfcheck(
     preset: str = "quick",
     seed: Optional[int] = None,
     trials: int = 3,
     workers: int = 2,
 ) -> SelfCheckReport:
-    """Run all six paired-path comparisons over one preset world."""
+    """Run all seven paired-path comparisons over one preset world."""
     from repro.experiments.scenario import Scenario, config_for_preset
 
     config = config_for_preset(preset, seed)
@@ -522,4 +612,5 @@ def run_selfcheck(
     report.outcomes.append(diff_cold_vs_warm_cache(config))
     report.outcomes.append(diff_serve_vs_batch(scenario))
     report.outcomes.append(diff_hints(scenario, workers=workers))
+    report.outcomes.append(diff_serve_under_churn(scenario))
     return report

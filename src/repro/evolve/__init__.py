@@ -1,0 +1,44 @@
+"""repro.evolve: seeded world evolution — longitudinal churn over a base world.
+
+The paper's dataset is a frozen snapshot; this package makes it a
+timeline. A built world evolves through typed, seeded churn events
+(prefix reassignments, probe migrations, connect/disconnect sessions)
+into a sequence of snapshots, with canonical per-revision RTT matrices
+that an incremental re-measurement path reproduces byte-for-byte at a
+fraction of the cost. See docs/EVOLUTION.md for the full design.
+"""
+
+from repro.evolve.events import (
+    EVENT_HOST_MIGRATE,
+    EVENT_KINDS,
+    EVENT_PREFIX_REASSIGN,
+    EVENT_PROBE_SESSION,
+    ChurnEvent,
+    EvolutionConfig,
+    anchor_prefixes,
+    apply_events,
+    event_stream_digest,
+    generate_events,
+    prefix_base,
+)
+from repro.evolve.measure import epoch_state, incremental_matrix, revision_matrix
+from repro.evolve.timeline import EvolutionTimeline, Snapshot
+
+__all__ = [
+    "ChurnEvent",
+    "EvolutionConfig",
+    "EvolutionTimeline",
+    "Snapshot",
+    "EVENT_HOST_MIGRATE",
+    "EVENT_KINDS",
+    "EVENT_PREFIX_REASSIGN",
+    "EVENT_PROBE_SESSION",
+    "anchor_prefixes",
+    "apply_events",
+    "epoch_state",
+    "event_stream_digest",
+    "generate_events",
+    "incremental_matrix",
+    "prefix_base",
+    "revision_matrix",
+]

@@ -1,0 +1,143 @@
+"""Measurement over an evolving world: canonical revision matrices.
+
+The RTT matrix at revision ``k`` is defined *epoch-wise*: column ``j``
+holds the measurement taken at its epoch — the last revision at which
+column ``j``'s /24 block moved (0 if never) — over that epoch's
+platform. That is exactly what an operator with a measurement budget
+has on disk after ``k`` revisions of "re-measure only what moved":
+unmoved columns still carry their original campaign bytes (including
+rows from probes that have since disconnected or migrated — stale VP
+data is part of the drift being studied), and moved columns carry the
+fresh campaign from the revision they moved.
+
+Two construction paths produce this matrix, and they are byte-identical
+by construction:
+
+* :func:`revision_matrix` — the **full replay**: rebuild from scratch by
+  grouping columns by epoch and measuring each group over its epoch's
+  platform. Costs ``VPs x targets`` simulated measurements — the
+  from-scratch baseline.
+* :func:`incremental_matrix` — the **incremental path**: copy revision
+  ``k-1``'s matrix and re-measure only the columns whose block moved at
+  ``k``. Costs ``VPs x moved`` measurements and a single API call.
+
+The drift experiment asserts the bitwise equality and reads the cost
+ratio off the ``atlas.api_calls`` / ``atlas.ping.measurements``
+counters; the delta cache (:mod:`repro.cache.deltas`) persists the
+incremental artifacts so a warm rebuild costs nothing at all.
+
+:func:`epoch_state` wraps a revision matrix as a
+:class:`~repro.serve.state.QueryState` for the serve engine's epoch
+swap. VP coordinates are deliberately pinned to the *base* scenario's
+registrations: the swap models re-measurement of a drifted world, not
+re-registration of the fleet — the serving side keeps using the VP
+metadata it registered at build time, exactly like a real deployment
+whose probe metadata lags reality. (It also keeps unmoved columns'
+answers bit-stable across epochs, which makes memo invalidation exact.)
+Ground truth is omitted: stale matrices legitimately violate
+containment against moved targets — that violation *is* the drift
+signal, measured by the experiment rather than asserted against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.evolve.timeline import EvolutionTimeline
+from repro.serve.state import QueryState
+
+
+def _self_ping_rows(scenario) -> Dict[str, Optional[int]]:
+    """Target ip → VP row of that same host (or None): rows to NaN.
+
+    Mirrors the self-ping scrub in ``Scenario.rtt_matrix`` — a host does
+    not ping itself over the network, at any revision.
+    """
+    target_id_by_ip = {t.ip: t.host_id for t in scenario.targets}
+    vp_index = {int(vp_id): row for row, vp_id in enumerate(scenario.vp_ids)}
+    return {
+        ip: vp_index.get(target_id_by_ip[ip]) for ip in scenario.target_ips
+    }
+
+
+def revision_matrix(
+    timeline: EvolutionTimeline, scenario, revision: int
+) -> np.ndarray:
+    """The canonical revision matrix, built by full replay (from scratch).
+
+    Groups columns by epoch and measures each group over its epoch's
+    platform — ``VPs x targets`` measurements total, one API call per
+    distinct epoch. Revision 0 reproduces ``scenario.rtt_matrix()``
+    byte-for-byte (same world, same counter-keyed draws).
+    """
+    ips = list(scenario.target_ips)
+    vp_ids = scenario.vp_ids
+    epochs = timeline.column_epochs(revision, ips)
+    matrix = np.full((len(vp_ids), len(ips)), np.nan)
+    for epoch in sorted(set(epochs.tolist())):
+        columns = np.flatnonzero(epochs == epoch)
+        platform = timeline.platform(epoch)
+        matrix[:, columns] = platform.ping_matrix(
+            vp_ids, [ips[c] for c in columns], seq=0
+        )
+    self_rows = _self_ping_rows(scenario)
+    for column, ip in enumerate(ips):
+        row = self_rows[ip]
+        if row is not None:
+            matrix[row, column] = np.nan
+    return matrix
+
+
+def incremental_matrix(
+    previous: np.ndarray,
+    timeline: EvolutionTimeline,
+    scenario,
+    revision: int,
+) -> np.ndarray:
+    """The canonical revision matrix, built incrementally from ``k-1``'s.
+
+    Copies the previous matrix and re-measures only the columns whose
+    /24 block was reassigned at ``revision`` — ``VPs x moved``
+    measurements in one API call (zero calls when nothing moved).
+    Byte-identical to :func:`revision_matrix` at the same revision.
+    """
+    ips = list(scenario.target_ips)
+    matrix = np.array(previous, dtype=np.float64, copy=True)
+    moved = timeline.moved_target_columns(revision, ips)
+    if moved.size == 0:
+        return matrix
+    platform = timeline.platform(revision)
+    matrix[:, moved] = platform.ping_matrix(
+        scenario.vp_ids, [ips[c] for c in moved], seq=0
+    )
+    self_rows = _self_ping_rows(scenario)
+    for column in moved:
+        row = self_rows[ips[column]]
+        if row is not None:
+            matrix[row, column] = np.nan
+    return matrix
+
+
+def epoch_state(
+    timeline: EvolutionTimeline,
+    scenario,
+    revision: int,
+    matrix: Optional[np.ndarray] = None,
+) -> QueryState:
+    """A :class:`QueryState` for serving revision ``revision``.
+
+    VP coordinates pinned to the base registrations, ground truth
+    omitted (see module docstring). Pass ``matrix`` to reuse an
+    already-built revision matrix; otherwise a full replay runs.
+    """
+    if matrix is None:
+        matrix = revision_matrix(timeline, scenario, revision)
+    return QueryState(
+        vp_lats=scenario.vp_lats,
+        vp_lons=scenario.vp_lons,
+        rtt_matrix=matrix,
+        target_ips=tuple(scenario.target_ips),
+        seed=scenario.world.config.seed,
+    )

@@ -1,0 +1,193 @@
+"""The evolution timeline: base world → seeded sequence of snapshots.
+
+:class:`EvolutionTimeline` is the one object the drift experiment, the
+delta cache, the geodb revision layer, and the serve epoch-swap tests
+all hang off. It owns the sequential replay — snapshot ``k`` is the base
+world with event streams ``1..k`` applied in order — and memoizes the
+per-revision worlds and measurement platforms so the expensive parts
+(``Topology`` + ``LatencyModel`` rebuilds) happen once per revision.
+
+Two bookkeeping views matter downstream:
+
+* :meth:`column_epochs` — for each target column, the *epoch*: the last
+  revision at which the target's /24 block moved (0 if never). This is
+  the canonical definition of the revision-``k`` RTT matrix
+  (:mod:`repro.evolve.measure`): column ``j`` holds the measurement
+  taken at its epoch, over that epoch's platform. Unmoved columns are
+  bitwise unchanged across revisions, which is what makes the serve
+  engine's memo invalidation exact and the incremental re-measurement
+  path byte-identical to a full replay.
+* :meth:`event_stream_digest` / per-snapshot :attr:`Snapshot.digest` —
+  content addresses of the churn stream and of each world's host state,
+  pinned by goldens and used by the delta cache to detect that a cached
+  artifact belongs to a different timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.atlas.platform import AtlasPlatform
+from repro.check.invariants import NULL_CHECKER
+from repro.errors import ConfigurationError
+from repro.evolve import events as ev
+from repro.obs.observer import NULL_OBSERVER
+from repro.world.hosts import HostKind
+from repro.world.snapshot import clone_world_with_hosts, world_digest
+from repro.world.world import World
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One revision of the evolving world.
+
+    Attributes:
+        revision: 0 for the unmodified base world, then 1, 2, ...
+        world: the revision's :class:`~repro.world.world.World` (shares
+            every non-host part with the base world).
+        events: the churn events that produced this revision from the
+            previous one (empty for revision 0).
+        digest: :func:`~repro.world.snapshot.world_digest` of ``world``.
+        moved_prefixes: /24 bases reassigned *at this revision* — the
+            blocks whose target columns must be re-measured.
+    """
+
+    revision: int
+    world: World
+    events: Tuple[ev.ChurnEvent, ...]
+    digest: str
+    moved_prefixes: Tuple[str, ...]
+
+
+class EvolutionTimeline:
+    """Seeded, memoized world evolution from one built base world."""
+
+    def __init__(
+        self,
+        base_world: World,
+        config: ev.EvolutionConfig,
+        obs=NULL_OBSERVER,
+        checker=NULL_CHECKER,
+    ) -> None:
+        self.base_world = base_world
+        self.config = config
+        self.obs = obs
+        self.checker = checker
+        self._snapshots: Dict[int, Snapshot] = {
+            0: Snapshot(
+                revision=0,
+                world=base_world,
+                events=(),
+                digest=world_digest(base_world),
+                moved_prefixes=(),
+            )
+        }
+        self._platforms: Dict[int, AtlasPlatform] = {}
+        # Live probe session state, advanced as snapshots build.
+        self._connected: Dict[int, bool] = {
+            h.host_id: h.responsive
+            for h in base_world.hosts[: base_world.static_host_count]
+            if h.kind is HostKind.PROBE
+        }
+        self._built_through = 0
+
+    @property
+    def revisions(self) -> int:
+        """Number of churned revisions this timeline produces."""
+        return self.config.revisions
+
+    def snapshot(self, revision: int) -> Snapshot:
+        """Snapshot ``revision``, building predecessors as needed."""
+        if not 0 <= revision <= self.config.revisions:
+            raise ConfigurationError(
+                f"revision {revision} outside [0, {self.config.revisions}]"
+            )
+        while self._built_through < revision:
+            self._build_next()
+        return self._snapshots[revision]
+
+    def _build_next(self) -> None:
+        k = self._built_through + 1
+        previous = self._snapshots[self._built_through].world
+        events = ev.generate_events(previous, self.config, k, self._connected)
+        for event in events:
+            if event.kind == ev.EVENT_PROBE_SESSION:
+                self._connected[event.host_id] = event.connected
+        hosts = ev.apply_events(previous, events)
+        world = clone_world_with_hosts(self.base_world, hosts)
+        snapshot = Snapshot(
+            revision=k,
+            world=world,
+            events=events,
+            digest=world_digest(world),
+            moved_prefixes=tuple(
+                e.prefix for e in events if e.kind == ev.EVENT_PREFIX_REASSIGN
+            ),
+        )
+        self._snapshots[k] = snapshot
+        self._built_through = k
+
+    def platform(self, revision: int) -> AtlasPlatform:
+        """The revision's measurement platform (memoized).
+
+        Fault-free by construction — churn is modelled as world state
+        (sessions mask rows via host responsiveness), not as API faults —
+        so measurements over a snapshot are pure functions of the
+        snapshot, which the byte-parity story depends on. The timeline's
+        checker keeps physics invariants armed per snapshot.
+        """
+        if revision not in self._platforms:
+            self._platforms[revision] = AtlasPlatform(
+                self.snapshot(revision).world, obs=self.obs, checker=self.checker
+            )
+        return self._platforms[revision]
+
+    def event_stream(self, through: int) -> Tuple[ev.ChurnEvent, ...]:
+        """All events of revisions ``1..through``, in replay order."""
+        return tuple(
+            event
+            for k in range(1, through + 1)
+            for event in self.snapshot(k).events
+        )
+
+    def event_stream_digest(self, through: int) -> str:
+        """Content digest of the full event stream through a revision."""
+        return ev.event_stream_digest(self.event_stream(through))
+
+    # --- column bookkeeping for measurement + serving ----------------------
+
+    def column_epochs(self, revision: int, target_ips) -> np.ndarray:
+        """Per-column epoch: last revision <= ``revision`` the column's
+        /24 block moved; 0 for never-moved columns."""
+        epochs = np.zeros(len(target_ips), dtype=np.int64)
+        bases = [ev.prefix_base(ip) for ip in target_ips]
+        for k in range(1, revision + 1):
+            moved = set(self.snapshot(k).moved_prefixes)
+            if not moved:
+                continue
+            for column, base in enumerate(bases):
+                if base in moved:
+                    epochs[column] = k
+        return epochs
+
+    def moved_target_columns(self, revision: int, target_ips) -> np.ndarray:
+        """Columns whose /24 block was reassigned *at* ``revision``."""
+        moved = set(self.snapshot(revision).moved_prefixes)
+        columns = [
+            column
+            for column, ip in enumerate(target_ips)
+            if ev.prefix_base(ip) in moved
+        ]
+        return np.asarray(columns, dtype=np.int64)
+
+    def connected_probe_ids(self, revision: int) -> List[int]:
+        """Probe host ids responsive in snapshot ``revision`` (tests)."""
+        world = self.snapshot(revision).world
+        return [
+            h.host_id
+            for h in world.hosts[: world.static_host_count]
+            if h.kind is HostKind.PROBE and h.responsive
+        ]

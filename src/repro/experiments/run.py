@@ -81,6 +81,7 @@ def _calibration_output(scenario: Scenario) -> ExperimentOutput:
 def _registry() -> Dict[str, Callable[[Scenario, argparse.Namespace], ExperimentOutput]]:
     from repro.experiments import (
         baseline,
+        drift,
         fig2,
         fig3,
         fig4,
@@ -97,6 +98,7 @@ def _registry() -> Dict[str, Callable[[Scenario, argparse.Namespace], Experiment
 
     entries = {
         "baseline": lambda s, a: baseline.run_baseline(s, _street_max_targets(a)),
+        "drift": lambda s, a: drift.run_drift(s),
         "parity": lambda s, a: parity.run_parity(s),
         "robustness": lambda s, a: robustness.run_robustness(s),
         "serve": lambda s, a: serve.run_serve(s),
@@ -236,8 +238,8 @@ def main(argv: Optional[list] = None) -> int:
         action="store_true",
         help="run the differential self-verification harness (batched vs "
         "per-target CBG, serial vs parallel, cold vs warm cache, serve vs "
-        "batch, hint mining serial vs parallel) and exit non-zero on any "
-        "divergence",
+        "batch, hint mining serial vs parallel, serve epochs vs batch "
+        "under churn) and exit non-zero on any divergence",
     )
     args = parser.parse_args(argv)
     if args.list:

@@ -12,4 +12,20 @@ MaxMind free (55%).
 from repro.geodb.database import GeoDatabase
 from repro.geodb.providers import build_ipinfo, build_maxmind_free
 
-__all__ = ["GeoDatabase", "build_ipinfo", "build_maxmind_free"]
+__all__ = [
+    "GeoDatabase",
+    "GeoDbRevisions",
+    "RevisionRecord",
+    "build_ipinfo",
+    "build_maxmind_free",
+]
+
+
+def __getattr__(name):
+    # Lazy: repro.geodb.revisions pulls in the evolve layer, which plain
+    # database users never need.
+    if name in ("GeoDbRevisions", "RevisionRecord"):
+        from repro.geodb import revisions
+
+        return getattr(revisions, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

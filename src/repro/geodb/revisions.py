@@ -1,0 +1,210 @@
+"""Geolocation database revision sequences over an evolving world.
+
+Gouel et al.'s longitudinal study (PAPERS.md) shows commercial geodb
+snapshots are not one dataset but a *sequence* of weekly revisions, with
+~5% of blocks moving between revisions and providers refreshing entries
+asynchronously — so at any instant a realistic share of the database is
+stale: the block has moved but the entry still answers the old place.
+
+:class:`GeoDbRevisions` reproduces that weather over an
+:class:`~repro.evolve.timeline.EvolutionTimeline`. Each provider entry
+for a /24 has a *last-refresh revision*: a counter-keyed Bernoulli draw
+per (provider, prefix, revision) at the timeline config's
+``geodb_refresh_rate``. A lookup at revision ``k`` answers through the
+provider's usual error model (:mod:`repro.geodb.providers`) applied to
+the prefix's truth **as of its last refresh** — the error-model draws
+are keyed ``(seed, provider, prefix)`` with no revision term, so a
+prefix keeps its accuracy band across refreshes (a city-accurate
+provider stays city-accurate; what changes is *which city* it is
+accurate about). A prefix that moved after its last refresh is a stale
+entry: the answer is confidently wrong by however far the block moved.
+
+Per-revision provenance (:class:`RevisionRecord`) pins which prefixes
+were refreshed and which are stale, against the snapshot's world digest;
+:meth:`GeoDbRevisions.staleness_revisions` feeds the drift experiment's
+staleness CDF. Everything is a pure function of (seed, provider,
+revision) — byte-identical across runs and under ``REPRO_WORKERS=2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import rand
+from repro.errors import ConfigurationError
+from repro.evolve import events as ev
+from repro.evolve.timeline import EvolutionTimeline
+from repro.geo.coords import GeoPoint
+from repro.geodb.database import GeoDatabase
+from repro.geodb.providers import build_ipinfo, build_maxmind_free
+from repro.net.addressing import int_to_ip, ip_to_int
+
+_PREFIX_MASK = 0xFFFFFF00
+
+_BUILDERS = {
+    "ipinfo": build_ipinfo,
+    "maxmind-free": build_maxmind_free,
+}
+
+
+@dataclass(frozen=True)
+class RevisionRecord:
+    """Provenance of one provider revision.
+
+    Attributes:
+        revision: the timeline revision this record describes.
+        provider: provider name ("ipinfo" or "maxmind-free").
+        world_digest: digest of the snapshot the revision describes —
+            ties the record to the exact host state.
+        refreshed: /24 bases whose entry was refreshed at this revision.
+        stale: /24 bases whose block moved after their last refresh —
+            entries answering a place the block has left.
+    """
+
+    revision: int
+    provider: str
+    world_digest: str
+    refreshed: Tuple[str, ...]
+    stale: Tuple[str, ...]
+
+
+class _RevisionView:
+    """One revision's queryable database (GeoDatabase-shaped)."""
+
+    def __init__(self, revisions: "GeoDbRevisions", revision: int) -> None:
+        self.name = f"{revisions.provider}@r{revision}"
+        self._revisions = revisions
+        self._revision = revision
+
+    def lookup(self, ip: str) -> Optional[GeoPoint]:
+        return self._revisions.lookup(ip, self._revision)
+
+    def coverage_of(self, ips: List[str]) -> float:
+        if not ips:
+            return 0.0
+        answered = sum(1 for ip in ips if self.lookup(ip) is not None)
+        return answered / len(ips)
+
+
+class GeoDbRevisions:
+    """A provider's revision sequence over one evolution timeline."""
+
+    def __init__(self, timeline: EvolutionTimeline, provider: str = "ipinfo") -> None:
+        if provider not in _BUILDERS:
+            raise ConfigurationError(
+                f"unknown geodb provider {provider!r}; "
+                f"known: {sorted(_BUILDERS)}"
+            )
+        self.timeline = timeline
+        self.provider = provider
+        self.refresh_rate = timeline.config.geodb_refresh_rate
+        self._seed = timeline.base_world.config.seed
+        self._snapshot_dbs: Dict[int, GeoDatabase] = {}
+        self._moved: Optional[Dict[int, List[int]]] = None
+
+    # --- refresh bookkeeping -----------------------------------------------
+
+    def _refreshed_at(self, base: int, revision: int) -> bool:
+        return rand.chance(
+            (self._seed, "geodb-refresh", self.provider, base, revision),
+            self.refresh_rate,
+        )
+
+    def last_refresh(self, ip: str, revision: int) -> int:
+        """Last revision <= ``revision`` the address's entry refreshed
+        (0 = the base snapshot the provider shipped with)."""
+        base = ip_to_int(ip) & _PREFIX_MASK
+        for k in range(revision, 0, -1):
+            if self._refreshed_at(base, k):
+                return k
+        return 0
+
+    def _moved_revisions(self) -> Dict[int, List[int]]:
+        """Prefix base → revisions at which any host in the block moved."""
+        if self._moved is None:
+            moved: Dict[int, List[int]] = {}
+            world = self.timeline.base_world
+            for k in range(1, self.timeline.revisions + 1):
+                for event in self.timeline.snapshot(k).events:
+                    if event.kind == ev.EVENT_PREFIX_REASSIGN:
+                        base = ip_to_int(event.prefix)
+                    elif event.kind == ev.EVENT_HOST_MIGRATE:
+                        base = ip_to_int(world.host_by_id(event.host_id).ip) & _PREFIX_MASK
+                    else:
+                        continue
+                    revisions = moved.setdefault(base, [])
+                    if not revisions or revisions[-1] != k:
+                        revisions.append(k)
+            self._moved = moved
+        return self._moved
+
+    def is_stale(self, ip: str, revision: int) -> bool:
+        """Whether the entry answers a position its block has left."""
+        base = ip_to_int(ip) & _PREFIX_MASK
+        refreshed = self.last_refresh(ip, revision)
+        return any(
+            refreshed < m <= revision for m in self._moved_revisions().get(base, ())
+        )
+
+    def staleness_revisions(self, ips: Sequence[str], revision: int) -> np.ndarray:
+        """Entry age in revisions, per address: ``revision - last_refresh``
+        for stale entries, 0 for entries still describing reality (the
+        drift experiment's staleness CDF input)."""
+        ages = np.zeros(len(ips), dtype=np.int64)
+        for i, ip in enumerate(ips):
+            if self.is_stale(ip, revision):
+                ages[i] = revision - self.last_refresh(ip, revision)
+        return ages
+
+    # --- lookups -----------------------------------------------------------
+
+    def _snapshot_db(self, revision: int) -> GeoDatabase:
+        if revision not in self._snapshot_dbs:
+            self._snapshot_dbs[revision] = _BUILDERS[self.provider](
+                self.timeline.snapshot(revision).world
+            )
+        return self._snapshot_dbs[revision]
+
+    def lookup(self, ip: str, revision: int) -> Optional[GeoPoint]:
+        """The provider's answer at ``revision``: the usual error model
+        over the truth as of the entry's last refresh."""
+        return self._snapshot_db(self.last_refresh(ip, revision)).lookup(ip)
+
+    def database(self, revision: int) -> _RevisionView:
+        """The revision's database, queryable like a
+        :class:`~repro.geodb.database.GeoDatabase`."""
+        if not 0 <= revision <= self.timeline.revisions:
+            raise ConfigurationError(
+                f"revision {revision} outside [0, {self.timeline.revisions}]"
+            )
+        return _RevisionView(self, revision)
+
+    def record(self, revision: int) -> RevisionRecord:
+        """Provenance for one revision over the world's static prefixes."""
+        world = self.timeline.base_world
+        bases = sorted(
+            {
+                ip_to_int(h.ip) & _PREFIX_MASK
+                for h in world.hosts[: world.static_host_count]
+            }
+        )
+        refreshed = tuple(
+            int_to_ip(base)
+            for base in bases
+            if revision >= 1 and self._refreshed_at(base, revision)
+        )
+        stale = tuple(
+            int_to_ip(base)
+            for base in bases
+            if self.is_stale(int_to_ip(base), revision)
+        )
+        return RevisionRecord(
+            revision=revision,
+            provider=self.provider,
+            world_digest=self.timeline.snapshot(revision).digest,
+            refreshed=refreshed,
+            stale=stale,
+        )

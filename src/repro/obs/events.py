@@ -47,6 +47,9 @@ SERVE_REQUEST = "serve-request"
 SERVE_REJECT = "serve-reject"
 #: The serving engine solved one coalesced batch of admitted requests.
 SERVE_BATCH = "serve-batch"
+#: The serving engine atomically installed a new world epoch
+#: (:meth:`~repro.serve.engine.ServeEngine.install_epoch`).
+SERVE_EPOCH = "serve-epoch"
 #: The hint finder matched a location code in an rDNS hostname.
 HINT_FIND = "hint-find"
 #: Latency verification classified a hint (confirmed or unverifiable).
@@ -71,6 +74,7 @@ EVENT_TYPES = frozenset(
         SERVE_REQUEST,
         SERVE_REJECT,
         SERVE_BATCH,
+        SERVE_EPOCH,
         HINT_FIND,
         HINT_VERIFY,
         HINT_REFUTE,

@@ -24,6 +24,11 @@ geolocate requests:
    kernel again. Per-request answers are bitwise identical to the batch
    campaign path no matter how requests are batched or ordered — pinned
    by ``tests/test_serve.py`` and the ``serve: engine vs batch``
+   differential leg. When the world churns underneath the engine
+   (:mod:`repro.evolve`), :meth:`ServeEngine.install_epoch` swaps in the
+   new revision's :class:`QueryState` at a batch boundary, invalidating
+   exactly the memo columns whose matrix bytes moved — pinned by
+   ``tests/test_serve_epoch.py`` and the ``serve: epochs vs batch``
    differential leg.
 3. **Observability** — admissions, refusals, and batches are typed
    events in the closed taxonomy (``serve-request`` / ``serve-reject`` /
@@ -199,11 +204,16 @@ class ServeEngine:
         self._results: Dict[int, ServeResult] = {}
         self._next_id = 0
         self.batches_processed = 0
-        # The loaded world is immutable, so a column's centroid never
-        # changes: answers are memoized after their first solve and the
-        # kernel runs only on cold columns. Repeat queries — the common
-        # case for a resident server — cost an array gather, which is
-        # what carries paper-scale throughput past the 10k qps target.
+        #: world epochs installed so far; 0 until the first
+        #: :meth:`install_epoch` swap.
+        self.epoch = 0
+        # The loaded world is immutable *within an epoch*, so a column's
+        # centroid never changes between swaps: answers are memoized
+        # after their first solve and the kernel runs only on cold
+        # columns. Repeat queries — the common case for a resident
+        # server — cost an array gather, which is what carries
+        # paper-scale throughput past the 10k qps target.
+        # install_epoch() un-solves exactly the columns whose bytes moved.
         self._answer_lats = np.full(state.n_targets, np.nan)
         self._answer_lons = np.full(state.n_targets, np.nan)
         self._solved = np.zeros(state.n_targets, dtype=bool)
@@ -278,6 +288,92 @@ class ServeEngine:
         from repro.experiments.scenario import get_scenario
 
         return cls.from_scenario(get_scenario(preset, seed), **kwargs)
+
+    # --- epoch swap --------------------------------------------------------------
+
+    def install_epoch(self, state: QueryState, label: str = "") -> int:
+        """Atomically swap in a new world revision between batches.
+
+        The serving contract under churn: after the swap, every answer is
+        byte-identical to a fresh engine loaded with ``state`` — but the
+        memo survives for every column whose matrix bytes did not move.
+        The engine diffs the old and new states:
+
+        * same VP coordinates (the re-measurement case produced by
+          :func:`repro.evolve.measure.epoch_state`, which pins VP
+          registrations): columns are compared bitwise (NaN == NaN) and
+          exactly the changed ones are invalidated (``column-delta``);
+        * different VP coordinates or VP count: every answer depends on
+          every VP row, so the whole memo is invalidated (``vp-drift``).
+
+        Queued-but-unsolved requests survive the swap (their columns
+        still resolve in the new state) and are answered from the new
+        epoch's matrix at the next batch — the swap point *is* the batch
+        boundary. Targets are identity here: installing a state with a
+        different target set is a configuration error, not churn.
+
+        Emits one ``serve-epoch`` event and bumps the ``serve.epoch.*``
+        counters (swaps / changed_columns / invalidated / retained).
+        Returns the number of changed columns.
+
+        Raises:
+            ConfigurationError: when ``state`` serves a different target
+                set than the loaded world.
+        """
+        old = self.state
+        if tuple(state.target_ips) != tuple(old.target_ips):
+            raise ConfigurationError(
+                f"epoch swap must keep the target set: {old.n_targets} loaded "
+                f"targets vs {state.n_targets} in the new state"
+            )
+        vp_same = (
+            old.rtt_matrix.shape[0] == state.rtt_matrix.shape[0]
+            and np.array_equal(old.vp_lats, state.vp_lats)
+            and np.array_equal(old.vp_lons, state.vp_lons)
+        )
+        if vp_same:
+            same = (old.rtt_matrix == state.rtt_matrix) | (
+                np.isnan(old.rtt_matrix) & np.isnan(state.rtt_matrix)
+            )
+            changed_mask = ~same.all(axis=0)
+            reason = "column-delta"
+        else:
+            changed_mask = np.ones(state.n_targets, dtype=bool)
+            reason = "vp-drift"
+        changed = int(changed_mask.sum())
+        invalidated = int((changed_mask & self._solved).sum())
+        retained = int((self._solved & ~changed_mask).sum())
+        self.state = state
+        self.solver = CbgBatchSolver(
+            state.vp_lats,
+            state.vp_lons,
+            state.rtt_matrix,
+            soi_fraction=state.soi_fraction,
+            min_vps=self.solver.min_vps,
+        )
+        self._answer_lats[changed_mask] = np.nan
+        self._answer_lons[changed_mask] = np.nan
+        self._solved[changed_mask] = False
+        self.epoch += 1
+        if self.obs.enabled:
+            self.obs.event(
+                _ev.SERVE_EPOCH,
+                t_s=self.clock.now_s,
+                epoch=self.epoch,
+                changed=changed,
+                invalidated=invalidated,
+                retained=retained,
+                reason=reason,
+                label=label,
+            )
+            self.obs.count("serve.epoch.swaps")
+            self.obs.count("serve.epoch.changed_columns", changed)
+            self.obs.count("serve.epoch.invalidated", invalidated)
+            self.obs.count("serve.epoch.retained", retained)
+        if self.live.enabled:
+            self.live.count("serve.epoch.swaps")
+            self.live.gauge("serve.epoch", float(self.epoch))
+        return changed
 
     # --- tenancy -----------------------------------------------------------------
 
@@ -683,6 +779,7 @@ class ServeEngine:
             "requests": self._next_id,
             "queued": len(self._queue),
             "batches": self.batches_processed,
+            "epoch": self.epoch,
             "column_cache_hits": self.column_cache_hits,
             **{f"status.{status}": count for status, count in sorted(by_status.items())},
         }

@@ -1,0 +1,100 @@
+"""World snapshots: clone-with-new-hosts and content digests.
+
+The world evolution layer (:mod:`repro.evolve`) produces a *sequence* of
+worlds from one built base world. Each revision differs only in host
+state — positions, city assignments, connect/disconnect sessions — while
+the expensive shared parts (geography, the AS fabric, the BGP table, the
+DNS zone, the population field) are structurally identical and safe to
+share by reference. :func:`clone_world_with_hosts` performs exactly that
+clone: a new :class:`~repro.world.world.World` is constructed over a new
+host list, which rebuilds the static host arrays the vectorised latency
+and routing engines read (so an :class:`~repro.atlas.platform.AtlasPlatform`
+over the clone measures the *evolved* positions), while every shared part
+is the same object as the base world's.
+
+Because the clone is a real ``World``, everything downstream keeps
+working unchanged: ``Topology`` derives evolved per-host parameters,
+``WorldArrays.from_topology`` packs the evolved arrays, and the
+shared-memory arena re-share (:meth:`~repro.world.arrays.WorldArrays.share`)
+publishes an evolved snapshot exactly like a base one — pinned by
+``tests/test_evolve.py``.
+
+:func:`world_digest` is the content address of one snapshot's host
+state: a SHA-256 over the static arrays plus the recorded locations and
+addresses. Same seed + same event stream → byte-identical hosts → equal
+digests, which is what the churn golden and replay tests pin.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.world.hosts import Host
+from repro.world.world import World
+
+
+def clone_world_with_hosts(base: World, hosts: Sequence[Host]) -> World:
+    """A new :class:`World` over ``hosts``, sharing everything else.
+
+    The shared parts (cities, countries, ASes, hitlist, BGP, DNS,
+    population, hub list, POI factory) are the base world's objects, not
+    copies — churn never touches them. The host list is the evolved
+    state; the constructor rebuilds the static host arrays from it.
+
+    Lazily registered web-server hosts are deliberately *not* carried
+    over: snapshots start from the static host set, and POIs should be
+    materialised against the base world only (the clone shares the base
+    POI factory purely so the container stays a complete ``World``).
+    """
+    clone = World(
+        config=base.config,
+        cities=base.cities,
+        countries=base.countries,
+        ases=base.ases,
+        hosts=list(hosts),
+        hitlist=base.hitlist,
+        bgp=base.bgp,
+        dns=base.dns,
+        population=base.population,
+        hub_city_ids=base.hub_city_ids,
+        poi_factory=base._poi_factory,
+    )
+    clone.web_directory = base.web_directory
+    clone.hostname_scheme = base.hostname_scheme
+    return clone
+
+
+def world_digest(world: World) -> str:
+    """SHA-256 content digest of a world's static host state.
+
+    Covers everything churn can change — true and recorded positions,
+    city assignments, responsiveness, last-mile delays, AS numbers — plus
+    the address and kind of every static host, so two worlds digest equal
+    iff their host state is byte-identical.
+    """
+    digest = hashlib.sha256()
+    for array in (
+        world.host_true_lats,
+        world.host_true_lons,
+        world.host_last_mile,
+        world.host_responsive,
+        world.host_city_ids,
+        world.host_asns,
+    ):
+        contiguous = np.ascontiguousarray(array)
+        digest.update(str(contiguous.dtype).encode("ascii"))
+        digest.update(contiguous.tobytes())
+    hosts: List[Host] = list(world.hosts)[: world.static_host_count]
+    recorded = np.array(
+        [(h.recorded_location.lat, h.recorded_location.lon) for h in hosts]
+    )
+    digest.update(np.ascontiguousarray(recorded).tobytes())
+    digest.update(
+        "\n".join(f"{h.ip}|{h.kind.value}|{int(h.mislocated)}" for h in hosts).encode(
+            "ascii"
+        )
+    )
+    return digest.hexdigest()

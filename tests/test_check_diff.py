@@ -2,11 +2,11 @@
 
 Two halves:
 
-* the harness *passes* on the real substrate — all six paired paths
+* the harness *passes* on the real substrate — all seven paired paths
   (batched vs loop CBG, CSR topology kernel vs scalar path, serial vs
   parallel execution, cold vs warm cache, serving engine vs batch
-  campaign, serial vs parallel hint mining) agree bitwise, the CLI
-  ``--selfcheck`` exits 0;
+  campaign, serial vs parallel hint mining, epoch-swapped serving vs
+  per-revision batch) agree bitwise, the CLI ``--selfcheck`` exits 0;
 * the harness *fails* when a path is deliberately broken — each pair is
   monkeypatched with a divergent implementation and must report the
   divergence (a self-check that cannot fail proves nothing).
@@ -29,6 +29,7 @@ from repro.check.diff import (
     diff_cold_vs_warm_cache,
     diff_hints,
     diff_serial_vs_parallel,
+    diff_serve_under_churn,
     diff_serve_vs_batch,
     diff_topology,
 )
@@ -45,7 +46,7 @@ def quick_scenario():
 class TestHealthyPaths:
     def test_selfcheck_report_all_ok(self, selfcheck_report):
         assert selfcheck_report.ok
-        assert len(selfcheck_report.outcomes) == 6
+        assert len(selfcheck_report.outcomes) == 7
         assert {o.pair for o in selfcheck_report.outcomes} == {
             "cbg: batch vs loop",
             "topology: csr vs scalar",
@@ -53,6 +54,7 @@ class TestHealthyPaths:
             "cache: cold vs warm",
             "serve: engine vs batch",
             "hints: serial vs parallel",
+            "serve: epochs vs batch",
         }
         for outcome in selfcheck_report.outcomes:
             assert outcome.compared > 0
@@ -155,6 +157,24 @@ class TestBrokenPaths:
             return lats + 0.5, lons
         monkeypatch.setattr(serve_engine.CbgBatchSolver, "centroids", broken)
         outcome = diff_serve_vs_batch(quick_scenario)
+        assert not outcome.ok
+        assert "diverges" in outcome.detail
+
+    def test_frozen_epoch_swap_is_caught(self, quick_scenario, monkeypatch):
+        """An install_epoch that silently drops the swap must diverge.
+
+        The engine then keeps serving the base-snapshot memo while the
+        batch side scores each revision's canonical matrix — exactly the
+        stale-answer failure the leg exists to rule out.
+        """
+        from repro.serve import engine as serve_engine
+
+        monkeypatch.setattr(
+            serve_engine.ServeEngine,
+            "install_epoch",
+            lambda self, state, label="": 0,
+        )
+        outcome = diff_serve_under_churn(quick_scenario)
         assert not outcome.ok
         assert "diverges" in outcome.detail
 

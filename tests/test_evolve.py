@@ -1,0 +1,243 @@
+"""Churn determinism: golden event streams, digests, and churn properties.
+
+Two halves, mirroring the determinism story of every other subsystem:
+
+* **goldens** — for the quick world at its default seed and one fixed
+  :class:`~repro.evolve.EvolutionConfig`, the event-stream digest and
+  every per-revision world digest are pinned byte-for-byte. Any change
+  to event generation, ordering, relocation draws, or the digest itself
+  shows up here first.
+* **properties** — over ten fuzzed base worlds: migration never creates
+  or destroys hosts, no host is ever in two cities, disconnected probes
+  never answer measurements, and replaying events ``1..k`` by hand
+  reproduces snapshot ``k`` bitwise (timelines are pure replay, not
+  hidden state).
+
+Plus the arena compatibility check: an evolved snapshot publishes
+through :class:`~repro.world.arrays.WorldArrays` exactly like the base
+world does — churn only rewrites host state, never the array contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.evolve import (
+    EVENT_HOST_MIGRATE,
+    EVENT_PREFIX_REASSIGN,
+    EVENT_PROBE_SESSION,
+    EvolutionConfig,
+    EvolutionTimeline,
+    anchor_prefixes,
+    apply_events,
+    event_stream_digest,
+    prefix_base,
+)
+from repro.world import WorldConfig, build_world
+from repro.world.hosts import HostKind
+from repro.world.snapshot import clone_world_with_hosts, world_digest
+
+# Elevated churn shares: mini worlds have ~20 anchor prefixes, so the
+# Gouel 5% default would often churn nothing and the properties would
+# pass vacuously.
+_CHURN = EvolutionConfig(
+    revisions=3,
+    prefix_move_share=0.25,
+    migration_share=0.05,
+    probe_session_share=0.10,
+)
+
+# Pinned for WorldConfig.quick() (seed 11) under _CHURN. Recompute only
+# when the evolution model itself changes, and say so in the commit.
+_GOLDEN_STREAM_DIGEST = (
+    "4275ea02f63f24933577791a5752f5ed4bcbfdf635f37985b60dd008369c5e9d"
+)
+_GOLDEN_WORLD_DIGESTS = {
+    0: "00dd63ab1e3a9efa9b542e6866fc3f52af454d464a78e1f27b099c21adb97b36",
+    1: "0138451ae9062c1373099df2ffd146cd273da52cb373c97ea3343c0fe48edb6e",
+    2: "bb39ea11f9c4e59a4ef0e361304fd30a7b7d278e0a041e256dd6e9689986bbd6",
+    3: "a284fce877c494f0fa55d13e80d14f93102814aadd073db9f531eed188601319",
+}
+
+
+@pytest.fixture(scope="module")
+def quick_timeline():
+    return EvolutionTimeline(build_world(WorldConfig.quick()), _CHURN)
+
+
+def _fuzz_timeline(index: int) -> EvolutionTimeline:
+    world = build_world(WorldConfig.quick(seed=1000 + index))
+    return EvolutionTimeline(world, _CHURN)
+
+
+class TestGoldens:
+    def test_event_stream_digest_is_pinned(self, quick_timeline):
+        assert quick_timeline.event_stream_digest(3) == _GOLDEN_STREAM_DIGEST
+
+    def test_world_digests_are_pinned(self, quick_timeline):
+        for revision, expected in _GOLDEN_WORLD_DIGESTS.items():
+            assert quick_timeline.snapshot(revision).digest == expected
+
+    def test_fresh_timeline_replays_identically(self, quick_timeline):
+        other = EvolutionTimeline(build_world(WorldConfig.quick()), _CHURN)
+        assert other.event_stream(3) == quick_timeline.event_stream(3)
+        for revision in range(4):
+            assert (
+                other.snapshot(revision).digest
+                == quick_timeline.snapshot(revision).digest
+            )
+
+    def test_stream_digest_is_order_and_content_sensitive(self, quick_timeline):
+        events = quick_timeline.event_stream(3)
+        assert event_stream_digest(events) == _GOLDEN_STREAM_DIGEST
+        reversed_digest = event_stream_digest(tuple(reversed(events)))
+        assert reversed_digest != _GOLDEN_STREAM_DIGEST
+        assert event_stream_digest(events[:-1]) != _GOLDEN_STREAM_DIGEST
+
+
+class TestEventModel:
+    def test_events_follow_canonical_order(self, quick_timeline):
+        rank = {
+            EVENT_PREFIX_REASSIGN: 0,
+            EVENT_HOST_MIGRATE: 1,
+            EVENT_PROBE_SESSION: 2,
+        }
+        for revision in range(1, 4):
+            kinds = [rank[e.kind] for e in quick_timeline.snapshot(revision).events]
+            assert kinds == sorted(kinds)
+
+    def test_prefix_moves_target_anchor_prefixes(self, quick_timeline):
+        known = set(anchor_prefixes(quick_timeline.base_world))
+        for revision in range(1, 4):
+            for event in quick_timeline.snapshot(revision).events:
+                if event.kind == EVENT_PREFIX_REASSIGN:
+                    assert event.prefix in known
+
+    def test_reassignment_never_keeps_the_city(self, quick_timeline):
+        for revision in range(1, 4):
+            previous = quick_timeline.snapshot(revision - 1).world
+            for event in quick_timeline.snapshot(revision).events:
+                if event.kind != EVENT_PREFIX_REASSIGN:
+                    continue
+                old_cities = {
+                    h.city_id
+                    for h in previous.hosts[: previous.static_host_count]
+                    if prefix_base(h.ip) == event.prefix
+                    and h.kind is HostKind.ANCHOR
+                }
+                assert event.city_id not in old_cities
+
+    def test_out_of_range_revision_raises(self, quick_timeline):
+        with pytest.raises(ConfigurationError):
+            quick_timeline.snapshot(4)
+        with pytest.raises(ConfigurationError):
+            quick_timeline.snapshot(-1)
+
+    def test_invalid_config_raises(self):
+        with pytest.raises(ConfigurationError):
+            EvolutionConfig(revisions=-1)
+        with pytest.raises(ConfigurationError):
+            EvolutionConfig(prefix_move_share=1.5)
+
+
+class TestChurnProperties:
+    @pytest.mark.parametrize("index", range(10))
+    def test_host_population_is_invariant(self, index):
+        timeline = _fuzz_timeline(index)
+        base = timeline.base_world
+        base_ids = sorted(h.host_id for h in base.hosts)
+        base_ips = sorted(h.ip for h in base.hosts)
+        for revision in range(_CHURN.revisions + 1):
+            world = timeline.snapshot(revision).world
+            assert sorted(h.host_id for h in world.hosts) == base_ids
+            assert sorted(h.ip for h in world.hosts) == base_ips
+
+    @pytest.mark.parametrize("index", range(10))
+    def test_no_host_in_two_cities(self, index):
+        timeline = _fuzz_timeline(index)
+        for revision in range(_CHURN.revisions + 1):
+            world = timeline.snapshot(revision).world
+            ids = [h.host_id for h in world.hosts]
+            assert len(ids) == len(set(ids))
+            for host in world.hosts[: world.static_host_count]:
+                assert world.host_city_ids[host.host_id] == host.city_id
+                city = world.cities[host.city_id]
+                assert abs(host.true_location.lat - city.location.lat) < 90.0
+
+    @pytest.mark.parametrize("index", range(10))
+    def test_replaying_events_reproduces_snapshots_bitwise(self, index):
+        timeline = _fuzz_timeline(index)
+        hosts = list(timeline.base_world.hosts)
+        for revision in range(1, _CHURN.revisions + 1):
+            events = timeline.snapshot(revision).events
+            hosts = apply_events_world(timeline.base_world, hosts, events)
+            replayed = clone_world_with_hosts(timeline.base_world, hosts)
+            assert world_digest(replayed) == timeline.snapshot(revision).digest
+
+    @pytest.mark.parametrize("index", range(3))
+    def test_disconnected_probes_never_answer(self, index):
+        timeline = _fuzz_timeline(index)
+        for revision in range(1, _CHURN.revisions + 1):
+            world = timeline.snapshot(revision).world
+            connected = set(timeline.connected_probe_ids(revision))
+            dark = [
+                h.host_id
+                for h in world.hosts[: world.static_host_count]
+                if h.kind is HostKind.PROBE and h.host_id not in connected
+            ]
+            if not dark:
+                continue
+            platform = timeline.platform(revision)
+            targets = [
+                h.ip
+                for h in world.hosts[: world.static_host_count]
+                if h.kind is HostKind.ANCHOR and h.responsive
+            ][:3]
+            matrix = platform.ping_matrix(
+                np.asarray(dark, dtype=np.int64), targets, seq=0
+            )
+            assert np.isnan(matrix).all()
+            return
+        pytest.skip("no probe disconnected in three revisions of this world")
+
+    def test_session_events_toggle_responsiveness(self, quick_timeline):
+        toggled = [
+            e
+            for k in range(1, 4)
+            for e in quick_timeline.snapshot(k).events
+            if e.kind == EVENT_PROBE_SESSION
+        ]
+        assert toggled, "churn config produced no session events"
+        for event in toggled:
+            world = quick_timeline.snapshot(event.revision).world
+            assert bool(world.host_responsive[event.host_id]) == event.connected
+
+
+def apply_events_world(base_world, hosts, events):
+    """Replay helper: apply one revision's events to a host list."""
+    view = clone_world_with_hosts(base_world, hosts)
+    return apply_events(view, events)
+
+
+class TestArenaCompatibility:
+    def test_evolved_snapshot_reshapes_into_world_arrays(self, quick_timeline):
+        from repro.topology import Topology
+        from repro.world.arrays import WorldArrays, arena_supported
+
+        world = quick_timeline.snapshot(2).world
+        arrays = WorldArrays.from_topology(Topology(world))
+        assert arrays.static_host_count == world.static_host_count
+        assert np.array_equal(arrays.host_true_lats, world.host_true_lats)
+        assert np.array_equal(arrays.host_responsive, world.host_responsive)
+        if not arena_supported():
+            pytest.skip("platform has no shared memory")
+        with arrays.share() as arena:
+            attached, attached_arena = WorldArrays.attach(arena.token)
+            try:
+                assert np.array_equal(
+                    attached.host_true_lats, world.host_true_lats
+                )
+            finally:
+                attached_arena.close()

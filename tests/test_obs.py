@@ -100,9 +100,9 @@ class TestEventLog:
         with pytest.raises(ValueError):
             log.emit("totally-new-event")
         assert "retry" in EVENT_TYPES and "invariant-violation" in EVENT_TYPES
-        assert "serve-batch" in EVENT_TYPES
+        assert "serve-batch" in EVENT_TYPES and "serve-epoch" in EVENT_TYPES
         assert "hint-find" in EVENT_TYPES and "hint-refute" in EVENT_TYPES
-        assert len(EVENT_TYPES) == 17
+        assert len(EVENT_TYPES) == 18
 
     def test_capacity_drops_but_counts(self):
         log = EventLog(capacity=2)
